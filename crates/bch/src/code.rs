@@ -1,0 +1,469 @@
+//! BCH code construction, encoding and decoding.
+//!
+//! A binary primitive BCH code of length `n = 2^m − 1` correcting `t`
+//! errors has generator polynomial `g(x) = lcm(M_1, M_3, …, M_{2t−1})`
+//! (the minimal polynomials of the first `2t` powers of α). Encoding is
+//! systematic polynomial division; decoding is the classic
+//! syndromes → Berlekamp–Massey → Chien-search pipeline.
+//!
+//! Codes are *shortened* to the requested information length by fixing
+//! leading information bits to zero, exactly as NAND controllers shorten
+//! BCH to page-chunk sizes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gf::{FieldError, GaloisField};
+
+/// Errors constructing a BCH code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BchError {
+    /// Underlying field construction failed.
+    Field(FieldError),
+    /// `t` must be at least 1.
+    ZeroCorrection,
+    /// The requested information bits don't fit: `info + parity > n`.
+    InfoTooLong {
+        /// Requested information bits.
+        info_bits: usize,
+        /// Maximum information bits for this `(m, t)`.
+        max: usize,
+    },
+}
+
+impl From<FieldError> for BchError {
+    fn from(e: FieldError) -> BchError {
+        BchError::Field(e)
+    }
+}
+
+impl std::fmt::Display for BchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BchError::Field(e) => write!(f, "{e}"),
+            BchError::ZeroCorrection => write!(f, "BCH needs t >= 1"),
+            BchError::InfoTooLong { info_bits, max } => {
+                write!(f, "information length {info_bits} exceeds the maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BchError {}
+
+/// Outcome of a BCH decode attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BchDecode {
+    /// The word was a codeword (no errors detected).
+    Clean,
+    /// `corrected` bit positions were flipped in place.
+    Corrected(Vec<usize>),
+    /// More than `t` errors: decoding failed (detected, uncorrectable).
+    Uncorrectable,
+}
+
+/// A (shortened) binary BCH code.
+///
+/// ```
+/// use bch::BchCode;
+///
+/// // A t=4 code over GF(2^10) shortened to 512 information bits.
+/// let code = BchCode::new(10, 4, 512).unwrap();
+/// let mut word = code.encode(&vec![1u8; 512]);
+/// word[3] ^= 1;
+/// word[500] ^= 1;
+/// match code.decode(&mut word) {
+///     bch::BchDecode::Corrected(pos) => assert_eq!(pos.len(), 2),
+///     other => panic!("expected correction, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BchCode {
+    gf: GaloisField,
+    t: u32,
+    info_bits: usize,
+    /// Generator polynomial over GF(2), lowest degree first.
+    generator: Vec<u8>,
+}
+
+impl BchCode {
+    /// Builds a `t`-error-correcting BCH code over `GF(2^m)` shortened to
+    /// `info_bits` information bits.
+    ///
+    /// # Errors
+    ///
+    /// [`BchError`] if the field degree is unsupported, `t == 0`, or the
+    /// information length exceeds `2^m − 1 − deg g`.
+    pub fn new(m: u32, t: u32, info_bits: usize) -> Result<BchCode, BchError> {
+        if t == 0 {
+            return Err(BchError::ZeroCorrection);
+        }
+        let gf = GaloisField::new(m)?;
+        // g(x) = lcm of minimal polynomials of α^1 .. α^{2t}; odd powers
+        // suffice because conjugates share cosets.
+        let mut covered = std::collections::HashSet::new();
+        let mut generator = vec![1u8];
+        for s in (1..2 * t).step_by(2) {
+            let coset = gf.cyclotomic_coset(s);
+            if covered.contains(&coset[0]) {
+                continue;
+            }
+            covered.insert(coset[0]);
+            let mp = gf.minimal_polynomial(s);
+            generator = poly_mul_gf2(&generator, &mp);
+        }
+        let parity = generator.len() - 1;
+        let max_info = gf.order() as usize - parity;
+        if info_bits > max_info {
+            return Err(BchError::InfoTooLong {
+                info_bits,
+                max: max_info,
+            });
+        }
+        Ok(BchCode {
+            gf,
+            t,
+            info_bits,
+            generator,
+        })
+    }
+
+    /// The paper-relevant configuration: BCH over GF(2^15) protecting one
+    /// 2 KB chunk (16 384 information bits) with strength `t` —
+    /// controllers split a 4 KB page into two such chunks.
+    pub fn nand_2kb(t: u32) -> Result<BchCode, BchError> {
+        BchCode::new(15, t, 2048 * 8)
+    }
+
+    /// Designed correction capability `t`.
+    pub fn correction_capability(&self) -> u32 {
+        self.t
+    }
+
+    /// Information bits `k`.
+    pub fn info_bits(&self) -> usize {
+        self.info_bits
+    }
+
+    /// Parity bits (`deg g`).
+    pub fn parity_bits(&self) -> usize {
+        self.generator.len() - 1
+    }
+
+    /// Shortened codeword length `k + deg g`.
+    pub fn codeword_bits(&self) -> usize {
+        self.info_bits + self.parity_bits()
+    }
+
+    /// Code rate `k / (k + parity)`.
+    pub fn rate(&self) -> f64 {
+        self.info_bits as f64 / self.codeword_bits() as f64
+    }
+
+    /// Systematic encode: returns `[info | parity]` (one bit per byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `info.len() != info_bits()`.
+    pub fn encode(&self, info: &[u8]) -> Vec<u8> {
+        assert_eq!(info.len(), self.info_bits, "information length mismatch");
+        let parity_len = self.parity_bits();
+        // remainder of info(x) · x^parity  mod  g(x), computed LFSR-style.
+        let mut rem = vec![0u8; parity_len];
+        for &bit in info {
+            let feedback = (bit & 1) ^ rem[parity_len - 1];
+            // Shift left by one (towards higher degree).
+            for i in (1..parity_len).rev() {
+                rem[i] = rem[i - 1] ^ (feedback & self.generator[i]);
+            }
+            rem[0] = feedback & self.generator[0];
+        }
+        let mut out = Vec::with_capacity(self.codeword_bits());
+        out.extend_from_slice(info);
+        out.extend(rem.iter().rev().map(|&b| b & 1));
+        out
+    }
+
+    /// Maps a shortened codeword position to the exponent used in
+    /// syndrome/Chien arithmetic. Bit 0 of the stored word is the
+    /// highest-degree position of the unshortened code.
+    fn position_exponent(&self, pos: usize) -> u64 {
+        (self.codeword_bits() - 1 - pos) as u64
+    }
+
+    /// Computes the 2t syndromes of a received word.
+    fn syndromes(&self, word: &[u8]) -> Vec<u32> {
+        let mut syndromes = vec![0u32; 2 * self.t as usize];
+        for (pos, &bit) in word.iter().enumerate() {
+            if bit & 1 == 0 {
+                continue;
+            }
+            let e = self.position_exponent(pos);
+            for (j, s) in syndromes.iter_mut().enumerate() {
+                *s ^= self.gf.alpha_pow(e * (j as u64 + 1));
+            }
+        }
+        syndromes
+    }
+
+    /// Decodes (and corrects) `word` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len() != codeword_bits()`.
+    pub fn decode(&self, word: &mut [u8]) -> BchDecode {
+        assert_eq!(word.len(), self.codeword_bits(), "codeword length mismatch");
+        let syndromes = self.syndromes(word);
+        if syndromes.iter().all(|&s| s == 0) {
+            return BchDecode::Clean;
+        }
+        // Berlekamp–Massey: find the error locator Λ(x).
+        let locator = self.berlekamp_massey(&syndromes);
+        let errors = locator.len() - 1;
+        if errors == 0 || errors > self.t as usize {
+            return BchDecode::Uncorrectable;
+        }
+        // Chien search over the shortened positions: position `pos` is in
+        // error iff Λ(α^{-e(pos)}) = 0.
+        let mut positions = Vec::new();
+        for pos in 0..word.len() {
+            let e = self.position_exponent(pos);
+            let x = self.gf.alpha_pow((self.gf.order() as u64 - e % self.gf.order() as u64) % self.gf.order() as u64);
+            if self.gf.eval_poly(&locator, x) == 0 {
+                positions.push(pos);
+            }
+        }
+        if positions.len() != errors {
+            // Locator degree didn't match the found roots: > t errors.
+            return BchDecode::Uncorrectable;
+        }
+        for &pos in &positions {
+            word[pos] ^= 1;
+        }
+        // Re-verify: a miscorrection beyond design distance is caught here.
+        if self.syndromes(word).iter().any(|&s| s != 0) {
+            for &pos in &positions {
+                word[pos] ^= 1; // restore
+            }
+            return BchDecode::Uncorrectable;
+        }
+        BchDecode::Corrected(positions)
+    }
+
+    /// Berlekamp–Massey over GF(2^m): returns Λ(x) coefficients, lowest
+    /// degree first (Λ(0) = 1).
+    fn berlekamp_massey(&self, syndromes: &[u32]) -> Vec<u32> {
+        let gf = &self.gf;
+        let n = syndromes.len();
+        let mut lambda = vec![0u32; n + 1];
+        let mut prev = vec![0u32; n + 1];
+        lambda[0] = 1;
+        prev[0] = 1;
+        let mut l = 0usize; // current register length
+        let mut shift = 1usize; // x^shift multiplier for prev
+        let mut prev_discrepancy = 1u32;
+        for k in 0..n {
+            // discrepancy d = S_k + Σ λ_i S_{k-i}
+            let mut d = syndromes[k];
+            for i in 1..=l {
+                d ^= gf.mul(lambda[i], syndromes[k - i]);
+            }
+            if d == 0 {
+                shift += 1;
+            } else if 2 * l <= k {
+                let old_lambda = lambda.clone();
+                let scale = gf.div(d, prev_discrepancy);
+                for i in 0..=n - shift {
+                    let term = gf.mul(scale, prev[i]);
+                    lambda[i + shift] ^= term;
+                }
+                l = k + 1 - l;
+                prev = old_lambda;
+                prev_discrepancy = d;
+                shift = 1;
+            } else {
+                let scale = gf.div(d, prev_discrepancy);
+                for i in 0..=n - shift {
+                    let term = gf.mul(scale, prev[i]);
+                    lambda[i + shift] ^= term;
+                }
+                shift += 1;
+            }
+        }
+        lambda.truncate(l + 1);
+        lambda
+    }
+}
+
+/// Multiplies two GF(2) polynomials (bit-per-byte, lowest degree first).
+fn poly_mul_gf2(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x & 1 == 0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] ^= y & 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn code_small() -> BchCode {
+        // GF(2^10): n = 1023, t = 6 ⇒ 60 parity bits.
+        BchCode::new(10, 6, 512).unwrap()
+    }
+
+    #[test]
+    fn construction_parameters() {
+        let code = code_small();
+        assert_eq!(code.correction_capability(), 6);
+        assert_eq!(code.info_bits(), 512);
+        // t·m is an upper bound on parity; distinct cosets keep it exact
+        // here: 6 cosets × 10 = 60.
+        assert_eq!(code.parity_bits(), 60);
+        assert_eq!(code.codeword_bits(), 572);
+        assert!(code.rate() > 0.89);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert_eq!(BchCode::new(10, 0, 100), Err(BchError::ZeroCorrection));
+        assert!(matches!(
+            BchCode::new(10, 6, 1000),
+            Err(BchError::InfoTooLong { .. })
+        ));
+        assert!(matches!(
+            BchCode::new(7, 2, 10),
+            Err(BchError::Field(FieldError::UnsupportedDegree(7)))
+        ));
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = code_small();
+        let mut rng = StdRng::seed_from_u64(1);
+        let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
+        let mut cw = code.encode(&info);
+        assert_eq!(cw.len(), code.codeword_bits());
+        assert_eq!(&cw[..code.info_bits()], &info[..], "systematic");
+        assert_eq!(code.decode(&mut cw), BchDecode::Clean);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_anywhere() {
+        let code = code_small();
+        let mut rng = StdRng::seed_from_u64(2);
+        for errors in 1..=code.correction_capability() as usize {
+            for trial in 0..5 {
+                let info: Vec<u8> =
+                    (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
+                let clean = code.encode(&info);
+                let mut word = clean.clone();
+                // Flip `errors` distinct random positions.
+                let mut flipped = std::collections::HashSet::new();
+                while flipped.len() < errors {
+                    flipped.insert(rng.gen_range(0..word.len()));
+                }
+                for &p in &flipped {
+                    word[p] ^= 1;
+                }
+                match code.decode(&mut word) {
+                    BchDecode::Corrected(pos) => {
+                        assert_eq!(pos.len(), errors, "errors={errors} trial={trial}");
+                        assert_eq!(word, clean);
+                    }
+                    other => panic!("errors={errors} trial={trial}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beyond_t_is_detected_or_fails_cleanly() {
+        let code = code_small();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut uncorrectable = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
+            let mut word = code.encode(&info);
+            // t + 2 errors: beyond design strength.
+            let mut flipped = std::collections::HashSet::new();
+            while flipped.len() < code.correction_capability() as usize + 2 {
+                flipped.insert(rng.gen_range(0..word.len()));
+            }
+            for &p in &flipped {
+                word[p] ^= 1;
+            }
+            if code.decode(&mut word) == BchDecode::Uncorrectable {
+                uncorrectable += 1;
+            }
+        }
+        // Most overload patterns must be flagged (miscorrection to another
+        // codeword is possible but rare at this distance).
+        assert!(
+            uncorrectable >= trials * 8 / 10,
+            "only {uncorrectable}/{trials} flagged"
+        );
+    }
+
+    #[test]
+    fn parity_only_errors_corrected() {
+        let code = code_small();
+        let info = vec![0u8; code.info_bits()];
+        let mut word = code.encode(&info);
+        let p = code.info_bits() + 3;
+        word[p] ^= 1;
+        assert!(matches!(code.decode(&mut word), BchDecode::Corrected(_)));
+        assert!(word[code.info_bits()..].iter().enumerate().all(|(i, &b)| {
+            // all-zero info ⇒ all-zero parity
+            b == 0 || i == usize::MAX
+        }));
+    }
+
+    #[test]
+    fn all_zero_and_all_one_info() {
+        let code = code_small();
+        let mut zero = code.encode(&vec![0u8; code.info_bits()]);
+        assert!(zero.iter().all(|&b| b == 0), "zero encodes to zero");
+        assert_eq!(code.decode(&mut zero), BchDecode::Clean);
+        let mut ones = code.encode(&vec![1u8; code.info_bits()]);
+        assert_eq!(code.decode(&mut ones), BchDecode::Clean);
+    }
+
+    #[test]
+    fn nand_scale_code() {
+        // 2 KB chunk over GF(2^15), t = 40: a realistic 3Xnm controller
+        // configuration. Construction and a correction round must work.
+        let code = BchCode::nand_2kb(40).unwrap();
+        assert_eq!(code.info_bits(), 16_384);
+        assert_eq!(code.parity_bits(), 40 * 15);
+        let mut rng = StdRng::seed_from_u64(4);
+        let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
+        let clean = code.encode(&info);
+        let mut word = clean.clone();
+        for _ in 0..40 {
+            let p = rng.gen_range(0..word.len());
+            word[p] ^= 1;
+        }
+        // (Flips may collide, leaving ≤ 40 actual errors — all correctable.)
+        match code.decode(&mut word) {
+            BchDecode::Corrected(_) | BchDecode::Clean => assert_eq!(word, clean),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn poly_mul_gf2_basics() {
+        // (1 + x)(1 + x) = 1 + x^2 over GF(2)
+        assert_eq!(poly_mul_gf2(&[1, 1], &[1, 1]), vec![1, 0, 1]);
+        // (1)(1 + x + x^3) identity
+        assert_eq!(poly_mul_gf2(&[1], &[1, 1, 0, 1]), vec![1, 1, 0, 1]);
+    }
+}

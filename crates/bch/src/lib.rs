@@ -1,0 +1,40 @@
+//! Binary BCH error correction over `GF(2^m)`.
+//!
+//! The hard-decision ECC generation that protected 3Xnm NAND flash — and
+//! that the FlexLevel paper's introduction explains is no longer
+//! sufficient at 2Xnm bit error rates, motivating soft-decision LDPC.
+//! This crate provides the real thing, not a model: Galois-field
+//! arithmetic with primitive-polynomial tables ([`GaloisField`]),
+//! generator construction from cyclotomic cosets, systematic LFSR
+//! encoding, and syndrome → Berlekamp–Massey → Chien-search decoding
+//! ([`BchCode`]), with shortening to NAND chunk sizes.
+//!
+//! The `bench` crate's `exp_motivation` binary uses it to reproduce the
+//! paper's opening argument: the BCH strength (and parity overhead)
+//! needed to hit the 1e-15 UBER target diverges as the raw BER approaches
+//! 1e-2, while LDPC with soft sensing keeps working.
+//!
+//! # Example
+//!
+//! ```
+//! use bch::{BchCode, BchDecode};
+//!
+//! # fn main() -> Result<(), bch::BchError> {
+//! let code = BchCode::new(10, 4, 256)?;
+//! let info = vec![1u8; 256];
+//! let mut word = code.encode(&info);
+//! word[17] ^= 1; // one bit error
+//! assert!(matches!(code.decode(&mut word), BchDecode::Corrected(_)));
+//! assert_eq!(&word[..256], &info[..]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod code;
+pub mod gf;
+
+pub use code::{BchCode, BchDecode, BchError};
+pub use gf::{FieldError, GaloisField};

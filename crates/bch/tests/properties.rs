@@ -1,0 +1,82 @@
+//! Property-based tests of the Galois field and the BCH codec.
+
+use bch::{BchCode, BchDecode, GaloisField};
+use proptest::prelude::*;
+
+fn gf8() -> GaloisField {
+    GaloisField::new(8).expect("GF(2^8) is supported")
+}
+
+proptest! {
+    /// Multiplication is commutative, associative and distributes over
+    /// addition for arbitrary GF(2^8) elements.
+    #[test]
+    fn field_axioms(a in 0u32..256, b in 0u32..256, c in 0u32..256) {
+        let gf = gf8();
+        prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        prop_assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+        prop_assert_eq!(
+            gf.mul(a, gf.add(b, c)),
+            gf.add(gf.mul(a, b), gf.mul(a, c))
+        );
+    }
+
+    /// Every nonzero element's inverse round-trips through mul and div.
+    #[test]
+    fn inverses(a in 1u32..256, b in 1u32..256) {
+        let gf = gf8();
+        prop_assert_eq!(gf.mul(a, gf.inv(a)), 1);
+        prop_assert_eq!(gf.mul(gf.div(a, b), b), a);
+    }
+
+    /// Encoding is systematic and always yields a decodable codeword.
+    #[test]
+    fn encode_is_systematic_and_clean(seed in 0u64..10_000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let code = BchCode::new(10, 4, 200).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
+        let mut cw = code.encode(&info);
+        prop_assert_eq!(&cw[..code.info_bits()], &info[..]);
+        prop_assert_eq!(code.decode(&mut cw), BchDecode::Clean);
+    }
+
+    /// Any error pattern of weight ≤ t is corrected exactly.
+    #[test]
+    fn corrects_any_pattern_within_t(
+        seed in 0u64..1000,
+        positions in prop::collection::hash_set(0usize..240, 1..=4),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let code = BchCode::new(10, 4, 200).unwrap();
+        prop_assume!(positions.iter().all(|&p| p < code.codeword_bits()));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
+        let clean = code.encode(&info);
+        let mut word = clean.clone();
+        for &p in &positions {
+            word[p] ^= 1;
+        }
+        match code.decode(&mut word) {
+            BchDecode::Corrected(found) => {
+                prop_assert_eq!(found.len(), positions.len());
+                prop_assert_eq!(word, clean);
+            }
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    /// Linearity: the XOR of two codewords is a codeword.
+    #[test]
+    fn codewords_form_a_linear_code(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let code = BchCode::new(10, 3, 128).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
+        let b: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
+        let ca = code.encode(&a);
+        let cb = code.encode(&b);
+        let mut xored: Vec<u8> = ca.iter().zip(&cb).map(|(x, y)| x ^ y).collect();
+        prop_assert_eq!(code.decode(&mut xored), BchDecode::Clean);
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion bench behind Figure 5: Monte-Carlo C2C BER measurement
+//! throughput for the baseline and the NUNMA reduced-state configs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_model::LevelConfig;
+use flexlevel::NunmaConfig;
+use rand::{rngs::StdRng, SeedableRng};
+use reliability::{
+    BerSimulation, GrayMlcCodec, InterferenceModel, LevelProbeCodec, ProgramModel, StressConfig,
+};
+
+const SYMBOLS: u64 = 20_000;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_c2c_ber");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("c2c_mc", "baseline"), |b| {
+        let cfg = LevelConfig::normal_mlc();
+        let codec = GrayMlcCodec;
+        let sim = BerSimulation::new(
+            &cfg,
+            &codec,
+            ProgramModel::default(),
+            StressConfig::c2c_only(InterferenceModel::default()),
+        );
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(sim.run(SYMBOLS, &mut rng).ber())
+        });
+    });
+
+    for (label, nunma) in NunmaConfig::paper_rows() {
+        let cfg = nunma.level_config();
+        group.bench_function(BenchmarkId::new("c2c_mc", label), |b| {
+            let probe = LevelProbeCodec::new(3);
+            let sim = BerSimulation::new(
+                &cfg,
+                &probe,
+                ProgramModel::default(),
+                StressConfig::c2c_only(InterferenceModel::default()),
+            );
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                std::hint::black_box(sim.run(SYMBOLS, &mut rng).cell_error_rate())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind Figure 6: end-to-end SSD simulation throughput
+//! for each storage scheme on a small OLTP trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use ssd::{Scheme, SsdConfig, SsdSimulator};
+use workloads::WorkloadSpec;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_response_time");
+    group.sample_size(10);
+    let trace = WorkloadSpec::fin2()
+        .with_requests(5_000)
+        .with_footprint(2_000)
+        .generate(&mut StdRng::seed_from_u64(1));
+
+    for scheme in Scheme::ALL {
+        group.bench_function(BenchmarkId::new("replay", scheme.label()), |b| {
+            b.iter(|| {
+                let mut sim = SsdSimulator::new(SsdConfig::scaled(scheme, 64));
+                let stats = sim.run(&trace).expect("trace fits");
+                std::hint::black_box(stats.mean_response())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind Figure 7: endurance accounting on a
+//! write-heavy trace (programs/erases/GC) under FlexLevel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use ssd::{Scheme, SsdConfig, SsdSimulator};
+use workloads::WorkloadSpec;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_endurance");
+    group.sample_size(10);
+    let trace = WorkloadSpec::prj1() // write-heavy: exercises GC/erase paths
+        .with_requests(5_000)
+        .with_footprint(2_000)
+        .generate(&mut StdRng::seed_from_u64(2));
+
+    for scheme in [Scheme::LdpcInSsd, Scheme::FlexLevel] {
+        group.bench_function(BenchmarkId::new("endurance", scheme.label()), |b| {
+            b.iter(|| {
+                let mut sim = SsdSimulator::new(SsdConfig::scaled(scheme, 64));
+                let stats = sim.run(&trace).expect("trace fits");
+                std::hint::black_box((stats.flash_programs, stats.erases))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

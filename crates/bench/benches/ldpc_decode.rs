@@ -1,0 +1,45 @@
+//! LDPC codec microbenchmarks: encode and min-sum decode throughput for
+//! the paper's rate-8/9 code (one 4 KB block per operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldpc::{encode, random_info, DecoderGraph, MinSumDecoder, QcLdpcCode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_ldpc(c: &mut Criterion) {
+    let code = QcLdpcCode::paper_code();
+    let graph = DecoderGraph::new(&code);
+    let decoder = MinSumDecoder::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let info = random_info(&code, &mut rng);
+    let codeword = encode(&code, &info).expect("info length matches");
+
+    let mut group = c.benchmark_group("ldpc");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(code.info_bits() as u64 / 8));
+
+    group.bench_function("encode_4kb", |b| {
+        b.iter(|| std::hint::black_box(encode(&code, &info).unwrap()))
+    });
+
+    for (label, p) in [("clean", 0.0), ("ber_2e-3", 2e-3), ("ber_8e-3", 8e-3)] {
+        // Hard-decision LLRs with BSC flips at probability p.
+        let llrs: Vec<f32> = codeword
+            .iter()
+            .map(|&bit| {
+                let observed = bit ^ (rng.gen_bool(p) as u8);
+                if observed == 0 {
+                    4.0
+                } else {
+                    -4.0
+                }
+            })
+            .collect();
+        group.bench_function(BenchmarkId::new("min_sum_decode", label), |b| {
+            b.iter(|| std::hint::black_box(decoder.decode(&graph, &llrs).iterations))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldpc);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench behind Table 4: retention BER measurement throughput,
+//! Monte-Carlo vs the fast analytic path the SSD simulator queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_model::{Hours, LevelConfig};
+use flexlevel::NunmaScheme;
+use rand::{rngs::StdRng, SeedableRng};
+use reliability::{
+    analytic, BerSimulation, GrayMlcCodec, ProgramModel, RetentionModel, RetentionStress,
+    StressConfig,
+};
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_retention_ber");
+    group.sample_size(10);
+    let retention = RetentionModel::paper();
+    let program = ProgramModel::default();
+
+    for (pe, label) in [(2000u32, "2000"), (6000, "6000")] {
+        group.bench_function(BenchmarkId::new("monte_carlo", label), |b| {
+            let cfg = LevelConfig::normal_mlc();
+            let codec = GrayMlcCodec;
+            let sim = BerSimulation::new(
+                &cfg,
+                &codec,
+                program,
+                StressConfig::retention_only(
+                    retention,
+                    RetentionStress::new(pe, Hours::weeks(1.0)),
+                ),
+            );
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                std::hint::black_box(sim.run(20_000, &mut rng).ber())
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("analytic", label), |b| {
+            let cfg = LevelConfig::normal_mlc();
+            b.iter(|| {
+                std::hint::black_box(
+                    analytic::estimate(
+                        &cfg,
+                        &program,
+                        None,
+                        Some((&retention, pe, Hours::weeks(1.0))),
+                        2.0,
+                    )
+                    .ber,
+                )
+            });
+        });
+    }
+
+    group.bench_function("analytic_nunma3_grid", |b| {
+        let cfg = NunmaScheme::Nunma3.config().level_config();
+        b.iter(|| {
+            let mut total = 0.0;
+            for stress in RetentionStress::paper_grid() {
+                total += analytic::estimate(
+                    &cfg,
+                    &program,
+                    None,
+                    Some((&retention, stress.pe_cycles, stress.time)),
+                    1.5,
+                )
+                .ber;
+            }
+            std::hint::black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench behind Table 5: sensing-schedule lookup cost (the
+//! per-read hot path of the SSD simulator) and channel calibration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flash_model::{Hours, LevelConfig};
+use ldpc::{ChannelStress, MlcReadChannel, SensingSchedule, SoftSensingConfig};
+
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_sensing_levels");
+    group.sample_size(10);
+
+    group.bench_function("schedule_lookup", |b| {
+        let schedule = SensingSchedule::paper_anchor();
+        let bers: Vec<f64> = (0..1000).map(|i| i as f64 * 2e-5).collect();
+        b.iter(|| {
+            let mut total = 0u32;
+            for &ber in &bers {
+                total += schedule.required_levels(ber);
+            }
+            std::hint::black_box(total)
+        });
+    });
+
+    group.bench_function("channel_calibration_10k", |b| {
+        let cfg = LevelConfig::normal_mlc();
+        b.iter(|| {
+            let ch = MlcReadChannel::build_lower_page(
+                &cfg,
+                ChannelStress::retention(5000, Hours::weeks(1.0)),
+                SoftSensingConfig::soft(4),
+                10_000,
+                7,
+            );
+            std::hint::black_box(ch.raw_ber())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Ablations over FlexLevel's design choices (DESIGN.md §6 extension).
+//!
+//! 1. **ReducedCell pool size** — §5's claim that AccessEval "can balance
+//!    the performance improvement and capacity loss based on application
+//!    needs": sweeping the pool bound trades device capacity for read
+//!    latency.
+//! 2. **NUNMA scheme** — why FlexLevel deploys NUNMA 3: weaker rows leave
+//!    reduced pages needing soft sensing at high stress.
+//! 3. **Write buffer size** — the FlashSim modification the paper made.
+//!
+//! Run: `cargo run --release -p bench --bin exp_ablation`
+
+use bench::EXPERIMENT_BLOCKS;
+use flexlevel::NunmaScheme;
+use rand::{rngs::StdRng, SeedableRng};
+use ssd::{Scheme, SsdConfig, SsdSimulator};
+use workloads::WorkloadSpec;
+
+fn trace(spec: WorkloadSpec, seed: u64) -> workloads::Trace {
+    let config = SsdConfig::scaled(Scheme::FlexLevel, EXPERIMENT_BLOCKS);
+    spec.with_requests(30_000)
+        .with_footprint(config.geometry.logical_pages() * 7 / 10)
+        .with_interarrival_scale(2.2)
+        .generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn main() {
+    // --- 1. Pool size sweep -------------------------------------------
+    // web-1's read-hot set is far larger than fin-2's, so pool size
+    // actually binds: this is the §5 capacity/performance dial.
+    let web = trace(WorkloadSpec::web1(), 78);
+    println!("pool size vs response time and capacity loss ({}):", web.name);
+    println!(
+        "{:>12} {:>14} {:>15} {:>12}",
+        "pool (raw %)", "mean response", "capacity loss", "promotions"
+    );
+    let base = SsdConfig::scaled(Scheme::FlexLevel, EXPERIMENT_BLOCKS);
+    for percent in [0u64, 6, 12, 25, 50] {
+        let stats = if percent == 0 {
+            // No pool at all = plain LDPC-in-SSD.
+            let mut sim = SsdSimulator::new(SsdConfig::scaled(
+                Scheme::LdpcInSsd,
+                EXPERIMENT_BLOCKS,
+            ));
+            sim.run(&web).expect("trace fits").clone()
+        } else {
+            let pool_pages = base.geometry.total_pages() * percent / 100;
+            let mut config = base.clone();
+            config.access_eval = config.access_eval.with_pool_pages(pool_pages);
+            let mut sim = SsdSimulator::new(config);
+            sim.run(&web).expect("trace fits").clone()
+        };
+        let loss = percent as f64 * 0.25;
+        println!(
+            "{:>11}% {:>14} {:>14.1}% {:>12}",
+            percent,
+            stats.mean_response().to_string(),
+            loss,
+            stats.promotions
+        );
+    }
+    println!("(the paper's operating point is 25% raw = 64 GB of 256 GB, ≈6% loss)");
+
+    let trace = trace(WorkloadSpec::fin2(), 77);
+    println!(
+        "\nremaining ablations on {} ({} requests, P/E 6000)",
+        trace.name,
+        trace.len()
+    );
+
+    // --- 2. NUNMA scheme ablation --------------------------------------
+    println!("\nNUNMA scheme deployed in reduced pages:");
+    println!("{:>10} {:>14} {:>16}", "scheme", "mean response", "reduced reads");
+    for nunma in [NunmaScheme::Nunma1, NunmaScheme::Nunma2, NunmaScheme::Nunma3] {
+        let mut config = SsdConfig::scaled(Scheme::FlexLevel, EXPERIMENT_BLOCKS);
+        config.nunma = nunma;
+        let mut sim = SsdSimulator::new(config);
+        let stats = sim.run(&trace).expect("trace fits").clone();
+        println!(
+            "{:>10} {:>14} {:>16}",
+            nunma.label(),
+            stats.mean_response().to_string(),
+            stats.reduced_reads
+        );
+    }
+
+    // --- 3. GC policy ----------------------------------------------------
+    println!("\nGC victim policy (wear leveling is free at equal valid counts):");
+    println!("{:>12} {:>14} {:>10} {:>14}", "policy", "mean response", "erases", "erase spread");
+    for (label, policy) in [("greedy", ssd::GcPolicy::Greedy), ("wear-aware", ssd::GcPolicy::WearAware)] {
+        let mut config = SsdConfig::scaled(Scheme::FlexLevel, EXPERIMENT_BLOCKS);
+        config.gc_policy = policy;
+        let mut sim = SsdSimulator::new(config);
+        let stats = sim.run(&trace).expect("trace fits").clone();
+        let (lo, hi) = sim.ftl().erase_spread();
+        println!(
+            "{:>12} {:>14} {:>10} {:>11}..{}",
+            label,
+            stats.mean_response().to_string(),
+            stats.erases,
+            lo,
+            hi
+        );
+    }
+
+    // --- 4. Buffer size sweep ------------------------------------------
+    println!("\nwrite-back buffer size:");
+    println!("{:>14} {:>14} {:>14}", "buffer (pages)", "mean response", "buffer hits");
+    for pages in [4u64, 16, 64, 256] {
+        let mut config = SsdConfig::scaled(Scheme::FlexLevel, EXPERIMENT_BLOCKS);
+        config.buffer_pages = pages;
+        let mut sim = SsdSimulator::new(config);
+        let stats = sim.run(&trace).expect("trace fits").clone();
+        println!(
+            "{:>14} {:>14} {:>14}",
+            pages,
+            stats.mean_response().to_string(),
+            stats.buffer_read_hits
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Threshold-voltage distribution visualisation — the Figure 1(b)/
+//! Figure 4 story rendered as ASCII histograms from the Monte-Carlo
+//! models: programmed distributions, where the read references cut them,
+//! and how retention drags them left while NUNMA's raised verify
+//! voltages buy margin.
+//!
+//! Run: `cargo run --release -p bench --bin exp_distributions`
+
+use flash_model::{Hours, LevelConfig, VthLevel};
+use flexlevel::NunmaConfig;
+use rand::{rngs::StdRng, SeedableRng};
+use reliability::{ProgramModel, RetentionModel};
+
+const BINS: usize = 72;
+const LO: f64 = 0.0;
+const HI: f64 = 4.2;
+const SAMPLES: u32 = 40_000;
+
+fn histogram(
+    config: &LevelConfig,
+    stress: Option<(u32, Hours)>,
+    seed: u64,
+) -> Vec<[u32; BINS]> {
+    let program = ProgramModel::default();
+    let retention = RetentionModel::paper();
+    let mut rng = StdRng::seed_from_u64(seed);
+    config
+        .levels()
+        .map(|level| {
+            let mut bins = [0u32; BINS];
+            for _ in 0..SAMPLES {
+                let initial = program.program(config, level, &mut rng);
+                let vth = match stress {
+                    Some((pe, t)) => {
+                        initial
+                            - retention.sample_shift(
+                                initial,
+                                config.erased_mean(),
+                                pe,
+                                t,
+                                &mut rng,
+                            )
+                    }
+                    None => initial,
+                };
+                let bin = ((vth.as_f64() - LO) / (HI - LO) * BINS as f64) as i64;
+                if (0..BINS as i64).contains(&bin) {
+                    bins[bin as usize] += 1;
+                }
+            }
+            bins
+        })
+        .collect()
+}
+
+fn render(config: &LevelConfig, histograms: &[[u32; BINS]]) {
+    const GLYPHS: [char; 4] = ['#', '*', 'o', '+'];
+    let peak = histograms
+        .iter()
+        .flat_map(|h| h.iter())
+        .copied()
+        .max()
+        .unwrap_or(1) as f64;
+    const ROWS: usize = 8;
+    for row in (1..=ROWS).rev() {
+        let cutoff = peak * row as f64 / ROWS as f64;
+        let mut line = String::new();
+        for bin in 0..BINS {
+            let glyph = histograms
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h[bin] as f64 >= cutoff)
+                .map(|(i, _)| GLYPHS[i.min(3)])
+                .next_back();
+            line.push(glyph.unwrap_or(' '));
+        }
+        println!("  |{line}");
+    }
+    // Axis with read-reference markers.
+    let mut axis = vec![b'-'; BINS];
+    for r in config.read_refs() {
+        let bin = ((r.as_f64() - LO) / (HI - LO) * BINS as f64) as usize;
+        if bin < BINS {
+            axis[bin] = b'^';
+        }
+    }
+    println!("  +{}", String::from_utf8(axis).expect("ascii"));
+    println!(
+        "   {:.1}V{:>pad$.1}V   (^ = read reference; {} per level)",
+        LO,
+        HI,
+        SAMPLES,
+        pad = BINS - 5
+    );
+}
+
+fn main() {
+    println!("Vth distributions (glyphs: # L0, * L1, o L2, + L3)\n");
+
+    let baseline = LevelConfig::normal_mlc();
+    println!("baseline MLC, freshly programmed (Fig 1(b) top, before noise):");
+    render(&baseline, &histogram(&baseline, None, 1));
+
+    println!("\nbaseline MLC after 6000 P/E + 1 month retention (left-sagged tails");
+    println!("crossing the references = the errors that force soft sensing):");
+    render(&baseline, &histogram(&baseline, Some((6000, Hours::months(1.0))), 2));
+
+    let basic = LevelConfig::reduced_symmetric();
+    println!("\nreduced state, symmetric margins (Fig 4(a)): three levels, wide gaps:");
+    render(&basic, &histogram(&basic, None, 3));
+
+    let nunma3 = NunmaConfig::nunma3().level_config();
+    println!("\nreduced state, NUNMA 3 (Fig 4(c)): distributions pushed right of the");
+    println!("references — retention margin where it is needed most:");
+    render(&nunma3, &histogram(&nunma3, None, 4));
+
+    println!("\nNUNMA 3 after 6000 P/E + 1 month (still clear of the references):");
+    render(&nunma3, &histogram(&nunma3, Some((6000, Hours::months(1.0))), 5));
+
+    // Quantify the margins the pictures show.
+    println!("\nretention margins (nominal placement − lower reference):");
+    for (label, cfg) in [
+        ("baseline L3", baseline.clone()),
+        ("NUNMA 3  L2", nunma3.clone()),
+    ] {
+        let level = cfg.top_level();
+        let margin = cfg.retention_margin(level).expect("programmed level");
+        println!("  {label}: {margin}");
+    }
+    let _ = VthLevel::ERASED;
+}

@@ -1,0 +1,61 @@
+//! Figure 5: BER of reduced-state cells after cell-to-cell interference.
+//!
+//! Monte-Carlo simulation of C2C interference on the baseline MLC cell
+//! and the three NUNMA configurations. The paper reports up to 6×
+//! reduction for NUNMA 1 vs the baseline, with NUNMA 3 ~50 % above
+//! NUNMA 1 and ~20 % above NUNMA 2 (higher verify voltages eat into the
+//! interference margin).
+//!
+//! Run: `cargo run --release -p bench --bin exp_fig5`
+
+use flash_model::LevelConfig;
+use flexlevel::NunmaConfig;
+use reliability::{
+    default_shards, run_sharded, BerSimulation, GrayMlcCodec, InterferenceModel,
+    LevelProbeCodec, ProgramModel, StressConfig,
+};
+
+const SYMBOLS: u64 = 4_000_000;
+
+fn main() {
+    println!("Figure 5 — C2C interference BER of reduced-state cells");
+    println!("({SYMBOLS} Monte-Carlo cells per configuration)\n");
+    let c2c = InterferenceModel::default();
+    let program = ProgramModel::default();
+
+    // Baseline: normal MLC cell with the Gray codec (2 bits/cell).
+    let baseline_cfg = LevelConfig::normal_mlc();
+    let codec = GrayMlcCodec;
+    let sim = BerSimulation::new(&baseline_cfg, &codec, program, StressConfig::c2c_only(c2c));
+    let baseline = run_sharded(&sim, SYMBOLS, default_shards(), 50);
+    let baseline_ber = baseline.ber();
+    println!("{:<12} {:>12} {:>18}", "scheme", "C2C BER", "vs baseline");
+    println!("{:<12} {:>12.3e} {:>18}", "baseline", baseline_ber, "1.00x");
+
+    let mut rows = Vec::new();
+    for (label, cfg) in NunmaConfig::paper_rows() {
+        let level_cfg = cfg.level_config();
+        let probe = LevelProbeCodec::new(3);
+        let sim = BerSimulation::new(&level_cfg, &probe, program, StressConfig::c2c_only(c2c));
+        let report = run_sharded(&sim, SYMBOLS, default_shards(), 51);
+        // ReduceCode stores 1.5 bits/cell; one level slip ≈ one bit error.
+        let ber = report.cell_error_rate() / 1.5;
+        rows.push((label, ber));
+        println!(
+            "{:<12} {:>12.3e} {:>17.2}x",
+            label,
+            ber,
+            baseline_ber / ber.max(1e-12)
+        );
+    }
+
+    println!("\npaper: NUNMA1 up to 6x below baseline; NUNMA3 ≈1.5x NUNMA1, ≈1.2x NUNMA2");
+    let n1 = rows[0].1.max(1e-12);
+    let n2 = rows[1].1.max(1e-12);
+    let n3 = rows[2].1;
+    println!(
+        "measured: NUNMA3/NUNMA1 = {:.2}, NUNMA3/NUNMA2 = {:.2}",
+        n3 / n1,
+        n3 / n2
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 6(a): normalized overall average response time of the four
+//! storage systems across the seven evaluation workloads.
+//!
+//! Paper claims (at 6000 P/E): LevelAdjust+AccessEval cuts overall
+//! response time by 66 % vs the baseline and 33 % vs LDPC-in-SSD on
+//! average; LevelAdjust-only lands 27 % *above* LDPC-in-SSD due to
+//! over-provisioning loss.
+//!
+//! Run: `cargo run --release -p bench --bin exp_fig6a`
+
+use bench::{pct_change, run_scheme, scaled_suite};
+use ssd::Scheme;
+
+fn main() {
+    println!("Figure 6(a) — normalized average response time (base P/E 6000)\n");
+    let traces = scaled_suite(1);
+    println!(
+        "{:<8} {:>10} {:>12} {:>17} {:>23}",
+        "workload", "baseline", "LDPC-in-SSD", "LevelAdjust-only", "LevelAdjust+AccessEval"
+    );
+
+    let mut sums = [0.0f64; 4];
+    for trace in &traces {
+        let mut row = Vec::new();
+        for scheme in Scheme::ALL {
+            let stats = run_scheme(scheme, trace, 6000);
+            row.push(stats.mean_response().as_f64());
+        }
+        let base = row[0];
+        for (i, v) in row.iter().enumerate() {
+            sums[i] += v / base;
+        }
+        println!(
+            "{:<8} {:>10.2} {:>12.2} {:>17.2} {:>23.2}",
+            trace.name,
+            1.0,
+            row[1] / base,
+            row[2] / base,
+            row[3] / base
+        );
+    }
+    let n = traces.len() as f64;
+    println!(
+        "\n{:<8} {:>10.2} {:>12.2} {:>17.2} {:>23.2}",
+        "mean",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n
+    );
+    let mean_ldpc = sums[1] / n;
+    let mean_la = sums[2] / n;
+    let mean_flex = sums[3] / n;
+    println!("\nFlexLevel vs baseline    : {} (paper: -66%)", pct_change(mean_flex, 1.0));
+    println!(
+        "FlexLevel vs LDPC-in-SSD : {} (paper: -33%)",
+        pct_change(mean_flex, mean_ldpc)
+    );
+    println!(
+        "LevelAdjust-only vs LDPC : {} (paper: +27%)",
+        pct_change(mean_la, mean_ldpc)
+    );
+}

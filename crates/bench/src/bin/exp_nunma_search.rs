@@ -1,0 +1,68 @@
+//! NUNMA design-space search: automates §6.1's "explored to find out the
+//! optimal device parameters" beyond the paper's three hand-picked rows.
+//!
+//! Prints the verify-margin surface (worst-of retention/C2C BER), the
+//! Table 3 rows' standings, and the grid optimum.
+//!
+//! Run: `cargo run --release -p bench --bin exp_nunma_search`
+
+use flash_model::Volts;
+use flexlevel::{nunma_search, NunmaConfig, SearchOptions};
+
+fn main() {
+    println!("NUNMA design-space search (objective: worst of retention/C2C BER");
+    println!("over P/E 4000/1wk and 6000/1mo; Table 3 read refs and Vpp fixed)\n");
+
+    let options = SearchOptions {
+        step: Volts(0.02),
+        ..SearchOptions::default()
+    };
+    let results = nunma_search::search(&options);
+
+    // Surface: rows = level-1 margin, cols = level-2 margin.
+    println!("objective surface (rows: margin1, cols: margin2, entries: log10 BER):");
+    let margins: Vec<f64> = (0..=10).map(|i| i as f64 * 0.02).collect();
+    print!("{:>7} |", "m1\\m2");
+    for &m2 in &margins {
+        print!(" {:>5.0}mV", m2 * 1000.0);
+    }
+    println!();
+    for &m1 in &margins {
+        print!("{:>5.0}mV |", m1 * 1000.0);
+        for &m2 in &margins {
+            let hit = results.iter().find(|c| {
+                (c.config.retention_margin1().as_f64() - m1).abs() < 1e-9
+                    && (c.config.retention_margin2().as_f64() - m2).abs() < 1e-9
+            });
+            match hit {
+                Some(c) => print!(" {:>6.1}", c.objective.max(1e-12).log10()),
+                None => print!(" {:>6}", "-"),
+            }
+        }
+        println!();
+    }
+
+    println!("\nTable 3 rows under the same objective:");
+    for (label, config) in NunmaConfig::paper_rows() {
+        let c = nunma_search::evaluate(config, &options);
+        println!(
+            "  {label}: retention {:.3e}, C2C {:.3e}, objective {:.3e}",
+            c.retention_ber, c.c2c_ber, c.objective
+        );
+    }
+
+    let best = &results[0];
+    println!(
+        "\ngrid optimum: verify1 = {}, verify2 = {} (margins {:.0} mV / {:.0} mV)",
+        best.config.verify1,
+        best.config.verify2,
+        best.config.retention_margin1().as_f64() * 1000.0,
+        best.config.retention_margin2().as_f64() * 1000.0
+    );
+    println!(
+        "  retention {:.3e}, C2C {:.3e}, objective {:.3e}",
+        best.retention_ber, best.c2c_ber, best.objective
+    );
+    println!("\n(the optimum extends the paper's NUNMA direction: larger margins,");
+    println!(" level 2 favoured — see EXPERIMENTS.md for the model-difference note)");
+}

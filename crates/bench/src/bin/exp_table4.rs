@@ -1,0 +1,107 @@
+//! Table 4: retention BER of the baseline MLC cell and the three NUNMA
+//! configurations over the P/E × storage-time grid.
+//!
+//! Monte-Carlo ground truth with the paper's Equation (3) retention model
+//! and the calibrated device parameters (see
+//! `crates/core/examples/calibrate_table4.rs` for the fit).
+//!
+//! Run: `cargo run --release -p bench --bin exp_table4`
+
+use flash_model::{Hours, LevelConfig};
+use flexlevel::NunmaConfig;
+use reliability::{
+    default_shards, run_sharded, BerSimulation, GrayMlcCodec, LevelProbeCodec, ProgramModel,
+    RetentionModel, RetentionStress, StressConfig,
+};
+
+const SYMBOLS: u64 = 2_000_000;
+
+/// Paper Table 4 reference values: (pe, hours, baseline, n1, n2, n3).
+const PAPER: &[(u32, f64, [f64; 4])] = &[
+    (2000, 24.0, [0.000638, 0.000370, 0.000167, 0.000120]),
+    (2000, 48.0, [0.000715, 0.000453, 0.000173, 0.000133]),
+    (2000, 168.0, [0.00103, 0.000827, 0.000243, 0.000167]),
+    (2000, 720.0, [0.00184, 0.00149, 0.000330, 0.000181]),
+    (3000, 24.0, [0.00146, 0.000677, 0.000343, 0.000237]),
+    (3000, 48.0, [0.00169, 0.000860, 0.000367, 0.000257]),
+    (3000, 168.0, [0.00260, 0.00143, 0.000570, 0.000293]),
+    (3000, 720.0, [0.00459, 0.00249, 0.000807, 0.000390]),
+    (4000, 24.0, [0.00229, 0.00117, 0.000443, 0.000327]),
+    (4000, 48.0, [0.00284, 0.00149, 0.000633, 0.000343]),
+    (4000, 168.0, [0.00456, 0.00240, 0.000820, 0.000457]),
+    (4000, 720.0, [0.00778, 0.00402, 0.00150, 0.000633]),
+    (5000, 24.0, [0.00359, 0.00177, 0.000690, 0.000460]),
+    (5000, 48.0, [0.00457, 0.00233, 0.000853, 0.000540]),
+    (5000, 168.0, [0.00699, 0.00349, 0.00123, 0.000713]),
+    (5000, 720.0, [0.0120, 0.00545, 0.00227, 0.00109]),
+    (6000, 24.0, [0.00484, 0.00218, 0.00100, 0.000623]),
+    (6000, 48.0, [0.00613, 0.00288, 0.00131, 0.000627]),
+    (6000, 168.0, [0.00961, 0.00446, 0.00192, 0.000973]),
+    (6000, 720.0, [0.0161, 0.00672, 0.00324, 0.00151]),
+];
+
+fn measure(config: &LevelConfig, bits_per_cell: f64, pe: u32, hours: f64, seed: u64) -> f64 {
+    let stress = StressConfig::retention_only(
+        RetentionModel::paper(),
+        RetentionStress::new(pe, Hours(hours)),
+    );
+    let program = ProgramModel::default();
+    if config.level_count() == 4 {
+        let codec = GrayMlcCodec;
+        let sim = BerSimulation::new(config, &codec, program, stress);
+        run_sharded(&sim, SYMBOLS, default_shards(), seed).ber()
+    } else {
+        let probe = LevelProbeCodec::new(config.level_count() as u8);
+        let sim = BerSimulation::new(config, &probe, program, stress);
+        run_sharded(&sim, SYMBOLS, default_shards(), seed).cell_error_rate() / bits_per_cell
+    }
+}
+
+fn main() {
+    println!("Table 4 — retention BER (measured | paper), {SYMBOLS} cells/point\n");
+    let configs: Vec<(&str, LevelConfig, f64)> = {
+        let mut v = vec![("Baseline", LevelConfig::normal_mlc(), 2.0)];
+        for (label, cfg) in NunmaConfig::paper_rows() {
+            v.push((label, cfg.level_config(), 1.5));
+        }
+        v
+    };
+
+    println!(
+        "{:>5} {:>7} | {:>23} | {:>23} | {:>23} | {:>23}",
+        "P/E", "time", "Baseline", "NUNMA 1", "NUNMA 2", "NUNMA 3"
+    );
+    let mut reductions = [0.0f64; 3];
+    for &(pe, hours, paper) in PAPER {
+        let time_label = match hours as u32 {
+            24 => "1 day",
+            48 => "2 days",
+            168 => "1 week",
+            720 => "1 month",
+            _ => "?",
+        };
+        let mut cells = Vec::new();
+        for (i, (_, cfg, bits)) in configs.iter().enumerate() {
+            let ber = measure(cfg, *bits, pe, hours, 60 + i as u64);
+            cells.push(ber);
+        }
+        for i in 0..3 {
+            reductions[i] += (cells[0] / cells[i + 1].max(1e-12)).ln();
+        }
+        println!(
+            "{:>5} {:>7} | {:>10.3e} ({:>8.2e}) | {:>10.3e} ({:>8.2e}) | {:>10.3e} ({:>8.2e}) | {:>10.3e} ({:>8.2e})",
+            pe, time_label,
+            cells[0], paper[0],
+            cells[1], paper[1],
+            cells[2], paper[2],
+            cells[3], paper[3],
+        );
+    }
+    println!(
+        "\ngeometric-mean reduction vs baseline: NUNMA1 {:.1}x, NUNMA2 {:.1}x, NUNMA3 {:.1}x",
+        (reductions[0] / PAPER.len() as f64).exp(),
+        (reductions[1] / PAPER.len() as f64).exp(),
+        (reductions[2] / PAPER.len() as f64).exp(),
+    );
+    println!("paper: 2x, 5x, 9x average reductions");
+}

@@ -1,0 +1,132 @@
+//! Table 5: required extra LDPC soft sensing levels of the baseline MLC
+//! cell over the P/E × retention grid.
+//!
+//! Two methods, printed side by side:
+//!
+//! 1. **Schedule path** (the paper's method): measure the baseline raw
+//!    BER at each grid point (Monte-Carlo, retention model) and look up
+//!    the sensing schedule — the same 4e-3-anchored mapping §6.1
+//!    describes.
+//! 2. **Decoder path** (`--decode`): run the *real* rate-8/9 min-sum
+//!    decoder over Monte-Carlo-corrupted codewords at each precision and
+//!    report the smallest level count that decodes every trial frame.
+//!    Slower (~minutes) but derives the ladder from first principles.
+//!
+//! Run: `cargo run --release -p bench --bin exp_table5 [-- --decode]`
+
+use flash_model::{Hours, LevelConfig};
+use ldpc::{
+    minimum_levels, ChannelStress, MinSumDecoder, MlcReadChannel, QcLdpcCode,
+    SoftSensingConfig,
+};
+use rand::{rngs::StdRng, SeedableRng};
+use reliability::{
+    default_shards, run_sharded, BerSimulation, GrayMlcCodec, ProgramModel, RetentionModel,
+    RetentionStress, StressConfig,
+};
+
+/// Paper Table 5 values: rows = P/E {3000..6000}, cols = {0d,1d,2d,1w,1mo}.
+const PAPER: [[u32; 5]; 4] = [
+    [0, 0, 0, 0, 1],
+    [0, 0, 0, 1, 4],
+    [0, 0, 1, 2, 4],
+    [0, 1, 2, 4, 6],
+];
+
+const TIMES: [(f64, &str); 5] = [
+    (0.0, "0 day"),
+    (24.0, "1 day"),
+    (48.0, "2 days"),
+    (168.0, "1 week"),
+    (720.0, "1 month"),
+];
+
+fn measured_ber(pe: u32, hours: f64) -> f64 {
+    let cfg = LevelConfig::normal_mlc();
+    let codec = GrayMlcCodec;
+    // Retention-only, the same sourcing as the paper's Table 4 → Table 5
+    // derivation.
+    let stress = if hours == 0.0 {
+        StressConfig::default()
+    } else {
+        StressConfig::retention_only(
+            RetentionModel::paper(),
+            RetentionStress::new(pe, Hours(hours)),
+        )
+    };
+    let sim = BerSimulation::new(&cfg, &codec, ProgramModel::default(), stress);
+    run_sharded(&sim, 2_000_000, default_shards(), 70 + pe as u64).ber()
+}
+
+fn schedule_path() {
+    println!("\n— schedule path (measured baseline BER -> derived sensing schedule) —");
+    println!("value format: measured (paper)\n");
+    let schedule = ssd::device::derived_schedule();
+    print!("{:>6} |", "P/E");
+    for (_, label) in TIMES {
+        print!(" {label:>14} |");
+    }
+    println!();
+    for (row, pe) in [3000u32, 4000, 5000, 6000].iter().enumerate() {
+        print!("{pe:>6} |");
+        for (col, (hours, _)) in TIMES.iter().enumerate() {
+            let ber = measured_ber(*pe, *hours);
+            let levels = schedule.required_levels(ber);
+            print!(" {:>9} ({:>2}) |", levels, PAPER[row][col]);
+        }
+        println!();
+    }
+}
+
+fn decoder_path() {
+    println!("\n— decoder path (real min-sum decoder over the MC channel) —");
+    println!("minimum extra levels at which 10/10 frames decode\n");
+    let code = QcLdpcCode::paper_code();
+    let decoder = MinSumDecoder::new();
+    let config = LevelConfig::normal_mlc();
+    let mut rng = StdRng::seed_from_u64(5);
+    print!("{:>6} |", "P/E");
+    for (_, label) in TIMES.iter().skip(1) {
+        print!(" {label:>8} |");
+    }
+    println!();
+    for pe in [3000u32, 4000, 5000, 6000] {
+        print!("{pe:>6} |");
+        for (hours, _) in TIMES.iter().skip(1) {
+            let ladder = minimum_levels(
+                &code,
+                &decoder,
+                7,
+                10,
+                1.0,
+                |extra| {
+                    MlcReadChannel::build_lower_page(
+                        &config,
+                        ChannelStress::retention(pe, Hours(*hours)),
+                        SoftSensingConfig::soft(extra),
+                        60_000,
+                        90 + extra as u64,
+                    )
+                },
+                &mut rng,
+            );
+            let answer = ladder
+                .iter()
+                .find(|m| m.success_rate >= 1.0)
+                .map(|m| m.extra_levels.to_string())
+                .unwrap_or_else(|| format!(">{}", ladder.last().map(|m| m.extra_levels).unwrap_or(7)));
+            print!(" {answer:>8} |");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    println!("Table 5 — required extra LDPC soft sensing levels (baseline MLC)");
+    schedule_path();
+    if std::env::args().any(|a| a == "--decode") {
+        decoder_path();
+    } else {
+        println!("\n(pass -- --decode to also derive the ladder with the real decoder)");
+    }
+}

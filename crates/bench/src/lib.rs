@@ -1,0 +1,94 @@
+//! Shared experiment harness for regenerating every table and figure of
+//! the FlexLevel paper (see `DESIGN.md` §6 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results).
+//!
+//! Binaries (`cargo run --release -p bench --bin <name>`):
+//!
+//! * `exp_fig5` — C2C BER of reduced-state cells (Figure 5)
+//! * `exp_table4` — retention BER grid (Table 4)
+//! * `exp_table5` — required extra LDPC sensing levels (Table 5)
+//! * `exp_fig6a` — normalized response time, 7 workloads × 4 schemes
+//! * `exp_fig6b` — response-time reduction vs P/E count
+//! * `exp_fig7` — write/erase/lifetime impact
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssd::{Scheme, SimStats, SsdConfig, SsdSimulator};
+use workloads::{Trace, WorkloadSpec};
+
+/// Device size (blocks) used by the system-level experiments. 128 blocks
+/// = 128 MB raw keeps a full 7-workload × 4-scheme sweep fast while
+/// leaving plenty of GC activity.
+pub const EXPERIMENT_BLOCKS: u32 = 128;
+
+/// Requests per workload in the system-level experiments.
+pub const EXPERIMENT_REQUESTS: u64 = 30_000;
+
+/// Generates the paper's seven workloads scaled to the experiment device.
+///
+/// The footprint is sized to ~70 % of the scaled device's logical space,
+/// preserving the paper's "device mostly full" regime.
+pub fn scaled_suite(seed: u64) -> Vec<Trace> {
+    let config = SsdConfig::scaled(Scheme::Baseline, EXPERIMENT_BLOCKS);
+    let footprint = config.geometry.logical_pages() * 7 / 10;
+    WorkloadSpec::paper_suite()
+        .into_iter()
+        .map(|spec| {
+            let mut rng = StdRng::seed_from_u64(seed ^ fxhash(spec.name.as_bytes()));
+            spec.with_requests(EXPERIMENT_REQUESTS)
+                .with_footprint(footprint)
+                // Keep the worst scheme (baseline at 6000 P/E, ≈1 ms/page
+                // reads) below saturation so mean response time reflects
+                // service quality rather than unbounded queue growth.
+                .with_interarrival_scale(2.2)
+                .generate(&mut rng)
+        })
+        .collect()
+}
+
+/// Runs one scheme over one trace at the given wear level.
+pub fn run_scheme(scheme: Scheme, trace: &Trace, base_pe: u32) -> SimStats {
+    let config = SsdConfig::scaled(scheme, EXPERIMENT_BLOCKS).with_base_pe(base_pe);
+    let mut sim = SsdSimulator::new(config);
+    sim.run(trace)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", scheme.label(), trace.name))
+        .clone()
+}
+
+/// Deterministic tiny hash for per-workload seeds.
+fn fxhash(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// Formats a ratio as a percent-change string (e.g. `-33.0%`).
+pub fn pct_change(new: f64, reference: f64) -> String {
+    format!("{:+.1}%", (new / reference - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic_and_fits() {
+        let a = scaled_suite(1);
+        let b = scaled_suite(1);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a[0], b[0]);
+        let config = SsdConfig::scaled(Scheme::Baseline, EXPERIMENT_BLOCKS);
+        for trace in &a {
+            assert!(trace.footprint_pages <= config.geometry.logical_pages());
+            trace.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn pct_change_formats() {
+        assert_eq!(pct_change(0.67, 1.0), "-33.0%");
+        assert_eq!(pct_change(1.15, 1.0), "+15.0%");
+    }
+}

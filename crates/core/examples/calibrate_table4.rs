@@ -1,0 +1,160 @@
+//! Table 4 calibration: fit the two free model parameters — the baseline
+//! MLC verify offset and the post-verify disturb spread — against the
+//! paper's published retention BER grid.
+//!
+//! Everything else is pinned by the paper: the NUNMA voltages (Table 3),
+//! the retention constants (Eq. 3), the erased distribution (N(1.1, 0.35))
+//! and the ISPP pulse (0.15 V). Only the baseline's verify margins (the
+//! paper never states them) and the per-cell disturb spread remain free.
+//!
+//! Run: `cargo run --release -p flexlevel --example calibrate_table4`
+
+use flash_model::{Hours, LevelConfig, Volts};
+use flexlevel::NunmaConfig;
+use reliability::{analytic, ProgramModel, RetentionModel};
+
+/// Paper Table 4: (pe, hours, baseline, nunma1, nunma2, nunma3).
+const TABLE4: &[(u32, f64, f64, f64, f64, f64)] = &[
+    (2000, 24.0, 0.000638, 0.000370, 0.000167, 0.000120),
+    (2000, 48.0, 0.000715, 0.000453, 0.000173, 0.000133),
+    (2000, 168.0, 0.00103, 0.000827, 0.000243, 0.000167),
+    (2000, 720.0, 0.00184, 0.00149, 0.000330, 0.000181),
+    (3000, 24.0, 0.00146, 0.000677, 0.000343, 0.000237),
+    (3000, 48.0, 0.00169, 0.000860, 0.000367, 0.000257),
+    (3000, 168.0, 0.00260, 0.00143, 0.000570, 0.000293),
+    (3000, 720.0, 0.00459, 0.00249, 0.000807, 0.000390),
+    (4000, 24.0, 0.00229, 0.00117, 0.000443, 0.000327),
+    (4000, 48.0, 0.00284, 0.00149, 0.000633, 0.000343),
+    (4000, 168.0, 0.00456, 0.00240, 0.000820, 0.000457),
+    (4000, 720.0, 0.00778, 0.00402, 0.00150, 0.000633),
+    (5000, 24.0, 0.00359, 0.00177, 0.000690, 0.000460),
+    (5000, 48.0, 0.00457, 0.00233, 0.000853, 0.000540),
+    (5000, 168.0, 0.00699, 0.00349, 0.00123, 0.000713),
+    (5000, 720.0, 0.0120, 0.00545, 0.00227, 0.00109),
+    (6000, 24.0, 0.00484, 0.00218, 0.00100, 0.000623),
+    (6000, 48.0, 0.00613, 0.00288, 0.00131, 0.000627),
+    (6000, 168.0, 0.00961, 0.00446, 0.00192, 0.000973),
+    (6000, 720.0, 0.0161, 0.00672, 0.00324, 0.00151),
+];
+
+fn baseline_with_offset(m0: f64) -> LevelConfig {
+    LevelConfig::new(
+        vec![Volts(2.40), Volts(3.00), Volts(3.60)],
+        vec![Volts(2.40 + m0), Volts(3.00 + m0), Volts(3.60 + m0)],
+        Volts(1.1),
+        Volts(0.15),
+    )
+    .expect("candidate baseline config is valid")
+}
+
+/// Column weights: the baseline column anchors Table 5 and Figure 6, so it
+/// dominates the fit; the NUNMA columns contribute at lower weight.
+const COLUMN_WEIGHTS: [f64; 4] = [4.0, 1.5, 1.0, 0.5];
+
+/// Sum of squared log10 errors of a candidate (offset, sigma) against the
+/// paper grid, returning (loss, per-column losses). Candidates that break
+/// the paper's strict ordering (baseline > NUNMA1 > NUNMA2 > NUNMA3 at
+/// every grid point) are rejected with infinite loss.
+fn loss(m0: f64, sigma: f64) -> (f64, [f64; 4]) {
+    let program = ProgramModel {
+        placement_sigma: Volts(sigma),
+    };
+    let retention = RetentionModel::paper();
+    let baseline = baseline_with_offset(m0);
+    let nunma: Vec<LevelConfig> = [
+        NunmaConfig::nunma1(),
+        NunmaConfig::nunma2(),
+        NunmaConfig::nunma3(),
+    ]
+    .iter()
+    .map(|c| c.level_config())
+    .collect();
+
+    let mut total = 0.0;
+    let mut per_col = [0.0f64; 4];
+    for &(pe, hours, b, n1, n2, n3) in TABLE4 {
+        let stress = Some((&retention, pe, Hours(hours)));
+        let configs = [
+            (&baseline, b, 2.0),
+            (&nunma[0], n1, 1.5),
+            (&nunma[1], n2, 1.5),
+            (&nunma[2], n3, 1.5),
+        ];
+        let mut row = [0.0f64; 4];
+        for (col, (cfg, paper, bits)) in configs.into_iter().enumerate() {
+            let got = analytic::estimate(cfg, &program, None, stress, bits).ber;
+            row[col] = got;
+            let err = ((got.max(1e-9)).log10() - paper.log10()).powi(2);
+            per_col[col] += COLUMN_WEIGHTS[col] * err;
+            total += COLUMN_WEIGHTS[col] * err;
+        }
+        // The paper's ordering must hold everywhere.
+        if !(row[0] > row[1] && row[1] > row[2] && row[2] > row[3]) {
+            return (f64::INFINITY, per_col);
+        }
+    }
+    (total, per_col)
+}
+
+fn main() {
+    let mut best = (f64::INFINITY, 0.0, 0.0);
+    for m0_mv in (5..=55).step_by(5) {
+        for sigma_mv in (10..=80).step_by(5) {
+            let m0 = m0_mv as f64 / 1000.0;
+            let sigma = sigma_mv as f64 / 1000.0;
+            let (l, _) = loss(m0, sigma);
+            if l < best.0 {
+                best = (l, m0, sigma);
+            }
+        }
+    }
+    // Refine around the winner.
+    let (mut bl, mut bm, mut bs) = best;
+    for dm in -4..=4 {
+        for ds in -4..=4 {
+            let m0 = best.1 + dm as f64 / 1000.0;
+            let sigma = best.2 + ds as f64 / 1000.0;
+            if m0 <= 0.0 || sigma <= 0.0 {
+                continue;
+            }
+            let (l, _) = loss(m0, sigma);
+            if l < bl {
+                bl = l;
+                bm = m0;
+                bs = sigma;
+            }
+        }
+    }
+    let (_, per_col) = loss(bm, bs);
+    println!("best: m0 = {bm:.3} V, sigma = {bs:.3} V, loss = {bl:.2}");
+    println!(
+        "per-column loss (log10² sum over 20 points): baseline {:.2}, NUNMA1 {:.2}, NUNMA2 {:.2}, NUNMA3 {:.2}",
+        per_col[0], per_col[1], per_col[2], per_col[3]
+    );
+
+    // Print the fitted grid next to the paper's.
+    let program = ProgramModel {
+        placement_sigma: Volts(bs),
+    };
+    let retention = RetentionModel::paper();
+    let baseline = baseline_with_offset(bm);
+    let nunma: Vec<LevelConfig> = [
+        NunmaConfig::nunma1(),
+        NunmaConfig::nunma2(),
+        NunmaConfig::nunma3(),
+    ]
+    .iter()
+    .map(|c| c.level_config())
+    .collect();
+    println!("\npe    hours  | baseline (paper)      | NUNMA1 (paper)        | NUNMA2 (paper)        | NUNMA3 (paper)");
+    for &(pe, hours, b, n1, n2, n3) in TABLE4 {
+        let stress = Some((&retention, pe, Hours(hours)));
+        let vb = analytic::estimate(&baseline, &program, None, stress, 2.0).ber;
+        let v1 = analytic::estimate(&nunma[0], &program, None, stress, 1.5).ber;
+        let v2 = analytic::estimate(&nunma[1], &program, None, stress, 1.5).ber;
+        let v3 = analytic::estimate(&nunma[2], &program, None, stress, 1.5).ber;
+        println!(
+            "{pe:5} {hours:6.0} | {vb:9.3e} ({b:9.3e}) | {v1:9.3e} ({n1:9.3e}) | {v2:9.3e} ({n2:9.3e}) | {v3:9.3e} ({n3:9.3e})"
+        );
+    }
+}

@@ -1,0 +1,589 @@
+//! AccessEval: identifying and placing high-LDPC-overhead data (paper §5).
+//!
+//! LevelAdjust costs 25 % of the capacity of whatever it is applied to, so
+//! FlexLevel applies it only where it pays. AccessEval consists of:
+//!
+//! * the **HLO identifier** — scores each datum's LDPC overhead as
+//!   `L_f × L_sensing` (read-frequency level × soft-sensing-level bucket;
+//!   the paper uses N = M = 2 levels of each) and flags data whose score
+//!   exceeds a threshold;
+//! * the **ReducedCell pool** — an LRU-ordered, capacity-bounded set of
+//!   logical pages currently stored in reduced-state cells (the paper caps
+//!   it at 64 GB of the 256 GB device, bounding capacity loss at ≈6 %);
+//! * the **AccessEval controller** — turns identifier verdicts into
+//!   migrations: promote HLO data into reduced pages, demote the
+//!   least-recently-accessed data back to normal pages when the pool
+//!   fills.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the AccessEval policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessEvalConfig {
+    /// Number of read-frequency levels `N` (paper: 2).
+    pub freq_levels: u32,
+    /// Number of sensing-overhead buckets `M` (paper: 2).
+    pub sensing_buckets: u32,
+    /// A datum is HLO when `L_f × L_sensing` **exceeds** this value.
+    /// With N = M = 2 the products are {1, 2, 4}; the default threshold 2
+    /// selects data that is both hot *and* expensive to sense.
+    pub overhead_threshold: u32,
+    /// ReducedCell pool capacity in pages.
+    pub pool_pages: u64,
+    /// Read count at which a page reaches the top frequency level.
+    pub hot_read_threshold: u32,
+    /// Reads between aging passes (counters halve), keeping frequency
+    /// levels reflective of the recent access pattern.
+    pub aging_period: u64,
+}
+
+impl AccessEvalConfig {
+    /// The paper's §6.2 settings for a device with `page_bytes`-sized
+    /// pages: `L_f = L_sensing = 2`, 64 GB pool. The hot threshold and
+    /// aging cadence implement the bloom-filter-style hot-data
+    /// identification of \[13\]: a page must sustain several reads per
+    /// aging window to stay "hot", which keeps migrations targeted at the
+    /// genuinely read-hot working set instead of the long Zipf tail.
+    pub fn paper(page_bytes: u64) -> AccessEvalConfig {
+        AccessEvalConfig {
+            freq_levels: 2,
+            sensing_buckets: 2,
+            overhead_threshold: 2,
+            pool_pages: 64 * (1 << 30) / page_bytes,
+            hot_read_threshold: 8,
+            aging_period: 8192,
+        }
+    }
+
+    /// Same policy scaled to a pool of `pool_pages` pages (for scaled-down
+    /// simulated devices).
+    pub fn with_pool_pages(mut self, pool_pages: u64) -> AccessEvalConfig {
+        self.pool_pages = pool_pages;
+        self
+    }
+}
+
+impl Default for AccessEvalConfig {
+    fn default() -> AccessEvalConfig {
+        AccessEvalConfig::paper(16 * 1024)
+    }
+}
+
+/// Scores LDPC overhead from read frequency and sensing cost.
+#[derive(Debug, Clone)]
+pub struct HloIdentifier {
+    config: AccessEvalConfig,
+    read_counts: HashMap<u64, u32>,
+    reads_since_aging: u64,
+}
+
+impl HloIdentifier {
+    /// Creates an identifier with the given policy.
+    pub fn new(config: AccessEvalConfig) -> HloIdentifier {
+        HloIdentifier {
+            config,
+            read_counts: HashMap::new(),
+            reads_since_aging: 0,
+        }
+    }
+
+    /// Records a read of `lpn` and returns its current frequency level
+    /// (1 ..= `freq_levels`).
+    pub fn record_read(&mut self, lpn: u64) -> u32 {
+        let count = self.read_counts.entry(lpn).or_insert(0);
+        *count = count.saturating_add(1);
+        let count = *count;
+        let level = self.freq_level_for_count(count);
+        self.reads_since_aging += 1;
+        if self.reads_since_aging >= self.config.aging_period {
+            self.age();
+        }
+        level
+    }
+
+    /// Current frequency level of `lpn` without recording a read.
+    pub fn freq_level(&self, lpn: u64) -> u32 {
+        self.freq_level_for_count(self.read_counts.get(&lpn).copied().unwrap_or(0))
+    }
+
+    fn freq_level_for_count(&self, count: u32) -> u32 {
+        // Level k needs count ≥ hot_read_threshold^(k-1) scaled linearly:
+        // with N=2 this is simply "hot" vs "cold" at the threshold.
+        let n = self.config.freq_levels;
+        if n <= 1 {
+            return 1;
+        }
+        let step = self.config.hot_read_threshold.max(1);
+        (1 + count / step).min(n)
+    }
+
+    /// Buckets an observed sensing cost (`extra_levels` out of
+    /// `max_levels`) into 1 ..= `sensing_buckets` by dividing the level
+    /// range evenly: with the paper's M = 2 over a 6-level schedule,
+    /// bucket 2 means the *upper half* (≥ 4 extra levels) — the reads
+    /// whose latency actually hurts.
+    pub fn sensing_bucket(&self, extra_levels: u32, max_levels: u32) -> u32 {
+        let m = self.config.sensing_buckets;
+        if m <= 1 || max_levels == 0 {
+            return 1;
+        }
+        (1 + extra_levels * m / (max_levels + 1)).min(m)
+    }
+
+    /// LDPC overhead score `L_f × L_sensing`.
+    pub fn overhead(&self, freq_level: u32, sensing_bucket: u32) -> u32 {
+        freq_level * sensing_bucket
+    }
+
+    /// Full evaluation: record the read and decide whether `lpn` is HLO
+    /// at the observed sensing cost.
+    pub fn evaluate(&mut self, lpn: u64, extra_levels: u32, max_levels: u32) -> bool {
+        let freq = self.record_read(lpn);
+        let sensing = self.sensing_bucket(extra_levels, max_levels);
+        self.overhead(freq, sensing) > self.config.overhead_threshold
+    }
+
+    /// Forgets a page (overwritten or trimmed).
+    pub fn invalidate(&mut self, lpn: u64) {
+        self.read_counts.remove(&lpn);
+    }
+
+    /// Ages all counters (halves them), dropping cold entries.
+    pub fn age(&mut self) {
+        self.reads_since_aging = 0;
+        self.read_counts.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+    }
+
+    /// Number of tracked pages.
+    pub fn tracked_pages(&self) -> usize {
+        self.read_counts.len()
+    }
+}
+
+/// The ReducedCell pool: LRU-ordered set of pages stored in reduced-state
+/// cells.
+#[derive(Debug, Clone)]
+pub struct ReducedCellPool {
+    capacity: u64,
+    next_seq: u64,
+    by_lpn: HashMap<u64, u64>,
+    by_seq: BTreeMap<u64, u64>,
+}
+
+/// Size of one ReducedCell pool metadata entry (paper §5: 4 bytes).
+pub const POOL_ENTRY_BYTES: u64 = 4;
+
+impl ReducedCellPool {
+    /// Creates a pool holding at most `capacity` pages.
+    pub fn new(capacity: u64) -> ReducedCellPool {
+        ReducedCellPool {
+            capacity,
+            next_seq: 0,
+            by_lpn: HashMap::new(),
+            by_seq: BTreeMap::new(),
+        }
+    }
+
+    /// Pages currently in the pool.
+    pub fn len(&self) -> u64 {
+        self.by_lpn.len() as u64
+    }
+
+    /// `true` when no pages are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.by_lpn.is_empty()
+    }
+
+    /// Maximum pages the pool may hold.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// `true` if `lpn` is stored in reduced-state cells.
+    pub fn contains(&self, lpn: u64) -> bool {
+        self.by_lpn.contains_key(&lpn)
+    }
+
+    /// Marks `lpn` as recently accessed.
+    pub fn touch(&mut self, lpn: u64) {
+        if let Some(old_seq) = self.by_lpn.get(&lpn).copied() {
+            self.by_seq.remove(&old_seq);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.by_seq.insert(seq, lpn);
+            self.by_lpn.insert(lpn, seq);
+        }
+    }
+
+    /// Inserts `lpn`, returning the evicted least-recently-used page if
+    /// the pool was full. Inserting an existing page just touches it.
+    pub fn insert(&mut self, lpn: u64) -> Option<u64> {
+        if self.contains(lpn) {
+            self.touch(lpn);
+            return None;
+        }
+        let evicted = if self.len() >= self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.by_seq.insert(seq, lpn);
+        self.by_lpn.insert(lpn, seq);
+        evicted
+    }
+
+    /// Removes and returns the least-recently-used page.
+    pub fn pop_lru(&mut self) -> Option<u64> {
+        let (&seq, &lpn) = self.by_seq.iter().next()?;
+        self.by_seq.remove(&seq);
+        self.by_lpn.remove(&lpn);
+        Some(lpn)
+    }
+
+    /// Removes a specific page (overwrite/trim).
+    pub fn remove(&mut self, lpn: u64) -> bool {
+        if let Some(seq) = self.by_lpn.remove(&lpn) {
+            self.by_seq.remove(&seq);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Metadata footprint of the pool at full occupancy (paper §5: 4-byte
+    /// entries; 32 GB of 16 KB reduced pages ⇒ 8 MB).
+    pub fn metadata_bytes(&self) -> u64 {
+        self.capacity * POOL_ENTRY_BYTES
+    }
+}
+
+/// A migration the FTL must perform on behalf of AccessEval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Migration {
+    /// Rewrite `lpn` into reduced-state pages.
+    PromoteToReduced {
+        /// The logical page to promote.
+        lpn: u64,
+    },
+    /// Rewrite `lpn` back into normal-state pages (pool eviction).
+    DemoteToNormal {
+        /// The logical page to demote.
+        lpn: u64,
+    },
+}
+
+/// Counters describing the controller's behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessEvalStats {
+    /// Reads evaluated.
+    pub reads: u64,
+    /// Reads that hit data already in reduced-state pages.
+    pub reduced_hits: u64,
+    /// Promotions into the pool.
+    pub promotions: u64,
+    /// Demotions out of the pool (LRU evictions).
+    pub demotions: u64,
+}
+
+/// Where a page's data currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Normal-state (4-level) pages.
+    Normal,
+    /// Reduced-state (3-level, ReduceCode) pages.
+    Reduced,
+}
+
+/// The AccessEval controller: identifier + pool + migration policy.
+///
+/// ```
+/// use flexlevel::{AccessEvalConfig, AccessEvalController, Migration, Placement};
+///
+/// let config = AccessEvalConfig::default().with_pool_pages(2);
+/// let mut ctrl = AccessEvalController::new(config);
+///
+/// // A cold read of cheap data stays in normal pages.
+/// let migrations = ctrl.on_read(7, 0, 6);
+/// assert!(migrations.is_empty());
+/// assert_eq!(ctrl.placement(7), Placement::Normal);
+///
+/// // Hot + expensive data gets promoted.
+/// for _ in 0..8 { ctrl.on_read(42, 4, 6); }
+/// assert_eq!(ctrl.placement(42), Placement::Reduced);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessEvalController {
+    identifier: HloIdentifier,
+    pool: ReducedCellPool,
+    stats: AccessEvalStats,
+}
+
+impl AccessEvalController {
+    /// Creates a controller with the given policy.
+    pub fn new(config: AccessEvalConfig) -> AccessEvalController {
+        AccessEvalController {
+            pool: ReducedCellPool::new(config.pool_pages),
+            identifier: HloIdentifier::new(config),
+            stats: AccessEvalStats::default(),
+        }
+    }
+
+    /// Processes a host read of `lpn` whose LDPC decode needed
+    /// `extra_levels` (of a schedule maximum `max_levels`) *if served from
+    /// normal pages*. Returns the migrations the FTL must perform.
+    pub fn on_read(&mut self, lpn: u64, extra_levels: u32, max_levels: u32) -> Vec<Migration> {
+        self.stats.reads += 1;
+        if self.pool.contains(lpn) {
+            self.stats.reduced_hits += 1;
+            self.pool.touch(lpn);
+            // Keep the frequency statistics warm for aging decisions.
+            self.identifier.record_read(lpn);
+            return Vec::new();
+        }
+        let mut migrations = Vec::new();
+        if self.identifier.evaluate(lpn, extra_levels, max_levels) {
+            if let Some(evicted) = self.pool.insert(lpn) {
+                self.stats.demotions += 1;
+                migrations.push(Migration::DemoteToNormal { lpn: evicted });
+            }
+            self.stats.promotions += 1;
+            migrations.push(Migration::PromoteToReduced { lpn });
+        }
+        migrations
+    }
+
+    /// Where `lpn` currently lives.
+    pub fn placement(&self, lpn: u64) -> Placement {
+        if self.pool.contains(lpn) {
+            Placement::Reduced
+        } else {
+            Placement::Normal
+        }
+    }
+
+    /// Notifies the controller that `lpn` was overwritten or trimmed.
+    /// Returns `true` if the page was occupying pool space.
+    pub fn on_invalidate(&mut self, lpn: u64) -> bool {
+        self.identifier.invalidate(lpn);
+        self.pool.remove(lpn)
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> AccessEvalStats {
+        self.stats
+    }
+
+    /// The ReducedCell pool.
+    pub fn pool(&self) -> &ReducedCellPool {
+        &self.pool
+    }
+
+    /// The HLO identifier.
+    pub fn identifier(&self) -> &HloIdentifier {
+        &self.identifier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(pool: u64) -> AccessEvalConfig {
+        AccessEvalConfig {
+            freq_levels: 2,
+            sensing_buckets: 2,
+            overhead_threshold: 2,
+            pool_pages: pool,
+            hot_read_threshold: 4,
+            aging_period: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn paper_config_pool_size() {
+        let cfg = AccessEvalConfig::paper(16 * 1024);
+        // 64 GB of 16 KB pages.
+        assert_eq!(cfg.pool_pages, 4 * 1024 * 1024);
+        assert_eq!(cfg.freq_levels, 2);
+        assert_eq!(cfg.sensing_buckets, 2);
+    }
+
+    #[test]
+    fn metadata_budget_matches_paper() {
+        // Paper §5: 32 GB of reduced pages at 16 KB/page and 4 B/entry
+        // costs 8 MB of metadata.
+        let pool = ReducedCellPool::new(32 * (1u64 << 30) / (16 * 1024));
+        assert_eq!(pool.metadata_bytes(), 8 * (1 << 20));
+    }
+
+    #[test]
+    fn freq_levels_grow_with_reads() {
+        let mut id = HloIdentifier::new(small_config(8));
+        assert_eq!(id.freq_level(1), 1);
+        for _ in 0..3 {
+            id.record_read(1);
+        }
+        assert_eq!(id.freq_level(1), 1, "below threshold stays cold");
+        id.record_read(1);
+        assert_eq!(id.freq_level(1), 2, "threshold reached");
+    }
+
+    #[test]
+    fn sensing_buckets() {
+        let id = HloIdentifier::new(small_config(8));
+        assert_eq!(id.sensing_bucket(0, 6), 1, "hard decision is cheap");
+        assert_eq!(id.sensing_bucket(1, 6), 1, "lower half stays bucket 1");
+        assert_eq!(id.sensing_bucket(3, 6), 1);
+        assert_eq!(id.sensing_bucket(4, 6), 2, "upper half is expensive");
+        assert_eq!(id.sensing_bucket(6, 6), 2);
+        // Degenerate cases.
+        assert_eq!(id.sensing_bucket(3, 0), 1);
+    }
+
+    #[test]
+    fn overhead_is_product() {
+        let id = HloIdentifier::new(small_config(8));
+        assert_eq!(id.overhead(2, 2), 4);
+        assert_eq!(id.overhead(1, 2), 2);
+        assert_eq!(id.overhead(2, 1), 2);
+        assert_eq!(id.overhead(1, 1), 1);
+    }
+
+    #[test]
+    fn only_hot_and_expensive_is_hlo() {
+        let mut id = HloIdentifier::new(small_config(8));
+        // Cold + expensive: overhead 1×2 = 2, not > 2.
+        assert!(!id.evaluate(1, 4, 6));
+        // Hot + cheap: overhead 2×1 = 2, not > 2.
+        for _ in 0..10 {
+            id.record_read(2);
+        }
+        assert!(!id.evaluate(2, 0, 6));
+        // Hot + expensive: overhead 4 > 2.
+        for _ in 0..10 {
+            id.record_read(3);
+        }
+        assert!(id.evaluate(3, 4, 6));
+    }
+
+    #[test]
+    fn aging_halves_counters() {
+        let mut id = HloIdentifier::new(small_config(8));
+        for _ in 0..8 {
+            id.record_read(1);
+        }
+        id.record_read(2);
+        assert_eq!(id.tracked_pages(), 2);
+        id.age();
+        assert_eq!(id.freq_level(1), 2, "8/2 = 4 still hot");
+        assert_eq!(id.tracked_pages(), 1, "1/2 = 0 dropped");
+        id.age();
+        assert_eq!(id.freq_level(1), 1, "4/2 = 2 cooled off");
+    }
+
+    #[test]
+    fn pool_lru_eviction_order() {
+        let mut pool = ReducedCellPool::new(2);
+        assert!(pool.is_empty());
+        assert_eq!(pool.insert(1), None);
+        assert_eq!(pool.insert(2), None);
+        // Touch 1 so 2 becomes LRU.
+        pool.touch(1);
+        assert_eq!(pool.insert(3), Some(2));
+        assert!(pool.contains(1));
+        assert!(pool.contains(3));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn pool_reinsert_touches() {
+        let mut pool = ReducedCellPool::new(2);
+        pool.insert(1);
+        pool.insert(2);
+        // Re-inserting 1 must not evict, only refresh recency.
+        assert_eq!(pool.insert(1), None);
+        assert_eq!(pool.insert(3), Some(2));
+    }
+
+    #[test]
+    fn pool_remove() {
+        let mut pool = ReducedCellPool::new(2);
+        pool.insert(1);
+        assert!(pool.remove(1));
+        assert!(!pool.remove(1));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn touch_of_absent_page_is_noop() {
+        let mut pool = ReducedCellPool::new(2);
+        pool.touch(99);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn controller_promotes_hot_expensive_data() {
+        let mut ctrl = AccessEvalController::new(small_config(4));
+        // Warm up LPN 5 past the hot threshold with expensive reads.
+        let mut promoted = false;
+        for _ in 0..8 {
+            let migs = ctrl.on_read(5, 4, 6);
+            if migs
+                .iter()
+                .any(|m| matches!(m, Migration::PromoteToReduced { lpn: 5 }))
+            {
+                promoted = true;
+            }
+        }
+        assert!(promoted);
+        assert_eq!(ctrl.placement(5), Placement::Reduced);
+        assert_eq!(ctrl.stats().promotions, 1);
+        // Subsequent reads hit the pool and need no migration.
+        assert!(ctrl.on_read(5, 4, 6).is_empty());
+        assert!(ctrl.stats().reduced_hits >= 1);
+    }
+
+    #[test]
+    fn controller_demotes_lru_when_full() {
+        let mut ctrl = AccessEvalController::new(small_config(1));
+        for _ in 0..8 {
+            ctrl.on_read(1, 4, 6);
+        }
+        assert_eq!(ctrl.placement(1), Placement::Reduced);
+        for _ in 0..8 {
+            ctrl.on_read(2, 4, 6);
+        }
+        // Pool holds one page: promoting 2 demoted 1.
+        assert_eq!(ctrl.placement(2), Placement::Reduced);
+        assert_eq!(ctrl.placement(1), Placement::Normal);
+        assert_eq!(ctrl.stats().demotions, 1);
+    }
+
+    #[test]
+    fn controller_invalidate_frees_pool_space() {
+        let mut ctrl = AccessEvalController::new(small_config(1));
+        for _ in 0..8 {
+            ctrl.on_read(1, 4, 6);
+        }
+        assert!(ctrl.on_invalidate(1));
+        assert_eq!(ctrl.placement(1), Placement::Normal);
+        assert!(!ctrl.on_invalidate(1), "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn cheap_reads_never_migrate() {
+        let mut ctrl = AccessEvalController::new(small_config(4));
+        for lpn in 0..100 {
+            assert!(ctrl.on_read(lpn, 0, 6).is_empty());
+        }
+        assert_eq!(ctrl.stats().promotions, 0);
+        assert!(ctrl.pool().is_empty());
+    }
+}

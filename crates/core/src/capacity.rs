@@ -1,0 +1,113 @@
+//! Capacity-loss accounting for LevelAdjust (paper §4.3, §5).
+//!
+//! Reduced-state cells store 3 bits per 2 cells instead of 4 — a 25 %
+//! density loss on whatever raw capacity operates in reduced mode. The
+//! ReducedCell pool bounds that exposure: with the paper's 64 GB pool on a
+//! 256 GB device the worst-case device-level loss is
+//! `64 × 25 % / 256 = 6.25 % ≈ 6 %`.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of raw capacity lost by cells operating in reduced mode.
+pub const REDUCED_MODE_LOSS: f64 = 0.25;
+
+/// Capacity accounting for a FlexLevel deployment.
+///
+/// ```
+/// use flexlevel::CapacityModel;
+///
+/// // The paper's 64 GB pool on a 256 GB device: ≈6% loss.
+/// let m = CapacityModel::paper();
+/// assert!((m.loss_fraction() - 0.0625).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityModel {
+    /// Total raw device bytes.
+    pub device_bytes: u64,
+    /// Raw bytes eligible for reduced-mode operation (the pool bound).
+    pub pool_bytes: u64,
+}
+
+impl CapacityModel {
+    /// The paper's evaluation setup: 256 GB device, 64 GB pool.
+    pub fn paper() -> CapacityModel {
+        CapacityModel {
+            device_bytes: 256 * (1 << 30),
+            pool_bytes: 64 * (1 << 30),
+        }
+    }
+
+    /// Creates a model, clamping the pool to the device size.
+    pub fn new(device_bytes: u64, pool_bytes: u64) -> CapacityModel {
+        CapacityModel {
+            device_bytes,
+            pool_bytes: pool_bytes.min(device_bytes),
+        }
+    }
+
+    /// Bytes of storage lost when the pool fully operates in reduced mode.
+    pub fn lost_bytes(&self) -> u64 {
+        (self.pool_bytes as f64 * REDUCED_MODE_LOSS) as u64
+    }
+
+    /// Device-level capacity-loss fraction with the pool fully reduced.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.device_bytes == 0 {
+            return 0.0;
+        }
+        self.lost_bytes() as f64 / self.device_bytes as f64
+    }
+
+    /// Capacity-loss fraction if LevelAdjust were applied to the whole
+    /// device (the "LevelAdjust-only" configuration) — always 25 %.
+    pub fn unrestricted_loss_fraction(&self) -> f64 {
+        REDUCED_MODE_LOSS
+    }
+
+    /// Logical bytes the pool region can store in reduced mode.
+    pub fn pool_logical_bytes(&self) -> u64 {
+        self.pool_bytes - self.lost_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let m = CapacityModel::paper();
+        // 64 GB × 25% = 16 GB lost of 256 GB ⇒ 6.25 % ≈ the paper's "6 %".
+        assert_eq!(m.lost_bytes(), 16 * (1 << 30));
+        assert!((m.loss_fraction() - 0.0625).abs() < 1e-12);
+        assert!(m.loss_fraction() < 0.07);
+        assert_eq!(m.unrestricted_loss_fraction(), 0.25);
+    }
+
+    #[test]
+    fn accesseval_reduces_loss_from_25_to_6_percent() {
+        // The abstract's claim in one assertion.
+        let unrestricted = CapacityModel::new(256 << 30, 256 << 30);
+        let pooled = CapacityModel::paper();
+        assert!((unrestricted.loss_fraction() - 0.25).abs() < 1e-12);
+        assert!(pooled.loss_fraction() < 0.07);
+    }
+
+    #[test]
+    fn pool_clamped_to_device() {
+        let m = CapacityModel::new(100, 200);
+        assert_eq!(m.pool_bytes, 100);
+    }
+
+    #[test]
+    fn pool_logical_bytes() {
+        let m = CapacityModel::paper();
+        assert_eq!(m.pool_logical_bytes(), 48 * (1 << 30));
+    }
+
+    #[test]
+    fn zero_device_degenerate() {
+        let m = CapacityModel::new(0, 0);
+        assert_eq!(m.loss_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! LevelAdjust: the reduced-state program algorithm and mode switching
+//! (paper §4.1, Table 2, Figure 3).
+//!
+//! Under the ReduceCode bitline structure the original MLC two-step
+//! program no longer applies; LevelAdjust defines its own two-step
+//! algorithm over cell *pairs*:
+//!
+//! 1. **First step** — the two LSBs (the lower page for even pairs, the
+//!    middle page for odd pairs) move each cell of the pair to level 0 or
+//!    1 directly (`Vth` transitions `0→1` per Table 2's first four rows).
+//! 2. **Second step** — the MSB (upper page, all bitlines selected). MSB 0
+//!    stops the transition; MSB 1 drives the pair to its final Table 1
+//!    combination (`0→2` / `1→2` transitions per Table 2's last four rows).
+//!
+//! The state machine here verifies the algorithm lands every symbol on
+//! exactly the ReduceCode (Table 1) level pair.
+
+use flash_model::{Bit, CellMode, VthLevel};
+use serde::{Deserialize, Serialize};
+
+use crate::reduce_code::ReduceCode;
+
+/// Program-sequence state of one reduced-state cell pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PairProgramState {
+    /// Erased; both cells at level 0.
+    #[default]
+    Erased,
+    /// First step done: LSBs stored, cells at levels 0/1.
+    LsbsProgrammed {
+        /// LSB controlling cell I (bit 1 of the symbol).
+        lsb1: Bit,
+        /// LSB controlling cell II (bit 0 of the symbol).
+        lsb0: Bit,
+    },
+    /// Both steps done; the pair holds a final level combination.
+    Programmed {
+        /// Level of cell I.
+        first: VthLevel,
+        /// Level of cell II.
+        second: VthLevel,
+    },
+}
+
+/// Errors from out-of-order reduced-pair programming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairProgramError {
+    /// LSBs programmed twice without an erase.
+    LsbsAlreadyProgrammed,
+    /// MSB programmed before the LSBs.
+    MsbBeforeLsbs,
+    /// MSB programmed twice without an erase.
+    MsbAlreadyProgrammed,
+}
+
+impl std::fmt::Display for PairProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PairProgramError::LsbsAlreadyProgrammed => {
+                write!(f, "LSB page already programmed since last erase")
+            }
+            PairProgramError::MsbBeforeLsbs => {
+                write!(f, "MSB page programmed before the LSB page")
+            }
+            PairProgramError::MsbAlreadyProgrammed => {
+                write!(f, "MSB page already programmed since last erase")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PairProgramError {}
+
+/// A reduced-state cell pair driven by the Table 2 program algorithm.
+///
+/// ```
+/// use flexlevel::{ReducedCellPair, ReduceCode};
+/// use flash_model::{Bit, VthLevel};
+///
+/// # fn main() -> Result<(), flexlevel::PairProgramError> {
+/// let mut pair = ReducedCellPair::new();
+/// // Store value 0b101: LSBs (0, 1), MSB 1.
+/// pair.program_lsbs(Bit::ZERO, Bit::ONE)?;
+/// pair.program_msb(Bit::ONE)?;
+/// assert_eq!(pair.levels(), Some((VthLevel::ERASED, VthLevel::L2)));
+/// assert_eq!(pair.read_value(), 0b101);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReducedCellPair {
+    state: PairProgramState,
+}
+
+impl ReducedCellPair {
+    /// A fresh, erased pair.
+    pub fn new() -> ReducedCellPair {
+        ReducedCellPair {
+            state: PairProgramState::Erased,
+        }
+    }
+
+    /// Current program state.
+    pub fn state(&self) -> PairProgramState {
+        self.state
+    }
+
+    /// Erase: both cells back to level 0.
+    pub fn erase(&mut self) {
+        self.state = PairProgramState::Erased;
+    }
+
+    /// First program step: stores the two LSBs (`lsb1` drives cell I,
+    /// `lsb0` drives cell II — Table 2 rows 1–4: the cell moves `0→1`
+    /// exactly when its LSB is 1).
+    ///
+    /// # Errors
+    ///
+    /// [`PairProgramError::LsbsAlreadyProgrammed`] if already past the
+    /// first step.
+    pub fn program_lsbs(&mut self, lsb1: Bit, lsb0: Bit) -> Result<(), PairProgramError> {
+        match self.state {
+            PairProgramState::Erased => {
+                self.state = PairProgramState::LsbsProgrammed { lsb1, lsb0 };
+                Ok(())
+            }
+            _ => Err(PairProgramError::LsbsAlreadyProgrammed),
+        }
+    }
+
+    /// Second program step: stores the MSB (Table 2 rows 5–8). MSB 0 stops
+    /// the `Vth` transition; MSB 1 drives the pair to its final ReduceCode
+    /// combination.
+    ///
+    /// # Errors
+    ///
+    /// [`PairProgramError::MsbBeforeLsbs`] or
+    /// [`PairProgramError::MsbAlreadyProgrammed`] on ordering violations.
+    pub fn program_msb(&mut self, msb: Bit) -> Result<(), PairProgramError> {
+        let PairProgramState::LsbsProgrammed { lsb1, lsb0 } = self.state else {
+            return Err(match self.state {
+                PairProgramState::Erased => PairProgramError::MsbBeforeLsbs,
+                _ => PairProgramError::MsbAlreadyProgrammed,
+            });
+        };
+        let value = (u16::from(u8::from(msb)) << 2)
+            | (u16::from(u8::from(lsb1)) << 1)
+            | u16::from(u8::from(lsb0));
+        let (first, second) = if msb.is_one() {
+            // Table 2, MSB = 1 rows: 00→(2,2), 01→(0,2), 10→(2,0), 11→(2,1).
+            match (lsb1.is_one(), lsb0.is_one()) {
+                (false, false) => (VthLevel::L2, VthLevel::L2),
+                (false, true) => (VthLevel::ERASED, VthLevel::L2),
+                (true, false) => (VthLevel::L2, VthLevel::ERASED),
+                (true, true) => (VthLevel::L2, VthLevel::L1),
+            }
+        } else {
+            // MSB = 0: Vth transition stops; levels stay where the first
+            // step put them (the LSB bits as levels 0/1).
+            (
+                VthLevel::new(u8::from(lsb1)),
+                VthLevel::new(u8::from(lsb0)),
+            )
+        };
+        debug_assert_eq!(
+            (first, second),
+            ReduceCode::encode_value(value),
+            "Table 2 must land on the Table 1 combination for {value:03b}"
+        );
+        self.state = PairProgramState::Programmed { first, second };
+        Ok(())
+    }
+
+    /// The final level combination, once fully programmed.
+    pub fn levels(&self) -> Option<(VthLevel, VthLevel)> {
+        match self.state {
+            PairProgramState::Programmed { first, second } => Some((first, second)),
+            _ => None,
+        }
+    }
+
+    /// Reads the stored 3-bit value through ReduceCode. Partially
+    /// programmed pairs read through their current physical levels
+    /// (erased pairs read 0b000 = levels (0,0)).
+    pub fn read_value(&self) -> u16 {
+        let (first, second) = match self.state {
+            PairProgramState::Erased => (VthLevel::ERASED, VthLevel::ERASED),
+            PairProgramState::LsbsProgrammed { lsb1, lsb0 } => (
+                VthLevel::new(u8::from(lsb1)),
+                VthLevel::new(u8::from(lsb0)),
+            ),
+            PairProgramState::Programmed { first, second } => (first, second),
+        };
+        ReduceCode::decode_levels(first, second)
+    }
+}
+
+/// Mode bookkeeping for a block that can switch between normal MLC and
+/// reduced (LevelAdjust) operation.
+///
+/// A block's mode can only change through an erase — flash cells cannot be
+/// re-encoded in place — which is exactly how the AccessEval controller
+/// migrates data between modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeSwitch {
+    mode: CellMode,
+    erased: bool,
+}
+
+impl ModeSwitch {
+    /// A freshly erased block in normal mode.
+    pub fn new() -> ModeSwitch {
+        ModeSwitch {
+            mode: CellMode::Normal,
+            erased: true,
+        }
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> CellMode {
+        self.mode
+    }
+
+    /// `true` while the block is erased (mode changes allowed).
+    pub fn is_erased(&self) -> bool {
+        self.erased
+    }
+
+    /// Marks the block programmed (locks the mode until erase).
+    pub fn mark_programmed(&mut self) {
+        self.erased = false;
+    }
+
+    /// Erases the block, unlocking mode changes.
+    pub fn erase(&mut self) {
+        self.erased = true;
+    }
+
+    /// Switches the operating mode. Only legal on an erased block.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(ModeLockedError)` if the block holds programmed data.
+    pub fn set_mode(&mut self, mode: CellMode) -> Result<(), ModeLockedError> {
+        if !self.erased {
+            return Err(ModeLockedError);
+        }
+        self.mode = mode;
+        Ok(())
+    }
+}
+
+impl Default for ModeSwitch {
+    fn default() -> ModeSwitch {
+        ModeSwitch::new()
+    }
+}
+
+/// Error: attempted to change a block's cell mode while it holds data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeLockedError;
+
+impl std::fmt::Display for ModeLockedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell mode can only change on an erased block")
+    }
+}
+
+impl std::error::Error for ModeLockedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(value: u16) -> ReducedCellPair {
+        let mut pair = ReducedCellPair::new();
+        let msb = Bit::from(value & 0b100 != 0);
+        let lsb1 = Bit::from(value & 0b010 != 0);
+        let lsb0 = Bit::from(value & 0b001 != 0);
+        pair.program_lsbs(lsb1, lsb0).unwrap();
+        pair.program_msb(msb).unwrap();
+        pair
+    }
+
+    #[test]
+    fn all_symbols_land_on_table1() {
+        for value in 0..8u16 {
+            let pair = program(value);
+            assert_eq!(
+                pair.levels(),
+                Some(ReduceCode::encode_value(value)),
+                "value {value:03b}"
+            );
+            assert_eq!(pair.read_value(), value);
+        }
+    }
+
+    #[test]
+    fn table2_vth_transitions() {
+        // Spot-check the ΔVth columns of Table 2.
+        // 1st program "11": both cells 0→1.
+        let mut pair = ReducedCellPair::new();
+        pair.program_lsbs(Bit::ONE, Bit::ONE).unwrap();
+        assert_eq!(
+            pair.state(),
+            PairProgramState::LsbsProgrammed {
+                lsb1: Bit::ONE,
+                lsb0: Bit::ONE
+            }
+        );
+        // 2nd program MSB=1 on "11": cell I 1→2, cell II stays 1 → (2,1).
+        pair.program_msb(Bit::ONE).unwrap();
+        assert_eq!(pair.levels(), Some((VthLevel::L2, VthLevel::L1)));
+
+        // 2nd program MSB=1 on "00": both 0→2.
+        let mut pair = ReducedCellPair::new();
+        pair.program_lsbs(Bit::ZERO, Bit::ZERO).unwrap();
+        pair.program_msb(Bit::ONE).unwrap();
+        assert_eq!(pair.levels(), Some((VthLevel::L2, VthLevel::L2)));
+    }
+
+    #[test]
+    fn msb_zero_stops_transition() {
+        // MSB = 0 keeps the first-step levels.
+        let mut pair = ReducedCellPair::new();
+        pair.program_lsbs(Bit::ONE, Bit::ZERO).unwrap();
+        pair.program_msb(Bit::ZERO).unwrap();
+        assert_eq!(pair.levels(), Some((VthLevel::L1, VthLevel::ERASED)));
+    }
+
+    #[test]
+    fn ordering_enforced() {
+        let mut pair = ReducedCellPair::new();
+        assert_eq!(
+            pair.program_msb(Bit::ONE),
+            Err(PairProgramError::MsbBeforeLsbs)
+        );
+        pair.program_lsbs(Bit::ONE, Bit::ONE).unwrap();
+        assert_eq!(
+            pair.program_lsbs(Bit::ZERO, Bit::ZERO),
+            Err(PairProgramError::LsbsAlreadyProgrammed)
+        );
+        pair.program_msb(Bit::ZERO).unwrap();
+        assert_eq!(
+            pair.program_msb(Bit::ONE),
+            Err(PairProgramError::MsbAlreadyProgrammed)
+        );
+        pair.erase();
+        assert_eq!(pair.state(), PairProgramState::Erased);
+        assert!(pair.program_lsbs(Bit::ZERO, Bit::ONE).is_ok());
+    }
+
+    #[test]
+    fn partial_reads() {
+        let mut pair = ReducedCellPair::new();
+        assert_eq!(pair.read_value(), 0b000);
+        pair.program_lsbs(Bit::ONE, Bit::ONE).unwrap();
+        // Levels (1,1) decode as 011 before the MSB lands.
+        assert_eq!(pair.read_value(), 0b011);
+        assert_eq!(pair.levels(), None);
+    }
+
+    #[test]
+    fn mode_switch_requires_erase() {
+        let mut sw = ModeSwitch::new();
+        assert_eq!(sw.mode(), CellMode::Normal);
+        assert!(sw.set_mode(CellMode::Reduced).is_ok());
+        assert_eq!(sw.mode(), CellMode::Reduced);
+        sw.mark_programmed();
+        assert_eq!(sw.set_mode(CellMode::Normal), Err(ModeLockedError));
+        assert_eq!(sw.mode(), CellMode::Reduced, "mode unchanged on failure");
+        sw.erase();
+        assert!(sw.set_mode(CellMode::Normal).is_ok());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(ModeLockedError.to_string().contains("erased"));
+        assert!(PairProgramError::MsbBeforeLsbs.to_string().contains("before"));
+    }
+}

@@ -1,0 +1,249 @@
+//! NUNMA: non-uniform noise margin adjustment (paper §4.2, Table 3).
+//!
+//! A reduced-state (3-level) cell has two programmed levels. Retention
+//! charge loss grows with a level's height above the erased state, so the
+//! top level fails first; NUNMA counters this by raising the program verify
+//! voltages — more for level 2 than level 1 — which shifts each programmed
+//! distribution upward *without* moving the read references. Retention
+//! margins widen at the cost of cell-to-cell interference margin, a good
+//! trade precisely because retention errors dominate at high P/E counts.
+//!
+//! Table 3 of the paper explores three configurations; NUNMA 3 (the most
+//! aggressive) keeps both C2C and retention BER below the 4 × 10⁻³ limit
+//! that triggers extra LDPC sensing levels, and is the configuration
+//! FlexLevel deploys in reduced-state cells.
+
+use flash_model::{LevelConfig, Volts};
+use serde::{Deserialize, Serialize};
+
+/// One reduced-state voltage configuration (a row of Table 3).
+///
+/// ```
+/// use flexlevel::NunmaConfig;
+///
+/// // NUNMA 3 allocates the top level a 150 mV retention margin.
+/// let n3 = NunmaConfig::nunma3();
+/// assert!(n3.is_non_uniform());
+/// assert!((n3.retention_margin2().as_f64() - 0.15).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NunmaConfig {
+    /// ISPP program pulse `Vpp`.
+    pub vpp: Volts,
+    /// Program verify voltage of level 1.
+    pub verify1: Volts,
+    /// Program verify voltage of level 2.
+    pub verify2: Volts,
+    /// Read reference between levels 0 and 1.
+    pub read_ref1: Volts,
+    /// Read reference between levels 1 and 2.
+    pub read_ref2: Volts,
+}
+
+impl NunmaConfig {
+    /// Table 3, row "NUNMA 1": verify voltages just above the references
+    /// (uniform small margins).
+    pub fn nunma1() -> NunmaConfig {
+        NunmaConfig {
+            vpp: Volts(0.15),
+            verify1: Volts(2.71),
+            verify2: Volts(3.61),
+            read_ref1: Volts(2.65),
+            read_ref2: Volts(3.55),
+        }
+    }
+
+    /// Table 3, row "NUNMA 2": slightly non-uniform (level 2 gets a 100 mV
+    /// retention margin, level 1 stays at 50 mV).
+    pub fn nunma2() -> NunmaConfig {
+        NunmaConfig {
+            vpp: Volts(0.15),
+            verify1: Volts(2.70),
+            verify2: Volts(3.65),
+            read_ref1: Volts(2.65),
+            read_ref2: Volts(3.55),
+        }
+    }
+
+    /// Table 3, row "NUNMA 3": the aggressive allocation FlexLevel deploys
+    /// (100 mV / 150 mV retention margins).
+    pub fn nunma3() -> NunmaConfig {
+        NunmaConfig {
+            vpp: Volts(0.15),
+            verify1: Volts(2.75),
+            verify2: Volts(3.70),
+            read_ref1: Volts(2.65),
+            read_ref2: Volts(3.55),
+        }
+    }
+
+    /// All three Table 3 rows with their paper labels.
+    pub fn paper_rows() -> [(&'static str, NunmaConfig); 3] {
+        [
+            ("NUNMA 1", NunmaConfig::nunma1()),
+            ("NUNMA 2", NunmaConfig::nunma2()),
+            ("NUNMA 3", NunmaConfig::nunma3()),
+        ]
+    }
+
+    /// Converts this configuration into a three-level [`LevelConfig`] for
+    /// the reliability models.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the Table 3 voltages were edited into an inconsistent
+    /// state (verify below read reference).
+    pub fn level_config(&self) -> LevelConfig {
+        LevelConfig::new(
+            vec![self.read_ref1, self.read_ref2],
+            vec![self.verify1, self.verify2],
+            Volts(1.1),
+            self.vpp,
+        )
+        .expect("NUNMA voltages are consistent")
+    }
+
+    /// Retention noise margin of level 1 (verify − lower read reference).
+    pub fn retention_margin1(&self) -> Volts {
+        self.verify1 - self.read_ref1
+    }
+
+    /// Retention noise margin of level 2.
+    pub fn retention_margin2(&self) -> Volts {
+        self.verify2 - self.read_ref2
+    }
+
+    /// `true` if the allocation is non-uniform (level 2 margin exceeds
+    /// level 1 margin) — the defining property of NUNMA over the basic
+    /// LevelAdjust.
+    pub fn is_non_uniform(&self) -> bool {
+        self.retention_margin2() > self.retention_margin1()
+    }
+}
+
+/// Which reduced-state voltage scheme a FlexLevel deployment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NunmaScheme {
+    /// Table 3 row 1.
+    Nunma1,
+    /// Table 3 row 2.
+    Nunma2,
+    /// Table 3 row 3 (the paper's deployed configuration).
+    Nunma3,
+}
+
+impl NunmaScheme {
+    /// The voltage configuration of this scheme.
+    pub fn config(self) -> NunmaConfig {
+        match self {
+            NunmaScheme::Nunma1 => NunmaConfig::nunma1(),
+            NunmaScheme::Nunma2 => NunmaConfig::nunma2(),
+            NunmaScheme::Nunma3 => NunmaConfig::nunma3(),
+        }
+    }
+
+    /// Paper label of this scheme.
+    pub fn label(self) -> &'static str {
+        match self {
+            NunmaScheme::Nunma1 => "NUNMA 1",
+            NunmaScheme::Nunma2 => "NUNMA 2",
+            NunmaScheme::Nunma3 => "NUNMA 3",
+        }
+    }
+}
+
+impl Default for NunmaScheme {
+    /// The paper deploys NUNMA 3 in its AccessEval evaluation (§6.2).
+    fn default() -> NunmaScheme {
+        NunmaScheme::Nunma3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_model::VthLevel;
+
+    #[test]
+    fn table3_values() {
+        let n1 = NunmaConfig::nunma1();
+        assert_eq!(n1.vpp, Volts(0.15));
+        assert_eq!(n1.verify1, Volts(2.71));
+        assert_eq!(n1.verify2, Volts(3.61));
+        assert_eq!(n1.read_ref1, Volts(2.65));
+        assert_eq!(n1.read_ref2, Volts(3.55));
+        let n2 = NunmaConfig::nunma2();
+        assert_eq!(n2.verify1, Volts(2.70));
+        assert_eq!(n2.verify2, Volts(3.65));
+        let n3 = NunmaConfig::nunma3();
+        assert_eq!(n3.verify1, Volts(2.75));
+        assert_eq!(n3.verify2, Volts(3.70));
+        // All rows share the read references.
+        for (_, cfg) in NunmaConfig::paper_rows() {
+            assert_eq!(cfg.read_ref1, Volts(2.65));
+            assert_eq!(cfg.read_ref2, Volts(3.55));
+        }
+    }
+
+    #[test]
+    fn margins_ordered_across_rows() {
+        let m1 = NunmaConfig::nunma1().retention_margin2();
+        let m2 = NunmaConfig::nunma2().retention_margin2();
+        let m3 = NunmaConfig::nunma3().retention_margin2();
+        assert!(m1 < m2 && m2 < m3, "level-2 margins must grow 1 → 3");
+    }
+
+    #[test]
+    fn non_uniformity() {
+        // NUNMA 1 is (nearly) uniform; 2 and 3 favour level 2.
+        assert!(!NunmaConfig::nunma1().is_non_uniform());
+        assert!(NunmaConfig::nunma2().is_non_uniform());
+        assert!(NunmaConfig::nunma3().is_non_uniform());
+    }
+
+    #[test]
+    fn level_config_is_three_level() {
+        for (_, cfg) in NunmaConfig::paper_rows() {
+            let lc = cfg.level_config();
+            assert_eq!(lc.level_count(), 3);
+            assert_eq!(lc.verify_voltage(VthLevel::L1), Some(cfg.verify1));
+            assert_eq!(lc.verify_voltage(VthLevel::L2), Some(cfg.verify2));
+        }
+    }
+
+    #[test]
+    fn nunma_retention_ber_beats_baseline() {
+        // The device-level premise of LevelAdjust: every NUNMA row has a
+        // lower retention BER than the baseline MLC cell, and the rows are
+        // strictly ordered 1 > 2 > 3, at every Table 4 stress point.
+        use flash_model::Hours;
+        use reliability::{analytic, ProgramModel, RetentionModel};
+
+        let baseline = LevelConfig::normal_mlc();
+        let program = ProgramModel::default();
+        let retention = RetentionModel::paper();
+        for pe in [2000u32, 4000, 6000] {
+            for time in [Hours::days(1.0), Hours::months(1.0)] {
+                let stress = Some((&retention, pe, time));
+                let base = analytic::estimate(&baseline, &program, None, stress, 2.0).ber;
+                let rows: Vec<f64> = NunmaConfig::paper_rows()
+                    .iter()
+                    .map(|(_, cfg)| {
+                        analytic::estimate(&cfg.level_config(), &program, None, stress, 1.5).ber
+                    })
+                    .collect();
+                assert!(
+                    base > rows[0] && rows[0] > rows[1] && rows[1] > rows[2],
+                    "ordering violated at pe={pe} t={time}: base={base:.3e} rows={rows:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_accessors() {
+        assert_eq!(NunmaScheme::default(), NunmaScheme::Nunma3);
+        assert_eq!(NunmaScheme::Nunma1.label(), "NUNMA 1");
+        assert_eq!(NunmaScheme::Nunma2.config(), NunmaConfig::nunma2());
+    }
+}

@@ -1,0 +1,231 @@
+//! ReduceCode: 3 bits in two 3-level cells (paper §4.1, Table 1).
+//!
+//! A reduced-state cell has three `Vth` levels, so a *pair* of cells spans
+//! nine level combinations — enough for 3 bits using eight of them. Like
+//! Gray code, the mapping is chosen so a single-level distortion in either
+//! cell usually flips exactly one data bit.
+//!
+//! Table 1 of the paper:
+//!
+//! | value | VthI | VthII |   | value | VthI | VthII |
+//! |-------|------|-------|---|-------|------|-------|
+//! | 000   | 0    | 0     |   | 100   | 2    | 2     |
+//! | 001   | 0    | 1     |   | 101   | 0    | 2     |
+//! | 010   | 1    | 0     |   | 110   | 2    | 0     |
+//! | 011   | 1    | 1     |   | 111   | 2    | 1     |
+//!
+//! The ninth combination `(1, 2)` never appears in programmed data; on
+//! read it is decoded as `101` (= `(0, 2)`), the choice that minimises the
+//! total bit errors over all one-level distortions that can land there.
+
+use flash_model::VthLevel;
+use reliability::SymbolCodec;
+use serde::{Deserialize, Serialize};
+
+/// Bit layout of a ReduceCode symbol: bit 2 is the MSB (upper page), bits
+/// 1 and 0 are the two LSBs (lower/middle page) controlling cell I and
+/// cell II respectively in the first program step.
+pub const REDUCE_CODE_BITS: u32 = 3;
+
+/// Table 1: `TABLE[value] = (VthI, VthII)`.
+const ENCODE_TABLE: [(u8, u8); 8] = [
+    (0, 0), // 000
+    (0, 1), // 001
+    (1, 0), // 010
+    (1, 1), // 011
+    (2, 2), // 100
+    (0, 2), // 101
+    (2, 0), // 110
+    (2, 1), // 111
+];
+
+/// The ReduceCode codec for reduced-state cell pairs.
+///
+/// Implements [`SymbolCodec`] so the Monte-Carlo BER engine of the
+/// `reliability` crate can measure reduced-state bit error rates directly.
+///
+/// ```
+/// use flexlevel::ReduceCode;
+/// use reliability::SymbolCodec;
+/// use flash_model::VthLevel;
+///
+/// let codec = ReduceCode;
+/// let mut cells = [VthLevel::ERASED; 2];
+/// codec.encode(0b101, &mut cells);
+/// assert_eq!(cells, [VthLevel::ERASED, VthLevel::L2]);
+/// assert_eq!(codec.decode(&cells), 0b101);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReduceCode;
+
+impl ReduceCode {
+    /// Decodes a level pair, mapping the unused `(1, 2)` combination to
+    /// `101` (see module docs).
+    pub fn decode_levels(first: VthLevel, second: VthLevel) -> u16 {
+        let pair = (first.index(), second.index());
+        for (value, &t) in ENCODE_TABLE.iter().enumerate() {
+            if t == pair {
+                return value as u16;
+            }
+        }
+        debug_assert_eq!(pair, (1, 2), "only (1,2) is outside Table 1");
+        0b101
+    }
+
+    /// Encodes a 3-bit value into its level pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= 8`.
+    pub fn encode_value(value: u16) -> (VthLevel, VthLevel) {
+        assert!(value < 8, "ReduceCode symbol out of range: {value}");
+        let (a, b) = ENCODE_TABLE[value as usize];
+        (VthLevel::new(a), VthLevel::new(b))
+    }
+}
+
+impl SymbolCodec for ReduceCode {
+    fn bits_per_symbol(&self) -> u32 {
+        REDUCE_CODE_BITS
+    }
+
+    fn cells_per_symbol(&self) -> usize {
+        2
+    }
+
+    fn encode(&self, value: u16, out: &mut [VthLevel]) {
+        let (a, b) = ReduceCode::encode_value(value);
+        out[0] = a;
+        out[1] = b;
+    }
+
+    fn decode(&self, levels: &[VthLevel]) -> u16 {
+        ReduceCode::decode_levels(levels[0], levels[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mapping() {
+        // Every row of the paper's Table 1.
+        let rows = [
+            (0b000, 0, 0),
+            (0b001, 0, 1),
+            (0b010, 1, 0),
+            (0b011, 1, 1),
+            (0b100, 2, 2),
+            (0b101, 0, 2),
+            (0b110, 2, 0),
+            (0b111, 2, 1),
+        ];
+        for (value, a, b) in rows {
+            let (l1, l2) = ReduceCode::encode_value(value);
+            assert_eq!((l1.index(), l2.index()), (a, b), "value {value:03b}");
+            assert_eq!(ReduceCode::decode_levels(l1, l2), value);
+        }
+    }
+
+    #[test]
+    fn roundtrip_via_trait() {
+        let codec = ReduceCode;
+        let mut cells = [VthLevel::ERASED; 2];
+        for v in 0..codec.symbol_count() {
+            codec.encode(v, &mut cells);
+            assert_eq!(codec.decode(&cells), v);
+        }
+        assert_eq!(codec.symbol_count(), 8);
+        assert_eq!(codec.bits_per_symbol(), 3);
+        assert_eq!(codec.cells_per_symbol(), 2);
+    }
+
+    #[test]
+    fn unused_combination_decodes_to_101() {
+        assert_eq!(
+            ReduceCode::decode_levels(VthLevel::L1, VthLevel::L2),
+            0b101
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_wide_symbols() {
+        let _ = ReduceCode::encode_value(8);
+    }
+
+    #[test]
+    fn paper_example_one_level_distortion() {
+        // Paper §4.1: value 101 = (0, 2); if the 2nd cell slips 2 → 1 the
+        // word reads as (0, 1) = 001 — exactly one bit error.
+        let read = ReduceCode::decode_levels(VthLevel::ERASED, VthLevel::L1);
+        assert_eq!(read, 0b001);
+        assert_eq!((0b101u16 ^ read).count_ones(), 1);
+    }
+
+    #[test]
+    fn one_level_distortions_cause_mostly_one_bit_error() {
+        // Enumerate every programmed symbol and every single-cell ±1 level
+        // distortion; measure the bit-error distribution. Table 1 achieves
+        // exactly one bit error on 18 of 20 valid-to-valid transitions (the
+        // (2,2) ↔ (2,1) pair costs 2), and the (1,2) repair choice keeps
+        // the remaining three transitions at 0/1/2 bits.
+        let mut histogram = [0u32; 4];
+        let mut transitions = 0;
+        for value in 0..8u16 {
+            let (a, b) = ReduceCode::encode_value(value);
+            let mut distorted = Vec::new();
+            for delta in [-1i8, 1] {
+                let na = a.index() as i8 + delta;
+                if (0..=2).contains(&na) {
+                    distorted.push((VthLevel::new(na as u8), b));
+                }
+                let nb = b.index() as i8 + delta;
+                if (0..=2).contains(&nb) {
+                    distorted.push((a, VthLevel::new(nb as u8)));
+                }
+            }
+            for (da, db) in distorted {
+                let read = ReduceCode::decode_levels(da, db);
+                let errs = (value ^ read).count_ones() as usize;
+                histogram[errs.min(3)] += 1;
+                transitions += 1;
+            }
+        }
+        // 8 symbols × (up to 4) single-level moves = 21 transitions
+        // (corner levels have fewer moves).
+        assert_eq!(transitions, 21);
+        let one_bit = histogram[1];
+        let multi_bit = histogram[2] + histogram[3];
+        assert!(
+            one_bit >= 17,
+            "at least 17/21 transitions must cost one bit, got {histogram:?}"
+        );
+        assert!(
+            multi_bit <= 3,
+            "multi-bit transitions must be rare: {histogram:?}"
+        );
+        assert_eq!(histogram[3], 0, "no distortion may cost 3 bits");
+        // Average cost stays close to 1 bit per level slip — the property
+        // the paper claims for ReduceCode.
+        let total_bits: u32 = histogram
+            .iter()
+            .enumerate()
+            .map(|(bits, &n)| bits as u32 * n)
+            .sum();
+        assert!(
+            (total_bits as f64 / transitions as f64) < 1.2,
+            "average bit cost too high: {histogram:?}"
+        );
+    }
+
+    #[test]
+    fn density_is_three_bits_per_two_cells() {
+        let codec = ReduceCode;
+        let bits_per_cell = codec.bits_per_symbol() as f64 / codec.cells_per_symbol() as f64;
+        assert_eq!(bits_per_cell, 1.5);
+        // 25% less than a normal MLC pair (4 bits / 2 cells).
+        assert_eq!(bits_per_cell / 2.0, 0.75);
+    }
+}

@@ -1,0 +1,293 @@
+//! Behavioural reduced-state wordline: the ReduceCode bitline structure
+//! of Figure 3 driven through real page operations.
+//!
+//! Two neighbouring even cells (or two neighbouring odd cells) form a
+//! pair storing 3 bits. The two LSBs of all even pairs form the **lower
+//! page**, the two LSBs of all odd pairs the **middle page**, and the
+//! MSBs of *all* pairs the **upper page** — so a wordline holds three
+//! pages of identical size (versus four in normal mode: the 25 % density
+//! loss made concrete at page level).
+
+use flash_model::{Bit, ReducedPage};
+use serde::{Deserialize, Serialize};
+
+use crate::level_adjust::{PairProgramError, ReducedCellPair};
+
+/// Errors from reduced-wordline page operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReducedArrayError {
+    /// Page data length does not match the wordline's page size.
+    WrongPageLength {
+        /// Bits provided.
+        provided: usize,
+        /// Bits expected.
+        expected: usize,
+    },
+    /// A pair rejected the program (ordering violation).
+    Program(PairProgramError),
+}
+
+impl From<PairProgramError> for ReducedArrayError {
+    fn from(e: PairProgramError) -> ReducedArrayError {
+        ReducedArrayError::Program(e)
+    }
+}
+
+impl std::fmt::Display for ReducedArrayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReducedArrayError::WrongPageLength { provided, expected } => {
+                write!(f, "page data has {provided} bits, expected {expected}")
+            }
+            ReducedArrayError::Program(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReducedArrayError {}
+
+/// One wordline operating in reduced (ReduceCode) mode.
+///
+/// ```
+/// use flash_model::{Bit, ReducedPage};
+/// use flexlevel::ReducedWordline;
+///
+/// # fn main() -> Result<(), flexlevel::ReducedArrayError> {
+/// // 4 pairs per parity group ⇒ pages of 8 bits.
+/// let mut wl = ReducedWordline::new(4);
+/// let page = vec![Bit::ONE; 8];
+/// wl.program_page(ReducedPage::Lower, &page)?;
+/// wl.program_page(ReducedPage::Middle, &page)?;
+/// wl.program_page(ReducedPage::Upper, &page)?;
+/// assert_eq!(wl.read_page(ReducedPage::Lower), page);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReducedWordline {
+    /// Pairs per parity group; even pairs then odd pairs.
+    pairs_per_group: usize,
+    pairs: Vec<ReducedCellPair>,
+}
+
+impl ReducedWordline {
+    /// Creates an erased wordline with `pairs_per_group` ReduceCode pairs
+    /// in each parity group (even and odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs_per_group` is zero.
+    pub fn new(pairs_per_group: usize) -> ReducedWordline {
+        assert!(pairs_per_group > 0, "empty wordline");
+        ReducedWordline {
+            pairs_per_group,
+            pairs: vec![ReducedCellPair::new(); 2 * pairs_per_group],
+        }
+    }
+
+    /// Bits per page (lower, middle and upper pages are all equal:
+    /// `2 × pairs_per_group`).
+    pub fn page_bits(&self) -> usize {
+        2 * self.pairs_per_group
+    }
+
+    /// Total data bits on the wordline (3 pages).
+    pub fn wordline_bits(&self) -> usize {
+        3 * self.page_bits()
+    }
+
+    /// Erases the wordline.
+    pub fn erase(&mut self) {
+        for pair in &mut self.pairs {
+            pair.erase();
+        }
+    }
+
+    fn group(&self, page: ReducedPage) -> std::ops::Range<usize> {
+        match page {
+            ReducedPage::Lower => 0..self.pairs_per_group,
+            ReducedPage::Middle => self.pairs_per_group..2 * self.pairs_per_group,
+            ReducedPage::Upper => 0..2 * self.pairs_per_group,
+        }
+    }
+
+    /// Programs one page. The lower and middle pages carry two LSBs per
+    /// pair of their parity group; the upper page carries one MSB per
+    /// pair of *both* groups (all bitlines selected, paper §4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`ReducedArrayError`] on a wrong page length or ordering violation
+    /// (MSB before LSBs, double program). Validation happens before any
+    /// pair is mutated.
+    pub fn program_page(
+        &mut self,
+        page: ReducedPage,
+        bits: &[Bit],
+    ) -> Result<(), ReducedArrayError> {
+        if bits.len() != self.page_bits() {
+            return Err(ReducedArrayError::WrongPageLength {
+                provided: bits.len(),
+                expected: self.page_bits(),
+            });
+        }
+        let range = self.group(page);
+        // Dry-run validation for atomicity.
+        for idx in range.clone() {
+            let mut probe = self.pairs[idx];
+            match page {
+                ReducedPage::Upper => probe.program_msb(Bit::ZERO)?,
+                _ => probe.program_lsbs(Bit::ZERO, Bit::ZERO)?,
+            };
+        }
+        match page {
+            ReducedPage::Upper => {
+                // One MSB per pair; upper page spans both groups but is
+                // half as dense per pair... no: page_bits = 2·group pairs
+                // = total pairs. One bit per pair.
+                for (idx, &bit) in range.zip(bits) {
+                    self.pairs[idx].program_msb(bit)?;
+                }
+            }
+            _ => {
+                // Two LSBs per pair.
+                for (slot, idx) in range.enumerate() {
+                    let lsb1 = bits[2 * slot];
+                    let lsb0 = bits[2 * slot + 1];
+                    self.pairs[idx].program_lsbs(lsb1, lsb0)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one page back through ReduceCode.
+    pub fn read_page(&self, page: ReducedPage) -> Vec<Bit> {
+        let range = self.group(page);
+        match page {
+            ReducedPage::Upper => range
+                .map(|idx| Bit::from(self.pairs[idx].read_value() & 0b100 != 0))
+                .collect(),
+            _ => range
+                .flat_map(|idx| {
+                    let v = self.pairs[idx].read_value();
+                    [Bit::from(v & 0b010 != 0), Bit::from(v & 0b001 != 0)]
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(pattern: &[u8]) -> Vec<Bit> {
+        pattern.iter().map(|&b| Bit::from(b != 0)).collect()
+    }
+
+    #[test]
+    fn page_accounting_matches_bitline_layout() {
+        let wl = ReducedWordline::new(8);
+        assert_eq!(wl.page_bits(), 16);
+        // 3 pages of 16 bits over 32 cells = 1.5 bits/cell = 75% density.
+        assert_eq!(wl.wordline_bits(), 48);
+    }
+
+    #[test]
+    fn full_wordline_roundtrip() {
+        let mut wl = ReducedWordline::new(4);
+        let lower = bits(&[1, 0, 1, 1, 0, 0, 1, 0]);
+        let middle = bits(&[0, 1, 1, 0, 1, 0, 0, 1]);
+        let upper = bits(&[1, 0, 0, 1, 1, 1, 0, 0]);
+        wl.program_page(ReducedPage::Lower, &lower).unwrap();
+        wl.program_page(ReducedPage::Middle, &middle).unwrap();
+        wl.program_page(ReducedPage::Upper, &upper).unwrap();
+        assert_eq!(wl.read_page(ReducedPage::Lower), lower);
+        assert_eq!(wl.read_page(ReducedPage::Middle), middle);
+        assert_eq!(wl.read_page(ReducedPage::Upper), upper);
+    }
+
+    #[test]
+    fn upper_needs_both_lsb_pages() {
+        let mut wl = ReducedWordline::new(2);
+        wl.program_page(ReducedPage::Lower, &bits(&[1, 0, 0, 1]))
+            .unwrap();
+        // Middle page not programmed yet: upper must fail atomically.
+        let err = wl
+            .program_page(ReducedPage::Upper, &bits(&[1, 1, 1, 1]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ReducedArrayError::Program(PairProgramError::MsbBeforeLsbs)
+        );
+        // Lower page still intact.
+        assert_eq!(wl.read_page(ReducedPage::Lower), bits(&[1, 0, 0, 1]));
+    }
+
+    #[test]
+    fn double_program_rejected() {
+        let mut wl = ReducedWordline::new(2);
+        wl.program_page(ReducedPage::Lower, &bits(&[1, 0, 0, 1]))
+            .unwrap();
+        assert!(matches!(
+            wl.program_page(ReducedPage::Lower, &bits(&[0, 0, 0, 0])),
+            Err(ReducedArrayError::Program(
+                PairProgramError::LsbsAlreadyProgrammed
+            ))
+        ));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let mut wl = ReducedWordline::new(2);
+        assert_eq!(
+            wl.program_page(ReducedPage::Lower, &bits(&[1, 0])),
+            Err(ReducedArrayError::WrongPageLength {
+                provided: 2,
+                expected: 4
+            })
+        );
+    }
+
+    #[test]
+    fn erased_reads_zero_symbols() {
+        // Erased pairs are at (0,0) = value 000 ⇒ all pages read 0.
+        let wl = ReducedWordline::new(2);
+        assert!(wl.read_page(ReducedPage::Lower).iter().all(|b| !b.is_one()));
+        assert!(wl.read_page(ReducedPage::Upper).iter().all(|b| !b.is_one()));
+    }
+
+    #[test]
+    fn erase_allows_reprogramming() {
+        let mut wl = ReducedWordline::new(2);
+        wl.program_page(ReducedPage::Lower, &bits(&[1, 1, 0, 0]))
+            .unwrap();
+        wl.program_page(ReducedPage::Middle, &bits(&[0, 0, 1, 1]))
+            .unwrap();
+        wl.program_page(ReducedPage::Upper, &bits(&[1, 0, 1, 0]))
+            .unwrap();
+        wl.erase();
+        wl.program_page(ReducedPage::Lower, &bits(&[0, 1, 0, 1]))
+            .unwrap();
+        assert_eq!(wl.read_page(ReducedPage::Lower), bits(&[0, 1, 0, 1]));
+    }
+
+    #[test]
+    fn exhaustive_symbol_roundtrip_through_pages() {
+        // Every 3-bit value through the page interface: pair i of the
+        // even group gets LSBs from the lower page and its MSB from the
+        // upper page.
+        for value in 0..8u16 {
+            let mut wl = ReducedWordline::new(1);
+            let lower = bits(&[(value >> 1) as u8 & 1, value as u8 & 1]);
+            let middle = bits(&[0, 0]);
+            let upper = bits(&[(value >> 2) as u8 & 1, 0]);
+            wl.program_page(ReducedPage::Lower, &lower).unwrap();
+            wl.program_page(ReducedPage::Middle, &middle).unwrap();
+            wl.program_page(ReducedPage::Upper, &upper).unwrap();
+            assert_eq!(wl.read_page(ReducedPage::Lower), lower, "value {value:03b}");
+            assert_eq!(wl.read_page(ReducedPage::Upper), upper, "value {value:03b}");
+        }
+    }
+}

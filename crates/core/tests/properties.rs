@@ -1,0 +1,104 @@
+//! Property-based tests of the FlexLevel mechanisms.
+
+use flash_model::{Bit, VthLevel};
+use flexlevel::{
+    AccessEvalConfig, AccessEvalController, HloIdentifier, Placement, ReduceCode,
+    ReducedCellPair, ReducedCellPool,
+};
+use proptest::prelude::*;
+use reliability::SymbolCodec;
+
+fn config(pool: u64) -> AccessEvalConfig {
+    AccessEvalConfig {
+        freq_levels: 2,
+        sensing_buckets: 2,
+        overhead_threshold: 2,
+        pool_pages: pool,
+        hot_read_threshold: 4,
+        aging_period: 1 << 20,
+    }
+}
+
+proptest! {
+    /// The Table 2 program algorithm always lands on the Table 1 level
+    /// combination, for every 3-bit value, and the readback matches.
+    #[test]
+    fn program_algorithm_matches_reduce_code(value in 0u16..8) {
+        let mut pair = ReducedCellPair::new();
+        pair.program_lsbs(
+            Bit::from(value & 0b010 != 0),
+            Bit::from(value & 0b001 != 0),
+        ).unwrap();
+        pair.program_msb(Bit::from(value & 0b100 != 0)).unwrap();
+        prop_assert_eq!(pair.levels(), Some(ReduceCode::encode_value(value)));
+        prop_assert_eq!(pair.read_value(), value);
+    }
+
+    /// ReduceCode decode is total over the 9 level combinations and maps
+    /// every combination to a valid 3-bit value.
+    #[test]
+    fn reduce_code_decode_total(a in 0u8..3, b in 0u8..3) {
+        let v = ReduceCode::decode_levels(VthLevel::new(a), VthLevel::new(b));
+        prop_assert!(v < 8);
+        // All valid combinations round-trip.
+        let (ea, eb) = ReduceCode::encode_value(v);
+        if (ea.index(), eb.index()) == (a, b) {
+            prop_assert_eq!(ReduceCode.decode(&[ea, eb]), v);
+        }
+    }
+
+    /// HLO scoring: the overhead product is monotone in both factors and
+    /// the HLO verdict is monotone in the sensing cost.
+    #[test]
+    fn hlo_monotone_in_sensing(reads in 0u32..20, e1 in 0u32..7, e2 in 0u32..7) {
+        let mut id = HloIdentifier::new(config(8));
+        for _ in 0..reads {
+            id.record_read(1);
+        }
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let f = id.freq_level(1);
+        let s_lo = id.sensing_bucket(lo, 6);
+        let s_hi = id.sensing_bucket(hi, 6);
+        prop_assert!(s_lo <= s_hi);
+        prop_assert!(id.overhead(f, s_lo) <= id.overhead(f, s_hi));
+    }
+
+    /// The controller's placement is consistent with its pool: an LPN is
+    /// Reduced iff the pool contains it, under any read sequence.
+    #[test]
+    fn controller_placement_consistent(
+        reads in prop::collection::vec((0u64..32, 0u32..7), 1..200),
+    ) {
+        let mut ctrl = AccessEvalController::new(config(4));
+        for (lpn, levels) in reads {
+            let _ = ctrl.on_read(lpn, levels, 6);
+            prop_assert!(ctrl.pool().len() <= 4);
+        }
+        for lpn in 0..32u64 {
+            let pooled = ctrl.pool().contains(lpn);
+            let placement = ctrl.placement(lpn);
+            prop_assert_eq!(pooled, placement == Placement::Reduced);
+        }
+        let stats = ctrl.stats();
+        prop_assert!(stats.demotions <= stats.promotions);
+    }
+
+    /// Pool LRU: after touching a resident page, it survives exactly
+    /// `capacity - 1` further distinct insertions.
+    #[test]
+    fn pool_touch_extends_residency(cap in 2u64..10) {
+        let mut pool = ReducedCellPool::new(cap);
+        for lpn in 0..cap {
+            pool.insert(lpn);
+        }
+        pool.touch(0);
+        // Insert cap-1 new pages: 0 must survive all of them…
+        for lpn in 100..100 + cap - 1 {
+            pool.insert(lpn);
+            prop_assert!(pool.contains(0));
+        }
+        // …and be evicted by the next one.
+        pool.insert(999);
+        prop_assert!(!pool.contains(0));
+    }
+}

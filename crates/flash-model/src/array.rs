@@ -1,0 +1,331 @@
+//! Behavioural cell array: a block of logical MLC cells driven through
+//! real page operations.
+//!
+//! The FTL layer of the simulator treats pages abstractly; this module is
+//! the device-level view — a block as wordlines × bitlines of
+//! [`MlcCell`] state machines, programmed page by page through the
+//! even/odd structure with the ordering constraints real NAND imposes
+//! (lower page before upper page on each group, no reprogramming without
+//! erase). It backs the device-model examples and differential tests
+//! against the logical layer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitline::{BitlineParity, NormalPage};
+use crate::gray::Bit;
+use crate::program::{MlcCell, ProgramError};
+
+/// Errors from block-level page operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// Wordline index out of range.
+    WordlineOutOfRange {
+        /// Requested wordline.
+        wordline: u32,
+        /// Wordlines in the block.
+        count: u32,
+    },
+    /// Page data length does not match the page size of the group.
+    WrongPageLength {
+        /// Bits provided.
+        provided: usize,
+        /// Bits expected.
+        expected: usize,
+    },
+    /// A cell rejected the program (ordering violation).
+    Program(ProgramError),
+}
+
+impl From<ProgramError> for ArrayError {
+    fn from(e: ProgramError) -> ArrayError {
+        ArrayError::Program(e)
+    }
+}
+
+impl std::fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrayError::WordlineOutOfRange { wordline, count } => {
+                write!(f, "wordline {wordline} out of range (block has {count})")
+            }
+            ArrayError::WrongPageLength { provided, expected } => {
+                write!(f, "page data has {provided} bits, expected {expected}")
+            }
+            ArrayError::Program(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+/// A block of normal-mode MLC cells addressed as wordlines × bitlines.
+///
+/// ```
+/// use flash_model::{Bit, MlcBlock, NormalPage};
+///
+/// # fn main() -> Result<(), flash_model::ArrayError> {
+/// let mut block = MlcBlock::new(2, 8); // 2 wordlines × 8 bitlines
+/// let page = vec![Bit::ZERO, Bit::ONE, Bit::ZERO, Bit::ONE];
+/// block.program_page(0, NormalPage::LowerEven, &page)?;
+/// block.program_page(0, NormalPage::UpperEven, &page)?;
+/// assert_eq!(block.read_page(0, NormalPage::LowerEven)?, page);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlcBlock {
+    wordlines: u32,
+    bitlines: u32,
+    /// Row-major: `cells[wl * bitlines + bl]`.
+    cells: Vec<MlcCell>,
+}
+
+impl MlcBlock {
+    /// Creates an erased block of `wordlines × bitlines` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `bitlines` is odd (the
+    /// even/odd structure needs both parities).
+    pub fn new(wordlines: u32, bitlines: u32) -> MlcBlock {
+        assert!(wordlines > 0 && bitlines > 0, "empty block");
+        assert!(bitlines % 2 == 0, "even/odd structure needs even bitlines");
+        MlcBlock {
+            wordlines,
+            bitlines,
+            cells: vec![MlcCell::new(); (wordlines * bitlines) as usize],
+        }
+    }
+
+    /// Wordlines in the block.
+    pub fn wordlines(&self) -> u32 {
+        self.wordlines
+    }
+
+    /// Bitlines crossing each wordline.
+    pub fn bitlines(&self) -> u32 {
+        self.bitlines
+    }
+
+    /// Bits per page (= cells of one parity group).
+    pub fn page_bits(&self) -> usize {
+        (self.bitlines / 2) as usize
+    }
+
+    /// Erases the whole block.
+    pub fn erase(&mut self) {
+        for cell in &mut self.cells {
+            cell.erase();
+        }
+    }
+
+    fn group_indices(&self, wordline: u32, parity: BitlineParity) -> impl Iterator<Item = usize> + '_ {
+        let base = (wordline * self.bitlines) as usize;
+        let offset = match parity {
+            BitlineParity::Even => 0,
+            BitlineParity::Odd => 1,
+        };
+        (0..self.page_bits()).map(move |i| base + offset + 2 * i)
+    }
+
+    fn check_wordline(&self, wordline: u32) -> Result<(), ArrayError> {
+        if wordline >= self.wordlines {
+            return Err(ArrayError::WordlineOutOfRange {
+                wordline,
+                count: self.wordlines,
+            });
+        }
+        Ok(())
+    }
+
+    /// Programs one page of `bits` onto `wordline`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError`] on a bad wordline, wrong page length, or a
+    /// program-ordering violation (e.g. upper before lower).
+    pub fn program_page(
+        &mut self,
+        wordline: u32,
+        page: NormalPage,
+        bits: &[Bit],
+    ) -> Result<(), ArrayError> {
+        self.check_wordline(wordline)?;
+        if bits.len() != self.page_bits() {
+            return Err(ArrayError::WrongPageLength {
+                provided: bits.len(),
+                expected: self.page_bits(),
+            });
+        }
+        let indices: Vec<usize> = self.group_indices(wordline, page.parity()).collect();
+        // Validate the whole page before mutating any cell, so a failed
+        // program leaves the block unchanged.
+        for &idx in &indices {
+            let mut probe = self.cells[idx];
+            if page.is_lower() {
+                probe.program_lower(Bit::ZERO).map_err(ArrayError::from)?;
+            } else {
+                probe.program_upper(Bit::ZERO).map_err(ArrayError::from)?;
+            }
+        }
+        for (&idx, &bit) in indices.iter().zip(bits) {
+            if page.is_lower() {
+                self.cells[idx].program_lower(bit)?;
+            } else {
+                self.cells[idx].program_upper(bit)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one page back.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::WordlineOutOfRange`] on a bad wordline.
+    pub fn read_page(&self, wordline: u32, page: NormalPage) -> Result<Vec<Bit>, ArrayError> {
+        self.check_wordline(wordline)?;
+        Ok(self
+            .group_indices(wordline, page.parity())
+            .map(|idx| {
+                if page.is_lower() {
+                    self.cells[idx].read_lower()
+                } else {
+                    self.cells[idx].read_upper()
+                }
+            })
+            .collect())
+    }
+
+    /// Direct cell access (diagnostics / differential tests).
+    pub fn cell(&self, wordline: u32, bitline: u32) -> &MlcCell {
+        &self.cells[(wordline * self.bitlines + bitline) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(pattern: &[u8]) -> Vec<Bit> {
+        pattern.iter().map(|&b| Bit::from(b != 0)).collect()
+    }
+
+    #[test]
+    fn block_shape() {
+        let block = MlcBlock::new(4, 16);
+        assert_eq!(block.wordlines(), 4);
+        assert_eq!(block.bitlines(), 16);
+        assert_eq!(block.page_bits(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "even bitlines")]
+    fn odd_bitlines_rejected() {
+        let _ = MlcBlock::new(2, 7);
+    }
+
+    #[test]
+    fn full_wordline_roundtrip() {
+        let mut block = MlcBlock::new(2, 8);
+        let lower_even = bits(&[1, 0, 1, 0]);
+        let upper_even = bits(&[0, 0, 1, 1]);
+        let lower_odd = bits(&[1, 1, 0, 0]);
+        let upper_odd = bits(&[0, 1, 0, 1]);
+        block.program_page(0, NormalPage::LowerEven, &lower_even).unwrap();
+        block.program_page(0, NormalPage::LowerOdd, &lower_odd).unwrap();
+        block.program_page(0, NormalPage::UpperEven, &upper_even).unwrap();
+        block.program_page(0, NormalPage::UpperOdd, &upper_odd).unwrap();
+        assert_eq!(block.read_page(0, NormalPage::LowerEven).unwrap(), lower_even);
+        assert_eq!(block.read_page(0, NormalPage::UpperEven).unwrap(), upper_even);
+        assert_eq!(block.read_page(0, NormalPage::LowerOdd).unwrap(), lower_odd);
+        assert_eq!(block.read_page(0, NormalPage::UpperOdd).unwrap(), upper_odd);
+    }
+
+    #[test]
+    fn erased_pages_read_ones() {
+        let block = MlcBlock::new(1, 8);
+        for page in NormalPage::ALL {
+            assert!(block
+                .read_page(0, page)
+                .unwrap()
+                .iter()
+                .all(|b| b.is_one()));
+        }
+    }
+
+    #[test]
+    fn upper_before_lower_rejected_atomically() {
+        let mut block = MlcBlock::new(1, 8);
+        let page = bits(&[0, 0, 0, 0]);
+        let err = block.program_page(0, NormalPage::UpperEven, &page).unwrap_err();
+        assert_eq!(err, ArrayError::Program(ProgramError::UpperBeforeLower));
+        // The failed program must not have touched any cell.
+        assert!(block
+            .read_page(0, NormalPage::LowerEven)
+            .unwrap()
+            .iter()
+            .all(|b| b.is_one()));
+    }
+
+    #[test]
+    fn double_program_rejected() {
+        let mut block = MlcBlock::new(1, 8);
+        let page = bits(&[0, 1, 0, 1]);
+        block.program_page(0, NormalPage::LowerEven, &page).unwrap();
+        let err = block.program_page(0, NormalPage::LowerEven, &page).unwrap_err();
+        assert_eq!(
+            err,
+            ArrayError::Program(ProgramError::LowerAlreadyProgrammed)
+        );
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let mut block = MlcBlock::new(1, 8);
+        block
+            .program_page(0, NormalPage::LowerEven, &bits(&[0, 0, 0, 0]))
+            .unwrap();
+        // Odd group untouched: still reads erased 1s.
+        assert!(block
+            .read_page(0, NormalPage::LowerOdd)
+            .unwrap()
+            .iter()
+            .all(|b| b.is_one()));
+    }
+
+    #[test]
+    fn wrong_lengths_and_wordlines_rejected() {
+        let mut block = MlcBlock::new(1, 8);
+        assert_eq!(
+            block.program_page(0, NormalPage::LowerEven, &bits(&[1, 0])),
+            Err(ArrayError::WrongPageLength {
+                provided: 2,
+                expected: 4
+            })
+        );
+        assert!(matches!(
+            block.program_page(3, NormalPage::LowerEven, &bits(&[1, 0, 1, 0])),
+            Err(ArrayError::WordlineOutOfRange { wordline: 3, count: 1 })
+        ));
+        assert!(block.read_page(9, NormalPage::LowerEven).is_err());
+    }
+
+    #[test]
+    fn erase_resets_everything() {
+        let mut block = MlcBlock::new(1, 8);
+        block
+            .program_page(0, NormalPage::LowerEven, &bits(&[0, 0, 1, 1]))
+            .unwrap();
+        block.erase();
+        assert!(block
+            .read_page(0, NormalPage::LowerEven)
+            .unwrap()
+            .iter()
+            .all(|b| b.is_one()));
+        // And the block accepts a fresh program sequence.
+        block
+            .program_page(0, NormalPage::LowerEven, &bits(&[1, 0, 1, 0]))
+            .unwrap();
+    }
+}

@@ -1,0 +1,311 @@
+//! Even/odd bitline structure and wordline page layout.
+//!
+//! A wordline crosses every bitline; alternate bitlines (even vs odd) are
+//! selected separately, splitting the cells on one wordline into two *page
+//! groups* (paper Figure 1(a)).
+//!
+//! * **Normal mode** — each group contributes a lower page (the LSBs) and an
+//!   upper page (the MSBs): 4 pages per wordline, 2 bits per cell.
+//! * **Reduced mode (ReduceCode, Figure 3)** — two neighbouring *even* cells
+//!   (or two neighbouring *odd* cells) form a pair storing 3 bits. The two
+//!   LSBs of all even pairs form the **lower page**, the two LSBs of all odd
+//!   pairs the **middle page**, and the MSBs of *all* pairs the **upper
+//!   page**: 3 pages per wordline, 1.5 bits per cell.
+//!
+//! A useful consequence (encoded in [`WordlineLayout`]): the *size in bits*
+//! of every page is the same in both modes — a reduced wordline simply holds
+//! three pages instead of four, which is how the 25 % density loss
+//! materialises at the page level.
+
+use serde::{Deserialize, Serialize};
+
+use crate::level::CellMode;
+
+/// Parity of a bitline: even or odd bitlines are selected separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitlineParity {
+    /// Even-numbered bitlines.
+    Even,
+    /// Odd-numbered bitlines.
+    Odd,
+}
+
+impl BitlineParity {
+    /// Parity of the bitline with the given index.
+    #[inline]
+    pub fn of(bitline: u32) -> BitlineParity {
+        if bitline % 2 == 0 {
+            BitlineParity::Even
+        } else {
+            BitlineParity::Odd
+        }
+    }
+
+    /// The other parity.
+    #[inline]
+    pub fn other(self) -> BitlineParity {
+        match self {
+            BitlineParity::Even => BitlineParity::Odd,
+            BitlineParity::Odd => BitlineParity::Even,
+        }
+    }
+}
+
+/// One page position on a *normal-mode* wordline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NormalPage {
+    /// LSBs of the even page group.
+    LowerEven,
+    /// MSBs of the even page group.
+    UpperEven,
+    /// LSBs of the odd page group.
+    LowerOdd,
+    /// MSBs of the odd page group.
+    UpperOdd,
+}
+
+impl NormalPage {
+    /// All four normal-mode pages in program order (lower pages first, as
+    /// required by the two-step MLC program sequence).
+    pub const ALL: [NormalPage; 4] = [
+        NormalPage::LowerEven,
+        NormalPage::LowerOdd,
+        NormalPage::UpperEven,
+        NormalPage::UpperOdd,
+    ];
+
+    /// The bitline parity this page lives on.
+    #[inline]
+    pub fn parity(self) -> BitlineParity {
+        match self {
+            NormalPage::LowerEven | NormalPage::UpperEven => BitlineParity::Even,
+            NormalPage::LowerOdd | NormalPage::UpperOdd => BitlineParity::Odd,
+        }
+    }
+
+    /// `true` for lower (LSB) pages, programmed in the first step.
+    #[inline]
+    pub fn is_lower(self) -> bool {
+        matches!(self, NormalPage::LowerEven | NormalPage::LowerOdd)
+    }
+}
+
+/// One page position on a *reduced-mode* (ReduceCode) wordline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReducedPage {
+    /// The two LSBs of every even cell pair.
+    Lower,
+    /// The two LSBs of every odd cell pair.
+    Middle,
+    /// The MSBs of every cell pair (even and odd).
+    Upper,
+}
+
+impl ReducedPage {
+    /// All three reduced-mode pages in program order: the two LSB pages
+    /// first (either order), the upper page last.
+    pub const ALL: [ReducedPage; 3] = [ReducedPage::Lower, ReducedPage::Middle, ReducedPage::Upper];
+
+    /// The bitline parity selected while programming this page, or `None`
+    /// for the upper page (which selects *all* bitlines — paper §4.1).
+    #[inline]
+    pub fn parity(self) -> Option<BitlineParity> {
+        match self {
+            ReducedPage::Lower => Some(BitlineParity::Even),
+            ReducedPage::Middle => Some(BitlineParity::Odd),
+            ReducedPage::Upper => None,
+        }
+    }
+
+    /// `true` if this page is programmed in the first program step.
+    #[inline]
+    pub fn is_first_step(self) -> bool {
+        !matches!(self, ReducedPage::Upper)
+    }
+}
+
+/// Errors constructing a [`WordlineLayout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Cell count must be a positive multiple of 4 so even and odd groups
+    /// pair up evenly under ReduceCode.
+    CellCountNotMultipleOfFour(u32),
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::CellCountNotMultipleOfFour(n) => {
+                write!(f, "wordline cell count {n} is not a positive multiple of 4")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Describes how the cells of one wordline map onto pages in each mode.
+///
+/// ```
+/// use flash_model::{CellMode, WordlineLayout};
+///
+/// let wl = WordlineLayout::new(131_072).unwrap(); // 128 Ki cells
+/// assert_eq!(wl.pages(CellMode::Normal), 4);
+/// assert_eq!(wl.pages(CellMode::Reduced), 3);
+/// // page size in bits is mode independent
+/// assert_eq!(
+///     wl.page_bits(CellMode::Normal),
+///     wl.page_bits(CellMode::Reduced),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WordlineLayout {
+    cells: u32,
+}
+
+impl WordlineLayout {
+    /// Creates a layout for a wordline crossing `cells` bitlines.
+    ///
+    /// # Errors
+    ///
+    /// The count must be a positive multiple of 4: half the cells are even,
+    /// half odd, and each half must pair up for ReduceCode.
+    pub fn new(cells: u32) -> Result<WordlineLayout, LayoutError> {
+        if cells == 0 || cells % 4 != 0 {
+            return Err(LayoutError::CellCountNotMultipleOfFour(cells));
+        }
+        Ok(WordlineLayout { cells })
+    }
+
+    /// A wordline wide enough that one page equals the Table 6 page size
+    /// (16 KB = 131 072 bits ⇒ 262 144 cells).
+    pub fn paper_wordline() -> WordlineLayout {
+        WordlineLayout::new(2 * 16 * 1024 * 8).expect("paper wordline width is a multiple of 4")
+    }
+
+    /// Total cells on the wordline.
+    #[inline]
+    pub fn cells(&self) -> u32 {
+        self.cells
+    }
+
+    /// Cells per parity group (half of the wordline).
+    #[inline]
+    pub fn cells_per_group(&self) -> u32 {
+        self.cells / 2
+    }
+
+    /// ReduceCode cell pairs per parity group.
+    #[inline]
+    pub fn pairs_per_group(&self) -> u32 {
+        self.cells / 4
+    }
+
+    /// Number of pages this wordline holds in the given mode.
+    #[inline]
+    pub fn pages(&self, mode: CellMode) -> u32 {
+        match mode {
+            CellMode::Normal => 4,
+            CellMode::Reduced => 3,
+        }
+    }
+
+    /// Size of each page in bits — identical in both modes.
+    ///
+    /// Normal: each page carries one bit per cell of one parity group
+    /// (`cells / 2`). Reduced: the lower/middle pages carry 2 bits per pair
+    /// of one group (`2 × cells / 4`), the upper page 1 bit per pair of both
+    /// groups (`2 × cells / 4`). All equal `cells / 2`.
+    #[inline]
+    pub fn page_bits(&self, _mode: CellMode) -> u32 {
+        self.cells / 2
+    }
+
+    /// Total stored bits on the wordline in the given mode.
+    #[inline]
+    pub fn wordline_bits(&self, mode: CellMode) -> u32 {
+        self.pages(mode) * self.page_bits(mode)
+    }
+
+    /// Density of the given mode relative to normal mode.
+    #[inline]
+    pub fn relative_density(&self, mode: CellMode) -> f64 {
+        self.wordline_bits(mode) as f64 / self.wordline_bits(CellMode::Normal) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_of_index() {
+        assert_eq!(BitlineParity::of(0), BitlineParity::Even);
+        assert_eq!(BitlineParity::of(1), BitlineParity::Odd);
+        assert_eq!(BitlineParity::of(2), BitlineParity::Even);
+        assert_eq!(BitlineParity::Even.other(), BitlineParity::Odd);
+        assert_eq!(BitlineParity::Odd.other(), BitlineParity::Even);
+    }
+
+    #[test]
+    fn normal_pages() {
+        assert_eq!(NormalPage::ALL.len(), 4);
+        assert!(NormalPage::LowerEven.is_lower());
+        assert!(!NormalPage::UpperOdd.is_lower());
+        assert_eq!(NormalPage::LowerOdd.parity(), BitlineParity::Odd);
+        assert_eq!(NormalPage::UpperEven.parity(), BitlineParity::Even);
+        // Program order: both lower pages precede both upper pages.
+        let first_upper = NormalPage::ALL.iter().position(|p| !p.is_lower()).unwrap();
+        assert!(NormalPage::ALL[..first_upper].iter().all(|p| p.is_lower()));
+    }
+
+    #[test]
+    fn reduced_pages() {
+        assert_eq!(ReducedPage::ALL.len(), 3);
+        assert_eq!(ReducedPage::Lower.parity(), Some(BitlineParity::Even));
+        assert_eq!(ReducedPage::Middle.parity(), Some(BitlineParity::Odd));
+        // The upper page selects all bitlines (paper: "all bitlines will be
+        // selected" in the 2nd program step).
+        assert_eq!(ReducedPage::Upper.parity(), None);
+        assert!(ReducedPage::Lower.is_first_step());
+        assert!(ReducedPage::Middle.is_first_step());
+        assert!(!ReducedPage::Upper.is_first_step());
+    }
+
+    #[test]
+    fn layout_rejects_bad_widths() {
+        assert!(WordlineLayout::new(0).is_err());
+        assert!(WordlineLayout::new(6).is_err());
+        assert!(WordlineLayout::new(8).is_ok());
+    }
+
+    #[test]
+    fn page_size_is_mode_independent() {
+        let wl = WordlineLayout::new(256).unwrap();
+        assert_eq!(wl.page_bits(CellMode::Normal), 128);
+        assert_eq!(wl.page_bits(CellMode::Reduced), 128);
+        assert_eq!(wl.cells_per_group(), 128);
+        assert_eq!(wl.pairs_per_group(), 64);
+    }
+
+    #[test]
+    fn reduced_mode_keeps_three_quarters_density() {
+        let wl = WordlineLayout::paper_wordline();
+        assert_eq!(wl.wordline_bits(CellMode::Normal), 2 * wl.cells() / 2 * 2);
+        assert!((wl.relative_density(CellMode::Reduced) - 0.75).abs() < 1e-12);
+        assert_eq!(wl.relative_density(CellMode::Normal), 1.0);
+    }
+
+    #[test]
+    fn paper_wordline_page_is_16kb() {
+        let wl = WordlineLayout::paper_wordline();
+        assert_eq!(wl.page_bits(CellMode::Normal), 16 * 1024 * 8);
+    }
+
+    #[test]
+    fn reduced_bit_accounting() {
+        // 3 bits per 2 cells: for N cells, 3N/2 bits total.
+        let wl = WordlineLayout::new(1024).unwrap();
+        assert_eq!(wl.wordline_bits(CellMode::Reduced), 1024 * 3 / 2);
+    }
+}

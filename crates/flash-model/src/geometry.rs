@@ -1,0 +1,327 @@
+//! Device geometry: blocks, pages and address arithmetic.
+//!
+//! Defaults follow Table 6 of the paper: 16 KB pages, 1 MB blocks
+//! (64 pages/block) and 4096 blocks per chip; the evaluated device is
+//! 256 GB with 27 % over-provisioning. The geometry is fully configurable
+//! so experiments can run on proportionally scaled-down devices.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a physical block within a device.
+///
+/// ```
+/// use flash_model::BlockId;
+///
+/// let b = BlockId(42);
+/// assert_eq!(b.0, 42);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BlockId(pub u32);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "block#{}", self.0)
+    }
+}
+
+/// Identifies a physical page: a block plus a page offset within it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysicalPage {
+    /// The containing block.
+    pub block: BlockId,
+    /// Page index within the block, `0..pages_per_block`.
+    pub page: u32,
+}
+
+impl PhysicalPage {
+    /// Constructs a physical page address.
+    #[inline]
+    pub fn new(block: BlockId, page: u32) -> PhysicalPage {
+        PhysicalPage { block, page }
+    }
+}
+
+impl std::fmt::Display for PhysicalPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/page#{}", self.block, self.page)
+    }
+}
+
+/// A logical page number as seen by the host through the FTL.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LogicalPage(pub u64);
+
+impl std::fmt::Display for LogicalPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lpn#{}", self.0)
+    }
+}
+
+/// Errors constructing a [`DeviceGeometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A dimension (blocks, pages per block, page size) was zero.
+    ZeroDimension(&'static str),
+    /// Over-provisioning fraction outside `[0, 1)`.
+    InvalidOverProvisioning(u32),
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeometryError::ZeroDimension(what) => write!(f, "geometry dimension {what} is zero"),
+            GeometryError::InvalidOverProvisioning(pct) => {
+                write!(f, "over-provisioning {pct}% outside 0..100")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Physical organisation of a NAND device.
+///
+/// ```
+/// use flash_model::DeviceGeometry;
+///
+/// let geom = DeviceGeometry::paper_chip();
+/// assert_eq!(geom.pages_per_block(), 64);          // 1 MB / 16 KB
+/// assert_eq!(geom.raw_bytes(), 4 << 30);           // 4096 × 1 MB
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceGeometry {
+    blocks: u32,
+    pages_per_block: u32,
+    page_bytes: u32,
+    over_provisioning_pct: u32,
+}
+
+impl DeviceGeometry {
+    /// Creates a geometry.
+    ///
+    /// `over_provisioning_pct` is the percentage of raw capacity reserved
+    /// beyond the exported logical capacity (the paper uses 27 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any dimension is zero or the
+    /// over-provisioning percentage is 100 or more.
+    pub fn new(
+        blocks: u32,
+        pages_per_block: u32,
+        page_bytes: u32,
+        over_provisioning_pct: u32,
+    ) -> Result<DeviceGeometry, GeometryError> {
+        if blocks == 0 {
+            return Err(GeometryError::ZeroDimension("blocks"));
+        }
+        if pages_per_block == 0 {
+            return Err(GeometryError::ZeroDimension("pages_per_block"));
+        }
+        if page_bytes == 0 {
+            return Err(GeometryError::ZeroDimension("page_bytes"));
+        }
+        if over_provisioning_pct >= 100 {
+            return Err(GeometryError::InvalidOverProvisioning(
+                over_provisioning_pct,
+            ));
+        }
+        Ok(DeviceGeometry {
+            blocks,
+            pages_per_block,
+            page_bytes,
+            over_provisioning_pct,
+        })
+    }
+
+    /// The single-chip geometry of Table 6: 4096 blocks × 1 MB blocks of
+    /// 16 KB pages, with the paper's 27 % over-provisioning.
+    pub fn paper_chip() -> DeviceGeometry {
+        DeviceGeometry::new(4096, 64, 16 * 1024, 27).expect("paper geometry is valid")
+    }
+
+    /// A scaled-down geometry with the same page/block shape as
+    /// [`paper_chip`](Self::paper_chip) but `blocks` blocks, for fast
+    /// simulation. Over-provisioning stays at the paper's 27 %.
+    pub fn scaled(blocks: u32) -> Result<DeviceGeometry, GeometryError> {
+        DeviceGeometry::new(blocks, 64, 16 * 1024, 27)
+    }
+
+    /// Number of physical blocks.
+    #[inline]
+    pub fn blocks(&self) -> u32 {
+        self.blocks
+    }
+
+    /// Pages per block.
+    #[inline]
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages_per_block
+    }
+
+    /// Page payload size in bytes.
+    #[inline]
+    pub fn page_bytes(&self) -> u32 {
+        self.page_bytes
+    }
+
+    /// Over-provisioning percentage of raw capacity.
+    #[inline]
+    pub fn over_provisioning_pct(&self) -> u32 {
+        self.over_provisioning_pct
+    }
+
+    /// Total number of physical pages.
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        self.blocks as u64 * self.pages_per_block as u64
+    }
+
+    /// Raw capacity in bytes (all physical pages).
+    #[inline]
+    pub fn raw_bytes(&self) -> u64 {
+        self.total_pages() * self.page_bytes as u64
+    }
+
+    /// Block size in bytes.
+    #[inline]
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_bytes as u64
+    }
+
+    /// Logical (exported) capacity in pages after over-provisioning.
+    #[inline]
+    pub fn logical_pages(&self) -> u64 {
+        self.total_pages() * (100 - self.over_provisioning_pct) as u64 / 100
+    }
+
+    /// Logical (exported) capacity in bytes.
+    #[inline]
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_pages() * self.page_bytes as u64
+    }
+
+    /// `true` if `page` addresses a valid physical page of this geometry.
+    #[inline]
+    pub fn contains(&self, page: PhysicalPage) -> bool {
+        page.block.0 < self.blocks && page.page < self.pages_per_block
+    }
+
+    /// Flattens a physical page address into a dense index in
+    /// `0..total_pages()`, or `None` if out of range.
+    pub fn page_index(&self, page: PhysicalPage) -> Option<u64> {
+        if !self.contains(page) {
+            return None;
+        }
+        Some(page.block.0 as u64 * self.pages_per_block as u64 + page.page as u64)
+    }
+
+    /// Inverse of [`page_index`](Self::page_index).
+    pub fn page_at(&self, index: u64) -> Option<PhysicalPage> {
+        if index >= self.total_pages() {
+            return None;
+        }
+        Some(PhysicalPage::new(
+            BlockId((index / self.pages_per_block as u64) as u32),
+            (index % self.pages_per_block as u64) as u32,
+        ))
+    }
+
+    /// Iterates over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks).map(BlockId)
+    }
+}
+
+impl Default for DeviceGeometry {
+    fn default() -> DeviceGeometry {
+        DeviceGeometry::paper_chip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chip_matches_table6() {
+        let g = DeviceGeometry::paper_chip();
+        assert_eq!(g.blocks(), 4096);
+        assert_eq!(g.page_bytes(), 16 * 1024);
+        assert_eq!(g.block_bytes(), 1 << 20); // 1 MB block
+        assert_eq!(g.pages_per_block(), 64);
+        assert_eq!(g.raw_bytes(), 4 << 30); // 4 GB chip
+        assert_eq!(g.over_provisioning_pct(), 27);
+    }
+
+    #[test]
+    fn logical_capacity_respects_over_provisioning() {
+        let g = DeviceGeometry::paper_chip();
+        assert_eq!(g.logical_pages(), g.total_pages() * 73 / 100);
+        assert!(g.logical_bytes() < g.raw_bytes());
+    }
+
+    #[test]
+    fn page_index_roundtrip() {
+        let g = DeviceGeometry::scaled(16).unwrap();
+        for idx in [0, 1, 63, 64, 1023] {
+            let p = g.page_at(idx).unwrap();
+            assert_eq!(g.page_index(p), Some(idx));
+        }
+        assert_eq!(g.page_at(g.total_pages()), None);
+        assert_eq!(
+            g.page_index(PhysicalPage::new(BlockId(16), 0)),
+            None,
+            "block out of range"
+        );
+        assert_eq!(
+            g.page_index(PhysicalPage::new(BlockId(0), 64)),
+            None,
+            "page out of range"
+        );
+    }
+
+    #[test]
+    fn invalid_geometries_rejected() {
+        assert!(matches!(
+            DeviceGeometry::new(0, 64, 16384, 27),
+            Err(GeometryError::ZeroDimension("blocks"))
+        ));
+        assert!(matches!(
+            DeviceGeometry::new(10, 0, 16384, 27),
+            Err(GeometryError::ZeroDimension("pages_per_block"))
+        ));
+        assert!(matches!(
+            DeviceGeometry::new(10, 64, 0, 27),
+            Err(GeometryError::ZeroDimension("page_bytes"))
+        ));
+        assert!(matches!(
+            DeviceGeometry::new(10, 64, 16384, 100),
+            Err(GeometryError::InvalidOverProvisioning(100))
+        ));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(BlockId(3).to_string(), "block#3");
+        assert_eq!(
+            PhysicalPage::new(BlockId(3), 7).to_string(),
+            "block#3/page#7"
+        );
+        assert_eq!(LogicalPage(9).to_string(), "lpn#9");
+    }
+
+    #[test]
+    fn block_ids_iterates_all() {
+        let g = DeviceGeometry::scaled(4).unwrap();
+        let ids: Vec<_> = g.block_ids().collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[3], BlockId(3));
+    }
+}

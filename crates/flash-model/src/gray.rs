@@ -1,0 +1,242 @@
+//! Gray-code bit mapping for normal-state (4-level) MLC cells.
+//!
+//! The paper maps bit pairs `11, 10, 00, 01` to `Vth` levels 0–3. The least
+//! significant bit of the pair belongs to the *lower page*, the most
+//! significant bit to the *upper page*. Adjacent levels differ in exactly
+//! one bit, so a single-level `Vth` distortion corrupts a single bit — the
+//! property ReduceCode generalises to cell pairs in reduced mode.
+
+use serde::{Deserialize, Serialize};
+
+use crate::level::VthLevel;
+
+/// A single stored bit.
+///
+/// A dedicated type (rather than `bool`) keeps page payloads, code words and
+/// level mappings self-describing at API boundaries.
+///
+/// ```
+/// use flash_model::Bit;
+///
+/// assert_eq!(Bit::ONE.flipped(), Bit::ZERO);
+/// assert_eq!(u8::from(Bit::ONE), 1);
+/// assert_eq!(Bit::from(true), Bit::ONE);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bit(pub bool);
+
+impl Bit {
+    /// The bit value `0`.
+    pub const ZERO: Bit = Bit(false);
+    /// The bit value `1`.
+    pub const ONE: Bit = Bit(true);
+
+    /// Returns the opposite bit value.
+    #[inline]
+    pub fn flipped(self) -> Bit {
+        Bit(!self.0)
+    }
+
+    /// `true` if the bit is set.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self.0
+    }
+}
+
+impl From<bool> for Bit {
+    #[inline]
+    fn from(b: bool) -> Bit {
+        Bit(b)
+    }
+}
+
+impl From<Bit> for bool {
+    #[inline]
+    fn from(b: Bit) -> bool {
+        b.0
+    }
+}
+
+impl From<Bit> for u8 {
+    #[inline]
+    fn from(b: Bit) -> u8 {
+        b.0 as u8
+    }
+}
+
+impl TryFrom<u8> for Bit {
+    type Error = InvalidBitError;
+
+    fn try_from(v: u8) -> Result<Bit, InvalidBitError> {
+        match v {
+            0 => Ok(Bit::ZERO),
+            1 => Ok(Bit::ONE),
+            other => Err(InvalidBitError(other)),
+        }
+    }
+}
+
+/// Error converting an integer other than 0 or 1 into a [`Bit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidBitError(pub u8);
+
+impl std::fmt::Display for InvalidBitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "value {} is not a valid bit (expected 0 or 1)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidBitError {}
+
+impl std::fmt::Display for Bit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0 as u8)
+    }
+}
+
+/// The two bits stored by a normal-state MLC cell.
+///
+/// `lower` is the LSB (lower page), `upper` the MSB (upper page).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MlcBits {
+    /// Least significant bit — belongs to the lower page.
+    pub lower: Bit,
+    /// Most significant bit — belongs to the upper page.
+    pub upper: Bit,
+}
+
+impl MlcBits {
+    /// Constructs a bit pair from lower-page and upper-page bits.
+    #[inline]
+    pub fn new(lower: Bit, upper: Bit) -> MlcBits {
+        MlcBits { lower, upper }
+    }
+
+    /// Number of bit positions differing from `other` (0, 1 or 2).
+    #[inline]
+    pub fn hamming_distance(self, other: MlcBits) -> u8 {
+        (self.lower != other.lower) as u8 + (self.upper != other.upper) as u8
+    }
+}
+
+/// Lower-page (LSB) bit pattern across levels 0–3: `1, 1, 0, 0`.
+const LOWER_BITS: [Bit; 4] = [Bit::ONE, Bit::ONE, Bit::ZERO, Bit::ZERO];
+/// Upper-page (MSB) bit pattern across levels 0–3: `1, 0, 0, 1`.
+const UPPER_BITS: [Bit; 4] = [Bit::ONE, Bit::ZERO, Bit::ZERO, Bit::ONE];
+
+/// Maps a bit pair to its Gray-coded `Vth` level (paper §2.1:
+/// `11, 10, 00, 01` → levels 0–3).
+///
+/// ```
+/// use flash_model::{gray, Bit, MlcBits, VthLevel};
+///
+/// // "11" (erased) is level 0
+/// assert_eq!(gray::encode(MlcBits::new(Bit::ONE, Bit::ONE)), VthLevel::ERASED);
+/// ```
+pub fn encode(bits: MlcBits) -> VthLevel {
+    for level in 0..4u8 {
+        let l = VthLevel::new(level);
+        if decode(l) == bits {
+            return l;
+        }
+    }
+    unreachable!("all four bit pairs are covered by the Gray map")
+}
+
+/// Maps a Gray-coded `Vth` level back to its bit pair.
+///
+/// # Panics
+///
+/// Never panics: all four MLC levels are valid inputs by construction of
+/// [`VthLevel`].
+pub fn decode(level: VthLevel) -> MlcBits {
+    let i = level.index() as usize;
+    MlcBits::new(LOWER_BITS[i], UPPER_BITS[i])
+}
+
+/// The lower-page (LSB) bit of a level.
+#[inline]
+pub fn lower_bit(level: VthLevel) -> Bit {
+    LOWER_BITS[level.index() as usize]
+}
+
+/// The upper-page (MSB) bit of a level.
+#[inline]
+pub fn upper_bit(level: VthLevel) -> Bit {
+    UPPER_BITS[level.index() as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mapping() {
+        // 11, 10, 00, 01 -> levels 0..3 with (lower, upper) = (LSB, MSB).
+        // Level 0: lower=1 upper=1; level 1: lower=1 upper=0;
+        // level 2: lower=0 upper=0; level 3: lower=0 upper=1.
+        assert_eq!(decode(VthLevel::ERASED), MlcBits::new(Bit::ONE, Bit::ONE));
+        assert_eq!(decode(VthLevel::L1), MlcBits::new(Bit::ONE, Bit::ZERO));
+        assert_eq!(decode(VthLevel::L2), MlcBits::new(Bit::ZERO, Bit::ZERO));
+        assert_eq!(decode(VthLevel::L3), MlcBits::new(Bit::ZERO, Bit::ONE));
+    }
+
+    #[test]
+    fn roundtrip() {
+        for i in 0..4 {
+            let level = VthLevel::new(i);
+            assert_eq!(encode(decode(level)), level);
+        }
+    }
+
+    #[test]
+    fn adjacent_levels_differ_in_one_bit() {
+        // The Gray property: a one-level Vth distortion flips exactly one bit.
+        for i in 0..3u8 {
+            let a = decode(VthLevel::new(i));
+            let b = decode(VthLevel::new(i + 1));
+            assert_eq!(a.hamming_distance(b), 1, "levels {i} and {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn erased_cell_reads_all_ones() {
+        // An erased cell must read as 1 on both pages (flash convention).
+        let bits = decode(VthLevel::ERASED);
+        assert!(bits.lower.is_one());
+        assert!(bits.upper.is_one());
+    }
+
+    #[test]
+    fn lower_page_determined_by_first_program_step() {
+        // Levels {0,1} carry lower=1, {2,3} carry lower=0: the first program
+        // step decides which half of the level range the cell occupies.
+        assert_eq!(lower_bit(VthLevel::ERASED), Bit::ONE);
+        assert_eq!(lower_bit(VthLevel::L1), Bit::ONE);
+        assert_eq!(lower_bit(VthLevel::L2), Bit::ZERO);
+        assert_eq!(lower_bit(VthLevel::L3), Bit::ZERO);
+    }
+
+    #[test]
+    fn bit_conversions() {
+        assert_eq!(Bit::try_from(0u8), Ok(Bit::ZERO));
+        assert_eq!(Bit::try_from(1u8), Ok(Bit::ONE));
+        assert_eq!(Bit::try_from(2u8), Err(InvalidBitError(2)));
+        assert_eq!(u8::from(Bit::ONE), 1);
+        assert_eq!(bool::from(Bit::ZERO), false);
+        assert_eq!(Bit::from(true), Bit::ONE);
+        assert_eq!(Bit::ONE.to_string(), "1");
+        assert_eq!(InvalidBitError(7).to_string(), "value 7 is not a valid bit (expected 0 or 1)");
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = MlcBits::new(Bit::ONE, Bit::ONE);
+        let b = MlcBits::new(Bit::ZERO, Bit::ZERO);
+        assert_eq!(a.hamming_distance(b), 2);
+        assert_eq!(a.hamming_distance(a), 0);
+    }
+}

@@ -1,0 +1,585 @@
+//! Threshold-voltage levels and per-mode level configurations.
+//!
+//! A multi-level cell stores information as one of several discrete
+//! threshold-voltage (`Vth`) *levels*. A [`LevelConfig`] describes one
+//! operating mode of a cell: how many levels exist, the read reference
+//! voltages separating them, the program verify voltage of each programmed
+//! level and the nominal (post-program) distribution placement.
+//!
+//! FlexLevel cells have two modes ([`CellMode`]):
+//!
+//! * [`CellMode::Normal`] — four levels, a regular MLC cell storing 2 bits.
+//! * [`CellMode::Reduced`] — three levels (LevelAdjust); a *pair* of reduced
+//!   cells stores 3 bits via ReduceCode (built in the `flexlevel` crate).
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Volts;
+
+/// A discrete threshold-voltage level of a cell.
+///
+/// Level 0 is the erased state; higher levels hold progressively more charge.
+///
+/// ```
+/// use flash_model::VthLevel;
+///
+/// let l2 = VthLevel::new(2);
+/// assert_eq!(l2.index(), 2);
+/// assert!(l2 > VthLevel::ERASED);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VthLevel(u8);
+
+impl VthLevel {
+    /// The erased state (level 0).
+    pub const ERASED: VthLevel = VthLevel(0);
+    /// Level 1.
+    pub const L1: VthLevel = VthLevel(1);
+    /// Level 2.
+    pub const L2: VthLevel = VthLevel(2);
+    /// Level 3 (only valid in normal, 4-level mode).
+    pub const L3: VthLevel = VthLevel(3);
+
+    /// Creates a level from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds 3; MLC cells never have more than four
+    /// levels in this model.
+    #[inline]
+    pub fn new(index: u8) -> VthLevel {
+        assert!(index <= 3, "MLC Vth level index out of range: {index}");
+        VthLevel(index)
+    }
+
+    /// The raw level index.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// `true` for the erased state.
+    #[inline]
+    pub fn is_erased(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Distance in levels to another level (used by the one-bit-error
+    /// analysis of ReduceCode).
+    #[inline]
+    pub fn distance(self, other: VthLevel) -> u8 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl std::fmt::Display for VthLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Operating mode of a FlexLevel cell.
+///
+/// Switching a page to [`CellMode::Reduced`] is the LevelAdjust operation:
+/// the top level is dropped, each remaining level gets a wider noise margin,
+/// and ReduceCode packs 3 bits into each cell pair (75 % of normal density).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CellMode {
+    /// Regular MLC operation: four levels, 2 bits per cell, Gray mapping.
+    #[default]
+    Normal,
+    /// LevelAdjust operation: three levels, 3 bits per cell *pair*.
+    Reduced,
+}
+
+impl CellMode {
+    /// Number of `Vth` levels in this mode.
+    #[inline]
+    pub fn level_count(self) -> usize {
+        match self {
+            CellMode::Normal => 4,
+            CellMode::Reduced => 3,
+        }
+    }
+
+    /// Stored bits per *pair of cells* in this mode (normal: 2 × 2 bits;
+    /// reduced: 3 bits via ReduceCode).
+    #[inline]
+    pub fn bits_per_cell_pair(self) -> usize {
+        match self {
+            CellMode::Normal => 4,
+            CellMode::Reduced => 3,
+        }
+    }
+
+    /// Storage density relative to normal mode (reduced mode keeps 75 %).
+    #[inline]
+    pub fn relative_density(self) -> f64 {
+        self.bits_per_cell_pair() as f64 / CellMode::Normal.bits_per_cell_pair() as f64
+    }
+}
+
+/// Voltage configuration of one cell operating mode.
+///
+/// Holds, for `n` levels: `n - 1` read reference voltages (level boundaries),
+/// a program verify voltage per programmed level, and the nominal mean of the
+/// erased distribution. Programmed cells land in `[verify, verify + Vpp)`
+/// under the ISPP staircase model, so the verify voltage *is* the lower edge
+/// of a programmed distribution.
+///
+/// ```
+/// use flash_model::{LevelConfig, Volts, VthLevel};
+///
+/// let cfg = LevelConfig::normal_mlc();
+/// assert_eq!(cfg.level_count(), 4);
+/// assert_eq!(cfg.classify(Volts(0.9)), VthLevel::ERASED);
+/// assert_eq!(cfg.classify(Volts(9.0)), VthLevel::L3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelConfig {
+    read_refs: Vec<Volts>,
+    verify: Vec<Volts>,
+    erased_mean: Volts,
+    erased_sigma: Volts,
+    program_pulse: Volts,
+}
+
+/// Error returned when a [`LevelConfig`] is structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LevelConfigError {
+    /// Fewer than 2 or more than 4 levels requested.
+    LevelCountOutOfRange(usize),
+    /// Read reference voltages are not strictly increasing.
+    ReadRefsNotSorted,
+    /// One verify voltage per programmed level is required.
+    VerifyCountMismatch {
+        /// Number of programmed levels implied by the read references.
+        expected: usize,
+        /// Number of verify voltages supplied.
+        actual: usize,
+    },
+    /// A verify voltage lies below its level's lower read reference, so a
+    /// successfully verified cell could still read back as the level below.
+    VerifyBelowReadRef {
+        /// Index of the offending programmed level (1-based level index).
+        level: u8,
+    },
+    /// The program pulse amplitude must be positive.
+    NonPositivePulse,
+}
+
+impl std::fmt::Display for LevelConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LevelConfigError::LevelCountOutOfRange(n) => {
+                write!(f, "level count {n} outside supported range 2..=4")
+            }
+            LevelConfigError::ReadRefsNotSorted => {
+                write!(f, "read reference voltages must be strictly increasing")
+            }
+            LevelConfigError::VerifyCountMismatch { expected, actual } => write!(
+                f,
+                "expected {expected} verify voltages (one per programmed level), got {actual}"
+            ),
+            LevelConfigError::VerifyBelowReadRef { level } => write!(
+                f,
+                "verify voltage of level {level} is below its lower read reference"
+            ),
+            LevelConfigError::NonPositivePulse => {
+                write!(f, "program pulse amplitude must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LevelConfigError {}
+
+impl LevelConfig {
+    /// Builds a configuration from raw voltages.
+    ///
+    /// `read_refs` are the level boundaries (length = level count − 1),
+    /// `verify` the program verify voltage of each *programmed* level
+    /// (length = level count − 1, the erased level is not programmed), and
+    /// `program_pulse` the ISPP step `Vpp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LevelConfigError`] if the voltage sets are inconsistent
+    /// (unsorted read references, wrong verify count, a verify voltage below
+    /// its level's lower boundary, or a non-positive pulse).
+    pub fn new(
+        read_refs: Vec<Volts>,
+        verify: Vec<Volts>,
+        erased_mean: Volts,
+        program_pulse: Volts,
+    ) -> Result<LevelConfig, LevelConfigError> {
+        let levels = read_refs.len() + 1;
+        if !(2..=4).contains(&levels) {
+            return Err(LevelConfigError::LevelCountOutOfRange(levels));
+        }
+        if read_refs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(LevelConfigError::ReadRefsNotSorted);
+        }
+        if verify.len() != read_refs.len() {
+            return Err(LevelConfigError::VerifyCountMismatch {
+                expected: read_refs.len(),
+                actual: verify.len(),
+            });
+        }
+        for (i, (v, r)) in verify.iter().zip(read_refs.iter()).enumerate() {
+            if v < r {
+                return Err(LevelConfigError::VerifyBelowReadRef {
+                    level: (i + 1) as u8,
+                });
+            }
+        }
+        if program_pulse <= Volts::ZERO {
+            return Err(LevelConfigError::NonPositivePulse);
+        }
+        Ok(LevelConfig {
+            read_refs,
+            verify,
+            erased_mean,
+            erased_sigma: Volts(0.35),
+            program_pulse,
+        })
+    }
+
+    /// Replaces the standard deviation of the erased (`L0`) distribution
+    /// (paper §6.1 models level 0 as `N(1.1, 0.35)`; 0.35 is the default).
+    #[must_use]
+    pub fn with_erased_sigma(mut self, sigma: Volts) -> LevelConfig {
+        self.erased_sigma = sigma;
+        self
+    }
+
+    /// The regular MLC (normal state) configuration used as the paper's
+    /// baseline: four levels packed into the same overall `Vth` window the
+    /// reduced state spreads three levels across.
+    ///
+    /// The erased distribution is `N(1.1, 0.35)` (paper §6.1). The three
+    /// programmed levels occupy `[2.40, 3.80]` with verify voltages 52 mV
+    /// above each lower read reference — the paper never publishes its
+    /// baseline margins, so this offset was fitted against Table 4 (see
+    /// `crates/core/examples/calibrate_table4.rs`). It sits just under the
+    /// 60 mV margin of NUNMA 1, preserving the paper's strict ordering
+    /// baseline > NUNMA 1 > NUNMA 2 > NUNMA 3 at every stress point.
+    pub fn normal_mlc() -> LevelConfig {
+        LevelConfig::new(
+            vec![Volts(2.40), Volts(3.00), Volts(3.60)],
+            vec![Volts(2.452), Volts(3.052), Volts(3.652)],
+            Volts(1.1),
+            Volts(0.15),
+        )
+        .expect("baseline MLC configuration is valid")
+    }
+
+    /// A reduced-state (three-level) configuration with symmetric margins
+    /// and no NUNMA bias: verify voltages sit just above the Table 3 read
+    /// references, as in Figure 4(a).
+    ///
+    /// NUNMA variants (Table 3) are constructed by the `flexlevel` crate.
+    pub fn reduced_symmetric() -> LevelConfig {
+        LevelConfig::new(
+            vec![Volts(2.65), Volts(3.55)],
+            vec![Volts(2.70), Volts(3.60)],
+            Volts(1.1),
+            Volts(0.15),
+        )
+        .expect("symmetric reduced configuration is valid")
+    }
+
+    /// Number of `Vth` levels.
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.read_refs.len() + 1
+    }
+
+    /// The read reference voltages (level boundaries), lowest first.
+    #[inline]
+    pub fn read_refs(&self) -> &[Volts] {
+        &self.read_refs
+    }
+
+    /// The program verify voltage of a programmed level.
+    ///
+    /// Returns `None` for the erased level or out-of-range levels.
+    #[inline]
+    pub fn verify_voltage(&self, level: VthLevel) -> Option<Volts> {
+        if level.is_erased() {
+            None
+        } else {
+            self.verify.get(level.index() as usize - 1).copied()
+        }
+    }
+
+    /// Mean of the erased (`L0`) distribution.
+    #[inline]
+    pub fn erased_mean(&self) -> Volts {
+        self.erased_mean
+    }
+
+    /// Standard deviation of the erased (`L0`) distribution.
+    #[inline]
+    pub fn erased_sigma(&self) -> Volts {
+        self.erased_sigma
+    }
+
+    /// ISPP program pulse amplitude `Vpp`.
+    #[inline]
+    pub fn program_pulse(&self) -> Volts {
+        self.program_pulse
+    }
+
+    /// Nominal centre of a level's post-program distribution.
+    ///
+    /// The erased level centres on [`erased_mean`](Self::erased_mean);
+    /// programmed levels centre half a pulse above their verify voltage
+    /// (ISPP places cells uniformly in `[verify, verify + Vpp)`).
+    pub fn nominal_mean(&self, level: VthLevel) -> Option<Volts> {
+        if level.index() as usize >= self.level_count() {
+            return None;
+        }
+        Some(match self.verify_voltage(level) {
+            None => self.erased_mean,
+            Some(v) => v + self.program_pulse / 2.0,
+        })
+    }
+
+    /// Classifies an analog threshold voltage into a level by comparing
+    /// against the read references, exactly as a page read does.
+    pub fn classify(&self, vth: Volts) -> VthLevel {
+        let idx = self.read_refs.iter().take_while(|r| vth >= **r).count();
+        VthLevel::new(idx as u8)
+    }
+
+    /// The *retention* noise margin of a level: distance from the nominal
+    /// post-program placement down to the lower read reference. Charge loss
+    /// greater than this margin misreads the cell one level down.
+    ///
+    /// Returns `None` for the erased level (it has no lower boundary).
+    pub fn retention_margin(&self, level: VthLevel) -> Option<Volts> {
+        let lower_ref = *self.read_refs.get((level.index() as usize).checked_sub(1)?)?;
+        Some(self.nominal_mean(level)? - lower_ref)
+    }
+
+    /// The *interference* noise margin of a level: distance from the nominal
+    /// post-program placement up to the upper read reference. A `Vth` gain
+    /// (cell-to-cell coupling) greater than this misreads one level up.
+    ///
+    /// Returns `None` for the top level (it has no upper boundary).
+    pub fn interference_margin(&self, level: VthLevel) -> Option<Volts> {
+        let upper_ref = *self.read_refs.get(level.index() as usize)?;
+        Some(upper_ref - self.nominal_mean(level)?)
+    }
+
+    /// The highest valid level in this configuration.
+    #[inline]
+    pub fn top_level(&self) -> VthLevel {
+        VthLevel::new((self.level_count() - 1) as u8)
+    }
+
+    /// Iterates over all levels of this configuration, lowest first.
+    pub fn levels(&self) -> impl Iterator<Item = VthLevel> + '_ {
+        (0..self.level_count() as u8).map(VthLevel::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_basic() {
+        assert_eq!(VthLevel::new(2).index(), 2);
+        assert!(VthLevel::ERASED.is_erased());
+        assert!(!VthLevel::L1.is_erased());
+        assert_eq!(VthLevel::L3.distance(VthLevel::L1), 2);
+        assert_eq!(VthLevel::L1.distance(VthLevel::L3), 2);
+        assert_eq!(VthLevel::L2.to_string(), "L2");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn level_out_of_range_panics() {
+        let _ = VthLevel::new(4);
+    }
+
+    #[test]
+    fn cell_mode_density() {
+        assert_eq!(CellMode::Normal.level_count(), 4);
+        assert_eq!(CellMode::Reduced.level_count(), 3);
+        assert_eq!(CellMode::Reduced.bits_per_cell_pair(), 3);
+        // The paper's 25 % density-loss claim for reduced pages.
+        assert!((CellMode::Reduced.relative_density() - 0.75).abs() < 1e-12);
+        assert_eq!(CellMode::Normal.relative_density(), 1.0);
+    }
+
+    #[test]
+    fn normal_mlc_classify() {
+        let cfg = LevelConfig::normal_mlc();
+        assert_eq!(cfg.level_count(), 4);
+        assert_eq!(cfg.classify(Volts(1.1)), VthLevel::ERASED);
+        assert_eq!(cfg.classify(Volts(2.5)), VthLevel::L1);
+        assert_eq!(cfg.classify(Volts(3.1)), VthLevel::L2);
+        assert_eq!(cfg.classify(Volts(3.8)), VthLevel::L3);
+        // boundary is inclusive upward
+        assert_eq!(cfg.classify(Volts(3.00)), VthLevel::L2);
+    }
+
+    #[test]
+    fn reduced_margins_exceed_baseline_margins() {
+        // The premise of basic LevelAdjust: spreading fewer levels over the
+        // same window widens the interference margins substantially (the
+        // Figure 5 effect). Retention margins stay comparable in the basic
+        // symmetric configuration — widening those is NUNMA's job.
+        let base = LevelConfig::normal_mlc();
+        let reduced = LevelConfig::reduced_symmetric();
+        let worst_base_int = (0..3)
+            .map(|i| base.interference_margin(VthLevel::new(i)).unwrap())
+            .fold(Volts(f64::INFINITY), Volts::min);
+        let worst_reduced_int = (0..2)
+            .map(|i| reduced.interference_margin(VthLevel::new(i)).unwrap())
+            .fold(Volts(f64::INFINITY), Volts::min);
+        assert!(worst_reduced_int > worst_base_int + Volts(0.2));
+
+        let worst_base_ret = (1..4)
+            .map(|i| base.retention_margin(VthLevel::new(i)).unwrap())
+            .fold(Volts(f64::INFINITY), Volts::min);
+        let worst_reduced_ret = (1..3)
+            .map(|i| reduced.retention_margin(VthLevel::new(i)).unwrap())
+            .fold(Volts(f64::INFINITY), Volts::min);
+        assert!(worst_reduced_ret > worst_base_ret - Volts(0.01));
+    }
+
+    #[test]
+    fn erased_sigma_configurable() {
+        let cfg = LevelConfig::normal_mlc();
+        assert_eq!(cfg.erased_sigma(), Volts(0.35));
+        let wide = cfg.with_erased_sigma(Volts(0.5));
+        assert_eq!(wide.erased_sigma(), Volts(0.5));
+    }
+
+    #[test]
+    fn reduced_classify() {
+        let cfg = LevelConfig::reduced_symmetric();
+        assert_eq!(cfg.level_count(), 3);
+        assert_eq!(cfg.top_level(), VthLevel::L2);
+        assert_eq!(cfg.classify(Volts(1.0)), VthLevel::ERASED);
+        assert_eq!(cfg.classify(Volts(3.0)), VthLevel::L1);
+        assert_eq!(cfg.classify(Volts(4.0)), VthLevel::L2);
+    }
+
+    #[test]
+    fn nominal_means_and_margins() {
+        let cfg = LevelConfig::reduced_symmetric();
+        assert_eq!(cfg.nominal_mean(VthLevel::ERASED), Some(Volts(1.1)));
+        // verify 2.70 + half pulse 0.075
+        let l1_mean = cfg.nominal_mean(VthLevel::L1).unwrap();
+        assert!((l1_mean.as_f64() - 2.775).abs() < 1e-12);
+        // retention margin of L1 = 2.775 - 2.65
+        let m = cfg.retention_margin(VthLevel::L1).unwrap();
+        assert!((m.as_f64() - 0.125).abs() < 1e-12);
+        // interference margin of L1 = 3.55 - 2.775
+        let i = cfg.interference_margin(VthLevel::L1).unwrap();
+        assert!((i.as_f64() - 0.775).abs() < 1e-12);
+        // erased level has no retention margin; top level no interference margin
+        assert_eq!(cfg.retention_margin(VthLevel::ERASED), None);
+        assert_eq!(cfg.interference_margin(VthLevel::L2), None);
+    }
+
+    #[test]
+    fn verify_is_lower_edge() {
+        // Raising the verify voltage (NUNMA) widens the retention margin.
+        let base = LevelConfig::reduced_symmetric();
+        let nunma = LevelConfig::new(
+            vec![Volts(2.65), Volts(3.55)],
+            vec![Volts(2.75), Volts(3.70)],
+            Volts(1.1),
+            Volts(0.15),
+        )
+        .unwrap();
+        assert!(
+            nunma.retention_margin(VthLevel::L2).unwrap()
+                > base.retention_margin(VthLevel::L2).unwrap()
+        );
+        assert!(
+            nunma.interference_margin(VthLevel::L1).unwrap()
+                < base.interference_margin(VthLevel::L1).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        // unsorted read refs
+        assert_eq!(
+            LevelConfig::new(
+                vec![Volts(3.0), Volts(2.0)],
+                vec![Volts(3.1), Volts(2.1)],
+                Volts(1.1),
+                Volts(0.15),
+            )
+            .unwrap_err(),
+            LevelConfigError::ReadRefsNotSorted
+        );
+        // verify count mismatch
+        assert!(matches!(
+            LevelConfig::new(
+                vec![Volts(2.0), Volts(3.0)],
+                vec![Volts(2.1)],
+                Volts(1.1),
+                Volts(0.15),
+            )
+            .unwrap_err(),
+            LevelConfigError::VerifyCountMismatch {
+                expected: 2,
+                actual: 1
+            }
+        ));
+        // verify below read ref
+        assert_eq!(
+            LevelConfig::new(
+                vec![Volts(2.0), Volts(3.0)],
+                vec![Volts(1.9), Volts(3.1)],
+                Volts(1.1),
+                Volts(0.15),
+            )
+            .unwrap_err(),
+            LevelConfigError::VerifyBelowReadRef { level: 1 }
+        );
+        // non-positive pulse
+        assert_eq!(
+            LevelConfig::new(
+                vec![Volts(2.0)],
+                vec![Volts(2.1)],
+                Volts(1.1),
+                Volts(0.0),
+            )
+            .unwrap_err(),
+            LevelConfigError::NonPositivePulse
+        );
+        // too many levels
+        assert!(matches!(
+            LevelConfig::new(
+                vec![Volts(1.0), Volts(2.0), Volts(3.0), Volts(4.0)],
+                vec![Volts(1.1), Volts(2.1), Volts(3.1), Volts(4.1)],
+                Volts(0.5),
+                Volts(0.15),
+            )
+            .unwrap_err(),
+            LevelConfigError::LevelCountOutOfRange(5)
+        ));
+    }
+
+    #[test]
+    fn levels_iterator() {
+        let cfg = LevelConfig::normal_mlc();
+        let ls: Vec<_> = cfg.levels().collect();
+        assert_eq!(
+            ls,
+            vec![VthLevel::ERASED, VthLevel::L1, VthLevel::L2, VthLevel::L3]
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Structural and logical model of MLC NAND flash memory.
+//!
+//! This crate is the device-level foundation of the FlexLevel reproduction
+//! (Guo et al., *FlexLevel: a Novel NAND Flash Storage System Design for
+//! LDPC Latency Reduction*, DAC 2015). It models everything about a NAND
+//! device that is deterministic:
+//!
+//! * physical [`units`] — [`Volts`], [`Micros`], [`Hours`];
+//! * threshold-voltage [`level`s](crate::level) and per-mode voltage
+//!   configurations ([`LevelConfig`]), including the normal 4-level MLC
+//!   baseline and reduced 3-level (LevelAdjust) shapes;
+//! * the [Gray bit mapping](crate::gray "gray") of normal MLC cells;
+//! * device [`geometry`] with the paper's Table 6 shape;
+//! * the [even/odd bitline structure](crate::bitline "bitline") and how wordlines are
+//!   carved into pages in normal and reduced (ReduceCode) modes;
+//! * the logical [two-step program sequence](crate::program "program");
+//! * operation [`timing`] from Table 6.
+//!
+//! Stochastic behaviour (program noise, cell-to-cell interference,
+//! retention charge loss) lives in the `reliability` crate; the ReduceCode
+//! codec and the NUNMA voltage schedules live in the `flexlevel` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use flash_model::{CellMode, DeviceGeometry, LevelConfig, Volts, VthLevel};
+//!
+//! // A baseline MLC device as evaluated in the paper.
+//! let geometry = DeviceGeometry::paper_chip();
+//! let levels = LevelConfig::normal_mlc();
+//!
+//! // Classify an analog threshold voltage the way a page read would.
+//! assert_eq!(levels.classify(Volts(3.0)), VthLevel::L2);
+//!
+//! // LevelAdjust drops one level, trading 25% density for wider margins.
+//! assert_eq!(CellMode::Reduced.relative_density(), 0.75);
+//! assert_eq!(geometry.page_bytes(), 16 * 1024);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod array;
+pub mod bitline;
+pub mod geometry;
+pub mod gray;
+pub mod level;
+pub mod program;
+pub mod timing;
+pub mod units;
+
+pub use array::{ArrayError, MlcBlock};
+pub use bitline::{BitlineParity, LayoutError, NormalPage, ReducedPage, WordlineLayout};
+pub use geometry::{BlockId, DeviceGeometry, GeometryError, LogicalPage, PhysicalPage};
+pub use gray::{Bit, InvalidBitError, MlcBits};
+pub use level::{CellMode, LevelConfig, LevelConfigError, VthLevel};
+pub use program::{MlcCell, ProgramError, ProgramState};
+pub use timing::NandTiming;
+pub use units::{Hours, Micros, Volts};

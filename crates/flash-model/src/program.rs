@@ -1,0 +1,252 @@
+//! Logical model of the two-step MLC program sequence (normal mode).
+//!
+//! Programming a normal-state MLC cell happens in two steps (paper §2.1):
+//! the first program operation stores the LSB (lower page), the second the
+//! MSB (upper page). The final `Vth` level follows the Gray map of
+//! [`crate::gray`]. This module captures the *logical* state machine — the
+//! ordering rules and bit-to-level transitions — while the analog ISPP
+//! placement with noise lives in the `reliability` crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gray::{self, Bit, MlcBits};
+use crate::level::VthLevel;
+
+/// Program-sequence state of one normal-mode MLC cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ProgramState {
+    /// Erased; neither page of the cell is programmed.
+    #[default]
+    Erased,
+    /// The lower page (LSB) has been programmed.
+    LowerProgrammed(Bit),
+    /// Both pages are programmed; the cell holds a final level.
+    Programmed(VthLevel),
+}
+
+/// Errors from out-of-order program operations.
+///
+/// NAND cells can only gain charge between erases; re-programming a page or
+/// programming pages out of order is rejected by real devices and by this
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Lower page programmed twice without an intervening erase.
+    LowerAlreadyProgrammed,
+    /// Upper page programmed before the lower page.
+    UpperBeforeLower,
+    /// Upper page programmed twice without an intervening erase.
+    UpperAlreadyProgrammed,
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::LowerAlreadyProgrammed => {
+                write!(f, "lower page already programmed since last erase")
+            }
+            ProgramError::UpperBeforeLower => {
+                write!(f, "upper page programmed before lower page")
+            }
+            ProgramError::UpperAlreadyProgrammed => {
+                write!(f, "upper page already programmed since last erase")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A logical normal-mode MLC cell tracking its program sequence.
+///
+/// ```
+/// use flash_model::{Bit, MlcCell, VthLevel};
+///
+/// # fn main() -> Result<(), flash_model::ProgramError> {
+/// let mut cell = MlcCell::new();
+/// cell.program_lower(Bit::ZERO)?;
+/// cell.program_upper(Bit::ZERO)?;
+/// assert_eq!(cell.level(), Some(VthLevel::L2)); // bits 00 → level 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MlcCell {
+    state: ProgramState,
+}
+
+impl MlcCell {
+    /// A fresh, erased cell.
+    #[inline]
+    pub fn new() -> MlcCell {
+        MlcCell {
+            state: ProgramState::Erased,
+        }
+    }
+
+    /// Current program-sequence state.
+    #[inline]
+    pub fn state(&self) -> ProgramState {
+        self.state
+    }
+
+    /// Erases the cell back to level 0 (both pages read as `1`).
+    #[inline]
+    pub fn erase(&mut self) {
+        self.state = ProgramState::Erased;
+    }
+
+    /// First program step: stores the lower-page (LSB) bit.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::LowerAlreadyProgrammed`] if the cell was already
+    /// lower- or fully programmed since the last erase.
+    pub fn program_lower(&mut self, bit: Bit) -> Result<(), ProgramError> {
+        match self.state {
+            ProgramState::Erased => {
+                self.state = ProgramState::LowerProgrammed(bit);
+                Ok(())
+            }
+            _ => Err(ProgramError::LowerAlreadyProgrammed),
+        }
+    }
+
+    /// Second program step: stores the upper-page (MSB) bit and commits the
+    /// final Gray-coded level.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::UpperBeforeLower`] if the lower page has not been
+    /// programmed; [`ProgramError::UpperAlreadyProgrammed`] if the cell is
+    /// already fully programmed.
+    pub fn program_upper(&mut self, bit: Bit) -> Result<(), ProgramError> {
+        match self.state {
+            ProgramState::LowerProgrammed(lower) => {
+                let level = gray::encode(MlcBits::new(lower, bit));
+                self.state = ProgramState::Programmed(level);
+                Ok(())
+            }
+            ProgramState::Erased => Err(ProgramError::UpperBeforeLower),
+            ProgramState::Programmed(_) => Err(ProgramError::UpperAlreadyProgrammed),
+        }
+    }
+
+    /// The final `Vth` level, once both steps completed.
+    pub fn level(&self) -> Option<VthLevel> {
+        match self.state {
+            ProgramState::Programmed(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Reads the lower-page bit in any state (an erased cell reads `1`; a
+    /// lower-programmed cell returns the stored LSB).
+    pub fn read_lower(&self) -> Bit {
+        match self.state {
+            ProgramState::Erased => Bit::ONE,
+            ProgramState::LowerProgrammed(b) => b,
+            ProgramState::Programmed(l) => gray::lower_bit(l),
+        }
+    }
+
+    /// Reads the upper-page bit. An erased or lower-only cell reads `1`
+    /// (the unprogrammed convention).
+    pub fn read_upper(&self) -> Bit {
+        match self.state {
+            ProgramState::Programmed(l) => gray::upper_bit(l),
+            _ => Bit::ONE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a cell through the full two-step sequence.
+    fn program(lower: Bit, upper: Bit) -> MlcCell {
+        let mut c = MlcCell::new();
+        c.program_lower(lower).unwrap();
+        c.program_upper(upper).unwrap();
+        c
+    }
+
+    #[test]
+    fn all_four_levels_reachable() {
+        assert_eq!(program(Bit::ONE, Bit::ONE).level(), Some(VthLevel::ERASED));
+        assert_eq!(program(Bit::ONE, Bit::ZERO).level(), Some(VthLevel::L1));
+        assert_eq!(program(Bit::ZERO, Bit::ZERO).level(), Some(VthLevel::L2));
+        assert_eq!(program(Bit::ZERO, Bit::ONE).level(), Some(VthLevel::L3));
+    }
+
+    #[test]
+    fn readback_matches_programmed_bits() {
+        for lower in [Bit::ZERO, Bit::ONE] {
+            for upper in [Bit::ZERO, Bit::ONE] {
+                let c = program(lower, upper);
+                assert_eq!(c.read_lower(), lower);
+                assert_eq!(c.read_upper(), upper);
+            }
+        }
+    }
+
+    #[test]
+    fn erased_cell_reads_ones() {
+        let c = MlcCell::new();
+        assert_eq!(c.read_lower(), Bit::ONE);
+        assert_eq!(c.read_upper(), Bit::ONE);
+        assert_eq!(c.level(), None);
+    }
+
+    #[test]
+    fn lower_only_cell_reads_stored_lsb() {
+        let mut c = MlcCell::new();
+        c.program_lower(Bit::ZERO).unwrap();
+        assert_eq!(c.read_lower(), Bit::ZERO);
+        assert_eq!(c.read_upper(), Bit::ONE);
+        assert_eq!(c.level(), None);
+    }
+
+    #[test]
+    fn ordering_rules_enforced() {
+        let mut c = MlcCell::new();
+        assert_eq!(
+            c.program_upper(Bit::ZERO),
+            Err(ProgramError::UpperBeforeLower)
+        );
+        c.program_lower(Bit::ONE).unwrap();
+        assert_eq!(
+            c.program_lower(Bit::ONE),
+            Err(ProgramError::LowerAlreadyProgrammed)
+        );
+        c.program_upper(Bit::ONE).unwrap();
+        assert_eq!(
+            c.program_upper(Bit::ZERO),
+            Err(ProgramError::UpperAlreadyProgrammed)
+        );
+        assert_eq!(
+            c.program_lower(Bit::ONE),
+            Err(ProgramError::LowerAlreadyProgrammed)
+        );
+    }
+
+    #[test]
+    fn erase_resets_sequence() {
+        let mut c = program(Bit::ZERO, Bit::ONE);
+        assert_eq!(c.level(), Some(VthLevel::L3));
+        c.erase();
+        assert_eq!(c.state(), ProgramState::Erased);
+        c.program_lower(Bit::ONE).unwrap();
+        c.program_upper(Bit::ZERO).unwrap();
+        assert_eq!(c.level(), Some(VthLevel::L1));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ProgramError::UpperBeforeLower.to_string().contains("before"));
+        assert!(ProgramError::LowerAlreadyProgrammed
+            .to_string()
+            .contains("already"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Physical units used throughout the device model.
+//!
+//! Threshold voltages, program-pulse amplitudes and noise-margin widths are
+//! all plain voltages, but keeping them behind the [`Volts`] newtype prevents
+//! accidental mixing with unit-less model parameters (coupling ratios,
+//! probabilities). Latencies use [`Micros`], matching the microsecond
+//! granularity of the paper's Table 6.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A voltage in volts.
+///
+/// Used for threshold voltages (`Vth`), read reference voltages, program
+/// verify voltages and program pulse amplitudes (`Vpp`).
+///
+/// ```
+/// use flash_model::Volts;
+///
+/// let verify = Volts(2.71);
+/// let pulse = Volts(0.15);
+/// assert!(verify + pulse > verify);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Volts(pub f64);
+
+impl Volts {
+    /// Zero volts.
+    pub const ZERO: Volts = Volts(0.0);
+
+    /// Returns the raw value in volts.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute value of the voltage.
+    #[inline]
+    pub fn abs(self) -> Volts {
+        Volts(self.0.abs())
+    }
+
+    /// Returns the larger of two voltages.
+    #[inline]
+    pub fn max(self, other: Volts) -> Volts {
+        Volts(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two voltages.
+    #[inline]
+    pub fn min(self, other: Volts) -> Volts {
+        Volts(self.0.min(other.0))
+    }
+
+    /// `true` if the value is finite (not NaN or infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Volts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} V", self.0)
+    }
+}
+
+impl Add for Volts {
+    type Output = Volts;
+    #[inline]
+    fn add(self, rhs: Volts) -> Volts {
+        Volts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Volts {
+    #[inline]
+    fn add_assign(&mut self, rhs: Volts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Volts {
+    type Output = Volts;
+    #[inline]
+    fn sub(self, rhs: Volts) -> Volts {
+        Volts(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Volts {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Volts) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Volts {
+    type Output = Volts;
+    #[inline]
+    fn neg(self) -> Volts {
+        Volts(-self.0)
+    }
+}
+
+impl Mul<f64> for Volts {
+    type Output = Volts;
+    #[inline]
+    fn mul(self, rhs: f64) -> Volts {
+        Volts(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Volts {
+    type Output = Volts;
+    #[inline]
+    fn div(self, rhs: f64) -> Volts {
+        Volts(self.0 / rhs)
+    }
+}
+
+impl Sum for Volts {
+    fn sum<I: Iterator<Item = Volts>>(iter: I) -> Volts {
+        Volts(iter.map(|v| v.0).sum())
+    }
+}
+
+/// A latency in microseconds.
+///
+/// Table 6 of the paper expresses all NAND timing in microseconds
+/// (program 1000 µs, read 90 µs, erase 3000 µs); simulator bookkeeping stays
+/// in the same unit to avoid rounding.
+///
+/// ```
+/// use flash_model::Micros;
+///
+/// let sense = Micros(90.0);
+/// let two_senses = sense * 2.0;
+/// assert_eq!(two_senses, Micros(180.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Micros(pub f64);
+
+impl Micros {
+    /// Zero microseconds.
+    pub const ZERO: Micros = Micros(0.0);
+
+    /// Returns the raw value in microseconds.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Converts to seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+
+    /// Constructs from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Micros {
+        Micros(ms * 1_000.0)
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    pub fn max(self, other: Micros) -> Micros {
+        Micros(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} µs", self.0)
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    #[inline]
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    #[inline]
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    #[inline]
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Micros {
+    type Output = Micros;
+    #[inline]
+    fn mul(self, rhs: f64) -> Micros {
+        Micros(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Micros {
+    type Output = Micros;
+    #[inline]
+    fn div(self, rhs: f64) -> Micros {
+        Micros(self.0 / rhs)
+    }
+}
+
+impl Sum for Micros {
+    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
+        Micros(iter.map(|v| v.0).sum())
+    }
+}
+
+/// Storage time used by the retention model, in hours.
+///
+/// The paper reports retention BER at 1 day, 2 days, 1 week and 1 month;
+/// constructors for those grid points are provided.
+///
+/// ```
+/// use flash_model::Hours;
+///
+/// assert_eq!(Hours::days(2.0), Hours(48.0));
+/// assert_eq!(Hours::weeks(1.0), Hours(168.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Hours(pub f64);
+
+impl Hours {
+    /// Zero storage time (freshly programmed).
+    pub const ZERO: Hours = Hours(0.0);
+
+    /// Constructs from a number of days.
+    #[inline]
+    pub fn days(d: f64) -> Hours {
+        Hours(d * 24.0)
+    }
+
+    /// Constructs from a number of weeks.
+    #[inline]
+    pub fn weeks(w: f64) -> Hours {
+        Hours(w * 24.0 * 7.0)
+    }
+
+    /// Constructs from a number of months (30-day months, as the paper's
+    /// "1 month" grid point).
+    #[inline]
+    pub fn months(m: f64) -> Hours {
+        Hours(m * 24.0 * 30.0)
+    }
+
+    /// Returns the raw value in hours.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Hours {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} h", self.0)
+    }
+}
+
+impl Add for Hours {
+    type Output = Hours;
+    #[inline]
+    fn add(self, rhs: Hours) -> Hours {
+        Hours(self.0 + rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volts_arithmetic() {
+        let a = Volts(2.65);
+        let b = Volts(0.15);
+        assert_eq!(a + b, Volts(2.8));
+        assert!((a - b).as_f64() - 2.5 < 1e-12);
+        assert_eq!(a * 2.0, Volts(5.3));
+        assert_eq!(Volts(3.0) / 2.0, Volts(1.5));
+        assert_eq!(-b, Volts(-0.15));
+        assert_eq!(Volts(-1.0).abs(), Volts(1.0));
+    }
+
+    #[test]
+    fn volts_min_max() {
+        assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
+        assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));
+    }
+
+    #[test]
+    fn volts_sum() {
+        let total: Volts = [Volts(1.0), Volts(2.0), Volts(3.0)].into_iter().sum();
+        assert_eq!(total, Volts(6.0));
+    }
+
+    #[test]
+    fn volts_display() {
+        assert_eq!(Volts(2.651).to_string(), "2.651 V");
+    }
+
+    #[test]
+    fn micros_conversions() {
+        assert_eq!(Micros::from_millis(3.0), Micros(3000.0));
+        assert_eq!(Micros(3000.0).as_millis(), 3.0);
+        assert_eq!(Micros(2_000_000.0).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn micros_arithmetic() {
+        assert_eq!(Micros(90.0) + Micros(10.0), Micros(100.0));
+        assert_eq!(Micros(90.0) * 3.0, Micros(270.0));
+        assert_eq!(Micros(90.0).max(Micros(100.0)), Micros(100.0));
+        let total: Micros = [Micros(1.0), Micros(2.0)].into_iter().sum();
+        assert_eq!(total, Micros(3.0));
+    }
+
+    #[test]
+    fn hours_grid_points() {
+        assert_eq!(Hours::days(1.0).as_f64(), 24.0);
+        assert_eq!(Hours::days(2.0).as_f64(), 48.0);
+        assert_eq!(Hours::weeks(1.0).as_f64(), 168.0);
+        assert_eq!(Hours::months(1.0).as_f64(), 720.0);
+        assert_eq!(Hours(1.0) + Hours(2.0), Hours(3.0));
+    }
+}

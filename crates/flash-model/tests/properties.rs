@@ -1,0 +1,97 @@
+//! Property-based tests of the device model's core invariants.
+
+use flash_model::{
+    gray, Bit, CellMode, DeviceGeometry, LevelConfig, MlcBits, PhysicalPage, Volts, VthLevel,
+    WordlineLayout,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Gray encode/decode is an involution and adjacent levels always
+    /// differ in exactly one bit.
+    #[test]
+    fn gray_involution(lower in proptest::bool::ANY, upper in proptest::bool::ANY) {
+        let bits = MlcBits::new(Bit::from(lower), Bit::from(upper));
+        let level = gray::encode(bits);
+        prop_assert_eq!(gray::decode(level), bits);
+    }
+
+    /// Classification respects the read-reference partition: the nominal
+    /// mean of every level classifies as that level.
+    #[test]
+    fn nominal_means_classify_correctly(which in 0u8..2) {
+        let cfg = if which == 0 {
+            LevelConfig::normal_mlc()
+        } else {
+            LevelConfig::reduced_symmetric()
+        };
+        for level in cfg.levels() {
+            let mean = cfg.nominal_mean(level).unwrap();
+            prop_assert_eq!(cfg.classify(mean), level, "level {}", level);
+        }
+    }
+
+    /// Classification is monotone and saturates at the extremes.
+    #[test]
+    fn classify_monotone(v in -1.0f64..6.0, delta in 0.0f64..2.0) {
+        let cfg = LevelConfig::normal_mlc();
+        prop_assert!(cfg.classify(Volts(v)) <= cfg.classify(Volts(v + delta)));
+        prop_assert_eq!(cfg.classify(Volts(-10.0)), VthLevel::ERASED);
+        prop_assert_eq!(cfg.classify(Volts(100.0)), cfg.top_level());
+    }
+
+    /// Geometry page-index flattening is a bijection over the device.
+    #[test]
+    fn geometry_page_index_bijection(blocks in 1u32..64, idx_seed in 0u64..10_000) {
+        let g = DeviceGeometry::scaled(blocks).unwrap();
+        let idx = idx_seed % g.total_pages();
+        let page = g.page_at(idx).unwrap();
+        prop_assert_eq!(g.page_index(page), Some(idx));
+        prop_assert!(g.contains(page));
+        // One past the end must fail both ways.
+        prop_assert_eq!(g.page_at(g.total_pages()), None);
+        prop_assert_eq!(
+            g.page_index(PhysicalPage::new(flash_model::BlockId(blocks), 0)),
+            None
+        );
+    }
+
+    /// Logical capacity is always consistent with the over-provisioning
+    /// percentage.
+    #[test]
+    fn over_provisioning_math(blocks in 1u32..256, op in 0u32..100) {
+        let g = DeviceGeometry::new(blocks, 64, 16 * 1024, op).unwrap();
+        prop_assert_eq!(g.logical_pages(), g.total_pages() * (100 - op) as u64 / 100);
+        prop_assert!(g.logical_bytes() <= g.raw_bytes());
+    }
+
+    /// Wordline page accounting: page size is mode-independent, and the
+    /// reduced wordline always stores exactly 3/4 of the normal bits.
+    #[test]
+    fn wordline_density(quads in 1u32..100_000) {
+        let wl = WordlineLayout::new(quads * 4).unwrap();
+        prop_assert_eq!(
+            wl.page_bits(CellMode::Normal),
+            wl.page_bits(CellMode::Reduced)
+        );
+        prop_assert_eq!(
+            wl.wordline_bits(CellMode::Reduced) * 4,
+            wl.wordline_bits(CellMode::Normal) * 3
+        );
+    }
+
+    /// Two-step programming reaches exactly the Gray level of the
+    /// written bit pair, in any write order of distinct cells.
+    #[test]
+    fn mlc_program_reaches_gray_level(lower in proptest::bool::ANY, upper in proptest::bool::ANY) {
+        use flash_model::MlcCell;
+        let mut cell = MlcCell::new();
+        let (lo, up) = (Bit::from(lower), Bit::from(upper));
+        cell.program_lower(lo).unwrap();
+        cell.program_upper(up).unwrap();
+        let expected = gray::encode(MlcBits::new(lo, up));
+        prop_assert_eq!(cell.level(), Some(expected));
+        prop_assert_eq!(cell.read_lower(), lo);
+        prop_assert_eq!(cell.read_upper(), up);
+    }
+}

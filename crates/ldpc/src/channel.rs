@@ -1,0 +1,497 @@
+//! The NAND read channel: soft sensing and LLR extraction.
+//!
+//! A hard-decision lower-page read senses once against the page's boundary
+//! reference voltage. Soft-decision LDPC adds *extra sensing levels* —
+//! additional reference voltages straddling the boundary — so each cell is
+//! resolved to a narrow `Vth` *region* instead of a single bit. The
+//! log-likelihood ratio of each region follows from the channel statistics
+//! (where each level's distribution actually lies after wear, interference
+//! and retention), which is what makes soft decoding succeed far above the
+//! hard-decision BER limit.
+//!
+//! This module builds the lower-page channel of a normal-state MLC cell:
+//! levels {0, 1} carry bit 1, levels {2, 3} carry bit 0 (the Gray map of
+//! `flash_model::gray`), with one nominal boundary between levels 1 and 2.
+
+use flash_model::{Hours, LevelConfig, Volts, VthLevel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use reliability::{InterferenceModel, ProgramModel, RetentionModel, RetentionStress};
+
+/// Placement of soft sensing thresholds around the nominal boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftSensingConfig {
+    /// Number of extra sensing levels beyond the hard-decision reference.
+    pub extra_levels: u32,
+    /// Spacing between adjacent soft thresholds.
+    pub spacing: Volts,
+}
+
+impl SoftSensingConfig {
+    /// Hard-decision sensing: no extra levels.
+    pub fn hard_decision() -> SoftSensingConfig {
+        SoftSensingConfig {
+            extra_levels: 0,
+            spacing: Volts(0.04),
+        }
+    }
+
+    /// Soft sensing with `extra_levels` extra thresholds at the default
+    /// 40 mV spacing.
+    pub fn soft(extra_levels: u32) -> SoftSensingConfig {
+        SoftSensingConfig {
+            extra_levels,
+            spacing: Volts(0.04),
+        }
+    }
+
+    /// The sorted sensing thresholds for a page whose nominal reference is
+    /// `boundary`.
+    ///
+    /// Extra thresholds alternate below/above the boundary (below first —
+    /// retention loss drags distributions downward, so the lower side is
+    /// where ambiguity concentrates): `−1δ, +1δ, −2δ, +2δ, …`.
+    pub fn thresholds(&self, boundary: Volts) -> Vec<f64> {
+        let mut t = vec![boundary.as_f64()];
+        for k in 0..self.extra_levels {
+            let step = (k / 2 + 1) as f64 * self.spacing.as_f64();
+            let offset = if k % 2 == 0 { -step } else { step };
+            t.push(boundary.as_f64() + offset);
+        }
+        t.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+        t
+    }
+}
+
+/// Device stress applied when building a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChannelStress {
+    /// Cell-to-cell interference, if modelled.
+    pub c2c: Option<InterferenceModel>,
+    /// Retention wear/time point, if modelled.
+    pub retention: Option<(RetentionModel, RetentionStress)>,
+}
+
+impl ChannelStress {
+    /// Retention-dominated stress, the Table 4/5 scenario.
+    pub fn retention(pe_cycles: u32, time: Hours) -> ChannelStress {
+        ChannelStress {
+            c2c: None,
+            retention: Some((RetentionModel::paper(), RetentionStress::new(pe_cycles, time))),
+        }
+    }
+
+    /// Both noise sources.
+    pub fn full(pe_cycles: u32, time: Hours) -> ChannelStress {
+        ChannelStress {
+            c2c: Some(InterferenceModel::default()),
+            retention: Some((RetentionModel::paper(), RetentionStress::new(pe_cycles, time))),
+        }
+    }
+}
+
+/// Which MLC page a channel models.
+///
+/// The Gray map (`11, 10, 00, 01` → levels 0–3) gives the two pages very
+/// different read channels: the lower page has one boundary (between
+/// levels 1 and 2, one sensing pass), while the upper page has two
+/// (levels 0/1 and 2/3 — two sensing passes, and two distributions'
+/// tails to fight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageKind {
+    /// LSB page: bit 1 on levels {0, 1}, bit 0 on levels {2, 3}.
+    Lower,
+    /// MSB page: bit 1 on levels {0, 3}, bit 0 on levels {1, 2}.
+    Upper,
+}
+
+/// A calibrated MLC page read channel: thresholds plus per-region LLRs.
+#[derive(Debug, Clone)]
+pub struct MlcReadChannel {
+    config: LevelConfig,
+    page: PageKind,
+    program: ProgramModel,
+    stress: ChannelStress,
+    thresholds: Vec<f64>,
+    llr_by_region: Vec<f32>,
+    raw_ber: f64,
+}
+
+impl MlcReadChannel {
+    /// Convenience: [`build`](Self::build) for the lower page.
+    ///
+    /// # Panics
+    ///
+    /// See [`build`](Self::build).
+    pub fn build_lower_page(
+        config: &LevelConfig,
+        stress: ChannelStress,
+        soft: SoftSensingConfig,
+        calibration_samples: u32,
+        seed: u64,
+    ) -> MlcReadChannel {
+        MlcReadChannel::build(
+            config,
+            PageKind::Lower,
+            stress,
+            soft,
+            calibration_samples,
+            seed,
+        )
+    }
+
+    /// Builds the channel of either MLC page of `config` under `stress`,
+    /// sensing with `soft` (extra thresholds straddle *each* nominal
+    /// boundary of the page), calibrating region LLRs from
+    /// `calibration_samples` Monte-Carlo draws per bit value using the
+    /// deterministic `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` does not have 4 levels (the page maps are
+    /// specific to normal-state MLC) or `calibration_samples == 0`.
+    pub fn build(
+        config: &LevelConfig,
+        page: PageKind,
+        stress: ChannelStress,
+        soft: SoftSensingConfig,
+        calibration_samples: u32,
+        seed: u64,
+    ) -> MlcReadChannel {
+        assert_eq!(
+            config.level_count(),
+            4,
+            "MLC page channels require a 4-level configuration"
+        );
+        assert!(calibration_samples > 0, "calibration needs samples");
+        let mut thresholds: Vec<f64> = match page {
+            PageKind::Lower => soft.thresholds(config.read_refs()[1]),
+            PageKind::Upper => {
+                let mut t = soft.thresholds(config.read_refs()[0]);
+                t.extend(soft.thresholds(config.read_refs()[2]));
+                t
+            }
+        };
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+        let regions = thresholds.len() + 1;
+
+        let mut channel = MlcReadChannel {
+            config: config.clone(),
+            page,
+            program: ProgramModel::default(),
+            stress,
+            thresholds,
+            llr_by_region: vec![0.0; regions],
+            raw_ber: 0.0,
+        };
+
+        // Monte-Carlo calibration of P(region | bit).
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut counts = [vec![0u64; regions], vec![0u64; regions]];
+        let mut hard_errors = 0u64;
+        for bit in 0..2u8 {
+            for _ in 0..calibration_samples {
+                let vth = channel.sample_vth(bit, &mut rng);
+                let r = channel.sense(vth);
+                counts[bit as usize][r] += 1;
+                if channel.hard_decision(vth) != bit {
+                    hard_errors += 1;
+                }
+            }
+        }
+        channel.raw_ber = hard_errors as f64 / (2.0 * calibration_samples as f64);
+        let n = calibration_samples as f64;
+        for r in 0..regions {
+            // Laplace smoothing keeps empty regions finite.
+            let p0 = (counts[0][r] as f64 + 0.5) / (n + 0.5 * regions as f64);
+            let p1 = (counts[1][r] as f64 + 0.5) / (n + 0.5 * regions as f64);
+            channel.llr_by_region[r] = (p0 / p1).ln().clamp(-20.0, 20.0) as f32;
+        }
+        channel
+    }
+
+    /// The nominal lower-page boundary voltage (the middle read
+    /// reference). Upper-page channels have two boundaries; see
+    /// [`hard_decision`](Self::hard_decision).
+    pub fn boundary(&self) -> f64 {
+        self.config.read_refs()[1].as_f64()
+    }
+
+    /// The page this channel models.
+    pub fn page(&self) -> PageKind {
+        self.page
+    }
+
+    /// Hard-decision readout of an analog `Vth` for this page.
+    pub fn hard_decision(&self, vth: Volts) -> u8 {
+        let refs = self.config.read_refs();
+        match self.page {
+            PageKind::Lower => u8::from(vth < refs[1]),
+            // Upper bit pattern across levels is 1,0,0,1.
+            PageKind::Upper => u8::from(vth < refs[0] || vth >= refs[2]),
+        }
+    }
+
+    /// The sorted sensing thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Raw hard-decision BER observed during calibration.
+    pub fn raw_ber(&self) -> f64 {
+        self.raw_ber
+    }
+
+    /// Calibrated LLR of each sensing region.
+    pub fn llr_table(&self) -> &[f32] {
+        &self.llr_by_region
+    }
+
+    /// Resolves an analog `Vth` to its sensing region (0 = below all
+    /// thresholds).
+    pub fn sense(&self, vth: Volts) -> usize {
+        self.thresholds
+            .iter()
+            .take_while(|&&t| vth.as_f64() >= t)
+            .count()
+    }
+
+    /// Samples the post-stress `Vth` of a cell storing lower-page `bit`
+    /// (the companion upper-page bit is uniform, selecting one of the two
+    /// levels consistent with `bit`).
+    pub fn sample_vth<R: Rng + ?Sized>(&self, bit: u8, rng: &mut R) -> Volts {
+        // Gray maps: lower page bit 1 on levels {0,1}; upper page bit 1
+        // on levels {0,3}.
+        let level = match (self.page, bit, rng.gen_bool(0.5)) {
+            (PageKind::Lower, 1, false) => VthLevel::ERASED,
+            (PageKind::Lower, 1, true) => VthLevel::L1,
+            (PageKind::Lower, 0, false) => VthLevel::L2,
+            (PageKind::Lower, 0, true) => VthLevel::L3,
+            (PageKind::Upper, 1, false) => VthLevel::ERASED,
+            (PageKind::Upper, 1, true) => VthLevel::L3,
+            (PageKind::Upper, 0, false) => VthLevel::L1,
+            (PageKind::Upper, 0, true) => VthLevel::L2,
+            _ => panic!("bit must be 0 or 1, got {bit}"),
+        };
+        let initial = self.program.program(&self.config, level, rng);
+        let mut vth = initial;
+        if let Some(ref c2c) = self.stress.c2c {
+            vth += c2c.sample_shift(&self.config, &self.program, rng);
+        }
+        if let Some((ref model, stress)) = self.stress.retention {
+            vth -= model.sample_shift(
+                initial,
+                self.config.erased_mean(),
+                stress.pe_cycles,
+                stress.time,
+                rng,
+            );
+        }
+        vth
+    }
+
+    /// Samples the channel LLR observed for a stored `bit`: sample `Vth`,
+    /// sense it, look up the region LLR.
+    pub fn sample_llr<R: Rng + ?Sized>(&self, bit: u8, rng: &mut R) -> f32 {
+        let vth = self.sample_vth(bit, rng);
+        self.llr_by_region[self.sense(vth)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fresh_channel(extra: u32) -> MlcReadChannel {
+        MlcReadChannel::build_lower_page(
+            &LevelConfig::normal_mlc(),
+            ChannelStress::retention(5000, Hours::weeks(1.0)),
+            SoftSensingConfig::soft(extra),
+            50_000,
+            7,
+        )
+    }
+
+    #[test]
+    fn threshold_placement() {
+        let soft = SoftSensingConfig::soft(4);
+        let t = soft.thresholds(Volts(3.0));
+        assert_eq!(t.len(), 5);
+        // -2δ, -1δ, 0, +1δ, +2δ around 3.0 at δ = 0.04
+        let want = [2.92, 2.96, 3.0, 3.04, 3.08];
+        for (got, want) in t.iter().zip(want) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn threshold_placement_odd_count_biases_low() {
+        let soft = SoftSensingConfig::soft(1);
+        let t = soft.thresholds(Volts(3.0));
+        assert_eq!(t, vec![2.96, 3.0]);
+    }
+
+    #[test]
+    fn hard_decision_single_threshold() {
+        let soft = SoftSensingConfig::hard_decision();
+        assert_eq!(soft.thresholds(Volts(3.0)), vec![3.0]);
+    }
+
+    #[test]
+    fn llr_signs_follow_regions() {
+        let ch = fresh_channel(4);
+        let llrs = ch.llr_table();
+        // Lowest region (deep below boundary): strongly bit 1 ⇒ negative.
+        assert!(llrs[0] < -2.0, "lowest region LLR {}", llrs[0]);
+        // Highest region: strongly bit 0 ⇒ positive.
+        assert!(llrs[llrs.len() - 1] > 2.0);
+        // LLRs increase monotonically with the region.
+        for w in llrs.windows(2) {
+            assert!(w[0] <= w[1] + 0.5, "LLR order violated: {llrs:?}");
+        }
+    }
+
+    #[test]
+    fn sense_maps_regions_correctly() {
+        let ch = fresh_channel(2);
+        let t = ch.thresholds();
+        assert_eq!(ch.sense(Volts(t[0] - 0.1)), 0);
+        assert_eq!(ch.sense(Volts(t[t.len() - 1] + 0.1)), t.len());
+    }
+
+    #[test]
+    fn raw_ber_reasonable_under_stress() {
+        let ch = fresh_channel(0);
+        // Lower-page errors at 5000 P/E, 1 week: small but nonzero.
+        assert!(ch.raw_ber() > 0.0, "ber {}", ch.raw_ber());
+        assert!(ch.raw_ber() < 0.05, "ber {}", ch.raw_ber());
+    }
+
+    #[test]
+    fn stress_raises_raw_ber() {
+        let mild = MlcReadChannel::build_lower_page(
+            &LevelConfig::normal_mlc(),
+            ChannelStress::retention(2000, Hours::days(1.0)),
+            SoftSensingConfig::hard_decision(),
+            50_000,
+            7,
+        );
+        let harsh = MlcReadChannel::build_lower_page(
+            &LevelConfig::normal_mlc(),
+            ChannelStress::retention(6000, Hours::months(1.0)),
+            SoftSensingConfig::hard_decision(),
+            50_000,
+            7,
+        );
+        assert!(harsh.raw_ber() > mild.raw_ber());
+    }
+
+    #[test]
+    fn sampled_llrs_point_the_right_way_on_average() {
+        let ch = fresh_channel(4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean_llr_bit0: f32 =
+            (0..n).map(|_| ch.sample_llr(0, &mut rng)).sum::<f32>() / n as f32;
+        let mean_llr_bit1: f32 =
+            (0..n).map(|_| ch.sample_llr(1, &mut rng)).sum::<f32>() / n as f32;
+        assert!(mean_llr_bit0 > 1.0, "bit 0 mean LLR {mean_llr_bit0}");
+        assert!(mean_llr_bit1 < -1.0, "bit 1 mean LLR {mean_llr_bit1}");
+    }
+
+    fn upper_channel(extra: u32) -> MlcReadChannel {
+        MlcReadChannel::build(
+            &LevelConfig::normal_mlc(),
+            PageKind::Upper,
+            ChannelStress::retention(5000, Hours::weeks(1.0)),
+            SoftSensingConfig::soft(extra),
+            50_000,
+            7,
+        )
+    }
+
+    #[test]
+    fn upper_page_has_two_boundary_threshold_clusters() {
+        let ch = upper_channel(2);
+        // 2 soft levels around each of the 2 boundaries + the boundaries:
+        // 6 thresholds total.
+        assert_eq!(ch.thresholds().len(), 6);
+        assert_eq!(ch.page(), PageKind::Upper);
+        let t = ch.thresholds();
+        assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted: {t:?}");
+    }
+
+    #[test]
+    fn upper_page_hard_decision_pattern() {
+        let ch = upper_channel(0);
+        let refs = LevelConfig::normal_mlc();
+        let refs = refs.read_refs();
+        // Below ref0 (level 0) and above ref2 (level 3) carry bit 1.
+        assert_eq!(ch.hard_decision(Volts(refs[0].as_f64() - 0.2)), 1);
+        assert_eq!(ch.hard_decision(Volts(refs[2].as_f64() + 0.2)), 1);
+        // Between them (levels 1 and 2) carries bit 0.
+        assert_eq!(ch.hard_decision(Volts(refs[1].as_f64())), 0);
+    }
+
+    #[test]
+    fn upper_page_llrs_bend_back() {
+        // The upper page's LLR profile is non-monotone: strongly bit-1 at
+        // both extremes, bit-0 in the middle.
+        let ch = upper_channel(4);
+        let llrs = ch.llr_table();
+        assert!(llrs[0] < -1.0, "lowest region is bit 1: {llrs:?}");
+        assert!(llrs[llrs.len() - 1] < -1.0, "highest region is bit 1: {llrs:?}");
+        let mid = llrs[llrs.len() / 2];
+        assert!(mid > 1.0, "middle region is bit 0: {llrs:?}");
+    }
+
+    #[test]
+    fn upper_page_sampled_llrs_point_right() {
+        let ch = upper_channel(4);
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 20_000;
+        let mean_bit0: f32 = (0..n).map(|_| ch.sample_llr(0, &mut rng)).sum::<f32>() / n as f32;
+        let mean_bit1: f32 = (0..n).map(|_| ch.sample_llr(1, &mut rng)).sum::<f32>() / n as f32;
+        assert!(mean_bit0 > 1.0, "bit 0 mean LLR {mean_bit0}");
+        assert!(mean_bit1 < -1.0, "bit 1 mean LLR {mean_bit1}");
+    }
+
+    #[test]
+    fn upper_page_ber_exceeds_lower_under_retention() {
+        // The upper page fights two boundaries; under retention-dominated
+        // stress its raw BER is at least comparable to the lower page's
+        // (level 3 sags toward ref2 while level 2 sags toward ref1).
+        let lower = fresh_channel(0);
+        let upper = MlcReadChannel::build(
+            &LevelConfig::normal_mlc(),
+            PageKind::Upper,
+            ChannelStress::retention(5000, Hours::weeks(1.0)),
+            SoftSensingConfig::hard_decision(),
+            50_000,
+            7,
+        );
+        assert!(upper.raw_ber() > 0.0);
+        assert!(
+            upper.raw_ber() > lower.raw_ber() * 0.5,
+            "upper {} vs lower {}",
+            upper.raw_ber(),
+            lower.raw_ber()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "4-level")]
+    fn rejects_reduced_configs() {
+        let _ = MlcReadChannel::build_lower_page(
+            &LevelConfig::reduced_symmetric(),
+            ChannelStress::default(),
+            SoftSensingConfig::hard_decision(),
+            1000,
+            1,
+        );
+    }
+}

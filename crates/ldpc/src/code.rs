@@ -1,0 +1,338 @@
+//! Quasi-cyclic LDPC code construction.
+//!
+//! The paper protects each 4 KB data block with a rate-8/9 LDPC code
+//! (§6.1). We build that code as a quasi-cyclic (QC) LDPC: the parity-check
+//! matrix is a `J × L` array of `Z × Z` circulant permutation blocks. The
+//! information section uses shifts `s(i, j) = i · (7j + 3) mod Z`, whose
+//! pairwise differences provably avoid 4-cycles for `Z = 1024` (all cross
+//! differences are nonzero and never equal `Z/2` times the row distance);
+//! the parity section is the standard dual-diagonal "staircase" that makes
+//! encoding a single forward pass.
+//!
+//! Paper shape: `Z = 1024`, `J = 4`, 32 information columns + 4 parity
+//! columns ⇒ `n = 36 864`, `k = 32 768`, rate exactly 8/9.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors constructing a [`QcLdpcCode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// All dimensions must be positive.
+    ZeroDimension(&'static str),
+    /// The staircase parity section needs at least two parity columns and
+    /// exactly one parity column per base row.
+    ParityShapeMismatch {
+        /// Base rows requested.
+        rows: usize,
+        /// Parity columns requested.
+        parity_cols: usize,
+    },
+}
+
+impl std::fmt::Display for CodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodeError::ZeroDimension(what) => write!(f, "code dimension {what} is zero"),
+            CodeError::ParityShapeMismatch { rows, parity_cols } => write!(
+                f,
+                "staircase parity needs one column per row, got {rows} rows and {parity_cols} columns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// A quasi-cyclic LDPC code with a staircase (dual-diagonal) parity part.
+///
+/// ```
+/// use ldpc::QcLdpcCode;
+///
+/// let code = QcLdpcCode::paper_code();
+/// assert_eq!(code.codeword_bits(), 36_864);
+/// assert_eq!(code.info_bits(), 32_768);
+/// assert!((code.rate() - 8.0 / 9.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QcLdpcCode {
+    z: usize,
+    base_rows: usize,
+    info_cols: usize,
+    /// `shifts[i][j]` for information blocks.
+    info_shifts: Vec<Vec<usize>>,
+}
+
+impl QcLdpcCode {
+    /// Builds a code with `base_rows × info_cols` information blocks of
+    /// size `z` and a `base_rows`-column staircase parity section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError`] if a dimension is zero or the staircase shape
+    /// is impossible (fewer than 2 rows).
+    pub fn new(z: usize, base_rows: usize, info_cols: usize) -> Result<QcLdpcCode, CodeError> {
+        if z == 0 {
+            return Err(CodeError::ZeroDimension("z"));
+        }
+        if base_rows == 0 {
+            return Err(CodeError::ZeroDimension("base_rows"));
+        }
+        if info_cols == 0 {
+            return Err(CodeError::ZeroDimension("info_cols"));
+        }
+        if base_rows < 2 {
+            return Err(CodeError::ParityShapeMismatch {
+                rows: base_rows,
+                parity_cols: base_rows,
+            });
+        }
+        let info_shifts = (0..base_rows)
+            .map(|i| {
+                (0..info_cols)
+                    .map(|j| (i * (7 * j + 3)) % z)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Ok(QcLdpcCode {
+            z,
+            base_rows,
+            info_cols,
+            info_shifts,
+        })
+    }
+
+    /// The paper's rate-8/9 code over a 4 KB data block:
+    /// `Z = 1024`, 4 base rows, 32 information columns.
+    pub fn paper_code() -> QcLdpcCode {
+        QcLdpcCode::new(1024, 4, 32).expect("paper code parameters are valid")
+    }
+
+    /// A small code for fast tests: `Z = 64`, 4 base rows, 16 information
+    /// columns (n = 1280, k = 1024, rate 0.8).
+    pub fn small_test_code() -> QcLdpcCode {
+        QcLdpcCode::new(64, 4, 16).expect("test code parameters are valid")
+    }
+
+    /// Circulant block size `Z`.
+    #[inline]
+    pub fn circulant_size(&self) -> usize {
+        self.z
+    }
+
+    /// Number of base matrix rows `J` (also parity columns).
+    #[inline]
+    pub fn base_rows(&self) -> usize {
+        self.base_rows
+    }
+
+    /// Number of information block-columns.
+    #[inline]
+    pub fn info_cols(&self) -> usize {
+        self.info_cols
+    }
+
+    /// Information bits `k`.
+    #[inline]
+    pub fn info_bits(&self) -> usize {
+        self.info_cols * self.z
+    }
+
+    /// Parity bits (`base_rows × Z`).
+    #[inline]
+    pub fn parity_bits(&self) -> usize {
+        self.base_rows * self.z
+    }
+
+    /// Codeword length `n`.
+    #[inline]
+    pub fn codeword_bits(&self) -> usize {
+        self.info_bits() + self.parity_bits()
+    }
+
+    /// Number of parity checks (rows of H).
+    #[inline]
+    pub fn check_count(&self) -> usize {
+        self.parity_bits()
+    }
+
+    /// Code rate `k / n`.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.info_bits() as f64 / self.codeword_bits() as f64
+    }
+
+    /// Shift of information block `(row, col)`.
+    #[inline]
+    pub fn info_shift(&self, row: usize, col: usize) -> usize {
+        self.info_shifts[row][col]
+    }
+
+    /// The bit positions participating in parity check `check`
+    /// (information bits first, then the staircase parity bits).
+    ///
+    /// Check `c = i·Z + t` (block row `i`, offset `t`) touches:
+    /// information bit `j·Z + (t + s(i,j)) mod Z` for every info column
+    /// `j`, parity bit `i·Z + t`, and (for `i > 0`) parity bit
+    /// `(i−1)·Z + t`.
+    pub fn check_bits(&self, check: usize) -> Vec<usize> {
+        assert!(check < self.check_count(), "check index out of range");
+        let i = check / self.z;
+        let t = check % self.z;
+        let mut bits = Vec::with_capacity(self.info_cols + 2);
+        for j in 0..self.info_cols {
+            let s = self.info_shifts[i][j];
+            bits.push(j * self.z + (t + s) % self.z);
+        }
+        let parity_base = self.info_bits();
+        bits.push(parity_base + i * self.z + t);
+        if i > 0 {
+            bits.push(parity_base + (i - 1) * self.z + t);
+        }
+        bits
+    }
+
+    /// Builds the full sparse structure: for every check, its bit list.
+    pub fn all_checks(&self) -> Vec<Vec<usize>> {
+        (0..self.check_count()).map(|c| self.check_bits(c)).collect()
+    }
+
+    /// Computes the syndrome weight of a hard-decision word (number of
+    /// unsatisfied checks). Zero means `word` is a codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len() != codeword_bits()`.
+    pub fn syndrome_weight(&self, word: &[u8]) -> usize {
+        assert_eq!(word.len(), self.codeword_bits(), "word length mismatch");
+        (0..self.check_count())
+            .filter(|&c| {
+                self.check_bits(c)
+                    .iter()
+                    .fold(0u8, |acc, &b| acc ^ (word[b] & 1))
+                    == 1
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_code_shape() {
+        let code = QcLdpcCode::paper_code();
+        assert_eq!(code.circulant_size(), 1024);
+        assert_eq!(code.info_bits(), 32_768);
+        assert_eq!(code.parity_bits(), 4_096);
+        assert_eq!(code.codeword_bits(), 36_864);
+        assert_eq!(code.check_count(), 4_096);
+        assert!((code.rate() - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_code_shape() {
+        let code = QcLdpcCode::small_test_code();
+        assert_eq!(code.codeword_bits(), 1280);
+        assert_eq!(code.info_bits(), 1024);
+        assert!((code.rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_dimensions_rejected() {
+        assert!(matches!(
+            QcLdpcCode::new(0, 4, 8),
+            Err(CodeError::ZeroDimension("z"))
+        ));
+        assert!(matches!(
+            QcLdpcCode::new(64, 0, 8),
+            Err(CodeError::ZeroDimension("base_rows"))
+        ));
+        assert!(matches!(
+            QcLdpcCode::new(64, 4, 0),
+            Err(CodeError::ZeroDimension("info_cols"))
+        ));
+        assert!(matches!(
+            QcLdpcCode::new(64, 1, 8),
+            Err(CodeError::ParityShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn check_degree_regular() {
+        let code = QcLdpcCode::small_test_code();
+        for c in 0..code.check_count() {
+            let bits = code.check_bits(c);
+            let expected = code.info_cols() + if c / code.circulant_size() > 0 { 2 } else { 1 };
+            assert_eq!(bits.len(), expected, "check {c}");
+            // no duplicate bit connections
+            let set: HashSet<_> = bits.iter().collect();
+            assert_eq!(set.len(), bits.len());
+        }
+    }
+
+    #[test]
+    fn variable_degrees() {
+        // Information bits: degree J (one per base row).
+        // Parity bits: degree 2 (staircase), except the last block (degree 1
+        // connection... actually first block col appears in rows 0 and 1).
+        let code = QcLdpcCode::small_test_code();
+        let mut degree = vec![0usize; code.codeword_bits()];
+        for c in 0..code.check_count() {
+            for b in code.check_bits(c) {
+                degree[b] += 1;
+            }
+        }
+        for (b, &d) in degree.iter().enumerate().take(code.info_bits()) {
+            assert_eq!(d, code.base_rows(), "info bit {b}");
+        }
+        let z = code.circulant_size();
+        for (idx, &d) in degree[code.info_bits()..].iter().enumerate() {
+            let block = idx / z;
+            let expected = if block == code.base_rows() - 1 { 1 } else { 2 };
+            assert_eq!(d, expected, "parity bit {idx}");
+        }
+    }
+
+    #[test]
+    fn no_four_cycles_in_small_code() {
+        // Girth > 4: no two checks share more than one bit.
+        let code = QcLdpcCode::small_test_code();
+        let checks = code.all_checks();
+        for a in 0..checks.len() {
+            let set: HashSet<_> = checks[a].iter().collect();
+            for b in (a + 1)..checks.len() {
+                let shared = checks[b].iter().filter(|x| set.contains(x)).count();
+                assert!(shared <= 1, "checks {a} and {b} share {shared} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_word_is_codeword() {
+        let code = QcLdpcCode::small_test_code();
+        let zero = vec![0u8; code.codeword_bits()];
+        assert_eq!(code.syndrome_weight(&zero), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_breaks_checks() {
+        let code = QcLdpcCode::small_test_code();
+        let mut word = vec![0u8; code.codeword_bits()];
+        word[5] = 1; // an information bit: participates in J checks
+        assert_eq!(code.syndrome_weight(&word), code.base_rows());
+    }
+
+    #[test]
+    fn check_bits_deterministic_structure() {
+        let code = QcLdpcCode::small_test_code();
+        // Check 0 (row 0, offset 0) touches info bit (t + s(0,j)) = s(0,j)=0
+        // of each block plus parity bit 0 of block 0.
+        let bits = code.check_bits(0);
+        for (j, &b) in bits.iter().take(code.info_cols()).enumerate() {
+            assert_eq!(b, j * code.circulant_size());
+        }
+        assert_eq!(bits[code.info_cols()], code.info_bits());
+    }
+}

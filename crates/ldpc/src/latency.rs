@@ -1,0 +1,136 @@
+//! Read-latency model of an LDPC-protected NAND page read.
+//!
+//! A read costs: one sensing pass per sensing level (nominal + extra),
+//! one bus transfer of the sensed page image per pass, and the decoder
+//! runtime. The sensing/transfer constants come from Table 6 via
+//! [`flash_model::NandTiming`]; the decoder constants model a hardware
+//! min-sum engine. At six extra levels the total lands at ≈7× a
+//! hard-decision read — the inflation the paper cites for BER 1e-2.
+
+use flash_model::{Micros, NandTiming};
+use serde::{Deserialize, Serialize};
+
+/// Latency model for LDPC-protected reads.
+///
+/// ```
+/// use ldpc::ReadLatencyModel;
+///
+/// let m = ReadLatencyModel::paper_mlc();
+/// // Soft sensing levels dominate the read cost.
+/// assert!(m.read_latency(6, 10) > m.read_latency(0, 10) * 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadLatencyModel {
+    /// Device timing (sense, transfer, ReduceCode cycle).
+    pub timing: NandTiming,
+    /// Fixed decoder pipeline latency.
+    pub decode_base: Micros,
+    /// Additional latency per decoder iteration.
+    pub decode_per_iteration: Micros,
+}
+
+impl ReadLatencyModel {
+    /// The reproduction's default: Table 6 timing plus a hardware decoder
+    /// at 2 µs setup + 1.5 µs/iteration.
+    pub fn paper_mlc() -> ReadLatencyModel {
+        ReadLatencyModel {
+            timing: NandTiming::paper_mlc(),
+            decode_base: Micros(2.0),
+            decode_per_iteration: Micros(1.5),
+        }
+    }
+
+    /// Latency of a read using `extra_levels` soft sensing levels and
+    /// `iterations` decoder iterations.
+    pub fn read_latency(&self, extra_levels: u32, iterations: u32) -> Micros {
+        self.timing.read_transfer_latency(extra_levels)
+            + self.decode_base
+            + self.decode_per_iteration * iterations as f64
+    }
+
+    /// Latency of a reduced-state (LevelAdjust) read: hard-decision
+    /// sensing, ReduceCode's one-cycle decode, and a short LDPC pass
+    /// (clean input converges immediately).
+    pub fn reduced_read_latency(&self) -> Micros {
+        self.timing.reduced_read_latency() + self.decode_base + self.decode_per_iteration
+    }
+
+    /// A monotone heuristic for expected decoder iterations at raw BER
+    /// `ber`, calibrated against the min-sum decoder's measured behaviour
+    /// (clean frames converge in 1–3 iterations; near-threshold frames
+    /// take 15–30).
+    pub fn typical_iterations(&self, ber: f64) -> u32 {
+        let est = 2.0 + 900.0 * ber;
+        est.clamp(1.0, 30.0) as u32
+    }
+
+    /// Convenience: latency of a read at raw BER `ber` needing
+    /// `extra_levels`, with iterations from
+    /// [`typical_iterations`](Self::typical_iterations).
+    pub fn read_latency_at_ber(&self, extra_levels: u32, ber: f64) -> Micros {
+        self.read_latency(extra_levels, self.typical_iterations(ber))
+    }
+}
+
+impl Default for ReadLatencyModel {
+    fn default() -> ReadLatencyModel {
+        ReadLatencyModel::paper_mlc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_read_baseline() {
+        let m = ReadLatencyModel::paper_mlc();
+        let hard = m.read_latency(0, 2);
+        // 90 (sense) + 40 (transfer) + 2 + 3 = 135 µs
+        assert_eq!(hard, Micros(135.0));
+    }
+
+    #[test]
+    fn six_levels_is_about_seven_x() {
+        let m = ReadLatencyModel::paper_mlc();
+        let hard = m.read_latency(0, 2).as_f64();
+        let soft = m.read_latency(6, 25).as_f64();
+        let ratio = soft / hard;
+        assert!(
+            (6.0..8.0).contains(&ratio),
+            "6 extra levels should cost ≈7× a hard read, got {ratio:.2}×"
+        );
+    }
+
+    #[test]
+    fn latency_monotone_in_levels_and_iterations() {
+        let m = ReadLatencyModel::paper_mlc();
+        assert!(m.read_latency(1, 5) > m.read_latency(0, 5));
+        assert!(m.read_latency(1, 6) > m.read_latency(1, 5));
+    }
+
+    #[test]
+    fn reduced_read_is_cheap() {
+        let m = ReadLatencyModel::paper_mlc();
+        let reduced = m.reduced_read_latency();
+        let hard = m.read_latency(0, 1);
+        // ReduceCode adds one clock cycle on top of a minimal read.
+        assert!((reduced.as_f64() - hard.as_f64()).abs() < 0.01);
+        // And is far below even one extra sensing level.
+        assert!(reduced < m.read_latency(1, 1));
+    }
+
+    #[test]
+    fn typical_iterations_monotone_and_clamped() {
+        let m = ReadLatencyModel::paper_mlc();
+        assert!(m.typical_iterations(0.0) >= 1);
+        assert!(m.typical_iterations(1e-3) <= m.typical_iterations(1e-2));
+        assert_eq!(m.typical_iterations(1.0), 30);
+    }
+
+    #[test]
+    fn read_latency_at_ber_grows_with_ber() {
+        let m = ReadLatencyModel::paper_mlc();
+        assert!(m.read_latency_at_ber(0, 1e-2) > m.read_latency_at_ber(0, 1e-4));
+    }
+}

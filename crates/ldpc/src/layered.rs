@@ -1,0 +1,226 @@
+//! Layered (turbo-decoding-message-passing) min-sum decoder.
+//!
+//! Flooding updates every check from the *previous* iteration's messages;
+//! layered decoding sweeps checks sequentially and lets later checks in
+//! the same iteration see the refreshed posteriors immediately. For QC
+//! codes this typically halves the iterations to convergence — which in a
+//! NAND controller halves the decode stage of the read latency — at
+//! identical error-rate performance. Offered alongside the flooding
+//! [`MinSumDecoder`](crate::decoder::MinSumDecoder) so the latency model
+//! can be studied under both (see the `ldpc_decode` bench).
+
+use crate::decoder::{DecodeOutcome, DecoderGraph};
+
+/// Layered normalized min-sum decoder.
+///
+/// ```
+/// use ldpc::{encode, DecoderGraph, LayeredDecoder, QcLdpcCode};
+///
+/// # fn main() -> Result<(), ldpc::EncodeError> {
+/// let code = QcLdpcCode::small_test_code();
+/// let graph = DecoderGraph::new(&code);
+/// let codeword = encode(&code, &vec![1u8; code.info_bits()])?;
+/// let llrs: Vec<f32> = codeword.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+/// assert!(LayeredDecoder::new().decode(&graph, &llrs).success);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayeredDecoder {
+    /// Maximum full sweeps over the check set.
+    pub max_iterations: u32,
+    /// Check-node normalization factor α.
+    pub normalization: f32,
+}
+
+impl LayeredDecoder {
+    /// Default configuration matching the flooding decoder (30 sweeps,
+    /// α = 0.75).
+    pub fn new() -> LayeredDecoder {
+        LayeredDecoder {
+            max_iterations: 30,
+            normalization: 0.75,
+        }
+    }
+
+    /// Decodes `channel_llrs` (positive ⇒ bit 0) over `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_llrs.len() != graph.bit_count()`.
+    pub fn decode(&self, graph: &DecoderGraph, channel_llrs: &[f32]) -> DecodeOutcome {
+        assert_eq!(
+            channel_llrs.len(),
+            graph.bit_count(),
+            "LLR length must match codeword length"
+        );
+        let edges = graph.edge_count();
+        let mut c2v = vec![0.0f32; edges];
+        let mut posterior: Vec<f32> = channel_llrs.to_vec();
+        let mut hard = vec![0u8; graph.bit_count()];
+
+        let mut iterations = 0;
+        for iter in 1..=self.max_iterations {
+            iterations = iter;
+            for c in 0..graph.check_count() {
+                let (lo, hi) = graph.check_edge_range(c);
+                // Variable-to-check messages: posterior minus this check's
+                // previous contribution.
+                let mut min1 = f32::INFINITY;
+                let mut min2 = f32::INFINITY;
+                let mut min1_edge = lo;
+                let mut sign_product = 1.0f32;
+                for e in lo..hi {
+                    let b = graph.edge_bit(e);
+                    let v = posterior[b] - c2v[e];
+                    let mag = v.abs();
+                    if v < 0.0 {
+                        sign_product = -sign_product;
+                    }
+                    if mag < min1 {
+                        min2 = min1;
+                        min1 = mag;
+                        min1_edge = e;
+                    } else if mag < min2 {
+                        min2 = mag;
+                    }
+                }
+                // New check-to-variable messages, applied immediately.
+                for e in lo..hi {
+                    let b = graph.edge_bit(e);
+                    let v_old = posterior[b] - c2v[e];
+                    let mag = if e == min1_edge { min2 } else { min1 };
+                    let self_sign = if v_old < 0.0 { -1.0 } else { 1.0 };
+                    let new = self.normalization * sign_product * self_sign * mag;
+                    posterior[b] = v_old + new;
+                    c2v[e] = new;
+                }
+            }
+            for (b, h) in hard.iter_mut().enumerate() {
+                *h = (posterior[b] < 0.0) as u8;
+            }
+            if graph.syndrome_satisfied(&hard) {
+                return DecodeOutcome {
+                    success: true,
+                    iterations,
+                    hard_decision: hard,
+                };
+            }
+        }
+        DecodeOutcome {
+            success: false,
+            iterations,
+            hard_decision: hard,
+        }
+    }
+}
+
+impl Default for LayeredDecoder {
+    fn default() -> LayeredDecoder {
+        LayeredDecoder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::QcLdpcCode;
+    use crate::decoder::MinSumDecoder;
+    use crate::encoder::{encode, random_info};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bsc_llrs<R: Rng>(cw: &[u8], p: f64, rng: &mut R) -> Vec<f32> {
+        cw.iter()
+            .map(|&bit| {
+                let observed = bit ^ (rng.gen_bool(p) as u8);
+                if observed == 0 {
+                    4.0
+                } else {
+                    -4.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_codeword_one_sweep() {
+        let code = QcLdpcCode::small_test_code();
+        let graph = DecoderGraph::new(&code);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cw = encode(&code, &random_info(&code, &mut rng)).unwrap();
+        let llrs = bsc_llrs(&cw, 0.0, &mut rng);
+        let out = LayeredDecoder::new().decode(&graph, &llrs);
+        assert!(out.success);
+        assert_eq!(out.iterations, 1);
+        assert_eq!(out.hard_decision, cw);
+    }
+
+    #[test]
+    fn corrects_where_flooding_does() {
+        let code = QcLdpcCode::small_test_code();
+        let graph = DecoderGraph::new(&code);
+        let layered = LayeredDecoder::new();
+        let flooding = MinSumDecoder::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layered_ok = 0;
+        let mut flooding_ok = 0;
+        for _ in 0..25 {
+            let info = random_info(&code, &mut rng);
+            let cw = encode(&code, &info).unwrap();
+            let llrs = bsc_llrs(&cw, 0.006, &mut rng);
+            if layered.decode(&graph, &llrs).success {
+                layered_ok += 1;
+            }
+            if flooding.decode(&graph, &llrs).success {
+                flooding_ok += 1;
+            }
+        }
+        assert!(
+            layered_ok >= flooding_ok - 1,
+            "layered {layered_ok} vs flooding {flooding_ok}"
+        );
+    }
+
+    #[test]
+    fn converges_faster_than_flooding() {
+        // The whole point of layered scheduling.
+        let code = QcLdpcCode::paper_code();
+        let graph = DecoderGraph::new(&code);
+        let layered = LayeredDecoder::new();
+        let flooding = MinSumDecoder::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layered_iters = 0u32;
+        let mut flooding_iters = 0u32;
+        for _ in 0..4 {
+            let info = random_info(&code, &mut rng);
+            let cw = encode(&code, &info).unwrap();
+            let llrs = bsc_llrs(&cw, 4e-3, &mut rng);
+            let l = layered.decode(&graph, &llrs);
+            let f = flooding.decode(&graph, &llrs);
+            assert!(l.success && f.success);
+            layered_iters += l.iterations;
+            flooding_iters += f.iterations;
+        }
+        assert!(
+            layered_iters < flooding_iters,
+            "layered {layered_iters} must beat flooding {flooding_iters}"
+        );
+    }
+
+    #[test]
+    fn fails_cleanly_on_garbage() {
+        let code = QcLdpcCode::small_test_code();
+        let graph = DecoderGraph::new(&code);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cw = encode(&code, &random_info(&code, &mut rng)).unwrap();
+        let llrs = bsc_llrs(&cw, 0.3, &mut rng);
+        let out = LayeredDecoder {
+            max_iterations: 8,
+            normalization: 0.75,
+        }
+        .decode(&graph, &llrs);
+        assert!(!out.success);
+        assert_eq!(out.iterations, 8);
+    }
+}

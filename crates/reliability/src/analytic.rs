@@ -1,0 +1,505 @@
+//! Fast analytic (semi-closed-form) BER approximations.
+//!
+//! The Monte-Carlo engine in [`crate::ber`] is the ground truth for the
+//! paper's device experiments, but the SSD simulator needs *millions* of
+//! BER queries (one per read, as wear and retention age vary). This module
+//! integrates the same noise models numerically — Gaussian tail
+//! probabilities averaged over the ISPP placement — which is ~10⁴× faster
+//! and accurate to well within the Monte-Carlo noise at the error rates of
+//! interest. Agreement between the two paths is enforced by tests.
+
+use flash_model::{Hours, LevelConfig, VthLevel};
+use serde::{Deserialize, Serialize};
+
+use crate::c2c::InterferenceModel;
+use crate::math::q_function;
+use crate::program::ProgramModel;
+use crate::retention::RetentionModel;
+
+/// Number of quadrature points across the ISPP placement interval.
+const QUAD_POINTS: usize = 48;
+
+/// Per-level and aggregate analytic error probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticBer {
+    /// Probability that a cell programmed to each level misreads.
+    pub per_level: Vec<f64>,
+    /// Cell error rate averaged over uniformly distributed data.
+    pub cell_error_rate: f64,
+    /// Approximate raw bit error rate. Adjacent-level slips dominate and
+    /// cost one bit under Gray/ReduceCode mappings, so
+    /// `ber ≈ cell_error_rate / bits_per_cell`.
+    pub ber: f64,
+}
+
+/// Moments of the aggregate cell-to-cell interference shift, treating the
+/// shift as approximately Gaussian (sum of several independent aggressor
+/// contributions).
+fn c2c_moments(model: &InterferenceModel, config: &LevelConfig) -> (f64, f64) {
+    // One aggressor's ΔVp: 0 if it stays erased (prob 1/L), otherwise
+    // verify_j + U(0, Vpp) - erased_mean for a uniformly chosen level j.
+    let l = config.level_count() as f64;
+    let vpp = config.program_pulse().as_f64();
+    let x0 = config.erased_mean().as_f64();
+    let mut mean = 0.0;
+    let mut second = 0.0;
+    for level in config.levels() {
+        let (m, s2) = match config.verify_voltage(level) {
+            None => (0.0, 0.0),
+            Some(v) => {
+                let m = v.as_f64() + vpp / 2.0 - x0;
+                // variance of U(0, Vpp)
+                (m.max(0.0), vpp * vpp / 12.0)
+            }
+        };
+        mean += m / l;
+        second += (s2 + m * m) / l;
+    }
+    let var = second - mean * mean;
+    let g = &model.ratios;
+    let n = &model.neighbors;
+    let f = model.post_verify_fraction;
+    let agg_mean = mean
+        * (n.x as f64 * g.gamma_x + n.y as f64 * g.gamma_y + n.xy as f64 * g.gamma_xy)
+        * f;
+    let agg_var = var
+        * (n.x as f64 * g.gamma_x * g.gamma_x
+            + n.y as f64 * g.gamma_y * g.gamma_y
+            + n.xy as f64 * g.gamma_xy * g.gamma_xy)
+        * f
+        * f;
+    (agg_mean, agg_var)
+}
+
+/// Analytic error probability of one level under the given noise sources.
+fn level_error_probability(
+    config: &LevelConfig,
+    program: &ProgramModel,
+    level: VthLevel,
+    c2c: Option<&InterferenceModel>,
+    retention: Option<(&RetentionModel, u32, Hours)>,
+) -> f64 {
+    let refs = config.read_refs();
+    let idx = level.index() as usize;
+    let lower_ref = if idx == 0 {
+        None
+    } else {
+        Some(refs[idx - 1].as_f64())
+    };
+    let upper_ref = refs.get(idx).map(|v| v.as_f64());
+    let (c2c_mean, c2c_var) = match c2c {
+        Some(m) => c2c_moments(m, config),
+        None => (0.0, 0.0),
+    };
+    let sp2 = program.placement_sigma.as_f64().powi(2);
+
+    match config.verify_voltage(level) {
+        None => {
+            // Erased level: only upward (interference) errors matter.
+            let Some(upper) = upper_ref else { return 0.0 };
+            let mu = config.erased_mean().as_f64() + c2c_mean;
+            let sigma2 = config.erased_sigma().as_f64().powi(2) + c2c_var;
+            q_function((upper - mu) / sigma2.sqrt())
+        }
+        Some(verify) => {
+            // Programmed level: integrate over the ISPP placement x. The
+            // post-verify disturb spread `sp2` acts in both directions.
+            let vpp = config.program_pulse().as_f64();
+            let x0 = config.erased_mean();
+            let mut total = 0.0;
+            for i in 0..QUAD_POINTS {
+                let x = verify.as_f64() + vpp * (i as f64 + 0.5) / QUAD_POINTS as f64;
+                let mut p = 0.0;
+                // Downward misread: retention loss (plus disturb spread)
+                // below the lower reference.
+                if let Some(lower) = lower_ref {
+                    let (mu, s2) = match retention {
+                        Some((model, pe, time)) => (
+                            model.mu(flash_model::Volts(x), x0, pe, time).as_f64(),
+                            model.sigma_sq(flash_model::Volts(x), x0, pe, time) + sp2,
+                        ),
+                        None => (0.0, sp2),
+                    };
+                    if s2 > 0.0 {
+                        p += q_function((x - mu - lower) / s2.sqrt());
+                    } else if x - mu < lower {
+                        p += 1.0;
+                    }
+                }
+                // Upward misread: interference (plus disturb spread) above
+                // the upper reference.
+                if let Some(upper) = upper_ref {
+                    let var = c2c_var + sp2;
+                    if var > 0.0 {
+                        p += q_function((upper - x - c2c_mean) / var.sqrt());
+                    } else if x + c2c_mean >= upper {
+                        p += 1.0;
+                    }
+                }
+                total += p.min(1.0);
+            }
+            total / QUAD_POINTS as f64
+        }
+    }
+}
+
+/// Full level-transition matrix: `T[i][j]` = probability that a cell
+/// programmed to level `i` reads back as level `j` under the given noise
+/// sources (quadrature over the ISPP placement; Gaussian shift tails).
+///
+/// Unlike [`estimate`], which counts any misread once, the matrix
+/// resolves *where* a cell lands — the input for exact per-page BER and
+/// multi-level-slip analysis.
+pub fn transition_matrix(
+    config: &LevelConfig,
+    program: &ProgramModel,
+    c2c: Option<&InterferenceModel>,
+    retention: Option<(&RetentionModel, u32, Hours)>,
+) -> Vec<Vec<f64>> {
+    let levels = config.level_count();
+    let refs: Vec<f64> = config.read_refs().iter().map(|r| r.as_f64()).collect();
+    let (c2c_mean, c2c_var) = match c2c {
+        Some(m) => c2c_moments(m, config),
+        None => (0.0, 0.0),
+    };
+    let sp2 = program.placement_sigma.as_f64().powi(2);
+    let x0 = config.erased_mean();
+
+    // P(final vth < boundary) for a cell whose pre-shift position is x
+    // with total shift ~ N(c2c_mean - mu_ret, c2c_var + sp_extra + s2_ret).
+    let below = |x: f64, boundary: f64, mu: f64, var: f64| -> f64 {
+        if var > 0.0 {
+            1.0 - q_function((boundary - x - mu) / var.sqrt())
+        } else if x + mu < boundary {
+            1.0
+        } else {
+            0.0
+        }
+    };
+
+    let mut matrix = vec![vec![0.0; levels]; levels];
+    for (i, level) in config.levels().enumerate() {
+        match config.verify_voltage(level) {
+            None => {
+                // Erased: Gaussian N(mean, sigma²) plus interference.
+                let mu = c2c_mean;
+                let var = config.erased_sigma().as_f64().powi(2) + c2c_var;
+                let x = config.erased_mean().as_f64();
+                let mut prev = 0.0;
+                for j in 0..levels {
+                    let cum = if j == levels - 1 {
+                        1.0
+                    } else {
+                        below(x, refs[j], mu, var)
+                    };
+                    matrix[i][j] = (cum - prev).max(0.0);
+                    prev = cum;
+                }
+            }
+            Some(verify) => {
+                let vpp = config.program_pulse().as_f64();
+                for q in 0..QUAD_POINTS {
+                    let x = verify.as_f64() + vpp * (q as f64 + 0.5) / QUAD_POINTS as f64;
+                    let (mu_ret, s2_ret) = match retention {
+                        Some((model, pe, time)) => (
+                            model.mu(flash_model::Volts(x), x0, pe, time).as_f64(),
+                            model.sigma_sq(flash_model::Volts(x), x0, pe, time),
+                        ),
+                        None => (0.0, 0.0),
+                    };
+                    let mu = c2c_mean - mu_ret;
+                    let var = c2c_var + sp2 + s2_ret;
+                    let mut prev = 0.0;
+                    for j in 0..levels {
+                        let cum = if j == levels - 1 {
+                            1.0
+                        } else {
+                            below(x, refs[j], mu, var)
+                        };
+                        matrix[i][j] += (cum - prev).max(0.0) / QUAD_POINTS as f64;
+                        prev = cum;
+                    }
+                }
+            }
+        }
+    }
+    matrix
+}
+
+/// Exact per-page bit error rates `(lower, upper)` of a normal-state MLC
+/// cell, from the transition matrix and the Gray page-bit patterns.
+///
+/// # Panics
+///
+/// Panics if `config` is not a 4-level configuration.
+pub fn page_ber(
+    config: &LevelConfig,
+    program: &ProgramModel,
+    c2c: Option<&InterferenceModel>,
+    retention: Option<(&RetentionModel, u32, Hours)>,
+) -> (f64, f64) {
+    assert_eq!(config.level_count(), 4, "page BER is MLC-specific");
+    let t = transition_matrix(config, program, c2c, retention);
+    let lower = [1u8, 1, 0, 0];
+    let upper = [1u8, 0, 0, 1];
+    let mut lower_err = 0.0;
+    let mut upper_err = 0.0;
+    for i in 0..4 {
+        for j in 0..4 {
+            if lower[i] != lower[j] {
+                lower_err += t[i][j] / 4.0;
+            }
+            if upper[i] != upper[j] {
+                upper_err += t[i][j] / 4.0;
+            }
+        }
+    }
+    // Per *page* bit error: condition on the cell's page membership — a
+    // lower-page bit error happens when the read level's lower bit
+    // differs, averaged over the 4 equally likely programmed levels.
+    (lower_err, upper_err)
+}
+
+/// Computes analytic per-level and aggregate error rates.
+///
+/// `bits_per_cell` converts cell errors into bit errors (2 for normal MLC,
+/// 1.5 for reduced-state ReduceCode pairs).
+///
+/// ```
+/// use flash_model::{Hours, LevelConfig};
+/// use reliability::{analytic, InterferenceModel, ProgramModel, RetentionModel};
+///
+/// let ber = analytic::estimate(
+///     &LevelConfig::normal_mlc(),
+///     &ProgramModel::default(),
+///     Some(&InterferenceModel::default()),
+///     Some((&RetentionModel::paper(), 5000, Hours::weeks(1.0))),
+///     2.0,
+/// );
+/// assert!(ber.ber > 0.0 && ber.ber < 0.1);
+/// ```
+pub fn estimate(
+    config: &LevelConfig,
+    program: &ProgramModel,
+    c2c: Option<&InterferenceModel>,
+    retention: Option<(&RetentionModel, u32, Hours)>,
+    bits_per_cell: f64,
+) -> AnalyticBer {
+    let per_level: Vec<f64> = config
+        .levels()
+        .map(|l| level_error_probability(config, program, l, c2c, retention))
+        .collect();
+    let cell_error_rate = per_level.iter().sum::<f64>() / per_level.len() as f64;
+    AnalyticBer {
+        cell_error_rate,
+        ber: cell_error_rate / bits_per_cell,
+        per_level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::{estimate_mlc_ber, StressConfig};
+    use crate::retention::RetentionStress;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn retention_analytic_matches_monte_carlo() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = RetentionModel::paper();
+        let program = ProgramModel::default();
+        for (pe, time) in [(4000u32, Hours::weeks(1.0)), (6000, Hours::months(1.0))] {
+            let analytic = estimate(&cfg, &program, None, Some((&model, pe, time)), 2.0);
+            let mut rng = StdRng::seed_from_u64(100 + pe as u64);
+            let mc = estimate_mlc_ber(
+                &cfg,
+                StressConfig::retention_only(model, RetentionStress::new(pe, time)),
+                400_000,
+                &mut rng,
+            );
+            let ratio = analytic.cell_error_rate / mc.cell_error_rate().max(1e-12);
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "pe={pe}: analytic {} vs MC {} (ratio {ratio})",
+                analytic.cell_error_rate,
+                mc.cell_error_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn c2c_analytic_matches_monte_carlo_order() {
+        let cfg = LevelConfig::normal_mlc();
+        let c2c = InterferenceModel::default();
+        let program = ProgramModel::default();
+        let analytic = estimate(&cfg, &program, Some(&c2c), None, 2.0);
+        let mut rng = StdRng::seed_from_u64(55);
+        let mc = estimate_mlc_ber(&cfg, StressConfig::c2c_only(c2c), 400_000, &mut rng);
+        // The Gaussian aggregate approximation is cruder for C2C, but must
+        // land within an order of magnitude.
+        let ratio = analytic.cell_error_rate / mc.cell_error_rate().max(1e-12);
+        assert!(
+            (0.1..10.0).contains(&ratio),
+            "analytic {} vs MC {}",
+            analytic.cell_error_rate,
+            mc.cell_error_rate()
+        );
+    }
+
+    #[test]
+    fn monotone_in_stress() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = RetentionModel::paper();
+        let program = ProgramModel::default();
+        let mut prev = 0.0;
+        for pe in [2000u32, 3000, 4000, 5000, 6000] {
+            let b = estimate(&cfg, &program, None, Some((&model, pe, Hours::weeks(1.0))), 2.0).ber;
+            assert!(b >= prev, "BER must grow with wear");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn per_level_shares_favor_top_level_under_retention() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = RetentionModel::paper();
+        let program = ProgramModel::default();
+        let a = estimate(&cfg, &program, None, Some((&model, 6000, Hours::months(1.0))), 2.0);
+        // Erased cells don't lose charge; their static Gaussian tail is the
+        // only residual error and it is tiny next to retention errors.
+        assert!(a.per_level[0] < a.per_level[3]);
+        assert!(a.per_level[3] > a.per_level[1], "top level worst");
+    }
+
+    #[test]
+    fn disturb_spread_alone_causes_small_floor() {
+        // With no retention/C2C stress, the post-verify disturb spread
+        // leaves a small error floor on programmed levels.
+        let cfg = LevelConfig::normal_mlc();
+        let program = ProgramModel::default();
+        let a = estimate(&cfg, &program, None, None, 2.0);
+        assert!(a.per_level[1] > 0.0);
+        // The floor must stay below the 4e-3 sensing trigger — Table 5's
+        // "0 day" column shows zero extra levels at every P/E count.
+        assert!(
+            a.ber < 4e-3,
+            "time-zero BER {} must not trigger soft sensing",
+            a.ber
+        );
+    }
+
+    #[test]
+    fn transition_matrix_rows_are_distributions() {
+        let cfg = LevelConfig::normal_mlc();
+        let program = ProgramModel::default();
+        let model = RetentionModel::paper();
+        let t = transition_matrix(
+            &cfg,
+            &program,
+            Some(&InterferenceModel::default()),
+            Some((&model, 5000, Hours::weeks(1.0))),
+        );
+        for (i, row) in t.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // The diagonal dominates at these error rates.
+            assert!(row[i] > 0.9, "row {i}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn transition_matrix_agrees_with_estimate() {
+        // 1 - diagonal average = cell error rate of `estimate`.
+        let cfg = LevelConfig::normal_mlc();
+        let program = ProgramModel::default();
+        let model = RetentionModel::paper();
+        let stress = Some((&model, 6000, Hours::months(1.0)));
+        let t = transition_matrix(&cfg, &program, None, stress);
+        let cell_err: f64 =
+            (0..4).map(|i| 1.0 - t[i][i]).sum::<f64>() / 4.0;
+        let est = estimate(&cfg, &program, None, stress, 2.0);
+        assert!(
+            (cell_err - est.cell_error_rate).abs() / est.cell_error_rate < 0.05,
+            "matrix {cell_err:.3e} vs estimate {:.3e}",
+            est.cell_error_rate
+        );
+    }
+
+    #[test]
+    fn page_bers_sum_to_cell_error_rate() {
+        // Every cell misread flips the lower bit, the upper bit or both
+        // (Gray: adjacent slips flip exactly one), so
+        // lower + upper ≥ cell rate / 2... exactly: sum of page error
+        // probabilities equals expected flipped bits per cell / 2 bits.
+        let cfg = LevelConfig::normal_mlc();
+        let program = ProgramModel::default();
+        let model = RetentionModel::paper();
+        let stress = Some((&model, 6000, Hours::months(1.0)));
+        let (lower, upper) = page_ber(&cfg, &program, None, stress);
+        let est = estimate(&cfg, &program, None, stress, 2.0);
+        let mean_page = (lower + upper) / 2.0;
+        // Adjacent slips dominate ⇒ mean page BER ≈ cell rate / 2 = ber.
+        assert!(
+            (mean_page - est.ber).abs() / est.ber < 0.15,
+            "mean page {mean_page:.3e} vs ber {:.3e}",
+            est.ber
+        );
+        // Retention-only stress hits the lower page's L2→L1 boundary and
+        // the upper page's L3→L2 and L1→L0 boundaries; both nonzero.
+        assert!(lower > 0.0 && upper > 0.0);
+    }
+
+    #[test]
+    fn analytic_page_ber_matches_channel_measurement() {
+        // Strong cross-validation: the analytic lower-page BER must match
+        // the Monte-Carlo hard-decision BER measured by the LDPC channel
+        // (which samples the same reliability models independently).
+        // The channel lives in the `ldpc` crate, so here we validate
+        // against a direct MC of the same quantity.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let cfg = LevelConfig::normal_mlc();
+        let program = ProgramModel::default();
+        let model = RetentionModel::paper();
+        let (pe, time) = (5000u32, Hours::weeks(1.0));
+        let (analytic_lower, _) = page_ber(&cfg, &program, None, Some((&model, pe, time)));
+
+        let mut rng = StdRng::seed_from_u64(77);
+        let boundary = cfg.read_refs()[1];
+        let n = 400_000;
+        let mut errors = 0u64;
+        for _ in 0..n {
+            // Uniform level; lower-page bit = level < 2.
+            let level = flash_model::VthLevel::new(rng.gen_range(0..4));
+            let initial = program.program(&cfg, level, &mut rng);
+            let vth = initial
+                - model.sample_shift(initial, cfg.erased_mean(), pe, time, &mut rng);
+            let read_bit = vth < boundary;
+            let true_bit = level.index() < 2;
+            if read_bit != true_bit {
+                errors += 1;
+            }
+        }
+        let mc = errors as f64 / n as f64;
+        assert!(
+            (analytic_lower - mc).abs() / mc.max(1e-9) < 0.25,
+            "analytic {analytic_lower:.3e} vs MC {mc:.3e}"
+        );
+    }
+
+    #[test]
+    fn noiseless_program_no_stress_no_programmed_errors() {
+        let cfg = LevelConfig::normal_mlc();
+        let program = ProgramModel::noiseless();
+        let a = estimate(&cfg, &program, None, None, 2.0);
+        assert_eq!(a.per_level[1], 0.0);
+        assert_eq!(a.per_level[2], 0.0);
+        assert_eq!(a.per_level[3], 0.0);
+        // The erased Gaussian's upper tail remains.
+        assert!(a.per_level[0] > 0.0);
+        assert!(a.per_level[0] < 1e-3);
+    }
+}

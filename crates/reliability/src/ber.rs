@@ -1,0 +1,406 @@
+//! Monte-Carlo bit-error-rate engine.
+//!
+//! Simulates the full life of a population of cells — program, suffer
+//! cell-to-cell interference, lose charge over storage time, get read —
+//! and counts how many *bits* (and cells, and per-level slips) come back
+//! wrong. Figure 5 and Table 4 of the paper are regenerated directly from
+//! these counts.
+
+use flash_model::{LevelConfig, VthLevel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::c2c::InterferenceModel;
+use crate::codec::{SymbolCodec, MAX_CELLS_PER_SYMBOL};
+use crate::program::ProgramModel;
+use crate::retention::{RetentionModel, RetentionStress};
+
+/// Which noise sources act on the cells during a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StressConfig {
+    /// Cell-to-cell interference after programming, if enabled.
+    pub c2c: Option<InterferenceModel>,
+    /// Retention charge loss at a given wear/time point, if enabled.
+    pub retention: Option<(RetentionModel, RetentionStress)>,
+}
+
+impl StressConfig {
+    /// Interference only — the Figure 5 configuration.
+    pub fn c2c_only(model: InterferenceModel) -> StressConfig {
+        StressConfig {
+            c2c: Some(model),
+            retention: None,
+        }
+    }
+
+    /// Retention only — the Table 4 configuration.
+    pub fn retention_only(model: RetentionModel, stress: RetentionStress) -> StressConfig {
+        StressConfig {
+            c2c: None,
+            retention: Some((model, stress)),
+        }
+    }
+
+    /// Both noise sources (used when estimating total raw BER for the
+    /// LDPC sensing-level schedule).
+    pub fn combined(
+        c2c: InterferenceModel,
+        retention: RetentionModel,
+        stress: RetentionStress,
+    ) -> StressConfig {
+        StressConfig {
+            c2c: Some(c2c),
+            retention: Some((retention, stress)),
+        }
+    }
+}
+
+/// Outcome counters of one Monte-Carlo BER run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BerReport {
+    /// Symbols simulated.
+    pub symbols: u64,
+    /// Data bits simulated (`symbols × bits_per_symbol`).
+    pub bits: u64,
+    /// Data bits read back incorrectly.
+    pub bit_errors: u64,
+    /// Cells simulated.
+    pub cells: u64,
+    /// Cells whose level was misread.
+    pub cell_errors: u64,
+    /// Misread cells bucketed by the level they were *programmed* to
+    /// (index = level). Drives the per-level analysis behind NUNMA
+    /// (paper §4.2: 78 % of errors at the top level, 15 % at level 1).
+    pub cell_errors_by_level: Vec<u64>,
+    /// Cells programmed to each level.
+    pub cells_by_level: Vec<u64>,
+}
+
+impl BerReport {
+    /// Creates an empty report for a configuration with `levels` levels.
+    pub fn new(levels: usize) -> BerReport {
+        BerReport {
+            cell_errors_by_level: vec![0; levels],
+            cells_by_level: vec![0; levels],
+            ..BerReport::default()
+        }
+    }
+
+    /// Raw bit error rate (`bit_errors / bits`).
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Cell (symbol-level) error rate.
+    pub fn cell_error_rate(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.cell_errors as f64 / self.cells as f64
+        }
+    }
+
+    /// Fraction of all cell errors attributed to cells programmed to
+    /// `level`. Returns 0 when no errors occurred.
+    pub fn error_share(&self, level: VthLevel) -> f64 {
+        if self.cell_errors == 0 {
+            return 0.0;
+        }
+        self.cell_errors_by_level
+            .get(level.index() as usize)
+            .map(|&e| e as f64 / self.cell_errors as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Merges another report into this one (for parallel sharding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level counts differ.
+    pub fn merge(&mut self, other: &BerReport) {
+        assert_eq!(
+            self.cell_errors_by_level.len(),
+            other.cell_errors_by_level.len(),
+            "cannot merge reports with different level counts"
+        );
+        self.symbols += other.symbols;
+        self.bits += other.bits;
+        self.bit_errors += other.bit_errors;
+        self.cells += other.cells;
+        self.cell_errors += other.cell_errors;
+        for (a, b) in self
+            .cell_errors_by_level
+            .iter_mut()
+            .zip(&other.cell_errors_by_level)
+        {
+            *a += b;
+        }
+        for (a, b) in self.cells_by_level.iter_mut().zip(&other.cells_by_level) {
+            *a += b;
+        }
+    }
+}
+
+/// A Monte-Carlo BER simulation of one cell population.
+#[derive(Debug, Clone)]
+pub struct BerSimulation<'a, C> {
+    config: &'a LevelConfig,
+    codec: &'a C,
+    program: ProgramModel,
+    stress: StressConfig,
+}
+
+impl<'a, C: SymbolCodec> BerSimulation<'a, C> {
+    /// Builds a simulation of `codec` symbols stored in cells configured
+    /// by `config`, distorted by `stress`.
+    pub fn new(
+        config: &'a LevelConfig,
+        codec: &'a C,
+        program: ProgramModel,
+        stress: StressConfig,
+    ) -> BerSimulation<'a, C> {
+        BerSimulation {
+            config,
+            codec,
+            program,
+            stress,
+        }
+    }
+
+    /// Simulates one cell: program to `target`, apply noise, read back.
+    fn stress_cell<R: Rng + ?Sized>(&self, target: VthLevel, rng: &mut R) -> VthLevel {
+        let initial = self.program.program(self.config, target, rng);
+        let mut vth = initial;
+        if let Some(ref c2c) = self.stress.c2c {
+            vth += c2c.sample_shift(self.config, &self.program, rng);
+        }
+        if let Some((ref model, stress)) = self.stress.retention {
+            // Charge loss scales with the cell's own initial placement.
+            vth -= model.sample_shift(
+                initial,
+                self.config.erased_mean(),
+                stress.pe_cycles,
+                stress.time,
+                rng,
+            );
+        }
+        self.config.classify(vth)
+    }
+
+    /// Runs `symbols` trials with uniformly random data, accumulating a
+    /// [`BerReport`].
+    pub fn run<R: Rng + ?Sized>(&self, symbols: u64, rng: &mut R) -> BerReport {
+        let mut report = BerReport::new(self.config.level_count());
+        let cells = self.codec.cells_per_symbol();
+        let bits = self.codec.bits_per_symbol();
+        let mut programmed = [VthLevel::ERASED; MAX_CELLS_PER_SYMBOL];
+        let mut read = [VthLevel::ERASED; MAX_CELLS_PER_SYMBOL];
+        for _ in 0..symbols {
+            let value = rng.gen_range(0..self.codec.symbol_count());
+            self.codec.encode(value, &mut programmed[..cells]);
+            for i in 0..cells {
+                let target = programmed[i];
+                read[i] = self.stress_cell(target, rng);
+                report.cells += 1;
+                report.cells_by_level[target.index() as usize] += 1;
+                if read[i] != target {
+                    report.cell_errors += 1;
+                    report.cell_errors_by_level[target.index() as usize] += 1;
+                }
+            }
+            let decoded = self.codec.decode(&read[..cells]);
+            report.bit_errors += u64::from(self.codec.bit_errors(value, decoded));
+            report.symbols += 1;
+            report.bits += u64::from(bits);
+        }
+        report
+    }
+}
+
+/// Convenience: estimates the raw BER of normal-state MLC cells under the
+/// given stress with `symbols` Monte-Carlo trials.
+pub fn estimate_mlc_ber<R: Rng + ?Sized>(
+    config: &LevelConfig,
+    stress: StressConfig,
+    symbols: u64,
+    rng: &mut R,
+) -> BerReport {
+    let codec = crate::codec::GrayMlcCodec;
+    BerSimulation::new(config, &codec, ProgramModel::default(), stress).run(symbols, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::LevelProbeCodec;
+    use flash_model::Hours;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(config: &LevelConfig, stress: StressConfig, n: u64, seed: u64) -> BerReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        estimate_mlc_ber(config, stress, n, &mut rng)
+    }
+
+    #[test]
+    fn no_stress_no_errors_for_programmed_levels() {
+        // Without noise sources, only the erased distribution's upper tail
+        // can misread; with the baseline config that tail is ~2e-5, so a
+        // small run sees essentially no errors.
+        let cfg = LevelConfig::normal_mlc();
+        let report = run(&cfg, StressConfig::default(), 20_000, 42);
+        assert!(report.ber() < 1e-3, "ber {}", report.ber());
+        assert_eq!(report.symbols, 20_000);
+        assert_eq!(report.bits, 40_000);
+        assert_eq!(report.cells, 20_000);
+    }
+
+    #[test]
+    fn retention_stress_causes_errors_that_grow_with_wear() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = RetentionModel::paper();
+        let low = run(
+            &cfg,
+            StressConfig::retention_only(model, RetentionStress::new(2000, Hours::days(1.0))),
+            200_000,
+            1,
+        );
+        let high = run(
+            &cfg,
+            StressConfig::retention_only(model, RetentionStress::new(6000, Hours::months(1.0))),
+            200_000,
+            1,
+        );
+        assert!(
+            high.ber() > low.ber(),
+            "wear+time must raise BER: {} vs {}",
+            high.ber(),
+            low.ber()
+        );
+        assert!(high.ber() > 1e-4, "high-stress BER {}", high.ber());
+    }
+
+    #[test]
+    fn retention_errors_concentrate_at_high_levels() {
+        // The observation NUNMA builds on: the top level dominates the
+        // retention error mix because it sits highest above x0.
+        let cfg = LevelConfig::normal_mlc();
+        let model = RetentionModel::paper();
+        let report = run(
+            &cfg,
+            StressConfig::retention_only(model, RetentionStress::new(6000, Hours::months(1.0))),
+            400_000,
+            7,
+        );
+        let shares: Vec<f64> = (0..4).map(|i| report.error_share(VthLevel::new(i))).collect();
+        // The top level sits highest above x0 and loses charge fastest:
+        // its share must dominate every other level's.
+        assert!(
+            shares[3] > shares[2] && shares[2] > shares[1],
+            "retention error shares must grow with level: {shares:?}"
+        );
+        // Erased cells see no retention errors; only their static Gaussian
+        // tail (≈1e-4 of erased cells) can misread, a negligible share.
+        assert!(shares[0] < 0.05, "erased share {}", shares[0]);
+    }
+
+    #[test]
+    fn c2c_stress_causes_upward_errors() {
+        let cfg = LevelConfig::normal_mlc();
+        let report = run(
+            &cfg,
+            StressConfig::c2c_only(InterferenceModel::default()),
+            200_000,
+            3,
+        );
+        assert!(report.ber() > 0.0, "C2C must cause some errors");
+        // The top level has no upper boundary, so it cannot misread upward.
+        assert_eq!(report.cell_errors_by_level[3], 0);
+    }
+
+    #[test]
+    fn reduced_state_beats_baseline_under_same_stress() {
+        // The core LevelAdjust claim at cell level. The reduced state needs
+        // its non-uniform (NUNMA-3-style) verify voltages to beat the
+        // baseline on *retention*; the basic symmetric configuration only
+        // wins on interference margin (paper §4.2).
+        let base = LevelConfig::normal_mlc();
+        let reduced = LevelConfig::new(
+            vec![flash_model::Volts(2.65), flash_model::Volts(3.55)],
+            vec![flash_model::Volts(2.75), flash_model::Volts(3.70)],
+            flash_model::Volts(1.1),
+            flash_model::Volts(0.15),
+        )
+        .unwrap();
+        let model = RetentionModel::paper();
+        let stress = RetentionStress::new(6000, Hours::weeks(1.0));
+        let mut rng = StdRng::seed_from_u64(9);
+        // Compare *cell* error rates with uniform level usage in each mode.
+        let b = BerSimulation::new(
+            &base,
+            &LevelProbeCodec::new(4),
+            ProgramModel::default(),
+            StressConfig::retention_only(model, stress),
+        )
+        .run(200_000, &mut rng);
+        let r = BerSimulation::new(
+            &reduced,
+            &LevelProbeCodec::new(3),
+            ProgramModel::default(),
+            StressConfig::retention_only(model, stress),
+        )
+        .run(200_000, &mut rng);
+        assert!(
+            r.cell_error_rate() < b.cell_error_rate(),
+            "reduced {} must beat baseline {}",
+            r.cell_error_rate(),
+            b.cell_error_rate()
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = RetentionModel::paper();
+        let stress = StressConfig::retention_only(model, RetentionStress::new(5000, Hours::weeks(1.0)));
+        let a = run(&cfg, stress, 50_000, 1);
+        let b = run(&cfg, stress, 50_000, 2);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.symbols, 100_000);
+        assert_eq!(merged.bit_errors, a.bit_errors + b.bit_errors);
+        assert_eq!(
+            merged.cells_by_level.iter().sum::<u64>(),
+            a.cells_by_level.iter().sum::<u64>() + b.cells_by_level.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different level counts")]
+    fn merge_rejects_mismatched_levels() {
+        let mut a = BerReport::new(4);
+        let b = BerReport::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn error_share_sums_to_one_when_errors_exist() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = RetentionModel::paper();
+        let report = run(
+            &cfg,
+            StressConfig::retention_only(model, RetentionStress::new(6000, Hours::months(1.0))),
+            200_000,
+            11,
+        );
+        assert!(report.cell_errors > 0);
+        let total: f64 = (0..4)
+            .map(|i| report.error_share(VthLevel::new(i)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,263 @@
+//! Cell-to-cell interference model (paper Equation 2).
+//!
+//! Programming a floating-gate cell raises the threshold voltage of its
+//! already-programmed neighbours through parasitic capacitive coupling:
+//!
+//! ```text
+//! ΔV_c2c = Σ_k ΔVp(k) · γ(k)
+//! ```
+//!
+//! where `ΔVp(k)` is the `Vth` gain of the interfering neighbour in
+//! direction `k` during its programming and `γ(k)` the coupling ratio. In
+//! the even/odd bitline structure coupling acts in three directions —
+//! along the bitline (`γy`), along the wordline (`γx`) and diagonally
+//! (`γxy`) — with ratios 0.09, 0.07 and 0.005 respectively (paper §6.1,
+//! citing Sun et al.).
+
+use flash_model::{LevelConfig, Volts, VthLevel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::program::ProgramModel;
+
+/// Capacitive coupling ratios of the even/odd bitline structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CouplingRatios {
+    /// Wordline direction (adjacent bitlines), paper value 0.07.
+    pub gamma_x: f64,
+    /// Bitline direction (adjacent wordlines), paper value 0.09.
+    pub gamma_y: f64,
+    /// Diagonal, paper value 0.005.
+    pub gamma_xy: f64,
+}
+
+impl CouplingRatios {
+    /// The paper's ratios for the even/odd structure: 0.07 / 0.09 / 0.005.
+    pub fn paper_even_odd() -> CouplingRatios {
+        CouplingRatios {
+            gamma_x: 0.07,
+            gamma_y: 0.09,
+            gamma_xy: 0.005,
+        }
+    }
+
+    /// Total coupling seen by a victim whose x/y/diagonal neighbours gain
+    /// `dvx`, `dvy`, `dvxy` during their programming.
+    pub fn aggregate(&self, dvx: Volts, dvy: Volts, dvxy: Volts) -> Volts {
+        dvx * self.gamma_x + dvy * self.gamma_y + dvxy * self.gamma_xy
+    }
+}
+
+impl Default for CouplingRatios {
+    fn default() -> CouplingRatios {
+        CouplingRatios::paper_even_odd()
+    }
+}
+
+/// How many aggressor neighbours act on a victim in each direction.
+///
+/// In the even/odd structure a victim cell is programmed before: the two
+/// adjacent cells on the same wordline (opposite parity, programmed in the
+/// other page group's step), one cell on the next wordline (wordlines are
+/// programmed in order), and the two diagonal cells of the next wordline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborCounts {
+    /// Aggressors along the wordline.
+    pub x: u32,
+    /// Aggressors along the bitline.
+    pub y: u32,
+    /// Diagonal aggressors.
+    pub xy: u32,
+}
+
+impl NeighborCounts {
+    /// The even/odd-structure defaults described above.
+    pub fn even_odd_default() -> NeighborCounts {
+        NeighborCounts { x: 2, y: 1, xy: 2 }
+    }
+}
+
+impl Default for NeighborCounts {
+    fn default() -> NeighborCounts {
+        NeighborCounts::even_odd_default()
+    }
+}
+
+/// Monte-Carlo cell-to-cell interference model.
+///
+/// Aggressor data is unknown at victim-programming time, so each aggressor
+/// is modelled as programmed to a uniformly random level of the
+/// configuration (including staying erased, which contributes no shift).
+///
+/// ```
+/// use flash_model::LevelConfig;
+/// use reliability::{InterferenceModel, ProgramModel};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let model = InterferenceModel::default();
+/// let cfg = LevelConfig::normal_mlc();
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let shift = model.sample_shift(&cfg, &ProgramModel::default(), &mut rng);
+/// assert!(shift.as_f64() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    /// Coupling ratios per direction.
+    pub ratios: CouplingRatios,
+    /// Aggressor counts per direction.
+    pub neighbors: NeighborCounts,
+    /// Fraction of each aggressor's shift that lands *after* the victim's
+    /// final program-verify step. Interference accrued earlier is absorbed
+    /// by the ISPP verify loop (the cell keeps getting pulses until it
+    /// passes verify *including* whatever coupling it already received),
+    /// so only later aggressor activity moves the final distribution.
+    /// With the even/odd two-step order roughly half of each neighbour's
+    /// total shift arrives post-verify.
+    pub post_verify_fraction: f64,
+}
+
+impl InterferenceModel {
+    /// Builds a model from explicit ratios and neighbour counts with the
+    /// default post-verify attenuation.
+    pub fn new(ratios: CouplingRatios, neighbors: NeighborCounts) -> InterferenceModel {
+        InterferenceModel {
+            ratios,
+            neighbors,
+            post_verify_fraction: 0.5,
+        }
+    }
+
+    /// Samples the total interference shift experienced by one victim cell,
+    /// with aggressor target levels drawn uniformly from `config`'s levels.
+    pub fn sample_shift<R: Rng + ?Sized>(
+        &self,
+        config: &LevelConfig,
+        program: &ProgramModel,
+        rng: &mut R,
+    ) -> Volts {
+        let dir_sum = |count: u32, rng: &mut R| -> Volts {
+            (0..count)
+                .map(|_| {
+                    let level = VthLevel::new(rng.gen_range(0..config.level_count() as u8));
+                    program.program_shift(config, level, rng)
+                })
+                .sum()
+        };
+        let dvx = dir_sum(self.neighbors.x, rng);
+        let dvy = dir_sum(self.neighbors.y, rng);
+        let dvxy = dir_sum(self.neighbors.xy, rng);
+        self.ratios.aggregate(dvx, dvy, dvxy) * self.post_verify_fraction
+    }
+
+    /// Expected interference shift (analytic), using each level's nominal
+    /// placement as the aggressor gain. Useful for sanity checks and for
+    /// fast analytic BER approximations.
+    pub fn mean_shift(&self, config: &LevelConfig) -> Volts {
+        let levels = config.level_count() as f64;
+        let mean_gain: f64 = config
+            .levels()
+            .map(|l| {
+                config
+                    .nominal_mean(l)
+                    .map(|m| (m - config.erased_mean()).max(Volts::ZERO).as_f64())
+                    .unwrap_or(0.0)
+            })
+            .sum::<f64>()
+            / levels;
+        let g = &self.ratios;
+        let n = &self.neighbors;
+        Volts(
+            mean_gain
+                * (n.x as f64 * g.gamma_x + n.y as f64 * g.gamma_y + n.xy as f64 * g.gamma_xy)
+                * self.post_verify_fraction,
+        )
+    }
+}
+
+impl Default for InterferenceModel {
+    fn default() -> InterferenceModel {
+        InterferenceModel::new(CouplingRatios::default(), NeighborCounts::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_ratios() {
+        let r = CouplingRatios::paper_even_odd();
+        assert_eq!(r.gamma_x, 0.07);
+        assert_eq!(r.gamma_y, 0.09);
+        assert_eq!(r.gamma_xy, 0.005);
+    }
+
+    #[test]
+    fn aggregate_weights_directions() {
+        let r = CouplingRatios::paper_even_odd();
+        let total = r.aggregate(Volts(1.0), Volts(1.0), Volts(1.0));
+        assert!((total.as_f64() - 0.165).abs() < 1e-12);
+        // y-direction dominates per volt of aggressor shift
+        assert!(
+            r.aggregate(Volts::ZERO, Volts(1.0), Volts::ZERO)
+                > r.aggregate(Volts(1.0), Volts::ZERO, Volts::ZERO)
+        );
+    }
+
+    #[test]
+    fn sampled_shift_nonnegative_and_bounded() {
+        let model = InterferenceModel::default();
+        let cfg = LevelConfig::normal_mlc();
+        let program = ProgramModel::default();
+        let mut rng = StdRng::seed_from_u64(10);
+        // Worst case: every aggressor programmed to the top level.
+        let max_gain = cfg
+            .nominal_mean(cfg.top_level())
+            .unwrap()
+            .as_f64()
+            - cfg.erased_mean().as_f64()
+            + 1.0; // generous slack for noise
+        let bound = model
+            .ratios
+            .aggregate(
+                Volts(2.0 * max_gain),
+                Volts(max_gain),
+                Volts(2.0 * max_gain),
+            )
+            .as_f64();
+        for _ in 0..20_000 {
+            let s = model.sample_shift(&cfg, &program, &mut rng).as_f64();
+            assert!(s >= 0.0);
+            assert!(s <= bound, "shift {s} exceeds physical bound {bound}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_mean_matches_analytic() {
+        let model = InterferenceModel::default();
+        let cfg = LevelConfig::normal_mlc();
+        let program = ProgramModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let mc_mean: f64 = (0..n)
+            .map(|_| model.sample_shift(&cfg, &program, &mut rng).as_f64())
+            .sum::<f64>()
+            / n as f64;
+        let analytic = model.mean_shift(&cfg).as_f64();
+        assert!(
+            (mc_mean - analytic).abs() / analytic < 0.02,
+            "MC {mc_mean} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn reduced_state_sees_less_interference() {
+        // Fewer, lower levels ⇒ smaller expected aggressor gain.
+        let model = InterferenceModel::default();
+        let normal = model.mean_shift(&LevelConfig::normal_mlc());
+        let reduced = model.mean_shift(&LevelConfig::reduced_symmetric());
+        assert!(reduced < normal);
+    }
+}

@@ -1,0 +1,239 @@
+//! Symbol codecs: how data bits map onto the `Vth` levels of one or more
+//! cells.
+//!
+//! The Monte-Carlo BER engine is codec-agnostic: it programs the levels a
+//! codec produces, distorts them with noise and asks the codec how many
+//! *bit* errors the level distortions caused. Normal MLC cells use
+//! [`GrayMlcCodec`] (1 cell, 2 bits); the `flexlevel` crate implements the
+//! same trait for ReduceCode (2 cells, 3 bits).
+
+use flash_model::{gray, MlcBits, VthLevel};
+
+/// Maximum cells per symbol across all codecs (ReduceCode pairs two cells).
+pub const MAX_CELLS_PER_SYMBOL: usize = 2;
+
+/// Maps data symbols to cell levels and back.
+///
+/// Implementations must be involutive on valid symbols:
+/// `decode(encode(v)) == v` for every `v < 2^bits_per_symbol()`.
+pub trait SymbolCodec {
+    /// Bits carried by one symbol.
+    fn bits_per_symbol(&self) -> u32;
+
+    /// Cells occupied by one symbol (1 or 2).
+    fn cells_per_symbol(&self) -> usize;
+
+    /// Encodes `value` (must be `< 2^bits_per_symbol()`) into cell levels,
+    /// writing `cells_per_symbol()` entries of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `value` is out of range or `out` is
+    /// shorter than `cells_per_symbol()`.
+    fn encode(&self, value: u16, out: &mut [VthLevel]);
+
+    /// Decodes the (possibly distorted) levels back into a symbol value.
+    fn decode(&self, levels: &[VthLevel]) -> u16;
+
+    /// Number of distinct symbol values.
+    fn symbol_count(&self) -> u16 {
+        1 << self.bits_per_symbol()
+    }
+
+    /// Bit errors caused by reading `read` where `programmed` was stored.
+    fn bit_errors(&self, programmed: u16, read: u16) -> u32 {
+        (programmed ^ read).count_ones()
+    }
+}
+
+/// The standard Gray mapping of a normal-state MLC cell: 2 bits per cell,
+/// `11, 10, 00, 01` → levels 0–3.
+///
+/// Symbol layout: bit 0 = lower-page (LSB), bit 1 = upper-page (MSB).
+///
+/// ```
+/// use reliability::{GrayMlcCodec, SymbolCodec};
+/// use flash_model::VthLevel;
+///
+/// let codec = GrayMlcCodec;
+/// let mut levels = [VthLevel::ERASED; 1];
+/// codec.encode(0b11, &mut levels);
+/// assert_eq!(levels[0], VthLevel::ERASED);
+/// assert_eq!(codec.decode(&levels), 0b11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GrayMlcCodec;
+
+impl SymbolCodec for GrayMlcCodec {
+    fn bits_per_symbol(&self) -> u32 {
+        2
+    }
+
+    fn cells_per_symbol(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, value: u16, out: &mut [VthLevel]) {
+        assert!(value < 4, "Gray MLC symbol out of range: {value}");
+        let lower = (value & 1) != 0;
+        let upper = (value & 2) != 0;
+        out[0] = gray::encode(MlcBits::new(lower.into(), upper.into()));
+    }
+
+    fn decode(&self, levels: &[VthLevel]) -> u16 {
+        let bits = gray::decode(levels[0]);
+        u16::from(u8::from(bits.lower)) | (u16::from(u8::from(bits.upper)) << 1)
+    }
+}
+
+/// A measurement codec that stores the symbol value directly as a level.
+///
+/// Used to measure *cell* error rates of a configuration with any level
+/// count (e.g. the 3-level reduced state before ReduceCode exists at this
+/// layer), with uniform level usage. `bit_errors` reports the XOR popcount
+/// of the level indices, which equals 1 for the adjacent-level slips that
+/// dominate in practice.
+///
+/// ```
+/// use reliability::{LevelProbeCodec, SymbolCodec};
+/// use flash_model::VthLevel;
+///
+/// let probe = LevelProbeCodec::new(3);
+/// assert_eq!(probe.symbol_count(), 3);
+/// let mut out = [VthLevel::ERASED; 1];
+/// probe.encode(2, &mut out);
+/// assert_eq!(out[0], VthLevel::L2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelProbeCodec {
+    levels: u8,
+}
+
+impl LevelProbeCodec {
+    /// A probe for a configuration with `levels` levels (2–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is outside `2..=4`.
+    pub fn new(levels: u8) -> LevelProbeCodec {
+        assert!(
+            (2..=4).contains(&levels),
+            "probe level count {levels} outside 2..=4"
+        );
+        LevelProbeCodec { levels }
+    }
+}
+
+impl SymbolCodec for LevelProbeCodec {
+    fn bits_per_symbol(&self) -> u32 {
+        2
+    }
+
+    fn cells_per_symbol(&self) -> usize {
+        1
+    }
+
+    fn symbol_count(&self) -> u16 {
+        self.levels as u16
+    }
+
+    fn encode(&self, value: u16, out: &mut [VthLevel]) {
+        assert!(
+            value < self.levels as u16,
+            "probe symbol {value} out of range for {} levels",
+            self.levels
+        );
+        out[0] = VthLevel::new(value as u8);
+    }
+
+    fn decode(&self, levels: &[VthLevel]) -> u16 {
+        levels[0].index() as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_roundtrip() {
+        let codec = GrayMlcCodec;
+        let mut out = [VthLevel::ERASED; 1];
+        for v in 0..codec.symbol_count() {
+            codec.encode(v, &mut out);
+            assert_eq!(codec.decode(&out), v, "symbol {v}");
+        }
+    }
+
+    #[test]
+    fn gray_one_level_slip_is_one_bit() {
+        let codec = GrayMlcCodec;
+        let mut out = [VthLevel::ERASED; 1];
+        for v in 0..4u16 {
+            codec.encode(v, &mut out);
+            let level = out[0];
+            for neighbor in [level.index().checked_sub(1), level.index().checked_add(1)] {
+                let Some(n) = neighbor else { continue };
+                if n > 3 {
+                    continue;
+                }
+                let read = codec.decode(&[VthLevel::new(n)]);
+                assert_eq!(
+                    codec.bit_errors(v, read),
+                    1,
+                    "one-level slip from L{} must flip exactly one bit",
+                    level.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_count() {
+        assert_eq!(GrayMlcCodec.symbol_count(), 4);
+        assert_eq!(GrayMlcCodec.bits_per_symbol(), 2);
+        assert_eq!(GrayMlcCodec.cells_per_symbol(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gray_rejects_large_symbols() {
+        let mut out = [VthLevel::ERASED; 1];
+        GrayMlcCodec.encode(4, &mut out);
+    }
+
+    #[test]
+    fn bit_errors_is_hamming_distance() {
+        let c = GrayMlcCodec;
+        assert_eq!(c.bit_errors(0b00, 0b11), 2);
+        assert_eq!(c.bit_errors(0b01, 0b01), 0);
+        assert_eq!(c.bit_errors(0b10, 0b00), 1);
+    }
+
+    #[test]
+    fn probe_roundtrip_all_level_counts() {
+        for levels in 2..=4u8 {
+            let probe = LevelProbeCodec::new(levels);
+            assert_eq!(probe.symbol_count(), levels as u16);
+            let mut out = [VthLevel::ERASED; 1];
+            for v in 0..levels as u16 {
+                probe.encode(v, &mut out);
+                assert_eq!(probe.decode(&out), v);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn probe_rejects_out_of_range_symbols() {
+        let probe = LevelProbeCodec::new(3);
+        let mut out = [VthLevel::ERASED; 1];
+        probe.encode(3, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 2..=4")]
+    fn probe_rejects_bad_level_count() {
+        let _ = LevelProbeCodec::new(5);
+    }
+}

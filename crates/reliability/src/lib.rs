@@ -1,0 +1,64 @@
+//! NAND flash reliability models: noise, bit error rates and UBER.
+//!
+//! Implements the device-physics side of the FlexLevel reproduction
+//! (Guo et al., DAC 2015):
+//!
+//! * [`ProgramModel`] — ISPP programming placement (uniform within one
+//!   pulse above the verify voltage) and the erased Gaussian;
+//! * [`InterferenceModel`] — cell-to-cell capacitive coupling, Equation (2)
+//!   with the even/odd-structure ratios γx = 0.07, γy = 0.09, γxy = 0.005;
+//! * [`RetentionModel`] — charge-loss over storage time, Equation (3) with
+//!   Ks = 0.333, Kd = 4e-4, Km = 2e-6, t0 = 1 h;
+//! * [`BerSimulation`] — the Monte-Carlo engine that programs, stresses and
+//!   reads populations of cells to measure raw BER (Figure 5 / Table 4);
+//! * [`analytic`] — fast numerical-integration BER estimates for the SSD
+//!   simulator's per-read queries, cross-validated against the Monte-Carlo
+//!   path;
+//! * [`EccConfig`] — the UBER formula, Equation (1), with the paper's
+//!   rate-8/9, 4 KB-block LDPC shape and 1e-15 target.
+//!
+//! # Example: retention BER of the baseline MLC cell
+//!
+//! ```
+//! use flash_model::{Hours, LevelConfig};
+//! use reliability::{
+//!     estimate_mlc_ber, RetentionModel, RetentionStress, StressConfig,
+//! };
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let report = estimate_mlc_ber(
+//!     &LevelConfig::normal_mlc(),
+//!     StressConfig::retention_only(
+//!         RetentionModel::paper(),
+//!         RetentionStress::new(5000, Hours::days(1.0)),
+//!     ),
+//!     100_000,
+//!     &mut rng,
+//! );
+//! println!("raw BER = {:.2e}", report.ber());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analytic;
+pub mod ber;
+pub mod c2c;
+pub mod codec;
+pub mod math;
+pub mod program;
+pub mod read_retry;
+pub mod retention;
+pub mod sweep;
+pub mod uber;
+
+pub use analytic::{page_ber, transition_matrix, AnalyticBer};
+pub use ber::{estimate_mlc_ber, BerReport, BerSimulation, StressConfig};
+pub use c2c::{CouplingRatios, InterferenceModel, NeighborCounts};
+pub use codec::{GrayMlcCodec, LevelProbeCodec, SymbolCodec, MAX_CELLS_PER_SYMBOL};
+pub use program::{ProgramModel, DEFAULT_PLACEMENT_SIGMA};
+pub use read_retry::{calibrated_ber, optimal_shift, shifted_config, RetryTable};
+pub use retention::{RetentionModel, RetentionStress};
+pub use sweep::{default_shards, run_sharded};
+pub use uber::{EccConfig, PAPER_UBER_TARGET};

@@ -1,0 +1,289 @@
+//! Special functions used by the noise and UBER models.
+//!
+//! The standard library provides no `erf`, `ln Γ` or binomial-tail
+//! machinery, so the handful of functions the reliability models need are
+//! implemented here: a high-accuracy complementary error function, the
+//! Gaussian CDF / Q-function, `ln Γ` (Lanczos), log-binomial coefficients
+//! and a numerically careful binomial survival function for Equation (1)
+//! of the paper.
+
+/// Complementary error function `erfc(x)`.
+///
+/// Uses the rational Chebyshev approximation of Numerical Recipes
+/// (`erfc ≈ t·exp(-x² + P(t))`), accurate to about `1.2e-7` relative error —
+/// far below the Monte-Carlo noise floor of the BER experiments.
+///
+/// ```
+/// use reliability::math::erfc;
+///
+/// assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+/// assert!(erfc(10.0) < 1e-40);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t * (-z * z
+        - 1.265_512_23
+        + t * (1.000_023_68
+            + t * (0.374_091_96
+                + t * (0.096_784_18
+                    + t * (-0.186_288_06
+                        + t * (0.278_868_07
+                            + t * (-1.135_203_98
+                                + t * (1.488_515_87
+                                    + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+    .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Error function `erf(x) = 1 - erfc(x)`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+///
+/// ```
+/// use reliability::math::phi;
+///
+/// assert!((phi(0.0) - 0.5).abs() < 1e-6);
+/// assert!(phi(5.0) > 0.9999);
+/// ```
+pub fn phi(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Gaussian tail probability `Q(x) = 1 - Φ(x)`.
+///
+/// Computed through `erfc` directly so it stays accurate deep into the tail
+/// (`Q(8) ≈ 6e-16` rather than rounding to zero).
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Natural log of the gamma function, `ln Γ(x)` for `x > 0`.
+///
+/// Lanczos approximation (g = 5, n = 6), ~1e-10 relative accuracy.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    const COEF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// `ln C(n, k)`, the log binomial coefficient.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_binomial: k={k} > n={n}");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Binomial survival function `P(X > k)` for `X ~ Binomial(n, p)`.
+///
+/// This is the probability that more than `k` bit errors land in an
+/// `n`-bit codeword when each bit flips independently with probability `p`
+/// — the numerator of the paper's UBER formula (Equation 1).
+///
+/// Terms are accumulated in log space from `k+1` upward until they become
+/// negligible, which stays accurate for the tiny probabilities (1e-15 and
+/// below) the UBER target calls for.
+pub fn binomial_survival(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    if p == 0.0 || k >= n {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0; // all n bits flip, and k < n
+    }
+    let ln_p = p.ln();
+    let ln_q = (-p).ln_1p(); // ln(1 - p), stable for small p
+    let mut total = 0.0_f64;
+    let mut peak_ln = f64::NEG_INFINITY;
+    for i in (k + 1)..=n {
+        let ln_term = ln_binomial(n, i) + i as f64 * ln_p + (n - i) as f64 * ln_q;
+        peak_ln = peak_ln.max(ln_term);
+        total += ln_term.exp();
+        // Beyond the distribution mode the terms decay geometrically; stop
+        // once they are 40+ orders of magnitude below the peak seen so far.
+        if i as f64 > n as f64 * p && ln_term < peak_ln - 92.0 {
+            break;
+        }
+    }
+    total.min(1.0)
+}
+
+/// Draws a standard normal sample via the Box–Muller transform.
+///
+/// Takes two independent `U(0,1)` draws; callers feed it from their own
+/// seeded RNG so experiments stay reproducible.
+pub fn box_muller(u1: f64, u2: f64) -> f64 {
+    // Guard against u1 == 0 (ln(0) = -inf).
+    let u1 = u1.max(f64::MIN_POSITIVE);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Convenience: samples `N(mean, sigma²)` from an RNG.
+pub fn sample_normal<R: rand::Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    mean + sigma * box_muller(rng.gen::<f64>(), rng.gen::<f64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (2.0, 0.995_322_265_0),
+            (-1.0, -0.842_700_792_9),
+        ];
+        for (x, want) in cases {
+            assert!(
+                (erf(x) - want).abs() < 1e-6,
+                "erf({x}) = {} != {want}",
+                erf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        // The rational approximation is accurate to ~1.2e-7.
+        for x in [-3.0, -1.0, -0.1, 0.0, 0.1, 1.0, 3.0] {
+            assert!((erfc(x) + erfc(-x) - 2.0).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn phi_and_q_are_complementary() {
+        for x in [-4.0, -1.0, 0.0, 0.5, 2.0, 4.0] {
+            assert!((phi(x) + q_function(x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn q_function_tail_values() {
+        // Q(3) ≈ 1.3499e-3, Q(6) ≈ 9.866e-10.
+        assert!((q_function(3.0) - 1.3499e-3).abs() / 1.3499e-3 < 1e-3);
+        assert!((q_function(6.0) - 9.866e-10).abs() / 9.866e-10 < 1e-2);
+        // Deep tail stays positive and monotone.
+        assert!(q_function(8.0) > 0.0);
+        assert!(q_function(8.0) < q_function(7.0));
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Γ(n+1) = n!
+        let mut fact = 1.0_f64;
+        for n in 1..15u32 {
+            fact *= n as f64;
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!(
+                (got - fact.ln()).abs() < 1e-8,
+                "ln Γ({}) = {got}, want {}",
+                n + 1,
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_binomial_small_cases() {
+        assert_eq!(ln_binomial(10, 0), 0.0);
+        assert_eq!(ln_binomial(10, 10), 0.0);
+        assert!((ln_binomial(10, 3) - 120.0_f64.ln()).abs() < 1e-9);
+        assert!((ln_binomial(52, 5) - 2_598_960.0_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k=5 > n=4")]
+    fn ln_binomial_rejects_k_above_n() {
+        let _ = ln_binomial(4, 5);
+    }
+
+    #[test]
+    fn binomial_survival_exact_small() {
+        // n=4, p=0.5: P(X > 2) = (C(4,3)+C(4,4))/16 = 5/16.
+        let got = binomial_survival(4, 2, 0.5);
+        assert!((got - 5.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_survival_edge_cases() {
+        assert_eq!(binomial_survival(100, 5, 0.0), 0.0);
+        assert_eq!(binomial_survival(100, 100, 0.3), 0.0);
+        assert_eq!(binomial_survival(100, 5, 1.0), 1.0);
+    }
+
+    #[test]
+    fn binomial_survival_tiny_probability() {
+        // A 36864-bit codeword at BER 1e-4 (mean ≈ 3.7 errors) with a
+        // 30-error budget: the survival probability is tiny but still
+        // representable in f64.
+        let s = binomial_survival(36_864, 30, 1e-4);
+        assert!(s > 0.0, "must not underflow at k=30");
+        assert!(s < 1e-10);
+        // And it grows with p.
+        assert!(binomial_survival(36_864, 30, 1e-3) > s);
+        // Far deeper tails legitimately underflow to zero — they are
+        // hundreds of orders of magnitude below f64's minimum.
+        assert_eq!(binomial_survival(36_864, 3000, 1e-4), 0.0);
+    }
+
+    #[test]
+    fn binomial_survival_monotone_in_k() {
+        let p = 3e-3;
+        let mut prev = 1.0;
+        for k in [0u64, 10, 50, 100, 200] {
+            let s = binomial_survival(36_864, k, p);
+            assert!(s <= prev, "survival must fall as k grows");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sample_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = sample_normal(&mut rng, 2.0, 0.5);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - 2.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.01, "var {var}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Analog programming model: where a cell's threshold voltage actually
+//! lands when programmed to a target level.
+//!
+//! Erased cells follow the Gaussian `N(erased_mean, erased_sigma²)` of the
+//! level configuration (paper §6.1: level 0 ~ `N(1.1, 0.35)`). Programmed
+//! cells follow the classic ISPP staircase model: the program-and-verify
+//! loop stops at the first pulse that pushes `Vth` past the verify voltage,
+//! leaving the final value uniformly distributed in
+//! `[verify, verify + Vpp)`, plus a small Gaussian placement noise.
+
+use flash_model::{LevelConfig, Volts, VthLevel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::math::sample_normal;
+
+/// Default post-verify disturb spread, calibrated against the paper's
+/// Table 4 (see `crates/core/examples/calibrate_table4.rs`; the fit also
+/// sets the baseline verify offsets in `LevelConfig::normal_mlc`).
+pub const DEFAULT_PLACEMENT_SIGMA: f64 = 0.015;
+
+/// Stochastic ISPP programming model.
+///
+/// The verify loop guarantees `Vth ≥ verify` *at program time*; the
+/// `placement_sigma` Gaussian models everything that perturbs the cell
+/// *after* its own verify passes — program disturb from later pages in
+/// the block, random telegraph noise, verify-circuit offset — and is
+/// therefore **not** floor-clamped. This post-verify spread is what gives
+/// programmed distributions their Gaussian tails (without it, retention
+/// BER would fall off a cliff instead of following the smooth curves of
+/// the paper's Table 4).
+///
+/// ```
+/// use flash_model::{LevelConfig, VthLevel};
+/// use reliability::ProgramModel;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let cfg = LevelConfig::normal_mlc();
+/// let model = ProgramModel::default();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let vth = model.program(&cfg, VthLevel::L2, &mut rng);
+/// // the cell lands near its verify voltage
+/// let verify = cfg.verify_voltage(VthLevel::L2).unwrap();
+/// assert!((vth.as_f64() - verify.as_f64()).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramModel {
+    /// Gaussian post-verify disturb/RTN spread (standard deviation).
+    pub placement_sigma: Volts,
+}
+
+impl ProgramModel {
+    /// Model with the calibrated default post-verify spread (see the
+    /// `flexlevel` crate's Table 4 calibration).
+    pub fn new() -> ProgramModel {
+        ProgramModel {
+            placement_sigma: Volts(DEFAULT_PLACEMENT_SIGMA),
+        }
+    }
+
+    /// Noise-free ISPP model (uniform placement only); useful for isolating
+    /// other noise sources in tests.
+    pub fn noiseless() -> ProgramModel {
+        ProgramModel {
+            placement_sigma: Volts::ZERO,
+        }
+    }
+
+    /// Samples the initial threshold voltage of a cell programmed to
+    /// `level` under `config`.
+    ///
+    /// The erased level samples from the erased Gaussian; programmed levels
+    /// land in `[verify, verify + Vpp)` with the configured placement noise.
+    pub fn program<R: Rng + ?Sized>(
+        &self,
+        config: &LevelConfig,
+        level: VthLevel,
+        rng: &mut R,
+    ) -> Volts {
+        match config.verify_voltage(level) {
+            None => Volts(sample_normal(
+                rng,
+                config.erased_mean().as_f64(),
+                config.erased_sigma().as_f64(),
+            )),
+            Some(verify) => {
+                let ispp = rng.gen_range(0.0..config.program_pulse().as_f64());
+                let noise = if self.placement_sigma > Volts::ZERO {
+                    sample_normal(rng, 0.0, self.placement_sigma.as_f64())
+                } else {
+                    0.0
+                };
+                // The ISPP placement respects the verify floor, but the
+                // post-verify disturb noise does not (see type docs).
+                Volts(verify.as_f64() + ispp + noise)
+            }
+        }
+    }
+
+    /// The `Vth` gain of a neighbouring cell during *its* programming —
+    /// the `ΔVp` term of the cell-to-cell interference model (Equation 2).
+    ///
+    /// A neighbour programmed to the erased level gains nothing; one
+    /// programmed to level `l` gains roughly the distance from the erased
+    /// mean to its final placement.
+    pub fn program_shift<R: Rng + ?Sized>(
+        &self,
+        config: &LevelConfig,
+        level: VthLevel,
+        rng: &mut R,
+    ) -> Volts {
+        if level.is_erased() {
+            return Volts::ZERO;
+        }
+        let final_vth = self.program(config, level, rng);
+        (final_vth - config.erased_mean()).max(Volts::ZERO)
+    }
+}
+
+impl Default for ProgramModel {
+    fn default() -> ProgramModel {
+        ProgramModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn programmed_cells_stay_near_target_window() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = ProgramModel::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let verify = cfg.verify_voltage(VthLevel::L3).unwrap();
+        let pulse = cfg.program_pulse();
+        let six_sigma = model.placement_sigma * 6.0;
+        for _ in 0..10_000 {
+            let v = model.program(&cfg, VthLevel::L3, &mut rng);
+            assert!(v >= verify - six_sigma, "far below the verify floor: {v}");
+            assert!(v <= verify + pulse + six_sigma, "far above the window: {v}");
+        }
+    }
+
+    #[test]
+    fn noiseless_stays_within_one_pulse() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = ProgramModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(3);
+        let verify = cfg.verify_voltage(VthLevel::L1).unwrap();
+        let pulse = cfg.program_pulse();
+        for _ in 0..10_000 {
+            let v = model.program(&cfg, VthLevel::L1, &mut rng);
+            assert!(v >= verify && v < verify + pulse);
+        }
+    }
+
+    #[test]
+    fn erased_follows_configured_gaussian() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = ProgramModel::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let v = model.program(&cfg, VthLevel::ERASED, &mut rng).as_f64();
+            sum += v;
+            sum2 += v * v;
+        }
+        let mean = sum / n as f64;
+        let sigma = (sum2 / n as f64 - mean * mean).sqrt();
+        assert!((mean - 1.1).abs() < 0.01, "erased mean {mean}");
+        assert!((sigma - 0.35).abs() < 0.01, "erased sigma {sigma}");
+    }
+
+    #[test]
+    fn fresh_cells_mostly_read_back_correctly() {
+        // The post-verify disturb tail leaves a small (<2%) time-zero
+        // misread floor; the overwhelming majority must classify right.
+        let cfg = LevelConfig::reduced_symmetric();
+        let model = ProgramModel::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for level in cfg.levels() {
+            if level.is_erased() {
+                continue; // erased tail may graze the first boundary
+            }
+            let trials = 10_000;
+            let correct = (0..trials)
+                .filter(|_| cfg.classify(model.program(&cfg, level, &mut rng)) == level)
+                .count();
+            assert!(
+                correct as f64 / trials as f64 > 0.97,
+                "level {level}: only {correct}/{trials} read back correctly"
+            );
+        }
+    }
+
+    #[test]
+    fn program_shift_zero_for_erased() {
+        let cfg = LevelConfig::normal_mlc();
+        let model = ProgramModel::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(
+            model.program_shift(&cfg, VthLevel::ERASED, &mut rng),
+            Volts::ZERO
+        );
+        // Higher target level => larger shift on average.
+        let avg = |lvl: VthLevel, rng: &mut StdRng| -> f64 {
+            (0..5_000)
+                .map(|_| model.program_shift(&cfg, lvl, rng).as_f64())
+                .sum::<f64>()
+                / 5_000.0
+        };
+        let s1 = avg(VthLevel::L1, &mut rng);
+        let s3 = avg(VthLevel::L3, &mut rng);
+        assert!(s3 > s1, "L3 shift {s3} must exceed L1 shift {s1}");
+    }
+}

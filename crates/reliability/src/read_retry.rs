@@ -1,0 +1,271 @@
+//! Read-reference calibration (read retry).
+//!
+//! Retention loss drags every programmed distribution downward together,
+//! so a controller that re-reads with *shifted* reference voltages
+//! recovers most of the margin — this is the "read retry" mechanism of
+//! real NAND (Cai et al., DATE'13 observe that verify and read references
+//! are adjustable in the field). The FlexLevel paper's evaluation keys
+//! its sensing schedule on retention BER *after* such calibration; this
+//! module makes that assumption concrete and testable:
+//!
+//! * [`optimal_shift`] — the uniform downward reference shift minimising
+//!   the analytic BER at a stress point (golden-section search);
+//! * [`RetryTable`] — a discrete read-retry table (a few fixed shift
+//!   levels, like real parts), with the best entry per stress point;
+//! * [`calibrated_ber`] — the BER after applying the best retry level,
+//!   the quantity a schedule-driven controller actually experiences.
+
+use flash_model::{Hours, LevelConfig, Volts};
+use serde::{Deserialize, Serialize};
+
+use crate::analytic;
+use crate::program::ProgramModel;
+use crate::retention::RetentionModel;
+
+/// Shifts every read reference of `config` down by `shift` (verify
+/// voltages are program-time parameters and stay put; a shifted-reference
+/// read can classify cells the original references would misread).
+///
+/// Returns `None` if the shift would invert the reference order or push a
+/// reference below the erased mean (no sensible read possible).
+pub fn shifted_config(config: &LevelConfig, shift: Volts) -> Option<LevelConfig> {
+    let refs: Vec<Volts> = config.read_refs().iter().map(|&r| r - shift).collect();
+    if refs.first()?.as_f64() <= config.erased_mean().as_f64() {
+        return None;
+    }
+    // Verify voltages must remain >= their read references for the
+    // constructor; they describe program-time placement which happened at
+    // the unshifted references, so this always holds for downward shifts.
+    let verify: Vec<Volts> = config
+        .levels()
+        .filter_map(|l| config.verify_voltage(l))
+        .collect();
+    LevelConfig::new(refs, verify, config.erased_mean(), config.program_pulse())
+        .ok()
+        .map(|c| c.with_erased_sigma(config.erased_sigma()))
+}
+
+/// Analytic retention BER of `config` read with references shifted down
+/// by `shift`.
+pub fn ber_at_shift(
+    config: &LevelConfig,
+    program: &ProgramModel,
+    retention: &RetentionModel,
+    pe_cycles: u32,
+    age: Hours,
+    shift: Volts,
+    bits_per_cell: f64,
+) -> f64 {
+    match shifted_config(config, shift) {
+        Some(shifted) => {
+            analytic::estimate(
+                &shifted,
+                program,
+                None,
+                Some((retention, pe_cycles, age)),
+                bits_per_cell,
+            )
+            .ber
+        }
+        None => 1.0, // unreadable configuration
+    }
+}
+
+/// Finds the uniform reference shift in `[0, max_shift]` minimising the
+/// retention BER (golden-section search; the objective is unimodal in
+/// practice: too little shift leaves retention errors, too much causes
+/// upward misreads against the erased distribution).
+pub fn optimal_shift(
+    config: &LevelConfig,
+    program: &ProgramModel,
+    retention: &RetentionModel,
+    pe_cycles: u32,
+    age: Hours,
+    max_shift: Volts,
+) -> (Volts, f64) {
+    let f = |s: f64| {
+        ber_at_shift(
+            config,
+            program,
+            retention,
+            pe_cycles,
+            age,
+            Volts(s),
+            2.0,
+        )
+    };
+    let (mut lo, mut hi) = (0.0f64, max_shift.as_f64().max(0.0));
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let mut m1 = hi - PHI * (hi - lo);
+    let mut m2 = lo + PHI * (hi - lo);
+    let (mut f1, mut f2) = (f(m1), f(m2));
+    for _ in 0..40 {
+        if f1 <= f2 {
+            hi = m2;
+            m2 = m1;
+            f2 = f1;
+            m1 = hi - PHI * (hi - lo);
+            f1 = f(m1);
+        } else {
+            lo = m1;
+            m1 = m2;
+            f1 = f2;
+            m2 = lo + PHI * (hi - lo);
+            f2 = f(m2);
+        }
+    }
+    let best = (lo + hi) / 2.0;
+    (Volts(best), f(best))
+}
+
+/// A discrete read-retry table: the fixed reference shifts a controller
+/// can select among (real parts expose a handful of retry levels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryTable {
+    shifts: Vec<Volts>,
+}
+
+impl RetryTable {
+    /// A typical 8-entry table: 0 to 70 mV downward in 10 mV steps.
+    pub fn typical() -> RetryTable {
+        RetryTable {
+            shifts: (0..8).map(|i| Volts(i as f64 * 0.01)).collect(),
+        }
+    }
+
+    /// Builds a table from explicit shifts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shifts` is empty.
+    pub fn new(shifts: Vec<Volts>) -> RetryTable {
+        assert!(!shifts.is_empty(), "retry table needs at least one entry");
+        RetryTable { shifts }
+    }
+
+    /// The table entries.
+    pub fn shifts(&self) -> &[Volts] {
+        &self.shifts
+    }
+
+    /// The best entry (index, shift, BER) at a stress point.
+    pub fn best_entry(
+        &self,
+        config: &LevelConfig,
+        program: &ProgramModel,
+        retention: &RetentionModel,
+        pe_cycles: u32,
+        age: Hours,
+    ) -> (usize, Volts, f64) {
+        let mut best = (0usize, self.shifts[0], f64::INFINITY);
+        for (i, &shift) in self.shifts.iter().enumerate() {
+            let ber = ber_at_shift(config, program, retention, pe_cycles, age, shift, 2.0);
+            if ber < best.2 {
+                best = (i, shift, ber);
+            }
+        }
+        best
+    }
+}
+
+/// Retention BER after the best entry of the typical retry table — the
+/// error rate a calibrating controller actually sees.
+pub fn calibrated_ber(
+    config: &LevelConfig,
+    program: &ProgramModel,
+    retention: &RetentionModel,
+    pe_cycles: u32,
+    age: Hours,
+) -> f64 {
+    RetryTable::typical()
+        .best_entry(config, program, retention, pe_cycles, age)
+        .2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (LevelConfig, ProgramModel, RetentionModel) {
+        (
+            LevelConfig::normal_mlc(),
+            ProgramModel::default(),
+            RetentionModel::paper(),
+        )
+    }
+
+    #[test]
+    fn shifted_config_moves_references_down() {
+        let (cfg, _, _) = setup();
+        let shifted = shifted_config(&cfg, Volts(0.05)).unwrap();
+        for (orig, new) in cfg.read_refs().iter().zip(shifted.read_refs()) {
+            assert!((orig.as_f64() - new.as_f64() - 0.05).abs() < 1e-12);
+        }
+        // Absurd shifts are rejected.
+        assert_eq!(shifted_config(&cfg, Volts(2.0)), None);
+    }
+
+    #[test]
+    fn retry_recovers_margin_at_high_stress() {
+        // At 6000 P/E and a month of retention the distributions have
+        // sagged; a calibrated read must beat the nominal one clearly.
+        let (cfg, program, retention) = setup();
+        let nominal = ber_at_shift(
+            &cfg, &program, &retention, 6000, Hours::months(1.0), Volts::ZERO, 2.0,
+        );
+        let calibrated = calibrated_ber(&cfg, &program, &retention, 6000, Hours::months(1.0));
+        assert!(
+            calibrated < nominal / 2.0,
+            "calibrated {calibrated:.3e} vs nominal {nominal:.3e}"
+        );
+    }
+
+    #[test]
+    fn optimal_shift_is_near_the_mean_retention_loss() {
+        // The best uniform shift should track μd of the mid/high levels.
+        let (cfg, program, retention) = setup();
+        let (shift, ber) = optimal_shift(
+            &cfg, &program, &retention, 6000, Hours::months(1.0), Volts(0.15),
+        );
+        let mu_top = retention
+            .mu(Volts(3.7), Volts(1.1), 6000, Hours::months(1.0))
+            .as_f64();
+        assert!(shift.as_f64() > 0.2 * mu_top, "shift {shift} vs μd {mu_top}");
+        assert!(shift.as_f64() < 2.5 * mu_top, "shift {shift} vs μd {mu_top}");
+        assert!(ber < 1e-2);
+    }
+
+    #[test]
+    fn fresh_data_needs_no_shift() {
+        let (cfg, program, retention) = setup();
+        let (_, best_shift, _) = RetryTable::typical()
+            .best_entry(&cfg, &program, &retention, 2000, Hours(0.01));
+        assert!(
+            best_shift.as_f64() <= 0.011,
+            "fresh data wants ~zero shift, got {best_shift}"
+        );
+    }
+
+    #[test]
+    fn continuous_beats_discrete_table() {
+        let (cfg, program, retention) = setup();
+        let stress = (5000u32, Hours::weeks(1.0));
+        let (_, cont) = optimal_shift(&cfg, &program, &retention, stress.0, stress.1, Volts(0.15));
+        let disc = calibrated_ber(&cfg, &program, &retention, stress.0, stress.1);
+        assert!(cont <= disc * 1.01, "continuous {cont:.3e} vs table {disc:.3e}");
+    }
+
+    #[test]
+    fn typical_table_shape() {
+        let t = RetryTable::typical();
+        assert_eq!(t.shifts().len(), 8);
+        assert_eq!(t.shifts()[0], Volts::ZERO);
+        assert!(t.shifts().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_table_rejected() {
+        let _ = RetryTable::new(vec![]);
+    }
+}

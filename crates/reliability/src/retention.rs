@@ -1,0 +1,237 @@
+//! Retention (charge-loss) noise model (paper Equation 3).
+//!
+//! Electron detrapping and stress-induced leakage drain charge from the
+//! floating gate over storage time, lowering `Vth`. The shift follows a
+//! Gaussian `N(μd, σd²)` whose moments grow with the programmed level's
+//! height above the erased state (`x − x0`), the accumulated P/E cycle
+//! count `N` and the storage time `t`:
+//!
+//! ```text
+//! μd  = Ks (x − x0) Kd N^0.4 ln(1 + t/t0)
+//! σd² = Ks (x − x0) Km N^0.5 ln(1 + t/t0)
+//! ```
+//!
+//! with the paper's constants `Ks = 0.333`, `Kd = 4e-4`, `Km = 2e-6`,
+//! `t0 = 1 h` (from Dong et al.). Higher levels lose charge faster — the
+//! level dependence NUNMA exploits by giving the top level the largest
+//! retention margin.
+
+use flash_model::{Hours, Volts};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::math::sample_normal;
+
+/// Retention model constants (Equation 3).
+///
+/// ```
+/// use flash_model::{Hours, Volts};
+/// use reliability::RetentionModel;
+///
+/// let model = RetentionModel::paper();
+/// // A cell programmed to 3.7 V loses more charge after a month at
+/// // 6000 P/E than after a day at 2000 P/E.
+/// let mild = model.mu(Volts(3.7), Volts(1.1), 2000, Hours::days(1.0));
+/// let harsh = model.mu(Volts(3.7), Volts(1.1), 6000, Hours::months(1.0));
+/// assert!(harsh > mild);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Proportionality constant `Ks` (paper: 0.333).
+    pub ks: f64,
+    /// Mean-shift constant `Kd` (paper: 4e-4).
+    pub kd: f64,
+    /// Variance constant `Km` (paper: 2e-6).
+    pub km: f64,
+    /// Normalising time constant `t0` in hours (paper: 1 h).
+    pub t0: Hours,
+}
+
+impl RetentionModel {
+    /// The paper's constants.
+    pub fn paper() -> RetentionModel {
+        RetentionModel {
+            ks: 0.333,
+            kd: 4e-4,
+            km: 2e-6,
+            t0: Hours(1.0),
+        }
+    }
+
+    /// Mean `μd` of the downward `Vth` shift for a cell whose initial
+    /// threshold is `x`, with erased reference `x0`, after `pe_cycles`
+    /// program/erase cycles and `time` of storage.
+    ///
+    /// Cells at or below the erased reference (`x ≤ x0`) do not lose
+    /// charge in this model.
+    pub fn mu(&self, x: Volts, x0: Volts, pe_cycles: u32, time: Hours) -> Volts {
+        let height = (x - x0).as_f64().max(0.0);
+        let n = pe_cycles as f64;
+        Volts(self.ks * height * self.kd * n.powf(0.4) * (1.0 + time.as_f64() / self.t0.as_f64()).ln())
+    }
+
+    /// Variance `σd²` of the shift (same arguments as [`mu`](Self::mu)).
+    pub fn sigma_sq(&self, x: Volts, x0: Volts, pe_cycles: u32, time: Hours) -> f64 {
+        let height = (x - x0).as_f64().max(0.0);
+        let n = pe_cycles as f64;
+        self.ks * height * self.km * n.powf(0.5) * (1.0 + time.as_f64() / self.t0.as_f64()).ln()
+    }
+
+    /// Standard deviation `σd` of the shift.
+    pub fn sigma(&self, x: Volts, x0: Volts, pe_cycles: u32, time: Hours) -> Volts {
+        Volts(self.sigma_sq(x, x0, pe_cycles, time).sqrt())
+    }
+
+    /// Samples the downward shift for one cell. The result is clamped to
+    /// be non-negative: retention only ever removes charge.
+    pub fn sample_shift<R: Rng + ?Sized>(
+        &self,
+        x: Volts,
+        x0: Volts,
+        pe_cycles: u32,
+        time: Hours,
+        rng: &mut R,
+    ) -> Volts {
+        if time.as_f64() <= 0.0 || pe_cycles == 0 || x <= x0 {
+            return Volts::ZERO;
+        }
+        let mu = self.mu(x, x0, pe_cycles, time).as_f64();
+        let sigma = self.sigma(x, x0, pe_cycles, time).as_f64();
+        Volts(sample_normal(rng, mu, sigma).max(0.0))
+    }
+}
+
+impl Default for RetentionModel {
+    fn default() -> RetentionModel {
+        RetentionModel::paper()
+    }
+}
+
+/// A retention stress point: accumulated wear plus storage time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionStress {
+    /// Program/erase cycle count `N`.
+    pub pe_cycles: u32,
+    /// Storage time since programming.
+    pub time: Hours,
+}
+
+impl RetentionStress {
+    /// Constructs a stress point.
+    pub fn new(pe_cycles: u32, time: Hours) -> RetentionStress {
+        RetentionStress { pe_cycles, time }
+    }
+
+    /// The paper's Table 4/5 evaluation grid: P/E ∈ {2000..6000} ×
+    /// {1 day, 2 days, 1 week, 1 month}.
+    pub fn paper_grid() -> Vec<RetentionStress> {
+        let mut grid = Vec::new();
+        for pe in [2000u32, 3000, 4000, 5000, 6000] {
+            for t in [
+                Hours::days(1.0),
+                Hours::days(2.0),
+                Hours::weeks(1.0),
+                Hours::months(1.0),
+            ] {
+                grid.push(RetentionStress::new(pe, t));
+            }
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const X: Volts = Volts(3.7);
+    const X0: Volts = Volts(1.1);
+
+    #[test]
+    fn paper_constants() {
+        let m = RetentionModel::paper();
+        assert_eq!(m.ks, 0.333);
+        assert_eq!(m.kd, 4e-4);
+        assert_eq!(m.km, 2e-6);
+        assert_eq!(m.t0, Hours(1.0));
+    }
+
+    #[test]
+    fn mu_reference_value() {
+        // Hand-computed: Ks·(x−x0)·Kd·N^0.4·ln(1+t) for N=2000, t=24h:
+        // 0.333 · 2.6 · 4e-4 · 2000^0.4 · ln(25) ≈ 0.0233
+        let m = RetentionModel::paper();
+        let mu = m.mu(X, X0, 2000, Hours::days(1.0)).as_f64();
+        assert!((mu - 0.0233).abs() < 5e-4, "mu = {mu}");
+    }
+
+    #[test]
+    fn shift_grows_with_wear_time_and_height() {
+        let m = RetentionModel::paper();
+        let base = m.mu(X, X0, 2000, Hours::days(1.0));
+        assert!(m.mu(X, X0, 6000, Hours::days(1.0)) > base, "more wear");
+        assert!(m.mu(X, X0, 2000, Hours::months(1.0)) > base, "more time");
+        assert!(m.mu(X, X0, 2000, Hours::days(1.0)) > m.mu(Volts(2.8), X0, 2000, Hours::days(1.0)),
+            "higher level loses more");
+        // Same monotonicity for the spread.
+        assert!(m.sigma(X, X0, 6000, Hours::days(1.0)) > m.sigma(X, X0, 2000, Hours::days(1.0)));
+    }
+
+    #[test]
+    fn no_shift_without_stress() {
+        let m = RetentionModel::paper();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            m.sample_shift(X, X0, 0, Hours::days(1.0), &mut rng),
+            Volts::ZERO
+        );
+        assert_eq!(m.sample_shift(X, X0, 3000, Hours::ZERO, &mut rng), Volts::ZERO);
+        // Erased cells (x <= x0) don't lose charge.
+        assert_eq!(
+            m.sample_shift(Volts(1.0), X0, 3000, Hours::days(1.0), &mut rng),
+            Volts::ZERO
+        );
+    }
+
+    #[test]
+    fn sampled_moments_match_model() {
+        let m = RetentionModel::paper();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pe, t) = (5000, Hours::weeks(1.0));
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let s = m.sample_shift(X, X0, pe, t, &mut rng).as_f64();
+            sum += s;
+            sum2 += s * s;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        let want_mu = m.mu(X, X0, pe, t).as_f64();
+        let want_var = m.sigma_sq(X, X0, pe, t);
+        assert!((mean - want_mu).abs() / want_mu < 0.02, "mean {mean} vs {want_mu}");
+        assert!((var - want_var).abs() / want_var < 0.05, "var {var} vs {want_var}");
+    }
+
+    #[test]
+    fn shifts_never_negative() {
+        let m = RetentionModel::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(m.sample_shift(X, X0, 4000, Hours::days(2.0), &mut rng) >= Volts::ZERO);
+        }
+    }
+
+    #[test]
+    fn paper_grid_shape() {
+        let grid = RetentionStress::paper_grid();
+        assert_eq!(grid.len(), 20); // 5 P/E points × 4 times
+        assert_eq!(grid[0].pe_cycles, 2000);
+        assert_eq!(grid[0].time, Hours::days(1.0));
+        assert_eq!(grid[19].pe_cycles, 6000);
+        assert_eq!(grid[19].time, Hours::months(1.0));
+    }
+}

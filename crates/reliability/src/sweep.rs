@@ -1,0 +1,153 @@
+//! Parallel Monte-Carlo sharding.
+//!
+//! BER points at the paper's stress grid need 1e6–1e8 trials each to
+//! resolve rates near 1e-4 with tight confidence intervals. This module
+//! shards a [`BerSimulation`] across OS threads
+//! with crossbeam's scoped threads; every shard gets an independent,
+//! deterministic seed so results are reproducible regardless of thread
+//! scheduling.
+//!
+//! [`BerSimulation`]: crate::ber::BerSimulation
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ber::{BerReport, BerSimulation};
+use crate::codec::SymbolCodec;
+
+/// Runs `total_symbols` trials split across `shards` threads.
+///
+/// Shard `i` uses seed `base_seed + i`, so the merged result is a pure
+/// function of `(simulation, total_symbols, shards, base_seed)`.
+///
+/// ```no_run
+/// use flash_model::LevelConfig;
+/// use reliability::{run_sharded, BerSimulation, GrayMlcCodec, ProgramModel, StressConfig};
+///
+/// let cfg = LevelConfig::normal_mlc();
+/// let codec = GrayMlcCodec;
+/// let sim = BerSimulation::new(&cfg, &codec, ProgramModel::default(), StressConfig::default());
+/// let report = run_sharded(&sim, 1_000_000, 8, 42);
+/// println!("ber = {}", report.ber());
+/// ```
+pub fn run_sharded<C: SymbolCodec + Sync>(
+    simulation: &BerSimulation<'_, C>,
+    total_symbols: u64,
+    shards: u32,
+    base_seed: u64,
+) -> BerReport {
+    let shards = shards.max(1);
+    let per_shard = total_symbols / shards as u64;
+    let remainder = total_symbols % shards as u64;
+
+    let mut results: Vec<Option<BerReport>> = (0..shards).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (i, slot) in results.iter_mut().enumerate() {
+            let sim = &simulation;
+            scope.spawn(move |_| {
+                let n = per_shard + if (i as u64) < remainder { 1 } else { 0 };
+                let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(i as u64));
+                *slot = Some(sim.run(n, &mut rng));
+            });
+        }
+    })
+    .expect("BER shard thread panicked");
+
+    let mut merged: Option<BerReport> = None;
+    for r in results.into_iter().flatten() {
+        match merged {
+            None => merged = Some(r),
+            Some(ref mut m) => m.merge(&r),
+        }
+    }
+    merged.unwrap_or_default()
+}
+
+/// A sensible shard count for the current machine (one per core, capped).
+pub fn default_shards() -> u32 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(4)
+        .min(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::StressConfig;
+    use crate::codec::GrayMlcCodec;
+    use crate::program::ProgramModel;
+    use crate::retention::{RetentionModel, RetentionStress};
+    use flash_model::{Hours, LevelConfig};
+
+    #[test]
+    fn sharded_run_counts_all_symbols() {
+        let cfg = LevelConfig::normal_mlc();
+        let codec = GrayMlcCodec;
+        let sim = BerSimulation::new(
+            &cfg,
+            &codec,
+            ProgramModel::default(),
+            StressConfig::default(),
+        );
+        let report = run_sharded(&sim, 100_003, 7, 1);
+        assert_eq!(report.symbols, 100_003);
+        assert_eq!(report.bits, 200_006);
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic() {
+        let cfg = LevelConfig::normal_mlc();
+        let codec = GrayMlcCodec;
+        let stress = StressConfig::retention_only(
+            RetentionModel::paper(),
+            RetentionStress::new(6000, Hours::weeks(1.0)),
+        );
+        let sim = BerSimulation::new(&cfg, &codec, ProgramModel::default(), stress);
+        let a = run_sharded(&sim, 50_000, 4, 99);
+        let b = run_sharded(&sim, 50_000, 4, 99);
+        assert_eq!(a, b);
+        // A different seed gives a different (but statistically close) result.
+        let c = run_sharded(&sim, 50_000, 4, 100);
+        assert_ne!(a.bit_errors, 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sharded_matches_expected_rate() {
+        let cfg = LevelConfig::normal_mlc();
+        let codec = GrayMlcCodec;
+        let stress = StressConfig::retention_only(
+            RetentionModel::paper(),
+            RetentionStress::new(6000, Hours::months(1.0)),
+        );
+        let sim = BerSimulation::new(&cfg, &codec, ProgramModel::default(), stress);
+        let few_shards = run_sharded(&sim, 200_000, 2, 5);
+        let many_shards = run_sharded(&sim, 200_000, 16, 5);
+        let r1 = few_shards.ber();
+        let r2 = many_shards.ber();
+        assert!(
+            (r1 - r2).abs() / r1 < 0.2,
+            "shard count must not bias the estimate: {r1} vs {r2}"
+        );
+    }
+
+    #[test]
+    fn zero_shards_clamped_to_one() {
+        let cfg = LevelConfig::normal_mlc();
+        let codec = GrayMlcCodec;
+        let sim = BerSimulation::new(
+            &cfg,
+            &codec,
+            ProgramModel::default(),
+            StressConfig::default(),
+        );
+        let report = run_sharded(&sim, 1000, 0, 1);
+        assert_eq!(report.symbols, 1000);
+    }
+
+    #[test]
+    fn default_shards_positive() {
+        assert!(default_shards() >= 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Uncorrectable bit error rate (paper Equation 1).
+//!
+//! For a rate-`n/m` ECC correcting up to `k` bit errors per `m`-bit
+//! codeword, the UBER at raw cell BER `p` is
+//!
+//! ```text
+//! uber(k) = (1 - Σ_{i=0}^{k} C(m,i) p^i (1-p)^(m-i)) / n
+//! ```
+//!
+//! i.e. the probability of more than `k` errors landing in one codeword,
+//! normalised per information bit. The paper targets `UBER ≤ 1e-15` with a
+//! rate-8/9 LDPC over 4 KB data blocks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::binomial_survival;
+
+/// An ECC configuration for UBER evaluation.
+///
+/// ```
+/// use reliability::{EccConfig, PAPER_UBER_TARGET};
+///
+/// let ecc = EccConfig::paper_ldpc();
+/// // Raising the raw BER from 1e-3 to 1e-2 demands a much larger
+/// // correction budget for the same 1e-15 UBER target.
+/// let easy = ecc.required_correction(1e-3, PAPER_UBER_TARGET).unwrap();
+/// let hard = ecc.required_correction(1e-2, PAPER_UBER_TARGET).unwrap();
+/// assert!(hard > 2 * easy);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccConfig {
+    /// Information bits per codeword (`n`).
+    pub info_bits: u64,
+    /// Total codeword bits (`m`).
+    pub codeword_bits: u64,
+}
+
+impl EccConfig {
+    /// The paper's code: rate-8/9 LDPC over a 4 KB data block —
+    /// 32 768 information bits in a 36 864-bit codeword.
+    pub fn paper_ldpc() -> EccConfig {
+        EccConfig {
+            info_bits: 4096 * 8,
+            codeword_bits: 4096 * 8 * 9 / 8,
+        }
+    }
+
+    /// Code rate `n / m`.
+    pub fn rate(&self) -> f64 {
+        self.info_bits as f64 / self.codeword_bits as f64
+    }
+
+    /// Parity bits per codeword.
+    pub fn parity_bits(&self) -> u64 {
+        self.codeword_bits - self.info_bits
+    }
+
+    /// UBER when the decoder corrects up to `k` errors per codeword at raw
+    /// BER `p` (Equation 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn uber(&self, k: u64, p: f64) -> f64 {
+        binomial_survival(self.codeword_bits, k.min(self.codeword_bits), p)
+            / self.info_bits as f64
+    }
+
+    /// Smallest correctable-error budget `k` that meets `target_uber` at
+    /// raw BER `p`, or `None` if even correcting every bit fails (never in
+    /// practice).
+    pub fn required_correction(&self, p: f64, target_uber: f64) -> Option<u64> {
+        // Exponential-then-binary search keeps this fast for large m.
+        let mut lo = 0u64;
+        let mut hi = 1u64;
+        while self.uber(hi, p) > target_uber {
+            lo = hi;
+            hi *= 2;
+            if hi >= self.codeword_bits {
+                hi = self.codeword_bits;
+                if self.uber(hi, p) > target_uber {
+                    return None;
+                }
+                break;
+            }
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.uber(mid, p) <= target_uber {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(hi)
+    }
+}
+
+/// The UBER target used throughout the paper's evaluation (§6.1).
+pub const PAPER_UBER_TARGET: f64 = 1e-15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_code_shape() {
+        let ecc = EccConfig::paper_ldpc();
+        assert_eq!(ecc.info_bits, 32_768);
+        assert_eq!(ecc.codeword_bits, 36_864);
+        assert!((ecc.rate() - 8.0 / 9.0).abs() < 1e-12);
+        assert_eq!(ecc.parity_bits(), 4_096);
+    }
+
+    #[test]
+    fn uber_decreases_with_correction_strength() {
+        let ecc = EccConfig::paper_ldpc();
+        let p = 2e-3;
+        let mut prev = 1.0;
+        for k in [0u64, 50, 100, 150, 200] {
+            let u = ecc.uber(k, p);
+            assert!(u <= prev);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn uber_increases_with_raw_ber() {
+        let ecc = EccConfig::paper_ldpc();
+        let k = 120;
+        assert!(ecc.uber(k, 1e-3) < ecc.uber(k, 3e-3));
+        assert!(ecc.uber(k, 3e-3) < ecc.uber(k, 1e-2));
+    }
+
+    #[test]
+    fn required_correction_meets_target() {
+        let ecc = EccConfig::paper_ldpc();
+        for p in [1e-4, 1e-3, 4e-3, 1e-2] {
+            let k = ecc.required_correction(p, PAPER_UBER_TARGET).unwrap();
+            assert!(ecc.uber(k, p) <= PAPER_UBER_TARGET);
+            if k > 0 {
+                assert!(
+                    ecc.uber(k - 1, p) > PAPER_UBER_TARGET,
+                    "k must be minimal at p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn required_correction_grows_with_ber() {
+        let ecc = EccConfig::paper_ldpc();
+        let k1 = ecc.required_correction(1e-3, PAPER_UBER_TARGET).unwrap();
+        let k2 = ecc.required_correction(1e-2, PAPER_UBER_TARGET).unwrap();
+        assert!(k2 > k1);
+        // Sanity: at BER 1e-2 a 36864-bit codeword sees ~369 errors on
+        // average; the budget must exceed that mean by a comfortable margin.
+        assert!(k2 > 369);
+        assert!(k2 < 1000);
+    }
+
+    #[test]
+    fn zero_ber_needs_no_correction() {
+        let ecc = EccConfig::paper_ldpc();
+        assert_eq!(ecc.required_correction(0.0, PAPER_UBER_TARGET), Some(0));
+        assert_eq!(ecc.uber(0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! `flexlevel-sim` — command-line trace-driven SSD simulation.
+//!
+//! ```text
+//! USAGE:
+//!   flexlevel-sim [--scheme S] [--workload W] [--pe N] [--blocks N]
+//!                 [--requests N] [--seed N] [--all-schemes]
+//!
+//!   --scheme S      baseline | ldpc | la-only | flexlevel   (default flexlevel)
+//!   --workload W    fin-2 | web-1 | web-2 | prj-1 | prj-2 | win-1 | win-2
+//!                   (default fin-2)
+//!   --pe N          starting P/E cycles (default 6000)
+//!   --blocks N      device size in blocks of 1 MB (default 128)
+//!   --requests N    trace length (default 30000)
+//!   --seed N        RNG seed (default 42)
+//!   --all-schemes   run all four systems and print a comparison
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use ssd::{Scheme, SsdConfig, SsdSimulator};
+use workloads::WorkloadSpec;
+
+struct Args {
+    scheme: Scheme,
+    workload: String,
+    pe: u32,
+    blocks: u32,
+    requests: u64,
+    seed: u64,
+    channels: u32,
+    all_schemes: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scheme: Scheme::FlexLevel,
+        workload: "fin-2".to_string(),
+        pe: 6000,
+        blocks: 128,
+        requests: 30_000,
+        seed: 42,
+        channels: 1,
+        all_schemes: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                args.scheme = match value("--scheme")?.as_str() {
+                    "baseline" => Scheme::Baseline,
+                    "ldpc" => Scheme::LdpcInSsd,
+                    "la-only" => Scheme::LevelAdjustOnly,
+                    "flexlevel" => Scheme::FlexLevel,
+                    other => return Err(format!("unknown scheme '{other}'")),
+                }
+            }
+            "--workload" => args.workload = value("--workload")?,
+            "--pe" => args.pe = value("--pe")?.parse().map_err(|e| format!("--pe: {e}"))?,
+            "--blocks" => {
+                args.blocks = value("--blocks")?
+                    .parse()
+                    .map_err(|e| format!("--blocks: {e}"))?
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--channels" => {
+                args.channels = value("--channels")?
+                    .parse()
+                    .map_err(|e| format!("--channels: {e}"))?
+            }
+            "--all-schemes" => args.all_schemes = true,
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_usage() {
+    println!(
+        "flexlevel-sim — trace-driven SSD simulation of the FlexLevel schemes\n\n\
+         USAGE: flexlevel-sim [--scheme baseline|ldpc|la-only|flexlevel]\n\
+                [--workload fin-2|web-1|web-2|prj-1|prj-2|win-1|win-2]\n\
+                [--pe N] [--blocks N] [--requests N] [--seed N]\n\
+                [--channels N] [--all-schemes]"
+    );
+}
+
+fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    WorkloadSpec::paper_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+}
+
+fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) {
+    let config = SsdConfig::scaled(scheme, args.blocks)
+        .with_base_pe(args.pe)
+        .with_seed(args.seed)
+        .with_channels(args.channels);
+    let mut sim = SsdSimulator::new(config);
+    match sim.run(trace) {
+        Ok(stats) => {
+            println!("--- {} ---", scheme.label());
+            println!("  mean response      : {}", stats.mean_response());
+            println!("  mean read response : {}", stats.mean_read_response());
+            println!(
+                "  host requests      : {} ({} reads / {} writes)",
+                stats.host_requests(),
+                stats.host_reads,
+                stats.host_writes
+            );
+            println!("  buffer read hits   : {}", stats.buffer_read_hits);
+            println!("  reduced-page reads : {}", stats.reduced_reads);
+            println!(
+                "  soft-read fraction : {:.1}%",
+                stats.soft_read_fraction() * 100.0
+            );
+            println!(
+                "  flash ops          : {} reads, {} programs, {} erases",
+                stats.flash_reads, stats.flash_programs, stats.erases
+            );
+            println!(
+                "  GC                 : {} runs, {} pages moved",
+                stats.gc_runs, stats.gc_migrated_pages
+            );
+            if scheme == Scheme::FlexLevel {
+                println!(
+                    "  AccessEval         : {} promotions, {} demotions",
+                    stats.promotions, stats.demotions
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("{}: simulation failed: {e}", scheme.label());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let Some(spec) = workload_by_name(&args.workload) else {
+        eprintln!("error: unknown workload '{}'", args.workload);
+        std::process::exit(2);
+    };
+    let config = SsdConfig::scaled(Scheme::Baseline, args.blocks);
+    let footprint = config.geometry.logical_pages() * 7 / 10;
+    let trace = spec
+        .with_requests(args.requests)
+        .with_footprint(footprint)
+        .with_interarrival_scale(2.2)
+        .generate(&mut StdRng::seed_from_u64(args.seed));
+    println!(
+        "workload {} | {} requests | {:.0}% reads | footprint {} pages | P/E {}\n",
+        trace.name,
+        trace.len(),
+        trace.read_fraction() * 100.0,
+        trace.footprint_pages,
+        args.pe
+    );
+    if args.all_schemes {
+        for scheme in Scheme::ALL {
+            run_one(scheme, &args, &trace);
+        }
+    } else {
+        run_one(args.scheme, &args, &trace);
+    }
+}

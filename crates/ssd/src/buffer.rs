@@ -1,0 +1,171 @@
+//! Write-back buffer.
+//!
+//! The paper modified FlashSim "by adding a write-back write buffer"
+//! (§6.2). Host writes land in the buffer and are acknowledged
+//! immediately; dirty pages flush to flash on LRU eviction. Host reads
+//! that hit the buffer skip the flash entirely.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// LRU write-back buffer over logical pages.
+///
+/// ```
+/// use ssd::WriteBuffer;
+///
+/// let mut buf = WriteBuffer::new(2);
+/// assert_eq!(buf.write(1), None);
+/// assert_eq!(buf.write(1), None); // rewrite absorbed
+/// assert_eq!(buf.write(2), None);
+/// assert_eq!(buf.write(3), Some(1)); // LRU evicted to flash
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    capacity: u64,
+    next_seq: u64,
+    by_lpn: HashMap<u64, u64>,
+    by_seq: BTreeMap<u64, u64>,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer holding at most `capacity` dirty pages.
+    pub fn new(capacity: u64) -> WriteBuffer {
+        WriteBuffer {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            by_lpn: HashMap::new(),
+            by_seq: BTreeMap::new(),
+        }
+    }
+
+    /// Dirty pages currently buffered.
+    pub fn len(&self) -> u64 {
+        self.by_lpn.len() as u64
+    }
+
+    /// `true` when the buffer holds no dirty pages.
+    pub fn is_empty(&self) -> bool {
+        self.by_lpn.is_empty()
+    }
+
+    /// Buffer capacity in pages.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// `true` if `lpn` has a buffered (dirty) copy.
+    pub fn contains(&self, lpn: u64) -> bool {
+        self.by_lpn.contains_key(&lpn)
+    }
+
+    /// Buffers a write of `lpn`; returns the evicted dirty page that must
+    /// now be programmed to flash, if the buffer overflowed.
+    ///
+    /// Rewriting a buffered page coalesces (no eviction, recency
+    /// refreshed) — the write-absorption effect of a write-back buffer.
+    pub fn write(&mut self, lpn: u64) -> Option<u64> {
+        if let Some(old_seq) = self.by_lpn.remove(&lpn) {
+            self.by_seq.remove(&old_seq);
+        }
+        let evicted = if self.by_lpn.len() as u64 >= self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.by_lpn.insert(lpn, seq);
+        self.by_seq.insert(seq, lpn);
+        evicted
+    }
+
+    /// Marks a buffered page as recently used (on a read hit).
+    pub fn touch(&mut self, lpn: u64) {
+        if let Some(old_seq) = self.by_lpn.get(&lpn).copied() {
+            self.by_seq.remove(&old_seq);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.by_lpn.insert(lpn, seq);
+            self.by_seq.insert(seq, lpn);
+        }
+    }
+
+    /// Removes and returns the least-recently-written dirty page.
+    pub fn pop_lru(&mut self) -> Option<u64> {
+        let (&seq, &lpn) = self.by_seq.iter().next()?;
+        self.by_seq.remove(&seq);
+        self.by_lpn.remove(&lpn);
+        Some(lpn)
+    }
+
+    /// Drains every dirty page (shutdown flush), LRU first.
+    pub fn drain(&mut self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.by_lpn.len());
+        while let Some(lpn) = self.pop_lru() {
+            out.push(lpn);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbs_rewrites() {
+        let mut buf = WriteBuffer::new(2);
+        assert_eq!(buf.write(1), None);
+        assert_eq!(buf.write(1), None, "rewrite coalesces");
+        assert_eq!(buf.write(1), None);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn evicts_lru_on_overflow() {
+        let mut buf = WriteBuffer::new(2);
+        buf.write(1);
+        buf.write(2);
+        assert_eq!(buf.write(3), Some(1));
+        assert!(buf.contains(2));
+        assert!(buf.contains(3));
+        assert!(!buf.contains(1));
+    }
+
+    #[test]
+    fn touch_protects_from_eviction() {
+        let mut buf = WriteBuffer::new(2);
+        buf.write(1);
+        buf.write(2);
+        buf.touch(1);
+        assert_eq!(buf.write(3), Some(2));
+        assert!(buf.contains(1));
+    }
+
+    #[test]
+    fn rewrite_refreshes_recency() {
+        let mut buf = WriteBuffer::new(2);
+        buf.write(1);
+        buf.write(2);
+        buf.write(1); // 1 becomes most recent
+        assert_eq!(buf.write(3), Some(2));
+    }
+
+    #[test]
+    fn drain_returns_all_lru_first() {
+        let mut buf = WriteBuffer::new(4);
+        for lpn in [5, 6, 7] {
+            buf.write(lpn);
+        }
+        buf.touch(5);
+        assert_eq!(buf.drain(), vec![6, 7, 5]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let mut buf = WriteBuffer::new(0);
+        assert_eq!(buf.capacity(), 1);
+        assert_eq!(buf.write(1), None);
+        assert_eq!(buf.write(2), Some(1));
+    }
+}

@@ -1,0 +1,190 @@
+//! SSD simulator configuration.
+//!
+//! Mirrors the evaluation setup of the paper's §6.2: a page-mapping FTL
+//! over the Table 6 device with 27 % over-provisioning, a write-back
+//! buffer, and one of four storage schemes (baseline, LDPC-in-SSD,
+//! LevelAdjust-only, LevelAdjust+AccessEval).
+
+use flash_model::{DeviceGeometry, Hours};
+use flexlevel::{AccessEvalConfig, NunmaScheme};
+use ldpc::{ReadLatencyModel, SensingSchedule};
+use serde::{Deserialize, Serialize};
+
+use crate::ftl::GcPolicy;
+
+/// Which storage system design the simulator runs (the four systems of
+/// Figure 6a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// No optimisation: every read senses with the worst-case soft level
+    /// count the current wear state could require.
+    Baseline,
+    /// LDPC-in-SSD (Zhao et al., FAST'13): progressive sensing — retry
+    /// with one more soft level until the frame decodes.
+    LdpcInSsd,
+    /// LevelAdjust applied to as much of the device as over-provisioning
+    /// allows, with no selectivity.
+    LevelAdjustOnly,
+    /// The full FlexLevel system: LevelAdjust + NUNMA applied only to the
+    /// AccessEval-selected HLO data.
+    FlexLevel,
+}
+
+impl Scheme {
+    /// All four evaluated systems in the paper's order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Baseline,
+        Scheme::LdpcInSsd,
+        Scheme::LevelAdjustOnly,
+        Scheme::FlexLevel,
+    ];
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::LdpcInSsd => "LDPC-in-SSD",
+            Scheme::LevelAdjustOnly => "LevelAdjust-only",
+            Scheme::FlexLevel => "LevelAdjust+AccessEval",
+        }
+    }
+
+    /// `true` if the scheme stores any data in reduced-state pages.
+    pub fn uses_reduced_pages(self) -> bool {
+        matches!(self, Scheme::LevelAdjustOnly | Scheme::FlexLevel)
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// Device geometry (blocks, pages, over-provisioning).
+    pub geometry: DeviceGeometry,
+    /// Read/decode latency model (Table 6 timing).
+    pub latency: ReadLatencyModel,
+    /// Raw-BER → extra-sensing-levels schedule.
+    pub schedule: SensingSchedule,
+    /// Storage scheme under test.
+    pub scheme: Scheme,
+    /// NUNMA configuration used by reduced-state pages.
+    pub nunma: NunmaScheme,
+    /// AccessEval policy (used by [`Scheme::FlexLevel`]).
+    pub access_eval: AccessEvalConfig,
+    /// Write-back buffer capacity in pages.
+    pub buffer_pages: u64,
+    /// Independent flash channels; requests are routed by LPN and queue
+    /// per channel (1 = the paper's single-queue FlashSim model).
+    pub channels: u32,
+    /// GC trigger: collect when free blocks fall to this count.
+    pub gc_low_watermark: u32,
+    /// GC victim-selection policy.
+    pub gc_policy: GcPolicy,
+    /// Accumulated P/E cycles at simulation start (the paper sweeps
+    /// 4000–6000).
+    pub base_pe_cycles: u32,
+    /// Maximum retention age of resident data; ages are drawn uniformly
+    /// from `[0, max_data_age]` at first touch (steady-state assumption).
+    pub max_data_age: Hours,
+    /// Minimum effective over-provisioning fraction LevelAdjust-only must
+    /// preserve when converting blocks to reduced mode.
+    pub min_over_provisioning: f64,
+    /// RNG seed for data ages.
+    pub seed: u64,
+}
+
+impl SsdConfig {
+    /// A scaled-down device (default 512 blocks ≈ 512 MB) with the
+    /// paper's policy parameters, suitable for fast simulation. The
+    /// AccessEval pool is scaled like the paper's: 64 GB of a 256 GB
+    /// device = 25 % of the logical space.
+    pub fn scaled(scheme: Scheme, blocks: u32) -> SsdConfig {
+        let geometry = DeviceGeometry::scaled(blocks).expect("valid scaled geometry");
+        let pool_pages = geometry.logical_pages() / 4 * 100 / 73; // 64/256 of raw ≈ logical/4·(100/73)
+        SsdConfig {
+            geometry,
+            latency: ReadLatencyModel::paper_mlc(),
+            schedule: crate::device::derived_schedule(),
+            scheme,
+            nunma: NunmaScheme::Nunma3,
+            access_eval: AccessEvalConfig::paper(geometry.page_bytes() as u64)
+                .with_pool_pages(pool_pages),
+            buffer_pages: (geometry.logical_pages() / 128).max(16),
+            channels: 1,
+            gc_low_watermark: 4,
+            gc_policy: GcPolicy::Greedy,
+            base_pe_cycles: 6000,
+            max_data_age: Hours::months(1.0),
+            min_over_provisioning: 0.04,
+            seed: 42,
+        }
+    }
+
+    /// Sets the starting wear level (Figure 6b sweeps this).
+    #[must_use]
+    pub fn with_base_pe(mut self, pe: u32) -> SsdConfig {
+        self.base_pe_cycles = pe;
+        self
+    }
+
+    /// Sets the data-age ceiling.
+    #[must_use]
+    pub fn with_max_age(mut self, age: Hours) -> SsdConfig {
+        self.max_data_age = age;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> SsdConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the channel count (parallel flash queues).
+    #[must_use]
+    pub fn with_channels(mut self, channels: u32) -> SsdConfig {
+        self.channels = channels.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::ALL.len(), 4);
+        assert_eq!(Scheme::Baseline.label(), "baseline");
+        assert_eq!(Scheme::FlexLevel.label(), "LevelAdjust+AccessEval");
+        assert!(!Scheme::Baseline.uses_reduced_pages());
+        assert!(!Scheme::LdpcInSsd.uses_reduced_pages());
+        assert!(Scheme::LevelAdjustOnly.uses_reduced_pages());
+        assert!(Scheme::FlexLevel.uses_reduced_pages());
+    }
+
+    #[test]
+    fn scaled_config_proportions() {
+        let cfg = SsdConfig::scaled(Scheme::FlexLevel, 512);
+        assert_eq!(cfg.geometry.blocks(), 512);
+        // Pool ≈ 25% of raw capacity (the paper's 64 GB of 256 GB).
+        let pool_fraction =
+            cfg.access_eval.pool_pages as f64 / cfg.geometry.total_pages() as f64;
+        assert!(
+            (pool_fraction - 0.25).abs() < 0.01,
+            "pool fraction {pool_fraction}"
+        );
+        assert!(cfg.buffer_pages >= 16);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = SsdConfig::scaled(Scheme::Baseline, 64)
+            .with_base_pe(4000)
+            .with_max_age(Hours::weeks(1.0))
+            .with_seed(7);
+        assert_eq!(cfg.base_pe_cycles, 4000);
+        assert_eq!(cfg.max_data_age, Hours::weeks(1.0));
+        assert_eq!(cfg.seed, 7);
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-device reliability state: wear, data ages and cached BER queries.
+//!
+//! Every normal-page read needs to know its raw BER (wear + retention age
+//! of the stored data) to determine the soft-sensing cost. Recomputing
+//! the analytic BER integral per read would dominate simulation time, so
+//! queries are quantised into (P/E bucket, age bucket) cells and cached.
+//! Reduced-page reads use the NUNMA configuration, whose BER stays below
+//! the sensing trigger by design (verified at construction).
+
+use std::collections::HashMap;
+
+use flash_model::{Hours, LevelConfig};
+use flexlevel::NunmaScheme;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reliability::{analytic, ProgramModel, RetentionModel};
+
+/// Quantisation granularity for BER cache keys.
+const PE_BUCKET: u32 = 250;
+const AGE_BUCKETS: u32 = 32;
+
+/// Reliability oracle for the simulated device.
+#[derive(Debug)]
+pub struct ReliabilityState {
+    normal_config: LevelConfig,
+    reduced_config: LevelConfig,
+    program: ProgramModel,
+    retention: RetentionModel,
+    max_age: Hours,
+    ages: HashMap<u64, Hours>,
+    rng: StdRng,
+    ber_cache: HashMap<(u32, u32), f64>,
+    reduced_cache: HashMap<(u32, u32), f64>,
+}
+
+impl ReliabilityState {
+    /// Creates the oracle. Data ages are drawn from `U(0, max_age)` on
+    /// first touch (steady-state resident data) using `seed`.
+    pub fn new(nunma: NunmaScheme, max_age: Hours, seed: u64) -> ReliabilityState {
+        ReliabilityState {
+            normal_config: LevelConfig::normal_mlc(),
+            reduced_config: nunma.config().level_config(),
+            program: ProgramModel::default(),
+            retention: RetentionModel::paper(),
+            max_age,
+            ages: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            ber_cache: HashMap::new(),
+            reduced_cache: HashMap::new(),
+        }
+    }
+
+    /// Retention age of `lpn`'s stored data, sampling a steady-state age
+    /// on first touch.
+    pub fn age(&mut self, lpn: u64) -> Hours {
+        let max = self.max_age.as_f64();
+        let rng = &mut self.rng;
+        *self
+            .ages
+            .entry(lpn)
+            .or_insert_with(|| Hours(rng.gen::<f64>() * max))
+    }
+
+    /// Records a (re)write of `lpn`.
+    ///
+    /// The trace is a short *window* of a long-running system (minutes of
+    /// arrivals against months of retention), so rather than pinning
+    /// rewritten data to age zero — which would make the trace window
+    /// look artificially fresh — the age is resampled from the
+    /// steady-state distribution, biased young (triangular toward zero):
+    /// recently written data is more likely young, but the window
+    /// represents all phases of the device's retention cycle.
+    pub fn record_write(&mut self, lpn: u64) {
+        let max = self.max_age.as_f64();
+        let u: f64 = self.rng.gen();
+        let v: f64 = self.rng.gen();
+        self.ages.insert(lpn, Hours(u.min(v) * max));
+    }
+
+    /// Raw BER of a normal page at `pe_cycles` wear whose data is `age`
+    /// old (cached on a quantised grid).
+    pub fn normal_ber(&mut self, pe_cycles: u32, age: Hours) -> f64 {
+        let pe_bucket = pe_cycles / PE_BUCKET;
+        let age_bucket = ((age.as_f64() / self.max_age.as_f64().max(1e-9))
+            * AGE_BUCKETS as f64)
+            .min(AGE_BUCKETS as f64) as u32;
+        if let Some(&ber) = self.ber_cache.get(&(pe_bucket, age_bucket)) {
+            return ber;
+        }
+        // Evaluate at the bucket centre.
+        let pe = pe_bucket * PE_BUCKET + PE_BUCKET / 2;
+        let age_center = Hours(
+            (age_bucket as f64 + 0.5) / AGE_BUCKETS as f64 * self.max_age.as_f64(),
+        );
+        // Retention-only, matching how the paper derives Table 5 from
+        // Table 4's retention BER: cell-to-cell interference acts at
+        // program time and is compensated by read-reference calibration,
+        // so the read path's sensing need keys on retention loss.
+        let ber = analytic::estimate(
+            &self.normal_config,
+            &self.program,
+            None,
+            Some((&self.retention, pe, age_center)),
+            2.0,
+        )
+        .ber;
+        self.ber_cache.insert((pe_bucket, age_bucket), ber);
+        ber
+    }
+
+    /// Raw BER of a reduced (NUNMA) page under the same stress (cached on
+    /// the same quantised grid as [`normal_ber`](Self::normal_ber)).
+    pub fn reduced_ber(&mut self, pe_cycles: u32, age: Hours) -> f64 {
+        let pe_bucket = pe_cycles / PE_BUCKET;
+        let age_bucket = ((age.as_f64() / self.max_age.as_f64().max(1e-9))
+            * AGE_BUCKETS as f64)
+            .min(AGE_BUCKETS as f64) as u32;
+        if let Some(&ber) = self.reduced_cache.get(&(pe_bucket, age_bucket)) {
+            return ber;
+        }
+        let pe = pe_bucket * PE_BUCKET + PE_BUCKET / 2;
+        let age_center = Hours(
+            (age_bucket as f64 + 0.5) / AGE_BUCKETS as f64 * self.max_age.as_f64(),
+        );
+        let ber = analytic::estimate(
+            &self.reduced_config,
+            &self.program,
+            None,
+            Some((&self.retention, pe, age_center)),
+            1.5,
+        )
+        .ber;
+        self.reduced_cache.insert((pe_bucket, age_bucket), ber);
+        ber
+    }
+
+    /// Worst-case BER the device must provision for at `pe_cycles`: data
+    /// aged to the retention ceiling.
+    pub fn worst_case_ber(&mut self, pe_cycles: u32) -> f64 {
+        self.normal_ber(pe_cycles, self.max_age)
+    }
+
+    /// Number of distinct cached BER cells (diagnostics).
+    pub fn cache_entries(&self) -> usize {
+        self.ber_cache.len()
+    }
+}
+
+/// Derives a sensing schedule consistent with *this reproduction's* BER
+/// scale by quantile-matching the paper's Table 5.
+///
+/// Our calibrated device model reproduces the paper's BER magnitudes but
+/// with a somewhat steeper time dependence, so the paper's absolute
+/// 4e-3-anchored thresholds would over-trigger soft sensing here. The
+/// robust mapping is by *rank*: evaluate our analytic BER at the same
+/// 20-cell wear × retention grid as Table 5, sort, and place the level
+/// thresholds so each sensing depth covers exactly as many grid cells as
+/// the paper reports (10× zero, 4× one, 2× two, 3× four, 1× six). This
+/// preserves the quantity that drives Figure 6 — how often reads at each
+/// sensing depth occur over the device's life — while staying
+/// self-consistent with the simulator's per-read BER queries.
+pub fn derived_schedule() -> ldpc::SensingSchedule {
+    use flash_model::LevelConfig;
+    let config = LevelConfig::normal_mlc();
+    let program = ProgramModel::default();
+    let retention = RetentionModel::paper();
+    // The Table 5 grid: P/E ∈ {3000..6000} × {0 day, 1 day, 2 days,
+    // 1 week, 1 month}. Retention-only, like the paper's own derivation
+    // of Table 5 from Table 4.
+    let mut bers = Vec::new();
+    for pe in [3000u32, 4000, 5000, 6000] {
+        for hours in [0.01, 24.0, 48.0, 168.0, 720.0] {
+            bers.push(
+                analytic::estimate(
+                    &config,
+                    &program,
+                    None,
+                    Some((&retention, pe, Hours(hours))),
+                    2.0,
+                )
+                .ber,
+            );
+        }
+    }
+    bers.sort_by(|a, b| a.partial_cmp(b).expect("finite BER"));
+    // Paper class sizes over the sorted grid, and the level each class
+    // maps to (classes 3 and 5 are empty in Table 5).
+    let boundary = |below: usize| (bers[below - 1] + bers[below]) / 2.0;
+    let t0 = boundary(10); // 10 cells need 0 levels
+    let t1 = boundary(14); // +4 cells at 1 level
+    let t2 = boundary(16); // +2 cells at 2 levels
+    let t3 = t2 * 1.001; // class 3 unused
+    let t4 = boundary(19); // +3 cells at 4 levels
+    let t5 = t4 * 1.001; // class 5 unused; the top cell needs 6
+    ldpc::SensingSchedule::new(vec![t0, t1, t2, t3, t4, t5])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ReliabilityState {
+        ReliabilityState::new(NunmaScheme::Nunma3, Hours::months(1.0), 1)
+    }
+
+    #[test]
+    fn ages_are_sticky_until_write() {
+        let mut s = state();
+        let a1 = s.age(5);
+        let a2 = s.age(5);
+        assert_eq!(a1, a2);
+        assert!(a1.as_f64() >= 0.0 && a1.as_f64() <= Hours::months(1.0).as_f64());
+        // Writes resample the age from the steady-state (young-biased)
+        // distribution rather than pinning it to zero.
+        let mut resampled = Vec::new();
+        for _ in 0..200 {
+            s.record_write(5);
+            resampled.push(s.age(5).as_f64());
+        }
+        let mean = resampled.iter().sum::<f64>() / resampled.len() as f64;
+        let max = Hours::months(1.0).as_f64();
+        assert!(resampled.iter().all(|&a| (0.0..=max).contains(&a)));
+        // Triangular-toward-zero: mean ≈ max/3.
+        assert!((mean / max - 1.0 / 3.0).abs() < 0.08, "mean/max = {}", mean / max);
+    }
+
+    #[test]
+    fn ber_grows_with_wear_and_age() {
+        let mut s = state();
+        let young = s.normal_ber(4000, Hours::days(1.0));
+        let old = s.normal_ber(4000, Hours::months(1.0));
+        assert!(old > young);
+        let worn = s.normal_ber(6000, Hours::days(1.0));
+        assert!(worn > young);
+    }
+
+    #[test]
+    fn reduced_pages_stay_below_sensing_trigger() {
+        // The whole point of NUNMA 3: even at 6000 P/E and a month of
+        // retention, reduced pages need no extra sensing levels.
+        let mut s = state();
+        let ber = s.reduced_ber(6000, Hours::months(1.0));
+        assert!(
+            ber < 4e-3,
+            "NUNMA3 BER {ber} must stay below the 4e-3 trigger"
+        );
+    }
+
+    #[test]
+    fn baseline_needs_sensing_at_high_stress() {
+        let mut s = state();
+        let ber = s.normal_ber(6000, Hours::months(1.0));
+        assert!(ber > 4e-3, "worn baseline BER {ber} must exceed the trigger");
+    }
+
+    #[test]
+    fn cache_bounds_queries() {
+        let mut s = state();
+        for pe in [4000u32, 4100, 6000] {
+            for d in 1..20 {
+                let _ = s.normal_ber(pe, Hours::days(d as f64));
+            }
+        }
+        // 3 PE values → ≤ 2 distinct PE buckets... plus ≤ 32 age buckets.
+        assert!(s.cache_entries() <= 3 * 33);
+        assert!(s.cache_entries() >= 2);
+    }
+
+    #[test]
+    fn worst_case_dominates() {
+        let mut s = state();
+        let worst = s.worst_case_ber(5000);
+        let typical = s.normal_ber(5000, Hours::days(2.0));
+        assert!(worst >= typical);
+    }
+
+    #[test]
+    fn derived_schedule_shape() {
+        let schedule = derived_schedule();
+        // Six thresholds (classes 0..=5; class 6 is the saturation).
+        assert_eq!(schedule.max_extra_levels(), 6);
+        let t = schedule.thresholds();
+        assert!(t.windows(2).all(|w| w[0] < w[1]), "monotone: {t:?}");
+        // Quantile matching: the class populations over the Table 5 grid
+        // must match the paper's counts (10, 4, 2, 0, 3, 0, 1).
+        let mut histogram = [0u32; 7];
+        for pe in [3000u32, 4000, 5000, 6000] {
+            for hours in [0.01, 24.0, 48.0, 168.0, 720.0] {
+                let exact = reliability::analytic::estimate(
+                    &flash_model::LevelConfig::normal_mlc(),
+                    &reliability::ProgramModel::default(),
+                    None,
+                    Some((&reliability::RetentionModel::paper(), pe, Hours(hours))),
+                    2.0,
+                )
+                .ber;
+                histogram[schedule.required_levels(exact) as usize] += 1;
+            }
+        }
+        assert_eq!(histogram, [10, 4, 2, 0, 3, 0, 1], "class sizes match Table 5");
+    }
+
+    #[test]
+    fn derived_schedule_zero_for_fresh_data() {
+        let schedule = derived_schedule();
+        let mut s = state();
+        let fresh = s.normal_ber(3000, Hours(0.01));
+        assert_eq!(schedule.required_levels(fresh), 0);
+    }
+}

@@ -1,0 +1,592 @@
+//! Page-mapping flash translation layer with greedy garbage collection.
+//!
+//! The FTL maps logical pages to physical pages, maintains per-block
+//! validity state and write frontiers, and reclaims space with greedy
+//! (min-valid-count) garbage collection — the FlashSim configuration the
+//! paper evaluates on. FlexLevel extends the classic design with *block
+//! modes*: a block can operate in normal (4-level) or reduced (3-level,
+//! ReduceCode) mode. A reduced block stores only 75 % as many pages, and
+//! a block's mode can change only while it is erased.
+
+use std::collections::VecDeque;
+
+use flash_model::{BlockId, CellMode, DeviceGeometry, PhysicalPage};
+use serde::{Deserialize, Serialize};
+
+/// Flash operation counts produced by one FTL action; the simulator turns
+/// these into latency and statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Physical page reads.
+    pub flash_reads: u64,
+    /// Physical page programs.
+    pub programs: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// Garbage-collection invocations.
+    pub gc_runs: u64,
+    /// Valid pages relocated by GC.
+    pub gc_moved: u64,
+}
+
+impl OpCost {
+    /// Accumulates another cost into this one.
+    pub fn add(&mut self, other: OpCost) {
+        self.flash_reads += other.flash_reads;
+        self.programs += other.programs;
+        self.erases += other.erases;
+        self.gc_runs += other.gc_runs;
+        self.gc_moved += other.gc_moved;
+    }
+}
+
+/// FTL failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// The logical page is outside the exported capacity.
+    LpnOutOfRange {
+        /// The offending logical page.
+        lpn: u64,
+    },
+    /// No free block could be reclaimed — the device is overfilled (the
+    /// logical working set exceeds what the current mode mix can store).
+    OutOfSpace,
+}
+
+impl std::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtlError::LpnOutOfRange { lpn } => write!(f, "logical page {lpn} out of range"),
+            FtlError::OutOfSpace => write!(f, "no reclaimable space left on device"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+/// Per-block bookkeeping.
+#[derive(Debug, Clone)]
+struct BlockState {
+    mode: CellMode,
+    /// Next unwritten page slot (`0..usable_pages`).
+    frontier: u32,
+    valid: u32,
+    erases: u32,
+    /// Reverse map: which LPN each written page slot holds (`None` once
+    /// invalidated).
+    slots: Vec<Option<u64>>,
+}
+
+impl BlockState {
+    fn new(pages_per_block: u32) -> BlockState {
+        BlockState {
+            mode: CellMode::Normal,
+            frontier: 0,
+            valid: 0,
+            erases: 0,
+            slots: vec![None; pages_per_block as usize],
+        }
+    }
+
+    fn usable_pages(&self, pages_per_block: u32) -> u32 {
+        match self.mode {
+            CellMode::Normal => pages_per_block,
+            // ReduceCode stores 3 bits per 2 cells: 75% of the page slots.
+            CellMode::Reduced => pages_per_block * 3 / 4,
+        }
+    }
+}
+
+/// Garbage-collection victim-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GcPolicy {
+    /// Pure greedy: fewest valid pages wins (FlashSim default; what the
+    /// paper evaluates on).
+    #[default]
+    Greedy,
+    /// Greedy with wear leveling: ties on valid count break toward the
+    /// least-erased block, spreading wear at zero extra relocation cost.
+    WearAware,
+}
+
+/// The page-mapping FTL.
+#[derive(Debug, Clone)]
+pub struct PageMapFtl {
+    geometry: DeviceGeometry,
+    blocks: Vec<BlockState>,
+    mapping: Vec<Option<PhysicalPage>>,
+    free: VecDeque<BlockId>,
+    frontier: [Option<BlockId>; 2],
+    gc_low_watermark: u32,
+    gc_policy: GcPolicy,
+    /// Guards against re-entrant GC: relocations allocate from the free
+    /// pool only, so an overfilled device errors instead of recursing.
+    gc_active: bool,
+}
+
+fn mode_index(mode: CellMode) -> usize {
+    match mode {
+        CellMode::Normal => 0,
+        CellMode::Reduced => 1,
+    }
+}
+
+impl PageMapFtl {
+    /// Creates an FTL over `geometry` with all blocks free and in normal
+    /// mode. GC triggers when the free-block count falls to
+    /// `gc_low_watermark` (min 2: one per mode frontier must always be
+    /// obtainable).
+    pub fn new(geometry: DeviceGeometry, gc_low_watermark: u32) -> PageMapFtl {
+        let blocks = (0..geometry.blocks())
+            .map(|_| BlockState::new(geometry.pages_per_block()))
+            .collect();
+        PageMapFtl {
+            geometry,
+            blocks,
+            mapping: vec![None; geometry.logical_pages() as usize],
+            free: geometry.block_ids().collect(),
+            frontier: [None, None],
+            gc_low_watermark: gc_low_watermark.max(4),
+            gc_policy: GcPolicy::Greedy,
+            gc_active: false,
+        }
+    }
+
+    /// Selects the GC victim policy (default [`GcPolicy::Greedy`]).
+    #[must_use]
+    pub fn with_gc_policy(mut self, policy: GcPolicy) -> PageMapFtl {
+        self.gc_policy = policy;
+        self
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &DeviceGeometry {
+        &self.geometry
+    }
+
+    /// Exported logical capacity in pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.mapping.len() as u64
+    }
+
+    /// Where `lpn` currently lives, with the block's cell mode.
+    pub fn placement(&self, lpn: u64) -> Option<(PhysicalPage, CellMode)> {
+        let phys = (*self.mapping.get(lpn as usize)?)?;
+        Some((phys, self.blocks[phys.block.0 as usize].mode))
+    }
+
+    /// Erase count of a block (its P/E wear within the simulation).
+    pub fn block_erases(&self, block: BlockId) -> u32 {
+        self.blocks[block.0 as usize].erases
+    }
+
+    /// Total erases across the device.
+    pub fn total_erases(&self) -> u64 {
+        self.blocks.iter().map(|b| b.erases as u64).sum()
+    }
+
+    /// Number of blocks currently operating in reduced mode.
+    pub fn reduced_blocks(&self) -> u32 {
+        self.blocks
+            .iter()
+            .filter(|b| b.mode == CellMode::Reduced)
+            .count() as u32
+    }
+
+    /// Free (erased, unassigned) blocks.
+    pub fn free_blocks(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Writes `lpn` into a page of the requested `mode`, invalidating any
+    /// previous copy. Returns the flash operations performed (the program
+    /// itself plus any garbage collection it triggered).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`] for an invalid LPN;
+    /// [`FtlError::OutOfSpace`] if GC cannot reclaim a free block.
+    pub fn write(&mut self, lpn: u64, mode: CellMode) -> Result<OpCost, FtlError> {
+        if lpn >= self.logical_pages() {
+            return Err(FtlError::LpnOutOfRange { lpn });
+        }
+        let mut cost = OpCost::default();
+        self.invalidate(lpn);
+        let phys = self.allocate(mode, &mut cost)?;
+        self.commit(lpn, phys);
+        cost.programs += 1;
+        // Keep the free pool above the watermark for the next allocation.
+        cost.add(self.collect_if_needed()?);
+        Ok(cost)
+    }
+
+    /// Drops the mapping of `lpn` (overwrite or trim), marking its
+    /// physical page invalid.
+    pub fn invalidate(&mut self, lpn: u64) {
+        if let Some(Some(phys)) = self.mapping.get(lpn as usize).copied() {
+            let block = &mut self.blocks[phys.block.0 as usize];
+            if block.slots[phys.page as usize].take().is_some() {
+                block.valid -= 1;
+            }
+            self.mapping[lpn as usize] = None;
+        }
+    }
+
+    fn commit(&mut self, lpn: u64, phys: PhysicalPage) {
+        let block = &mut self.blocks[phys.block.0 as usize];
+        block.slots[phys.page as usize] = Some(lpn);
+        block.valid += 1;
+        self.mapping[lpn as usize] = Some(phys);
+    }
+
+    /// Allocates the next page slot of the `mode` frontier, opening a new
+    /// free block (switched to `mode`) when the frontier fills.
+    fn allocate(&mut self, mode: CellMode, cost: &mut OpCost) -> Result<PhysicalPage, FtlError> {
+        let idx = mode_index(mode);
+        loop {
+            if let Some(block_id) = self.frontier[idx] {
+                let ppb = self.geometry.pages_per_block();
+                let block = &mut self.blocks[block_id.0 as usize];
+                if block.frontier < block.usable_pages(ppb) {
+                    let page = block.frontier;
+                    block.frontier += 1;
+                    return Ok(PhysicalPage::new(block_id, page));
+                }
+                self.frontier[idx] = None; // frontier exhausted
+            }
+            let block_id = match self.free.pop_front() {
+                Some(b) => b,
+                None if !self.gc_active => {
+                    // Emergency reclaim: the caller's GC watermark keeps
+                    // this rare, but frontier turnover can exhaust frees.
+                    self.collect_once(cost)?;
+                    self.free.pop_front().ok_or(FtlError::OutOfSpace)?
+                }
+                // Mid-GC allocations must come from the free pool: the
+                // watermark guarantees headroom, and re-entering GC here
+                // could recurse without bound on an overfilled device.
+                None => return Err(FtlError::OutOfSpace),
+            };
+            let block = &mut self.blocks[block_id.0 as usize];
+            block.mode = mode; // legal: the block is erased
+            block.frontier = 0;
+            self.frontier[idx] = Some(block_id);
+        }
+    }
+
+    /// Runs GC until the free pool is above the watermark, or until no
+    /// block with reclaimable (invalid) pages remains — a device running
+    /// at minimal over-provisioning legitimately idles below the
+    /// watermark and reclaims lazily on demand.
+    fn collect_if_needed(&mut self) -> Result<OpCost, FtlError> {
+        let mut cost = OpCost::default();
+        while (self.free.len() as u32) < self.gc_low_watermark {
+            if !self.collect_once(&mut cost)? {
+                break; // nothing reclaimable right now
+            }
+        }
+        Ok(cost)
+    }
+
+    /// One greedy GC pass: relocate the min-valid block's live pages and
+    /// erase it. Returns `Ok(false)` when no reclaimable victim exists.
+    fn collect_once(&mut self, cost: &mut OpCost) -> Result<bool, FtlError> {
+        let Some(victim) = self.pick_victim() else {
+            return Ok(false);
+        };
+        self.gc_active = true;
+        let result = self.collect_block(victim, cost);
+        self.gc_active = false;
+        result.map(|()| true)
+    }
+
+    fn collect_block(&mut self, victim: BlockId, cost: &mut OpCost) -> Result<(), FtlError> {
+        cost.gc_runs += 1;
+        let victim_mode = self.blocks[victim.0 as usize].mode;
+        // Snapshot live pages; relocation programs invalidate them.
+        let live: Vec<(u32, u64)> = self.blocks[victim.0 as usize]
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, lpn)| lpn.map(|l| (slot as u32, l)))
+            .collect();
+        for (_, lpn) in &live {
+            cost.flash_reads += 1;
+            cost.gc_moved += 1;
+            // Relocate within the same mode so pool/placement decisions
+            // made by the policy layer survive GC.
+            self.invalidate(*lpn);
+            let phys = self.allocate(victim_mode, cost)?;
+            self.commit(*lpn, phys);
+            cost.programs += 1;
+        }
+        let block = &mut self.blocks[victim.0 as usize];
+        debug_assert_eq!(block.valid, 0, "all live pages were relocated");
+        block.slots.iter_mut().for_each(|s| *s = None);
+        block.frontier = 0;
+        block.erases += 1;
+        block.mode = CellMode::Normal; // erased blocks revert to normal
+        cost.erases += 1;
+        self.free.push_back(victim);
+        Ok(())
+    }
+
+    /// Greedy victim selection: the non-frontier, non-free block with the
+    /// fewest valid pages (ties broken by lowest id). Blocks with no
+    /// invalid pages are never picked — relocating them reclaims nothing
+    /// and could cycle forever on a freshly filled device.
+    fn pick_victim(&self) -> Option<BlockId> {
+        // Score: (valid pages, tiebreak) — wear-aware mode breaks ties
+        // (within one valid page) toward the least-erased block.
+        let mut best: Option<(u32, u32, BlockId)> = None;
+        for (i, block) in self.blocks.iter().enumerate() {
+            let id = BlockId(i as u32);
+            if self.frontier.contains(&Some(id)) {
+                continue;
+            }
+            if block.frontier == 0 {
+                continue; // unwritten (free or already erased)
+            }
+            if block.valid >= block.frontier {
+                continue; // every written page is still valid
+            }
+            let tiebreak = match self.gc_policy {
+                GcPolicy::Greedy => 0,
+                GcPolicy::WearAware => block.erases,
+            };
+            let better = match best {
+                None => true,
+                // Strictly fewer valid pages always wins (same relocation
+                // work as pure greedy); equal counts break toward the
+                // policy's tiebreak (0 for greedy = first block wins).
+                Some((v, t, _)) => block.valid < v || (block.valid == v && tiebreak < t),
+            };
+            if better {
+                best = Some((block.valid, tiebreak, id));
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    /// Spread of erase counts across blocks `(min, max)` — wear-leveling
+    /// diagnostics.
+    pub fn erase_spread(&self) -> (u32, u32) {
+        let mut min = u32::MAX;
+        let mut max = 0;
+        for b in &self.blocks {
+            min = min.min(b.erases);
+            max = max.max(b.erases);
+        }
+        (if min == u32::MAX { 0 } else { min }, max)
+    }
+
+    /// Counts valid pages across the device (test/debug invariant).
+    pub fn total_valid_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| b.valid as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ftl() -> PageMapFtl {
+        // 16 blocks × 64 pages, 27% OP ⇒ 747 logical pages.
+        PageMapFtl::new(DeviceGeometry::scaled(16).unwrap(), 2)
+    }
+
+    #[test]
+    fn write_then_read_placement() {
+        let mut ftl = small_ftl();
+        let cost = ftl.write(5, CellMode::Normal).unwrap();
+        assert_eq!(cost.programs, 1);
+        assert_eq!(cost.erases, 0);
+        let (phys, mode) = ftl.placement(5).unwrap();
+        assert_eq!(mode, CellMode::Normal);
+        assert!(ftl.geometry().contains(phys));
+        assert_eq!(ftl.placement(6), None);
+    }
+
+    #[test]
+    fn rewrite_invalidates_old_copy() {
+        let mut ftl = small_ftl();
+        ftl.write(5, CellMode::Normal).unwrap();
+        let first = ftl.placement(5).unwrap().0;
+        ftl.write(5, CellMode::Normal).unwrap();
+        let second = ftl.placement(5).unwrap().0;
+        assert_ne!(first, second);
+        assert_eq!(ftl.total_valid_pages(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut ftl = small_ftl();
+        let lpn = ftl.logical_pages();
+        assert_eq!(
+            ftl.write(lpn, CellMode::Normal),
+            Err(FtlError::LpnOutOfRange { lpn })
+        );
+    }
+
+    #[test]
+    fn reduced_blocks_hold_three_quarters() {
+        let mut ftl = small_ftl();
+        let ppb = ftl.geometry().pages_per_block();
+        // Fill one reduced block exactly: 48 pages.
+        for lpn in 0..(ppb * 3 / 4) as u64 {
+            ftl.write(lpn, CellMode::Reduced).unwrap();
+        }
+        assert_eq!(ftl.reduced_blocks(), 1);
+        // The 49th write opens a second reduced block.
+        ftl.write(100, CellMode::Reduced).unwrap();
+        assert_eq!(ftl.reduced_blocks(), 2);
+    }
+
+    #[test]
+    fn gc_reclaims_overwritten_space() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        // Write the whole logical space several times over; the device
+        // must keep absorbing writes via GC.
+        for round in 0..4 {
+            for lpn in 0..logical {
+                ftl.write(lpn, CellMode::Normal)
+                    .unwrap_or_else(|e| panic!("round {round} lpn {lpn}: {e}"));
+            }
+        }
+        assert_eq!(ftl.total_valid_pages(), logical);
+        assert!(ftl.total_erases() > 0, "GC must have erased blocks");
+        // Mapping stays consistent after heavy GC.
+        for lpn in (0..logical).step_by(37) {
+            let (phys, _) = ftl.placement(lpn).unwrap();
+            assert!(ftl.geometry().contains(phys));
+        }
+    }
+
+    #[test]
+    fn gc_preserves_block_mode_of_relocated_data() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        // Put a quarter of the space in reduced pages, rest normal.
+        for lpn in 0..logical {
+            let mode = if lpn % 4 == 0 {
+                CellMode::Reduced
+            } else {
+                CellMode::Normal
+            };
+            ftl.write(lpn, mode).unwrap();
+        }
+        // Churn normal pages to force GC.
+        for _ in 0..3 {
+            for lpn in (0..logical).filter(|l| l % 4 != 0) {
+                ftl.write(lpn, CellMode::Normal).unwrap();
+            }
+        }
+        // Reduced data must still live in reduced blocks.
+        for lpn in (0..logical).filter(|l| l % 4 == 0) {
+            let (_, mode) = ftl.placement(lpn).unwrap();
+            assert_eq!(mode, CellMode::Reduced, "lpn {lpn} lost its mode");
+        }
+    }
+
+    #[test]
+    fn overfilled_reduced_device_errors() {
+        // All-reduced operation drops usable capacity to 75% of raw; with
+        // 27% OP the logical space no longer fits and the FTL must report
+        // OutOfSpace rather than loop forever.
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        let mut failed = false;
+        'outer: for _ in 0..3 {
+            for lpn in 0..logical {
+                if ftl.write(lpn, CellMode::Reduced).is_err() {
+                    failed = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(failed, "the device cannot store 73% of raw in 75%-density pages plus frontier overheads");
+    }
+
+    #[test]
+    fn erase_counts_accumulate() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for _ in 0..3 {
+            for lpn in 0..logical {
+                ftl.write(lpn, CellMode::Normal).unwrap();
+            }
+        }
+        let total = ftl.total_erases();
+        let max_block = (0..16).map(|b| ftl.block_erases(BlockId(b))).max().unwrap();
+        assert!(total >= 16, "several blocks should have cycled, got {total}");
+        assert!(max_block >= 1);
+    }
+
+    #[test]
+    fn invalidate_is_idempotent() {
+        let mut ftl = small_ftl();
+        ftl.write(9, CellMode::Normal).unwrap();
+        ftl.invalidate(9);
+        assert_eq!(ftl.placement(9), None);
+        ftl.invalidate(9);
+        assert_eq!(ftl.total_valid_pages(), 0);
+    }
+
+    #[test]
+    fn wear_aware_gc_narrows_erase_spread() {
+        let geometry = DeviceGeometry::scaled(16).unwrap();
+        let run = |policy: GcPolicy| {
+            let mut ftl = PageMapFtl::new(geometry, 4).with_gc_policy(policy);
+            let logical = ftl.logical_pages();
+            // Skewed rewrites: a hot tenth of the space is rewritten 9×
+            // more often, concentrating invalidations.
+            for round in 0..30u64 {
+                for lpn in 0..logical / 10 {
+                    ftl.write(lpn, CellMode::Normal).unwrap();
+                }
+                if round % 9 == 0 {
+                    for lpn in logical / 10..logical {
+                        ftl.write(lpn, CellMode::Normal).unwrap();
+                    }
+                }
+            }
+            ftl.erase_spread()
+        };
+        let (greedy_min, greedy_max) = run(GcPolicy::Greedy);
+        let (wear_min, wear_max) = run(GcPolicy::WearAware);
+        // Wear-aware must not widen the erase spread; with tie-breaking it
+        // typically narrows it.
+        assert!(
+            wear_max - wear_min <= greedy_max - greedy_min,
+            "wear-aware spread {}..{} vs greedy {}..{}",
+            wear_min,
+            wear_max,
+            greedy_min,
+            greedy_max
+        );
+    }
+
+    #[test]
+    fn op_cost_accumulates() {
+        let mut a = OpCost {
+            flash_reads: 1,
+            programs: 2,
+            erases: 3,
+            gc_runs: 4,
+            gc_moved: 5,
+        };
+        a.add(OpCost {
+            flash_reads: 10,
+            programs: 20,
+            erases: 30,
+            gc_runs: 40,
+            gc_moved: 50,
+        });
+        assert_eq!(a.flash_reads, 11);
+        assert_eq!(a.programs, 22);
+        assert_eq!(a.erases, 33);
+        assert_eq!(a.gc_runs, 44);
+        assert_eq!(a.gc_moved, 55);
+    }
+}

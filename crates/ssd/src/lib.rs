@@ -1,0 +1,47 @@
+//! Trace-driven SSD simulator for the FlexLevel evaluation.
+//!
+//! A FlashSim-equivalent substrate (the paper modified FlashSim \[20\] for
+//! its §6.2 experiments): page-mapping FTL with greedy garbage
+//! collection, a write-back buffer, per-block wear, per-page retention
+//! ages, and LDPC-aware read latency. Four storage schemes are modelled
+//! (`Scheme`): the unoptimised baseline, LDPC-in-SSD's progressive
+//! sensing, LevelAdjust applied indiscriminately, and the full
+//! LevelAdjust + AccessEval FlexLevel system.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use ssd::{Scheme, SsdConfig, SsdSimulator};
+//! use workloads::WorkloadSpec;
+//!
+//! let trace = WorkloadSpec::fin2()
+//!     .with_requests(2_000)
+//!     .with_footprint(1_000)
+//!     .generate(&mut StdRng::seed_from_u64(1));
+//!
+//! let mut sim = SsdSimulator::new(SsdConfig::scaled(Scheme::FlexLevel, 64));
+//! let stats = sim.run(&trace).expect("trace fits the device");
+//! println!("mean response: {}", stats.mean_response());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buffer;
+pub mod config;
+pub mod device;
+pub mod ftl;
+pub mod ftl_hybrid;
+pub mod lifetime;
+pub mod sim;
+pub mod stats;
+
+pub use buffer::WriteBuffer;
+pub use config::{Scheme, SsdConfig};
+pub use device::ReliabilityState;
+pub use ftl::{FtlError, GcPolicy, OpCost, PageMapFtl};
+pub use ftl_hybrid::HybridFtl;
+pub use lifetime::LifetimeModel;
+pub use sim::{SimError, SsdSimulator};
+pub use stats::SimStats;

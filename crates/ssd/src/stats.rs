@@ -1,0 +1,197 @@
+//! Simulation counters and response-time accounting.
+
+use flash_model::Micros;
+use serde::{Deserialize, Serialize};
+
+/// Everything the experiments read out of a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Host read requests served.
+    pub host_reads: u64,
+    /// Host write requests served.
+    pub host_writes: u64,
+    /// Host read pages served from the write buffer.
+    pub buffer_read_hits: u64,
+    /// Flash page reads (host + GC + migration).
+    pub flash_reads: u64,
+    /// Flash page programs (host + GC + migration).
+    pub flash_programs: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// GC invocations.
+    pub gc_runs: u64,
+    /// Valid pages relocated by GC.
+    pub gc_migrated_pages: u64,
+    /// AccessEval promotions into reduced pages.
+    pub promotions: u64,
+    /// AccessEval demotions back to normal pages.
+    pub demotions: u64,
+    /// Host page reads served from reduced-state pages.
+    pub reduced_reads: u64,
+    /// Host page reads served from normal pages, by extra sensing levels
+    /// used (index = levels).
+    pub reads_by_sensing_level: Vec<u64>,
+    /// Sum of host request response times (µs).
+    pub total_response_us: f64,
+    /// Sum of host *read* request response times (µs).
+    pub read_response_us: f64,
+    /// Maximum observed response time (µs).
+    pub max_response_us: f64,
+    /// Bounded sample of response times for percentile estimation
+    /// (systematic 1-in-`SAMPLE_STRIDE` sampling).
+    pub response_samples: Vec<f64>,
+}
+
+/// Response-time sampling stride for percentile estimation.
+const SAMPLE_STRIDE: u64 = 4;
+/// Hard cap on retained samples.
+const MAX_SAMPLES: usize = 1 << 17;
+
+impl SimStats {
+    /// Creates zeroed stats able to track up to `max_levels` extra sensing
+    /// levels.
+    pub fn new(max_levels: u32) -> SimStats {
+        SimStats {
+            reads_by_sensing_level: vec![0; max_levels as usize + 1],
+            ..SimStats::default()
+        }
+    }
+
+    /// Records one host request's response time.
+    pub fn record_response(&mut self, response: Micros, is_read: bool) {
+        self.total_response_us += response.as_f64();
+        if is_read {
+            self.read_response_us += response.as_f64();
+        }
+        self.max_response_us = self.max_response_us.max(response.as_f64());
+        if self.host_requests() % SAMPLE_STRIDE == 0 && self.response_samples.len() < MAX_SAMPLES
+        {
+            self.response_samples.push(response.as_f64());
+        }
+    }
+
+    /// Response-time percentile (`q` in `[0, 1]`) from the retained
+    /// sample, or zero if nothing was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn response_percentile(&self, q: f64) -> Micros {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range: {q}");
+        if self.response_samples.is_empty() {
+            return Micros::ZERO;
+        }
+        let mut sorted = self.response_samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite response times"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Micros(sorted[idx])
+    }
+
+    /// Host requests served.
+    pub fn host_requests(&self) -> u64 {
+        self.host_reads + self.host_writes
+    }
+
+    /// Mean response time over all host requests.
+    pub fn mean_response(&self) -> Micros {
+        if self.host_requests() == 0 {
+            return Micros::ZERO;
+        }
+        Micros(self.total_response_us / self.host_requests() as f64)
+    }
+
+    /// Mean response time over host reads only.
+    pub fn mean_read_response(&self) -> Micros {
+        if self.host_reads == 0 {
+            return Micros::ZERO;
+        }
+        Micros(self.read_response_us / self.host_reads as f64)
+    }
+
+    /// Write amplification: flash programs per host-written page. Needs
+    /// the host page-write count, which the caller tracks.
+    pub fn write_amplification(&self, host_pages_written: u64) -> f64 {
+        if host_pages_written == 0 {
+            return 0.0;
+        }
+        self.flash_programs as f64 / host_pages_written as f64
+    }
+
+    /// Fraction of normal-page host reads that needed soft sensing.
+    pub fn soft_read_fraction(&self) -> f64 {
+        let total: u64 = self.reads_by_sensing_level.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let soft: u64 = self.reads_by_sensing_level.iter().skip(1).sum();
+        soft as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_accounting() {
+        let mut s = SimStats::new(6);
+        s.host_reads = 2;
+        s.host_writes = 1;
+        s.record_response(Micros(100.0), true);
+        s.record_response(Micros(300.0), true);
+        s.record_response(Micros(50.0), false);
+        assert_eq!(s.host_requests(), 3);
+        assert_eq!(s.mean_response(), Micros(150.0));
+        assert_eq!(s.mean_read_response(), Micros(200.0));
+        assert_eq!(s.max_response_us, 300.0);
+    }
+
+    #[test]
+    fn empty_stats_safe() {
+        let s = SimStats::new(6);
+        assert_eq!(s.mean_response(), Micros::ZERO);
+        assert_eq!(s.mean_read_response(), Micros::ZERO);
+        assert_eq!(s.write_amplification(0), 0.0);
+        assert_eq!(s.soft_read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn soft_read_fraction() {
+        let mut s = SimStats::new(6);
+        s.reads_by_sensing_level[0] = 80;
+        s.reads_by_sensing_level[2] = 15;
+        s.reads_by_sensing_level[6] = 5;
+        assert!((s.soft_read_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_amplification() {
+        let mut s = SimStats::new(6);
+        s.flash_programs = 150;
+        assert!((s.write_amplification(100) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_from_samples() {
+        let mut s = SimStats::new(6);
+        // Feed 400 responses of increasing size; every 4th is sampled.
+        for i in 0..400u64 {
+            s.host_reads += 1;
+            s.record_response(Micros(i as f64), true);
+        }
+        assert!(!s.response_samples.is_empty());
+        let p50 = s.response_percentile(0.5).as_f64();
+        let p99 = s.response_percentile(0.99).as_f64();
+        assert!(p50 < p99);
+        assert!((150.0..250.0).contains(&p50), "p50 {p50}");
+        assert!(p99 > 380.0, "p99 {p99}");
+        // Degenerate: empty stats.
+        assert_eq!(SimStats::new(6).response_percentile(0.99), Micros::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_range_checked() {
+        let _ = SimStats::new(6).response_percentile(1.5);
+    }
+}

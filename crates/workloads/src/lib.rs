@@ -1,0 +1,38 @@
+//! Synthetic block-level I/O workloads for the FlexLevel evaluation.
+//!
+//! The paper (Guo et al., DAC 2015) evaluates on seven block traces:
+//! fin-2 (OLTP), web-1/web-2 (search engine), prj-1/prj-2 (research
+//! project servers) and win-1/win-2 (PC workloads). The original traces
+//! are not redistributable, so this crate generates synthetic equivalents
+//! whose first-order statistics — read/write mix, Zipf popularity skew,
+//! sequentiality, request sizes and Poisson arrival intensity — match the
+//! published characterisations of those trace families. The FTL and
+//! AccessEval policies only observe these statistics, so the synthetic
+//! traces exercise the same code paths (see `DESIGN.md` §4 for the full
+//! substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use workloads::WorkloadSpec;
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let trace = WorkloadSpec::fin2().with_requests(10_000).generate(&mut rng);
+//! assert_eq!(trace.len(), 10_000);
+//! assert!(trace.read_fraction() > 0.8); // OLTP is read-mostly
+//! trace.validate().expect("generated traces are consistent");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+pub mod spec;
+pub mod trace;
+pub mod zipf;
+
+pub use codec::{decode, encode, load, save, DecodeError};
+pub use spec::WorkloadSpec;
+pub use trace::{IoOp, IoRequest, Trace, TraceError, TraceProfile};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,353 @@
+//! Block-level I/O trace representation.
+//!
+//! The FlexLevel evaluation replays block traces (fin-2, web-1/2, prj-1/2,
+//! win-1/2) through the simulated SSD. Requests are page-granular: the
+//! simulator's FTL maps one logical page to one physical flash page.
+
+use serde::{Deserialize, Serialize};
+
+/// Request direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoOp {
+    /// Host read.
+    Read,
+    /// Host write.
+    Write,
+}
+
+/// One host I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Arrival time in microseconds from trace start.
+    pub arrival_us: f64,
+    /// First logical page touched.
+    pub lpn: u64,
+    /// Number of consecutive pages touched (≥ 1).
+    pub pages: u32,
+    /// Read or write.
+    pub op: IoOp,
+}
+
+impl IoRequest {
+    /// Iterates over the logical pages this request touches.
+    pub fn lpns(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lpn..self.lpn + self.pages as u64
+    }
+}
+
+/// A complete trace plus the footprint it was generated against.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use workloads::WorkloadSpec;
+///
+/// let trace = WorkloadSpec::web1()
+///     .with_requests(1_000)
+///     .generate(&mut StdRng::seed_from_u64(1));
+/// let profile = trace.profile();
+/// assert!(profile.read_fraction > 0.95); // search engines mostly read
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Workload label (e.g. `"fin-2"`).
+    pub name: String,
+    /// Logical address space the trace touches, in pages.
+    pub footprint_pages: u64,
+    /// The requests, sorted by arrival time.
+    pub requests: Vec<IoRequest>,
+}
+
+impl Trace {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` if the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Fraction of requests that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().filter(|r| r.op == IoOp::Read).count() as f64
+            / self.requests.len() as f64
+    }
+
+    /// Total pages read and written `(read_pages, written_pages)`.
+    pub fn page_counts(&self) -> (u64, u64) {
+        let mut reads = 0;
+        let mut writes = 0;
+        for r in &self.requests {
+            match r.op {
+                IoOp::Read => reads += r.pages as u64,
+                IoOp::Write => writes += r.pages as u64,
+            }
+        }
+        (reads, writes)
+    }
+
+    /// Duration between first and last arrival, in microseconds.
+    pub fn duration_us(&self) -> f64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(first), Some(last)) => last.arrival_us - first.arrival_us,
+            _ => 0.0,
+        }
+    }
+
+    /// Validates internal consistency: arrivals sorted, pages within the
+    /// footprint, request lengths positive.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut prev = f64::NEG_INFINITY;
+        for (i, r) in self.requests.iter().enumerate() {
+            if r.arrival_us < prev {
+                return Err(TraceError::UnsortedArrivals { index: i });
+            }
+            prev = r.arrival_us;
+            if r.pages == 0 {
+                return Err(TraceError::EmptyRequest { index: i });
+            }
+            if r.lpn + r.pages as u64 > self.footprint_pages {
+                return Err(TraceError::OutOfFootprint { index: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate statistics of a trace (for reports and the CLI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// Total requests.
+    pub requests: usize,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Pages read / written.
+    pub read_pages: u64,
+    /// Pages written.
+    pub written_pages: u64,
+    /// Distinct logical pages touched.
+    pub unique_pages: u64,
+    /// Mean request length in pages.
+    pub mean_request_pages: f64,
+    /// Mean interarrival gap in microseconds.
+    pub mean_interarrival_us: f64,
+    /// Fraction of page accesses landing on the hottest decile of
+    /// touched pages (popularity skew).
+    pub top_decile_share: f64,
+}
+
+impl Trace {
+    /// Computes the aggregate profile of this trace.
+    pub fn profile(&self) -> TraceProfile {
+        let (read_pages, written_pages) = self.page_counts();
+        let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut total_pages = 0u64;
+        for r in &self.requests {
+            for lpn in r.lpns() {
+                *counts.entry(lpn).or_insert(0) += 1;
+                total_pages += 1;
+            }
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let decile = (freqs.len() / 10).max(1);
+        let top: u64 = freqs.iter().take(decile).sum();
+        let mean_interarrival_us = if self.requests.len() > 1 {
+            self.duration_us() / (self.requests.len() - 1) as f64
+        } else {
+            0.0
+        };
+        TraceProfile {
+            requests: self.requests.len(),
+            read_fraction: self.read_fraction(),
+            read_pages,
+            written_pages,
+            unique_pages: counts.len() as u64,
+            mean_request_pages: if self.requests.is_empty() {
+                0.0
+            } else {
+                total_pages as f64 / self.requests.len() as f64
+            },
+            mean_interarrival_us,
+            top_decile_share: if total_pages == 0 {
+                0.0
+            } else {
+                top as f64 / total_pages as f64
+            },
+        }
+    }
+}
+
+/// Trace consistency violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// Request `index` arrives before its predecessor.
+    UnsortedArrivals {
+        /// Offending request index.
+        index: usize,
+    },
+    /// Request `index` has zero length.
+    EmptyRequest {
+        /// Offending request index.
+        index: usize,
+    },
+    /// Request `index` touches pages beyond the footprint.
+    OutOfFootprint {
+        /// Offending request index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::UnsortedArrivals { index } => {
+                write!(f, "request {index} arrives before its predecessor")
+            }
+            TraceError::EmptyRequest { index } => write!(f, "request {index} has zero length"),
+            TraceError::OutOfFootprint { index } => {
+                write!(f, "request {index} exceeds the trace footprint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            name: "t".into(),
+            footprint_pages: 100,
+            requests: vec![
+                IoRequest {
+                    arrival_us: 0.0,
+                    lpn: 0,
+                    pages: 4,
+                    op: IoOp::Read,
+                },
+                IoRequest {
+                    arrival_us: 10.0,
+                    lpn: 50,
+                    pages: 2,
+                    op: IoOp::Write,
+                },
+                IoRequest {
+                    arrival_us: 30.0,
+                    lpn: 4,
+                    pages: 1,
+                    op: IoOp::Read,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stats() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!((t.read_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.page_counts(), (5, 2));
+        assert_eq!(t.duration_us(), 30.0);
+    }
+
+    #[test]
+    fn lpn_iteration() {
+        let r = IoRequest {
+            arrival_us: 0.0,
+            lpn: 7,
+            pages: 3,
+            op: IoOp::Write,
+        };
+        let lpns: Vec<u64> = r.lpns().collect();
+        assert_eq!(lpns, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn validation_passes_for_good_trace() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_unsorted() {
+        let mut t = sample();
+        t.requests[2].arrival_us = 5.0;
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::UnsortedArrivals { index: 2 })
+        );
+    }
+
+    #[test]
+    fn validation_catches_zero_length() {
+        let mut t = sample();
+        t.requests[1].pages = 0;
+        assert_eq!(t.validate(), Err(TraceError::EmptyRequest { index: 1 }));
+    }
+
+    #[test]
+    fn validation_catches_footprint_overflow() {
+        let mut t = sample();
+        t.requests[1].lpn = 99;
+        t.requests[1].pages = 5;
+        assert_eq!(t.validate(), Err(TraceError::OutOfFootprint { index: 1 }));
+    }
+
+    #[test]
+    fn profile_of_sample() {
+        let p = sample().profile();
+        assert_eq!(p.requests, 3);
+        assert!((p.read_fraction - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.read_pages, 5);
+        assert_eq!(p.written_pages, 2);
+        assert_eq!(p.unique_pages, 7); // pages 0..=4 plus 50, 51
+        assert!((p.mean_request_pages - 7.0 / 3.0).abs() < 1e-12);
+        assert!((p.mean_interarrival_us - 15.0).abs() < 1e-12);
+        assert!(p.top_decile_share > 0.0 && p.top_decile_share <= 1.0);
+    }
+
+    #[test]
+    fn profile_detects_skew() {
+        use crate::spec::WorkloadSpec;
+        use rand::{rngs::StdRng, SeedableRng};
+        let skewed = WorkloadSpec::fin2()
+            .with_requests(20_000)
+            .with_footprint(5_000)
+            .generate(&mut StdRng::seed_from_u64(1))
+            .profile();
+        let mut uniform_spec = WorkloadSpec::fin2();
+        uniform_spec.zipf_theta = 0.0;
+        let uniform = uniform_spec
+            .with_requests(20_000)
+            .with_footprint(5_000)
+            .generate(&mut StdRng::seed_from_u64(1))
+            .profile();
+        assert!(
+            skewed.top_decile_share > uniform.top_decile_share + 0.2,
+            "skewed {} vs uniform {}",
+            skewed.top_decile_share,
+            uniform.top_decile_share
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace {
+            name: "empty".into(),
+            footprint_pages: 10,
+            requests: vec![],
+        };
+        assert!(t.is_empty());
+        assert_eq!(t.read_fraction(), 0.0);
+        assert_eq!(t.duration_us(), 0.0);
+        assert_eq!(t.validate(), Ok(()));
+    }
+}

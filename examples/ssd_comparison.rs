@@ -1,0 +1,67 @@
+//! System-level comparison of the four storage schemes on two contrasting
+//! workloads — a miniature of the paper's Figure 6(a)/Figure 7 story.
+//!
+//! Run: `cargo run --release -p bench --example ssd_comparison`
+
+use rand::{rngs::StdRng, SeedableRng};
+use ssd::{LifetimeModel, Scheme, SsdConfig, SsdSimulator};
+use workloads::WorkloadSpec;
+
+fn main() {
+    let specs = [
+        WorkloadSpec::fin2(),   // read-mostly OLTP
+        WorkloadSpec::prj1(),   // write-heavy project server
+    ];
+    for spec in specs {
+        let spec = spec.with_requests(15_000).with_footprint(4_000);
+        let trace = spec.generate(&mut StdRng::seed_from_u64(11));
+        println!(
+            "=== {} ({} requests, {:.0}% reads) ===",
+            trace.name,
+            trace.len(),
+            trace.read_fraction() * 100.0
+        );
+
+        let mut baseline_response = None;
+        let mut ldpc = None;
+        println!(
+            "{:<24} {:>12} {:>10} {:>9} {:>9} {:>9}",
+            "scheme", "mean resp", "norm", "programs", "erases", "GC runs"
+        );
+        for scheme in Scheme::ALL {
+            let mut sim = SsdSimulator::new(SsdConfig::scaled(scheme, 128));
+            let stats = sim.run(&trace).expect("trace fits").clone();
+            let mean = stats.mean_response().as_f64();
+            let baseline = *baseline_response.get_or_insert(mean);
+            if scheme == Scheme::LdpcInSsd {
+                ldpc = Some(stats.clone());
+            }
+            println!(
+                "{:<24} {:>12} {:>9.2}x {:>9} {:>9} {:>9}",
+                scheme.label(),
+                stats.mean_response().to_string(),
+                mean / baseline,
+                stats.flash_programs,
+                stats.erases,
+                stats.gc_runs
+            );
+            // Endurance impact of the full system vs LDPC-in-SSD.
+            if scheme == Scheme::FlexLevel {
+                if let Some(ref reference) = ldpc {
+                    let erase_increase = if reference.erases > 0 {
+                        stats.erases as f64 / reference.erases as f64
+                    } else {
+                        1.0
+                    };
+                    let lifetime = LifetimeModel::paper();
+                    println!(
+                        "    -> erase increase {:.2}x; projected lifetime {:.1}% of LDPC-in-SSD",
+                        erase_increase,
+                        lifetime.relative_lifetime(erase_increase.max(1.0)) * 100.0
+                    );
+                }
+            }
+        }
+        println!();
+    }
+}

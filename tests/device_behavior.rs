@@ -1,0 +1,111 @@
+//! Differential tests: the behavioural cell arrays must agree with the
+//! logical codecs and the bitline layout arithmetic.
+
+use flash_model::{gray, Bit, CellMode, MlcBlock, NormalPage, ReducedPage, WordlineLayout};
+use flexlevel::{ReduceCode, ReducedWordline};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use reliability::SymbolCodec;
+
+fn random_bits<R: Rng>(n: usize, rng: &mut R) -> Vec<Bit> {
+    (0..n).map(|_| Bit::from(rng.gen_bool(0.5))).collect()
+}
+
+/// Programming a normal block page by page must land every cell on the
+/// Gray level of its (lower, upper) bit pair.
+#[test]
+fn mlc_block_agrees_with_gray_codec() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut block = MlcBlock::new(2, 32);
+    let n = block.page_bits();
+    for wl in 0..block.wordlines() {
+        let pages: Vec<(NormalPage, Vec<Bit>)> = NormalPage::ALL
+            .iter()
+            .map(|&p| (p, random_bits(n, &mut rng)))
+            .collect();
+        for (page, bits) in &pages {
+            block.program_page(wl, *page, bits).unwrap();
+        }
+        // Differential check against gray::encode per cell.
+        for (page, bits) in &pages {
+            assert_eq!(&block.read_page(wl, *page).unwrap(), bits);
+        }
+        for bl in 0..block.bitlines() {
+            let cell = block.cell(wl, bl);
+            let level = cell.level().expect("fully programmed");
+            let read = gray::decode(level);
+            assert_eq!(read.lower, cell.read_lower());
+            assert_eq!(read.upper, cell.read_upper());
+        }
+    }
+}
+
+/// The reduced wordline's three pages must round-trip arbitrary data and
+/// stay consistent with ReduceCode symbol decoding.
+#[test]
+fn reduced_wordline_agrees_with_reduce_code() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..20 {
+        let mut wl = ReducedWordline::new(8);
+        let n = wl.page_bits();
+        let lower = random_bits(n, &mut rng);
+        let middle = random_bits(n, &mut rng);
+        let upper = random_bits(n, &mut rng);
+        wl.program_page(ReducedPage::Lower, &lower).unwrap();
+        wl.program_page(ReducedPage::Middle, &middle).unwrap();
+        wl.program_page(ReducedPage::Upper, &upper).unwrap();
+        assert_eq!(wl.read_page(ReducedPage::Lower), lower);
+        assert_eq!(wl.read_page(ReducedPage::Middle), middle);
+        assert_eq!(wl.read_page(ReducedPage::Upper), upper);
+    }
+}
+
+/// Page-size arithmetic: the behavioural wordlines must realise exactly
+/// the densities the bitline layout predicts.
+#[test]
+fn arrays_match_layout_arithmetic() {
+    let layout = WordlineLayout::new(64).unwrap();
+    // Normal: MlcBlock wordline of 64 bitlines ⇒ 4 pages of 32 bits.
+    let block = MlcBlock::new(1, 64);
+    assert_eq!(block.page_bits() as u32, layout.page_bits(CellMode::Normal));
+    // Reduced: 16 pairs per group ⇒ 3 pages of 32 bits.
+    let wl = ReducedWordline::new(layout.pairs_per_group() as usize);
+    assert_eq!(wl.page_bits() as u32, layout.page_bits(CellMode::Reduced));
+    assert_eq!(
+        wl.wordline_bits() as u32,
+        layout.wordline_bits(CellMode::Reduced)
+    );
+    assert_eq!(
+        4 * block.page_bits() as u32,
+        layout.wordline_bits(CellMode::Normal)
+    );
+}
+
+/// Distorting a programmed reduced wordline by one level in one cell
+/// flips at most two data bits across all three pages — the page-level
+/// consequence of the ReduceCode design (usually exactly one).
+#[test]
+fn reduced_wordline_distortion_damage_bounded() {
+    // Work at the symbol level: every symbol, every single-cell slip.
+    let mut worst = 0u32;
+    for value in 0..8u16 {
+        let (a, b) = ReduceCode::encode_value(value);
+        for (da, db) in [
+            (a.index() as i8 - 1, b.index() as i8),
+            (a.index() as i8 + 1, b.index() as i8),
+            (a.index() as i8, b.index() as i8 - 1),
+            (a.index() as i8, b.index() as i8 + 1),
+        ] {
+            if !(0..=2).contains(&da) || !(0..=2).contains(&db) {
+                continue;
+            }
+            let read = ReduceCode::decode_levels(
+                flash_model::VthLevel::new(da as u8),
+                flash_model::VthLevel::new(db as u8),
+            );
+            worst = worst.max((value ^ read).count_ones());
+        }
+    }
+    assert!(worst <= 2, "worst single-slip damage {worst} bits");
+    // And the average is close to one (checked exactly in unit tests).
+    assert_eq!(ReduceCode.bits_per_symbol(), 3);
+}

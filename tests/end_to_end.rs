@@ -1,0 +1,154 @@
+//! End-to-end integration: device physics → LDPC sensing → SSD policy.
+//!
+//! These tests chain every crate of the workspace the way the paper's
+//! evaluation does, checking the cross-layer contracts that no single
+//! crate can verify alone.
+
+use flash_model::{Hours, LevelConfig};
+use flexlevel::NunmaScheme;
+use ldpc::SensingSchedule;
+use rand::{rngs::StdRng, SeedableRng};
+use reliability::{analytic, InterferenceModel, ProgramModel, RetentionModel};
+use ssd::{Scheme, SsdConfig, SsdSimulator};
+use workloads::WorkloadSpec;
+
+/// The contract FlexLevel is built on: the deployed NUNMA-3 reduced state
+/// never triggers extra sensing levels, at any point of the paper's
+/// stress grid, while the worn baseline does.
+#[test]
+fn nunma3_never_needs_soft_sensing_baseline_does() {
+    let schedule = SensingSchedule::paper_anchor();
+    let program = ProgramModel::default();
+    let c2c = InterferenceModel::default();
+    let retention = RetentionModel::paper();
+    let reduced = NunmaScheme::Nunma3.config().level_config();
+    let baseline = LevelConfig::normal_mlc();
+
+    let mut baseline_triggers = 0;
+    for pe in [2000u32, 3000, 4000, 5000, 6000] {
+        for time in [
+            Hours::days(1.0),
+            Hours::days(2.0),
+            Hours::weeks(1.0),
+            Hours::months(1.0),
+        ] {
+            let stress = Some((&retention, pe, time));
+            let r = analytic::estimate(&reduced, &program, Some(&c2c), stress, 1.5).ber;
+            assert_eq!(
+                schedule.required_levels(r),
+                0,
+                "NUNMA3 must stay hard-decision at pe={pe}, t={time}"
+            );
+            let b = analytic::estimate(&baseline, &program, Some(&c2c), stress, 2.0).ber;
+            baseline_triggers += u32::from(schedule.required_levels(b) > 0);
+        }
+    }
+    assert!(
+        baseline_triggers >= 8,
+        "the worn baseline must need soft sensing on much of the grid, got {baseline_triggers}/20"
+    );
+}
+
+/// Figure 6(a)'s ordering must emerge from the full simulation stack on a
+/// read-dominated workload.
+#[test]
+fn scheme_ordering_on_read_heavy_workload() {
+    let trace = WorkloadSpec::web1()
+        .with_requests(8_000)
+        .with_footprint(2_500)
+        .generate(&mut StdRng::seed_from_u64(3));
+    let mut means = Vec::new();
+    for scheme in Scheme::ALL {
+        let mut sim = SsdSimulator::new(SsdConfig::scaled(scheme, 64));
+        let stats = sim.run(&trace).expect("trace fits");
+        means.push((scheme, stats.mean_response().as_f64()));
+    }
+    let get = |s: Scheme| means.iter().find(|(x, _)| *x == s).unwrap().1;
+    assert!(
+        get(Scheme::Baseline) > get(Scheme::LdpcInSsd),
+        "baseline must be slowest"
+    );
+    assert!(
+        get(Scheme::LdpcInSsd) > get(Scheme::FlexLevel),
+        "FlexLevel must beat LDPC-in-SSD"
+    );
+}
+
+/// Figure 6(b)'s trend: the FlexLevel advantage over LDPC-in-SSD grows
+/// with device wear.
+#[test]
+fn flexlevel_gain_grows_with_wear() {
+    let trace = WorkloadSpec::fin2()
+        .with_requests(8_000)
+        .with_footprint(2_000)
+        .generate(&mut StdRng::seed_from_u64(4));
+    let mut reductions = Vec::new();
+    for pe in [4000u32, 6000] {
+        let ldpc = {
+            let mut sim = SsdSimulator::new(SsdConfig::scaled(Scheme::LdpcInSsd, 64).with_base_pe(pe));
+            sim.run(&trace).unwrap().mean_response().as_f64()
+        };
+        let flex = {
+            let mut sim = SsdSimulator::new(SsdConfig::scaled(Scheme::FlexLevel, 64).with_base_pe(pe));
+            sim.run(&trace).unwrap().mean_response().as_f64()
+        };
+        reductions.push(1.0 - flex / ldpc);
+    }
+    assert!(
+        reductions[1] > reductions[0],
+        "reduction at 6000 P/E ({:.3}) must exceed 4000 P/E ({:.3})",
+        reductions[1],
+        reductions[0]
+    );
+}
+
+/// Figure 7's endurance story: FlexLevel costs extra programs/erases but
+/// the projected lifetime loss stays moderate.
+#[test]
+fn endurance_cost_is_bounded() {
+    let trace = WorkloadSpec::win1()
+        .with_requests(8_000)
+        .with_footprint(2_000)
+        .generate(&mut StdRng::seed_from_u64(5));
+    let ldpc = {
+        let mut sim = SsdSimulator::new(SsdConfig::scaled(Scheme::LdpcInSsd, 64));
+        sim.run(&trace).unwrap().clone()
+    };
+    let flex = {
+        let mut sim = SsdSimulator::new(SsdConfig::scaled(Scheme::FlexLevel, 64));
+        sim.run(&trace).unwrap().clone()
+    };
+    assert!(flex.flash_programs >= ldpc.flash_programs);
+    let erase_increase = flex.erases as f64 / ldpc.erases.max(1) as f64;
+    assert!(
+        erase_increase < 2.0,
+        "erase increase {erase_increase} should stay well under 2x"
+    );
+    let lifetime = ssd::LifetimeModel::paper().relative_lifetime(erase_increase.max(1.0));
+    assert!(
+        lifetime > 0.7,
+        "projected lifetime {lifetime} must stay moderate (paper: 94%)"
+    );
+}
+
+/// The capacity contract: the paper's configuration loses ≈6% of the
+/// device, and the simulator's FlexLevel pool never exceeds its bound.
+#[test]
+fn pool_respects_capacity_bound() {
+    let trace = WorkloadSpec::fin2()
+        .with_requests(12_000)
+        .with_footprint(2_500)
+        .generate(&mut StdRng::seed_from_u64(6));
+    let config = SsdConfig::scaled(Scheme::FlexLevel, 64);
+    let pool_pages = config.access_eval.pool_pages;
+    let ppb = config.geometry.pages_per_block() as u64;
+    let mut sim = SsdSimulator::new(config);
+    sim.run(&trace).unwrap();
+    // Reduced blocks × reduced capacity must stay within the pool bound
+    // (plus one partially filled frontier block).
+    let reduced_capacity = sim.ftl().reduced_blocks() as u64 * (ppb * 3 / 4);
+    assert!(
+        reduced_capacity <= pool_pages + ppb,
+        "reduced capacity {reduced_capacity} exceeds pool bound {pool_pages}"
+    );
+}

@@ -1,0 +1,129 @@
+//! Integration of the LDPC stack with the device reliability models: the
+//! decoder must succeed exactly where the sensing schedule says it can.
+
+use flash_model::{Hours, LevelConfig};
+use ldpc::{
+    decode_success_rate, encode, random_info, ChannelStress, DecoderGraph, MinSumDecoder,
+    MlcReadChannel, QcLdpcCode, SoftSensingConfig,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Soft sensing rescues frames that hard decision loses at a stress point
+/// where the baseline raw BER is far beyond hard-decision capability.
+#[test]
+fn soft_sensing_rescues_harsh_stress() {
+    let code = QcLdpcCode::paper_code();
+    let graph = DecoderGraph::new(&code);
+    let decoder = MinSumDecoder::new();
+    let cfg = LevelConfig::normal_mlc();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let hard = MlcReadChannel::build_lower_page(
+        &cfg,
+        ChannelStress::retention(6000, Hours::months(1.0)),
+        SoftSensingConfig::hard_decision(),
+        60_000,
+        11,
+    );
+    let (hard_success, _) = decode_success_rate(&code, &graph, &decoder, &hard, 6, &mut rng);
+
+    let soft = MlcReadChannel::build_lower_page(
+        &cfg,
+        ChannelStress::retention(6000, Hours::months(1.0)),
+        SoftSensingConfig::soft(6),
+        60_000,
+        11,
+    );
+    let (soft_success, _) = decode_success_rate(&code, &graph, &decoder, &soft, 6, &mut rng);
+
+    assert!(
+        soft_success > hard_success,
+        "soft ({soft_success}) must beat hard ({hard_success})"
+    );
+    assert!(
+        soft_success >= 0.99,
+        "six extra levels must decode reliably, got {soft_success}"
+    );
+}
+
+/// At mild stress the hard-decision read already decodes — the Table 5
+/// zero entries.
+#[test]
+fn mild_stress_needs_no_soft_sensing() {
+    let code = QcLdpcCode::paper_code();
+    let graph = DecoderGraph::new(&code);
+    let decoder = MinSumDecoder::new();
+    let cfg = LevelConfig::normal_mlc();
+    let mut rng = StdRng::seed_from_u64(2);
+    let channel = MlcReadChannel::build_lower_page(
+        &cfg,
+        ChannelStress::retention(2000, Hours::days(1.0)),
+        SoftSensingConfig::hard_decision(),
+        60_000,
+        12,
+    );
+    let (success, iters) = decode_success_rate(&code, &graph, &decoder, &channel, 6, &mut rng);
+    assert_eq!(success, 1.0, "2000 P/E / 1 day must decode hard-decision");
+    assert!(iters < 10.0, "convergence should be quick, got {iters}");
+}
+
+/// Decoder iterations grow with stress — the input to the latency model's
+/// `typical_iterations` heuristic.
+#[test]
+fn iterations_grow_with_stress() {
+    let code = QcLdpcCode::paper_code();
+    let graph = DecoderGraph::new(&code);
+    let decoder = MinSumDecoder::new();
+    let cfg = LevelConfig::normal_mlc();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut iter_curve = Vec::new();
+    for (pe, t) in [(2000u32, Hours::days(1.0)), (6000, Hours::months(1.0))] {
+        let channel = MlcReadChannel::build_lower_page(
+            &cfg,
+            ChannelStress::retention(pe, t),
+            SoftSensingConfig::soft(6),
+            60_000,
+            13,
+        );
+        let (_, iters) = decode_success_rate(&code, &graph, &decoder, &channel, 6, &mut rng);
+        iter_curve.push(iters);
+    }
+    assert!(
+        iter_curve[1] >= iter_curve[0],
+        "harsher stress must not converge faster: {iter_curve:?}"
+    );
+}
+
+/// The C2C noise source also passes through the channel (full stress).
+#[test]
+fn full_stress_channel_builds_and_decodes() {
+    let code = QcLdpcCode::small_test_code();
+    let graph = DecoderGraph::new(&code);
+    let decoder = MinSumDecoder::new();
+    let cfg = LevelConfig::normal_mlc();
+    let mut rng = StdRng::seed_from_u64(4);
+    let channel = MlcReadChannel::build_lower_page(
+        &cfg,
+        ChannelStress::full(4000, Hours::weeks(1.0)),
+        SoftSensingConfig::soft(4),
+        40_000,
+        14,
+    );
+    assert!(channel.raw_ber() > 0.0);
+    let (success, _) = decode_success_rate(&code, &graph, &decoder, &channel, 10, &mut rng);
+    assert!(success >= 0.9, "success {success}");
+}
+
+/// Codeword length sanity across the stack: one rate-8/9 codeword per
+/// 4 KB block, matching the UBER configuration in `reliability`.
+#[test]
+fn code_matches_uber_config() {
+    let code = QcLdpcCode::paper_code();
+    let ecc = reliability::EccConfig::paper_ldpc();
+    assert_eq!(code.info_bits() as u64, ecc.info_bits);
+    assert_eq!(code.codeword_bits() as u64, ecc.codeword_bits);
+    // And the encoder produces codewords of exactly that size.
+    let mut rng = StdRng::seed_from_u64(5);
+    let cw = encode(&code, &random_info(&code, &mut rng)).unwrap();
+    assert_eq!(cw.len() as u64, ecc.codeword_bits);
+}
