@@ -42,7 +42,10 @@ impl std::fmt::Display for BchError {
             BchError::Field(e) => write!(f, "{e}"),
             BchError::ZeroCorrection => write!(f, "BCH needs t >= 1"),
             BchError::InfoTooLong { info_bits, max } => {
-                write!(f, "information length {info_bits} exceeds the maximum {max}")
+                write!(
+                    f,
+                    "information length {info_bits} exceeds the maximum {max}"
+                )
             }
         }
     }
@@ -227,7 +230,9 @@ impl BchCode {
         let mut positions = Vec::new();
         for pos in 0..word.len() {
             let e = self.position_exponent(pos);
-            let x = self.gf.alpha_pow((self.gf.order() as u64 - e % self.gf.order() as u64) % self.gf.order() as u64);
+            let x = self.gf.alpha_pow(
+                (self.gf.order() as u64 - e % self.gf.order() as u64) % self.gf.order() as u64,
+            );
             if self.gf.eval_poly(&locator, x) == 0 {
                 positions.push(pos);
             }
@@ -361,8 +366,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for errors in 1..=code.correction_capability() as usize {
             for trial in 0..5 {
-                let info: Vec<u8> =
-                    (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
+                let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..2)).collect();
                 let clean = code.encode(&info);
                 let mut word = clean.clone();
                 // Flip `errors` distinct random positions.

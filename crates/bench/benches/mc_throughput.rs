@@ -1,0 +1,46 @@
+//! Throughput smoke bench for the deterministic Monte-Carlo engine:
+//! the same retention-BER sweep at 1 worker vs the machine's pool. The
+//! two configurations produce bit-identical reports (asserted once up
+//! front), so any throughput gap is pure engine overhead or speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flash_model::{Hours, LevelConfig};
+use reliability::{
+    run_sharded, BerSimulation, GrayMlcCodec, ProgramModel, RetentionModel, RetentionStress,
+    StressConfig,
+};
+
+const SYMBOLS: u64 = 100_000;
+
+fn bench_mc(c: &mut Criterion) {
+    let cfg = LevelConfig::normal_mlc();
+    let codec = GrayMlcCodec;
+    let sim = BerSimulation::new(
+        &cfg,
+        &codec,
+        ProgramModel::default(),
+        StressConfig::retention_only(
+            RetentionModel::paper(),
+            RetentionStress::new(6000, Hours::months(1.0)),
+        ),
+    );
+    assert_eq!(
+        run_sharded(&sim, SYMBOLS, 1, 1),
+        run_sharded(&sim, SYMBOLS, 0, 1),
+        "engine determinism contract"
+    );
+
+    let mut group = c.benchmark_group("mc_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SYMBOLS));
+    let auto = reliability::resolve_threads(0);
+    for (label, threads) in [("serial", 1u32), ("pool", auto.max(2))] {
+        group.bench_function(BenchmarkId::new("retention_ber", label), |b| {
+            b.iter(|| std::hint::black_box(run_sharded(&sim, SYMBOLS, threads, 1).ber()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

@@ -29,7 +29,10 @@ fn main() {
     // web-1's read-hot set is far larger than fin-2's, so pool size
     // actually binds: this is the §5 capacity/performance dial.
     let web = trace(WorkloadSpec::web1(), 78);
-    println!("pool size vs response time and capacity loss ({}):", web.name);
+    println!(
+        "pool size vs response time and capacity loss ({}):",
+        web.name
+    );
     println!(
         "{:>12} {:>14} {:>15} {:>12}",
         "pool (raw %)", "mean response", "capacity loss", "promotions"
@@ -38,10 +41,8 @@ fn main() {
     for percent in [0u64, 6, 12, 25, 50] {
         let stats = if percent == 0 {
             // No pool at all = plain LDPC-in-SSD.
-            let mut sim = SsdSimulator::new(SsdConfig::scaled(
-                Scheme::LdpcInSsd,
-                EXPERIMENT_BLOCKS,
-            ));
+            let mut sim =
+                SsdSimulator::new(SsdConfig::scaled(Scheme::LdpcInSsd, EXPERIMENT_BLOCKS));
             sim.run(&web).expect("trace fits").clone()
         } else {
             let pool_pages = base.geometry.total_pages() * percent / 100;
@@ -70,8 +71,15 @@ fn main() {
 
     // --- 2. NUNMA scheme ablation --------------------------------------
     println!("\nNUNMA scheme deployed in reduced pages:");
-    println!("{:>10} {:>14} {:>16}", "scheme", "mean response", "reduced reads");
-    for nunma in [NunmaScheme::Nunma1, NunmaScheme::Nunma2, NunmaScheme::Nunma3] {
+    println!(
+        "{:>10} {:>14} {:>16}",
+        "scheme", "mean response", "reduced reads"
+    );
+    for nunma in [
+        NunmaScheme::Nunma1,
+        NunmaScheme::Nunma2,
+        NunmaScheme::Nunma3,
+    ] {
         let mut config = SsdConfig::scaled(Scheme::FlexLevel, EXPERIMENT_BLOCKS);
         config.nunma = nunma;
         let mut sim = SsdSimulator::new(config);
@@ -86,8 +94,14 @@ fn main() {
 
     // --- 3. GC policy ----------------------------------------------------
     println!("\nGC victim policy (wear leveling is free at equal valid counts):");
-    println!("{:>12} {:>14} {:>10} {:>14}", "policy", "mean response", "erases", "erase spread");
-    for (label, policy) in [("greedy", ssd::GcPolicy::Greedy), ("wear-aware", ssd::GcPolicy::WearAware)] {
+    println!(
+        "{:>12} {:>14} {:>10} {:>14}",
+        "policy", "mean response", "erases", "erase spread"
+    );
+    for (label, policy) in [
+        ("greedy", ssd::GcPolicy::Greedy),
+        ("wear-aware", ssd::GcPolicy::WearAware),
+    ] {
         let mut config = SsdConfig::scaled(Scheme::FlexLevel, EXPERIMENT_BLOCKS);
         config.gc_policy = policy;
         let mut sim = SsdSimulator::new(config);
@@ -105,7 +119,10 @@ fn main() {
 
     // --- 4. Buffer size sweep ------------------------------------------
     println!("\nwrite-back buffer size:");
-    println!("{:>14} {:>14} {:>14}", "buffer (pages)", "mean response", "buffer hits");
+    println!(
+        "{:>14} {:>14} {:>14}",
+        "buffer (pages)", "mean response", "buffer hits"
+    );
     for pages in [4u64, 16, 64, 256] {
         let mut config = SsdConfig::scaled(Scheme::FlexLevel, EXPERIMENT_BLOCKS);
         config.buffer_pages = pages;

@@ -16,11 +16,7 @@ const LO: f64 = 0.0;
 const HI: f64 = 4.2;
 const SAMPLES: u32 = 40_000;
 
-fn histogram(
-    config: &LevelConfig,
-    stress: Option<(u32, Hours)>,
-    seed: u64,
-) -> Vec<[u32; BINS]> {
+fn histogram(config: &LevelConfig, stress: Option<(u32, Hours)>, seed: u64) -> Vec<[u32; BINS]> {
     let program = ProgramModel::default();
     let retention = RetentionModel::paper();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -33,13 +29,7 @@ fn histogram(
                 let vth = match stress {
                     Some((pe, t)) => {
                         initial
-                            - retention.sample_shift(
-                                initial,
-                                config.erased_mean(),
-                                pe,
-                                t,
-                                &mut rng,
-                            )
+                            - retention.sample_shift(initial, config.erased_mean(), pe, t, &mut rng)
                     }
                     None => initial,
                 };
@@ -103,7 +93,10 @@ fn main() {
 
     println!("\nbaseline MLC after 6000 P/E + 1 month retention (left-sagged tails");
     println!("crossing the references = the errors that force soft sensing):");
-    render(&baseline, &histogram(&baseline, Some((6000, Hours::months(1.0))), 2));
+    render(
+        &baseline,
+        &histogram(&baseline, Some((6000, Hours::months(1.0))), 2),
+    );
 
     let basic = LevelConfig::reduced_symmetric();
     println!("\nreduced state, symmetric margins (Fig 4(a)): three levels, wide gaps:");
@@ -115,7 +108,10 @@ fn main() {
     render(&nunma3, &histogram(&nunma3, None, 4));
 
     println!("\nNUNMA 3 after 6000 P/E + 1 month (still clear of the references):");
-    render(&nunma3, &histogram(&nunma3, Some((6000, Hours::months(1.0))), 5));
+    render(
+        &nunma3,
+        &histogram(&nunma3, Some((6000, Hours::months(1.0))), 5),
+    );
 
     // Quantify the margins the pictures show.
     println!("\nretention margins (nominal placement − lower reference):");

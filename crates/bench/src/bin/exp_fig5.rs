@@ -11,8 +11,8 @@
 use flash_model::LevelConfig;
 use flexlevel::NunmaConfig;
 use reliability::{
-    default_shards, run_sharded, BerSimulation, GrayMlcCodec, InterferenceModel,
-    LevelProbeCodec, ProgramModel, StressConfig,
+    default_shards, run_sharded, BerSimulation, GrayMlcCodec, InterferenceModel, LevelProbeCodec,
+    ProgramModel, StressConfig,
 };
 
 const SYMBOLS: u64 = 4_000_000;

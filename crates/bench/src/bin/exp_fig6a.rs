@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin exp_fig6a`
 
-use bench::{pct_change, run_scheme, scaled_suite};
+use bench::{pct_change, run_matrix, scaled_suite};
 use ssd::Scheme;
 
 fn main() {
@@ -19,13 +19,15 @@ fn main() {
         "workload", "baseline", "LDPC-in-SSD", "LevelAdjust-only", "LevelAdjust+AccessEval"
     );
 
+    // All 7 traces × 4 schemes run concurrently; results are identical
+    // to the serial loop for any thread count.
+    let matrix = run_matrix(&traces, &Scheme::ALL, 6000, 0);
     let mut sums = [0.0f64; 4];
-    for trace in &traces {
-        let mut row = Vec::new();
-        for scheme in Scheme::ALL {
-            let stats = run_scheme(scheme, trace, 6000);
-            row.push(stats.mean_response().as_f64());
-        }
+    for (trace, stats_row) in traces.iter().zip(&matrix) {
+        let row: Vec<f64> = stats_row
+            .iter()
+            .map(|s| s.mean_response().as_f64())
+            .collect();
         let base = row[0];
         for (i, v) in row.iter().enumerate() {
             sums[i] += v / base;
@@ -51,7 +53,10 @@ fn main() {
     let mean_ldpc = sums[1] / n;
     let mean_la = sums[2] / n;
     let mean_flex = sums[3] / n;
-    println!("\nFlexLevel vs baseline    : {} (paper: -66%)", pct_change(mean_flex, 1.0));
+    println!(
+        "\nFlexLevel vs baseline    : {} (paper: -66%)",
+        pct_change(mean_flex, 1.0)
+    );
     println!(
         "FlexLevel vs LDPC-in-SSD : {} (paper: -33%)",
         pct_change(mean_flex, mean_ldpc)

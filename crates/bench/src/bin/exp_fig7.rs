@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin exp_fig7`
 
-use bench::{run_scheme, scaled_suite};
+use bench::{run_matrix, scaled_suite};
 use ssd::{LifetimeModel, Scheme};
 
 fn main() {
@@ -19,17 +19,22 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "workload", "write incr", "erase incr", "programs", "erases", "lifetime"
     );
+    // Both schemes run over all traces concurrently (14 independent sims).
+    let matrix = run_matrix(&traces, &[Scheme::LdpcInSsd, Scheme::FlexLevel], 6000, 0);
     let mut write_sum = 0.0;
     let mut erase_sum = 0.0;
     let mut life_sum = 0.0;
-    for trace in &traces {
-        let ldpc = run_scheme(Scheme::LdpcInSsd, trace, 6000);
-        let flex = run_scheme(Scheme::FlexLevel, trace, 6000);
+    for (trace, row) in traces.iter().zip(&matrix) {
+        let (ldpc, flex) = (&row[0], &row[1]);
         let write_incr = flex.flash_programs as f64 / ldpc.flash_programs.max(1) as f64;
         // Read-only workloads erase (almost) nothing under either scheme;
         // report a neutral ratio instead of dividing by zero.
         let erase_incr = if ldpc.erases == 0 {
-            if flex.erases == 0 { 1.0 } else { flex.erases as f64 }
+            if flex.erases == 0 {
+                1.0
+            } else {
+                flex.erases as f64
+            }
         } else {
             flex.erases as f64 / ldpc.erases as f64
         };

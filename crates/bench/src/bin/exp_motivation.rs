@@ -17,8 +17,8 @@
 use bch::{BchCode, BchDecode};
 use flash_model::{Hours, LevelConfig, NandTiming};
 use ldpc::{
-    decode_success_rate, ChannelStress, DecoderGraph, MinSumDecoder, MlcReadChannel,
-    QcLdpcCode, SoftSensingConfig,
+    decode_success_rate, ChannelStress, DecoderGraph, MinSumDecoder, MlcReadChannel, QcLdpcCode,
+    SoftSensingConfig,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use reliability::{EccConfig, PAPER_UBER_TARGET};
@@ -49,7 +49,10 @@ fn main() {
 
     // Exhibit 1: BCH overhead divergence.
     println!("required BCH strength for UBER 1e-15 on a 2 KB chunk:");
-    println!("{:>10} {:>8} {:>14} {:>10}", "raw BER", "t", "parity bits", "overhead");
+    println!(
+        "{:>10} {:>8} {:>14} {:>10}",
+        "raw BER", "t", "parity bits", "overhead"
+    );
     for p in [1e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2] {
         let t = required_bch_t(p);
         let parity = 15 * t;
@@ -61,7 +64,10 @@ fn main() {
             parity as f64 / (2048.0 * 8.0) * 100.0
         );
     }
-    println!("(GF(2^15) shortens to at most {} info bits per chunk —", (1 << 15) - 1);
+    println!(
+        "(GF(2^15) shortens to at most {} info bits per chunk —",
+        (1 << 15) - 1
+    );
     println!(" beyond t ≈ 870 the 2 KB chunk no longer fits the code at all)");
 
     // Exhibit 2: the real BCH decoder at two error-rate generations.
@@ -79,7 +85,9 @@ fn main() {
                 }
             }
             match code.decode(&mut word) {
-                BchDecode::Clean | BchDecode::Corrected(_) if word[..code.info_bits()] == info[..] => {
+                BchDecode::Clean | BchDecode::Corrected(_)
+                    if word[..code.info_bits()] == info[..] =>
+                {
                     corrected += 1
                 }
                 _ => {}

@@ -16,8 +16,7 @@
 
 use flash_model::{Hours, LevelConfig};
 use ldpc::{
-    minimum_levels, ChannelStress, MinSumDecoder, MlcReadChannel, QcLdpcCode,
-    SoftSensingConfig,
+    minimum_levels, ChannelStress, MinSumDecoder, MlcReadChannel, QcLdpcCode, SoftSensingConfig,
 };
 use rand::{rngs::StdRng, SeedableRng};
 use reliability::{
@@ -114,7 +113,9 @@ fn decoder_path() {
                 .iter()
                 .find(|m| m.success_rate >= 1.0)
                 .map(|m| m.extra_levels.to_string())
-                .unwrap_or_else(|| format!(">{}", ladder.last().map(|m| m.extra_levels).unwrap_or(7)));
+                .unwrap_or_else(|| {
+                    format!(">{}", ladder.last().map(|m| m.extra_levels).unwrap_or(7))
+                });
             print!(" {answer:>8} |");
         }
         println!();

@@ -57,6 +57,29 @@ pub fn run_scheme(scheme: Scheme, trace: &Trace, base_pe: u32) -> SimStats {
         .clone()
 }
 
+/// Runs every `trace × scheme` combination concurrently on the shared
+/// thread pool and returns one row of [`SimStats`] per trace, in scheme
+/// order. Each simulation is an independent, internally-seeded run, so
+/// the fan-out is embarrassingly parallel and the results match the
+/// serial [`run_scheme`] loop exactly for any thread count (0 = auto,
+/// honouring `FLEXLEVEL_THREADS`).
+pub fn run_matrix(
+    traces: &[Trace],
+    schemes: &[Scheme],
+    base_pe: u32,
+    threads: u32,
+) -> Vec<Vec<SimStats>> {
+    let jobs: Vec<(usize, Scheme)> = (0..traces.len())
+        .flat_map(|t| schemes.iter().map(move |&s| (t, s)))
+        .collect();
+    let flat = reliability::parallel_map(jobs, threads, |_, (t, scheme)| {
+        run_scheme(scheme, &traces[t], base_pe)
+    });
+    flat.chunks(schemes.len().max(1))
+        .map(<[SimStats]>::to_vec)
+        .collect()
+}
+
 /// Deterministic tiny hash for per-workload seeds.
 fn fxhash(bytes: &[u8]) -> u64 {
     bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
@@ -83,6 +106,33 @@ mod tests {
         for trace in &a {
             assert!(trace.footprint_pages <= config.geometry.logical_pages());
             trace.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn run_matrix_matches_serial_loop() {
+        let footprint = SsdConfig::scaled(Scheme::Baseline, EXPERIMENT_BLOCKS)
+            .geometry
+            .logical_pages()
+            / 2;
+        let mut rng = StdRng::seed_from_u64(3);
+        let traces: Vec<Trace> = WorkloadSpec::paper_suite()
+            .into_iter()
+            .take(2)
+            .map(|spec| {
+                spec.with_requests(400)
+                    .with_footprint(footprint)
+                    .generate(&mut rng)
+            })
+            .collect();
+        let schemes = [Scheme::Baseline, Scheme::FlexLevel];
+        let matrix = run_matrix(&traces, &schemes, 6000, 4);
+        assert_eq!(matrix.len(), traces.len());
+        for (row, trace) in matrix.iter().zip(&traces) {
+            assert_eq!(row.len(), schemes.len());
+            for (stats, &scheme) in row.iter().zip(&schemes) {
+                assert_eq!(*stats, run_scheme(scheme, trace, 6000));
+            }
         }
     }
 

@@ -157,10 +157,7 @@ impl ReducedCellPair {
         } else {
             // MSB = 0: Vth transition stops; levels stay where the first
             // step put them (the LSB bits as levels 0/1).
-            (
-                VthLevel::new(u8::from(lsb1)),
-                VthLevel::new(u8::from(lsb0)),
-            )
+            (VthLevel::new(u8::from(lsb1)), VthLevel::new(u8::from(lsb0)))
         };
         debug_assert_eq!(
             (first, second),
@@ -185,10 +182,9 @@ impl ReducedCellPair {
     pub fn read_value(&self) -> u16 {
         let (first, second) = match self.state {
             PairProgramState::Erased => (VthLevel::ERASED, VthLevel::ERASED),
-            PairProgramState::LsbsProgrammed { lsb1, lsb0 } => (
-                VthLevel::new(u8::from(lsb1)),
-                VthLevel::new(u8::from(lsb0)),
-            ),
+            PairProgramState::LsbsProgrammed { lsb1, lsb0 } => {
+                (VthLevel::new(u8::from(lsb1)), VthLevel::new(u8::from(lsb0)))
+            }
             PairProgramState::Programmed { first, second } => (first, second),
         };
         ReduceCode::decode_levels(first, second)
@@ -376,6 +372,8 @@ mod tests {
     #[test]
     fn error_messages() {
         assert!(ModeLockedError.to_string().contains("erased"));
-        assert!(PairProgramError::MsbBeforeLsbs.to_string().contains("before"));
+        assert!(PairProgramError::MsbBeforeLsbs
+            .to_string()
+            .contains("before"));
     }
 }

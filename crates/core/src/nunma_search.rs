@@ -58,8 +58,14 @@ pub fn evaluate(config: NunmaConfig, options: &SearchOptions) -> NunmaCandidate 
         .stress
         .iter()
         .map(|&(pe, t)| {
-            analytic::estimate(&level_config, &program, None, Some((&retention, pe, t)), 1.5)
-                .ber
+            analytic::estimate(
+                &level_config,
+                &program,
+                None,
+                Some((&retention, pe, t)),
+                1.5,
+            )
+            .ber
         })
         .fold(0.0f64, f64::max);
     let c2c_ber = analytic::estimate(&level_config, &program, Some(&c2c), None, 1.5).ber;
@@ -73,9 +79,13 @@ pub fn evaluate(config: NunmaConfig, options: &SearchOptions) -> NunmaCandidate 
 
 /// Grid search over the two verify margins; returns candidates sorted by
 /// objective (best first).
+///
+/// Candidate evaluations are independent, so they run on the shared
+/// thread pool ([`reliability::parallel_map`]); the candidate order and
+/// the stable sort keep the result identical for any thread count.
 pub fn search(options: &SearchOptions) -> Vec<NunmaCandidate> {
     let base = NunmaConfig::nunma1(); // read references and Vpp from Table 3
-    let mut results = Vec::new();
+    let mut candidates = Vec::new();
     let steps = (options.max_margin.as_f64() / options.step.as_f64()).round() as u32;
     for m1 in 0..=steps {
         for m2 in 0..=steps {
@@ -88,14 +98,14 @@ pub fn search(options: &SearchOptions) -> Vec<NunmaCandidate> {
             };
             // Physical constraint: a programmed level-1 distribution
             // (verify1 + Vpp plus tails) must stay clear of read_ref2.
-            if (candidate.verify1 + candidate.vpp).as_f64()
-                > candidate.read_ref2.as_f64() - 0.1
-            {
+            if (candidate.verify1 + candidate.vpp).as_f64() > candidate.read_ref2.as_f64() - 0.1 {
                 continue;
             }
-            results.push(evaluate(candidate, options));
+            candidates.push(candidate);
         }
     }
+    let mut results =
+        reliability::parallel_map(candidates, 0, |_, candidate| evaluate(candidate, options));
     results.sort_by(|a, b| a.objective.partial_cmp(&b.objective).expect("finite BER"));
     results
 }
@@ -156,8 +166,7 @@ mod tests {
             .map(|(_, c)| evaluate(*c, &options))
             .collect();
         assert!(
-            rows[2].objective <= rows[0].objective
-                && rows[2].objective <= rows[1].objective,
+            rows[2].objective <= rows[0].objective && rows[2].objective <= rows[1].objective,
             "NUNMA3 must win Table 3: {rows:?}"
         );
         let best = optimal();

@@ -143,10 +143,7 @@ mod tests {
 
     #[test]
     fn unused_combination_decodes_to_101() {
-        assert_eq!(
-            ReduceCode::decode_levels(VthLevel::L1, VthLevel::L2),
-            0b101
-        );
+        assert_eq!(ReduceCode::decode_levels(VthLevel::L1, VthLevel::L2), 0b101);
     }
 
     #[test]

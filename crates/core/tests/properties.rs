@@ -2,8 +2,8 @@
 
 use flash_model::{Bit, VthLevel};
 use flexlevel::{
-    AccessEvalConfig, AccessEvalController, HloIdentifier, Placement, ReduceCode,
-    ReducedCellPair, ReducedCellPool,
+    AccessEvalConfig, AccessEvalController, HloIdentifier, Placement, ReduceCode, ReducedCellPair,
+    ReducedCellPool,
 };
 use proptest::prelude::*;
 use reliability::SymbolCodec;
@@ -45,6 +45,56 @@ proptest! {
         if (ea.index(), eb.index()) == (a, b) {
             prop_assert_eq!(ReduceCode.decode(&[ea, eb]), v);
         }
+    }
+
+    /// Every one of the 8 used level-pair combinations round-trips its
+    /// 3 bits exactly, through both the raw table API and the trait.
+    #[test]
+    fn reduce_code_roundtrips_all_values(value in 0u16..8) {
+        let (a, b) = ReduceCode::encode_value(value);
+        prop_assert!(a.index() < 3 && b.index() < 3);
+        prop_assert!((a.index(), b.index()) != (1, 2), "unused combination");
+        prop_assert_eq!(ReduceCode::decode_levels(a, b), value);
+        let codec = ReduceCode;
+        let mut cells = [VthLevel::ERASED; 2];
+        codec.encode(value, &mut cells);
+        prop_assert_eq!(cells, [a, b]);
+        prop_assert_eq!(codec.decode(&cells), value);
+    }
+
+    /// Table 1's Gray-like property: a ±1-level distortion in either cell
+    /// flips exactly one decoded bit — except for the three transitions
+    /// the 8-of-9 mapping cannot protect. Those are pinned exactly:
+    /// landing on the unused (1,2) pair decodes as 101, so 101=(0,2)→(1,2)
+    /// is free and 011=(1,1)→(1,2) costs two bits; and 100=(2,2) ↔
+    /// 111=(2,1) cost two bits in both directions.
+    #[test]
+    fn reduce_code_distortion_flips_one_bit(
+        value in 0u16..8,
+        second_cell in prop::bool::ANY,
+        up in prop::bool::ANY,
+    ) {
+        let (a, b) = ReduceCode::encode_value(value);
+        let delta = if up { 1i8 } else { -1 };
+        let (da, db) = if second_cell {
+            (a.index() as i8, b.index() as i8 + delta)
+        } else {
+            (a.index() as i8 + delta, b.index() as i8)
+        };
+        prop_assume!((0..=2).contains(&da) && (0..=2).contains(&db));
+        let read = ReduceCode::decode_levels(VthLevel::new(da as u8), VthLevel::new(db as u8));
+        let flipped = (value ^ read).count_ones();
+        let expected = match (value, (da, db)) {
+            (0b101, (1, 2)) => 0,          // repaired: (1,2) decodes as 101
+            (0b011, (1, 2)) => 2,          // collides with the repair choice
+            (0b100, (2, 1)) | (0b111, (2, 2)) => 2, // (2,2) ↔ (2,1)
+            _ => 1,
+        };
+        prop_assert_eq!(
+            flipped, expected,
+            "{:03b} at ({},{}) read back as {:03b} after slip to ({},{})",
+            value, a.index(), b.index(), read, da, db
+        );
     }
 
     /// HLO scoring: the overhead product is monotone in both factors and

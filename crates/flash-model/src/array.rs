@@ -89,7 +89,10 @@ impl MlcBlock {
     /// even/odd structure needs both parities).
     pub fn new(wordlines: u32, bitlines: u32) -> MlcBlock {
         assert!(wordlines > 0 && bitlines > 0, "empty block");
-        assert!(bitlines % 2 == 0, "even/odd structure needs even bitlines");
+        assert!(
+            bitlines.is_multiple_of(2),
+            "even/odd structure needs even bitlines"
+        );
         MlcBlock {
             wordlines,
             bitlines,
@@ -119,7 +122,11 @@ impl MlcBlock {
         }
     }
 
-    fn group_indices(&self, wordline: u32, parity: BitlineParity) -> impl Iterator<Item = usize> + '_ {
+    fn group_indices(
+        &self,
+        wordline: u32,
+        parity: BitlineParity,
+    ) -> impl Iterator<Item = usize> + '_ {
         let base = (wordline * self.bitlines) as usize;
         let offset = match parity {
             BitlineParity::Even => 0,
@@ -232,12 +239,26 @@ mod tests {
         let upper_even = bits(&[0, 0, 1, 1]);
         let lower_odd = bits(&[1, 1, 0, 0]);
         let upper_odd = bits(&[0, 1, 0, 1]);
-        block.program_page(0, NormalPage::LowerEven, &lower_even).unwrap();
-        block.program_page(0, NormalPage::LowerOdd, &lower_odd).unwrap();
-        block.program_page(0, NormalPage::UpperEven, &upper_even).unwrap();
-        block.program_page(0, NormalPage::UpperOdd, &upper_odd).unwrap();
-        assert_eq!(block.read_page(0, NormalPage::LowerEven).unwrap(), lower_even);
-        assert_eq!(block.read_page(0, NormalPage::UpperEven).unwrap(), upper_even);
+        block
+            .program_page(0, NormalPage::LowerEven, &lower_even)
+            .unwrap();
+        block
+            .program_page(0, NormalPage::LowerOdd, &lower_odd)
+            .unwrap();
+        block
+            .program_page(0, NormalPage::UpperEven, &upper_even)
+            .unwrap();
+        block
+            .program_page(0, NormalPage::UpperOdd, &upper_odd)
+            .unwrap();
+        assert_eq!(
+            block.read_page(0, NormalPage::LowerEven).unwrap(),
+            lower_even
+        );
+        assert_eq!(
+            block.read_page(0, NormalPage::UpperEven).unwrap(),
+            upper_even
+        );
         assert_eq!(block.read_page(0, NormalPage::LowerOdd).unwrap(), lower_odd);
         assert_eq!(block.read_page(0, NormalPage::UpperOdd).unwrap(), upper_odd);
     }
@@ -246,11 +267,7 @@ mod tests {
     fn erased_pages_read_ones() {
         let block = MlcBlock::new(1, 8);
         for page in NormalPage::ALL {
-            assert!(block
-                .read_page(0, page)
-                .unwrap()
-                .iter()
-                .all(|b| b.is_one()));
+            assert!(block.read_page(0, page).unwrap().iter().all(|b| b.is_one()));
         }
     }
 
@@ -258,7 +275,9 @@ mod tests {
     fn upper_before_lower_rejected_atomically() {
         let mut block = MlcBlock::new(1, 8);
         let page = bits(&[0, 0, 0, 0]);
-        let err = block.program_page(0, NormalPage::UpperEven, &page).unwrap_err();
+        let err = block
+            .program_page(0, NormalPage::UpperEven, &page)
+            .unwrap_err();
         assert_eq!(err, ArrayError::Program(ProgramError::UpperBeforeLower));
         // The failed program must not have touched any cell.
         assert!(block
@@ -273,7 +292,9 @@ mod tests {
         let mut block = MlcBlock::new(1, 8);
         let page = bits(&[0, 1, 0, 1]);
         block.program_page(0, NormalPage::LowerEven, &page).unwrap();
-        let err = block.program_page(0, NormalPage::LowerEven, &page).unwrap_err();
+        let err = block
+            .program_page(0, NormalPage::LowerEven, &page)
+            .unwrap_err();
         assert_eq!(
             err,
             ArrayError::Program(ProgramError::LowerAlreadyProgrammed)
@@ -306,7 +327,10 @@ mod tests {
         );
         assert!(matches!(
             block.program_page(3, NormalPage::LowerEven, &bits(&[1, 0, 1, 0])),
-            Err(ArrayError::WordlineOutOfRange { wordline: 3, count: 1 })
+            Err(ArrayError::WordlineOutOfRange {
+                wordline: 3,
+                count: 1
+            })
         ));
         assert!(block.read_page(9, NormalPage::LowerEven).is_err());
     }

@@ -34,7 +34,7 @@ impl BitlineParity {
     /// Parity of the bitline with the given index.
     #[inline]
     pub fn of(bitline: u32) -> BitlineParity {
-        if bitline % 2 == 0 {
+        if bitline.is_multiple_of(2) {
             BitlineParity::Even
         } else {
             BitlineParity::Odd
@@ -171,7 +171,7 @@ impl WordlineLayout {
     /// The count must be a positive multiple of 4: half the cells are even,
     /// half odd, and each half must pair up for ReduceCode.
     pub fn new(cells: u32) -> Result<WordlineLayout, LayoutError> {
-        if cells == 0 || cells % 4 != 0 {
+        if cells == 0 || !cells.is_multiple_of(4) {
             return Err(LayoutError::CellCountNotMultipleOfFour(cells));
         }
         Ok(WordlineLayout { cells })

@@ -226,10 +226,13 @@ mod tests {
         assert_eq!(Bit::try_from(1u8), Ok(Bit::ONE));
         assert_eq!(Bit::try_from(2u8), Err(InvalidBitError(2)));
         assert_eq!(u8::from(Bit::ONE), 1);
-        assert_eq!(bool::from(Bit::ZERO), false);
+        assert!(!bool::from(Bit::ZERO));
         assert_eq!(Bit::from(true), Bit::ONE);
         assert_eq!(Bit::ONE.to_string(), "1");
-        assert_eq!(InvalidBitError(7).to_string(), "value 7 is not a valid bit (expected 0 or 1)");
+        assert_eq!(
+            InvalidBitError(7).to_string(),
+            "value 7 is not a valid bit (expected 0 or 1)"
+        );
     }
 
     #[test]

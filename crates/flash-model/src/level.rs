@@ -361,7 +361,9 @@ impl LevelConfig {
     ///
     /// Returns `None` for the erased level (it has no lower boundary).
     pub fn retention_margin(&self, level: VthLevel) -> Option<Volts> {
-        let lower_ref = *self.read_refs.get((level.index() as usize).checked_sub(1)?)?;
+        let lower_ref = *self
+            .read_refs
+            .get((level.index() as usize).checked_sub(1)?)?;
         Some(self.nominal_mean(level)? - lower_ref)
     }
 
@@ -551,13 +553,8 @@ mod tests {
         );
         // non-positive pulse
         assert_eq!(
-            LevelConfig::new(
-                vec![Volts(2.0)],
-                vec![Volts(2.1)],
-                Volts(1.1),
-                Volts(0.0),
-            )
-            .unwrap_err(),
+            LevelConfig::new(vec![Volts(2.0)], vec![Volts(2.1)], Volts(1.1), Volts(0.0),)
+                .unwrap_err(),
             LevelConfigError::NonPositivePulse
         );
         // too many levels

@@ -244,7 +244,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ProgramError::UpperBeforeLower.to_string().contains("before"));
+        assert!(ProgramError::UpperBeforeLower
+            .to_string()
+            .contains("before"));
         assert!(ProgramError::LowerAlreadyProgrammed
             .to_string()
             .contains("already"));

@@ -78,7 +78,10 @@ impl ChannelStress {
     pub fn retention(pe_cycles: u32, time: Hours) -> ChannelStress {
         ChannelStress {
             c2c: None,
-            retention: Some((RetentionModel::paper(), RetentionStress::new(pe_cycles, time))),
+            retention: Some((
+                RetentionModel::paper(),
+                RetentionStress::new(pe_cycles, time),
+            )),
         }
     }
 
@@ -86,7 +89,10 @@ impl ChannelStress {
     pub fn full(pe_cycles: u32, time: Hours) -> ChannelStress {
         ChannelStress {
             c2c: Some(InterferenceModel::default()),
-            retention: Some((RetentionModel::paper(), RetentionStress::new(pe_cycles, time))),
+            retention: Some((
+                RetentionModel::paper(),
+                RetentionStress::new(pe_cycles, time),
+            )),
         }
     }
 }
@@ -203,6 +209,7 @@ impl MlcReadChannel {
         }
         channel.raw_ber = hard_errors as f64 / (2.0 * calibration_samples as f64);
         let n = calibration_samples as f64;
+        #[allow(clippy::needless_range_loop)] // r indexes three arrays at once
         for r in 0..regions {
             // Laplace smoothing keeps empty regions finite.
             let p0 = (counts[0][r] as f64 + 0.5) / (n + 0.5 * regions as f64);
@@ -395,10 +402,8 @@ mod tests {
         let ch = fresh_channel(4);
         let mut rng = StdRng::seed_from_u64(11);
         let n = 20_000;
-        let mean_llr_bit0: f32 =
-            (0..n).map(|_| ch.sample_llr(0, &mut rng)).sum::<f32>() / n as f32;
-        let mean_llr_bit1: f32 =
-            (0..n).map(|_| ch.sample_llr(1, &mut rng)).sum::<f32>() / n as f32;
+        let mean_llr_bit0: f32 = (0..n).map(|_| ch.sample_llr(0, &mut rng)).sum::<f32>() / n as f32;
+        let mean_llr_bit1: f32 = (0..n).map(|_| ch.sample_llr(1, &mut rng)).sum::<f32>() / n as f32;
         assert!(mean_llr_bit0 > 1.0, "bit 0 mean LLR {mean_llr_bit0}");
         assert!(mean_llr_bit1 < -1.0, "bit 1 mean LLR {mean_llr_bit1}");
     }
@@ -444,7 +449,10 @@ mod tests {
         let ch = upper_channel(4);
         let llrs = ch.llr_table();
         assert!(llrs[0] < -1.0, "lowest region is bit 1: {llrs:?}");
-        assert!(llrs[llrs.len() - 1] < -1.0, "highest region is bit 1: {llrs:?}");
+        assert!(
+            llrs[llrs.len() - 1] < -1.0,
+            "highest region is bit 1: {llrs:?}"
+        );
         let mid = llrs[llrs.len() / 2];
         assert!(mid > 1.0, "middle region is bit 0: {llrs:?}");
     }

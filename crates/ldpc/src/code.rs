@@ -193,7 +193,9 @@ impl QcLdpcCode {
 
     /// Builds the full sparse structure: for every check, its bit list.
     pub fn all_checks(&self) -> Vec<Vec<usize>> {
-        (0..self.check_count()).map(|c| self.check_bits(c)).collect()
+        (0..self.check_count())
+            .map(|c| self.check_bits(c))
+            .collect()
     }
 
     /// Computes the syndrome weight of a hard-decision word (number of
@@ -302,8 +304,8 @@ mod tests {
         let checks = code.all_checks();
         for a in 0..checks.len() {
             let set: HashSet<_> = checks[a].iter().collect();
-            for b in (a + 1)..checks.len() {
-                let shared = checks[b].iter().filter(|x| set.contains(x)).count();
+            for (b, check) in checks.iter().enumerate().skip(a + 1) {
+                let shared = check.iter().filter(|x| set.contains(x)).count();
                 assert!(shared <= 1, "checks {a} and {b} share {shared} bits");
             }
         }

@@ -179,7 +179,11 @@ impl MinSumDecoder {
         );
         let edges = graph.edge_count();
         // v2c initialised to channel values; c2v starts at zero.
-        let mut v2c: Vec<f32> = graph.edge_bits.iter().map(|&b| channel_llrs[b as usize]).collect();
+        let mut v2c: Vec<f32> = graph
+            .edge_bits
+            .iter()
+            .map(|&b| channel_llrs[b as usize])
+            .collect();
         let mut c2v = vec![0.0f32; edges];
         let mut total: Vec<f32> = channel_llrs.to_vec();
         let mut hard = vec![0u8; graph.bit_count()];
@@ -196,6 +200,7 @@ impl MinSumDecoder {
                 let mut min2 = f32::INFINITY;
                 let mut min1_edge = lo;
                 let mut sign_product = 1.0f32;
+                #[allow(clippy::needless_range_loop)] // e also feeds min1_edge
                 for e in lo..hi {
                     let v = v2c[e];
                     let mag = v.abs();
@@ -348,7 +353,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let info = random_info(&code, &mut rng);
         let cw = encode(&code, &info).unwrap();
-        let mut llrs: Vec<f32> = cw.iter().map(|&b| if b == 0 { 6.0 } else { -6.0 }).collect();
+        let mut llrs: Vec<f32> = cw
+            .iter()
+            .map(|&b| if b == 0 { 6.0 } else { -6.0 })
+            .collect();
         // Erase 5% of bits entirely.
         for _ in 0..code.codeword_bits() / 20 {
             let idx = rng.gen_range(0..llrs.len());

@@ -87,7 +87,9 @@ pub fn encode(code: &QcLdpcCode, info: &[u8]) -> Result<Vec<u8>, EncodeError> {
 
 /// Generates a uniformly random information word (one bit per byte).
 pub fn random_info<R: rand::Rng + ?Sized>(code: &QcLdpcCode, rng: &mut R) -> Vec<u8> {
-    (0..code.info_bits()).map(|_| rng.gen_range(0..2u8)).collect()
+    (0..code.info_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect()
 }
 
 #[cfg(test)]

@@ -70,6 +70,7 @@ impl LayeredDecoder {
                 let mut min2 = f32::INFINITY;
                 let mut min1_edge = lo;
                 let mut sign_product = 1.0f32;
+                #[allow(clippy::needless_range_loop)] // e also feeds min1_edge
                 for e in lo..hi {
                     let b = graph.edge_bit(e);
                     let v = posterior[b] - c2v[e];
@@ -86,6 +87,7 @@ impl LayeredDecoder {
                     }
                 }
                 // New check-to-variable messages, applied immediately.
+                #[allow(clippy::needless_range_loop)] // e is compared to min1_edge
                 for e in lo..hi {
                     let b = graph.edge_bit(e);
                     let v_old = posterior[b] - c2v[e];

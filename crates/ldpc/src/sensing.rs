@@ -304,13 +304,7 @@ mod tests {
 
     #[test]
     fn from_measurements_interpolates() {
-        let points = [
-            (1e-3, 0u32),
-            (3e-3, 0),
-            (5e-3, 1),
-            (7e-3, 2),
-            (9e-3, 3),
-        ];
+        let points = [(1e-3, 0u32), (3e-3, 0), (5e-3, 1), (7e-3, 2), (9e-3, 3)];
         let sched = SensingSchedule::from_measurements(&points).unwrap();
         assert_eq!(sched.max_extra_levels(), 3);
         assert_eq!(sched.required_levels(3.5e-3), 0); // below (3e-3+5e-3)/2

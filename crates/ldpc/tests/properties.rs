@@ -1,8 +1,8 @@
 //! Property-based tests of the LDPC stack.
 
 use ldpc::{
-    encode, random_info, DecoderGraph, LayeredDecoder, MinSumDecoder, QcLdpcCode,
-    SensingSchedule, SoftSensingConfig,
+    encode, random_info, DecoderGraph, LayeredDecoder, MinSumDecoder, QcLdpcCode, SensingSchedule,
+    SoftSensingConfig,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};

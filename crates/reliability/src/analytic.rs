@@ -59,9 +59,8 @@ fn c2c_moments(model: &InterferenceModel, config: &LevelConfig) -> (f64, f64) {
     let g = &model.ratios;
     let n = &model.neighbors;
     let f = model.post_verify_fraction;
-    let agg_mean = mean
-        * (n.x as f64 * g.gamma_x + n.y as f64 * g.gamma_y + n.xy as f64 * g.gamma_xy)
-        * f;
+    let agg_mean =
+        mean * (n.x as f64 * g.gamma_x + n.y as f64 * g.gamma_y + n.xy as f64 * g.gamma_xy) * f;
     let agg_var = var
         * (n.x as f64 * g.gamma_x * g.gamma_x
             + n.y as f64 * g.gamma_y * g.gamma_y
@@ -355,7 +354,14 @@ mod tests {
         let program = ProgramModel::default();
         let mut prev = 0.0;
         for pe in [2000u32, 3000, 4000, 5000, 6000] {
-            let b = estimate(&cfg, &program, None, Some((&model, pe, Hours::weeks(1.0))), 2.0).ber;
+            let b = estimate(
+                &cfg,
+                &program,
+                None,
+                Some((&model, pe, Hours::weeks(1.0))),
+                2.0,
+            )
+            .ber;
             assert!(b >= prev, "BER must grow with wear");
             prev = b;
         }
@@ -366,7 +372,13 @@ mod tests {
         let cfg = LevelConfig::normal_mlc();
         let model = RetentionModel::paper();
         let program = ProgramModel::default();
-        let a = estimate(&cfg, &program, None, Some((&model, 6000, Hours::months(1.0))), 2.0);
+        let a = estimate(
+            &cfg,
+            &program,
+            None,
+            Some((&model, 6000, Hours::months(1.0))),
+            2.0,
+        );
         // Erased cells don't lose charge; their static Gaussian tail is the
         // only residual error and it is tiny next to retention errors.
         assert!(a.per_level[0] < a.per_level[3]);
@@ -418,8 +430,7 @@ mod tests {
         let model = RetentionModel::paper();
         let stress = Some((&model, 6000, Hours::months(1.0)));
         let t = transition_matrix(&cfg, &program, None, stress);
-        let cell_err: f64 =
-            (0..4).map(|i| 1.0 - t[i][i]).sum::<f64>() / 4.0;
+        let cell_err: f64 = (0..4).map(|i| 1.0 - t[i][i]).sum::<f64>() / 4.0;
         let est = estimate(&cfg, &program, None, stress, 2.0);
         assert!(
             (cell_err - est.cell_error_rate).abs() / est.cell_error_rate < 0.05,
@@ -475,8 +486,7 @@ mod tests {
             // Uniform level; lower-page bit = level < 2.
             let level = flash_model::VthLevel::new(rng.gen_range(0..4));
             let initial = program.program(&cfg, level, &mut rng);
-            let vth = initial
-                - model.sample_shift(initial, cfg.erased_mean(), pe, time, &mut rng);
+            let vth = initial - model.sample_shift(initial, cfg.erased_mean(), pe, time, &mut rng);
             let read_bit = vth < boundary;
             let true_bit = level.index() < 2;
             if read_bit != true_bit {

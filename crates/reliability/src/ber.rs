@@ -296,7 +296,9 @@ mod tests {
             400_000,
             7,
         );
-        let shares: Vec<f64> = (0..4).map(|i| report.error_share(VthLevel::new(i))).collect();
+        let shares: Vec<f64> = (0..4)
+            .map(|i| report.error_share(VthLevel::new(i)))
+            .collect();
         // The top level sits highest above x0 and loses charge fastest:
         // its share must dominate every other level's.
         assert!(
@@ -366,7 +368,8 @@ mod tests {
     fn merge_accumulates() {
         let cfg = LevelConfig::normal_mlc();
         let model = RetentionModel::paper();
-        let stress = StressConfig::retention_only(model, RetentionStress::new(5000, Hours::weeks(1.0)));
+        let stress =
+            StressConfig::retention_only(model, RetentionStress::new(5000, Hours::weeks(1.0)));
         let a = run(&cfg, stress, 50_000, 1);
         let b = run(&cfg, stress, 50_000, 2);
         let mut merged = a.clone();
@@ -398,9 +401,7 @@ mod tests {
             11,
         );
         assert!(report.cell_errors > 0);
-        let total: f64 = (0..4)
-            .map(|i| report.error_share(VthLevel::new(i)))
-            .sum();
+        let total: f64 = (0..4).map(|i| report.error_share(VthLevel::new(i))).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 }

@@ -213,12 +213,8 @@ mod tests {
         let program = ProgramModel::default();
         let mut rng = StdRng::seed_from_u64(10);
         // Worst case: every aggressor programmed to the top level.
-        let max_gain = cfg
-            .nominal_mean(cfg.top_level())
-            .unwrap()
-            .as_f64()
-            - cfg.erased_mean().as_f64()
-            + 1.0; // generous slack for noise
+        let max_gain =
+            cfg.nominal_mean(cfg.top_level()).unwrap().as_f64() - cfg.erased_mean().as_f64() + 1.0; // generous slack for noise
         let bound = model
             .ratios
             .aggregate(

@@ -47,6 +47,7 @@ pub mod ber;
 pub mod c2c;
 pub mod codec;
 pub mod math;
+pub mod mc;
 pub mod program;
 pub mod read_retry;
 pub mod retention;
@@ -57,8 +58,9 @@ pub use analytic::{page_ber, transition_matrix, AnalyticBer};
 pub use ber::{estimate_mlc_ber, BerReport, BerSimulation, StressConfig};
 pub use c2c::{CouplingRatios, InterferenceModel, NeighborCounts};
 pub use codec::{GrayMlcCodec, LevelProbeCodec, SymbolCodec, MAX_CELLS_PER_SYMBOL};
+pub use mc::{parallel_map, resolve_threads, McOptions, THREADS_ENV};
 pub use program::{ProgramModel, DEFAULT_PLACEMENT_SIGMA};
 pub use read_retry::{calibrated_ber, optimal_shift, shifted_config, RetryTable};
 pub use retention::{RetentionModel, RetentionStress};
-pub use sweep::{default_shards, run_sharded};
+pub use sweep::{default_shards, run_sharded, run_with_options};
 pub use uber::{EccConfig, PAPER_UBER_TARGET};

@@ -83,17 +83,7 @@ pub fn optimal_shift(
     age: Hours,
     max_shift: Volts,
 ) -> (Volts, f64) {
-    let f = |s: f64| {
-        ber_at_shift(
-            config,
-            program,
-            retention,
-            pe_cycles,
-            age,
-            Volts(s),
-            2.0,
-        )
-    };
+    let f = |s: f64| ber_at_shift(config, program, retention, pe_cycles, age, Volts(s), 2.0);
     let (mut lo, mut hi) = (0.0f64, max_shift.as_f64().max(0.0));
     const PHI: f64 = 0.618_033_988_749_894_8;
     let mut m1 = hi - PHI * (hi - lo);
@@ -211,7 +201,13 @@ mod tests {
         // sagged; a calibrated read must beat the nominal one clearly.
         let (cfg, program, retention) = setup();
         let nominal = ber_at_shift(
-            &cfg, &program, &retention, 6000, Hours::months(1.0), Volts::ZERO, 2.0,
+            &cfg,
+            &program,
+            &retention,
+            6000,
+            Hours::months(1.0),
+            Volts::ZERO,
+            2.0,
         );
         let calibrated = calibrated_ber(&cfg, &program, &retention, 6000, Hours::months(1.0));
         assert!(
@@ -225,21 +221,32 @@ mod tests {
         // The best uniform shift should track μd of the mid/high levels.
         let (cfg, program, retention) = setup();
         let (shift, ber) = optimal_shift(
-            &cfg, &program, &retention, 6000, Hours::months(1.0), Volts(0.15),
+            &cfg,
+            &program,
+            &retention,
+            6000,
+            Hours::months(1.0),
+            Volts(0.15),
         );
         let mu_top = retention
             .mu(Volts(3.7), Volts(1.1), 6000, Hours::months(1.0))
             .as_f64();
-        assert!(shift.as_f64() > 0.2 * mu_top, "shift {shift} vs μd {mu_top}");
-        assert!(shift.as_f64() < 2.5 * mu_top, "shift {shift} vs μd {mu_top}");
+        assert!(
+            shift.as_f64() > 0.2 * mu_top,
+            "shift {shift} vs μd {mu_top}"
+        );
+        assert!(
+            shift.as_f64() < 2.5 * mu_top,
+            "shift {shift} vs μd {mu_top}"
+        );
         assert!(ber < 1e-2);
     }
 
     #[test]
     fn fresh_data_needs_no_shift() {
         let (cfg, program, retention) = setup();
-        let (_, best_shift, _) = RetryTable::typical()
-            .best_entry(&cfg, &program, &retention, 2000, Hours(0.01));
+        let (_, best_shift, _) =
+            RetryTable::typical().best_entry(&cfg, &program, &retention, 2000, Hours(0.01));
         assert!(
             best_shift.as_f64() <= 0.011,
             "fresh data wants ~zero shift, got {best_shift}"
@@ -252,7 +259,10 @@ mod tests {
         let stress = (5000u32, Hours::weeks(1.0));
         let (_, cont) = optimal_shift(&cfg, &program, &retention, stress.0, stress.1, Volts(0.15));
         let disc = calibrated_ber(&cfg, &program, &retention, stress.0, stress.1);
-        assert!(cont <= disc * 1.01, "continuous {cont:.3e} vs table {disc:.3e}");
+        assert!(
+            cont <= disc * 1.01,
+            "continuous {cont:.3e} vs table {disc:.3e}"
+        );
     }
 
     #[test]

@@ -67,7 +67,13 @@ impl RetentionModel {
     pub fn mu(&self, x: Volts, x0: Volts, pe_cycles: u32, time: Hours) -> Volts {
         let height = (x - x0).as_f64().max(0.0);
         let n = pe_cycles as f64;
-        Volts(self.ks * height * self.kd * n.powf(0.4) * (1.0 + time.as_f64() / self.t0.as_f64()).ln())
+        Volts(
+            self.ks
+                * height
+                * self.kd
+                * n.powf(0.4)
+                * (1.0 + time.as_f64() / self.t0.as_f64()).ln(),
+        )
     }
 
     /// Variance `σd²` of the shift (same arguments as [`mu`](Self::mu)).
@@ -173,8 +179,10 @@ mod tests {
         let base = m.mu(X, X0, 2000, Hours::days(1.0));
         assert!(m.mu(X, X0, 6000, Hours::days(1.0)) > base, "more wear");
         assert!(m.mu(X, X0, 2000, Hours::months(1.0)) > base, "more time");
-        assert!(m.mu(X, X0, 2000, Hours::days(1.0)) > m.mu(Volts(2.8), X0, 2000, Hours::days(1.0)),
-            "higher level loses more");
+        assert!(
+            m.mu(X, X0, 2000, Hours::days(1.0)) > m.mu(Volts(2.8), X0, 2000, Hours::days(1.0)),
+            "higher level loses more"
+        );
         // Same monotonicity for the spread.
         assert!(m.sigma(X, X0, 6000, Hours::days(1.0)) > m.sigma(X, X0, 2000, Hours::days(1.0)));
     }
@@ -187,7 +195,10 @@ mod tests {
             m.sample_shift(X, X0, 0, Hours::days(1.0), &mut rng),
             Volts::ZERO
         );
-        assert_eq!(m.sample_shift(X, X0, 3000, Hours::ZERO, &mut rng), Volts::ZERO);
+        assert_eq!(
+            m.sample_shift(X, X0, 3000, Hours::ZERO, &mut rng),
+            Volts::ZERO
+        );
         // Erased cells (x <= x0) don't lose charge.
         assert_eq!(
             m.sample_shift(Volts(1.0), X0, 3000, Hours::days(1.0), &mut rng),
@@ -212,8 +223,14 @@ mod tests {
         let var = sum2 / n as f64 - mean * mean;
         let want_mu = m.mu(X, X0, pe, t).as_f64();
         let want_var = m.sigma_sq(X, X0, pe, t);
-        assert!((mean - want_mu).abs() / want_mu < 0.02, "mean {mean} vs {want_mu}");
-        assert!((var - want_var).abs() / want_var < 0.05, "var {var} vs {want_var}");
+        assert!(
+            (mean - want_mu).abs() / want_mu < 0.02,
+            "mean {mean} vs {want_mu}"
+        );
+        assert!(
+            (var - want_var).abs() / want_var < 0.05,
+            "var {var} vs {want_var}"
+        );
     }
 
     #[test]

@@ -1,24 +1,23 @@
-//! Parallel Monte-Carlo sharding.
+//! Sharded BER measurement on the deterministic Monte-Carlo engine.
 //!
 //! BER points at the paper's stress grid need 1e6–1e8 trials each to
 //! resolve rates near 1e-4 with tight confidence intervals. This module
-//! shards a [`BerSimulation`] across OS threads
-//! with crossbeam's scoped threads; every shard gets an independent,
-//! deterministic seed so results are reproducible regardless of thread
-//! scheduling.
+//! runs a [`BerSimulation`] through [`mc`](crate::mc): trials are split
+//! into machine-independent shards with counter-derived RNG streams and
+//! merged in shard order, so the measured BER is **bit-identical for any
+//! thread count** — 1 worker and 16 workers produce the same report.
 //!
 //! [`BerSimulation`]: crate::ber::BerSimulation
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use crate::ber::{BerReport, BerSimulation};
 use crate::codec::SymbolCodec;
+use crate::mc::{self, McOptions};
 
-/// Runs `total_symbols` trials split across `shards` threads.
+/// Runs `total_symbols` trials of `simulation` on up to `threads` worker
+/// threads (0 = auto: `FLEXLEVEL_THREADS`, then hardware parallelism).
 ///
-/// Shard `i` uses seed `base_seed + i`, so the merged result is a pure
-/// function of `(simulation, total_symbols, shards, base_seed)`.
+/// The result is a pure function of `(simulation, total_symbols,
+/// base_seed)`; `threads` affects only wall-clock time.
 ///
 /// ```no_run
 /// use flash_model::LevelConfig;
@@ -33,42 +32,43 @@ use crate::codec::SymbolCodec;
 pub fn run_sharded<C: SymbolCodec + Sync>(
     simulation: &BerSimulation<'_, C>,
     total_symbols: u64,
-    shards: u32,
+    threads: u32,
     base_seed: u64,
 ) -> BerReport {
-    let shards = shards.max(1);
-    let per_shard = total_symbols / shards as u64;
-    let remainder = total_symbols % shards as u64;
+    run_with_options(
+        simulation,
+        total_symbols,
+        base_seed,
+        &McOptions::default().with_threads(threads),
+    )
+}
 
-    let mut results: Vec<Option<BerReport>> = (0..shards).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (i, slot) in results.iter_mut().enumerate() {
-            let sim = &simulation;
-            scope.spawn(move |_| {
-                let n = per_shard + if (i as u64) < remainder { 1 } else { 0 };
-                let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(i as u64));
-                *slot = Some(sim.run(n, &mut rng));
-            });
-        }
-    })
-    .expect("BER shard thread panicked");
-
+/// [`run_sharded`] with explicit engine options. The shard-granularity
+/// knobs in `options` are part of the determinism contract: change them
+/// and the (equally valid) measurement comes from different streams.
+pub fn run_with_options<C: SymbolCodec + Sync>(
+    simulation: &BerSimulation<'_, C>,
+    total_symbols: u64,
+    base_seed: u64,
+    options: &McOptions,
+) -> BerReport {
+    let reports = mc::run_trials(total_symbols, base_seed, options, |_, trials, rng| {
+        simulation.run(trials, rng)
+    });
     let mut merged: Option<BerReport> = None;
-    for r in results.into_iter().flatten() {
+    for report in reports {
         match merged {
-            None => merged = Some(r),
-            Some(ref mut m) => m.merge(&r),
+            None => merged = Some(report),
+            Some(ref mut m) => m.merge(&report),
         }
     }
     merged.unwrap_or_default()
 }
 
-/// A sensible shard count for the current machine (one per core, capped).
+/// A sensible worker count for the current machine (one per core, capped;
+/// respects `FLEXLEVEL_THREADS`).
 pub fn default_shards() -> u32 {
-    std::thread::available_parallelism()
-        .map(|n| n.get() as u32)
-        .unwrap_or(4)
-        .min(32)
+    mc::resolve_threads(0)
 }
 
 #[cfg(test)]
@@ -114,7 +114,9 @@ mod tests {
     }
 
     #[test]
-    fn sharded_matches_expected_rate() {
+    fn thread_count_does_not_change_the_measurement() {
+        // The core engine contract, observed through the BER API: the
+        // report is bit-identical for every worker count.
         let cfg = LevelConfig::normal_mlc();
         let codec = GrayMlcCodec;
         let stress = StressConfig::retention_only(
@@ -122,18 +124,15 @@ mod tests {
             RetentionStress::new(6000, Hours::months(1.0)),
         );
         let sim = BerSimulation::new(&cfg, &codec, ProgramModel::default(), stress);
-        let few_shards = run_sharded(&sim, 200_000, 2, 5);
-        let many_shards = run_sharded(&sim, 200_000, 16, 5);
-        let r1 = few_shards.ber();
-        let r2 = many_shards.ber();
-        assert!(
-            (r1 - r2).abs() / r1 < 0.2,
-            "shard count must not bias the estimate: {r1} vs {r2}"
-        );
+        let serial = run_sharded(&sim, 200_000, 1, 5);
+        for threads in [2u32, 8, 16] {
+            assert_eq!(serial, run_sharded(&sim, 200_000, threads, 5));
+        }
+        assert_ne!(serial.bit_errors, 0, "stress must cause errors");
     }
 
     #[test]
-    fn zero_shards_clamped_to_one() {
+    fn zero_threads_resolves_to_auto() {
         let cfg = LevelConfig::normal_mlc();
         let codec = GrayMlcCodec;
         let sim = BerSimulation::new(
@@ -144,6 +143,7 @@ mod tests {
         );
         let report = run_sharded(&sim, 1000, 0, 1);
         assert_eq!(report.symbols, 1000);
+        assert_eq!(report, run_sharded(&sim, 1000, 5, 1));
     }
 
     #[test]

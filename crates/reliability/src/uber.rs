@@ -62,8 +62,7 @@ impl EccConfig {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn uber(&self, k: u64, p: f64) -> f64 {
-        binomial_survival(self.codeword_bits, k.min(self.codeword_bits), p)
-            / self.info_bits as f64
+        binomial_survival(self.codeword_bits, k.min(self.codeword_bits), p) / self.info_bits as f64
     }
 
     /// Smallest correctable-error budget `k` that meets `target_uber` at

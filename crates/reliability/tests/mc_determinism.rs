@@ -1,0 +1,139 @@
+//! Contract tests of the deterministic Monte-Carlo engine, exercised
+//! through the real BER workload rather than toy closures:
+//!
+//! 1. **Determinism** — the measurement is bit-identical for any worker
+//!    count (1, 2, 8), across several seeds.
+//! 2. **Statistics** — a Bernoulli stream with known p lands inside its
+//!    binomial confidence interval, so sharding does not bias sampling.
+//! 3. **Throughput** — the parallel path actually speeds the sweep up on
+//!    multi-core hosts (assertion gated on available parallelism, since
+//!    CI runners may expose a single core).
+
+use std::time::Instant;
+
+use flash_model::{Hours, LevelConfig};
+use rand::Rng;
+use reliability::mc::{self, McOptions};
+use reliability::{
+    run_sharded, BerSimulation, GrayMlcCodec, ProgramModel, RetentionModel, RetentionStress,
+    StressConfig,
+};
+
+// The simulation borrows its config and codec, so a helper function
+// cannot return one; a macro binds all three locals in the caller.
+macro_rules! make_sim {
+    ($cfg:ident, $codec:ident, $sim:ident) => {
+        let $cfg = LevelConfig::normal_mlc();
+        let $codec = GrayMlcCodec;
+        let $sim = BerSimulation::new(
+            &$cfg,
+            &$codec,
+            ProgramModel::default(),
+            StressConfig::retention_only(
+                RetentionModel::paper(),
+                RetentionStress::new(6000, Hours::months(1.0)),
+            ),
+        );
+    };
+}
+
+#[test]
+fn ber_measurement_identical_for_any_thread_count() {
+    make_sim!(cfg, codec, sim);
+    for seed in [11u64, 42, 20_26] {
+        let serial = run_sharded(&sim, 150_000, 1, seed);
+        assert_ne!(serial.bit_errors, 0, "stress must produce errors");
+        for threads in [2u32, 8] {
+            let parallel = run_sharded(&sim, 150_000, threads, seed);
+            assert_eq!(serial, parallel, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_independent_measurements() {
+    make_sim!(cfg, codec, sim);
+    let a = run_sharded(&sim, 150_000, 8, 1);
+    let b = run_sharded(&sim, 150_000, 8, 2);
+    assert_ne!(a, b);
+    // Independent streams of the same process still estimate the same
+    // rate: the two BERs agree within a loose factor.
+    assert!(a.ber() > 0.0 && b.ber() > 0.0);
+    assert!(a.ber() / b.ber() < 3.0 && b.ber() / a.ber() < 3.0);
+}
+
+#[test]
+fn bernoulli_stream_matches_known_probability() {
+    // 2M Bernoulli(0.05) trials sharded over the pool. The binomial
+    // standard deviation is sqrt(n·p·(1-p)) ≈ 308; accept ±6σ so the
+    // test fails only on real bias, with probability ~1e-9 by chance.
+    const N: u64 = 2_000_000;
+    const P: f64 = 0.05;
+    let options = McOptions::default().with_threads(4);
+    let successes: u64 = mc::run_trials(N, 9, &options, |_, trials, rng| {
+        (0..trials).filter(|_| rng.gen_bool(P)).count() as u64
+    })
+    .into_iter()
+    .sum();
+    let mean = N as f64 * P;
+    let sigma = (N as f64 * P * (1.0 - P)).sqrt();
+    let deviation = (successes as f64 - mean).abs();
+    assert!(
+        deviation < 6.0 * sigma,
+        "successes {successes} deviates {deviation:.0} (> 6σ = {:.0}) from {mean:.0}",
+        6.0 * sigma
+    );
+}
+
+#[test]
+fn uniform_sampling_is_unbiased_across_shards() {
+    // Mean of U(0,1000) per shard must hover around 500 in every shard —
+    // catches a broken per-shard seed (e.g. all-zero states).
+    let options = McOptions {
+        threads: 4,
+        min_shard_trials: 50_000,
+        max_shards: 8,
+    };
+    let means = mc::run_trials(400_000, 7, &options, |_, trials, rng| {
+        (0..trials).map(|_| rng.gen_range(0.0..1000.0)).sum::<f64>() / trials as f64
+    });
+    assert_eq!(means.len(), 8);
+    for (shard, mean) in means.iter().enumerate() {
+        assert!(
+            (480.0..520.0).contains(mean),
+            "shard {shard} mean {mean} off-center"
+        );
+    }
+}
+
+#[test]
+fn throughput_smoke() {
+    // The engine must not make the serial path slower than a plain loop
+    // by more than bookkeeping noise, and on multi-core hosts the pool
+    // must deliver real speedup. 400k symbols ≈ 1 s serial in debug.
+    make_sim!(cfg, codec, sim);
+    const SYMBOLS: u64 = 400_000;
+
+    let t0 = Instant::now();
+    let serial = run_sharded(&sim, SYMBOLS, 1, 3);
+    let serial_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let parallel = run_sharded(&sim, SYMBOLS, 0, 3);
+    let parallel_time = t1.elapsed();
+
+    assert_eq!(serial, parallel);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("mc throughput: serial {serial_time:?}, parallel {parallel_time:?} on {cores} cores");
+    if cores >= 4 {
+        // Generous bound (2x on 4+ cores would be ~1.33x of serial/1.5):
+        // the point is to catch a pool that serialises on a lock, not to
+        // benchmark precisely inside a noisy test.
+        assert!(
+            parallel_time.as_secs_f64() < serial_time.as_secs_f64() / 1.5,
+            "no speedup: serial {serial_time:?} vs parallel {parallel_time:?}"
+        );
+    }
+}

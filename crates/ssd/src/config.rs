@@ -90,6 +90,13 @@ pub struct SsdConfig {
     pub min_over_provisioning: f64,
     /// RNG seed for data ages.
     pub seed: u64,
+    /// Worker threads for *independent* sweeps built on this config
+    /// (trace × scheme fan-out, BER shards); `0` = auto, honouring the
+    /// `FLEXLEVEL_THREADS` environment variable. The event loop of a
+    /// single simulation instance is inherently serial and unaffected, as
+    /// are its results: the engine's determinism contract guarantees
+    /// thread count never changes any output.
+    pub threads: u32,
 }
 
 impl SsdConfig {
@@ -116,6 +123,7 @@ impl SsdConfig {
             max_data_age: Hours::months(1.0),
             min_over_provisioning: 0.04,
             seed: 42,
+            threads: 0,
         }
     }
 
@@ -146,6 +154,14 @@ impl SsdConfig {
         self.channels = channels.max(1);
         self
     }
+
+    /// Sets the worker-thread count for sweeps over this config
+    /// (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: u32) -> SsdConfig {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -168,8 +184,7 @@ mod tests {
         let cfg = SsdConfig::scaled(Scheme::FlexLevel, 512);
         assert_eq!(cfg.geometry.blocks(), 512);
         // Pool ≈ 25% of raw capacity (the paper's 64 GB of 256 GB).
-        let pool_fraction =
-            cfg.access_eval.pool_pages as f64 / cfg.geometry.total_pages() as f64;
+        let pool_fraction = cfg.access_eval.pool_pages as f64 / cfg.geometry.total_pages() as f64;
         assert!(
             (pool_fraction - 0.25).abs() < 0.01,
             "pool fraction {pool_fraction}"
@@ -182,9 +197,12 @@ mod tests {
         let cfg = SsdConfig::scaled(Scheme::Baseline, 64)
             .with_base_pe(4000)
             .with_max_age(Hours::weeks(1.0))
-            .with_seed(7);
+            .with_seed(7)
+            .with_threads(3);
         assert_eq!(cfg.base_pe_cycles, 4000);
         assert_eq!(cfg.max_data_age, Hours::weeks(1.0));
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(SsdConfig::scaled(Scheme::Baseline, 64).threads, 0);
     }
 }

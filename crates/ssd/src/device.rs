@@ -81,17 +81,15 @@ impl ReliabilityState {
     /// old (cached on a quantised grid).
     pub fn normal_ber(&mut self, pe_cycles: u32, age: Hours) -> f64 {
         let pe_bucket = pe_cycles / PE_BUCKET;
-        let age_bucket = ((age.as_f64() / self.max_age.as_f64().max(1e-9))
-            * AGE_BUCKETS as f64)
+        let age_bucket = ((age.as_f64() / self.max_age.as_f64().max(1e-9)) * AGE_BUCKETS as f64)
             .min(AGE_BUCKETS as f64) as u32;
         if let Some(&ber) = self.ber_cache.get(&(pe_bucket, age_bucket)) {
             return ber;
         }
         // Evaluate at the bucket centre.
         let pe = pe_bucket * PE_BUCKET + PE_BUCKET / 2;
-        let age_center = Hours(
-            (age_bucket as f64 + 0.5) / AGE_BUCKETS as f64 * self.max_age.as_f64(),
-        );
+        let age_center =
+            Hours((age_bucket as f64 + 0.5) / AGE_BUCKETS as f64 * self.max_age.as_f64());
         // Retention-only, matching how the paper derives Table 5 from
         // Table 4's retention BER: cell-to-cell interference acts at
         // program time and is compensated by read-reference calibration,
@@ -112,16 +110,14 @@ impl ReliabilityState {
     /// the same quantised grid as [`normal_ber`](Self::normal_ber)).
     pub fn reduced_ber(&mut self, pe_cycles: u32, age: Hours) -> f64 {
         let pe_bucket = pe_cycles / PE_BUCKET;
-        let age_bucket = ((age.as_f64() / self.max_age.as_f64().max(1e-9))
-            * AGE_BUCKETS as f64)
+        let age_bucket = ((age.as_f64() / self.max_age.as_f64().max(1e-9)) * AGE_BUCKETS as f64)
             .min(AGE_BUCKETS as f64) as u32;
         if let Some(&ber) = self.reduced_cache.get(&(pe_bucket, age_bucket)) {
             return ber;
         }
         let pe = pe_bucket * PE_BUCKET + PE_BUCKET / 2;
-        let age_center = Hours(
-            (age_bucket as f64 + 0.5) / AGE_BUCKETS as f64 * self.max_age.as_f64(),
-        );
+        let age_center =
+            Hours((age_bucket as f64 + 0.5) / AGE_BUCKETS as f64 * self.max_age.as_f64());
         let ber = analytic::estimate(
             &self.reduced_config,
             &self.program,
@@ -221,7 +217,11 @@ mod tests {
         let max = Hours::months(1.0).as_f64();
         assert!(resampled.iter().all(|&a| (0.0..=max).contains(&a)));
         // Triangular-toward-zero: mean ≈ max/3.
-        assert!((mean / max - 1.0 / 3.0).abs() < 0.08, "mean/max = {}", mean / max);
+        assert!(
+            (mean / max - 1.0 / 3.0).abs() < 0.08,
+            "mean/max = {}",
+            mean / max
+        );
     }
 
     #[test]
@@ -250,7 +250,10 @@ mod tests {
     fn baseline_needs_sensing_at_high_stress() {
         let mut s = state();
         let ber = s.normal_ber(6000, Hours::months(1.0));
-        assert!(ber > 4e-3, "worn baseline BER {ber} must exceed the trigger");
+        assert!(
+            ber > 4e-3,
+            "worn baseline BER {ber} must exceed the trigger"
+        );
     }
 
     #[test]
@@ -297,7 +300,11 @@ mod tests {
                 histogram[schedule.required_levels(exact) as usize] += 1;
             }
         }
-        assert_eq!(histogram, [10, 4, 2, 0, 3, 0, 1], "class sizes match Table 5");
+        assert_eq!(
+            histogram,
+            [10, 4, 2, 0, 3, 0, 1],
+            "class sizes match Table 5"
+        );
     }
 
     #[test]

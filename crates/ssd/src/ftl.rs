@@ -505,7 +505,10 @@ mod tests {
                 }
             }
         }
-        assert!(failed, "the device cannot store 73% of raw in 75%-density pages plus frontier overheads");
+        assert!(
+            failed,
+            "the device cannot store 73% of raw in 75%-density pages plus frontier overheads"
+        );
     }
 
     #[test]
@@ -519,7 +522,10 @@ mod tests {
         }
         let total = ftl.total_erases();
         let max_block = (0..16).map(|b| ftl.block_erases(BlockId(b))).max().unwrap();
-        assert!(total >= 16, "several blocks should have cycled, got {total}");
+        assert!(
+            total >= 16,
+            "several blocks should have cycled, got {total}"
+        );
         assert!(max_block >= 1);
     }
 

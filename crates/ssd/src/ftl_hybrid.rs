@@ -54,7 +54,8 @@ impl HybridFtl {
     /// blocks. Logical capacity is block-granular:
     /// `floor(logical_pages / pages_per_block)` logical blocks.
     pub fn new(geometry: DeviceGeometry, max_log_blocks: usize) -> HybridFtl {
-        let logical_blocks = (geometry.logical_pages() / geometry.pages_per_block() as u64) as usize;
+        let logical_blocks =
+            (geometry.logical_pages() / geometry.pages_per_block() as u64) as usize;
         HybridFtl {
             geometry,
             data_blocks: vec![None; logical_blocks],
@@ -125,9 +126,8 @@ impl HybridFtl {
             self.data_blocks[lb] = Some(block);
         }
         let data_block = self.data_blocks[lb].expect("assigned above");
-        let can_write_in_place = !had_log_copy
-            && !had_data_copy
-            && self.slot_never_programmed(data_block, lb, offset);
+        let can_write_in_place =
+            !had_log_copy && !had_data_copy && self.slot_never_programmed(data_block, lb, offset);
         if can_write_in_place {
             self.data_valid[lb][offset as usize] = true;
             cost.programs += 1;
@@ -136,8 +136,7 @@ impl HybridFtl {
 
         // Append to a log block.
         let (log_block, slot) = self.log_slot(&mut cost)?;
-        self.log_map
-            .insert(lpn, PhysicalPage::new(log_block, slot));
+        self.log_map.insert(lpn, PhysicalPage::new(log_block, slot));
         self.log_contents.entry(log_block).or_default().push(lpn);
         cost.programs += 1;
         Ok(cost)
@@ -287,7 +286,10 @@ mod tests {
         // 64 pages) absorbs 192 updates, then merges kick in.
         for round in 0..6 {
             for lpn in 0..64u64 {
-                cost.add(f.write(lpn).unwrap_or_else(|e| panic!("round {round}: {e}")));
+                cost.add(
+                    f.write(lpn)
+                        .unwrap_or_else(|e| panic!("round {round}: {e}")),
+                );
             }
         }
         assert!(cost.gc_runs > 0, "merges must have happened");
@@ -357,8 +359,7 @@ mod tests {
         for lpn in 0..f.logical_pages() {
             cost.add(f.write(lpn).unwrap());
         }
-        let rewrite_amplification =
-            cost.programs as f64 / f.logical_pages() as f64;
+        let rewrite_amplification = cost.programs as f64 / f.logical_pages() as f64;
         assert!(
             rewrite_amplification < 3.0,
             "sequential rewrite amplification {rewrite_amplification}"

@@ -84,8 +84,7 @@ impl SsdSimulator {
         let ftl = PageMapFtl::new(config.geometry, config.gc_low_watermark)
             .with_gc_policy(config.gc_policy);
         let buffer = WriteBuffer::new(config.buffer_pages);
-        let reliability =
-            ReliabilityState::new(config.nunma, config.max_data_age, config.seed);
+        let reliability = ReliabilityState::new(config.nunma, config.max_data_age, config.seed);
         let access_eval = match config.scheme {
             Scheme::FlexLevel => Some(AccessEvalController::new(config.access_eval)),
             _ => None,
@@ -99,10 +98,8 @@ impl SsdSimulator {
                 let logical = config.geometry.logical_pages() as f64;
                 let ppb = config.geometry.pages_per_block() as f64;
                 let headroom = (config.gc_low_watermark.max(4) + 2) as f64 * ppb;
-                let slack =
-                    total - logical * (1.0 + config.min_over_provisioning) - headroom;
-                ((slack / (ppb / 4.0)).floor().max(0.0) as u32)
-                    .min(config.geometry.blocks())
+                let slack = total - logical * (1.0 + config.min_over_provisioning) - headroom;
+                ((slack / (ppb / 4.0)).floor().max(0.0) as u32).min(config.geometry.blocks())
             }
             Scheme::FlexLevel => {
                 // The pool bound, in blocks of reduced pages.
@@ -506,7 +503,10 @@ mod tests {
     fn buffer_absorbs_rewrites() {
         let trace = small_trace(4_000, 500);
         let stats = run_scheme(Scheme::LdpcInSsd, &trace);
-        assert!(stats.buffer_read_hits > 0, "hot reads should hit the buffer");
+        assert!(
+            stats.buffer_read_hits > 0,
+            "hot reads should hit the buffer"
+        );
     }
 
     #[test]
@@ -587,8 +587,10 @@ mod tests {
         let stats = run_scheme(Scheme::FlexLevel, &trace);
         // Sensing histogram covers exactly the normal-page host reads.
         let histogram: u64 = stats.reads_by_sensing_level.iter().sum();
-        assert!(histogram + stats.reduced_reads + stats.buffer_read_hits >= stats.host_reads,
-            "every host read is a buffer hit, a reduced read, or a sensed read");
+        assert!(
+            histogram + stats.reduced_reads + stats.buffer_read_hits >= stats.host_reads,
+            "every host read is a buffer hit, a reduced read, or a sensed read"
+        );
         // GC relocations are included in flash programs.
         assert!(stats.flash_programs >= stats.gc_migrated_pages);
         // Erases equal GC runs in this FTL (one victim per run).

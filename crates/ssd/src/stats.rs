@@ -64,7 +64,8 @@ impl SimStats {
             self.read_response_us += response.as_f64();
         }
         self.max_response_us = self.max_response_us.max(response.as_f64());
-        if self.host_requests() % SAMPLE_STRIDE == 0 && self.response_samples.len() < MAX_SAMPLES
+        if self.host_requests().is_multiple_of(SAMPLE_STRIDE)
+            && self.response_samples.len() < MAX_SAMPLES
         {
             self.response_samples.push(response.as_f64());
         }

@@ -219,17 +219,18 @@ impl WorkloadSpec {
                     // Writes draw from a second scatter with probability
                     // (1 − read_write_overlap), giving read-hot pages that
                     // are not also write-hot (read/write asymmetry).
-                    let scatter = if op == IoOp::Write
-                        && rng.gen::<f64>() >= self.read_write_overlap
-                    {
-                        0xD1B5_4A32_D192_ED03
-                    } else {
-                        0x9E37_79B9_7F4A_7C15
-                    };
+                    let scatter =
+                        if op == IoOp::Write && rng.gen::<f64>() >= self.read_write_overlap {
+                            0xD1B5_4A32_D192_ED03
+                        } else {
+                            0x9E37_79B9_7F4A_7C15
+                        };
                     rank.wrapping_mul(scatter) % self.footprint_pages
                 }
             };
-            let pages = pages.min((self.footprint_pages - lpn).min(16) as u32).max(1);
+            let pages = pages
+                .min((self.footprint_pages - lpn).min(16) as u32)
+                .max(1);
             requests.push(IoRequest {
                 arrival_us: clock,
                 lpn,
@@ -270,7 +271,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(1);
             let trace = spec.generate(&mut rng);
             assert_eq!(trace.len(), 5_000);
-            trace.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            trace
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 
@@ -297,7 +300,10 @@ mod tests {
         for spec in [WorkloadSpec::web1(), WorkloadSpec::web2()] {
             assert!(spec.read_fraction >= 0.99);
         }
-        assert!(WorkloadSpec::prj1().read_fraction < 0.5, "prj-1 write-heavy");
+        assert!(
+            WorkloadSpec::prj1().read_fraction < 0.5,
+            "prj-1 write-heavy"
+        );
     }
 
     #[test]
@@ -373,8 +379,7 @@ mod tests {
         let spec = WorkloadSpec::prj1().with_requests(20_000);
         let mut rng = StdRng::seed_from_u64(6);
         let trace = spec.generate(&mut rng);
-        let mean =
-            trace.requests.iter().map(|r| r.pages as f64).sum::<f64>() / trace.len() as f64;
+        let mean = trace.requests.iter().map(|r| r.pages as f64).sum::<f64>() / trace.len() as f64;
         assert!(
             (mean - spec.mean_request_pages).abs() < 0.8,
             "mean request pages {mean} vs {}",

@@ -280,10 +280,7 @@ mod tests {
     fn validation_catches_unsorted() {
         let mut t = sample();
         t.requests[2].arrival_us = 5.0;
-        assert_eq!(
-            t.validate(),
-            Err(TraceError::UnsortedArrivals { index: 2 })
-        );
+        assert_eq!(t.validate(), Err(TraceError::UnsortedArrivals { index: 2 }));
     }
 
     #[test]

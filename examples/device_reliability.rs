@@ -10,9 +10,7 @@
 use flash_model::{Hours, LevelConfig, VthLevel};
 use flexlevel::{NunmaConfig, ReduceCode};
 use rand::{rngs::StdRng, SeedableRng};
-use reliability::{
-    BerSimulation, ProgramModel, RetentionModel, RetentionStress, StressConfig,
-};
+use reliability::{BerSimulation, ProgramModel, RetentionModel, RetentionStress, StressConfig};
 
 fn main() {
     let retention = RetentionModel::paper();
@@ -40,7 +38,10 @@ fn main() {
 
     // --- Retention BER of each NUNMA row vs the baseline ---------------
     println!("\nretention BER at representative stress points:\n");
-    println!("{:<22} {:>12} {:>12} {:>12}", "scheme", "3000/1w", "5000/1w", "6000/1mo");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "scheme", "3000/1w", "5000/1w", "6000/1mo"
+    );
     let points = [
         (3000u32, Hours::weeks(1.0)),
         (5000, Hours::weeks(1.0)),

@@ -6,8 +6,8 @@
 
 use flash_model::{Hours, LevelConfig};
 use ldpc::{
-    decode_success_rate, ChannelStress, DecoderGraph, MinSumDecoder, MlcReadChannel,
-    QcLdpcCode, SoftSensingConfig,
+    decode_success_rate, ChannelStress, DecoderGraph, MinSumDecoder, MlcReadChannel, QcLdpcCode,
+    SoftSensingConfig,
 };
 use rand::{rngs::StdRng, SeedableRng};
 

@@ -6,7 +6,7 @@
 //! Run: `cargo run --release -p bench --example page_programming`
 
 use bch::{BchCode, BchDecode};
-use flash_model::{Bit, MlcBlock, NormalPage, ReducedPage, WordlineLayout, CellMode};
+use flash_model::{Bit, CellMode, MlcBlock, NormalPage, ReducedPage, WordlineLayout};
 use flexlevel::ReducedWordline;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -78,9 +78,11 @@ fn main() {
     }
     match code.decode(&mut stored) {
         BchDecode::Corrected(positions) => {
-            println!("  BCH corrected {} bit errors -> sector intact: {}",
+            println!(
+                "  BCH corrected {} bit errors -> sector intact: {}",
                 positions.len(),
-                stored[..512] == sector[..]);
+                stored[..512] == sector[..]
+            );
         }
         other => println!("  unexpected decode outcome: {other:?}"),
     }

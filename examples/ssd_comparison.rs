@@ -9,8 +9,8 @@ use workloads::WorkloadSpec;
 
 fn main() {
     let specs = [
-        WorkloadSpec::fin2(),   // read-mostly OLTP
-        WorkloadSpec::prj1(),   // write-heavy project server
+        WorkloadSpec::fin2(), // read-mostly OLTP
+        WorkloadSpec::prj1(), // write-heavy project server
     ];
     for spec in specs {
         let spec = spec.with_requests(15_000).with_footprint(4_000);

@@ -85,11 +85,13 @@ fn flexlevel_gain_grows_with_wear() {
     let mut reductions = Vec::new();
     for pe in [4000u32, 6000] {
         let ldpc = {
-            let mut sim = SsdSimulator::new(SsdConfig::scaled(Scheme::LdpcInSsd, 64).with_base_pe(pe));
+            let mut sim =
+                SsdSimulator::new(SsdConfig::scaled(Scheme::LdpcInSsd, 64).with_base_pe(pe));
             sim.run(&trace).unwrap().mean_response().as_f64()
         };
         let flex = {
-            let mut sim = SsdSimulator::new(SsdConfig::scaled(Scheme::FlexLevel, 64).with_base_pe(pe));
+            let mut sim =
+                SsdSimulator::new(SsdConfig::scaled(Scheme::FlexLevel, 64).with_base_pe(pe));
             sim.run(&trace).unwrap().mean_response().as_f64()
         };
         reductions.push(1.0 - flex / ldpc);

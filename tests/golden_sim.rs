@@ -1,0 +1,159 @@
+//! Golden end-to-end regression: one pinned synthetic trace replayed
+//! through all four storage schemes, with the integer [`SimStats`]
+//! counters asserted exactly.
+//!
+//! The values below are a fingerprint of the whole stack — trace
+//! generation, write buffer, FTL mapping, GC victim selection,
+//! AccessEval migration and the deterministic RNG streams. Any change to
+//! any of those layers shows up here as an exact diff, not a statistical
+//! drift. If a deliberate behaviour change moves the counters, re-run
+//! with `--nocapture` and update the table from the printed rows (see
+//! TESTING.md).
+
+use rand::{rngs::StdRng, SeedableRng};
+use ssd::{Scheme, SimStats, SsdConfig, SsdSimulator};
+use workloads::{Trace, WorkloadSpec};
+
+/// Pinned counters for one scheme.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    scheme: Scheme,
+    host_reads: u64,
+    host_writes: u64,
+    buffer_read_hits: u64,
+    flash_reads: u64,
+    flash_programs: u64,
+    erases: u64,
+    gc_runs: u64,
+    gc_migrated_pages: u64,
+    promotions: u64,
+    demotions: u64,
+    reduced_reads: u64,
+}
+
+impl Golden {
+    fn capture(scheme: Scheme, stats: &SimStats) -> Golden {
+        Golden {
+            scheme,
+            host_reads: stats.host_reads,
+            host_writes: stats.host_writes,
+            buffer_read_hits: stats.buffer_read_hits,
+            flash_reads: stats.flash_reads,
+            flash_programs: stats.flash_programs,
+            erases: stats.erases,
+            gc_runs: stats.gc_runs,
+            gc_migrated_pages: stats.gc_migrated_pages,
+            promotions: stats.promotions,
+            demotions: stats.demotions,
+            reduced_reads: stats.reduced_reads,
+        }
+    }
+}
+
+/// The pinned workload: a small mixed read/write trace with a footprint
+/// that forces GC on the 64-block device. Every knob is explicit so the
+/// fixture cannot drift with suite defaults.
+fn golden_trace() -> Trace {
+    let config = SsdConfig::scaled(Scheme::Baseline, 64);
+    let footprint = config.geometry.logical_pages() * 7 / 10;
+    WorkloadSpec::prj1()
+        .with_requests(6_000)
+        .with_footprint(footprint)
+        .with_interarrival_scale(2.2)
+        .generate(&mut StdRng::seed_from_u64(0xF1E2))
+}
+
+fn run(scheme: Scheme, trace: &Trace) -> SimStats {
+    let config = SsdConfig::scaled(scheme, 64)
+        .with_base_pe(6000)
+        .with_seed(7);
+    let mut sim = SsdSimulator::new(config);
+    sim.run(trace)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", scheme.label()))
+        .clone()
+}
+
+#[test]
+fn golden_counters_for_all_schemes() {
+    let trace = golden_trace();
+    // Regenerate with `cargo test -p bench --test golden_sim -- --nocapture`.
+    let expected = [
+        Golden {
+            scheme: Scheme::Baseline,
+            host_reads: 2064,
+            host_writes: 3936,
+            buffer_read_hits: 137,
+            flash_reads: 12358,
+            flash_programs: 19725,
+            erases: 281,
+            gc_runs: 281,
+            gc_migrated_pages: 4424,
+            promotions: 0,
+            demotions: 0,
+            reduced_reads: 0,
+        },
+        Golden {
+            scheme: Scheme::LdpcInSsd,
+            host_reads: 2064,
+            host_writes: 3936,
+            buffer_read_hits: 137,
+            flash_reads: 12358,
+            flash_programs: 19725,
+            erases: 281,
+            gc_runs: 281,
+            gc_migrated_pages: 4424,
+            promotions: 0,
+            demotions: 0,
+            reduced_reads: 0,
+        },
+        Golden {
+            scheme: Scheme::LevelAdjustOnly,
+            host_reads: 2064,
+            host_writes: 3936,
+            buffer_read_hits: 137,
+            flash_reads: 18779,
+            flash_programs: 26146,
+            erases: 507,
+            gc_runs: 507,
+            gc_migrated_pages: 10845,
+            promotions: 0,
+            demotions: 0,
+            reduced_reads: 6423,
+        },
+        Golden {
+            scheme: Scheme::FlexLevel,
+            host_reads: 2064,
+            host_writes: 3936,
+            buffer_read_hits: 137,
+            flash_reads: 12941,
+            flash_programs: 20308,
+            erases: 299,
+            gc_runs: 299,
+            gc_migrated_pages: 4865,
+            promotions: 142,
+            demotions: 0,
+            reduced_reads: 677,
+        },
+    ];
+    for (want, scheme) in expected.iter().zip(Scheme::ALL) {
+        let stats = run(scheme, &trace);
+        let actual = Golden::capture(scheme, &stats);
+        println!("{actual:?},");
+        assert_eq!(
+            *want,
+            actual,
+            "{} drifted from the golden run",
+            scheme.label()
+        );
+    }
+}
+
+/// The pinned trace itself must stay frozen: request mix and page volume
+/// are part of the fixture, and a drift here explains any counter diff.
+#[test]
+fn golden_trace_fingerprint() {
+    let trace = golden_trace();
+    assert_eq!(trace.len(), 6_000);
+    let (read_pages, write_pages) = trace.page_counts();
+    assert_eq!((read_pages, write_pages), (8_071, 15_537));
+}

@@ -6,7 +6,7 @@ use flash_model::{Hours, LevelConfig, VthLevel};
 use flexlevel::{NunmaConfig, ReduceCode};
 use rand::{rngs::StdRng, SeedableRng};
 use reliability::{
-    BerSimulation, GrayMlcCodec, InterferenceModel, ProgramModel, RetentionModel,
+    run_sharded, BerSimulation, GrayMlcCodec, InterferenceModel, ProgramModel, RetentionModel,
     RetentionStress, StressConfig,
 };
 
@@ -63,7 +63,10 @@ fn retention_errors_concentrate_on_top_reduced_level() {
         l2 > 0.55,
         "level 2 must dominate retention errors (paper: 78%), got {l2:.2}"
     );
-    assert!(l1 > 0.01 && l1 < 0.45, "level 1 moderate share, got {l1:.2}");
+    assert!(
+        l1 > 0.01 && l1 < 0.45,
+        "level 1 moderate share, got {l1:.2}"
+    );
     assert!(l0 < 0.05, "erased level nearly error-free, got {l0:.2}");
 }
 
@@ -93,6 +96,10 @@ fn nunma_rows_strictly_ordered_through_codec() {
 
 /// Under C2C interference the ordering flips: higher verify voltages
 /// (NUNMA 3) leave less interference margin (Figure 5's second finding).
+///
+/// C2C error rates on reduced cells sit near 3e-5, so resolving the
+/// paper's +50 % gap needs millions of trials — this is a job for the
+/// sharded Monte-Carlo engine rather than a bare trial loop.
 #[test]
 fn c2c_ordering_reverses() {
     let codec = ReduceCode;
@@ -105,8 +112,7 @@ fn c2c_ordering_reverses() {
             ProgramModel::default(),
             StressConfig::c2c_only(InterferenceModel::default()),
         );
-        let mut rng = StdRng::seed_from_u64(4);
-        bers.push(sim.run(600_000, &mut rng).cell_error_rate());
+        bers.push(run_sharded(&sim, 6_000_000, 0, 4).cell_error_rate());
     }
     // NUNMA3's C2C error rate must exceed NUNMA1's (paper: +50%).
     assert!(
@@ -128,13 +134,11 @@ fn reduced_pair_beats_baseline_pair() {
 
     let baseline_cfg = LevelConfig::normal_mlc();
     let gray = GrayMlcCodec;
-    let baseline = BerSimulation::new(&baseline_cfg, &gray, program, stress)
-        .run(400_000, &mut rng);
+    let baseline = BerSimulation::new(&baseline_cfg, &gray, program, stress).run(400_000, &mut rng);
 
     let reduced_cfg = NunmaConfig::nunma3().level_config();
     let codec = ReduceCode;
-    let reduced = BerSimulation::new(&reduced_cfg, &codec, program, stress)
-        .run(400_000, &mut rng);
+    let reduced = BerSimulation::new(&reduced_cfg, &codec, program, stress).run(400_000, &mut rng);
 
     assert!(
         reduced.ber() * 5.0 < baseline.ber(),

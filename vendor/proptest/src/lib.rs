@@ -1,0 +1,532 @@
+//! Vendored mini property-testing harness with a proptest-compatible API.
+//!
+//! The build environment cannot reach crates.io, so this stub implements
+//! the subset of `proptest` the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, ...) { body }`);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`] and [`TestCaseError`];
+//! * range strategies for integers and floats, [`bool::ANY`], tuple
+//!   strategies, `prop::collection::{vec, hash_set}`, [`Just`], and a
+//!   tiny `"[a-z]{1,12}"`-style regex strategy for `&str` literals.
+//!
+//! Cases are generated deterministically (seeded by test name and case
+//! index), so failures reproduce across runs. `PROPTEST_CASES` overrides
+//! the default of 64 cases per property.
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated; the test fails.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; the case is retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: Debug;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (S0.0, S1.1),
+    (S0.0, S1.1, S2.2),
+    (S0.0, S1.1, S2.2, S3.3),
+    (S0.0, S1.1, S2.2, S3.3, S4.4),
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+);
+
+/// String-literal strategies: a tiny regex dialect supporting exactly
+/// `[<chars>]{min,max}` with `a-z`-style ranges (e.g. `"[a-z]{1,12}"`).
+/// Unsupported patterns fall back to short alphanumeric strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (chars, min, max) = parse_charclass_repeat(self).unwrap_or_else(|| {
+            (
+                "abcdefghijklmnopqrstuvwxyz0123456789".chars().collect(),
+                0,
+                8,
+            )
+        });
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+fn parse_charclass_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let rest = rest.strip_prefix('{')?;
+    let counts = rest.strip_suffix('}')?;
+    let (min, max) = counts.split_once(',')?;
+    let (min, max) = (min.trim().parse().ok()?, max.trim().parse().ok()?);
+    if min > max {
+        return None;
+    }
+    let mut chars = Vec::new();
+    let mut it = class.chars().peekable();
+    while let Some(c) = it.next() {
+        if it.peek() == Some(&'-') {
+            let mut look = it.clone();
+            look.next();
+            if let Some(&hi) = look.peek() {
+                it.next();
+                it.next();
+                for x in c..=hi {
+                    chars.push(x);
+                }
+                continue;
+            }
+        }
+        chars.push(c);
+    }
+    if chars.is_empty() {
+        None
+    } else {
+        Some((chars, min, max))
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive bounds on a generated collection's size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a size drawn from `size`.
+    /// If the element domain is too small to reach the drawn size, the
+    /// set is returned with as many distinct elements as were found.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = rng.gen_range(self.size.min..=self.size.max);
+            let mut set = HashSet::with_capacity(target);
+            for _ in 0..target.max(1) * 100 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Drives one property: generates cases until the configured number pass,
+/// panicking on the first failure. Called by the [`proptest!`] expansion.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> (Result<(), TestCaseError>, String),
+{
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let name_hash = fnv1a(name.as_bytes());
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut index = 0u64;
+    while accepted < cases {
+        let mut seed_state = name_hash ^ index;
+        let mut rng = StdRng::seed_from_u64(rand::splitmix64(&mut seed_state));
+        let (result, inputs) = case(&mut rng);
+        index += 1;
+        match result {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 4096,
+                    "[{name}] too many rejected cases (last: {why})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("[{name}] property failed at case #{index} with {inputs}: {msg}")
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// Defines deterministic property tests over sampled inputs.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+// The `#[test]` in the example is consumed by the macro; it is the
+// macro's real call syntax, not a doctest-local unit test.
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strategy), rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}  "),+),
+                    $(&$arg),+
+                );
+                #[allow(unreachable_code)]
+                let body =
+                    move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                (body(), inputs)
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError,
+    };
+
+    #[doc(inline)]
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, f in -1.0f64..1.0, b in prop::bool::ANY) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn vecs_and_sets_respect_sizes(
+            v in prop::collection::vec((0u64..32, prop::bool::ANY), 2..10),
+            s in prop::collection::hash_set(0usize..1000, 1..=4),
+        ) {
+            prop_assert!((2..10).contains(&v.len()));
+            prop_assert!((1..=4).contains(&s.len()));
+        }
+
+        #[test]
+        fn string_pattern_obeys_charclass(name in "[a-z]{1,12}") {
+            prop_assert!((1..=12).contains(&name.len()));
+            prop_assert!(name.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn assume_retries(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failures_panic_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases("always_fails", |rng| {
+                let x = crate::Strategy::sample(&(0u32..10), rng);
+                (
+                    Err(crate::TestCaseError::fail("boom")),
+                    format!("x = {x:?}"),
+                )
+            });
+        });
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("boom") && msg.contains("x ="), "msg: {msg}");
+    }
+
+    #[test]
+    fn same_name_same_cases() {
+        let mut first = Vec::new();
+        crate::run_cases("determinism_probe", |rng| {
+            first.push(crate::Strategy::sample(&(0u64..1_000_000), rng));
+            (Ok(()), String::new())
+        });
+        let mut second = Vec::new();
+        crate::run_cases("determinism_probe", |rng| {
+            second.push(crate::Strategy::sample(&(0u64..1_000_000), rng));
+            (Ok(()), String::new())
+        });
+        assert_eq!(first, second);
+    }
+}

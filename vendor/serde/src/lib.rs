@@ -1,0 +1,27 @@
+//! Vendored no-op stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations — nothing serializes at runtime yet, and the build
+//! environment cannot reach crates.io. This stub keeps the annotations
+//! compiling: the derive macros expand to nothing and blanket
+//! implementations make every type satisfy the traits if a bound ever
+//! asks for them. Swap back to real serde by restoring the registry
+//! dependency in the workspace `Cargo.toml`; no call sites change.
+
+#![warn(missing_docs)]
+
+/// Marker replacement for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker replacement for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker replacement for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stub.
+//!
+//! The stub `serde` crate provides blanket implementations of its marker
+//! traits, so these derives have nothing to emit — they only need to
+//! exist for `#[derive(Serialize, Deserialize)]` and `#[serde(...)]`
+//! attributes to parse.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the stub serde has a blanket `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the stub serde has a blanket `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
