@@ -1,0 +1,258 @@
+//! Decoder engine comparison: scalar f32 min-sum vs the quantized i8
+//! path, scalar and batched, on the paper's rate-8/9 code.
+//!
+//! Prints criterion-style timings and then writes a machine-readable
+//! `BENCH_decoder.json` (hand-formatted — the build has no serde_json)
+//! so the decoder's perf trajectory can be tracked PR over PR. The
+//! headline number is codewords/sec of the batched quantized decoder vs
+//! the scalar f32 baseline at a 2Xnm-grade BER.
+//!
+//! Env knobs: `BENCH_QUICK=1` shrinks the workload for CI smoke runs;
+//! `BENCH_DECODER_OUT` overrides the JSON path.
+//!
+//! Run: `cargo bench -p bench --bench decoder_batch`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use ldpc::{
+    encode, random_info, DecoderGraph, DecoderWorkspace, LlrQuantizer, MinSumDecoder, QcLdpcCode,
+    QuantizedMinSumDecoder,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Batch width of the batched path under test.
+const BATCH: usize = 16;
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// A workload: `frames` BSC-corrupted codewords of the paper code at flip
+/// probability `ber`, as f32 LLRs, quantized LLRs, and the quantized
+/// frames packed structure-of-arrays in groups of [`BATCH`].
+struct Workload {
+    label: &'static str,
+    ber: f64,
+    f32_frames: Vec<Vec<f32>>,
+    q_frames: Vec<Vec<i8>>,
+    q_batches: Vec<Vec<i8>>,
+}
+
+fn build_workload(code: &QcLdpcCode, label: &'static str, ber: f64, frames: usize) -> Workload {
+    let quantizer = LlrQuantizer::default();
+    let mut rng = StdRng::seed_from_u64(0xD0DE + ber.to_bits());
+    let n = code.codeword_bits();
+    let mut f32_frames = Vec::with_capacity(frames);
+    let mut q_frames = Vec::with_capacity(frames);
+    for _ in 0..frames {
+        let cw = encode(code, &random_info(code, &mut rng)).expect("valid info");
+        let llrs: Vec<f32> = cw
+            .iter()
+            .map(|&bit| {
+                let observed = bit ^ u8::from(rng.gen_bool(ber));
+                if observed == 0 {
+                    4.0
+                } else {
+                    -4.0
+                }
+            })
+            .collect();
+        q_frames.push(quantizer.quantize_table(&llrs));
+        f32_frames.push(llrs);
+    }
+    let q_batches = q_frames
+        .chunks(BATCH)
+        .map(|chunk| {
+            let mut soa = vec![0i8; n * chunk.len()];
+            for (lane, frame) in chunk.iter().enumerate() {
+                for (bit, &q) in frame.iter().enumerate() {
+                    soa[bit * chunk.len() + lane] = q;
+                }
+            }
+            soa
+        })
+        .collect();
+    Workload {
+        label,
+        ber,
+        f32_frames,
+        q_frames,
+        q_batches,
+    }
+}
+
+/// Wall-clock codewords/sec of `decode_all` over `reps` repetitions
+/// (best rep wins, to shave scheduler noise).
+fn throughput(frames: usize, reps: usize, mut decode_all: impl FnMut()) -> f64 {
+    decode_all(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        decode_all();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    frames as f64 / best
+}
+
+struct PointResult {
+    label: &'static str,
+    ber: f64,
+    scalar_f32_cps: f64,
+    quantized_scalar_cps: f64,
+    quantized_batch_cps: f64,
+}
+
+impl PointResult {
+    fn speedup_batch_vs_f32(&self) -> f64 {
+        self.quantized_batch_cps / self.scalar_f32_cps
+    }
+}
+
+fn measure_point(
+    code: &QcLdpcCode,
+    graph: &DecoderGraph,
+    w: &Workload,
+    reps: usize,
+) -> PointResult {
+    let f32_decoder = MinSumDecoder::new();
+    let q_decoder = QuantizedMinSumDecoder::new();
+    let mut ws = DecoderWorkspace::new();
+    let frames = w.f32_frames.len();
+    let scalar_f32_cps = throughput(frames, reps, || {
+        for llrs in &w.f32_frames {
+            std::hint::black_box(f32_decoder.decode_with(graph, llrs, &mut ws).iterations);
+        }
+    });
+    let quantized_scalar_cps = throughput(frames, reps, || {
+        for qllrs in &w.q_frames {
+            std::hint::black_box(q_decoder.decode(graph, qllrs, &mut ws).iterations);
+        }
+    });
+    let n = code.codeword_bits();
+    let quantized_batch_cps = throughput(frames, reps, || {
+        for soa in &w.q_batches {
+            let lanes = soa.len() / n;
+            let out = q_decoder.decode_batch(graph, soa, lanes, &mut ws);
+            std::hint::black_box(out.iterations(lanes - 1));
+        }
+    });
+    PointResult {
+        label: w.label,
+        ber: w.ber,
+        scalar_f32_cps,
+        quantized_scalar_cps,
+        quantized_batch_cps,
+    }
+}
+
+fn write_json(path: &str, quick: bool, code: &QcLdpcCode, results: &[PointResult]) {
+    let mut points = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            points.push_str(",\n");
+        }
+        points.push_str(&format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"ber\": {}, ",
+                "\"scalar_f32_cps\": {:.3}, \"quantized_scalar_cps\": {:.3}, ",
+                "\"quantized_batch_cps\": {:.3}, \"speedup_batch_vs_f32\": {:.3}}}"
+            ),
+            r.label,
+            r.ber,
+            r.scalar_f32_cps,
+            r.quantized_scalar_cps,
+            r.quantized_batch_cps,
+            r.speedup_batch_vs_f32()
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"decoder_batch\",\n",
+            "  \"quick\": {},\n",
+            "  \"code\": {{\"n\": {}, \"k\": {}}},\n",
+            "  \"batch\": {},\n",
+            "  \"points\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        quick,
+        code.codeword_bits(),
+        code.info_bits(),
+        BATCH,
+        points
+    );
+    std::fs::write(path, json).expect("write BENCH_decoder.json");
+    println!("\nwrote {path}");
+}
+
+fn bench_decoder_batch(c: &mut Criterion) {
+    let code = QcLdpcCode::paper_code();
+    let graph = DecoderGraph::cached(&code);
+    let (frames, reps, samples) = if quick_mode() { (16, 2, 3) } else { (32, 3, 5) };
+    let workloads = [
+        build_workload(&code, "clean", 0.0, frames),
+        build_workload(&code, "ber_8e-3", 8e-3, frames),
+    ];
+
+    // Criterion view: one timed sweep of all frames per engine per point.
+    let mut group = c.benchmark_group("decoder_batch");
+    group.sample_size(samples);
+    let f32_decoder = MinSumDecoder::new();
+    let q_decoder = QuantizedMinSumDecoder::new();
+    let mut ws = DecoderWorkspace::new();
+    let n = code.codeword_bits();
+    for w in &workloads {
+        group.bench_function(BenchmarkId::new("scalar_f32", w.label), |b| {
+            b.iter(|| {
+                for llrs in &w.f32_frames {
+                    std::hint::black_box(f32_decoder.decode_with(&graph, llrs, &mut ws).iterations);
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("quantized_scalar", w.label), |b| {
+            b.iter(|| {
+                for qllrs in &w.q_frames {
+                    std::hint::black_box(q_decoder.decode(&graph, qllrs, &mut ws).iterations);
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("quantized_batch16", w.label), |b| {
+            b.iter(|| {
+                for soa in &w.q_batches {
+                    let lanes = soa.len() / n;
+                    let out = q_decoder.decode_batch(&graph, soa, lanes, &mut ws);
+                    std::hint::black_box(out.iterations(lanes - 1));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // Machine-readable view.
+    let results: Vec<PointResult> = workloads
+        .iter()
+        .map(|w| measure_point(&code, &graph, w, reps))
+        .collect();
+    println!("\n== codewords/sec (best of {reps} reps over {frames} frames)");
+    for r in &results {
+        println!(
+            "{:>10}: scalar_f32 {:>9.1}  quantized_scalar {:>9.1}  quantized_batch{} {:>9.1}  (batch vs f32: {:.2}x)",
+            r.label,
+            r.scalar_f32_cps,
+            r.quantized_scalar_cps,
+            BATCH,
+            r.quantized_batch_cps,
+            r.speedup_batch_vs_f32()
+        );
+    }
+    let path =
+        std::env::var("BENCH_DECODER_OUT").unwrap_or_else(|_| "BENCH_decoder.json".to_string());
+    write_json(&path, quick_mode(), &code, &results);
+}
+
+criterion_group!(benches, bench_decoder_batch);
+
+fn main() {
+    benches();
+}

@@ -7,7 +7,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn bench_ldpc(c: &mut Criterion) {
     let code = QcLdpcCode::paper_code();
-    let graph = DecoderGraph::new(&code);
+    let graph = DecoderGraph::cached(&code);
     let decoder = MinSumDecoder::new();
     let mut rng = StdRng::seed_from_u64(1);
     let info = random_info(&code, &mut rng);

@@ -17,8 +17,8 @@
 use bch::{BchCode, BchDecode};
 use flash_model::{Hours, LevelConfig, NandTiming};
 use ldpc::{
-    decode_success_rate, ChannelStress, DecoderGraph, MinSumDecoder, MlcReadChannel, QcLdpcCode,
-    SoftSensingConfig,
+    decode_success_rate, ChannelStress, DecoderGraph, MinSumDecoder, MlcReadChannel, PageKind,
+    QcLdpcCode, SoftSensingConfig,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use reliability::{EccConfig, PAPER_UBER_TARGET};
@@ -99,13 +99,14 @@ fn main() {
     // Exhibit 3: LDPC with soft sensing at a 2Xnm-grade stress point.
     println!("\nreal rate-8/9 LDPC decoder at 6000 P/E, 1 month retention:");
     let ldpc_code = QcLdpcCode::paper_code();
-    let graph = DecoderGraph::new(&ldpc_code);
+    let graph = DecoderGraph::cached(&ldpc_code);
     let decoder = MinSumDecoder::new();
     let cfg = LevelConfig::normal_mlc();
     let timing = NandTiming::paper_mlc();
     for extra in [0u32, 4, 6] {
-        let channel = MlcReadChannel::build_lower_page(
+        let channel = MlcReadChannel::build_cached(
             &cfg,
+            PageKind::Lower,
             ChannelStress::retention(6000, Hours::months(1.0)),
             SoftSensingConfig::soft(extra),
             60_000,

@@ -16,7 +16,8 @@
 
 use flash_model::{Hours, LevelConfig};
 use ldpc::{
-    minimum_levels, ChannelStress, MinSumDecoder, MlcReadChannel, QcLdpcCode, SoftSensingConfig,
+    minimum_levels, ChannelStress, MinSumDecoder, MlcReadChannel, PageKind, QcLdpcCode,
+    SoftSensingConfig,
 };
 use rand::{rngs::StdRng, SeedableRng};
 use reliability::{
@@ -99,8 +100,9 @@ fn decoder_path() {
                 10,
                 1.0,
                 |extra| {
-                    MlcReadChannel::build_lower_page(
+                    MlcReadChannel::build_cached(
                         &config,
+                        PageKind::Lower,
                         ChannelStress::retention(pe, Hours(*hours)),
                         SoftSensingConfig::soft(extra),
                         60_000,

@@ -13,11 +13,16 @@
 //! levels {0, 1} carry bit 1, levels {2, 3} carry bit 0 (the Gray map of
 //! `flash_model::gray`), with one nominal boundary between levels 1 and 2.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use flash_model::{Hours, LevelConfig, Volts, VthLevel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use reliability::{InterferenceModel, ProgramModel, RetentionModel, RetentionStress};
+
+use crate::quantized::LlrQuantizer;
 
 /// Placement of soft sensing thresholds around the nominal boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -219,6 +224,49 @@ impl MlcReadChannel {
         channel
     }
 
+    /// A process-wide memoized [`build`](Self::build).
+    ///
+    /// Channel construction is dominated by the `2 × calibration_samples`
+    /// Monte-Carlo draws that calibrate the region LLR table; sweeps and
+    /// sensing ladders rebuild the *same* channel many times. This cache
+    /// keys on every build input — `(config, page, stress, soft,
+    /// calibration_samples, seed)` — so a hit returns the identical
+    /// calibrated table (construction is deterministic in the seed) and
+    /// the memoization is observationally pure.
+    ///
+    /// # Panics
+    ///
+    /// See [`build`](Self::build).
+    pub fn build_cached(
+        config: &LevelConfig,
+        page: PageKind,
+        stress: ChannelStress,
+        soft: SoftSensingConfig,
+        calibration_samples: u32,
+        seed: u64,
+    ) -> Arc<MlcReadChannel> {
+        type Cache = Mutex<HashMap<String, Arc<MlcReadChannel>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        // Every field of every input renders losslessly through Debug
+        // (f64 Debug prints a round-trip representation), so the string is
+        // a faithful composite key without requiring Hash on f64 fields.
+        let key = format!("{config:?}|{page:?}|{stress:?}|{soft:?}|{calibration_samples}|{seed}");
+        let mut map = CACHE
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("channel cache poisoned");
+        Arc::clone(map.entry(key).or_insert_with(|| {
+            Arc::new(MlcReadChannel::build(
+                config,
+                page,
+                stress,
+                soft,
+                calibration_samples,
+                seed,
+            ))
+        }))
+    }
+
     /// The nominal lower-page boundary voltage (the middle read
     /// reference). Upper-page channels have two boundaries; see
     /// [`hard_decision`](Self::hard_decision).
@@ -254,6 +302,13 @@ impl MlcReadChannel {
     /// Calibrated LLR of each sensing region.
     pub fn llr_table(&self) -> &[f32] {
         &self.llr_by_region
+    }
+
+    /// The region LLR table quantized for the fixed-point decoder: index
+    /// with a sensing region to get the `i8` channel LLR directly, with
+    /// no per-bit float math on the trial hot path.
+    pub fn quantized_llr_table(&self, quantizer: &LlrQuantizer) -> Vec<i8> {
+        quantizer.quantize_table(&self.llr_by_region)
     }
 
     /// Resolves an analog `Vth` to its sensing region (0 = below all
@@ -299,11 +354,19 @@ impl MlcReadChannel {
         vth
     }
 
+    /// Samples the sensing region observed for a stored `bit`: sample
+    /// `Vth`, sense it. Identical draw sequence to
+    /// [`sample_llr`](Self::sample_llr), but returns the region index so
+    /// callers can look it up in a (possibly quantized) LLR table.
+    pub fn sample_region<R: Rng + ?Sized>(&self, bit: u8, rng: &mut R) -> usize {
+        let vth = self.sample_vth(bit, rng);
+        self.sense(vth)
+    }
+
     /// Samples the channel LLR observed for a stored `bit`: sample `Vth`,
     /// sense it, look up the region LLR.
     pub fn sample_llr<R: Rng + ?Sized>(&self, bit: u8, rng: &mut R) -> f32 {
-        let vth = self.sample_vth(bit, rng);
-        self.llr_by_region[self.sense(vth)]
+        self.llr_by_region[self.sample_region(bit, rng)]
     }
 }
 
@@ -489,6 +552,48 @@ mod tests {
             upper.raw_ber(),
             lower.raw_ber()
         );
+    }
+
+    #[test]
+    fn cached_build_returns_shared_identical_channel() {
+        let cfg = LevelConfig::normal_mlc();
+        let stress = ChannelStress::retention(4000, Hours::days(2.0));
+        let soft = SoftSensingConfig::soft(2);
+        let a = MlcReadChannel::build_cached(&cfg, PageKind::Lower, stress, soft, 20_000, 9);
+        let b = MlcReadChannel::build_cached(&cfg, PageKind::Lower, stress, soft, 20_000, 9);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        // The cached channel matches a fresh deterministic build.
+        let fresh = MlcReadChannel::build(&cfg, PageKind::Lower, stress, soft, 20_000, 9);
+        assert_eq!(a.llr_table(), fresh.llr_table());
+        assert_eq!(a.raw_ber(), fresh.raw_ber());
+        // Any differing input is a different entry.
+        let c = MlcReadChannel::build_cached(&cfg, PageKind::Lower, stress, soft, 20_000, 10);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn quantized_table_tracks_f32_table() {
+        let ch = fresh_channel(4);
+        let q = LlrQuantizer::default();
+        let qt = ch.quantized_llr_table(&q);
+        assert_eq!(qt.len(), ch.llr_table().len());
+        for (&qv, &fv) in qt.iter().zip(ch.llr_table()) {
+            assert_eq!(qv, q.quantize(fv));
+        }
+    }
+
+    #[test]
+    fn sample_region_matches_sample_llr_draws() {
+        let ch = fresh_channel(4);
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        for bit in [0u8, 1] {
+            for _ in 0..200 {
+                let region = ch.sample_region(bit, &mut rng_a);
+                let llr = ch.sample_llr(bit, &mut rng_b);
+                assert_eq!(ch.llr_table()[region], llr);
+            }
+        }
     }
 
     #[test]

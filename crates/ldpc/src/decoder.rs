@@ -8,7 +8,11 @@
 //!
 //! LLR convention: **positive LLR ⇒ bit 0 more likely**.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::code::QcLdpcCode;
+use crate::quantized::DecoderWorkspace;
 
 /// Sparse Tanner-graph adjacency in CSR form, precomputed once per code.
 #[derive(Debug, Clone)]
@@ -16,10 +20,10 @@ pub struct DecoderGraph {
     n: usize,
     check_offsets: Vec<u32>,
     /// Bit index of each edge, grouped by check.
-    edge_bits: Vec<u32>,
+    pub(crate) edge_bits: Vec<u32>,
     bit_offsets: Vec<u32>,
     /// Edge indices (into `edge_bits` order), grouped by bit.
-    bit_edges: Vec<u32>,
+    pub(crate) bit_edges: Vec<u32>,
 }
 
 impl DecoderGraph {
@@ -100,6 +104,42 @@ impl DecoderGraph {
         self.edge_bits[e] as usize
     }
 
+    /// The half-open range `[lo, hi)` into the bit-grouped edge list of
+    /// bit `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= bit_count()`.
+    #[inline]
+    pub fn bit_edge_range(&self, b: usize) -> (usize, usize) {
+        (
+            self.bit_offsets[b] as usize,
+            self.bit_offsets[b + 1] as usize,
+        )
+    }
+
+    /// A process-wide memoized graph for `code`.
+    ///
+    /// Several bench binaries, tests and the sensing ladder rebuild the
+    /// same graph repeatedly (the paper code's has ~138k edges); this
+    /// cache builds it once per distinct code shape. The key is
+    /// `(Z, base_rows, info_cols)` — complete, because
+    /// [`QcLdpcCode::new`] derives the information shifts purely from
+    /// those three parameters.
+    pub fn cached(code: &QcLdpcCode) -> Arc<DecoderGraph> {
+        type Cache = Mutex<HashMap<(usize, usize, usize), Arc<DecoderGraph>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let key = (code.circulant_size(), code.base_rows(), code.info_cols());
+        let mut map = CACHE
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("decoder graph cache poisoned");
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(DecoderGraph::new(code))),
+        )
+    }
+
     /// `true` if the hard decision satisfies every parity check.
     pub fn syndrome_satisfied(&self, hard: &[u8]) -> bool {
         for c in 0..self.check_count() {
@@ -168,25 +208,46 @@ impl MinSumDecoder {
 
     /// Decodes `channel_llrs` (positive ⇒ bit 0) over `graph`.
     ///
+    /// Allocates fresh message buffers; hot loops should prefer
+    /// [`decode_with`](Self::decode_with) and a reused
+    /// [`DecoderWorkspace`].
+    ///
     /// # Panics
     ///
     /// Panics if `channel_llrs.len() != graph.bit_count()`.
     pub fn decode(&self, graph: &DecoderGraph, channel_llrs: &[f32]) -> DecodeOutcome {
+        self.decode_with(graph, channel_llrs, &mut DecoderWorkspace::new())
+    }
+
+    /// Decodes `channel_llrs` reusing `ws` for all message buffers: a warm
+    /// workspace makes the only remaining allocation the returned hard
+    /// decision. Numerically identical to [`decode`](Self::decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_llrs.len() != graph.bit_count()`.
+    pub fn decode_with(
+        &self,
+        graph: &DecoderGraph,
+        channel_llrs: &[f32],
+        ws: &mut DecoderWorkspace,
+    ) -> DecodeOutcome {
         assert_eq!(
             channel_llrs.len(),
             graph.bit_count(),
             "LLR length must match codeword length"
         );
         let edges = graph.edge_count();
+        ws.ensure_scalar_f32(edges, graph.bit_count());
+        let (v2c, c2v, total, hard) = ws.scalar_f32_buffers();
+        let (v2c, c2v) = (&mut v2c[..edges], &mut c2v[..edges]);
+        let total = &mut total[..graph.bit_count()];
+        let hard = &mut hard[..graph.bit_count()];
         // v2c initialised to channel values; c2v starts at zero.
-        let mut v2c: Vec<f32> = graph
-            .edge_bits
-            .iter()
-            .map(|&b| channel_llrs[b as usize])
-            .collect();
-        let mut c2v = vec![0.0f32; edges];
-        let mut total: Vec<f32> = channel_llrs.to_vec();
-        let mut hard = vec![0u8; graph.bit_count()];
+        for (v, &b) in v2c.iter_mut().zip(&graph.edge_bits) {
+            *v = channel_llrs[b as usize];
+        }
+        c2v.fill(0.0);
 
         let mut iterations = 0;
         for iter in 1..=self.max_iterations {
@@ -234,18 +295,18 @@ impl MinSumDecoder {
                     v2c[e as usize] = total[b] - c2v[e as usize];
                 }
             }
-            if graph.syndrome_satisfied(&hard) {
+            if graph.syndrome_satisfied(hard) {
                 return DecodeOutcome {
                     success: true,
                     iterations,
-                    hard_decision: hard,
+                    hard_decision: hard.to_vec(),
                 };
             }
         }
         DecodeOutcome {
             success: false,
             iterations,
-            hard_decision: hard,
+            hard_decision: hard.to_vec(),
         }
     }
 }
@@ -387,5 +448,51 @@ mod tests {
         let code = QcLdpcCode::small_test_code();
         let graph = DecoderGraph::new(&code);
         let _ = MinSumDecoder::new().decode(&graph, &[0.0; 3]);
+    }
+
+    #[test]
+    fn decode_with_matches_decode_exactly() {
+        let code = QcLdpcCode::small_test_code();
+        let graph = DecoderGraph::new(&code);
+        let decoder = MinSumDecoder::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ws = DecoderWorkspace::new();
+        for p in [0.0, 0.01, 0.04] {
+            let cw = encode(&code, &random_info(&code, &mut rng)).unwrap();
+            let llrs = bsc_llrs(&cw, p, 4.0, &mut rng);
+            let fresh = decoder.decode(&graph, &llrs);
+            let reused = decoder.decode_with(&graph, &llrs, &mut ws);
+            assert_eq!(fresh, reused, "p={p}");
+        }
+    }
+
+    #[test]
+    fn cached_graph_is_shared_and_correct() {
+        let code = QcLdpcCode::small_test_code();
+        let a = DecoderGraph::cached(&code);
+        let b = DecoderGraph::cached(&QcLdpcCode::small_test_code());
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(a.edge_count(), DecoderGraph::new(&code).edge_count());
+        // A different shape gets its own entry.
+        let other = QcLdpcCode::new(64, 4, 8).unwrap();
+        let c = DecoderGraph::cached(&other);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(c.bit_count(), other.codeword_bits());
+    }
+
+    #[test]
+    fn bit_edge_range_covers_all_edges() {
+        let code = QcLdpcCode::small_test_code();
+        let graph = DecoderGraph::new(&code);
+        let mut seen = 0;
+        for b in 0..graph.bit_count() {
+            let (lo, hi) = graph.bit_edge_range(b);
+            assert!(lo <= hi);
+            for &e in &graph.bit_edges[lo..hi] {
+                assert_eq!(graph.edge_bit(e as usize), b);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, graph.edge_count());
     }
 }

@@ -10,6 +10,9 @@
 use flash_model::{Micros, NandTiming};
 use serde::{Deserialize, Serialize};
 
+use crate::decoder::DecodeOutcome;
+use crate::sensing::FerMeasurement;
+
 /// Latency model for LDPC-protected reads.
 ///
 /// ```
@@ -69,6 +72,96 @@ impl ReadLatencyModel {
     /// [`typical_iterations`](Self::typical_iterations).
     pub fn read_latency_at_ber(&self, extra_levels: u32, ber: f64) -> Micros {
         self.read_latency(extra_levels, self.typical_iterations(ber))
+    }
+
+    /// Latency of a read whose decode produced `outcome`: charges the
+    /// iterations the decoder *actually* executed, so an early-converging
+    /// decode is no longer billed the worst-case iteration count.
+    pub fn read_latency_for_outcome(&self, extra_levels: u32, outcome: &DecodeOutcome) -> Micros {
+        self.read_latency(extra_levels, outcome.iterations)
+    }
+
+    /// Convenience: latency at `extra_levels` with the mean measured
+    /// iteration count of `profile` at that depth.
+    pub fn read_latency_measured(&self, extra_levels: u32, profile: &IterationProfile) -> Micros {
+        self.read_latency(extra_levels, profile.iterations(extra_levels))
+    }
+}
+
+/// Mean decoder iterations-to-converge, measured per sensing depth.
+///
+/// Indexed by extra sensing levels (0 through [`SLOTS`](Self::SLOTS)`-1`;
+/// deeper reads saturate at the last slot). Built from a measured FER
+/// ladder via [`from_ladder`](Self::from_ladder), it replaces the
+/// [`typical_iterations`](ReadLatencyModel::typical_iterations) heuristic
+/// with what the real decoder did — early convergence on clean frames
+/// included.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationProfile {
+    mean: [f64; IterationProfile::SLOTS],
+}
+
+impl IterationProfile {
+    /// Number of sensing depths tracked: levels 0..=7, covering the
+    /// paper's 0–6 extra-level range with headroom.
+    pub const SLOTS: usize = 8;
+
+    /// Builds a profile from per-depth mean iteration counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mean is not finite or is below 1 (every decode runs
+    /// at least one iteration).
+    pub fn new(mean: [f64; IterationProfile::SLOTS]) -> IterationProfile {
+        for (level, &m) in mean.iter().enumerate() {
+            assert!(
+                m.is_finite() && m >= 1.0,
+                "mean iterations at level {level} must be ≥ 1, got {m}"
+            );
+        }
+        IterationProfile { mean }
+    }
+
+    /// Builds a profile from a measured sensing ladder (the output of
+    /// [`minimum_levels`](crate::sensing::minimum_levels)): each rung's
+    /// mean iteration count fills its level slot, and unmeasured depths
+    /// inherit the nearest shallower measurement. Returns `None` on an
+    /// empty ladder.
+    pub fn from_ladder(ladder: &[FerMeasurement]) -> Option<IterationProfile> {
+        if ladder.is_empty() {
+            return None;
+        }
+        let mut mean = [f64::NAN; IterationProfile::SLOTS];
+        for m in ladder {
+            let slot = (m.extra_levels as usize).min(IterationProfile::SLOTS - 1);
+            mean[slot] = m.mean_iterations.max(1.0);
+        }
+        // Fill gaps forward from the nearest shallower rung, then any
+        // leading gap backward from the first measured one.
+        let first = mean
+            .iter()
+            .position(|m| m.is_finite())
+            .expect("non-empty ladder has a measured rung");
+        for slot in 0..first {
+            mean[slot] = mean[first];
+        }
+        for slot in first + 1..IterationProfile::SLOTS {
+            if !mean[slot].is_finite() {
+                mean[slot] = mean[slot - 1];
+            }
+        }
+        Some(IterationProfile::new(mean))
+    }
+
+    /// Mean iterations at `extra_levels` (saturating at the last slot).
+    pub fn mean_iterations(&self, extra_levels: u32) -> f64 {
+        self.mean[(extra_levels as usize).min(IterationProfile::SLOTS - 1)]
+    }
+
+    /// Integer iteration count at `extra_levels`: the rounded mean,
+    /// clamped to the decoder's 1..=30 range.
+    pub fn iterations(&self, extra_levels: u32) -> u32 {
+        self.mean_iterations(extra_levels).round().clamp(1.0, 30.0) as u32
     }
 }
 
@@ -132,5 +225,56 @@ mod tests {
     fn read_latency_at_ber_grows_with_ber() {
         let m = ReadLatencyModel::paper_mlc();
         assert!(m.read_latency_at_ber(0, 1e-2) > m.read_latency_at_ber(0, 1e-4));
+    }
+
+    #[test]
+    fn outcome_latency_charges_actual_iterations() {
+        let m = ReadLatencyModel::paper_mlc();
+        let outcome = DecodeOutcome {
+            success: true,
+            iterations: 3,
+            hard_decision: vec![],
+        };
+        assert_eq!(
+            m.read_latency_for_outcome(0, &outcome),
+            m.read_latency(0, 3)
+        );
+        // An early-converging decode beats the worst-case assumption.
+        assert!(m.read_latency_for_outcome(0, &outcome) < m.read_latency(0, 30));
+    }
+
+    #[test]
+    fn iteration_profile_lookup_saturates() {
+        let p = IterationProfile::new([2.0, 2.4, 3.6, 5.0, 8.0, 12.0, 18.0, 25.0]);
+        assert_eq!(p.iterations(0), 2);
+        assert_eq!(p.iterations(1), 2); // 2.4 rounds down
+        assert_eq!(p.iterations(2), 4); // 3.6 rounds up
+        assert_eq!(p.iterations(7), 25);
+        assert_eq!(p.iterations(40), 25); // saturates at the last slot
+        let m = ReadLatencyModel::paper_mlc();
+        assert_eq!(m.read_latency_measured(2, &p), m.read_latency(2, 4));
+    }
+
+    #[test]
+    fn iteration_profile_from_ladder_fills_gaps() {
+        let rung = |extra_levels, mean_iterations| FerMeasurement {
+            extra_levels,
+            success_rate: 1.0,
+            mean_iterations,
+            raw_ber: 1e-3,
+        };
+        let p = IterationProfile::from_ladder(&[rung(1, 4.2), rung(3, 9.8)]).unwrap();
+        assert_eq!(p.iterations(0), 4); // leading gap inherits level 1
+        assert_eq!(p.iterations(1), 4);
+        assert_eq!(p.iterations(2), 4); // gap inherits shallower rung
+        assert_eq!(p.iterations(3), 10);
+        assert_eq!(p.iterations(7), 10); // trailing gaps inherit deepest
+        assert_eq!(IterationProfile::from_ladder(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn iteration_profile_rejects_sub_one_means() {
+        let _ = IterationProfile::new([0.5; IterationProfile::SLOTS]);
     }
 }

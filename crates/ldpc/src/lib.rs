@@ -11,6 +11,11 @@
 //!   structure;
 //! * [`MinSumDecoder`] — normalized min-sum flooding decoder with early
 //!   termination;
+//! * [`QuantizedMinSumDecoder`] — the same decoder in 6-bit fixed point
+//!   with a structure-of-arrays
+//!   [`decode_batch`](quantized::QuantizedMinSumDecoder::decode_batch)
+//!   path and a zero-allocation [`DecoderWorkspace`] — the Monte-Carlo
+//!   hot path (see [`measure_fer`]);
 //! * [`MlcReadChannel`] — the lower-page MLC read channel: soft sensing
 //!   thresholds, Monte-Carlo-calibrated region LLRs, built directly on the
 //!   `reliability` crate's noise models;
@@ -51,12 +56,17 @@ pub mod decoder;
 pub mod encoder;
 pub mod latency;
 pub mod layered;
+pub mod quantized;
 pub mod sensing;
 
 pub use channel::{ChannelStress, MlcReadChannel, PageKind, SoftSensingConfig};
 pub use code::{CodeError, QcLdpcCode};
 pub use decoder::{DecodeOutcome, DecoderGraph, MinSumDecoder};
 pub use encoder::{encode, random_info, EncodeError};
-pub use latency::ReadLatencyModel;
+pub use latency::{IterationProfile, ReadLatencyModel};
 pub use layered::LayeredDecoder;
-pub use sensing::{decode_success_rate, minimum_levels, FerMeasurement, SensingSchedule};
+pub use quantized::{BatchOutcome, DecoderWorkspace, LlrQuantizer, QuantizedMinSumDecoder, Q_MAX};
+pub use sensing::{
+    decode_success_rate, measure_fer, minimum_levels, FerMeasurement, FerStats, SensingSchedule,
+    FER_BATCH,
+};

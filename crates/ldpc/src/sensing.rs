@@ -13,12 +13,16 @@
 //!   Table 4 → Table 5 mapping (first extra level triggered at BER
 //!   4 × 10⁻³, §6.1) and can be re-derived from the measured path.
 
+use std::sync::Arc;
+
+use reliability::mc::{self, McOptions};
 use serde::{Deserialize, Serialize};
 
 use crate::channel::MlcReadChannel;
 use crate::code::QcLdpcCode;
 use crate::decoder::{DecoderGraph, MinSumDecoder};
 use crate::encoder::{encode, random_info};
+use crate::quantized::{DecoderWorkspace, LlrQuantizer, QuantizedMinSumDecoder};
 
 /// Outcome of a frame-error-rate measurement at one sensing precision.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,13 +48,17 @@ pub fn decode_success_rate<R: rand::Rng + ?Sized>(
     rng: &mut R,
 ) -> (f64, f64) {
     assert!(trials > 0, "need at least one trial");
+    let mut ws = DecoderWorkspace::new();
+    let mut llrs = vec![0.0f32; code.codeword_bits()];
     let mut successes = 0u32;
     let mut iterations = 0u64;
     for _ in 0..trials {
         let info = random_info(code, rng);
         let cw = encode(code, &info).expect("random info has the right length");
-        let llrs: Vec<f32> = cw.iter().map(|&b| channel.sample_llr(b, rng)).collect();
-        let out = decoder.decode(graph, &llrs);
+        for (llr, &b) in llrs.iter_mut().zip(&cw) {
+            *llr = channel.sample_llr(b, rng);
+        }
+        let out = decoder.decode_with(graph, &llrs, &mut ws);
         iterations += u64::from(out.iterations);
         if out.success && out.info_bits(code) == &info[..] {
             successes += 1;
@@ -62,12 +70,116 @@ pub fn decode_success_rate<R: rand::Rng + ?Sized>(
     )
 }
 
+/// Batch width of [`measure_fer`]. Fixed — like the MC engine's shard
+/// layout, it is part of the determinism contract: trials within a shard
+/// decode in groups of this size, in order, so results are independent of
+/// the thread count but would change under a different batch width.
+pub const FER_BATCH: usize = 8;
+
+/// Aggregate outcome of a [`measure_fer`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FerStats {
+    /// Total frames decoded.
+    pub trials: u64,
+    /// Frames that failed to decode to the transmitted codeword.
+    pub frame_errors: u64,
+    /// Decoder iterations summed over all frames.
+    pub total_iterations: u64,
+}
+
+impl FerStats {
+    /// Frame error rate.
+    pub fn fer(&self) -> f64 {
+        self.frame_errors as f64 / self.trials as f64
+    }
+
+    /// Fraction of frames decoded successfully.
+    pub fn success_rate(&self) -> f64 {
+        1.0 - self.fer()
+    }
+
+    /// Mean decoder iterations per frame.
+    pub fn mean_iterations(&self) -> f64 {
+        self.total_iterations as f64 / self.trials as f64
+    }
+}
+
+/// Measures the quantized batch decoder's frame error rate over `trials`
+/// random codewords through `channel`, sharded across the deterministic
+/// MC engine.
+///
+/// Each shard owns one [`DecoderWorkspace`] and decodes its trials in
+/// fixed-order batches of [`FER_BATCH`] lanes, so the result is
+/// bit-identical for every thread count (the PR 1 contract) while the
+/// graph is traversed once per iteration for the whole batch.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn measure_fer(
+    code: &QcLdpcCode,
+    decoder: &QuantizedMinSumDecoder,
+    channel: &MlcReadChannel,
+    quantizer: &LlrQuantizer,
+    trials: u64,
+    seed: u64,
+    options: &McOptions,
+) -> FerStats {
+    assert!(trials > 0, "need at least one trial");
+    let graph = DecoderGraph::cached(code);
+    let table = channel.quantized_llr_table(quantizer);
+    let n = code.codeword_bits();
+    let shards = mc::run_trials(trials, seed, options, |_, shard_trials, rng| {
+        let mut ws = DecoderWorkspace::new();
+        let mut qllrs = vec![0i8; n * FER_BATCH];
+        let mut sent = vec![0u8; n * FER_BATCH];
+        let mut errors = 0u64;
+        let mut iterations = 0u64;
+        let mut remaining = shard_trials;
+        while remaining > 0 {
+            let lanes = remaining.min(FER_BATCH as u64) as usize;
+            for lane in 0..lanes {
+                let info = random_info(code, rng);
+                let cw = encode(code, &info).expect("random info has the right length");
+                for (bit, &b) in cw.iter().enumerate() {
+                    let region = channel.sample_region(b, rng);
+                    qllrs[bit * lanes + lane] = table[region];
+                    sent[bit * lanes + lane] = b;
+                }
+            }
+            let out = decoder.decode_batch(&graph, &qllrs[..n * lanes], lanes, &mut ws);
+            for lane in 0..lanes {
+                iterations += u64::from(out.iterations(lane));
+                let ok = out.success(lane)
+                    && (0..n).all(|bit| out.hard_bit(lane, bit) == sent[bit * lanes + lane]);
+                if !ok {
+                    errors += 1;
+                }
+            }
+            remaining -= lanes as u64;
+        }
+        (errors, iterations)
+    });
+    let mut stats = FerStats {
+        trials,
+        frame_errors: 0,
+        total_iterations: 0,
+    };
+    for (errors, iterations) in shards {
+        stats.frame_errors += errors;
+        stats.total_iterations += iterations;
+    }
+    stats
+}
+
 /// Finds the minimum number of extra sensing levels (0..=`max_levels`)
 /// at which the decoder reaches `target_success` over `trials` frames.
 ///
 /// Returns the full measurement ladder; the first entry meeting the target
 /// is the answer (callers may also inspect the whole curve). The channel
-/// is rebuilt per precision via `make_channel(extra_levels)`.
+/// is obtained per precision via `make_channel(extra_levels)` —
+/// typically [`MlcReadChannel::build_cached`], so repeated ladders over
+/// the same stress grid reuse calibrations.
 pub fn minimum_levels<F, R>(
     code: &QcLdpcCode,
     decoder: &MinSumDecoder,
@@ -78,10 +190,10 @@ pub fn minimum_levels<F, R>(
     rng: &mut R,
 ) -> Vec<FerMeasurement>
 where
-    F: FnMut(u32) -> MlcReadChannel,
+    F: FnMut(u32) -> Arc<MlcReadChannel>,
     R: rand::Rng + ?Sized,
 {
-    let graph = DecoderGraph::new(code);
+    let graph = DecoderGraph::cached(code);
     let mut ladder = Vec::new();
     for extra in 0..=max_levels {
         let channel = make_channel(extra);
@@ -333,8 +445,9 @@ mod tests {
             40,
             0.99,
             |extra| {
-                MlcReadChannel::build_lower_page(
+                MlcReadChannel::build_cached(
                     &cfg,
+                    crate::channel::PageKind::Lower,
                     ChannelStress::retention(6000, Hours::weeks(1.0)),
                     SoftSensingConfig::soft(extra),
                     20_000,
@@ -352,5 +465,38 @@ mod tests {
                 "ladder regressed: {ladder:?}"
             );
         }
+    }
+
+    #[test]
+    fn measure_fer_counts_and_iterations_are_sane() {
+        let code = QcLdpcCode::small_test_code();
+        let channel = MlcReadChannel::build_cached(
+            &LevelConfig::normal_mlc(),
+            crate::channel::PageKind::Lower,
+            ChannelStress::retention(5000, Hours::weeks(1.0)),
+            SoftSensingConfig::soft(4),
+            20_000,
+            31,
+        );
+        let opts = mc::McOptions {
+            min_shard_trials: 32,
+            ..mc::McOptions::default()
+        };
+        let stats = measure_fer(
+            &code,
+            &QuantizedMinSumDecoder::new(),
+            &channel,
+            &LlrQuantizer::default(),
+            100,
+            17,
+            &opts,
+        );
+        assert_eq!(stats.trials, 100);
+        assert!(stats.frame_errors <= stats.trials);
+        // Every frame executes at least one iteration.
+        assert!(stats.total_iterations >= stats.trials);
+        assert!((0.0..=1.0).contains(&stats.fer()));
+        assert!((stats.success_rate() + stats.fer() - 1.0).abs() < 1e-12);
+        assert!(stats.mean_iterations() >= 1.0);
     }
 }

@@ -1,0 +1,197 @@
+//! Parity contract between the quantized i8 decode path and the f32
+//! reference decoder:
+//!
+//! 1. **Exactness on easy frames** — on clean and lightly corrupted
+//!    codewords the two engines must both decode to the transmitted
+//!    word (property-based, many seeds).
+//! 2. **FER parity at 2Xnm BER** — at raw BER 1e-2 the quantized
+//!    decoder's frame error rate must statistically match the f32
+//!    decoder's: the paired success-count difference stays inside a 6σ
+//!    binomial bound, the same style of bound the MC determinism suite
+//!    uses. This is the proxy for "≤ 0.1 dB-equivalent loss": a 0.1 dB
+//!    penalty at this operating point would shift the FER by far more
+//!    than 6σ of the discordant-pair noise.
+//! 3. **Thread-count determinism** — [`ldpc::measure_fer`] is
+//!    bit-identical for 1, 2 and 8 workers (the PR 1 contract extended
+//!    to the batch decoder).
+
+use flash_model::{Hours, LevelConfig};
+use ldpc::{
+    encode, measure_fer, random_info, ChannelStress, DecoderGraph, DecoderWorkspace, LlrQuantizer,
+    MinSumDecoder, MlcReadChannel, PageKind, QcLdpcCode, QuantizedMinSumDecoder, SoftSensingConfig,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use reliability::mc::McOptions;
+
+/// Hard-decision LLR magnitude used by the BSC workloads here (matches
+/// the decode benchmarks).
+const LLR_MAG: f32 = 4.0;
+
+proptest! {
+    /// On a clean codeword both engines converge to the transmitted word.
+    #[test]
+    fn both_engines_decode_clean_frames(seed in 0u64..200) {
+        let code = QcLdpcCode::small_test_code();
+        let graph = DecoderGraph::cached(&code);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cw = encode(&code, &random_info(&code, &mut rng)).unwrap();
+        let llrs: Vec<f32> = cw
+            .iter()
+            .map(|&b| if b == 0 { LLR_MAG } else { -LLR_MAG })
+            .collect();
+        let qllrs = LlrQuantizer::default().quantize_table(&llrs);
+
+        let mut ws = DecoderWorkspace::new();
+        let f = MinSumDecoder::new().decode_with(&graph, &llrs, &mut ws);
+        let q = QuantizedMinSumDecoder::new().decode(&graph, &qllrs, &mut ws);
+        prop_assert!(f.success && q.success);
+        prop_assert_eq!(&f.hard_decision, &cw);
+        prop_assert_eq!(&q.hard_decision, &cw);
+        prop_assert_eq!(f.iterations, q.iterations);
+    }
+
+    /// Light BSC noise (well inside the code's correction radius): both
+    /// engines must recover the transmitted codeword — quantization may
+    /// not lose frames the f32 decoder handles easily.
+    #[test]
+    fn both_engines_correct_light_noise(seed in 0u64..150, flips in 1usize..7) {
+        let code = QcLdpcCode::small_test_code();
+        let graph = DecoderGraph::cached(&code);
+        let mut rng = StdRng::seed_from_u64(0x5EED ^ seed);
+        let cw = encode(&code, &random_info(&code, &mut rng)).unwrap();
+        let mut llrs: Vec<f32> = cw
+            .iter()
+            .map(|&b| if b == 0 { LLR_MAG } else { -LLR_MAG })
+            .collect();
+        for _ in 0..flips {
+            let i = rng.gen_range(0..llrs.len());
+            llrs[i] = -llrs[i];
+        }
+        let qllrs = LlrQuantizer::default().quantize_table(&llrs);
+
+        let mut ws = DecoderWorkspace::new();
+        let f = MinSumDecoder::new().decode_with(&graph, &llrs, &mut ws);
+        let q = QuantizedMinSumDecoder::new().decode(&graph, &qllrs, &mut ws);
+        prop_assert!(f.success, "f32 decoder lost an easy frame (seed {})", seed);
+        prop_assert!(q.success, "quantized decoder lost an easy frame (seed {})", seed);
+        prop_assert_eq!(&f.hard_decision, &cw);
+        prop_assert_eq!(&q.hard_decision, &cw);
+    }
+}
+
+/// Paired FER comparison at raw BER 1e-2 (the 2Xnm operating point of
+/// the paper's motivation). Each frame is decoded by both engines from
+/// the same corrupted LLRs; the success-count difference is bounded by
+/// 6σ of the discordant pairs, so the test fails only on a systematic
+/// quantization penalty (≥ ~2% absolute FER shift at this sample size),
+/// not Monte-Carlo noise.
+#[test]
+fn fer_parity_at_2xnm_ber() {
+    const FRAMES: u64 = 800;
+    const P: f64 = 1e-2;
+    let code = QcLdpcCode::small_test_code();
+    let graph = DecoderGraph::cached(&code);
+    let f32_decoder = MinSumDecoder::new();
+    let q_decoder = QuantizedMinSumDecoder::new();
+    let quantizer = LlrQuantizer::default();
+    let mut ws = DecoderWorkspace::new();
+    let mut rng = StdRng::seed_from_u64(0xFE2);
+
+    let (mut f32_ok, mut q_ok, mut discordant) = (0u64, 0u64, 0u64);
+    for _ in 0..FRAMES {
+        let cw = encode(&code, &random_info(&code, &mut rng)).unwrap();
+        let llrs: Vec<f32> = cw
+            .iter()
+            .map(|&b| {
+                let observed = b ^ u8::from(rng.gen_bool(P));
+                if observed == 0 {
+                    LLR_MAG
+                } else {
+                    -LLR_MAG
+                }
+            })
+            .collect();
+        let qllrs = quantizer.quantize_table(&llrs);
+        let f = f32_decoder.decode_with(&graph, &llrs, &mut ws);
+        let q = q_decoder.decode(&graph, &qllrs, &mut ws);
+        let f_good = f.success && f.hard_decision == cw;
+        let q_good = q.success && q.hard_decision == cw;
+        f32_ok += u64::from(f_good);
+        q_ok += u64::from(q_good);
+        discordant += u64::from(f_good != q_good);
+    }
+
+    let f32_fer = 1.0 - f32_ok as f64 / FRAMES as f64;
+    let q_fer = 1.0 - q_ok as f64 / FRAMES as f64;
+    eprintln!(
+        "FER parity over {FRAMES} frames at p = {P}: \
+         f32 {f32_fer:.4}, quantized {q_fer:.4}, {discordant} discordant"
+    );
+    // Both engines must actually be stressed: neither perfect nor dead.
+    assert!(f32_ok > 0 && q_ok > 0, "channel too harsh for the test");
+    assert!(
+        f32_ok < FRAMES || q_ok < FRAMES,
+        "channel too clean to measure FER parity"
+    );
+    // Paired 6σ bound: each discordant frame shifts the difference by
+    // ±1, so under parity |f32_ok − q_ok| concentrates within
+    // 6·sqrt(discordant).
+    let sigma = (discordant.max(1) as f64).sqrt();
+    let diff = (f32_ok as f64 - q_ok as f64).abs();
+    assert!(
+        diff <= 6.0 * sigma,
+        "quantized FER diverges from f32: |Δ successes| = {diff} > 6σ = {:.1} \
+         (f32 FER {f32_fer:.4}, quantized FER {q_fer:.4})",
+        6.0 * sigma
+    );
+}
+
+/// The batched FER measurement is bit-identical for any worker count
+/// and distinguishes seeds — `measure_fer` inherits the MC engine's
+/// determinism contract.
+#[test]
+fn measure_fer_identical_for_any_thread_count() {
+    let code = QcLdpcCode::small_test_code();
+    let decoder = QuantizedMinSumDecoder::new();
+    let quantizer = LlrQuantizer::default();
+    let channel = MlcReadChannel::build_cached(
+        &LevelConfig::normal_mlc(),
+        PageKind::Lower,
+        ChannelStress::retention(6000, Hours::months(1.0)),
+        SoftSensingConfig::hard_decision(),
+        20_000,
+        77,
+    );
+    let base = McOptions {
+        min_shard_trials: 32,
+        ..McOptions::default()
+    };
+    let mut per_seed = Vec::new();
+    for seed in [5u64, 29] {
+        let serial = measure_fer(
+            &code,
+            &decoder,
+            &channel,
+            &quantizer,
+            240,
+            seed,
+            &base.with_threads(1),
+        );
+        assert_ne!(serial.frame_errors, 0, "stress must produce frame errors");
+        for threads in [2u32, 8] {
+            let parallel = measure_fer(
+                &code,
+                &decoder,
+                &channel,
+                &quantizer,
+                240,
+                seed,
+                &base.with_threads(threads),
+            );
+            assert_eq!(serial, parallel, "seed {seed}, {threads} threads");
+        }
+        per_seed.push(serial);
+    }
+    assert_ne!(per_seed[0], per_seed[1], "seeds must matter");
+}

@@ -7,7 +7,7 @@
 
 use flash_model::{DeviceGeometry, Hours};
 use flexlevel::{AccessEvalConfig, NunmaScheme};
-use ldpc::{ReadLatencyModel, SensingSchedule};
+use ldpc::{IterationProfile, ReadLatencyModel, SensingSchedule};
 use serde::{Deserialize, Serialize};
 
 use crate::ftl::GcPolicy;
@@ -64,6 +64,13 @@ pub struct SsdConfig {
     pub latency: ReadLatencyModel,
     /// Raw-BER → extra-sensing-levels schedule.
     pub schedule: SensingSchedule,
+    /// Measured per-sensing-depth decoder iteration counts (e.g. from
+    /// [`IterationProfile::from_ladder`] over a `minimum_levels` run).
+    /// When set, per-read decode latency charges the measured mean
+    /// iterations at the read's sensing depth instead of the
+    /// `typical_iterations` BER heuristic. `None` (the default) keeps the
+    /// heuristic.
+    pub measured_iterations: Option<IterationProfile>,
     /// Storage scheme under test.
     pub scheme: Scheme,
     /// NUNMA configuration used by reduced-state pages.
@@ -111,6 +118,7 @@ impl SsdConfig {
             geometry,
             latency: ReadLatencyModel::paper_mlc(),
             schedule: crate::device::derived_schedule(),
+            measured_iterations: None,
             scheme,
             nunma: NunmaScheme::Nunma3,
             access_eval: AccessEvalConfig::paper(geometry.page_bytes() as u64)
@@ -162,6 +170,14 @@ impl SsdConfig {
         self.threads = threads;
         self
     }
+
+    /// Installs a measured iteration profile; per-read decode latency then
+    /// uses it instead of the BER heuristic.
+    #[must_use]
+    pub fn with_measured_iterations(mut self, profile: IterationProfile) -> SsdConfig {
+        self.measured_iterations = Some(profile);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +220,14 @@ mod tests {
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.threads, 3);
         assert_eq!(SsdConfig::scaled(Scheme::Baseline, 64).threads, 0);
+    }
+
+    #[test]
+    fn measured_iterations_defaults_off() {
+        let cfg = SsdConfig::scaled(Scheme::FlexLevel, 64);
+        assert_eq!(cfg.measured_iterations, None);
+        let profile = IterationProfile::new([2.0; IterationProfile::SLOTS]);
+        let cfg = cfg.with_measured_iterations(profile);
+        assert_eq!(cfg.measured_iterations, Some(profile));
     }
 }

@@ -283,17 +283,27 @@ impl SsdSimulator {
         Ok((latency, background))
     }
 
+    /// Expected decoder iterations for a read sensed with `levels` extra
+    /// levels at raw BER `ber`: the measured profile when one is
+    /// configured, otherwise the `typical_iterations` heuristic.
+    fn decode_iterations(&self, levels: u32, ber: f64) -> u32 {
+        match &self.config.measured_iterations {
+            Some(profile) => profile.iterations(levels),
+            None => self.config.latency.typical_iterations(ber),
+        }
+    }
+
     /// Scheme-specific latency of a normal-page read needing `required`
     /// extra sensing levels at raw BER `ber`.
     fn normal_read_latency(&mut self, required: u32, ber: f64) -> Micros {
-        let latency = &self.config.latency;
         match self.config.scheme {
             Scheme::Baseline => {
                 // No optimisation: the controller provisions sensing for
                 // the worst-case data it might hold at this wear level.
                 let worst = self.reliability.worst_case_ber(self.config.base_pe_cycles);
                 let levels = self.config.schedule.required_levels(worst);
-                latency.read_latency(levels, latency.typical_iterations(ber))
+                let iterations = self.decode_iterations(levels, ber);
+                self.config.latency.read_latency(levels, iterations)
             }
             _ => {
                 // Progressive sensing (LDPC-in-SSD and the normal-page
@@ -302,7 +312,8 @@ impl SsdSimulator {
                 // transfer accumulate to the same total as a one-shot
                 // read at `required` levels; each failed attempt also
                 // pays a decode pass.
-                let iterations = latency.typical_iterations(ber);
+                let iterations = self.decode_iterations(required, ber);
+                let latency = &self.config.latency;
                 let one_shot = latency.read_latency(required, iterations);
                 let wasted_decodes =
                     latency.decode_base + latency.decode_per_iteration * iterations as f64;
@@ -439,6 +450,29 @@ mod tests {
             sim.run(&trace),
             Err(SimError::FootprintTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn measured_iterations_profile_changes_read_latency() {
+        // A profile pinning every depth at the minimum iteration count
+        // must make reads cheaper than the BER heuristic (which charges
+        // ≥ 2 iterations and grows with BER); the default (None) keeps
+        // the heuristic byte-for-byte (covered by the golden test).
+        use ldpc::IterationProfile;
+        let trace = small_trace(3_000, 2_000);
+        let heuristic = run_scheme(Scheme::LdpcInSsd, &trace).mean_response();
+        let fast_profile = IterationProfile::new([1.0; IterationProfile::SLOTS]);
+        let config =
+            SsdConfig::scaled(Scheme::LdpcInSsd, 64).with_measured_iterations(fast_profile);
+        let mut sim = SsdSimulator::new(config);
+        let measured = sim
+            .run(&trace)
+            .expect("simulation completes")
+            .mean_response();
+        assert!(
+            measured < heuristic,
+            "single-iteration profile {measured} must beat heuristic {heuristic}"
+        );
     }
 
     #[test]

@@ -2,12 +2,16 @@
 //! hard-decision sensing and recover as soft levels are added — the
 //! mechanism behind Table 5 and the entire FlexLevel premise.
 //!
+//! The last column prices each rung with the *measured* mean iteration
+//! count (not the worst-case assumption), via
+//! `ReadLatencyModel::read_latency`.
+//!
 //! Run: `cargo run --release -p bench --example ldpc_sensing`
 
 use flash_model::{Hours, LevelConfig};
 use ldpc::{
-    decode_success_rate, ChannelStress, DecoderGraph, MinSumDecoder, MlcReadChannel, QcLdpcCode,
-    SoftSensingConfig,
+    decode_success_rate, ChannelStress, DecoderGraph, MinSumDecoder, MlcReadChannel, PageKind,
+    QcLdpcCode, ReadLatencyModel, SoftSensingConfig,
 };
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -19,9 +23,10 @@ fn main() {
         code.codeword_bits(),
         code.info_bits()
     );
-    let graph = DecoderGraph::new(&code);
+    let graph = DecoderGraph::cached(&code);
     let decoder = MinSumDecoder::new();
     let config = LevelConfig::normal_mlc();
+    let latency = ReadLatencyModel::paper_mlc();
     let mut rng = StdRng::seed_from_u64(3);
 
     for (pe, time, label) in [
@@ -31,12 +36,13 @@ fn main() {
     ] {
         println!("\nstress: {label}");
         println!(
-            "{:>12} {:>12} {:>10} {:>12}",
-            "extra lvls", "raw BER", "success", "mean iters"
+            "{:>12} {:>12} {:>10} {:>12} {:>12}",
+            "extra lvls", "raw BER", "success", "mean iters", "read cost"
         );
         for extra in 0..=6u32 {
-            let channel = MlcReadChannel::build_lower_page(
+            let channel = MlcReadChannel::build_cached(
                 &config,
+                PageKind::Lower,
                 ChannelStress::retention(pe, time),
                 SoftSensingConfig::soft(extra),
                 60_000,
@@ -44,12 +50,14 @@ fn main() {
             );
             let (success, iters) =
                 decode_success_rate(&code, &graph, &decoder, &channel, 10, &mut rng);
+            let measured = latency.read_latency(extra, (iters.round() as u32).clamp(1, 30));
             println!(
-                "{:>12} {:>12.3e} {:>9.0}% {:>12.1}",
+                "{:>12} {:>12.3e} {:>9.0}% {:>12.1} {:>12}",
                 extra,
                 channel.raw_ber(),
                 success * 100.0,
-                iters
+                iters,
+                measured
             );
             if success == 1.0 && extra > 0 {
                 println!("{:>12}", "(decodes; higher levels only add margin)");
