@@ -1,0 +1,156 @@
+//! Timing-model comparison: lumped single-queue replay vs the pipelined
+//! discrete-event model, as host requests/sec of the full simulator.
+//!
+//! Two numbers per workload: *simulator* throughput (wall-clock req/sec
+//! of the replay loop — the cost of the event machinery itself) and
+//! *modelled* throughput (`SimStats::throughput_rps`, requests per
+//! simulated second — what the extra die/decoder parallelism buys the
+//! modelled device). Prints criterion-style timings, then writes a
+//! machine-readable `BENCH_sim.json` (hand-formatted — the build has no
+//! serde_json) so both trajectories can be tracked PR over PR.
+//!
+//! Env knobs: `BENCH_QUICK=1` shrinks the workload for CI smoke runs;
+//! `BENCH_SIM_OUT` overrides the JSON path.
+//!
+//! Run: `cargo bench -p bench --bench sim_timing`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use ssd::{Scheme, SimStats, SsdConfig, SsdSimulator, TimingModel};
+use workloads::{Trace, WorkloadSpec};
+
+const BLOCKS: u32 = 64;
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// A read-heavy trace with tight inter-arrivals, so the modelled device
+/// saturates and die-level parallelism is the bottleneck resource.
+fn bench_trace(requests: u64) -> Trace {
+    let config = SsdConfig::scaled(Scheme::Baseline, BLOCKS);
+    let footprint = config.geometry.logical_pages() / 2;
+    WorkloadSpec::web1()
+        .with_requests(requests)
+        .with_footprint(footprint)
+        .with_interarrival_scale(0.05)
+        .generate(&mut StdRng::seed_from_u64(0xB00C))
+}
+
+fn config_for(model: TimingModel) -> SsdConfig {
+    SsdConfig::scaled(Scheme::FlexLevel, BLOCKS)
+        .with_base_pe(6000)
+        .with_seed(7)
+        .with_timing_model(model)
+        .with_dies_per_channel(4)
+        .with_decoder_slots(2)
+}
+
+fn run_model(model: TimingModel, trace: &Trace) -> SimStats {
+    let mut sim = SsdSimulator::new(config_for(model));
+    sim.run(trace).expect("trace fits the device").clone()
+}
+
+struct ModelResult {
+    model: TimingModel,
+    /// Wall-clock host requests simulated per second (replay speed).
+    sim_rps: f64,
+    /// Modelled device throughput, requests per simulated second.
+    modelled_rps: f64,
+    makespan_us: f64,
+}
+
+/// Best-of-`reps` wall-clock replay speed plus the modelled throughput.
+fn measure(model: TimingModel, trace: &Trace, reps: usize) -> ModelResult {
+    let stats = run_model(model, trace); // warmup + modelled numbers
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(run_model(model, trace));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    ModelResult {
+        model,
+        sim_rps: trace.len() as f64 / best,
+        modelled_rps: stats.throughput_rps(),
+        makespan_us: stats.makespan_us,
+    }
+}
+
+fn write_json(path: &str, quick: bool, requests: u64, results: &[ModelResult]) {
+    let mut points = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            points.push_str(",\n");
+        }
+        points.push_str(&format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"sim_rps\": {:.3}, ",
+                "\"modelled_rps\": {:.3}, \"makespan_us\": {:.3}}}"
+            ),
+            r.model.label(),
+            r.sim_rps,
+            r.modelled_rps,
+            r.makespan_us
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sim_timing\",\n",
+            "  \"quick\": {},\n",
+            "  \"requests\": {},\n",
+            "  \"blocks\": {},\n",
+            "  \"points\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        quick, requests, BLOCKS, points
+    );
+    std::fs::write(path, json).expect("write BENCH_sim.json");
+    println!("\nwrote {path}");
+}
+
+fn bench_sim_timing(c: &mut Criterion) {
+    let (requests, reps, samples) = if quick_mode() {
+        (2_000u64, 2, 3)
+    } else {
+        (12_000u64, 3, 5)
+    };
+    let trace = bench_trace(requests);
+
+    // Criterion view: one full trace replay per iteration per model.
+    let mut group = c.benchmark_group("sim_timing");
+    group.sample_size(samples);
+    for model in [TimingModel::SingleQueue, TimingModel::Pipelined] {
+        group.bench_function(BenchmarkId::new("replay", model.label()), |b| {
+            b.iter(|| std::hint::black_box(run_model(model, &trace)))
+        });
+    }
+    group.finish();
+
+    // Machine-readable view.
+    let results: Vec<ModelResult> = [TimingModel::SingleQueue, TimingModel::Pipelined]
+        .iter()
+        .map(|&m| measure(m, &trace, reps))
+        .collect();
+    println!("\n== {requests} requests, best of {reps} reps");
+    for r in &results {
+        println!(
+            "{:>12}: replay {:>10.0} req/s   modelled {:>10.0} req/s   makespan {:>12.0} us",
+            r.model.label(),
+            r.sim_rps,
+            r.modelled_rps,
+            r.makespan_us
+        );
+    }
+    let path = std::env::var("BENCH_SIM_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    write_json(&path, quick_mode(), requests, &results);
+}
+
+criterion_group!(benches, bench_sim_timing);
+
+fn main() {
+    benches();
+}

@@ -15,7 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ssd::{Scheme, SimStats, SsdConfig, SsdSimulator};
+use ssd::{Scheme, SimStats, SsdConfig, SsdSimulator, TimingModel};
 use workloads::{Trace, WorkloadSpec};
 
 /// Device size (blocks) used by the system-level experiments. 128 blocks
@@ -48,9 +48,26 @@ pub fn scaled_suite(seed: u64) -> Vec<Trace> {
         .collect()
 }
 
-/// Runs one scheme over one trace at the given wear level.
+/// Timing model selected by the `FLEXLEVEL_TIMING` environment variable:
+/// `pipelined` (or `pipeline`) picks the discrete-event model, anything
+/// else — including unset — keeps the default lumped single-queue model,
+/// so existing experiment outputs and golden fixtures are unaffected.
+pub fn timing_model_from_env() -> TimingModel {
+    match std::env::var("FLEXLEVEL_TIMING") {
+        Ok(v) if v.eq_ignore_ascii_case("pipelined") || v.eq_ignore_ascii_case("pipeline") => {
+            TimingModel::Pipelined
+        }
+        _ => TimingModel::SingleQueue,
+    }
+}
+
+/// Runs one scheme over one trace at the given wear level, under the
+/// timing model selected by `FLEXLEVEL_TIMING` (single-queue unless set
+/// to `pipelined`).
 pub fn run_scheme(scheme: Scheme, trace: &Trace, base_pe: u32) -> SimStats {
-    let config = SsdConfig::scaled(scheme, EXPERIMENT_BLOCKS).with_base_pe(base_pe);
+    let config = SsdConfig::scaled(scheme, EXPERIMENT_BLOCKS)
+        .with_base_pe(base_pe)
+        .with_timing_model(timing_model_from_env());
     let mut sim = SsdSimulator::new(config);
     sim.run(trace)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", scheme.label(), trace.name))

@@ -279,6 +279,15 @@ pub enum Migration {
     },
 }
 
+impl Migration {
+    /// The logical page being migrated.
+    pub fn lpn(&self) -> u64 {
+        match *self {
+            Migration::PromoteToReduced { lpn } | Migration::DemoteToNormal { lpn } => lpn,
+        }
+    }
+}
+
 /// Counters describing the controller's behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccessEvalStats {

@@ -50,13 +50,32 @@ impl NandTiming {
         }
     }
 
+    /// Sensing-only latency of a read needing `extra_sensing_levels` soft
+    /// sensing levels: one array-sensing pass per level (nominal + extra),
+    /// each at a shifted reference voltage. This is the portion of a read
+    /// that occupies the *die*; the matching bus time is
+    /// [`transfer_latency`](Self::transfer_latency).
+    pub fn sense_latency(&self, extra_sensing_levels: u32) -> Micros {
+        self.read_sense * (1.0 + extra_sensing_levels as f64)
+    }
+
+    /// Bus-transfer-only latency of a read needing `extra_sensing_levels`
+    /// soft sensing levels: every sensing pass ships one full page image
+    /// to the controller, so transfer time scales with the pass count.
+    /// This is the portion of a read that occupies the *channel*.
+    pub fn transfer_latency(&self, extra_sensing_levels: u32) -> Micros {
+        self.page_transfer * (1.0 + extra_sensing_levels as f64)
+    }
+
     /// Latency of a read that needs `extra_sensing_levels` soft sensing
     /// levels, excluding decode time.
     ///
     /// Every extra level is an additional sensing pass at a shifted
     /// reference voltage and an additional transfer of the sensed page
     /// image to the controller (paper §2.2: "extra memory sensing overhead
-    /// together with extra data transfer time").
+    /// together with extra data transfer time"). Equals
+    /// [`sense_latency`](Self::sense_latency) +
+    /// [`transfer_latency`](Self::transfer_latency).
     pub fn read_transfer_latency(&self, extra_sensing_levels: u32) -> Micros {
         let passes = 1.0 + extra_sensing_levels as f64;
         self.read_sense * passes + self.page_transfer * passes
@@ -96,6 +115,21 @@ mod tests {
         // Six extra levels ⇒ 7 passes ⇒ 7× the sensing+transfer time,
         // matching the paper's "7× higher read latency" at BER 1e-2.
         assert_eq!(soft6, Micros(7.0 * 130.0));
+    }
+
+    #[test]
+    fn stage_split_sums_to_lumped_latency() {
+        let t = NandTiming::paper_mlc();
+        for levels in 0..=6 {
+            assert_eq!(
+                t.sense_latency(levels) + t.transfer_latency(levels),
+                t.read_transfer_latency(levels),
+                "sense + transfer must equal the lumped cost at {levels} levels"
+            );
+        }
+        assert_eq!(t.sense_latency(0), Micros(90.0));
+        assert_eq!(t.transfer_latency(0), Micros(40.0));
+        assert_eq!(t.sense_latency(6), Micros(630.0));
     }
 
     #[test]

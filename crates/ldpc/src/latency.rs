@@ -51,6 +51,25 @@ impl ReadLatencyModel {
             + self.decode_per_iteration * iterations as f64
     }
 
+    /// Decoder-only latency of a decode running `iterations` iterations
+    /// (pipeline setup plus the per-iteration cost).
+    pub fn decode_latency(&self, iterations: u32) -> Micros {
+        self.decode_base + self.decode_per_iteration * iterations as f64
+    }
+
+    /// Per-stage decomposition of [`read_latency`](Self::read_latency):
+    /// the same total cost, split into the die-resident sensing time, the
+    /// channel-resident bus time and the controller-resident decode time.
+    /// The pipelined SSD timing model schedules each part on its own
+    /// resource so stages of different reads can overlap.
+    pub fn read_stages(&self, extra_levels: u32, iterations: u32) -> ReadStageCosts {
+        ReadStageCosts {
+            sense: self.timing.sense_latency(extra_levels),
+            transfer: self.timing.transfer_latency(extra_levels),
+            decode: self.decode_latency(iterations),
+        }
+    }
+
     /// Latency of a reduced-state (LevelAdjust) read: hard-decision
     /// sensing, ReduceCode's one-cycle decode, and a short LDPC pass
     /// (clean input converges immediately).
@@ -85,6 +104,27 @@ impl ReadLatencyModel {
     /// iteration count of `profile` at that depth.
     pub fn read_latency_measured(&self, extra_levels: u32, profile: &IterationProfile) -> Micros {
         self.read_latency(extra_levels, profile.iterations(extra_levels))
+    }
+}
+
+/// The three independently schedulable parts of one LDPC-protected read,
+/// as split by [`ReadLatencyModel::read_stages`]: sensing occupies the
+/// page's die, transfer its channel, decode a controller decoder slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadStageCosts {
+    /// Array sensing time (die-resident).
+    pub sense: Micros,
+    /// Page-image bus time (channel-resident).
+    pub transfer: Micros,
+    /// Decoder runtime (controller-resident).
+    pub decode: Micros,
+}
+
+impl ReadStageCosts {
+    /// Sum of all stages — equals the lumped
+    /// [`read_latency`](ReadLatencyModel::read_latency).
+    pub fn total(&self) -> Micros {
+        self.sense + self.transfer + self.decode
     }
 }
 
@@ -174,6 +214,27 @@ impl Default for ReadLatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stage_split_sums_to_lumped_read_latency() {
+        let m = ReadLatencyModel::paper_mlc();
+        for levels in 0..=6u32 {
+            for iters in [1u32, 2, 10, 30] {
+                let stages = m.read_stages(levels, iters);
+                assert_eq!(
+                    stages.total(),
+                    m.read_latency(levels, iters),
+                    "split must sum exactly at {levels} levels / {iters} iters"
+                );
+                assert_eq!(stages.decode, m.decode_latency(iters));
+            }
+        }
+        // The hard-read decomposition pins the Table 6 constants.
+        let hard = m.read_stages(0, 2);
+        assert_eq!(hard.sense, Micros(90.0));
+        assert_eq!(hard.transfer, Micros(40.0));
+        assert_eq!(hard.decode, Micros(5.0)); // 2 + 2 × 1.5
+    }
 
     #[test]
     fn hard_read_baseline() {

@@ -63,7 +63,7 @@ pub use channel::{ChannelStress, MlcReadChannel, PageKind, SoftSensingConfig};
 pub use code::{CodeError, QcLdpcCode};
 pub use decoder::{DecodeOutcome, DecoderGraph, MinSumDecoder};
 pub use encoder::{encode, random_info, EncodeError};
-pub use latency::{IterationProfile, ReadLatencyModel};
+pub use latency::{IterationProfile, ReadLatencyModel, ReadStageCosts};
 pub use layered::LayeredDecoder;
 pub use quantized::{BatchOutcome, DecoderWorkspace, LlrQuantizer, QuantizedMinSumDecoder, Q_MAX};
 pub use sensing::{

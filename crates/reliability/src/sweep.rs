@@ -2,12 +2,13 @@
 //!
 //! BER points at the paper's stress grid need 1e6–1e8 trials each to
 //! resolve rates near 1e-4 with tight confidence intervals. This module
-//! runs a [`BerSimulation`] through [`mc`](crate::mc): trials are split
+//! runs a [`BerSimulation`] through [`mc`]: trials are split
 //! into machine-independent shards with counter-derived RNG streams and
 //! merged in shard order, so the measured BER is **bit-identical for any
 //! thread count** — 1 worker and 16 workers produce the same report.
 //!
 //! [`BerSimulation`]: crate::ber::BerSimulation
+//! [`mc`]: crate::mc
 
 use crate::ber::{BerReport, BerSimulation};
 use crate::codec::SymbolCodec;

@@ -4,6 +4,7 @@
 //! USAGE:
 //!   flexlevel-sim [--scheme S] [--workload W] [--pe N] [--blocks N]
 //!                 [--requests N] [--seed N] [--all-schemes]
+//!                 [--timing single|pipelined] [--dies N] [--decoders N]
 //!
 //!   --scheme S      baseline | ldpc | la-only | flexlevel   (default flexlevel)
 //!   --workload W    fin-2 | web-1 | web-2 | prj-1 | prj-2 | win-1 | win-2
@@ -12,11 +13,15 @@
 //!   --blocks N      device size in blocks of 1 MB (default 128)
 //!   --requests N    trace length (default 30000)
 //!   --seed N        RNG seed (default 42)
+//!   --timing M      single (lumped queue) | pipelined (discrete-event,
+//!                   per-stage sense/transfer/decode)      (default single)
+//!   --dies N        dies per channel (pipelined model only, default 4)
+//!   --decoders N    controller LDPC decoder slots (pipelined, default 2)
 //!   --all-schemes   run all four systems and print a comparison
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
-use ssd::{Scheme, SsdConfig, SsdSimulator};
+use ssd::{Scheme, SsdConfig, SsdSimulator, StageKind, TimingModel};
 use workloads::WorkloadSpec;
 
 struct Args {
@@ -27,6 +32,9 @@ struct Args {
     requests: u64,
     seed: u64,
     channels: u32,
+    timing: TimingModel,
+    dies: u32,
+    decoders: u32,
     all_schemes: bool,
 }
 
@@ -39,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
         requests: 30_000,
         seed: 42,
         channels: 1,
+        timing: TimingModel::SingleQueue,
+        dies: 4,
+        decoders: 2,
         all_schemes: false,
     };
     let mut it = std::env::args().skip(1);
@@ -76,6 +87,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--channels: {e}"))?
             }
+            "--timing" => {
+                args.timing = match value("--timing")?.as_str() {
+                    "single" | "single-queue" => TimingModel::SingleQueue,
+                    "pipelined" | "pipeline" => TimingModel::Pipelined,
+                    other => return Err(format!("unknown timing model '{other}'")),
+                }
+            }
+            "--dies" => {
+                args.dies = value("--dies")?
+                    .parse()
+                    .map_err(|e| format!("--dies: {e}"))?
+            }
+            "--decoders" => {
+                args.decoders = value("--decoders")?
+                    .parse()
+                    .map_err(|e| format!("--decoders: {e}"))?
+            }
             "--all-schemes" => args.all_schemes = true,
             "--help" | "-h" => {
                 print_usage();
@@ -93,7 +121,8 @@ fn print_usage() {
          USAGE: flexlevel-sim [--scheme baseline|ldpc|la-only|flexlevel]\n\
                 [--workload fin-2|web-1|web-2|prj-1|prj-2|win-1|win-2]\n\
                 [--pe N] [--blocks N] [--requests N] [--seed N]\n\
-                [--channels N] [--all-schemes]"
+                [--channels N] [--timing single|pipelined] [--dies N]\n\
+                [--decoders N] [--all-schemes]"
     );
 }
 
@@ -107,7 +136,10 @@ fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) {
     let config = SsdConfig::scaled(scheme, args.blocks)
         .with_base_pe(args.pe)
         .with_seed(args.seed)
-        .with_channels(args.channels);
+        .with_channels(args.channels)
+        .with_timing_model(args.timing)
+        .with_dies_per_channel(args.dies)
+        .with_decoder_slots(args.decoders);
     let mut sim = SsdSimulator::new(config);
     match sim.run(trace) {
         Ok(stats) => {
@@ -139,6 +171,39 @@ fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) {
                     "  AccessEval         : {} promotions, {} demotions",
                     stats.promotions, stats.demotions
                 );
+            }
+            if args.timing == TimingModel::Pipelined {
+                println!(
+                    "  response p50/95/99 : {} / {} / {}",
+                    stats.response_percentile(0.50),
+                    stats.response_percentile(0.95),
+                    stats.response_percentile(0.99)
+                );
+                println!(
+                    "  makespan           : {:.0} us ({:.0} req/s)",
+                    stats.makespan_us,
+                    stats.throughput_rps()
+                );
+                let planes = args.channels * args.dies;
+                for kind in StageKind::ALL {
+                    let units = match kind {
+                        StageKind::Transfer => args.channels,
+                        StageKind::Decode => args.decoders,
+                        _ => planes,
+                    };
+                    let account = stats.stage(kind);
+                    if account.ops == 0 {
+                        continue;
+                    }
+                    println!(
+                        "  stage {:<12} : {:>8} ops, mean {:>9}, wait {:>9}, util {:>5.1}%",
+                        kind.label(),
+                        account.ops,
+                        account.mean_latency(),
+                        account.mean_wait(),
+                        stats.stage_utilization(kind, units) * 100.0
+                    );
+                }
             }
         }
         Err(e) => {

@@ -55,6 +55,32 @@ impl Scheme {
     }
 }
 
+/// How the simulator turns flash work into time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TimingModel {
+    /// The original FlashSim-style model: one busy horizon per channel; a
+    /// request waits for its channel, pays its lumped latency, and
+    /// background work extends the horizon behind it. The default, and
+    /// the reference the golden counters are pinned against.
+    #[default]
+    SingleQueue,
+    /// Discrete-event pipelined model: every operation is a chain of
+    /// sense/transfer/decode/program/erase stages scheduled on per-plane,
+    /// per-channel and per-decoder-slot busy horizons, so stages of
+    /// different requests overlap (see [`crate::pipeline`]).
+    Pipelined,
+}
+
+impl TimingModel {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimingModel::SingleQueue => "single-queue",
+            TimingModel::Pipelined => "pipelined",
+        }
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SsdConfig {
@@ -82,6 +108,17 @@ pub struct SsdConfig {
     /// Independent flash channels; requests are routed by LPN and queue
     /// per channel (1 = the paper's single-queue FlashSim model).
     pub channels: u32,
+    /// Timing model: the classic single-queue horizon or the staged
+    /// discrete-event pipeline.
+    pub timing_model: TimingModel,
+    /// NAND dies per channel (pipelined model only; sensing, programming
+    /// and erasing parallelize across dies).
+    pub dies_per_channel: u32,
+    /// Planes per die (pipelined model only).
+    pub planes_per_die: u32,
+    /// Concurrent LDPC decoder slots in the controller (pipelined model
+    /// only).
+    pub decoder_slots: u32,
     /// GC trigger: collect when free blocks fall to this count.
     pub gc_low_watermark: u32,
     /// GC victim-selection policy.
@@ -125,6 +162,10 @@ impl SsdConfig {
                 .with_pool_pages(pool_pages),
             buffer_pages: (geometry.logical_pages() / 128).max(16),
             channels: 1,
+            timing_model: TimingModel::SingleQueue,
+            dies_per_channel: 4,
+            planes_per_die: 1,
+            decoder_slots: 2,
             gc_low_watermark: 4,
             gc_policy: GcPolicy::Greedy,
             base_pe_cycles: 6000,
@@ -168,6 +209,34 @@ impl SsdConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: u32) -> SsdConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the timing model.
+    #[must_use]
+    pub fn with_timing_model(mut self, model: TimingModel) -> SsdConfig {
+        self.timing_model = model;
+        self
+    }
+
+    /// Sets dies per channel (pipelined model).
+    #[must_use]
+    pub fn with_dies_per_channel(mut self, dies: u32) -> SsdConfig {
+        self.dies_per_channel = dies.max(1);
+        self
+    }
+
+    /// Sets planes per die (pipelined model).
+    #[must_use]
+    pub fn with_planes_per_die(mut self, planes: u32) -> SsdConfig {
+        self.planes_per_die = planes.max(1);
+        self
+    }
+
+    /// Sets the controller decoder-slot count (pipelined model).
+    #[must_use]
+    pub fn with_decoder_slots(mut self, slots: u32) -> SsdConfig {
+        self.decoder_slots = slots.max(1);
         self
     }
 
@@ -220,6 +289,32 @@ mod tests {
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.threads, 3);
         assert_eq!(SsdConfig::scaled(Scheme::Baseline, 64).threads, 0);
+    }
+
+    #[test]
+    fn timing_model_defaults_to_single_queue() {
+        let cfg = SsdConfig::scaled(Scheme::Baseline, 64);
+        assert_eq!(cfg.timing_model, TimingModel::SingleQueue);
+        assert_eq!(TimingModel::default(), TimingModel::SingleQueue);
+        assert_eq!(TimingModel::Pipelined.label(), "pipelined");
+        let cfg = cfg
+            .with_timing_model(TimingModel::Pipelined)
+            .with_dies_per_channel(8)
+            .with_planes_per_die(2)
+            .with_decoder_slots(4);
+        assert_eq!(cfg.timing_model, TimingModel::Pipelined);
+        assert_eq!(cfg.dies_per_channel, 8);
+        assert_eq!(cfg.planes_per_die, 2);
+        assert_eq!(cfg.decoder_slots, 4);
+        // Degenerate knob values clamp to 1.
+        let cfg = cfg
+            .with_dies_per_channel(0)
+            .with_planes_per_die(0)
+            .with_decoder_slots(0);
+        assert_eq!(
+            (cfg.dies_per_channel, cfg.planes_per_die, cfg.decoder_slots),
+            (1, 1, 1)
+        );
     }
 
     #[test]

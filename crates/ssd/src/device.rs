@@ -9,11 +9,13 @@
 
 use std::collections::HashMap;
 
-use flash_model::{Hours, LevelConfig};
+use flash_model::{Hours, LevelConfig, Micros};
 use flexlevel::NunmaScheme;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reliability::{analytic, ProgramModel, RetentionModel};
+
+use crate::pipeline::StageKind;
 
 /// Quantisation granularity for BER cache keys.
 const PE_BUCKET: u32 = 250;
@@ -139,6 +141,116 @@ impl ReliabilityState {
     /// Number of distinct cached BER cells (diagnostics).
     pub fn cache_entries(&self) -> usize {
         self.ber_cache.len()
+    }
+}
+
+/// Busy horizons of every independently schedulable hardware unit in the
+/// pipelined timing model: channels (bus transfers), planes (sensing,
+/// programming, erasing — `channels × dies/channel × planes/die` units)
+/// and controller decoder slots.
+///
+/// Reservation is first-come-first-served in *request* order: a stage
+/// becoming ready at `t` on a unit free at `f` starts at `max(t, f)` and
+/// holds the unit for its duration. Because the event loop asks in
+/// deterministic `(time, seq)` order and decoder ties break toward the
+/// lowest slot index, the whole schedule is a pure function of the
+/// admitted chains.
+#[derive(Debug, Clone)]
+pub struct ResourcePool {
+    channels: Vec<Micros>,
+    planes: Vec<Micros>,
+    decoders: Vec<Micros>,
+    dies_per_channel: u64,
+    planes_per_die: u64,
+}
+
+impl ResourcePool {
+    /// Creates an all-idle pool; every count is clamped to at least 1.
+    pub fn new(
+        channels: u32,
+        dies_per_channel: u32,
+        planes_per_die: u32,
+        decoder_slots: u32,
+    ) -> ResourcePool {
+        let channels = channels.max(1) as usize;
+        let dies = dies_per_channel.max(1) as usize;
+        let planes = planes_per_die.max(1) as usize;
+        ResourcePool {
+            channels: vec![Micros::ZERO; channels],
+            planes: vec![Micros::ZERO; channels * dies * planes],
+            decoders: vec![Micros::ZERO; decoder_slots.max(1) as usize],
+            dies_per_channel: dies as u64,
+            planes_per_die: planes as u64,
+        }
+    }
+
+    /// The channel `lpn` is wired to (matches the single-queue router).
+    pub fn channel_for(&self, lpn: u64) -> usize {
+        (lpn % self.channels.len() as u64) as usize
+    }
+
+    /// The plane `lpn` maps to: channel-major, then die, then plane.
+    pub fn plane_for(&self, lpn: u64) -> usize {
+        let nch = self.channels.len() as u64;
+        let channel = lpn % nch;
+        let die = (lpn / nch) % self.dies_per_channel;
+        let plane = (lpn / (nch * self.dies_per_channel)) % self.planes_per_die;
+        ((channel * self.dies_per_channel + die) * self.planes_per_die + plane) as usize
+    }
+
+    /// Number of units backing `kind`.
+    pub fn units(&self, kind: StageKind) -> u32 {
+        match kind {
+            StageKind::Transfer => self.channels.len() as u32,
+            StageKind::Sense | StageKind::Program | StageKind::Erase => self.planes.len() as u32,
+            StageKind::Decode => self.decoders.len() as u32,
+        }
+    }
+
+    /// Reserves the unit a `kind` stage of `lpn` needs, from `ready`, for
+    /// `duration`. Returns `(start, end)`; the unit is busy until `end`.
+    /// Decode stages take the earliest-free decoder slot (lowest index on
+    /// ties, so the choice is deterministic).
+    pub fn reserve(
+        &mut self,
+        kind: StageKind,
+        lpn: u64,
+        ready: Micros,
+        duration: Micros,
+    ) -> (Micros, Micros) {
+        let slot = match kind {
+            StageKind::Transfer => {
+                let c = self.channel_for(lpn);
+                &mut self.channels[c]
+            }
+            StageKind::Sense | StageKind::Program | StageKind::Erase => {
+                let p = self.plane_for(lpn);
+                &mut self.planes[p]
+            }
+            StageKind::Decode => {
+                let best = self
+                    .decoders
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.as_f64().total_cmp(&b.as_f64()))
+                    .map(|(i, _)| i)
+                    .expect("pool has at least one decoder slot");
+                &mut self.decoders[best]
+            }
+        };
+        let start = ready.max(*slot);
+        let end = start + duration;
+        *slot = end;
+        (start, end)
+    }
+
+    /// The time the last unit goes idle (the schedule makespan so far).
+    pub fn busy_until(&self) -> Micros {
+        self.channels
+            .iter()
+            .chain(&self.planes)
+            .chain(&self.decoders)
+            .fold(Micros::ZERO, |acc, &t| acc.max(t))
     }
 }
 
@@ -313,5 +425,59 @@ mod tests {
         let mut s = state();
         let fresh = s.normal_ber(3000, Hours(0.01));
         assert_eq!(schedule.required_levels(fresh), 0);
+    }
+
+    #[test]
+    fn resource_pool_serializes_same_unit() {
+        let mut pool = ResourcePool::new(1, 1, 1, 1);
+        // Two transfers on the same channel queue back-to-back.
+        let (s1, e1) = pool.reserve(StageKind::Transfer, 0, Micros(0.0), Micros(40.0));
+        let (s2, e2) = pool.reserve(StageKind::Transfer, 0, Micros(0.0), Micros(40.0));
+        assert_eq!((s1, e1), (Micros(0.0), Micros(40.0)));
+        assert_eq!((s2, e2), (Micros(40.0), Micros(80.0)));
+        // A sense on the (only) plane is an independent unit: no wait.
+        let (s3, _) = pool.reserve(StageKind::Sense, 0, Micros(0.0), Micros(90.0));
+        assert_eq!(s3, Micros(0.0));
+        assert_eq!(pool.busy_until(), Micros(90.0));
+    }
+
+    #[test]
+    fn resource_pool_spreads_dies() {
+        // 1 channel × 4 dies: consecutive LPNs land on distinct planes
+        // and sense concurrently.
+        let mut pool = ResourcePool::new(1, 4, 1, 1);
+        assert_eq!(pool.units(StageKind::Sense), 4);
+        assert_eq!(pool.units(StageKind::Transfer), 1);
+        for lpn in 0..4u64 {
+            let (start, _) = pool.reserve(StageKind::Sense, lpn, Micros(0.0), Micros(90.0));
+            assert_eq!(start, Micros(0.0), "lpn {lpn} should have its own die");
+        }
+        // The fifth wraps onto die 0 and waits.
+        let (start, _) = pool.reserve(StageKind::Sense, 4, Micros(0.0), Micros(90.0));
+        assert_eq!(start, Micros(90.0));
+    }
+
+    #[test]
+    fn decoder_slots_balance_deterministically() {
+        let mut pool = ResourcePool::new(1, 1, 1, 2);
+        let (s1, _) = pool.reserve(StageKind::Decode, 0, Micros(0.0), Micros(10.0));
+        let (s2, _) = pool.reserve(StageKind::Decode, 1, Micros(0.0), Micros(10.0));
+        let (s3, _) = pool.reserve(StageKind::Decode, 2, Micros(0.0), Micros(10.0));
+        assert_eq!(s1, Micros(0.0));
+        assert_eq!(s2, Micros(0.0)); // second slot
+        assert_eq!(s3, Micros(10.0)); // both busy: earliest-free wins
+    }
+
+    #[test]
+    fn plane_routing_matches_channel_router() {
+        let pool = ResourcePool::new(4, 2, 2, 1);
+        for lpn in 0..64u64 {
+            assert_eq!(pool.channel_for(lpn) as u64, lpn % 4);
+            assert!(pool.plane_for(lpn) < 16);
+        }
+        // Zero-valued knobs clamp to one unit instead of panicking.
+        let degenerate = ResourcePool::new(0, 0, 0, 0);
+        assert_eq!(degenerate.units(StageKind::Transfer), 1);
+        assert_eq!(degenerate.units(StageKind::Decode), 1);
     }
 }

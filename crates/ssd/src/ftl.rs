@@ -38,6 +38,28 @@ impl OpCost {
         self.gc_runs += other.gc_runs;
         self.gc_moved += other.gc_moved;
     }
+
+    /// Expands the counts into a schedulable op chain for the pipelined
+    /// timing model: every internal read becomes a sense+transfer copy,
+    /// every program a transfer+program, every erase an erase stage.
+    /// All ops are routed at `lpn` — the page whose write or migration
+    /// triggered the work — which keeps the expansion deterministic
+    /// without threading physical block numbers through the simulator.
+    pub fn flash_ops(&self, lpn: u64) -> Vec<crate::pipeline::FlashOp> {
+        use crate::pipeline::FlashOp;
+        let n = self.flash_reads + self.programs + self.erases;
+        let mut ops = Vec::with_capacity(n as usize);
+        for _ in 0..self.flash_reads {
+            ops.push(FlashOp::GcRead { lpn });
+        }
+        for _ in 0..self.programs {
+            ops.push(FlashOp::Program { lpn });
+        }
+        for _ in 0..self.erases {
+            ops.push(FlashOp::Erase { lpn });
+        }
+        ops
+    }
 }
 
 /// FTL failures.
@@ -393,6 +415,29 @@ mod tests {
     fn small_ftl() -> PageMapFtl {
         // 16 blocks × 64 pages, 27% OP ⇒ 747 logical pages.
         PageMapFtl::new(DeviceGeometry::scaled(16).unwrap(), 2)
+    }
+
+    #[test]
+    fn op_cost_expands_to_flash_ops() {
+        use crate::pipeline::FlashOp;
+        let cost = OpCost {
+            flash_reads: 2,
+            programs: 1,
+            erases: 1,
+            gc_runs: 1,
+            gc_moved: 2,
+        };
+        let ops = cost.flash_ops(11);
+        assert_eq!(
+            ops,
+            vec![
+                FlashOp::GcRead { lpn: 11 },
+                FlashOp::GcRead { lpn: 11 },
+                FlashOp::Program { lpn: 11 },
+                FlashOp::Erase { lpn: 11 },
+            ]
+        );
+        assert!(OpCost::default().flash_ops(0).is_empty());
     }
 
     #[test]

@@ -31,17 +31,21 @@
 pub mod buffer;
 pub mod config;
 pub mod device;
+pub mod events;
 pub mod ftl;
 pub mod ftl_hybrid;
 pub mod lifetime;
+pub mod pipeline;
 pub mod sim;
 pub mod stats;
 
 pub use buffer::WriteBuffer;
-pub use config::{Scheme, SsdConfig};
-pub use device::ReliabilityState;
+pub use config::{Scheme, SsdConfig, TimingModel};
+pub use device::{ReliabilityState, ResourcePool};
+pub use events::{Event, EventQueue};
 pub use ftl::{FtlError, GcPolicy, OpCost, PageMapFtl};
 pub use ftl_hybrid::HybridFtl;
 pub use lifetime::LifetimeModel;
+pub use pipeline::{FlashOp, Stage, StageKind};
 pub use sim::{SimError, SsdSimulator};
-pub use stats::SimStats;
+pub use stats::{SimStats, StageAccount};

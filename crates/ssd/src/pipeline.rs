@@ -1,0 +1,305 @@
+//! Staged flash commands for the pipelined timing model.
+//!
+//! Under [`TimingModel::Pipelined`](crate::config::TimingModel) every
+//! flash operation is a short *chain* of stages, each occupying exactly
+//! one hardware resource:
+//!
+//! * a host read that misses the buffer is `Sense(plane)` ×
+//!   (1 + extra sensing levels) → `Transfer(channel)` →
+//!   `Decode(controller slot)`;
+//! * a program is `Transfer(channel)` → `Program(plane)`;
+//! * a GC/migration read is `Sense` → `Transfer` (the relocated page is
+//!   copied, not decoded by the host path);
+//! * an erase is a single `Erase(plane)` stage;
+//! * buffer hits and host write ingest are a lone `Transfer` (the page
+//!   moves over the bus, the die is untouched).
+//!
+//! Stages of *different* chains overlap whenever their resources differ —
+//! a die can sense the next read while the channel ships the previous
+//! one and a decoder slot grinds on the one before that. Stage durations
+//! come from the same [`ReadLatencyModel`] the single-queue model
+//! charges, so the two models price identical work identically; only the
+//! concurrency differs.
+
+use flash_model::Micros;
+use ldpc::ReadLatencyModel;
+use serde::{Deserialize, Serialize};
+
+/// The hardware resource class a stage occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Array sensing: occupies the page's plane (die-level parallelism).
+    Sense,
+    /// Bus transfer: occupies the page's channel.
+    Transfer,
+    /// LDPC/ReduceCode decode: occupies one controller decoder slot.
+    Decode,
+    /// ISPP page program: occupies the page's plane.
+    Program,
+    /// Block erase: occupies the page's plane.
+    Erase,
+}
+
+impl StageKind {
+    /// All stage kinds, in pipeline order.
+    pub const ALL: [StageKind; 5] = [
+        StageKind::Sense,
+        StageKind::Transfer,
+        StageKind::Decode,
+        StageKind::Program,
+        StageKind::Erase,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Sense => "sense",
+            StageKind::Transfer => "transfer",
+            StageKind::Decode => "decode",
+            StageKind::Program => "program",
+            StageKind::Erase => "erase",
+        }
+    }
+}
+
+/// One stage of a flash operation: a duration on a resource, routed by
+/// the logical page that triggered it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage {
+    /// Resource class this stage occupies.
+    pub kind: StageKind,
+    /// Time the resource is held.
+    pub duration: Micros,
+    /// Logical page used for channel/plane routing.
+    pub lpn: u64,
+}
+
+/// A flash operation as a schedulable unit. Produced by the simulator's
+/// logical layer (and by [`OpCost::flash_ops`](crate::ftl::OpCost::flash_ops)
+/// for FTL background work), consumed by the event loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlashOp {
+    /// A host read served from flash: sense passes, transfer, decode.
+    /// `decode` carries the full decoder-stage duration (base + measured
+    /// or heuristic iterations + any wasted progressive-sensing decode
+    /// passes + the ReduceCode cycle where applicable), precomputed by
+    /// the logical layer so pricing matches the single-queue model.
+    Read {
+        /// Logical page (resource routing).
+        lpn: u64,
+        /// Extra soft sensing levels charged to sense and transfer.
+        extra_levels: u32,
+        /// Decoder-slot stage duration.
+        decode: Micros,
+    },
+    /// Host-interface transfer only: a buffer-hit read or a host write
+    /// landing in the write-back buffer.
+    HostTransfer {
+        /// Logical page (resource routing).
+        lpn: u64,
+    },
+    /// An internal copy read (GC relocation, AccessEval migration):
+    /// sense + transfer at zero extra levels, no host decode stage.
+    GcRead {
+        /// Logical page (resource routing).
+        lpn: u64,
+    },
+    /// A page program: bus transfer of the data, then the ISPP loop.
+    Program {
+        /// Logical page (resource routing).
+        lpn: u64,
+    },
+    /// A block erase.
+    Erase {
+        /// Logical page (resource routing).
+        lpn: u64,
+    },
+}
+
+impl FlashOp {
+    /// The logical page the op is routed by.
+    pub fn lpn(&self) -> u64 {
+        match *self {
+            FlashOp::Read { lpn, .. }
+            | FlashOp::HostTransfer { lpn }
+            | FlashOp::GcRead { lpn }
+            | FlashOp::Program { lpn }
+            | FlashOp::Erase { lpn } => lpn,
+        }
+    }
+
+    /// Expands the op into its stage chain, priced by `latency`.
+    pub fn stages(&self, latency: &ReadLatencyModel) -> Vec<Stage> {
+        let t = &latency.timing;
+        match *self {
+            FlashOp::Read {
+                lpn,
+                extra_levels,
+                decode,
+            } => vec![
+                Stage {
+                    kind: StageKind::Sense,
+                    duration: t.sense_latency(extra_levels),
+                    lpn,
+                },
+                Stage {
+                    kind: StageKind::Transfer,
+                    duration: t.transfer_latency(extra_levels),
+                    lpn,
+                },
+                Stage {
+                    kind: StageKind::Decode,
+                    duration: decode,
+                    lpn,
+                },
+            ],
+            FlashOp::HostTransfer { lpn } => vec![Stage {
+                kind: StageKind::Transfer,
+                duration: t.page_transfer,
+                lpn,
+            }],
+            FlashOp::GcRead { lpn } => vec![
+                Stage {
+                    kind: StageKind::Sense,
+                    duration: t.sense_latency(0),
+                    lpn,
+                },
+                Stage {
+                    kind: StageKind::Transfer,
+                    duration: t.transfer_latency(0),
+                    lpn,
+                },
+            ],
+            FlashOp::Program { lpn } => vec![
+                Stage {
+                    kind: StageKind::Transfer,
+                    duration: t.page_transfer,
+                    lpn,
+                },
+                Stage {
+                    kind: StageKind::Program,
+                    duration: t.program,
+                    lpn,
+                },
+            ],
+            FlashOp::Erase { lpn } => vec![Stage {
+                kind: StageKind::Erase,
+                duration: t.erase,
+                lpn,
+            }],
+        }
+    }
+}
+
+/// Expands a slice of ops into one serial stage chain.
+pub fn expand_ops(ops: &[FlashOp], latency: &ReadLatencyModel) -> Vec<Stage> {
+    let mut stages = Vec::with_capacity(ops.len() * 3);
+    for op in ops {
+        stages.extend(op.stages(latency));
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ReadLatencyModel {
+        ReadLatencyModel::paper_mlc()
+    }
+
+    #[test]
+    fn read_chain_prices_like_the_lumped_model() {
+        // Stage durations of a read must sum to exactly what the lumped
+        // single-queue expression charges for the same work.
+        let m = model();
+        for levels in 0..=6u32 {
+            for iters in [1u32, 5, 30] {
+                let decode = m.decode_latency(iters);
+                let op = FlashOp::Read {
+                    lpn: 17,
+                    extra_levels: levels,
+                    decode,
+                };
+                let total: Micros = op.stages(&m).iter().map(|s| s.duration).sum();
+                assert_eq!(total, m.read_latency(levels, iters));
+            }
+        }
+    }
+
+    #[test]
+    fn read_chain_shape() {
+        let m = model();
+        let op = FlashOp::Read {
+            lpn: 3,
+            extra_levels: 2,
+            decode: Micros(10.0),
+        };
+        let stages = op.stages(&m);
+        let kinds: Vec<StageKind> = stages.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            [StageKind::Sense, StageKind::Transfer, StageKind::Decode]
+        );
+        assert_eq!(stages[0].duration, Micros(270.0)); // 3 passes × 90
+        assert_eq!(stages[1].duration, Micros(120.0)); // 3 passes × 40
+        assert!(stages.iter().all(|s| s.lpn == 3));
+    }
+
+    #[test]
+    fn program_and_gc_chains() {
+        let m = model();
+        let program = FlashOp::Program { lpn: 9 }.stages(&m);
+        assert_eq!(program.len(), 2);
+        assert_eq!(program[0].kind, StageKind::Transfer);
+        assert_eq!(program[1].kind, StageKind::Program);
+        assert_eq!(program[1].duration, Micros(1000.0));
+
+        let gc = FlashOp::GcRead { lpn: 9 }.stages(&m);
+        assert_eq!(gc.len(), 2);
+        // A GC copy prices exactly like the lumped model's
+        // read_transfer_latency(0) charge.
+        let total: Micros = gc.iter().map(|s| s.duration).sum();
+        assert_eq!(total, m.timing.read_transfer_latency(0));
+
+        let erase = FlashOp::Erase { lpn: 9 }.stages(&m);
+        assert_eq!(erase.len(), 1);
+        assert_eq!(erase[0].duration, Micros(3000.0));
+    }
+
+    #[test]
+    fn expand_concatenates_in_order() {
+        let m = model();
+        let ops = [
+            FlashOp::GcRead { lpn: 1 },
+            FlashOp::Program { lpn: 2 },
+            FlashOp::Erase { lpn: 3 },
+        ];
+        let stages = expand_ops(&ops, &m);
+        assert_eq!(stages.len(), 5);
+        assert_eq!(stages[0].lpn, 1);
+        assert_eq!(stages[2].lpn, 2);
+        assert_eq!(stages[4].kind, StageKind::Erase);
+    }
+
+    #[test]
+    fn lpn_accessor() {
+        assert_eq!(FlashOp::HostTransfer { lpn: 42 }.lpn(), 42);
+        assert_eq!(
+            FlashOp::Read {
+                lpn: 7,
+                extra_levels: 0,
+                decode: Micros::ZERO
+            }
+            .lpn(),
+            7
+        );
+    }
+
+    #[test]
+    fn stage_labels() {
+        assert_eq!(StageKind::ALL.len(), 5);
+        assert_eq!(StageKind::Sense.label(), "sense");
+        assert_eq!(StageKind::Decode.label(), "decode");
+    }
+}

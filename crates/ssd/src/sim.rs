@@ -2,11 +2,23 @@
 //!
 //! The simulator replays a block trace through: the write-back buffer, the
 //! page-mapping FTL (with greedy GC), the scheme-specific read path and —
-//! for FlexLevel — the AccessEval controller. Timing follows a single
-//! busy-device queue (FlashSim's service model): a request waits for the
-//! device to go idle, pays its own flash latency, and background work
-//! (buffer eviction, GC, migrations) extends the device-busy horizon
-//! behind it.
+//! for FlexLevel — the AccessEval controller. That *logical* layer is
+//! shared by two timing models ([`TimingModel`]):
+//!
+//! * **SingleQueue** (default) — FlashSim's service model: a request
+//!   waits for its channel to go idle, pays its lumped flash latency, and
+//!   background work (buffer eviction, GC, migrations) extends the
+//!   device-busy horizon behind it.
+//! * **Pipelined** — a deterministic discrete-event schedule: every
+//!   operation becomes a chain of sense/transfer/decode/program/erase
+//!   stages (see [`crate::pipeline`]) scheduled on per-plane,
+//!   per-channel and per-decoder-slot resources, so stages of different
+//!   requests overlap. Background work runs as its own op chains instead
+//!   of a scalar horizon extension.
+//!
+//! Logical decisions depend only on request *order*, never on timing, so
+//! both models produce bit-identical operation counters; only response
+//! times, utilization and throughput differ.
 //!
 //! Before measurement every trace-footprint page is *preloaded* (written
 //! once, uncharged): steady-state devices are full, which is what makes
@@ -19,9 +31,11 @@ use flexlevel::{AccessEvalController, Migration};
 use workloads::{IoOp, IoRequest, Trace};
 
 use crate::buffer::WriteBuffer;
-use crate::config::{Scheme, SsdConfig};
-use crate::device::ReliabilityState;
+use crate::config::{Scheme, SsdConfig, TimingModel};
+use crate::device::{ReliabilityState, ResourcePool};
+use crate::events::EventQueue;
 use crate::ftl::{FtlError, OpCost, PageMapFtl};
+use crate::pipeline::{expand_ops, FlashOp, Stage};
 use crate::stats::SimStats;
 
 /// Simulation failures (propagated FTL space errors).
@@ -61,6 +75,38 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// What the logical layer decided one page access costs: lumped
+/// foreground/background time for the single-queue model, plus the
+/// staged op chains for the pipelined model (left empty when the
+/// single-queue model runs, so the hot path allocates nothing).
+#[derive(Debug, Default)]
+struct PageCharge {
+    fg: Micros,
+    bg: Micros,
+    fg_ops: Vec<FlashOp>,
+    bg_ops: Vec<FlashOp>,
+}
+
+/// A whole host request's logical outcome.
+#[derive(Debug)]
+struct RequestPlan {
+    fg: Micros,
+    bg: Micros,
+    is_read: bool,
+    fg_ops: Vec<FlashOp>,
+    bg_ops: Vec<FlashOp>,
+}
+
+/// Scheme-resolved cost of one flash read: the lumped foreground charge,
+/// the sensing levels actually charged, and the decoder-stage duration
+/// (including wasted progressive-sensing decode passes).
+#[derive(Debug, Clone, Copy)]
+struct ReadPlan {
+    fg: Micros,
+    levels: u32,
+    decode: Micros,
+}
+
 /// The trace-driven SSD simulator.
 #[derive(Debug)]
 pub struct SsdSimulator {
@@ -70,8 +116,8 @@ pub struct SsdSimulator {
     reliability: ReliabilityState,
     access_eval: Option<AccessEvalController>,
     stats: SimStats,
-    /// Per-channel device-busy horizons in µs.
-    channel_free_at: Vec<f64>,
+    /// Per-channel device-busy horizons (single-queue model).
+    channel_free_at: Vec<Micros>,
     /// Host-written pages (for write amplification).
     host_pages_written: u64,
     /// LevelAdjust-only: cap on simultaneously reduced blocks.
@@ -109,7 +155,7 @@ impl SsdSimulator {
             _ => 0,
         };
         let max_levels = config.schedule.max_extra_levels();
-        let channel_free_at = vec![0.0; config.channels.max(1) as usize];
+        let channel_free_at = vec![Micros::ZERO; config.channels.max(1) as usize];
         SsdSimulator {
             config,
             ftl,
@@ -152,8 +198,17 @@ impl SsdSimulator {
     /// [`SimError::Ftl`] if the device runs out of reclaimable space.
     pub fn run(&mut self, trace: &Trace) -> Result<&SimStats, SimError> {
         self.preload(trace)?;
-        for request in &trace.requests {
-            self.serve(request)?;
+        match self.config.timing_model {
+            TimingModel::SingleQueue => {
+                for request in &trace.requests {
+                    self.serve(request)?;
+                }
+                self.stats.makespan_us = self
+                    .channel_free_at
+                    .iter()
+                    .fold(0.0_f64, |acc, t| acc.max(t.as_f64()));
+            }
+            TimingModel::Pipelined => self.run_pipelined(trace)?,
         }
         Ok(&self.stats)
     }
@@ -189,45 +244,200 @@ impl SsdSimulator {
         }
     }
 
-    /// Serves one host request, updating timing and statistics. Requests
-    /// queue on the channel their first page maps to.
+    /// `true` when the pipelined model runs (op chains must be built).
+    fn pipelined(&self) -> bool {
+        self.config.timing_model == TimingModel::Pipelined
+    }
+
+    /// Serves one host request under the single-queue model: the request
+    /// queues on the channel its first page maps to, pays its lumped
+    /// latency, and background work extends the horizon behind it.
     fn serve(&mut self, request: &IoRequest) -> Result<(), SimError> {
+        let plan = self.serve_logical(request)?;
         let channel = (request.lpn % self.channel_free_at.len() as u64) as usize;
-        let start = request.arrival_us.max(self.channel_free_at[channel]);
-        let mut service = Micros::ZERO;
-        let mut background = Micros::ZERO;
+        let arrival = Micros(request.arrival_us);
+        let start = arrival.max(self.channel_free_at[channel]);
+        let response = (start - arrival) + plan.fg;
+        self.stats.record_response(response, plan.is_read);
+        self.channel_free_at[channel] = start + plan.fg + plan.bg;
+        Ok(())
+    }
+
+    /// Runs one request through the logical layer (buffer, FTL, wear,
+    /// AccessEval), updating every operation counter and returning the
+    /// request's cost plan. Timing-model independent: decisions depend
+    /// only on the order requests are presented, which both models keep
+    /// equal to trace order.
+    fn serve_logical(&mut self, request: &IoRequest) -> Result<RequestPlan, SimError> {
+        let mut plan = RequestPlan {
+            fg: Micros::ZERO,
+            bg: Micros::ZERO,
+            is_read: request.op == IoOp::Read,
+            fg_ops: Vec::new(),
+            bg_ops: Vec::new(),
+        };
         for lpn in request.lpns() {
             let lpn = lpn % self.ftl.logical_pages();
-            match request.op {
-                IoOp::Read => {
-                    let (fg, bg) = self.read_page(lpn)?;
-                    service += fg;
-                    background += bg;
-                }
-                IoOp::Write => {
-                    let (fg, bg) = self.write_page(lpn)?;
-                    service += fg;
-                    background += bg;
-                }
-            }
+            let page = match request.op {
+                IoOp::Read => self.read_page(lpn)?,
+                IoOp::Write => self.write_page(lpn)?,
+            };
+            plan.fg += page.fg;
+            plan.bg += page.bg;
+            plan.fg_ops.extend(page.fg_ops);
+            plan.bg_ops.extend(page.bg_ops);
         }
-        let response = Micros(start - request.arrival_us) + service;
         match request.op {
             IoOp::Read => self.stats.host_reads += 1,
             IoOp::Write => self.stats.host_writes += 1,
         }
-        self.stats
-            .record_response(response, request.op == IoOp::Read);
-        self.channel_free_at[channel] = start + service.as_f64() + background.as_f64();
+        Ok(plan)
+    }
+
+    /// Replays the trace under the pipelined discrete-event model.
+    ///
+    /// Phase 1 runs the logical layer over all requests in arrival order
+    /// — producing exactly the counters the single-queue model produces —
+    /// and collects each request's foreground and background stage
+    /// chains. Phase 2 schedules those chains on the resource pool: a
+    /// chain's next stage is reserved the instant its previous stage
+    /// completes (FCFS in deterministic event order), and a request's
+    /// response time is the completion of its foreground chain.
+    fn run_pipelined(&mut self, trace: &Trace) -> Result<(), SimError> {
+        struct Admission {
+            arrival: Micros,
+            is_read: bool,
+            fg: Vec<Stage>,
+            bg: Vec<Stage>,
+        }
+        enum Ev {
+            Arrive(usize),
+            StageDone(usize),
+        }
+        struct Chain {
+            stages: Vec<Stage>,
+            next: usize,
+            /// `Some(request)` marks the foreground chain whose
+            /// completion is the request's response.
+            request: Option<usize>,
+        }
+        /// Reserves the chain's next stage from `ready` and schedules its
+        /// completion event.
+        fn start_stage(
+            chain: &Chain,
+            id: usize,
+            ready: Micros,
+            pool: &mut ResourcePool,
+            stats: &mut SimStats,
+            queue: &mut EventQueue<Ev>,
+        ) {
+            let stage = chain.stages[chain.next];
+            let (start, end) = pool.reserve(stage.kind, stage.lpn, ready, stage.duration);
+            stats.record_stage(stage.kind, stage.duration, start - ready);
+            queue.push(end, Ev::StageDone(id));
+        }
+
+        let mut admissions = Vec::with_capacity(trace.requests.len());
+        for request in &trace.requests {
+            let plan = self.serve_logical(request)?;
+            admissions.push(Admission {
+                arrival: Micros(request.arrival_us),
+                is_read: plan.is_read,
+                fg: expand_ops(&plan.fg_ops, &self.config.latency),
+                bg: expand_ops(&plan.bg_ops, &self.config.latency),
+            });
+        }
+
+        let mut pool = ResourcePool::new(
+            self.config.channels,
+            self.config.dies_per_channel,
+            self.config.planes_per_die,
+            self.config.decoder_slots,
+        );
+        let mut queue = EventQueue::with_capacity(admissions.len() + 1);
+        let mut chains: Vec<Chain> = Vec::new();
+        // Arrivals are pushed in trace order, so same-time arrivals pop
+        // in trace order too — the (time, seq) total order does the rest.
+        for (i, adm) in admissions.iter().enumerate() {
+            queue.push(adm.arrival, Ev::Arrive(i));
+        }
+        while let Some(ev) = queue.pop() {
+            match ev.payload {
+                Ev::Arrive(i) => {
+                    let adm = &mut admissions[i];
+                    let fg = std::mem::take(&mut adm.fg);
+                    let bg = std::mem::take(&mut adm.bg);
+                    // Foreground first: host work wins ties against the
+                    // background chain admitted at the same instant.
+                    if fg.is_empty() {
+                        self.stats.record_response(Micros::ZERO, adm.is_read);
+                    } else {
+                        let id = chains.len();
+                        chains.push(Chain {
+                            stages: fg,
+                            next: 0,
+                            request: Some(i),
+                        });
+                        start_stage(
+                            &chains[id],
+                            id,
+                            ev.time,
+                            &mut pool,
+                            &mut self.stats,
+                            &mut queue,
+                        );
+                    }
+                    if !bg.is_empty() {
+                        let id = chains.len();
+                        chains.push(Chain {
+                            stages: bg,
+                            next: 0,
+                            request: None,
+                        });
+                        start_stage(
+                            &chains[id],
+                            id,
+                            ev.time,
+                            &mut pool,
+                            &mut self.stats,
+                            &mut queue,
+                        );
+                    }
+                }
+                Ev::StageDone(id) => {
+                    chains[id].next += 1;
+                    if chains[id].next < chains[id].stages.len() {
+                        start_stage(
+                            &chains[id],
+                            id,
+                            ev.time,
+                            &mut pool,
+                            &mut self.stats,
+                            &mut queue,
+                        );
+                    } else if let Some(i) = chains[id].request {
+                        let adm = &admissions[i];
+                        self.stats
+                            .record_response(ev.time - adm.arrival, adm.is_read);
+                    }
+                }
+            }
+        }
+        self.stats.makespan_us = pool.busy_until().as_f64();
         Ok(())
     }
 
-    /// Host read of one page: returns (foreground, background) time.
-    fn read_page(&mut self, lpn: u64) -> Result<(Micros, Micros), SimError> {
+    /// Host read of one page.
+    fn read_page(&mut self, lpn: u64) -> Result<PageCharge, SimError> {
+        let mut charge = PageCharge::default();
         if self.buffer.contains(lpn) {
             self.buffer.touch(lpn);
             self.stats.buffer_read_hits += 1;
-            return Ok((self.config.latency.timing.page_transfer, Micros::ZERO));
+            charge.fg = self.config.latency.timing.page_transfer;
+            if self.pipelined() {
+                charge.fg_ops.push(FlashOp::HostTransfer { lpn });
+            }
+            return Ok(charge);
         }
         self.stats.flash_reads += 1;
         let mode = self
@@ -250,37 +460,57 @@ impl SsdSimulator {
                 // migrations.
                 let _ = ctrl.on_read(lpn, required, self.config.schedule.max_extra_levels());
             }
-            let latency = if required == 0 {
-                self.config.latency.reduced_read_latency()
+            let cycle = self.config.latency.timing.reduce_code_cycle;
+            let (latency, levels, decode) = if required == 0 {
+                (
+                    self.config.latency.reduced_read_latency(),
+                    0,
+                    self.config.latency.decode_latency(1) + cycle,
+                )
             } else {
-                self.normal_read_latency(required, ber)
-                    + self.config.latency.timing.reduce_code_cycle
+                let plan = self.read_plan(required, ber);
+                (plan.fg + cycle, plan.levels, plan.decode + cycle)
             };
-            return Ok((latency, Micros::ZERO));
+            charge.fg = latency;
+            if self.pipelined() {
+                charge.fg_ops.push(FlashOp::Read {
+                    lpn,
+                    extra_levels: levels,
+                    decode,
+                });
+            }
+            return Ok(charge);
         }
 
         let ber = self.reliability.normal_ber(pe, age);
         let required = self.config.schedule.required_levels(ber);
-        let latency = self.normal_read_latency(required, ber);
+        let plan = self.read_plan(required, ber);
+        charge.fg = plan.fg;
+        if self.pipelined() {
+            charge.fg_ops.push(FlashOp::Read {
+                lpn,
+                extra_levels: plan.levels,
+                decode: plan.decode,
+            });
+        }
         let slot = required.min(self.config.schedule.max_extra_levels()) as usize;
         self.stats.reads_by_sensing_level[slot] += 1;
 
         // AccessEval: evaluate the read and apply any migrations as
         // background work.
-        let mut background = Micros::ZERO;
         let migrations = match self.access_eval.as_mut() {
             Some(ctrl) => ctrl.on_read(lpn, required, self.config.schedule.max_extra_levels()),
             None => Vec::new(),
         };
         for migration in migrations {
-            background += self.apply_migration(migration)?;
+            charge.bg += self.apply_migration(migration, &mut charge.bg_ops)?;
         }
         if let Some(ctrl) = self.access_eval.as_ref() {
             let s = ctrl.stats();
             self.stats.promotions = s.promotions;
             self.stats.demotions = s.demotions;
         }
-        Ok((latency, background))
+        Ok(charge)
     }
 
     /// Expected decoder iterations for a read sensed with `levels` extra
@@ -293,9 +523,10 @@ impl SsdSimulator {
         }
     }
 
-    /// Scheme-specific latency of a normal-page read needing `required`
-    /// extra sensing levels at raw BER `ber`.
-    fn normal_read_latency(&mut self, required: u32, ber: f64) -> Micros {
+    /// Scheme-specific cost of a normal-page read needing `required`
+    /// extra sensing levels at raw BER `ber`: the lumped latency plus the
+    /// (levels, decode-stage) split the pipelined model schedules.
+    fn read_plan(&mut self, required: u32, ber: f64) -> ReadPlan {
         match self.config.scheme {
             Scheme::Baseline => {
                 // No optimisation: the controller provisions sensing for
@@ -303,7 +534,11 @@ impl SsdSimulator {
                 let worst = self.reliability.worst_case_ber(self.config.base_pe_cycles);
                 let levels = self.config.schedule.required_levels(worst);
                 let iterations = self.decode_iterations(levels, ber);
-                self.config.latency.read_latency(levels, iterations)
+                ReadPlan {
+                    fg: self.config.latency.read_latency(levels, iterations),
+                    levels,
+                    decode: self.config.latency.decode_latency(iterations),
+                }
             }
             _ => {
                 // Progressive sensing (LDPC-in-SSD and the normal-page
@@ -311,34 +546,44 @@ impl SsdSimulator {
                 // soft level until the frame decodes. Sensing and
                 // transfer accumulate to the same total as a one-shot
                 // read at `required` levels; each failed attempt also
-                // pays a decode pass.
+                // pays a decode pass, which lands on the decoder stage.
                 let iterations = self.decode_iterations(required, ber);
                 let latency = &self.config.latency;
                 let one_shot = latency.read_latency(required, iterations);
                 let wasted_decodes =
                     latency.decode_base + latency.decode_per_iteration * iterations as f64;
-                one_shot + wasted_decodes * required as f64 * 0.5
+                let wasted = wasted_decodes * required as f64 * 0.5;
+                ReadPlan {
+                    fg: one_shot + wasted,
+                    levels: required,
+                    decode: latency.decode_latency(iterations) + wasted,
+                }
             }
         }
     }
 
     /// Host write of one page via the write-back buffer.
-    fn write_page(&mut self, lpn: u64) -> Result<(Micros, Micros), SimError> {
+    fn write_page(&mut self, lpn: u64) -> Result<PageCharge, SimError> {
         self.host_pages_written += 1;
         self.reliability.record_write(lpn);
-        let foreground = self.config.latency.timing.page_transfer;
-        let mut background = Micros::ZERO;
-        if let Some(evicted) = self.buffer.write(lpn) {
-            background += self.flush_page(evicted)?;
+        let mut charge = PageCharge {
+            fg: self.config.latency.timing.page_transfer,
+            ..PageCharge::default()
+        };
+        if self.pipelined() {
+            charge.fg_ops.push(FlashOp::HostTransfer { lpn });
         }
-        Ok((foreground, background))
+        if let Some(evicted) = self.buffer.write(lpn) {
+            charge.bg += self.flush_page(evicted, &mut charge.bg_ops)?;
+        }
+        Ok(charge)
     }
 
     /// Programs a buffered page to flash (eviction or shutdown flush).
-    fn flush_page(&mut self, lpn: u64) -> Result<Micros, SimError> {
+    fn flush_page(&mut self, lpn: u64, ops: &mut Vec<FlashOp>) -> Result<Micros, SimError> {
         let mode = self.write_mode(lpn);
         let cost = self.ftl.write(lpn, mode)?;
-        Ok(self.account(cost))
+        Ok(self.account(cost, lpn, ops))
     }
 
     /// Which mode a (re)written page should land in.
@@ -371,22 +616,34 @@ impl SsdSimulator {
         }
     }
 
-    /// Applies one AccessEval migration; returns its background cost.
-    fn apply_migration(&mut self, migration: Migration) -> Result<Micros, SimError> {
-        let (lpn, mode) = match migration {
-            Migration::PromoteToReduced { lpn } => (lpn, CellMode::Reduced),
-            Migration::DemoteToNormal { lpn } => (lpn, CellMode::Normal),
+    /// Applies one AccessEval migration; returns its background cost and
+    /// appends its op chain to `ops` under the pipelined model.
+    fn apply_migration(
+        &mut self,
+        migration: Migration,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<Micros, SimError> {
+        let lpn = migration.lpn();
+        let mode = match migration {
+            Migration::PromoteToReduced { .. } => CellMode::Reduced,
+            Migration::DemoteToNormal { .. } => CellMode::Normal,
         };
         // Read the current copy, then rewrite it in the target mode.
         self.stats.flash_reads += 1;
+        if self.pipelined() {
+            ops.push(FlashOp::GcRead { lpn });
+        }
         let read_cost = self.config.latency.timing.read_transfer_latency(0);
         let cost = self.ftl.write(lpn, mode)?;
-        Ok(read_cost + self.account(cost))
+        Ok(read_cost + self.account(cost, lpn, ops))
     }
 
-    /// Converts FTL op counts into device time and folds them into the
-    /// statistics.
-    fn account(&mut self, cost: OpCost) -> Micros {
+    /// Converts FTL op counts into device time, folds them into the
+    /// statistics, and (pipelined model) appends the matching op chain.
+    fn account(&mut self, cost: OpCost, lpn: u64, ops: &mut Vec<FlashOp>) -> Micros {
+        if self.pipelined() {
+            ops.extend(cost.flash_ops(lpn));
+        }
         let t = &self.config.latency.timing;
         self.stats.flash_reads += cost.flash_reads;
         self.stats.flash_programs += cost.programs;
@@ -568,6 +825,58 @@ mod tests {
         let a = run_scheme(Scheme::FlexLevel, &trace);
         let b = run_scheme(Scheme::FlexLevel, &trace);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pipelined_matches_logical_counters_and_reports_stages() {
+        use crate::config::TimingModel;
+        let trace = small_trace(3_000, 1_500);
+        let single = run_scheme(Scheme::FlexLevel, &trace);
+        let config =
+            SsdConfig::scaled(Scheme::FlexLevel, 64).with_timing_model(TimingModel::Pipelined);
+        let mut sim = SsdSimulator::new(config);
+        let piped = sim.run(&trace).expect("pipelined run completes").clone();
+        // The logical layer is shared: every operation counter matches
+        // the single-queue run exactly.
+        assert_eq!(piped.host_reads, single.host_reads);
+        assert_eq!(piped.host_writes, single.host_writes);
+        assert_eq!(piped.buffer_read_hits, single.buffer_read_hits);
+        assert_eq!(piped.flash_reads, single.flash_reads);
+        assert_eq!(piped.flash_programs, single.flash_programs);
+        assert_eq!(piped.erases, single.erases);
+        assert_eq!(piped.gc_runs, single.gc_runs);
+        assert_eq!(piped.gc_migrated_pages, single.gc_migrated_pages);
+        assert_eq!(piped.promotions, single.promotions);
+        assert_eq!(piped.reduced_reads, single.reduced_reads);
+        assert_eq!(piped.reads_by_sensing_level, single.reads_by_sensing_level);
+        // Per-stage accounting is populated (and absent in single-queue).
+        use crate::pipeline::StageKind;
+        assert_eq!(piped.stage_sense.ops, piped.flash_reads);
+        assert!(piped.stage_transfer.ops > 0);
+        assert!(piped.stage_decode.ops > 0);
+        assert!(piped.stage_sense.busy_us > 0.0);
+        assert!(piped.makespan_us > 0.0);
+        assert!(piped.throughput_rps() > 0.0);
+        assert!(piped.stage_utilization(StageKind::Sense, 4) > 0.0);
+        assert_eq!(single.stage_sense.ops, 0);
+        assert!(single.makespan_us > 0.0);
+        // Every host request got a response.
+        assert_eq!(piped.responses_seen, 3_000);
+    }
+
+    #[test]
+    fn pipelined_deterministic_across_runs() {
+        use crate::config::TimingModel;
+        let trace = small_trace(2_000, 1_000);
+        let run = || {
+            let config = SsdConfig::scaled(Scheme::FlexLevel, 64)
+                .with_timing_model(TimingModel::Pipelined)
+                .with_dies_per_channel(4)
+                .with_decoder_slots(2);
+            let mut sim = SsdSimulator::new(config);
+            sim.run(&trace).expect("run completes").clone()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,7 +1,40 @@
-//! Simulation counters and response-time accounting.
+//! Simulation counters, response-time and per-stage accounting.
 
 use flash_model::Micros;
 use serde::{Deserialize, Serialize};
+
+use crate::pipeline::StageKind;
+
+/// Occupancy accounting for one pipeline stage class (all units of that
+/// class combined). Populated only by the pipelined timing model; the
+/// single-queue model has no per-stage visibility and leaves these zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageAccount {
+    /// Stage executions.
+    pub ops: u64,
+    /// Total time units of this class were held (µs).
+    pub busy_us: f64,
+    /// Total time ready stages waited for a free unit (µs).
+    pub wait_us: f64,
+}
+
+impl StageAccount {
+    /// Mean service time per stage execution.
+    pub fn mean_latency(&self) -> Micros {
+        if self.ops == 0 {
+            return Micros::ZERO;
+        }
+        Micros(self.busy_us / self.ops as f64)
+    }
+
+    /// Mean queueing delay per stage execution.
+    pub fn mean_wait(&self) -> Micros {
+        if self.ops == 0 {
+            return Micros::ZERO;
+        }
+        Micros(self.wait_us / self.ops as f64)
+    }
+}
 
 /// Everything the experiments read out of a simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -37,15 +70,44 @@ pub struct SimStats {
     pub read_response_us: f64,
     /// Maximum observed response time (µs).
     pub max_response_us: f64,
-    /// Bounded sample of response times for percentile estimation
-    /// (systematic 1-in-`SAMPLE_STRIDE` sampling).
+    /// Bounded uniform sample of response times for percentile
+    /// estimation (deterministic seeded reservoir; exact — every response
+    /// retained — for runs up to the reservoir capacity).
     pub response_samples: Vec<f64>,
+    /// Responses offered to the reservoir so far.
+    pub responses_seen: u64,
+    /// SplitMix64 state driving reservoir replacement (fixed seed, so
+    /// identical runs sample identically).
+    pub sample_state: u64,
+    /// Schedule makespan: when the last resource went idle (µs). The
+    /// single-queue model reports the maximum channel horizon.
+    pub makespan_us: f64,
+    /// Sensing-stage occupancy (pipelined model).
+    pub stage_sense: StageAccount,
+    /// Bus-transfer-stage occupancy (pipelined model).
+    pub stage_transfer: StageAccount,
+    /// Decode-stage occupancy (pipelined model).
+    pub stage_decode: StageAccount,
+    /// Program-stage occupancy (pipelined model).
+    pub stage_program: StageAccount,
+    /// Erase-stage occupancy (pipelined model).
+    pub stage_erase: StageAccount,
 }
 
-/// Response-time sampling stride for percentile estimation.
-const SAMPLE_STRIDE: u64 = 4;
-/// Hard cap on retained samples.
+/// Reservoir capacity: runs at or below this many responses keep every
+/// sample, making percentiles exact.
 const MAX_SAMPLES: usize = 1 << 17;
+/// Fixed seed of the reservoir's replacement stream.
+const SAMPLE_SEED: u64 = 0x5EED_5A3B_1E5E_4701;
+
+/// One step of the SplitMix64 generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 impl SimStats {
     /// Creates zeroed stats able to track up to `max_levels` extra sensing
@@ -53,22 +115,87 @@ impl SimStats {
     pub fn new(max_levels: u32) -> SimStats {
         SimStats {
             reads_by_sensing_level: vec![0; max_levels as usize + 1],
+            sample_state: SAMPLE_SEED,
             ..SimStats::default()
         }
     }
 
     /// Records one host request's response time.
+    ///
+    /// Percentile samples use Algorithm R reservoir sampling: the first
+    /// `MAX_SAMPLES` (2^17) responses are all kept (exact percentiles
+    /// for small runs); past that, response `n` replaces a uniformly
+    /// random reservoir slot with probability `MAX_SAMPLES / n`. The replacement
+    /// stream is seeded at construction, so sampling is deterministic and
+    /// — unlike the strided sampler this replaces — cannot alias against
+    /// periodic structure in the trace.
     pub fn record_response(&mut self, response: Micros, is_read: bool) {
         self.total_response_us += response.as_f64();
         if is_read {
             self.read_response_us += response.as_f64();
         }
         self.max_response_us = self.max_response_us.max(response.as_f64());
-        if self.host_requests().is_multiple_of(SAMPLE_STRIDE)
-            && self.response_samples.len() < MAX_SAMPLES
-        {
+        self.responses_seen += 1;
+        if self.response_samples.len() < MAX_SAMPLES {
             self.response_samples.push(response.as_f64());
+        } else {
+            let slot = splitmix64(&mut self.sample_state) % self.responses_seen;
+            if (slot as usize) < MAX_SAMPLES {
+                self.response_samples[slot as usize] = response.as_f64();
+            }
         }
+    }
+
+    /// Records one pipeline stage execution: `busy` on the unit after
+    /// waiting `wait` for it.
+    pub fn record_stage(&mut self, kind: StageKind, busy: Micros, wait: Micros) {
+        let account = match kind {
+            StageKind::Sense => &mut self.stage_sense,
+            StageKind::Transfer => &mut self.stage_transfer,
+            StageKind::Decode => &mut self.stage_decode,
+            StageKind::Program => &mut self.stage_program,
+            StageKind::Erase => &mut self.stage_erase,
+        };
+        account.ops += 1;
+        account.busy_us += busy.as_f64();
+        account.wait_us += wait.as_f64();
+    }
+
+    /// The accumulated account of one stage class.
+    pub fn stage(&self, kind: StageKind) -> &StageAccount {
+        match kind {
+            StageKind::Sense => &self.stage_sense,
+            StageKind::Transfer => &self.stage_transfer,
+            StageKind::Decode => &self.stage_decode,
+            StageKind::Program => &self.stage_program,
+            StageKind::Erase => &self.stage_erase,
+        }
+    }
+
+    /// Fraction of the makespan the `units` units of `kind` were busy
+    /// (aggregate: 1.0 = every unit busy the whole run).
+    pub fn stage_utilization(&self, kind: StageKind, units: u32) -> f64 {
+        if self.makespan_us <= 0.0 || units == 0 {
+            return 0.0;
+        }
+        self.stage(kind).busy_us / (self.makespan_us * units as f64)
+    }
+
+    /// Time-averaged number of stages queued (not yet running) on `kind`
+    /// units, by Little's law: total wait over the makespan.
+    pub fn mean_queue_depth(&self, kind: StageKind) -> f64 {
+        if self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        self.stage(kind).wait_us / self.makespan_us
+    }
+
+    /// Host requests completed per second of schedule makespan.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        self.host_requests() as f64 / Micros(self.makespan_us).as_secs()
     }
 
     /// Response-time percentile (`q` in `[0, 1]`) from the retained
@@ -173,21 +300,80 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_from_samples() {
+    fn percentiles_exact_for_small_runs() {
         let mut s = SimStats::new(6);
-        // Feed 400 responses of increasing size; every 4th is sampled.
+        // 400 responses of increasing size: far below the reservoir
+        // capacity, so every one is retained and percentiles are exact.
         for i in 0..400u64 {
             s.host_reads += 1;
             s.record_response(Micros(i as f64), true);
         }
-        assert!(!s.response_samples.is_empty());
-        let p50 = s.response_percentile(0.5).as_f64();
-        let p99 = s.response_percentile(0.99).as_f64();
-        assert!(p50 < p99);
-        assert!((150.0..250.0).contains(&p50), "p50 {p50}");
-        assert!(p99 > 380.0, "p99 {p99}");
+        assert_eq!(s.response_samples.len(), 400);
+        assert_eq!(s.response_percentile(0.5), Micros(200.0));
+        assert_eq!(s.response_percentile(0.99), Micros(395.0));
+        assert_eq!(s.response_percentile(0.0), Micros(0.0));
+        assert_eq!(s.response_percentile(1.0), Micros(399.0));
         // Degenerate: empty stats.
         assert_eq!(SimStats::new(6).response_percentile(0.99), Micros::ZERO);
+    }
+
+    #[test]
+    fn reservoir_sampling_is_capped_unbiased_and_deterministic() {
+        let feed = |n: u64| {
+            let mut s = SimStats::new(6);
+            for i in 0..n {
+                // A strongly periodic trace: the old strided sampler
+                // (1-in-4) would only ever see phase 0 of this pattern.
+                s.record_response(Micros((i % 4) as f64 * 100.0), true);
+            }
+            s
+        };
+        let n = (MAX_SAMPLES + 50_000) as u64;
+        let a = feed(n);
+        assert_eq!(a.response_samples.len(), MAX_SAMPLES);
+        assert_eq!(a.responses_seen, n);
+        // All four phases survive in the reservoir in similar proportion.
+        for phase in 0..4 {
+            let count = a
+                .response_samples
+                .iter()
+                .filter(|&&v| v == phase as f64 * 100.0)
+                .count();
+            let share = count as f64 / MAX_SAMPLES as f64;
+            assert!(
+                (share - 0.25).abs() < 0.02,
+                "phase {phase} share {share} aliased"
+            );
+        }
+        // Deterministic: a second identical run reproduces the reservoir.
+        assert_eq!(a, feed(n));
+    }
+
+    #[test]
+    fn stage_accounting_and_derived_metrics() {
+        let mut s = SimStats::new(6);
+        s.record_stage(StageKind::Sense, Micros(90.0), Micros(10.0));
+        s.record_stage(StageKind::Sense, Micros(90.0), Micros(0.0));
+        s.record_stage(StageKind::Decode, Micros(5.0), Micros(0.0));
+        s.makespan_us = 400.0;
+        s.host_reads = 2;
+        assert_eq!(s.stage(StageKind::Sense).ops, 2);
+        assert_eq!(s.stage(StageKind::Sense).mean_latency(), Micros(90.0));
+        assert_eq!(s.stage(StageKind::Sense).mean_wait(), Micros(5.0));
+        assert_eq!(s.stage(StageKind::Transfer).ops, 0);
+        assert_eq!(s.stage(StageKind::Transfer).mean_latency(), Micros::ZERO);
+        // 180 µs of sensing across 2 dies over a 400 µs run.
+        let util = s.stage_utilization(StageKind::Sense, 2);
+        assert!((util - 180.0 / 800.0).abs() < 1e-12, "utilization {util}");
+        let depth = s.mean_queue_depth(StageKind::Sense);
+        assert!((depth - 10.0 / 400.0).abs() < 1e-12, "queue depth {depth}");
+        // 2 requests in 400 µs = 5000 req/s.
+        assert!((s.throughput_rps() - 5000.0).abs() < 1e-9);
+        // Degenerate guards.
+        assert_eq!(SimStats::new(6).throughput_rps(), 0.0);
+        assert_eq!(SimStats::new(6).stage_utilization(StageKind::Sense, 4), 0.0);
+        assert_eq!(s.stage_utilization(StageKind::Sense, 0), 0.0);
+        assert_eq!(SimStats::new(6).mean_queue_depth(StageKind::Decode), 0.0);
     }
 
     #[test]
