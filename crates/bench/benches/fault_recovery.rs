@@ -1,0 +1,204 @@
+//! Fault-recovery cost benchmark: what the error-recovery machinery —
+//! retry ladder, grown-bad-block retirement, patrol scrub — costs the
+//! simulator and the modelled device.
+//!
+//! Replays one trace three ways: faults off (the golden path), faults on
+//! at the calibrated rates (`scale 1`), and an accelerated-aging run
+//! (`scale 25`). For each it reports wall-clock replay speed, the mean
+//! modelled response time, and the full recovery panel, then writes a
+//! machine-readable `BENCH_faults.json` (hand-formatted — the build has
+//! no serde_json) so recovery overhead can be tracked PR over PR.
+//!
+//! Env knobs: `BENCH_QUICK=1` shrinks the workload for CI smoke runs;
+//! `BENCH_FAULTS_OUT` overrides the JSON path.
+//!
+//! Run: `cargo bench -p bench --bench fault_recovery`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use reliability::EccConfig;
+use ssd::{FaultConfig, Scheme, SimStats, SsdConfig, SsdSimulator};
+use workloads::{Trace, WorkloadSpec};
+
+const BLOCKS: u32 = 64;
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Mixed read/write trace with GC pressure, so program faults and the
+/// patrol scrubber see realistic block churn.
+fn bench_trace(requests: u64) -> Trace {
+    let config = SsdConfig::scaled(Scheme::Baseline, BLOCKS);
+    let footprint = config.geometry.logical_pages() * 7 / 10;
+    WorkloadSpec::prj1()
+        .with_requests(requests)
+        .with_footprint(footprint)
+        .with_interarrival_scale(2.2)
+        .generate(&mut StdRng::seed_from_u64(0xFA17))
+}
+
+/// The benchmarked fault variants: label + configuration.
+fn variants() -> Vec<(&'static str, Option<FaultConfig>)> {
+    vec![
+        ("faults-off", None),
+        ("calibrated", Some(FaultConfig::enabled())),
+        (
+            "accelerated-25x",
+            Some(FaultConfig::enabled().with_scale(25.0)),
+        ),
+    ]
+}
+
+fn config_for(faults: &Option<FaultConfig>) -> SsdConfig {
+    let mut config = SsdConfig::scaled(Scheme::FlexLevel, BLOCKS)
+        .with_base_pe(6000)
+        .with_seed(7);
+    if let Some(f) = faults {
+        config = config.with_faults(f.clone());
+    }
+    config
+}
+
+fn run_variant(faults: &Option<FaultConfig>, trace: &Trace) -> SimStats {
+    let mut sim = SsdSimulator::new(config_for(faults));
+    sim.run(trace).expect("trace fits the device").clone()
+}
+
+struct VariantResult {
+    label: &'static str,
+    /// Wall-clock host requests simulated per second (replay speed).
+    sim_rps: f64,
+    mean_response_us: f64,
+    stats: SimStats,
+}
+
+/// Best-of-`reps` wall-clock replay speed plus the recovery counters.
+fn measure(
+    label: &'static str,
+    faults: &Option<FaultConfig>,
+    trace: &Trace,
+    reps: usize,
+) -> VariantResult {
+    let stats = run_variant(faults, trace); // warmup + modelled numbers
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(run_variant(faults, trace));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    VariantResult {
+        label,
+        sim_rps: trace.len() as f64 / best,
+        mean_response_us: stats.mean_response().as_f64(),
+        stats,
+    }
+}
+
+fn write_json(path: &str, quick: bool, requests: u64, results: &[VariantResult]) {
+    let info_bits = EccConfig::paper_ldpc().info_bits;
+    let mut points = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            points.push_str(",\n");
+        }
+        let s = &r.stats;
+        points.push_str(&format!(
+            concat!(
+                "    {{\"variant\": \"{}\", \"sim_rps\": {:.3}, ",
+                "\"mean_response_us\": {:.3}, \"flash_reads\": {}, ",
+                "\"retry_reads\": {}, \"recovered_reads\": {}, ",
+                "\"uncorrectable_reads\": {}, \"max_retry_depth\": {}, ",
+                "\"program_failures\": {}, \"retired_blocks\": {}, ",
+                "\"die_resets\": {}, \"scrub_runs\": {}, \"scrub_reads\": {}, ",
+                "\"scrub_refreshes\": {}, \"recovery_latency_us\": {:.3}, ",
+                "\"observed_uber\": {:.6e}}}"
+            ),
+            r.label,
+            r.sim_rps,
+            r.mean_response_us,
+            s.flash_reads,
+            s.retry_reads,
+            s.recovered_reads,
+            s.uncorrectable_reads,
+            s.max_retry_depth(),
+            s.program_failures,
+            s.retired_blocks,
+            s.die_resets,
+            s.scrub_runs,
+            s.scrub_reads,
+            s.scrub_refreshes,
+            s.recovery_latency_us,
+            s.observed_uber(info_bits)
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fault_recovery\",\n",
+            "  \"quick\": {},\n",
+            "  \"requests\": {},\n",
+            "  \"blocks\": {},\n",
+            "  \"points\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        quick, requests, BLOCKS, points
+    );
+    std::fs::write(path, json).expect("write BENCH_faults.json");
+    println!("\nwrote {path}");
+}
+
+fn bench_fault_recovery(c: &mut Criterion) {
+    let (requests, reps, samples) = if quick_mode() {
+        (2_000u64, 2, 3)
+    } else {
+        (12_000u64, 3, 5)
+    };
+    let trace = bench_trace(requests);
+
+    // Criterion view: one full trace replay per iteration per variant.
+    let mut group = c.benchmark_group("fault_recovery");
+    group.sample_size(samples);
+    for (label, faults) in variants() {
+        group.bench_function(BenchmarkId::new("replay", label), |b| {
+            b.iter(|| std::hint::black_box(run_variant(&faults, &trace)))
+        });
+    }
+    group.finish();
+
+    // Machine-readable view.
+    let results: Vec<VariantResult> = variants()
+        .iter()
+        .map(|(label, faults)| measure(label, faults, &trace, reps))
+        .collect();
+    println!("\n== {requests} requests, best of {reps} reps");
+    for r in &results {
+        let s = &r.stats;
+        println!(
+            concat!(
+                "{:>16}: replay {:>9.0} req/s   mean {:>9.1} us   ",
+                "retries {:>5} ({} rec / {} unc)   retired {}   scrub {}/{}"
+            ),
+            r.label,
+            r.sim_rps,
+            r.mean_response_us,
+            s.retry_reads,
+            s.recovered_reads,
+            s.uncorrectable_reads,
+            s.retired_blocks,
+            s.scrub_reads,
+            s.scrub_refreshes
+        );
+    }
+    let path =
+        std::env::var("BENCH_FAULTS_OUT").unwrap_or_else(|_| "BENCH_faults.json".to_string());
+    write_json(&path, quick_mode(), requests, &results);
+}
+
+criterion_group!(benches, bench_fault_recovery);
+
+fn main() {
+    benches();
+}

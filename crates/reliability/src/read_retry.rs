@@ -266,6 +266,40 @@ mod tests {
     }
 
     #[test]
+    fn optimal_shift_beats_every_table_entry() {
+        // The golden-section optimum must be at least as good as each of
+        // the 8 discrete retry levels, not merely the best one.
+        let (cfg, program, retention) = setup();
+        let stress = (6000u32, Hours::months(1.0));
+        let (_, opt_ber) =
+            optimal_shift(&cfg, &program, &retention, stress.0, stress.1, Volts(0.15));
+        for &shift in RetryTable::typical().shifts() {
+            let entry = ber_at_shift(&cfg, &program, &retention, stress.0, stress.1, shift, 2.0);
+            assert!(
+                opt_ber <= entry * 1.01,
+                "optimal {opt_ber:.3e} worse than table shift {shift}: {entry:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_config_rejection_boundary_is_the_erased_mean() {
+        // The exact legality frontier: the lowest read reference may
+        // approach but never cross the erased distribution's mean.
+        let (cfg, _, _) = setup();
+        let margin = cfg.read_refs()[0] - cfg.erased_mean();
+        let legal = Volts(margin.as_f64() - 1e-6);
+        let illegal = Volts(margin.as_f64() + 1e-6);
+        let shifted = shifted_config(&cfg, legal).expect("shift inside the margin is readable");
+        assert!(shifted.read_refs()[0].as_f64() > cfg.erased_mean().as_f64());
+        assert_eq!(shifted_config(&cfg, illegal), None);
+        // And an unreadable shift reports BER 1.0 rather than panicking.
+        let (_, program, retention) = setup();
+        let ber = ber_at_shift(&cfg, &program, &retention, 3000, Hours(1.0), illegal, 2.0);
+        assert_eq!(ber, 1.0);
+    }
+
+    #[test]
     fn typical_table_shape() {
         let t = RetryTable::typical();
         assert_eq!(t.shifts().len(), 8);

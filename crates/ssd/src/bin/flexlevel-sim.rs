@@ -5,6 +5,8 @@
 //!   flexlevel-sim [--scheme S] [--workload W] [--pe N] [--blocks N]
 //!                 [--requests N] [--seed N] [--all-schemes]
 //!                 [--timing single|pipelined] [--dies N] [--decoders N]
+//!                 [--faults] [--fault-scale X] [--fault-seed N]
+//!                 [--scrub-interval N]
 //!
 //!   --scheme S      baseline | ldpc | la-only | flexlevel   (default flexlevel)
 //!   --workload W    fin-2 | web-1 | web-2 | prj-1 | prj-2 | win-1 | win-2
@@ -18,10 +20,16 @@
 //!   --dies N        dies per channel (pipelined model only, default 4)
 //!   --decoders N    controller LDPC decoder slots (pipelined, default 2)
 //!   --all-schemes   run all four systems and print a comparison
+//!   --faults        enable deterministic fault injection + recovery
+//!   --fault-scale X FER acceleration multiplier (default 1.0)
+//!   --fault-seed N  fault-stream seed (default model seed)
+//!   --scrub-interval N   host requests between patrol-scrub visits
+//!                        (0 disables the scrubber)
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
-use ssd::{Scheme, SsdConfig, SsdSimulator, StageKind, TimingModel};
+use reliability::EccConfig;
+use ssd::{FaultConfig, Scheme, SimStats, SsdConfig, SsdSimulator, StageKind, TimingModel};
 use workloads::WorkloadSpec;
 
 struct Args {
@@ -36,6 +44,23 @@ struct Args {
     dies: u32,
     decoders: u32,
     all_schemes: bool,
+    faults: bool,
+    fault_scale: f64,
+    fault_seed: Option<u64>,
+    scrub_interval: Option<u64>,
+}
+
+impl Args {
+    fn fault_config(&self) -> FaultConfig {
+        let mut faults = FaultConfig::enabled().with_scale(self.fault_scale);
+        if let Some(seed) = self.fault_seed {
+            faults = faults.with_seed(seed);
+        }
+        if let Some(interval) = self.scrub_interval {
+            faults = faults.with_scrub_interval(interval);
+        }
+        faults
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +76,10 @@ fn parse_args() -> Result<Args, String> {
         dies: 4,
         decoders: 2,
         all_schemes: false,
+        faults: false,
+        fault_scale: 1.0,
+        fault_seed: None,
+        scrub_interval: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,6 +134,26 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--decoders: {e}"))?
             }
             "--all-schemes" => args.all_schemes = true,
+            "--faults" => args.faults = true,
+            "--fault-scale" => {
+                args.fault_scale = value("--fault-scale")?
+                    .parse()
+                    .map_err(|e| format!("--fault-scale: {e}"))?
+            }
+            "--fault-seed" => {
+                args.fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("--fault-seed: {e}"))?,
+                )
+            }
+            "--scrub-interval" => {
+                args.scrub_interval = Some(
+                    value("--scrub-interval")?
+                        .parse()
+                        .map_err(|e| format!("--scrub-interval: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -122,7 +171,8 @@ fn print_usage() {
                 [--workload fin-2|web-1|web-2|prj-1|prj-2|win-1|win-2]\n\
                 [--pe N] [--blocks N] [--requests N] [--seed N]\n\
                 [--channels N] [--timing single|pipelined] [--dies N]\n\
-                [--decoders N] [--all-schemes]"
+                [--decoders N] [--all-schemes] [--faults]\n\
+                [--fault-scale X] [--fault-seed N] [--scrub-interval N]"
     );
 }
 
@@ -132,14 +182,52 @@ fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
         .find(|s| s.name == name)
 }
 
-fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) {
-    let config = SsdConfig::scaled(scheme, args.blocks)
+fn print_recovery_panel(stats: &SimStats) {
+    println!(
+        "  recovery           : {} retried reads ({} recovered / {} uncorrectable)",
+        stats.retry_reads, stats.recovered_reads, stats.uncorrectable_reads
+    );
+    let depth = stats.max_retry_depth();
+    let histogram: Vec<String> = stats.retry_depth_histogram[1..=depth.max(1)]
+        .iter()
+        .enumerate()
+        .map(|(i, n)| format!("d{}:{n}", i + 1))
+        .collect();
+    println!("  retry depths       : {}", histogram.join(" "));
+    println!(
+        "  grown bad blocks   : {} retired ({} program failures)",
+        stats.retired_blocks, stats.program_failures
+    );
+    println!(
+        "  patrol scrub       : {} runs, {} reads, {} refreshes",
+        stats.scrub_runs, stats.scrub_reads, stats.scrub_refreshes
+    );
+    println!("  die resets         : {}", stats.die_resets);
+    println!(
+        "  recovery latency   : {:.0} us total",
+        stats.recovery_latency_us
+    );
+    println!(
+        "  observed UBER      : {:.3e} ({} frames decoded)",
+        stats.observed_uber(EccConfig::paper_ldpc().info_bits),
+        stats.decoded_frames()
+    );
+}
+
+/// Runs one scheme and prints its report; returns `false` if the
+/// simulation failed (the caller finishes the remaining schemes and
+/// exits non-zero at the end).
+fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) -> bool {
+    let mut config = SsdConfig::scaled(scheme, args.blocks)
         .with_base_pe(args.pe)
         .with_seed(args.seed)
         .with_channels(args.channels)
         .with_timing_model(args.timing)
         .with_dies_per_channel(args.dies)
         .with_decoder_slots(args.decoders);
+    if args.faults {
+        config = config.with_faults(args.fault_config());
+    }
     let mut sim = SsdSimulator::new(config);
     match sim.run(trace) {
         Ok(stats) => {
@@ -171,6 +259,9 @@ fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) {
                     "  AccessEval         : {} promotions, {} demotions",
                     stats.promotions, stats.demotions
                 );
+            }
+            if args.faults {
+                print_recovery_panel(stats);
             }
             if args.timing == TimingModel::Pipelined {
                 println!(
@@ -205,10 +296,12 @@ fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) {
                     );
                 }
             }
+            true
         }
         Err(e) => {
-            eprintln!("{}: simulation failed: {e}", scheme.label());
-            std::process::exit(1);
+            eprintln!("--- {} ---", scheme.label());
+            eprintln!("  simulation failed  : {e}");
+            false
         }
     }
 }
@@ -241,11 +334,22 @@ fn main() {
         trace.footprint_pages,
         args.pe
     );
+    let mut failed = Vec::new();
     if args.all_schemes {
         for scheme in Scheme::ALL {
-            run_one(scheme, &args, &trace);
+            if !run_one(scheme, &args, &trace) {
+                failed.push(scheme.label());
+            }
         }
-    } else {
-        run_one(args.scheme, &args, &trace);
+    } else if !run_one(args.scheme, &args, &trace) {
+        failed.push(args.scheme.label());
+    }
+    if !failed.is_empty() {
+        eprintln!(
+            "\nerror: {} scheme(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
     }
 }

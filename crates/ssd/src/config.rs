@@ -10,6 +10,7 @@ use flexlevel::{AccessEvalConfig, NunmaScheme};
 use ldpc::{IterationProfile, ReadLatencyModel, SensingSchedule};
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultConfig;
 use crate::ftl::GcPolicy;
 
 /// Which storage system design the simulator runs (the four systems of
@@ -134,6 +135,10 @@ pub struct SsdConfig {
     pub min_over_provisioning: f64,
     /// RNG seed for data ages.
     pub seed: u64,
+    /// Fault-injection model (decode failures, program failures, die
+    /// faults, patrol scrub). Disabled by default — golden counters and
+    /// published numbers never see it.
+    pub faults: FaultConfig,
     /// Worker threads for *independent* sweeps built on this config
     /// (trace × scheme fan-out, BER shards); `0` = auto, honouring the
     /// `FLEXLEVEL_THREADS` environment variable. The event loop of a
@@ -172,8 +177,17 @@ impl SsdConfig {
             max_data_age: Hours::months(1.0),
             min_over_provisioning: 0.04,
             seed: 42,
+            faults: FaultConfig::default(),
             threads: 0,
         }
+    }
+
+    /// Installs a fault-injection configuration (use
+    /// [`FaultConfig::enabled`] to switch injection on).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> SsdConfig {
+        self.faults = faults;
+        self
     }
 
     /// Sets the starting wear level (Figure 6b sweeps this).
@@ -315,6 +329,15 @@ mod tests {
             (cfg.dies_per_channel, cfg.planes_per_die, cfg.decoder_slots),
             (1, 1, 1)
         );
+    }
+
+    #[test]
+    fn faults_default_off() {
+        let cfg = SsdConfig::scaled(Scheme::FlexLevel, 64);
+        assert!(!cfg.faults.enabled);
+        let cfg = cfg.with_faults(FaultConfig::enabled().with_scale(2.0));
+        assert!(cfg.faults.enabled);
+        assert_eq!(cfg.faults.scale, 2.0);
     }
 
     #[test]

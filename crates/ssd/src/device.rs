@@ -138,6 +138,45 @@ impl ReliabilityState {
         self.normal_ber(pe_cycles, self.max_age)
     }
 
+    /// Marks `lpn` as just rewritten *in place* by a patrol-scrub
+    /// refresh: its retention age drops to zero. Unlike
+    /// [`record_write`](Self::record_write) this consumes no RNG draws —
+    /// a refreshed page really is fresh, and keeping the age stream
+    /// untouched preserves the determinism contract for fault-free pages.
+    pub fn refresh(&mut self, lpn: u64) {
+        self.ages.insert(lpn, Hours(0.0));
+    }
+
+    /// Relative BER improvement of the device's read-retry table at the
+    /// `pe_cycles` stress point with worst-case retention: the
+    /// calibrated-over-nominal ratio of
+    /// [`reliability::read_retry`]. This is what one Vref-shift re-read
+    /// buys the recovery ladder (see [`crate::recovery`]); values are in
+    /// `(0, 1]`, smaller meaning the retry table recovers more margin.
+    pub fn retry_gain(&self, pe_cycles: u32) -> f64 {
+        use flash_model::Volts;
+        let nominal = reliability::read_retry::ber_at_shift(
+            &self.normal_config,
+            &self.program,
+            &self.retention,
+            pe_cycles,
+            self.max_age,
+            Volts::ZERO,
+            2.0,
+        );
+        let calibrated = reliability::calibrated_ber(
+            &self.normal_config,
+            &self.program,
+            &self.retention,
+            pe_cycles,
+            self.max_age,
+        );
+        if nominal <= 0.0 {
+            return 1.0;
+        }
+        (calibrated / nominal).clamp(0.0, 1.0)
+    }
+
     /// Number of distinct cached BER cells (diagnostics).
     pub fn cache_entries(&self) -> usize {
         self.ber_cache.len()
@@ -387,6 +426,33 @@ mod tests {
         let worst = s.worst_case_ber(5000);
         let typical = s.normal_ber(5000, Hours::days(2.0));
         assert!(worst >= typical);
+    }
+
+    #[test]
+    fn refresh_zeroes_age_without_rng() {
+        let mut a = state();
+        let mut b = state();
+        let _ = a.age(3);
+        let _ = b.age(3);
+        // Refresh pins the page's age to zero…
+        a.refresh(3);
+        assert_eq!(a.age(3), Hours(0.0));
+        // …and consumes no randomness: the next first-touch sample on an
+        // unrelated page matches a state that never refreshed.
+        assert_eq!(a.age(99), b.age(99));
+    }
+
+    #[test]
+    fn retry_gain_recovers_margin_at_stress() {
+        let s = state();
+        let gain = s.retry_gain(6000);
+        assert!(
+            gain > 0.0 && gain < 0.5,
+            "retry table should at least halve the worst-case BER, gain {gain}"
+        );
+        // At any wear the ratio stays a valid FER factor in (0, 1].
+        let young = s.retry_gain(1000);
+        assert!(young > 0.0 && young <= 1.0, "young gain {young}");
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Deterministic fault injection for the SSD simulator.
+//!
+//! Real controllers at the paper's stress point (raw BER ≈ 1e-2 at
+//! 6000 P/E) do not live on the success path: frames fail to decode and
+//! are re-read, programs fail status checks and blocks grow bad, dies
+//! glitch and need resets. This module injects those faults
+//! *deterministically*, under the same discipline as
+//! `reliability::mc` — every draw comes from a counter-derived
+//! SplitMix64 stream keyed by `(fault seed, stream kind, lpn, per-page
+//! access index)`, so the outcome is a pure function of the configuration
+//! and the logical access sequence, never of thread count, timing model
+//! or scheduler.
+//!
+//! The read-fault model is anchored in the paper's Equation 1 (see
+//! [`reliability::EccConfig`]): the controller provisions a correction
+//! budget `k(L)` per sensing depth `L` so a frame at its class-boundary
+//! BER fails with probability [`FaultConfig::frame_target`]. Because raw
+//! bit errors in real NAND are correlated (they cluster along wordlines),
+//! the iid binomial tail of Equation 1 is far too sharp to be used
+//! directly — a fixed budget would make frame failure a step function of
+//! BER. The model therefore evaluates the survival function on a
+//! cluster-scaled code ([`FaultConfig::cluster`] raw bits per independent
+//! error event), which widens the transition region to the gradual FER
+//! ramp measured on real parts while keeping the Equation-1 machinery.
+//!
+//! Fault injection defaults **off**; a disabled [`FaultConfig`] leaves
+//! every golden counter and published number untouched.
+
+use std::collections::HashMap;
+
+use ldpc::SensingSchedule;
+use reliability::EccConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the fault-injection subsystem. Disabled by default;
+/// every probability below is exercised only when `enabled` is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Master switch; `false` (the default) injects nothing and draws
+    /// nothing, keeping all golden counters bit-identical.
+    pub enabled: bool,
+    /// Seed of the per-page fault streams (independent of the data-age
+    /// seed so fault and age randomness never alias).
+    pub seed: u64,
+    /// Multiplier on the initial frame-error rate — an accelerated-aging
+    /// knob for short traces (`1.0` = the calibrated model).
+    pub scale: f64,
+    /// Frame-error probability of a read whose raw BER sits exactly at
+    /// its sensing-class boundary: the residual failure rate the
+    /// controller provisions for before the retry ladder.
+    pub frame_target: f64,
+    /// Raw bits per correlated error event; widens the Equation-1
+    /// binomial transition to a realistic FER ramp (see module docs).
+    pub cluster: u64,
+    /// FER multiplier per progressive soft-sensing escalation rung.
+    pub escalate_fer_factor: f64,
+    /// FER multiplier of the final deep-calibration rung (per-die optimal
+    /// shift search, beyond the discrete retry table).
+    pub final_fer_factor: f64,
+    /// Probability a page program fails its status check, retiring the
+    /// block as grown-bad.
+    pub program_fail_prob: f64,
+    /// Probability a flash read hits a transient whole-die fault needing
+    /// a reset before data can be sensed.
+    pub die_fault_prob: f64,
+    /// Time one die reset stalls the plane (µs).
+    pub die_reset_us: f64,
+    /// Host requests between patrol-scrub block visits (`0` disables the
+    /// scrubber even with faults enabled).
+    pub scrub_interval: u64,
+    /// Modeled retention BER at which the scrubber refreshes (rewrites)
+    /// a page it patrols.
+    pub scrub_refresh_ber: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            enabled: false,
+            seed: 0xFA17_5EED,
+            scale: 1.0,
+            frame_target: 1e-2,
+            cluster: 64,
+            escalate_fer_factor: 0.25,
+            final_fer_factor: 0.1,
+            program_fail_prob: 2e-4,
+            die_fault_prob: 5e-5,
+            die_reset_us: 2_000.0,
+            scrub_interval: 500,
+            scrub_refresh_ber: 8e-3,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The default fault model with injection switched on.
+    pub fn enabled() -> FaultConfig {
+        FaultConfig {
+            enabled: true,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Sets the fault-stream seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> FaultConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the FER acceleration multiplier.
+    #[must_use]
+    pub fn with_scale(mut self, scale: f64) -> FaultConfig {
+        self.scale = scale.max(0.0);
+        self
+    }
+
+    /// Sets the program-status failure probability.
+    #[must_use]
+    pub fn with_program_fail_prob(mut self, p: f64) -> FaultConfig {
+        self.program_fail_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the transient die-fault probability per flash read.
+    #[must_use]
+    pub fn with_die_fault_prob(mut self, p: f64) -> FaultConfig {
+        self.die_fault_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the patrol-scrub visit interval in host requests.
+    #[must_use]
+    pub fn with_scrub_interval(mut self, requests: u64) -> FaultConfig {
+        self.scrub_interval = requests;
+        self
+    }
+}
+
+/// Which independent per-page stream a draw comes from. Each stream has
+/// its own counter, so interleaving (a scrub read between two host
+/// reads, say) never shifts another stream's sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum StreamKind {
+    /// Frame-decode outcome of a flash read.
+    Read,
+    /// Transient die fault on a flash read.
+    Die,
+    /// Program-status outcome of a page program.
+    Program,
+}
+
+impl StreamKind {
+    fn tag(self) -> u64 {
+        match self {
+            StreamKind::Read => 0x1D,
+            StreamKind::Die => 0x2E,
+            StreamKind::Program => 0x3F,
+        }
+    }
+}
+
+/// One step of the SplitMix64 generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the `(seed, kind, lpn, counter)` cell
+/// of the fault stream — stateless, so any access order reproduces it.
+fn stream_unit(seed: u64, kind: StreamKind, lpn: u64, counter: u64) -> f64 {
+    let mut state = seed
+        ^ kind.tag().wrapping_mul(0xA24B_AED4_963E_E407)
+        ^ lpn.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+        ^ counter.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let _ = splitmix64(&mut state);
+    let z = splitmix64(&mut state);
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Runtime state of the fault injector: the calibrated Equation-1
+/// correction budgets, per-page stream counters, and an FER cache.
+#[derive(Debug)]
+pub struct FaultState {
+    config: FaultConfig,
+    /// Cluster-scaled code the FER survival function is evaluated on.
+    cluster_code: EccConfig,
+    /// Correction budget (cluster events) per sensing depth, calibrated
+    /// so the class-boundary BER fails at `frame_target`.
+    correction: Vec<u64>,
+    /// Relative FER improvement of one retry-table Vref-shift re-read,
+    /// derived from [`reliability::read_retry`] at the device's stress
+    /// point (the calibrated-over-nominal BER ratio).
+    retry_fer_factor: f64,
+    /// Per-`(kind, lpn)` access counters driving the streams.
+    counters: HashMap<(u64, u64), u64>,
+    /// FER memo keyed by `(BER bits, sensing depth)` — BER values come
+    /// off the quantised reliability cache, so this stays small.
+    fer_cache: HashMap<(u64, u32), f64>,
+}
+
+impl FaultState {
+    /// Builds the injector for a sensing `schedule`. `retry_gain` is the
+    /// calibrated-over-nominal BER ratio of the device's retry table at
+    /// its stress point (see `ReliabilityState::retry_gain`); it becomes
+    /// the FER improvement of the ladder's Vref-shift rung, clamped to a
+    /// sane range.
+    pub fn new(config: FaultConfig, schedule: &SensingSchedule, retry_gain: f64) -> FaultState {
+        let paper = EccConfig::paper_ldpc();
+        let cluster = config.cluster.max(1);
+        let cluster_code = EccConfig {
+            info_bits: (paper.info_bits / cluster).max(1),
+            codeword_bits: (paper.codeword_bits / cluster).max(2),
+        };
+        let thresholds = schedule.thresholds();
+        let max_levels = schedule.max_extra_levels();
+        // Frame target expressed as the UBER Equation 1 computes
+        // (failures per information bit of the cluster-scaled code).
+        let target_uber = config.frame_target.clamp(1e-12, 1.0) / cluster_code.info_bits as f64;
+        let correction = (0..=max_levels)
+            .map(|level| {
+                let boundary = match thresholds.get(level as usize) {
+                    Some(&t) => t,
+                    // The top class has no upper threshold: provision for
+                    // moderately-past-worst data so the most stressed
+                    // cells sit near (not over) the failure knee.
+                    None => thresholds.last().copied().unwrap_or(1e-2) * 1.5,
+                };
+                cluster_code
+                    .required_correction(boundary.clamp(0.0, 1.0), target_uber)
+                    .unwrap_or(cluster_code.codeword_bits)
+            })
+            .collect();
+        FaultState {
+            retry_fer_factor: retry_gain.clamp(0.02, 0.5),
+            config,
+            cluster_code,
+            correction,
+            counters: HashMap::new(),
+            fer_cache: HashMap::new(),
+        }
+    }
+
+    /// The configuration driving the injector.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// FER improvement factor of a Vref-shift re-read (ladder rung 1).
+    pub fn retry_fer_factor(&self) -> f64 {
+        self.retry_fer_factor
+    }
+
+    /// Clears the per-page counters and cache (used when the simulator
+    /// resets for a measured run, so results do not depend on warmup).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+    }
+
+    fn draw(&mut self, kind: StreamKind, lpn: u64) -> f64 {
+        let counter = self.counters.entry((kind.tag(), lpn)).or_insert(0);
+        let index = *counter;
+        *counter += 1;
+        stream_unit(self.config.seed, kind, lpn, index)
+    }
+
+    /// Uniform draw deciding the decode outcome of `lpn`'s next read.
+    pub fn read_draw(&mut self, lpn: u64) -> f64 {
+        self.draw(StreamKind::Read, lpn)
+    }
+
+    /// Uniform draw deciding whether `lpn`'s next read hits a transient
+    /// die fault.
+    pub fn die_draw(&mut self, lpn: u64) -> f64 {
+        self.draw(StreamKind::Die, lpn)
+    }
+
+    /// Uniform draw deciding the status of `lpn`'s next page program.
+    pub fn program_draw(&mut self, lpn: u64) -> f64 {
+        self.draw(StreamKind::Program, lpn)
+    }
+
+    /// Initial frame-error rate of a read at raw BER `ber` sensed with
+    /// `levels` extra soft levels (scaled by the acceleration knob,
+    /// memoised per quantised BER).
+    pub fn frame_error_rate(&mut self, ber: f64, levels: u32) -> f64 {
+        let level = (levels as usize).min(self.correction.len().saturating_sub(1));
+        let key = (ber.to_bits(), level as u32);
+        if let Some(&fer) = self.fer_cache.get(&key) {
+            return fer;
+        }
+        let p = ber.clamp(0.0, 1.0);
+        let base =
+            self.cluster_code.uber(self.correction[level], p) * self.cluster_code.info_bits as f64;
+        let fer = (self.config.scale * base).clamp(0.0, 1.0);
+        self.fer_cache.insert(key, fer);
+        fer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::derived_schedule;
+
+    fn state(config: FaultConfig) -> FaultState {
+        FaultState::new(config, &derived_schedule(), 0.3)
+    }
+
+    #[test]
+    fn disabled_is_the_default() {
+        let c = FaultConfig::default();
+        assert!(!c.enabled);
+        assert!(FaultConfig::enabled().enabled);
+        let c = FaultConfig::enabled()
+            .with_seed(9)
+            .with_scale(2.0)
+            .with_program_fail_prob(0.5)
+            .with_die_fault_prob(0.25)
+            .with_scrub_interval(100);
+        assert_eq!((c.seed, c.scale), (9, 2.0));
+        assert_eq!((c.program_fail_prob, c.die_fault_prob), (0.5, 0.25));
+        assert_eq!(c.scrub_interval, 100);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let mut a = state(FaultConfig::enabled());
+        let mut b = state(FaultConfig::enabled());
+        // Same access sequence reproduces exactly.
+        let seq_a: Vec<f64> = (0..32).map(|i| a.read_draw(i % 5)).collect();
+        let seq_b: Vec<f64> = (0..32).map(|i| b.read_draw(i % 5)).collect();
+        assert_eq!(seq_a, seq_b);
+        // Interleaving another stream does not shift the read stream.
+        let mut c = state(FaultConfig::enabled());
+        let interleaved: Vec<f64> = (0..32)
+            .map(|i| {
+                let _ = c.program_draw(i % 5);
+                let _ = c.die_draw(i % 3);
+                c.read_draw(i % 5)
+            })
+            .collect();
+        assert_eq!(seq_a, interleaved);
+        // Different seeds decorrelate.
+        let mut d = state(FaultConfig::enabled().with_seed(1));
+        let seq_d: Vec<f64> = (0..32).map(|i| d.read_draw(i % 5)).collect();
+        assert_ne!(seq_a, seq_d);
+    }
+
+    #[test]
+    fn draws_are_uniform_units() {
+        let mut s = state(FaultConfig::enabled());
+        let draws: Vec<f64> = (0..10_000).map(|i| s.read_draw(i)).collect();
+        assert!(draws.iter().all(|&u| (0.0..1.0).contains(&u)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn reset_replays_the_streams() {
+        let mut s = state(FaultConfig::enabled());
+        let first: Vec<f64> = (0..8).map(|_| s.read_draw(7)).collect();
+        s.reset();
+        let second: Vec<f64> = (0..8).map(|_| s.read_draw(7)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn fer_grows_with_ber_and_shrinks_with_sensing() {
+        let mut s = state(FaultConfig::enabled());
+        let low = s.frame_error_rate(1e-3, 0);
+        let high = s.frame_error_rate(1.6e-2, 0);
+        assert!(high > low, "FER must grow with BER: {low} vs {high}");
+        let deep = s.frame_error_rate(1.6e-2, 6);
+        assert!(deep < high, "more sensing must cut FER: {high} vs {deep}");
+        assert!((0.0..=1.0).contains(&deep));
+    }
+
+    #[test]
+    fn fer_at_class_boundary_is_near_target() {
+        // The calibration contract: a read at its class-boundary BER
+        // fails with roughly frame_target probability.
+        let schedule = derived_schedule();
+        let mut s = state(FaultConfig::enabled());
+        for (level, &boundary) in schedule.thresholds().iter().enumerate() {
+            let fer = s.frame_error_rate(boundary, level as u32);
+            assert!(
+                fer <= FaultConfig::default().frame_target * 1.5,
+                "level {level} boundary FER {fer} overshoots"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_accelerates_faults() {
+        let mut base = state(FaultConfig::enabled());
+        let mut fast = state(FaultConfig::enabled().with_scale(10.0));
+        let b = base.frame_error_rate(1.2e-2, 4);
+        let f = fast.frame_error_rate(1.2e-2, 4);
+        assert!(f > b, "scaled FER {f} must exceed base {b}");
+        assert!(f <= 1.0);
+    }
+
+    #[test]
+    fn retry_gain_is_clamped() {
+        let s = FaultState::new(FaultConfig::enabled(), &derived_schedule(), 1e-6);
+        assert_eq!(s.retry_fer_factor(), 0.02);
+        let s = FaultState::new(FaultConfig::enabled(), &derived_schedule(), 3.0);
+        assert_eq!(s.retry_fer_factor(), 0.5);
+    }
+}

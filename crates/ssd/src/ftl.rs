@@ -94,6 +94,10 @@ struct BlockState {
     frontier: u32,
     valid: u32,
     erases: u32,
+    /// Grown-bad: the block failed a program status check and was
+    /// permanently removed from service (never allocated, never a GC
+    /// victim).
+    retired: bool,
     /// Reverse map: which LPN each written page slot holds (`None` once
     /// invalidated).
     slots: Vec<Option<u64>>,
@@ -106,6 +110,7 @@ impl BlockState {
             frontier: 0,
             valid: 0,
             erases: 0,
+            retired: false,
             slots: vec![None; pages_per_block as usize],
         }
     }
@@ -218,6 +223,70 @@ impl PageMapFtl {
     /// Free (erased, unassigned) blocks.
     pub fn free_blocks(&self) -> u32 {
         self.free.len() as u32
+    }
+
+    /// Blocks retired as grown-bad.
+    pub fn retired_blocks(&self) -> u32 {
+        self.blocks.iter().filter(|b| b.retired).count() as u32
+    }
+
+    /// `true` if `block` has been retired from service.
+    pub fn is_retired(&self, block: BlockId) -> bool {
+        self.blocks[block.0 as usize].retired
+    }
+
+    /// The live logical pages currently stored in `block`, in slot order
+    /// (patrol-scrub iteration and retirement relocation).
+    pub fn block_lpns(&self, block: BlockId) -> Vec<u64> {
+        self.blocks[block.0 as usize]
+            .slots
+            .iter()
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// Permanently retires `block` as grown-bad: its live pages are
+    /// relocated (read + program each, *no* erase — the block is dead,
+    /// not recycled) and it never serves allocations or GC again, so the
+    /// device's usable capacity shrinks by one block.
+    ///
+    /// Retiring an already-retired block is a no-op. Returns the flash
+    /// work performed.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if the relocations cannot be placed —
+    /// enough grown-bad blocks legitimately make the device unusable.
+    pub fn retire_block(&mut self, block: BlockId) -> Result<OpCost, FtlError> {
+        let mut cost = OpCost::default();
+        let idx = block.0 as usize;
+        if self.blocks[idx].retired {
+            return Ok(cost);
+        }
+        // Remove the block from every allocation source *before*
+        // relocating, so its pages cannot land back inside it.
+        for f in &mut self.frontier {
+            if *f == Some(block) {
+                *f = None;
+            }
+        }
+        self.free.retain(|&b| b != block);
+        self.blocks[idx].retired = true;
+        let mode = self.blocks[idx].mode;
+        let live = self.block_lpns(block);
+        for lpn in live {
+            cost.flash_reads += 1;
+            self.invalidate(lpn);
+            let phys = self.allocate(mode, &mut cost)?;
+            self.commit(lpn, phys);
+            cost.programs += 1;
+        }
+        let state = &mut self.blocks[idx];
+        debug_assert_eq!(state.valid, 0, "all live pages were relocated");
+        state.slots.iter_mut().for_each(|s| *s = None);
+        state.frontier = 0;
+        Ok(cost)
     }
 
     /// Writes `lpn` into a page of the requested `mode`, invalidating any
@@ -363,6 +432,9 @@ impl PageMapFtl {
         let mut best: Option<(u32, u32, BlockId)> = None;
         for (i, block) in self.blocks.iter().enumerate() {
             let id = BlockId(i as u32);
+            if block.retired {
+                continue; // grown-bad: nothing to reclaim, ever
+            }
             if self.frontier.contains(&Some(id)) {
                 continue;
             }
@@ -616,6 +688,77 @@ mod tests {
             greedy_min,
             greedy_max
         );
+    }
+
+    #[test]
+    fn retire_relocates_live_pages_and_shrinks_capacity() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for lpn in 0..logical {
+            ftl.write(lpn, CellMode::Normal).unwrap();
+        }
+        let (victim_page, _) = ftl.placement(0).unwrap();
+        let victim = victim_page.block;
+        let residents = ftl.block_lpns(victim);
+        assert!(!residents.is_empty());
+        let free_before = ftl.free_blocks();
+        let cost = ftl.retire_block(victim).unwrap();
+        // Every resident was read and re-programmed (emergency GC may add
+        // more work on top); the dead block itself is never erased.
+        assert!(cost.flash_reads as usize >= residents.len());
+        assert!(cost.programs as usize >= residents.len());
+        assert!(ftl.is_retired(victim));
+        assert_eq!(ftl.retired_blocks(), 1);
+        // All data survived, outside the dead block.
+        assert_eq!(ftl.total_valid_pages(), logical);
+        for lpn in residents {
+            let (phys, _) = ftl.placement(lpn).unwrap();
+            assert_ne!(phys.block, victim, "lpn {lpn} still in the dead block");
+        }
+        // The dead block never returns to the free pool.
+        assert!(ftl.free_blocks() <= free_before);
+        // Idempotent.
+        assert_eq!(ftl.retire_block(victim).unwrap(), OpCost::default());
+        assert_eq!(ftl.retired_blocks(), 1);
+    }
+
+    #[test]
+    fn retired_blocks_are_never_reused_under_churn() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for lpn in 0..logical {
+            ftl.write(lpn, CellMode::Normal).unwrap();
+        }
+        let victim = ftl.placement(7).unwrap().0.block;
+        ftl.retire_block(victim).unwrap();
+        // Heavy rewrite churn with GC: the dead block must stay empty.
+        for _ in 0..3 {
+            for lpn in 0..logical {
+                ftl.write(lpn, CellMode::Normal).unwrap();
+            }
+        }
+        assert!(ftl.block_lpns(victim).is_empty());
+        assert!(ftl.is_retired(victim));
+        assert_eq!(ftl.total_valid_pages(), logical);
+    }
+
+    #[test]
+    fn mass_retirement_exhausts_capacity() {
+        // Retiring block after block must eventually surface OutOfSpace
+        // instead of looping: capacity shrink is real.
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for lpn in 0..logical {
+            ftl.write(lpn, CellMode::Normal).unwrap();
+        }
+        let mut failed = false;
+        for b in 0..ftl.geometry().blocks() {
+            if ftl.retire_block(BlockId(b)).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "retiring every block must run out of space");
     }
 
     #[test]

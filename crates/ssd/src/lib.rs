@@ -32,10 +32,12 @@ pub mod buffer;
 pub mod config;
 pub mod device;
 pub mod events;
+pub mod faults;
 pub mod ftl;
 pub mod ftl_hybrid;
 pub mod lifetime;
 pub mod pipeline;
+pub mod recovery;
 pub mod sim;
 pub mod stats;
 
@@ -43,9 +45,11 @@ pub use buffer::WriteBuffer;
 pub use config::{Scheme, SsdConfig, TimingModel};
 pub use device::{ReliabilityState, ResourcePool};
 pub use events::{Event, EventQueue};
+pub use faults::{FaultConfig, FaultState};
 pub use ftl::{FtlError, GcPolicy, OpCost, PageMapFtl};
 pub use ftl_hybrid::HybridFtl;
 pub use lifetime::LifetimeModel;
 pub use pipeline::{FlashOp, Stage, StageKind};
+pub use recovery::{RecoveryOutcome, RetryRung};
 pub use sim::{SimError, SsdSimulator};
 pub use stats::{SimStats, StageAccount};

@@ -114,6 +114,15 @@ pub enum FlashOp {
         /// Logical page (resource routing).
         lpn: u64,
     },
+    /// A transient die fault being cleared: the reset stalls the faulted
+    /// page's plane (array access is blocked die-wide) for `duration`,
+    /// priced by the fault model rather than the latency tables.
+    DieReset {
+        /// Logical page (resource routing).
+        lpn: u64,
+        /// Reset duration charged to the plane.
+        duration: Micros,
+    },
 }
 
 impl FlashOp {
@@ -124,7 +133,8 @@ impl FlashOp {
             | FlashOp::HostTransfer { lpn }
             | FlashOp::GcRead { lpn }
             | FlashOp::Program { lpn }
-            | FlashOp::Erase { lpn } => lpn,
+            | FlashOp::Erase { lpn }
+            | FlashOp::DieReset { lpn, .. } => lpn,
         }
     }
 
@@ -185,6 +195,13 @@ impl FlashOp {
             FlashOp::Erase { lpn } => vec![Stage {
                 kind: StageKind::Erase,
                 duration: t.erase,
+                lpn,
+            }],
+            // A die reset occupies the plane like a (long) sense would:
+            // the whole die is unavailable for array operations.
+            FlashOp::DieReset { lpn, duration } => vec![Stage {
+                kind: StageKind::Sense,
+                duration,
                 lpn,
             }],
         }
@@ -265,6 +282,20 @@ mod tests {
         let erase = FlashOp::Erase { lpn: 9 }.stages(&m);
         assert_eq!(erase.len(), 1);
         assert_eq!(erase[0].duration, Micros(3000.0));
+    }
+
+    #[test]
+    fn die_reset_stalls_the_plane() {
+        let m = model();
+        let op = FlashOp::DieReset {
+            lpn: 5,
+            duration: Micros(2000.0),
+        };
+        assert_eq!(op.lpn(), 5);
+        let stages = op.stages(&m);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].kind, StageKind::Sense);
+        assert_eq!(stages[0].duration, Micros(2000.0));
     }
 
     #[test]

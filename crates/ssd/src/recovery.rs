@@ -1,0 +1,190 @@
+//! The read error-recovery ladder.
+//!
+//! When a frame fails to decode (see [`crate::faults`]), the controller
+//! does not give up — it climbs a deterministic escalation ladder, the
+//! standard sequence of real parts and of the read-retry literature
+//! (arXiv:2202.05661, arXiv:1309.0566):
+//!
+//! 1. **Vref-shift re-read** — re-sense at the *same* soft depth with the
+//!    best [`reliability::RetryTable`] reference shift; the FER improves
+//!    by the table's calibrated-over-nominal gain.
+//! 2. **Progressive soft-sensing escalation** — re-read with one more
+//!    extra level per rung up to the schedule maximum, each rung buying
+//!    a further FER factor (more soft information, larger effective
+//!    correction budget).
+//! 3. **Final deep calibration** — a last full-depth attempt with per-die
+//!    optimal-shift search beyond the discrete table.
+//!
+//! If the final rung also fails the sector is declared **uncorrectable**
+//! (this model has no RAID layer above the ECC) and feeds the
+//! [`reliability::uber`](reliability::EccConfig) data-loss accounting.
+//!
+//! The ladder is resolved against *one* uniform draw `u`: rung `r` is
+//! attempted iff `u` falls below rung `r−1`'s failure rate, so the
+//! attempt sequence is monotone by construction and the whole outcome is
+//! a pure function of `(u, initial FER, rung factors)` — no extra
+//! randomness, no order dependence. Each attempted rung is then *priced*
+//! by the simulator exactly like a first-class read at that rung's
+//! sensing depth, occupying die, channel and decoder resources in the
+//! pipelined timing model.
+
+/// One attempted rung of the recovery ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryRung {
+    /// Extra soft sensing levels this attempt was read with.
+    pub levels: u32,
+    /// Failure probability *after* this attempt (the chance the ladder
+    /// continues past it).
+    pub fer: f64,
+}
+
+/// The resolved outcome of one faulted read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// Every rung that was attempted, in order.
+    pub rungs: Vec<RetryRung>,
+    /// `true` if some rung decoded the frame; `false` declares the sector
+    /// uncorrectable.
+    pub recovered: bool,
+}
+
+impl RecoveryOutcome {
+    /// Retry depth: the number of extra read attempts the ladder spent.
+    pub fn depth(&self) -> usize {
+        self.rungs.len()
+    }
+}
+
+/// Deepest possible ladder for a read first sensed at `levels` of
+/// `max_levels`: one Vref re-read, one escalation per remaining level,
+/// and the final deep-calibration attempt.
+pub fn max_depth(levels: u32, max_levels: u32) -> usize {
+    max_levels.saturating_sub(levels) as usize + 2
+}
+
+/// Resolves the ladder for a read whose initial attempt failed: `u` is
+/// the read's uniform fault draw (`u < fer0`), `fer0` the initial
+/// frame-error rate at `levels` extra senses. `retry_factor`,
+/// `escalate_factor` and `final_factor` are the FER multipliers of the
+/// Vref rung, each escalation rung and the final deep rung; factors are
+/// clamped to `(0, 1]` so the rung FERs decrease monotonically.
+pub fn resolve(
+    u: f64,
+    fer0: f64,
+    levels: u32,
+    max_levels: u32,
+    retry_factor: f64,
+    escalate_factor: f64,
+    final_factor: f64,
+) -> RecoveryOutcome {
+    let clamp = |f: f64| f.clamp(f64::MIN_POSITIVE, 1.0);
+    let mut rungs = Vec::with_capacity(max_depth(levels, max_levels));
+    let mut fer = fer0.clamp(0.0, 1.0);
+    let attempt = |fer: f64, levels: u32, rungs: &mut Vec<RetryRung>| {
+        rungs.push(RetryRung { levels, fer });
+        u >= fer // recovered by this rung?
+    };
+    // Rung 1: Vref-shift re-read at the same sensing depth.
+    fer *= clamp(retry_factor);
+    if attempt(fer, levels, &mut rungs) {
+        return RecoveryOutcome {
+            rungs,
+            recovered: true,
+        };
+    }
+    // Rungs 2..: progressive escalation to deeper soft sensing.
+    for deeper in (levels + 1)..=max_levels.max(levels) {
+        fer *= clamp(escalate_factor);
+        if attempt(fer, deeper, &mut rungs) {
+            return RecoveryOutcome {
+                rungs,
+                recovered: true,
+            };
+        }
+    }
+    // Final rung: deep calibration at full depth; failure past this is
+    // an uncorrectable sector.
+    fer *= clamp(final_factor);
+    let recovered = attempt(fer, max_levels.max(levels), &mut rungs);
+    RecoveryOutcome { rungs, recovered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FACTORS: (f64, f64, f64) = (0.3, 0.25, 0.1);
+
+    fn run(u: f64, fer0: f64, levels: u32) -> RecoveryOutcome {
+        resolve(u, fer0, levels, 6, FACTORS.0, FACTORS.1, FACTORS.2)
+    }
+
+    #[test]
+    fn shallow_fault_recovers_on_the_vref_rung() {
+        // u just below fer0 but above fer0 × retry_factor: one re-read.
+        let out = run(5e-3, 1e-2, 4);
+        assert!(out.recovered);
+        assert_eq!(out.depth(), 1);
+        assert_eq!(out.rungs[0].levels, 4, "same depth, shifted references");
+    }
+
+    #[test]
+    fn deeper_faults_climb_monotonically() {
+        let out = run(1e-4, 1e-2, 3);
+        assert!(out.recovered);
+        assert!(out.depth() >= 2);
+        // Sensing depth never decreases along the ladder.
+        assert!(out.rungs.windows(2).all(|w| w[0].levels <= w[1].levels));
+        // Rung FERs strictly decrease (factors < 1).
+        assert!(out.rungs.windows(2).all(|w| w[0].fer > w[1].fer));
+    }
+
+    #[test]
+    fn hopeless_draw_is_uncorrectable_at_max_depth() {
+        let out = run(0.0, 1e-2, 2);
+        assert!(!out.recovered);
+        assert_eq!(out.depth(), max_depth(2, 6));
+        assert_eq!(out.rungs.last().unwrap().levels, 6);
+    }
+
+    #[test]
+    fn ladder_from_full_depth_has_two_rungs() {
+        // A read already at max sensing can only Vref-retry and deep-cal.
+        assert_eq!(max_depth(6, 6), 2);
+        let out = run(0.0, 1e-2, 6);
+        assert_eq!(out.depth(), 2);
+        assert!(out.rungs.iter().all(|r| r.levels == 6));
+    }
+
+    #[test]
+    fn depth_is_monotone_in_the_draw() {
+        // Smaller u (a worse fault) never yields a shallower ladder.
+        let mut prev = 0;
+        for u in [9e-3, 2e-3, 4e-4, 1e-5, 1e-8, 0.0] {
+            let d = run(u, 1e-2, 0).depth();
+            assert!(d >= prev, "u={u}: depth {d} < {prev}");
+            prev = d;
+        }
+        assert_eq!(prev, max_depth(0, 6));
+    }
+
+    #[test]
+    fn degenerate_factors_are_clamped() {
+        // Zero/negative factors must not freeze the ladder at fer 0-division
+        // weirdness; they clamp to a tiny positive value, so the first
+        // rung recovers anything with u > 0.
+        let out = resolve(1e-300, 1.0, 0, 6, 0.0, -1.0, 0.0);
+        assert!(out.recovered);
+        assert_eq!(out.depth(), 1);
+        // And a factor > 1 cannot make rungs *worse* than the last.
+        let out = resolve(5e-3, 1e-2, 5, 6, 7.0, 7.0, 7.0);
+        assert!(out.rungs.windows(2).all(|w| w[0].fer >= w[1].fer));
+    }
+
+    #[test]
+    fn resolved_outcome_is_pure() {
+        let a = run(3e-4, 8e-3, 1);
+        let b = run(3e-4, 8e-3, 1);
+        assert_eq!(a, b);
+    }
+}

@@ -26,7 +26,7 @@
 //! provisioning loss — visible, exactly as the paper describes ("frequent
 //! garbage collection incurred by over-provisioning space loss").
 
-use flash_model::{CellMode, Micros};
+use flash_model::{BlockId, CellMode, Micros};
 use flexlevel::{AccessEvalController, Migration};
 use workloads::{IoOp, IoRequest, Trace};
 
@@ -34,8 +34,10 @@ use crate::buffer::WriteBuffer;
 use crate::config::{Scheme, SsdConfig, TimingModel};
 use crate::device::{ReliabilityState, ResourcePool};
 use crate::events::EventQueue;
+use crate::faults::FaultState;
 use crate::ftl::{FtlError, OpCost, PageMapFtl};
 use crate::pipeline::{expand_ops, FlashOp, Stage};
+use crate::recovery;
 use crate::stats::SimStats;
 
 /// Simulation failures (propagated FTL space errors).
@@ -122,6 +124,13 @@ pub struct SsdSimulator {
     host_pages_written: u64,
     /// LevelAdjust-only: cap on simultaneously reduced blocks.
     max_reduced_blocks: u32,
+    /// Fault injector; `None` whenever `config.faults.enabled` is off, so
+    /// the golden path never draws, prices or counts anything new.
+    faults: Option<FaultState>,
+    /// Host requests since the last patrol-scrub visit.
+    scrub_countdown: u64,
+    /// Round-robin block cursor of the patrol scrubber.
+    scrub_cursor: u32,
 }
 
 impl SsdSimulator {
@@ -156,6 +165,13 @@ impl SsdSimulator {
         };
         let max_levels = config.schedule.max_extra_levels();
         let channel_free_at = vec![Micros::ZERO; config.channels.max(1) as usize];
+        let faults = config.faults.enabled.then(|| {
+            // The Vref-shift rung's gain comes from the device's actual
+            // retry table at its starting wear (wires
+            // `reliability::read_retry` into the recovery ladder).
+            let gain = reliability.retry_gain(config.base_pe_cycles);
+            FaultState::new(config.faults.clone(), &config.schedule, gain)
+        });
         SsdSimulator {
             config,
             ftl,
@@ -166,6 +182,9 @@ impl SsdSimulator {
             channel_free_at,
             host_pages_written: 0,
             max_reduced_blocks,
+            faults,
+            scrub_countdown: 0,
+            scrub_cursor: 0,
         }
     }
 
@@ -229,6 +248,11 @@ impl SsdSimulator {
         }
         self.stats = SimStats::new(self.config.schedule.max_extra_levels());
         self.host_pages_written = 0;
+        if let Some(faults) = self.faults.as_mut() {
+            faults.reset();
+        }
+        self.scrub_countdown = 0;
+        self.scrub_cursor = 0;
         Ok(())
     }
 
@@ -290,6 +314,15 @@ impl SsdSimulator {
         match request.op {
             IoOp::Read => self.stats.host_reads += 1,
             IoOp::Write => self.stats.host_writes += 1,
+        }
+        // Patrol scrub: every `scrub_interval` host requests the chain
+        // visits the next cold block as background work.
+        if self.faults.is_some() && self.config.faults.scrub_interval > 0 {
+            self.scrub_countdown += 1;
+            if self.scrub_countdown >= self.config.faults.scrub_interval {
+                self.scrub_countdown = 0;
+                plan.bg += self.patrol_scrub(&mut plan.bg_ops)?;
+            }
         }
         Ok(plan)
     }
@@ -479,6 +512,7 @@ impl SsdSimulator {
                     decode,
                 });
             }
+            self.apply_read_faults(lpn, ber, levels, &mut charge);
             return Ok(charge);
         }
 
@@ -495,6 +529,7 @@ impl SsdSimulator {
         }
         let slot = required.min(self.config.schedule.max_extra_levels()) as usize;
         self.stats.reads_by_sensing_level[slot] += 1;
+        self.apply_read_faults(lpn, ber, plan.levels, &mut charge);
 
         // AccessEval: evaluate the read and apply any migrations as
         // background work.
@@ -583,7 +618,160 @@ impl SsdSimulator {
     fn flush_page(&mut self, lpn: u64, ops: &mut Vec<FlashOp>) -> Result<Micros, SimError> {
         let mode = self.write_mode(lpn);
         let cost = self.ftl.write(lpn, mode)?;
-        Ok(self.account(cost, lpn, ops))
+        let mut time = self.account(cost, lpn, ops);
+        time += self.apply_program_fault(lpn, ops)?;
+        Ok(time)
+    }
+
+    /// Resolves the fault draws of one flash read: a possible transient
+    /// die fault (cleared by a reset that stalls the plane), then the
+    /// frame-decode outcome. A failed decode climbs the
+    /// [`crate::recovery`] ladder; every attempted rung is priced like a
+    /// first-class read at that rung's sensing depth — it extends the
+    /// foreground charge and, under the pipelined model, occupies die,
+    /// channel and decoder resources. No-op with faults disabled.
+    fn apply_read_faults(&mut self, lpn: u64, ber: f64, levels: u32, charge: &mut PageCharge) {
+        let Some(faults) = self.faults.as_mut() else {
+            return;
+        };
+        let cfg = self.config.faults.clone();
+        let die_fault = faults.die_draw(lpn) < cfg.die_fault_prob;
+        let u = faults.read_draw(lpn);
+        let fer0 = faults.frame_error_rate(ber, levels);
+        let retry_factor = faults.retry_fer_factor();
+        if die_fault {
+            self.stats.die_resets += 1;
+            let reset = Micros(cfg.die_reset_us);
+            charge.fg += reset;
+            self.stats.recovery_latency_us += reset.as_f64();
+            if self.pipelined() {
+                charge.fg_ops.push(FlashOp::DieReset {
+                    lpn,
+                    duration: reset,
+                });
+            }
+        }
+        if u >= fer0 {
+            self.stats.record_retry_depth(0);
+            return;
+        }
+        let outcome = recovery::resolve(
+            u,
+            fer0,
+            levels,
+            self.config.schedule.max_extra_levels(),
+            retry_factor,
+            cfg.escalate_fer_factor,
+            cfg.final_fer_factor,
+        );
+        for rung in &outcome.rungs {
+            let iterations = self.decode_iterations(rung.levels, ber);
+            let attempt = self.config.latency.read_latency(rung.levels, iterations);
+            charge.fg += attempt;
+            self.stats.recovery_latency_us += attempt.as_f64();
+            self.stats.flash_reads += 1;
+            self.stats.retry_reads += 1;
+            if self.pipelined() {
+                charge.fg_ops.push(FlashOp::Read {
+                    lpn,
+                    extra_levels: rung.levels,
+                    decode: self.config.latency.decode_latency(iterations),
+                });
+            }
+        }
+        self.stats.record_retry_depth(outcome.depth());
+        if outcome.recovered {
+            self.stats.recovered_reads += 1;
+        } else {
+            self.stats.uncorrectable_reads += 1;
+        }
+    }
+
+    /// Draws the program-status stream for the page just programmed; a
+    /// failure burns the failed ISPP attempt and retires the block as
+    /// grown-bad, relocating its live pages and shrinking usable
+    /// capacity. No-op with faults disabled.
+    fn apply_program_fault(
+        &mut self,
+        lpn: u64,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<Micros, SimError> {
+        let Some(faults) = self.faults.as_mut() else {
+            return Ok(Micros::ZERO);
+        };
+        let prob = faults.config().program_fail_prob;
+        if faults.program_draw(lpn) >= prob {
+            return Ok(Micros::ZERO);
+        }
+        self.stats.program_failures += 1;
+        // The failed ISPP attempt itself burned a program pulse before
+        // the status check flagged it.
+        let mut time = self.config.latency.timing.program;
+        self.stats.flash_programs += 1;
+        self.stats.recovery_latency_us += time.as_f64();
+        if self.pipelined() {
+            ops.push(FlashOp::Program { lpn });
+        }
+        let Some((phys, _)) = self.ftl.placement(lpn) else {
+            return Ok(time);
+        };
+        let cost = self.ftl.retire_block(phys.block)?;
+        self.stats.retired_blocks += 1;
+        time += self.account(cost, lpn, ops);
+        Ok(time)
+    }
+
+    /// One patrol-scrub visit: re-read every live page of the next
+    /// non-retired block in round-robin order, refreshing (rewriting in
+    /// place, age reset) any page whose modeled retention BER has crossed
+    /// the refresh threshold. Runs as background work, so scrub traffic
+    /// competes with host I/O exactly like GC does.
+    fn patrol_scrub(&mut self, ops: &mut Vec<FlashOp>) -> Result<Micros, SimError> {
+        let blocks = self.ftl.geometry().blocks();
+        let mut target = None;
+        for _ in 0..blocks {
+            let candidate = BlockId(self.scrub_cursor);
+            self.scrub_cursor = (self.scrub_cursor + 1) % blocks;
+            if self.ftl.is_retired(candidate) {
+                continue;
+            }
+            let lpns = self.ftl.block_lpns(candidate);
+            if lpns.is_empty() {
+                continue;
+            }
+            target = Some(lpns);
+            break;
+        }
+        let Some(lpns) = target else {
+            return Ok(Micros::ZERO);
+        };
+        self.stats.scrub_runs += 1;
+        let threshold = self.config.faults.scrub_refresh_ber;
+        let mut time = Micros::ZERO;
+        for lpn in lpns {
+            self.stats.scrub_reads += 1;
+            self.stats.flash_reads += 1;
+            time += self.config.latency.timing.read_transfer_latency(0);
+            if self.pipelined() {
+                ops.push(FlashOp::GcRead { lpn });
+            }
+            let Some((_, mode)) = self.ftl.placement(lpn) else {
+                continue;
+            };
+            let pe = self.effective_pe(lpn);
+            let age = self.reliability.age(lpn);
+            let ber = match mode {
+                CellMode::Normal => self.reliability.normal_ber(pe, age),
+                CellMode::Reduced => self.reliability.reduced_ber(pe, age),
+            };
+            if ber >= threshold {
+                self.stats.scrub_refreshes += 1;
+                self.reliability.refresh(lpn);
+                let cost = self.ftl.write(lpn, mode)?;
+                time += self.account(cost, lpn, ops);
+            }
+        }
+        Ok(time)
     }
 
     /// Which mode a (re)written page should land in.

@@ -82,6 +82,33 @@ pub struct SimStats {
     /// Schedule makespan: when the last resource went idle (µs). The
     /// single-queue model reports the maximum channel horizon.
     pub makespan_us: f64,
+    /// Extra flash read attempts spent by the recovery ladder (also
+    /// included in [`flash_reads`](Self::flash_reads)).
+    pub retry_reads: u64,
+    /// Host frame reads that failed their first decode but were
+    /// recovered by the ladder.
+    pub recovered_reads: u64,
+    /// Host frame reads the full ladder could not recover (data loss).
+    pub uncorrectable_reads: u64,
+    /// Reads by recovery-ladder depth: index 0 counts clean first-attempt
+    /// decodes, index `d` counts reads needing `d` extra attempts. All
+    /// zero unless fault injection ran.
+    pub retry_depth_histogram: Vec<u64>,
+    /// Page programs that failed their status check.
+    pub program_failures: u64,
+    /// Blocks retired as grown-bad.
+    pub retired_blocks: u64,
+    /// Transient whole-die faults cleared by a reset.
+    pub die_resets: u64,
+    /// Patrol-scrub block visits.
+    pub scrub_runs: u64,
+    /// Pages read by the patrol scrubber.
+    pub scrub_reads: u64,
+    /// Pages rewritten by the scrubber because retention BER crossed the
+    /// refresh threshold.
+    pub scrub_refreshes: u64,
+    /// Device time attributable to recovery (retries + die resets), µs.
+    pub recovery_latency_us: f64,
     /// Sensing-stage occupancy (pipelined model).
     pub stage_sense: StageAccount,
     /// Bus-transfer-stage occupancy (pipelined model).
@@ -115,6 +142,9 @@ impl SimStats {
     pub fn new(max_levels: u32) -> SimStats {
         SimStats {
             reads_by_sensing_level: vec![0; max_levels as usize + 1],
+            // Deepest ladder from a zero-level read: one Vref re-read,
+            // `max_levels` escalations, one final deep attempt.
+            retry_depth_histogram: vec![0; max_levels as usize + 3],
             sample_state: SAMPLE_SEED,
             ..SimStats::default()
         }
@@ -243,6 +273,43 @@ impl SimStats {
             return 0.0;
         }
         self.flash_programs as f64 / host_pages_written as f64
+    }
+
+    /// Records the resolved recovery-ladder depth of one frame read:
+    /// `0` = clean first-attempt decode, `d > 0` = `d` extra attempts.
+    /// Called only when fault injection is active.
+    pub fn record_retry_depth(&mut self, depth: usize) {
+        let slot = depth.min(self.retry_depth_histogram.len().saturating_sub(1));
+        if let Some(bin) = self.retry_depth_histogram.get_mut(slot) {
+            *bin += 1;
+        }
+    }
+
+    /// Host frames offered to the decoder (sensed normal reads plus
+    /// reduced-page reads; retries re-decode the same host frame and are
+    /// not counted again).
+    pub fn decoded_frames(&self) -> u64 {
+        self.reads_by_sensing_level.iter().sum::<u64>() + self.reduced_reads
+    }
+
+    /// Observed uncorrectable bit-error rate of the run: sectors declared
+    /// uncorrectable per information bit read, the empirical counterpart
+    /// of `reliability::EccConfig::uber` (Equation 1). `info_bits` is the
+    /// frame's information payload (32 768 for the paper's code).
+    pub fn observed_uber(&self, info_bits: u64) -> f64 {
+        let bits = self.decoded_frames().saturating_mul(info_bits);
+        if bits == 0 {
+            return 0.0;
+        }
+        self.uncorrectable_reads as f64 / bits as f64
+    }
+
+    /// Deepest recovery ladder any read needed this run.
+    pub fn max_retry_depth(&self) -> usize {
+        self.retry_depth_histogram
+            .iter()
+            .rposition(|&n| n > 0)
+            .unwrap_or(0)
     }
 
     /// Fraction of normal-page host reads that needed soft sensing.
@@ -380,5 +447,36 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn percentile_range_checked() {
         let _ = SimStats::new(6).response_percentile(1.5);
+    }
+
+    #[test]
+    fn recovery_panel_accounting() {
+        let mut s = SimStats::new(6);
+        // Ladder depths 0..=8 fit the histogram (6 + 3 bins).
+        assert_eq!(s.retry_depth_histogram.len(), 9);
+        s.record_retry_depth(0);
+        s.record_retry_depth(0);
+        s.record_retry_depth(1);
+        s.record_retry_depth(8);
+        s.record_retry_depth(1000); // clamped into the last bin
+        assert_eq!(s.retry_depth_histogram[0], 2);
+        assert_eq!(s.retry_depth_histogram[1], 1);
+        assert_eq!(s.retry_depth_histogram[8], 2);
+        assert_eq!(s.max_retry_depth(), 8);
+        assert_eq!(SimStats::new(6).max_retry_depth(), 0);
+    }
+
+    #[test]
+    fn observed_uber_matches_hand_count() {
+        let mut s = SimStats::new(6);
+        s.reads_by_sensing_level[0] = 600;
+        s.reads_by_sensing_level[4] = 300;
+        s.reduced_reads = 100;
+        assert_eq!(s.decoded_frames(), 1000);
+        s.uncorrectable_reads = 2;
+        let expected = 2.0 / (1000.0 * 32_768.0);
+        assert!((s.observed_uber(32_768) - expected).abs() < 1e-18);
+        // No frames read ⇒ UBER 0, not NaN.
+        assert_eq!(SimStats::new(6).observed_uber(32_768), 0.0);
     }
 }
