@@ -105,12 +105,19 @@ fn write_json(path: &str, quick: bool, requests: u64, results: &[VariantResult])
             points.push_str(",\n");
         }
         let s = &r.stats;
+        // Per-depth retry counts, depth 0 (clean decode) through the
+        // deepest rung the ladder reached in this variant.
+        let depths: Vec<String> = s.retry_depth_histogram[..=s.max_retry_depth()]
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
         points.push_str(&format!(
             concat!(
                 "    {{\"variant\": \"{}\", \"sim_rps\": {:.3}, ",
                 "\"mean_response_us\": {:.3}, \"flash_reads\": {}, ",
                 "\"retry_reads\": {}, \"recovered_reads\": {}, ",
                 "\"uncorrectable_reads\": {}, \"max_retry_depth\": {}, ",
+                "\"retry_depth_histogram\": [{}], ",
                 "\"program_failures\": {}, \"retired_blocks\": {}, ",
                 "\"die_resets\": {}, \"scrub_runs\": {}, \"scrub_reads\": {}, ",
                 "\"scrub_refreshes\": {}, \"recovery_latency_us\": {:.3}, ",
@@ -124,6 +131,7 @@ fn write_json(path: &str, quick: bool, requests: u64, results: &[VariantResult])
             s.recovered_reads,
             s.uncorrectable_reads,
             s.max_retry_depth(),
+            depths.join(", "),
             s.program_failures,
             s.retired_blocks,
             s.die_resets,

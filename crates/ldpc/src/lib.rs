@@ -67,6 +67,6 @@ pub use latency::{IterationProfile, ReadLatencyModel, ReadStageCosts};
 pub use layered::LayeredDecoder;
 pub use quantized::{BatchOutcome, DecoderWorkspace, LlrQuantizer, QuantizedMinSumDecoder, Q_MAX};
 pub use sensing::{
-    decode_success_rate, measure_fer, minimum_levels, FerMeasurement, FerStats, SensingSchedule,
-    FER_BATCH,
+    decode_success_rate, measure_fer, measure_fer_observed, minimum_levels, FerMeasurement,
+    FerStats, SensingSchedule, FER_BATCH,
 };

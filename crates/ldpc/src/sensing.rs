@@ -15,6 +15,7 @@
 
 use std::sync::Arc;
 
+use obs::Histogram;
 use reliability::mc::{self, McOptions};
 use serde::{Deserialize, Serialize};
 
@@ -125,6 +126,26 @@ pub fn measure_fer(
     seed: u64,
     options: &McOptions,
 ) -> FerStats {
+    measure_fer_observed(code, decoder, channel, quantizer, trials, seed, options).0
+}
+
+/// [`measure_fer`] plus a per-frame decoder-iteration [`Histogram`].
+///
+/// Each shard records its frames' iteration counts into its own
+/// histogram; shard histograms are merged in shard order, so — like the
+/// scalar statistics — the distribution is bit-identical for every
+/// thread count. The RNG stream is untouched by the extra recording,
+/// which is why [`measure_fer`] can delegate here without changing its
+/// published numbers.
+pub fn measure_fer_observed(
+    code: &QcLdpcCode,
+    decoder: &QuantizedMinSumDecoder,
+    channel: &MlcReadChannel,
+    quantizer: &LlrQuantizer,
+    trials: u64,
+    seed: u64,
+    options: &McOptions,
+) -> (FerStats, Histogram) {
     assert!(trials > 0, "need at least one trial");
     let graph = DecoderGraph::cached(code);
     let table = channel.quantized_llr_table(quantizer);
@@ -135,6 +156,7 @@ pub fn measure_fer(
         let mut sent = vec![0u8; n * FER_BATCH];
         let mut errors = 0u64;
         let mut iterations = 0u64;
+        let mut histogram = Histogram::new();
         let mut remaining = shard_trials;
         while remaining > 0 {
             let lanes = remaining.min(FER_BATCH as u64) as usize;
@@ -150,6 +172,7 @@ pub fn measure_fer(
             let out = decoder.decode_batch(&graph, &qllrs[..n * lanes], lanes, &mut ws);
             for lane in 0..lanes {
                 iterations += u64::from(out.iterations(lane));
+                histogram.record(f64::from(out.iterations(lane)));
                 let ok = out.success(lane)
                     && (0..n).all(|bit| out.hard_bit(lane, bit) == sent[bit * lanes + lane]);
                 if !ok {
@@ -158,18 +181,20 @@ pub fn measure_fer(
             }
             remaining -= lanes as u64;
         }
-        (errors, iterations)
+        (errors, iterations, histogram)
     });
     let mut stats = FerStats {
         trials,
         frame_errors: 0,
         total_iterations: 0,
     };
-    for (errors, iterations) in shards {
+    let mut histogram = Histogram::new();
+    for (errors, iterations, shard_histogram) in shards {
         stats.frame_errors += errors;
         stats.total_iterations += iterations;
+        histogram.merge(&shard_histogram);
     }
-    stats
+    (stats, histogram)
 }
 
 /// Finds the minimum number of extra sensing levels (0..=`max_levels`)

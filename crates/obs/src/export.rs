@@ -1,0 +1,410 @@
+//! Deterministic text exporters: span JSONL, Chrome `trace_event` JSON,
+//! and Prometheus text exposition.
+//!
+//! All three formats are rendered by hand (no serializer dependency)
+//! with fields in fixed order, series in registration order, and spans
+//! in canonical `(scheme, seq)` order, so the bytes produced are a pure
+//! function of the recorded data. Floats use Rust's shortest round-trip
+//! `Display`, which is platform-independent.
+
+use crate::hist::Histogram;
+use crate::registry::Registry;
+use crate::span::{ReadSpan, SpanBuffer};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON or Prometheus quoted value.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// The distinct family names of `metas`, in first-appearance order.
+fn family_order<'a>(names: impl Iterator<Item = &'a str>) -> Vec<&'a str> {
+    let mut order: Vec<&str> = Vec::new();
+    for name in names {
+        if !order.contains(&name) {
+            order.push(name);
+        }
+    }
+    order
+}
+
+/// Renders `registry` in Prometheus text exposition format.
+///
+/// Families are emitted in first-registration order with all their
+/// series grouped under one `# HELP`/`# TYPE` header (the exposition
+/// format forbids interleaving a family's series with other families,
+/// which merged multi-run registries would otherwise produce).
+/// Histograms use sparse cumulative `_bucket{le="..."}` samples (only
+/// buckets whose cumulative count changes are emitted, plus the
+/// mandatory `le="+Inf"`), followed by `_sum` and `_count`.
+pub fn prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    let header = |out: &mut String, name: &str, help: &str, kind: &str| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+    };
+    let counters: Vec<_> = registry.counters().collect();
+    for family in family_order(counters.iter().map(|(m, _)| m.name.as_str())) {
+        for (i, (meta, value)) in counters
+            .iter()
+            .filter(|(m, _)| m.name == family)
+            .enumerate()
+        {
+            if i == 0 {
+                header(&mut out, &meta.name, &meta.help, "counter");
+            }
+            let _ = writeln!(out, "{}{} {value}", meta.name, label_block(&meta.labels));
+        }
+    }
+    let gauges: Vec<_> = registry.gauges().collect();
+    for family in family_order(gauges.iter().map(|(m, _)| m.name.as_str())) {
+        for (i, (meta, value)) in gauges.iter().filter(|(m, _)| m.name == family).enumerate() {
+            if i == 0 {
+                header(&mut out, &meta.name, &meta.help, "gauge");
+            }
+            let _ = writeln!(out, "{}{} {value}", meta.name, label_block(&meta.labels));
+        }
+    }
+    let histograms: Vec<_> = registry.histograms().collect();
+    for family in family_order(histograms.iter().map(|(m, _)| m.name.as_str())) {
+        for (i, (meta, hist)) in histograms
+            .iter()
+            .filter(|(m, _)| m.name == family)
+            .enumerate()
+        {
+            if i == 0 {
+                header(&mut out, &meta.name, &meta.help, "histogram");
+            }
+            let mut cumulative = 0u64;
+            for (index, count) in hist.nonzero_buckets() {
+                cumulative += count;
+                let (_, upper) = Histogram::bucket_bounds(index);
+                let le = if upper.is_finite() {
+                    format!("{upper}")
+                } else {
+                    "+Inf".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cumulative}",
+                    meta.name,
+                    bucket_labels(&meta.labels, &le)
+                );
+            }
+            if hist.bucket_count(crate::hist::NUM_BUCKETS - 1) == 0 {
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cumulative}",
+                    meta.name,
+                    bucket_labels(&meta.labels, "+Inf")
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                meta.name,
+                label_block(&meta.labels),
+                hist.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                meta.name,
+                label_block(&meta.labels),
+                hist.count()
+            );
+        }
+    }
+    out
+}
+
+fn bucket_labels(labels: &[(String, String)], le: &str) -> String {
+    let mut all: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    all.push(format!("le=\"{le}\""));
+    format!("{{{}}}", all.join(","))
+}
+
+fn span_json(span: &ReadSpan) -> String {
+    let mut stages = String::new();
+    for (i, stage) in span.stages.iter().enumerate() {
+        if i > 0 {
+            stages.push(',');
+        }
+        let _ = write!(
+            stages,
+            "{{\"stage\":\"{}\",\"offset_us\":{},\"duration_us\":{}}}",
+            escape(stage.stage),
+            stage.offset_us,
+            stage.duration_us
+        );
+    }
+    format!(
+        concat!(
+            "{{\"seq\":{},\"lpn\":{},\"scheme\":\"{}\",\"arrival_us\":{},",
+            "\"start_us\":{},\"response_us\":{},\"sensing_levels\":{},",
+            "\"decode_iterations\":{},\"retry_rungs\":{},\"outcome\":\"{}\",",
+            "\"stages\":[{}]}}"
+        ),
+        span.seq,
+        span.lpn,
+        escape(span.scheme),
+        span.arrival_us,
+        span.start_us,
+        span.response_us,
+        span.sensing_levels,
+        span.decode_iterations,
+        span.retry_rungs,
+        span.outcome.label(),
+        stages
+    )
+}
+
+/// Renders the buffer as JSONL: one span object per line, in canonical
+/// `(scheme, seq)` order.
+pub fn span_jsonl(buffer: &SpanBuffer) -> String {
+    let mut out = String::new();
+    for span in buffer.sorted_spans() {
+        out.push_str(&span_json(span));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the buffer in Chrome `trace_event` JSON format, loadable in
+/// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+///
+/// Each scheme becomes one named track (`tid` = scheme order of first
+/// appearance); each span emits a complete (`ph:"X"`) event covering the
+/// whole request (queueing included) plus one nested complete event per
+/// pipeline stage. Timestamps are in µs as the format requires.
+pub fn chrome_trace(buffer: &SpanBuffer) -> String {
+    let spans = buffer.sorted_spans();
+    let mut schemes: Vec<&str> = Vec::new();
+    for span in &spans {
+        if !schemes.contains(&span.scheme) {
+            schemes.push(span.scheme);
+        }
+    }
+    let tid = |scheme: &str| schemes.iter().position(|s| *s == scheme).unwrap() + 1;
+
+    let mut events: Vec<String> = Vec::new();
+    for scheme in &schemes {
+        events.push(format!(
+            concat!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},",
+                "\"args\":{{\"name\":\"{}\"}}}}"
+            ),
+            tid(scheme),
+            escape(scheme)
+        ));
+    }
+    for span in &spans {
+        let tid = tid(span.scheme);
+        events.push(format!(
+            concat!(
+                "{{\"name\":\"read lpn={}\",\"cat\":\"read\",\"ph\":\"X\",",
+                "\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{",
+                "\"seq\":{},\"sensing_levels\":{},\"decode_iterations\":{},",
+                "\"retry_rungs\":{},\"outcome\":\"{}\"}}}}"
+            ),
+            span.lpn,
+            tid,
+            span.arrival_us,
+            span.response_us,
+            span.seq,
+            span.sensing_levels,
+            span.decode_iterations,
+            span.retry_rungs,
+            span.outcome.label()
+        ));
+        for stage in &span.stages {
+            events.push(format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"cat\":\"stage\",\"ph\":\"X\",",
+                    "\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}"
+                ),
+                escape(stage.stage),
+                tid,
+                span.start_us + stage.offset_us,
+                stage.duration_us
+            ));
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        events.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanOutcome, StageTiming};
+
+    fn sample_buffer() -> SpanBuffer {
+        let mut buffer = SpanBuffer::unbounded();
+        buffer.push(ReadSpan {
+            seq: 0,
+            lpn: 42,
+            scheme: "flexlevel",
+            arrival_us: 10.0,
+            start_us: 12.5,
+            response_us: 132.5,
+            sensing_levels: 2,
+            decode_iterations: 6,
+            retry_rungs: 1,
+            stages: vec![
+                StageTiming {
+                    stage: "sense",
+                    offset_us: 0.0,
+                    duration_us: 90.0,
+                },
+                StageTiming {
+                    stage: "transfer",
+                    offset_us: 90.0,
+                    duration_us: 40.0,
+                },
+            ],
+            outcome: SpanOutcome::Recovered,
+        });
+        buffer
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_with_fixed_fields() {
+        let text = span_jsonl(&sample_buffer());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("{\"seq\":0,\"lpn\":42,\"scheme\":\"flexlevel\""));
+        assert!(lines[0].contains("\"outcome\":\"recovered\""));
+        assert!(lines[0].contains("\"stages\":[{\"stage\":\"sense\""));
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_events() {
+        let text = chrome_trace(&sample_buffer());
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("\"name\":\"read lpn=42\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ts\":12.5"));
+        // Balanced braces as a cheap well-formedness check.
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn prometheus_renders_families_in_order() {
+        let mut registry = Registry::new();
+        let reads = registry.counter(
+            "flexlevel_flash_reads_total",
+            "Flash page reads issued.",
+            &[("scheme", "flexlevel")],
+        );
+        registry.inc_by(reads, 12941);
+        let reads_b = registry.counter(
+            "flexlevel_flash_reads_total",
+            "Flash page reads issued.",
+            &[("scheme", "baseline")],
+        );
+        registry.inc_by(reads_b, 14000);
+        let gauge = registry.gauge("flexlevel_makespan_us", "Run makespan.", &[]);
+        registry.set_gauge(gauge, 2.5e6);
+        let hist = registry.histogram("flexlevel_response_us", "Response times.", &[]);
+        registry.observe(hist, 130.0);
+        registry.observe(hist, 910.0);
+
+        let text = prometheus(&registry);
+        assert!(text.contains("# HELP flexlevel_flash_reads_total Flash page reads issued.\n"));
+        assert!(text.contains("# TYPE flexlevel_flash_reads_total counter\n"));
+        // One header for the family even with two series.
+        assert_eq!(
+            text.matches("# TYPE flexlevel_flash_reads_total").count(),
+            1
+        );
+        assert!(text.contains("flexlevel_flash_reads_total{scheme=\"flexlevel\"} 12941\n"));
+        assert!(text.contains("flexlevel_makespan_us 2500000\n"));
+        assert!(text.contains("# TYPE flexlevel_response_us histogram\n"));
+        assert!(text.contains("flexlevel_response_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("flexlevel_response_us_sum 1040\n"));
+        assert!(text.contains("flexlevel_response_us_count 2\n"));
+    }
+
+    #[test]
+    fn prometheus_groups_interleaved_families_after_merge() {
+        // Merging per-run registries appends each run's series at the
+        // end, so a family's series are no longer adjacent in
+        // registration order; the exporter must still group them under a
+        // single header (the exposition format forbids interleaving).
+        let build = |scheme: &'static str| {
+            let mut r = Registry::new();
+            let c = r.counter("a_total", "A.", &[("scheme", scheme)]);
+            r.inc_by(c, 1);
+            let g = r.gauge("b", "B.", &[("scheme", scheme)]);
+            r.set_gauge(g, 2.0);
+            r
+        };
+        let mut merged = build("x");
+        merged.merge(&build("y"));
+        let text = prometheus(&merged);
+        assert_eq!(text.matches("# TYPE a_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE b gauge").count(), 1);
+        let ax = text.find("a_total{scheme=\"x\"}").unwrap();
+        let ay = text.find("a_total{scheme=\"y\"}").unwrap();
+        let bx = text.find("b{scheme=\"x\"}").unwrap();
+        assert!(ax < ay && ay < bx, "family series must stay grouped");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut registry = Registry::new();
+        let hist = registry.histogram("h", "two buckets", &[]);
+        for _ in 0..3 {
+            registry.observe(hist, 10.0);
+        }
+        registry.observe(hist, 1000.0);
+        let text = prometheus(&registry);
+        let bucket_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("h_bucket")).collect();
+        assert_eq!(bucket_lines.len(), 3); // two data buckets + +Inf
+        assert!(bucket_lines[0].ends_with(" 3"));
+        assert!(bucket_lines[1].ends_with(" 4"));
+        assert!(bucket_lines[2].contains("le=\"+Inf\"} 4"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let build = || {
+            let mut registry = Registry::new();
+            let h = registry.histogram("h", "", &[("scheme", "x")]);
+            for i in 0..100 {
+                registry.observe(h, 10.0 + i as f64 * 3.7);
+            }
+            (prometheus(&registry), span_jsonl(&sample_buffer()))
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,403 @@
+//! Log-linear latency histogram with exact, machine-independent bucket
+//! boundaries.
+//!
+//! The layout is HDR-style: each power-of-two *octave* `[2^k, 2^(k+1))`
+//! is split into [`SUB_BUCKETS`] equal linear sub-buckets, giving a
+//! constant ≤ 1/[`SUB_BUCKETS`] relative quantization error across the
+//! whole range. Values below `1.0` fall into a linear region of
+//! [`SUB_BUCKETS`] buckets of width `1/`[`SUB_BUCKETS`], and values at or
+//! above `2^`[`OCTAVES`] land in a single overflow bucket.
+//!
+//! Every boundary is of the form `2^k · (1 + i/SUB_BUCKETS)` with
+//! `SUB_BUCKETS` a power of two, so boundaries are exactly representable
+//! `f64`s and bucket indexing is pure bit manipulation on the IEEE-754
+//! encoding — no `log`, no platform-dependent rounding. Recording the
+//! same values always yields bit-identical state, and
+//! [`merge`](Histogram::merge) is commutative bit-for-bit, which is what
+//! lets per-shard histograms be combined in fixed shard order with the
+//! same guarantees as `reliability::mc`'s fixed-order reduction.
+
+/// Bits of linear resolution per octave.
+const SUB_BITS: u32 = 5;
+
+/// Linear sub-buckets per power-of-two octave (32): the relative
+/// quantization error of any recorded value is at most 1/32 ≈ 3.1 %.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Octaves covered above `1.0`. `2^40` µs ≈ 12.7 days — far beyond any
+/// simulated latency; larger values share the overflow bucket.
+pub const OCTAVES: usize = 40;
+
+/// Total bucket count: the `[0, 1)` linear region, [`OCTAVES`] octaves,
+/// and one overflow bucket.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS * (OCTAVES + 1) + 1;
+
+/// A fixed-shape log-linear histogram over non-negative finite values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite — the histogram's
+    /// domain is latencies/counts, and silently folding NaN into a bucket
+    /// would hide a modelling bug.
+    pub fn bucket_index(value: f64) -> usize {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "histogram domain is finite non-negative values, got {value}"
+        );
+        if value < 1.0 {
+            // Linear region: width 1/SUB_BUCKETS. The product is < 32,
+            // so the cast truncation is the exact floor.
+            return (value * SUB_BUCKETS as f64) as usize;
+        }
+        let bits = value.to_bits();
+        let exponent = ((bits >> 52) & 0x7FF) as usize - 1023;
+        if exponent >= OCTAVES {
+            return NUM_BUCKETS - 1;
+        }
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        SUB_BUCKETS * (1 + exponent) + sub
+    }
+
+    /// The half-open range `[lower, upper)` of bucket `index`; the
+    /// overflow bucket's upper bound is `+∞`. Boundaries are exactly
+    /// representable and shared between adjacent buckets
+    /// (`bounds(i).1 == bounds(i + 1).0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_BUCKETS`.
+    pub fn bucket_bounds(index: usize) -> (f64, f64) {
+        assert!(index < NUM_BUCKETS, "bucket index {index} out of range");
+        let sub = SUB_BUCKETS as f64;
+        if index < SUB_BUCKETS {
+            return (index as f64 / sub, (index + 1) as f64 / sub);
+        }
+        if index == NUM_BUCKETS - 1 {
+            return ((1u64 << OCTAVES) as f64, f64::INFINITY);
+        }
+        let octave = index / SUB_BUCKETS - 1;
+        let slot = (index % SUB_BUCKETS) as f64;
+        let base = (1u64 << octave) as f64;
+        (base * (1.0 + slot / sub), base * (1.0 + (slot + 1.0) / sub))
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&mut self, value: f64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Histogram::bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value * n as f64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum / self.count as f64
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.min
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.max
+    }
+
+    /// Observations in bucket `index`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// Non-empty buckets as `(index, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// The bucket holding the `q`-quantile observation (rank convention
+    /// matching `SimStats::response_percentile`: the rank is
+    /// `round(q · (count − 1))`). Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        let mut cumulative = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative > rank {
+                return Some(index);
+            }
+        }
+        unreachable!("cumulative count covers every rank");
+    }
+
+    /// The `[lower, upper)` bounds bracketing the exact `q`-quantile: the
+    /// true order statistic lies inside the returned bucket, so any point
+    /// estimate within it is off by less than one bucket width. Returns
+    /// `(0, 0)` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> (f64, f64) {
+        match self.quantile_bucket(q) {
+            Some(index) => Histogram::bucket_bounds(index),
+            None => (0.0, 0.0),
+        }
+    }
+
+    /// Point estimate of the `q`-quantile: the midpoint of the bracketing
+    /// bucket (clamped to the largest recorded value, which also covers
+    /// the unbounded overflow bucket). Within one bucket width of the
+    /// exact quantile by construction.
+    pub fn quantile(&self, q: f64) -> f64 {
+        match self.quantile_bucket(q) {
+            Some(index) => {
+                let (lower, upper) = Histogram::bucket_bounds(index);
+                if upper.is_finite() {
+                    (lower + upper) / 2.0
+                } else {
+                    self.max()
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Folds `other` into `self`. Bucket counts add; the running sum adds
+    /// (IEEE-754 addition is commutative, so `merge(a, b)` and
+    /// `merge(b, a)` are bit-identical — merging *more than two*
+    /// histograms must still use a fixed order, as f64 addition is not
+    /// associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to the empty state, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.quantile_bucket(0.5), None);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn boundaries_are_exact_and_shared() {
+        for index in 0..NUM_BUCKETS - 1 {
+            let (lower, upper) = Histogram::bucket_bounds(index);
+            assert!(lower < upper, "bucket {index}");
+            assert_eq!(upper, Histogram::bucket_bounds(index + 1).0);
+        }
+        assert_eq!(Histogram::bucket_bounds(0).0, 0.0);
+        assert_eq!(Histogram::bucket_bounds(NUM_BUCKETS - 1).1, f64::INFINITY);
+    }
+
+    #[test]
+    fn indexing_matches_bounds() {
+        for value in [
+            0.0,
+            0.01,
+            0.5,
+            0.999,
+            1.0,
+            1.03125,
+            1.5,
+            2.0,
+            90.0,
+            135.0,
+            1000.0,
+            3000.0,
+            65_535.9,
+            1e9,
+            2f64.powi(39),
+            2f64.powi(40),
+            1e300,
+        ] {
+            let index = Histogram::bucket_index(value);
+            let (lower, upper) = Histogram::bucket_bounds(index);
+            assert!(
+                lower <= value && value < upper,
+                "{value} landed in bucket {index} = [{lower}, {upper})"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_values_open_their_own_bucket() {
+        // A value exactly on a boundary belongs to the upper bucket.
+        for index in 1..200 {
+            let (lower, _) = Histogram::bucket_bounds(index);
+            assert_eq!(Histogram::bucket_index(lower), index);
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut v = 1.0_f64;
+        while v < 1e9 {
+            let (lower, upper) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+            assert!((upper - lower) / lower <= 1.0 / SUB_BUCKETS as f64 + 1e-12);
+            v *= 1.37;
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_values() {
+        let mut h = Histogram::new();
+        let values: Vec<f64> = (0..1000).map(|i| 10.0 + i as f64).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 10.0);
+        assert_eq!(h.max(), 1009.0);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = values[((values.len() - 1) as f64 * q).round() as usize];
+            let (lower, upper) = h.quantile_bounds(q);
+            assert!(
+                lower <= exact && exact < upper,
+                "q={q}: exact {exact} outside [{lower}, {upper})"
+            );
+            let estimate = h.quantile(q);
+            assert!((estimate - exact).abs() < upper - lower);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_bitwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..500 {
+            a.record(0.1 + i as f64 * 1.7);
+            b.record(3000.0 / (1.0 + i as f64));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.sum().to_bits(), ba.sum().to_bits());
+        assert_eq!(ab.count(), 1000);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Histogram::new();
+        a.record_n(42.5, 3);
+        a.record_n(7.0, 0); // no-op
+        let mut b = Histogram::new();
+        for _ in 0..3 {
+            b.record(42.5);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.bucket_count(Histogram::bucket_index(42.5)), 3);
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut h = Histogram::new();
+        h.record(12.0);
+        h.clear();
+        assert_eq!(h, Histogram::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_values_rejected() {
+        Histogram::bucket_index(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn nan_rejected() {
+        Histogram::bucket_index(f64::NAN);
+    }
+}

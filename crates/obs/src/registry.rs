@@ -1,0 +1,307 @@
+//! Deterministic metrics registry: counters, gauges and histograms.
+//!
+//! Metrics are *registered* once up front (allocating their name, label
+//! set and storage) and then updated through copyable integer ids —
+//! [`CounterId`], [`GaugeId`], [`HistogramId`] — so the hot path is an
+//! array index and an add, with **zero allocations**. Snapshot iteration
+//! and the Prometheus exposition (see [`crate::export`]) walk metrics in
+//! registration order, so rendered output is a pure function of the
+//! recorded data, never of hashing or thread interleaving.
+
+use crate::hist::Histogram;
+
+/// Handle of a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle of a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle of a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Identity of one metric series: family name plus label pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricMeta {
+    /// Metric family name (e.g. `flexlevel_flash_reads_total`).
+    pub name: String,
+    /// One-line description, rendered as the family's `# HELP`.
+    pub help: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+}
+
+fn meta(name: &str, help: &str, labels: &[(&str, &str)]) -> MetricMeta {
+    MetricMeta {
+        name: name.to_string(),
+        help: help.to_string(),
+        labels: labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    }
+}
+
+fn matches(m: &MetricMeta, name: &str, labels: &[(&str, &str)]) -> bool {
+    m.name == name
+        && m.labels.len() == labels.len()
+        && m.labels
+            .iter()
+            .zip(labels)
+            .all(|((k, v), (wk, wv))| k == wk && v == wv)
+}
+
+/// The registry: an append-only table of metric series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: Vec<(MetricMeta, u64)>,
+    gauges: Vec<(MetricMeta, f64)>,
+    histograms: Vec<(MetricMeta, Histogram)>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or finds) the counter series `name{labels}`. Repeated
+    /// registration of the same series returns the existing id, so
+    /// metric definitions can live next to their call sites.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> CounterId {
+        if let Some(i) = self
+            .counters
+            .iter()
+            .position(|(m, _)| matches(m, name, labels))
+        {
+            return CounterId(i);
+        }
+        self.counters.push((meta(name, help, labels), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) the gauge series `name{labels}`.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> GaugeId {
+        if let Some(i) = self
+            .gauges
+            .iter()
+            .position(|(m, _)| matches(m, name, labels))
+        {
+            return GaugeId(i);
+        }
+        self.gauges.push((meta(name, help, labels), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or finds) the histogram series `name{labels}`.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> HistogramId {
+        if let Some(i) = self
+            .histograms
+            .iter()
+            .position(|(m, _)| matches(m, name, labels))
+        {
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((meta(name, help, labels), Histogram::new()));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increments a counter by `by`. Allocation-free.
+    #[inline]
+    pub fn inc_by(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Increments a counter by one. Allocation-free.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.inc_by(id, 1);
+    }
+
+    /// Sets a counter to an absolute value (used when folding a finished
+    /// run's totals into the registry).
+    #[inline]
+    pub fn set_counter(&mut self, id: CounterId, value: u64) {
+        self.counters[id.0].1 = value;
+    }
+
+    /// Sets a gauge. Allocation-free.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Records `value` into a histogram. Allocation-free.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].1.record(value);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    /// The histogram behind `id`.
+    pub fn histogram_value(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Looks up a counter series by name and exact label set.
+    pub fn find_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(m, _)| matches(m, name, labels))
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge series by name and exact label set.
+    pub fn find_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(m, _)| matches(m, name, labels))
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram series by name and exact label set.
+    pub fn find_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(m, _)| matches(m, name, labels))
+            .map(|(_, h)| h)
+    }
+
+    /// Counter series in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricMeta, u64)> {
+        self.counters.iter().map(|(m, v)| (m, *v))
+    }
+
+    /// Gauge series in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricMeta, f64)> {
+        self.gauges.iter().map(|(m, v)| (m, *v))
+    }
+
+    /// Histogram series in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricMeta, &Histogram)> {
+        self.histograms.iter().map(|(m, h)| (m, h))
+    }
+
+    /// Folds `other` into `self`: series present in both are combined
+    /// (counters add, gauges take `other`'s value, histograms merge);
+    /// series new to `self` are appended in `other`'s registration order.
+    /// Merging shards in a fixed order therefore yields bit-identical
+    /// registries regardless of how the shards were scheduled.
+    pub fn merge(&mut self, other: &Registry) {
+        for (m, v) in &other.counters {
+            match self.counters.iter_mut().find(|(mine, _)| mine == &*m) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((m.clone(), *v)),
+            }
+        }
+        for (m, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(mine, _)| mine == &*m) {
+                Some((_, mine)) => *mine = *v,
+                None => self.gauges.push((m.clone(), *v)),
+            }
+        }
+        for (m, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(mine, _)| mine == &*m) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((m.clone(), h.clone())),
+            }
+        }
+    }
+
+    /// Zeroes every value while keeping the registered series (ids stay
+    /// valid), so a simulator reset does not invalidate handed-out ids.
+    pub fn reset_values(&mut self) {
+        for (_, v) in &mut self.counters {
+            *v = 0;
+        }
+        for (_, v) in &mut self.gauges {
+            *v = 0.0;
+        }
+        for (_, h) in &mut self.histograms {
+            h.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_dedupes_by_name_and_labels() {
+        let mut r = Registry::new();
+        let a = r.counter("reads_total", "reads", &[("scheme", "x")]);
+        let b = r.counter("reads_total", "reads", &[("scheme", "x")]);
+        let c = r.counter("reads_total", "reads", &[("scheme", "y")]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        r.inc(a);
+        r.inc_by(c, 5);
+        assert_eq!(r.counter_value(a), 1);
+        assert_eq!(r.find_counter("reads_total", &[("scheme", "y")]), Some(5));
+        assert_eq!(r.find_counter("reads_total", &[]), None);
+    }
+
+    #[test]
+    fn gauges_and_histograms_round_trip() {
+        let mut r = Registry::new();
+        let g = r.gauge("makespan_us", "makespan", &[]);
+        r.set_gauge(g, 123.5);
+        assert_eq!(r.gauge_value(g), 123.5);
+        assert_eq!(r.find_gauge("makespan_us", &[]), Some(123.5));
+        let h = r.histogram("response_us", "responses", &[]);
+        r.observe(h, 100.0);
+        r.observe(h, 300.0);
+        assert_eq!(r.histogram_value(h).count(), 2);
+        assert_eq!(r.find_histogram("response_us", &[]).unwrap().mean(), 200.0);
+    }
+
+    #[test]
+    fn merge_combines_and_appends() {
+        let mut a = Registry::new();
+        let shared = a.counter("n", "", &[]);
+        a.inc_by(shared, 2);
+        let ha = a.histogram("h", "", &[]);
+        a.observe(ha, 1.0);
+
+        let mut b = Registry::new();
+        let shared_b = b.counter("n", "", &[]);
+        b.inc_by(shared_b, 3);
+        let only_b = b.counter("m", "", &[("k", "v")]);
+        b.inc(only_b);
+        let hb = b.histogram("h", "", &[]);
+        b.observe(hb, 2.0);
+
+        a.merge(&b);
+        assert_eq!(a.find_counter("n", &[]), Some(5));
+        assert_eq!(a.find_counter("m", &[("k", "v")]), Some(1));
+        assert_eq!(a.find_histogram("h", &[]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn reset_keeps_series_valid() {
+        let mut r = Registry::new();
+        let c = r.counter("n", "", &[]);
+        let h = r.histogram("h", "", &[]);
+        r.inc(c);
+        r.observe(h, 9.0);
+        r.reset_values();
+        assert_eq!(r.counter_value(c), 0);
+        assert_eq!(r.histogram_value(h).count(), 0);
+        // Ids registered before the reset still address their series.
+        r.inc_by(c, 7);
+        assert_eq!(r.find_counter("n", &[]), Some(7));
+    }
+}

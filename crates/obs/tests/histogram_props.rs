@@ -1,0 +1,129 @@
+//! Property-based tests of the log-linear histogram: bucket geometry,
+//! quantile bracketing, and bitwise-deterministic merging.
+
+use obs::hist::NUM_BUCKETS;
+use obs::Histogram;
+use proptest::prelude::*;
+
+/// Maps a `(mantissa, decimal exponent)` sample to a positive finite
+/// value spanning the histogram's useful range (sub-µs latencies through
+/// multi-second makespans). The vendored proptest stub has no `prop_map`,
+/// so sampled tuples are widened in the test bodies instead.
+fn widen(m: f64, e: i32) -> f64 {
+    m * 10f64.powi(e)
+}
+
+fn widen_all(pairs: &[(f64, i32)]) -> Vec<f64> {
+    pairs.iter().map(|&(m, e)| widen(m, e)).collect()
+}
+
+proptest! {
+    /// Bucket bounds tile the axis: each bucket's upper bound is the next
+    /// bucket's lower bound, and bounds never decrease.
+    #[test]
+    fn bucket_bounds_are_monotone_and_contiguous(index in 0usize..NUM_BUCKETS - 1) {
+        let (lo, hi) = Histogram::bucket_bounds(index);
+        prop_assert!(lo < hi, "bucket {index}: {lo} !< {hi}");
+        let (next_lo, _) = Histogram::bucket_bounds(index + 1);
+        prop_assert_eq!(hi, next_lo, "bucket {} not contiguous", index);
+    }
+
+    /// Every representable value lands in exactly one bucket, and that
+    /// bucket's bounds bracket it (`lo <= v < hi`).
+    #[test]
+    fn every_value_lands_in_its_bucket(m in 0.0f64..60.0, e in -3i32..9) {
+        let v = widen(m, e);
+        let index = Histogram::bucket_index(v);
+        prop_assert!(index < NUM_BUCKETS);
+        let (lo, hi) = Histogram::bucket_bounds(index);
+        prop_assert!(lo <= v, "{v} below bucket {index} lower bound {lo}");
+        prop_assert!(
+            v < hi || index == NUM_BUCKETS - 1,
+            "{v} at/above bucket {index} upper bound {hi}"
+        );
+    }
+
+    /// Recording a value increments exactly one bucket.
+    #[test]
+    fn record_touches_exactly_one_bucket(m in 0.0f64..60.0, e in -3i32..9) {
+        let v = widen(m, e);
+        let mut h = Histogram::new();
+        h.record(v);
+        let touched: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        prop_assert_eq!(touched.len(), 1);
+        prop_assert_eq!(touched[0], (Histogram::bucket_index(v), 1));
+        prop_assert_eq!(h.count(), 1);
+    }
+
+    /// The histogram quantile is within one bucket width of the exact
+    /// sample quantile: the exact value lies inside the reported
+    /// bucket's bounds.
+    #[test]
+    fn quantile_brackets_exact_sample_quantile(
+        pairs in proptest::collection::vec((0.0f64..60.0, -3i32..9), 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut values = widen_all(&pairs);
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank = (q * (values.len() as u64 - 1) as f64).round() as usize;
+        let exact = values[rank];
+        let (lo, hi) = h.quantile_bounds(q);
+        prop_assert!(
+            lo <= exact && (exact < hi || hi == f64::INFINITY),
+            "exact quantile {exact} outside reported bucket [{lo}, {hi})"
+        );
+    }
+
+    /// Merging is bitwise commutative: merge(a, b) == merge(b, a) down to
+    /// the f64 bit patterns of sum/min/max (addition of two summands is
+    /// commutative in IEEE-754; only longer chains are order-sensitive).
+    #[test]
+    fn merge_is_bitwise_commutative(
+        xs in proptest::collection::vec((0.0f64..60.0, -3i32..9), 0..50),
+        ys in proptest::collection::vec((0.0f64..60.0, -3i32..9), 0..50),
+    ) {
+        let build = |pairs: &[(f64, i32)]| {
+            let mut h = Histogram::new();
+            for v in widen_all(pairs) {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b) = (build(&xs), build(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.sum().to_bits(), ba.sum().to_bits());
+        prop_assert_eq!(ab.min().to_bits(), ba.min().to_bits());
+        prop_assert_eq!(ab.max().to_bits(), ba.max().to_bits());
+        for index in 0..NUM_BUCKETS {
+            prop_assert_eq!(ab.bucket_count(index), ba.bucket_count(index));
+        }
+    }
+
+    /// count/sum/mean stay consistent under arbitrary record streams.
+    #[test]
+    fn summary_statistics_are_consistent(
+        pairs in proptest::collection::vec((0.0f64..60.0, -3i32..9), 1..100),
+    ) {
+        let values = widen_all(&pairs);
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let direct: f64 = values.iter().sum();
+        prop_assert!((h.sum() - direct).abs() <= direct.abs() * 1e-12);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+        prop_assert!(h.mean() >= lo && h.mean() <= hi);
+    }
+}

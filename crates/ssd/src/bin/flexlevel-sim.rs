@@ -25,11 +25,24 @@
 //!   --fault-seed N  fault-stream seed (default model seed)
 //!   --scrub-interval N   host requests between patrol-scrub visits
 //!                        (0 disables the scrubber)
+//!   --metrics-out F Prometheus text exposition of the run's metrics
+//!   --trace-out F   Chrome trace_event JSON (load in Perfetto / about:tracing)
+//!   --trace-jsonl F one JSON object per sampled read span
+//!   --trace-sample N     keep a seeded reservoir of at most N spans
+//!                        (0 = keep every span, the default)
 //! ```
+//!
+//! Any of the output flags (or `--all-schemes`, which sources its
+//! comparison table from the metrics registry) attaches the observability
+//! recorder; without them the simulator runs with observability fully
+//! disabled — the zero-overhead default.
 
+use obs::{export, Recorder};
 use rand::{rngs::StdRng, SeedableRng};
 use reliability::EccConfig;
-use ssd::{FaultConfig, Scheme, SimStats, SsdConfig, SsdSimulator, StageKind, TimingModel};
+use ssd::{
+    FaultConfig, Scheme, SimObserver, SimStats, SsdConfig, SsdSimulator, StageKind, TimingModel,
+};
 use workloads::WorkloadSpec;
 
 struct Args {
@@ -48,6 +61,10 @@ struct Args {
     fault_scale: f64,
     fault_seed: Option<u64>,
     scrub_interval: Option<u64>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    trace_jsonl: Option<String>,
+    trace_sample: usize,
 }
 
 impl Args {
@@ -80,6 +97,10 @@ fn parse_args() -> Result<Args, String> {
         fault_scale: 1.0,
         fault_seed: None,
         scrub_interval: None,
+        metrics_out: None,
+        trace_out: None,
+        trace_jsonl: None,
+        trace_sample: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -154,6 +175,14 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--scrub-interval: {e}"))?,
                 )
             }
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--trace-jsonl" => args.trace_jsonl = Some(value("--trace-jsonl")?),
+            "--trace-sample" => {
+                args.trace_sample = value("--trace-sample")?
+                    .parse()
+                    .map_err(|e| format!("--trace-sample: {e}"))?
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -172,7 +201,9 @@ fn print_usage() {
                 [--pe N] [--blocks N] [--requests N] [--seed N]\n\
                 [--channels N] [--timing single|pipelined] [--dies N]\n\
                 [--decoders N] [--all-schemes] [--faults]\n\
-                [--fault-scale X] [--fault-seed N] [--scrub-interval N]"
+                [--fault-scale X] [--fault-seed N] [--scrub-interval N]\n\
+                [--metrics-out metrics.prom] [--trace-out trace.json]\n\
+                [--trace-jsonl spans.jsonl] [--trace-sample N]"
     );
 }
 
@@ -214,10 +245,16 @@ fn print_recovery_panel(stats: &SimStats) {
     );
 }
 
-/// Runs one scheme and prints its report; returns `false` if the
+/// Runs one scheme and prints its report; returns `None` if the
 /// simulation failed (the caller finishes the remaining schemes and
-/// exits non-zero at the end).
-fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) -> bool {
+/// exits non-zero at the end) and the recorded observability data
+/// otherwise (`Some(None)` when observability is off).
+fn run_one(
+    scheme: Scheme,
+    args: &Args,
+    trace: &workloads::Trace,
+    observe: bool,
+) -> Option<Option<Recorder>> {
     let mut config = SsdConfig::scaled(scheme, args.blocks)
         .with_base_pe(args.pe)
         .with_seed(args.seed)
@@ -229,8 +266,12 @@ fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) -> bool {
         config = config.with_faults(args.fault_config());
     }
     let mut sim = SsdSimulator::new(config);
+    if observe {
+        sim.attach_observer(SimObserver::new(scheme, args.trace_sample));
+    }
     match sim.run(trace) {
-        Ok(stats) => {
+        Ok(_) => {
+            let stats = sim.stats();
             println!("--- {} ---", scheme.label());
             println!("  mean response      : {}", stats.mean_response());
             println!("  mean read response : {}", stats.mean_read_response());
@@ -296,14 +337,260 @@ fn run_one(scheme: Scheme, args: &Args, trace: &workloads::Trace) -> bool {
                     );
                 }
             }
-            true
+            Some(sim.take_observer().map(SimObserver::into_recorder))
         }
         Err(e) => {
             eprintln!("--- {} ---", scheme.label());
             eprintln!("  simulation failed  : {e}");
-            false
+            None
         }
     }
+}
+
+/// Appends one row to a comparison table.
+fn push_row(rows: &mut Vec<(String, Vec<String>)>, title: &str, cells: Vec<String>) {
+    rows.push((title.to_string(), cells));
+}
+
+/// Renders a `(metric, per-scheme cell)` table with aligned columns.
+fn render_table(header: &[&str], rows: &[(String, Vec<String>)]) -> String {
+    let metric_width = rows
+        .iter()
+        .map(|(t, _)| t.len())
+        .chain(std::iter::once("metric".len()))
+        .max()
+        .unwrap_or(6);
+    let col_widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(c, h)| {
+            rows.iter()
+                .map(|(_, cells)| cells[c].len())
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(1)
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!("{:<metric_width$}", "metric"));
+    for (c, h) in header.iter().enumerate() {
+        out.push_str(&format!("  {:>width$}", h, width = col_widths[c]));
+    }
+    out.push('\n');
+    for (title, cells) in rows {
+        out.push_str(&format!("{title:<metric_width$}"));
+        for (c, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("  {:>width$}", cell, width = col_widths[c]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The `--all-schemes` comparison table, sourced entirely from the merged
+/// metrics registry snapshot (not from ad-hoc `SimStats` plumbing).
+fn comparison_table(recorder: &Recorder, schemes: &[Scheme], args: &Args) -> String {
+    let reg = &recorder.metrics;
+    let labels: Vec<Vec<(&str, &str)>> = schemes
+        .iter()
+        .map(|s| vec![("scheme", s.label())])
+        .collect();
+    let counter_cells = |name: &str| -> Vec<String> {
+        labels
+            .iter()
+            .map(|l| match reg.find_counter(name, l) {
+                Some(v) => v.to_string(),
+                None => "-".to_string(),
+            })
+            .collect()
+    };
+    let gauge_cells = |name: &str, precision: usize| -> Vec<String> {
+        labels
+            .iter()
+            .map(|l| match reg.find_gauge(name, l) {
+                Some(v) => format!("{v:.precision$}"),
+                None => "-".to_string(),
+            })
+            .collect()
+    };
+    let quantile_cells = |name: &str, q: f64| -> Vec<String> {
+        labels
+            .iter()
+            .map(|l| match reg.find_histogram(name, l) {
+                Some(h) if h.count() > 0 => format!("{:.1}", h.quantile(q)),
+                _ => "-".to_string(),
+            })
+            .collect()
+    };
+    let mut rows = Vec::new();
+    push_row(
+        &mut rows,
+        "mean response (us)",
+        gauge_cells("flexlevel_mean_response_us", 1),
+    );
+    push_row(
+        &mut rows,
+        "mean read response (us)",
+        gauge_cells("flexlevel_mean_read_response_us", 1),
+    );
+    push_row(
+        &mut rows,
+        "p50 response (us)",
+        quantile_cells("flexlevel_response_us", 0.50),
+    );
+    push_row(
+        &mut rows,
+        "p99 response (us)",
+        quantile_cells("flexlevel_response_us", 0.99),
+    );
+    push_row(
+        &mut rows,
+        "p99 sensing levels",
+        quantile_cells("flexlevel_sensing_levels", 0.99),
+    );
+    push_row(
+        &mut rows,
+        "host reads",
+        counter_cells("flexlevel_host_reads_total"),
+    );
+    push_row(
+        &mut rows,
+        "host writes",
+        counter_cells("flexlevel_host_writes_total"),
+    );
+    push_row(
+        &mut rows,
+        "buffer read hits",
+        counter_cells("flexlevel_buffer_read_hits_total"),
+    );
+    push_row(
+        &mut rows,
+        "reduced-page reads",
+        counter_cells("flexlevel_reduced_reads_total"),
+    );
+    push_row(
+        &mut rows,
+        "flash reads",
+        counter_cells("flexlevel_flash_reads_total"),
+    );
+    push_row(
+        &mut rows,
+        "flash programs",
+        counter_cells("flexlevel_flash_programs_total"),
+    );
+    push_row(&mut rows, "erases", counter_cells("flexlevel_erases_total"));
+    push_row(
+        &mut rows,
+        "GC runs",
+        counter_cells("flexlevel_gc_runs_total"),
+    );
+    push_row(
+        &mut rows,
+        "GC pages moved",
+        counter_cells("flexlevel_gc_migrated_pages_total"),
+    );
+    push_row(
+        &mut rows,
+        "promotions",
+        counter_cells("flexlevel_promotions_total"),
+    );
+    push_row(
+        &mut rows,
+        "demotions",
+        counter_cells("flexlevel_demotions_total"),
+    );
+    push_row(
+        &mut rows,
+        "soft-read fraction",
+        gauge_cells("flexlevel_soft_read_fraction", 3),
+    );
+    push_row(
+        &mut rows,
+        "write amplification",
+        gauge_cells("flexlevel_write_amplification", 2),
+    );
+    if args.faults {
+        push_row(
+            &mut rows,
+            "retry reads",
+            counter_cells("flexlevel_retry_reads_total"),
+        );
+        push_row(
+            &mut rows,
+            "recovered reads",
+            counter_cells("flexlevel_recovered_reads_total"),
+        );
+        push_row(
+            &mut rows,
+            "uncorrectable reads",
+            counter_cells("flexlevel_uncorrectable_reads_total"),
+        );
+        push_row(
+            &mut rows,
+            "p99 retry depth",
+            quantile_cells("flexlevel_retry_depth", 0.99),
+        );
+    }
+    if args.timing == TimingModel::Pipelined {
+        push_row(
+            &mut rows,
+            "throughput (req/s)",
+            gauge_cells("flexlevel_throughput_rps", 0),
+        );
+        push_row(
+            &mut rows,
+            "makespan (us)",
+            gauge_cells("flexlevel_makespan_us", 0),
+        );
+    }
+    let header: Vec<&str> = schemes.iter().map(|s| s.label()).collect();
+    render_table(&header, &rows)
+}
+
+/// Per-stage × per-scheme latency breakdown (pipelined model), sourced
+/// from the per-execution stage histograms.
+fn stage_panel(recorder: &Recorder, schemes: &[Scheme]) -> String {
+    let reg = &recorder.metrics;
+    let mut rows = Vec::new();
+    for kind in StageKind::ALL {
+        for metric in ["busy", "wait"] {
+            let name = format!("flexlevel_stage_{metric}_us");
+            let cells: Vec<String> = schemes
+                .iter()
+                .map(|s| {
+                    let labels = [("scheme", s.label()), ("stage", kind.label())];
+                    match reg.find_histogram(&name, &labels) {
+                        Some(h) if h.count() > 0 => {
+                            format!("{:.1}/{:.1}", h.quantile(0.50), h.quantile(0.99))
+                        }
+                        _ => "-".to_string(),
+                    }
+                })
+                .collect();
+            if cells.iter().all(|c| c == "-") {
+                continue;
+            }
+            push_row(
+                &mut rows,
+                &format!("{} {metric} p50/p99 (us)", kind.label()),
+                cells,
+            );
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    let header: Vec<&str> = schemes.iter().map(|s| s.label()).collect();
+    render_table(&header, &rows)
+}
+
+/// Writes `contents` to `path`, exiting with a message on failure.
+fn write_output(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: writing {what} to {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {what} to {path}");
 }
 
 fn main() {
@@ -334,15 +621,52 @@ fn main() {
         trace.footprint_pages,
         args.pe
     );
+    // Observability is attached when an export was requested, or when the
+    // multi-scheme comparison table (sourced from the registry) will run.
+    let observe = args.metrics_out.is_some()
+        || args.trace_out.is_some()
+        || args.trace_jsonl.is_some()
+        || args.all_schemes;
+    let schemes: Vec<Scheme> = if args.all_schemes {
+        Scheme::ALL.to_vec()
+    } else {
+        vec![args.scheme]
+    };
     let mut failed = Vec::new();
-    if args.all_schemes {
-        for scheme in Scheme::ALL {
-            if !run_one(scheme, &args, &trace) {
-                failed.push(scheme.label());
+    // Recorders merge in scheme order — a fixed order, so the combined
+    // registry and trace are independent of anything but the runs.
+    let mut combined: Option<Recorder> = None;
+    for &scheme in &schemes {
+        match run_one(scheme, &args, &trace, observe) {
+            None => failed.push(scheme.label()),
+            Some(None) => {}
+            Some(Some(recorder)) => match combined.as_mut() {
+                Some(c) => c.merge(&recorder),
+                None => combined = Some(recorder),
+            },
+        }
+    }
+    if let Some(recorder) = combined.as_ref() {
+        if args.all_schemes {
+            println!("\n=== scheme comparison (from metrics registry) ===");
+            print!("{}", comparison_table(recorder, &schemes, &args));
+            if args.timing == TimingModel::Pipelined {
+                let panel = stage_panel(recorder, &schemes);
+                if !panel.is_empty() {
+                    println!("\n=== per-stage latency breakdown (pipelined) ===");
+                    print!("{panel}");
+                }
             }
         }
-    } else if !run_one(args.scheme, &args, &trace) {
-        failed.push(args.scheme.label());
+        if let Some(path) = args.metrics_out.as_deref() {
+            write_output(path, &export::prometheus(&recorder.metrics), "metrics");
+        }
+        if let Some(path) = args.trace_out.as_deref() {
+            write_output(path, &export::chrome_trace(&recorder.spans), "chrome trace");
+        }
+        if let Some(path) = args.trace_jsonl.as_deref() {
+            write_output(path, &export::span_jsonl(&recorder.spans), "span jsonl");
+        }
     }
     if !failed.is_empty() {
         eprintln!(

@@ -36,6 +36,7 @@ pub mod faults;
 pub mod ftl;
 pub mod ftl_hybrid;
 pub mod lifetime;
+pub mod obs;
 pub mod pipeline;
 pub mod recovery;
 pub mod sim;
@@ -49,6 +50,7 @@ pub use faults::{FaultConfig, FaultState};
 pub use ftl::{FtlError, GcPolicy, OpCost, PageMapFtl};
 pub use ftl_hybrid::HybridFtl;
 pub use lifetime::LifetimeModel;
+pub use obs::SimObserver;
 pub use pipeline::{FlashOp, Stage, StageKind};
 pub use recovery::{RecoveryOutcome, RetryRung};
 pub use sim::{SimError, SsdSimulator};

@@ -1,0 +1,476 @@
+//! Simulator-side observability: the bridge between [`SsdSimulator`] and
+//! the `flexlevel-obs` recorder.
+//!
+//! A [`SimObserver`] is attached to a simulator before `run()`
+//! ([`SsdSimulator::attach_observer`]); when absent, no observability
+//! code executes at all — the `Option` check is the entire disabled-path
+//! cost, which keeps golden fixtures and throughput untouched.
+//!
+//! When attached, the observer records two kinds of data:
+//!
+//! * **Event-time histograms** — response times, sensing depths, decoder
+//!   iterations, recovery depths and (pipelined model) per-stage
+//!   busy/wait times, observed as the simulation makes each decision.
+//!   Stage histograms are recorded at the *same call site* as
+//!   [`SimStats::record_stage`], so their counts reconcile exactly with
+//!   [`StageAccount::ops`](crate::stats::StageAccount::ops).
+//! * **End-of-run folds** — every `SimStats` counter is copied into the
+//!   registry after the run (`SimObserver::finish_run`), guaranteeing
+//!   the exported counters equal the golden counters by construction.
+//!
+//! Read requests additionally emit a structured [`ReadSpan`] with a
+//! per-stage latency decomposition that sums to the request's flash
+//! service time. Under the single-queue model spans complete inline;
+//! under the pipelined model the logical phase builds span skeletons and
+//! the event loop fills in start/response times, with spans flushed in
+//! request order so trace output is independent of event interleaving.
+//!
+//! [`SsdSimulator`]: crate::sim::SsdSimulator
+//! [`SsdSimulator::attach_observer`]: crate::sim::SsdSimulator::attach_observer
+//! [`SimStats::record_stage`]: crate::stats::SimStats::record_stage
+
+use flash_model::Micros;
+use obs::{HistogramId, ReadSpan, Recorder, SpanOutcome, StageTiming};
+
+use crate::config::Scheme;
+use crate::pipeline::StageKind;
+use crate::stats::SimStats;
+
+/// Severity-ordered span outcome: later variants dominate earlier ones
+/// when a multi-page request mixes outcomes.
+const RANK_BUFFER_HIT: u8 = 0;
+const RANK_SUCCESS: u8 = 1;
+const RANK_RECOVERED: u8 = 2;
+const RANK_UNCORRECTABLE: u8 = 3;
+
+fn outcome_of(rank: u8) -> SpanOutcome {
+    match rank {
+        RANK_BUFFER_HIT => SpanOutcome::BufferHit,
+        RANK_SUCCESS => SpanOutcome::Success,
+        RANK_RECOVERED => SpanOutcome::Recovered,
+        _ => SpanOutcome::Uncorrectable,
+    }
+}
+
+/// Span fields the logical layer knows before timing is resolved.
+#[derive(Debug, Default)]
+struct PendingSpan {
+    lpn: u64,
+    stages: Vec<StageTiming>,
+    offset_us: f64,
+    sensing_levels: u32,
+    decode_iterations: u32,
+    retry_rungs: u32,
+    rank: u8,
+}
+
+/// One request's record while the pipelined event loop resolves timing.
+#[derive(Debug)]
+struct DeferredRequest {
+    arrival: Micros,
+    start: Option<Micros>,
+    response: Micros,
+    span: Option<PendingSpan>,
+}
+
+/// Records metrics and read spans for one simulator run.
+///
+/// Histogram ids are registered at construction, so event-time recording
+/// is an array index — no name lookups on the hot path.
+#[derive(Debug)]
+pub struct SimObserver {
+    recorder: Recorder,
+    scheme: &'static str,
+    h_response: HistogramId,
+    h_sensing: HistogramId,
+    h_iterations: HistogramId,
+    h_retry_depth: HistogramId,
+    h_stage_busy: [HistogramId; StageKind::ALL.len()],
+    h_stage_wait: [HistogramId; StageKind::ALL.len()],
+    pending: Option<PendingSpan>,
+    deferred: Vec<DeferredRequest>,
+    seq: u64,
+}
+
+impl SimObserver {
+    /// Creates an observer for `scheme` whose span buffer keeps at most
+    /// `span_sample` spans (`0` keeps every span).
+    pub fn new(scheme: Scheme, span_sample: usize) -> SimObserver {
+        let mut recorder = Recorder::with_span_sample(span_sample);
+        let label = scheme.label();
+        let scheme_labels: &[(&str, &str)] = &[("scheme", label)];
+        let h_response = recorder.metrics.histogram(
+            "flexlevel_response_us",
+            "End-to-end host request response time (us).",
+            scheme_labels,
+        );
+        let h_sensing = recorder.metrics.histogram(
+            "flexlevel_sensing_levels",
+            "Extra soft sensing levels charged per flash-served host read.",
+            scheme_labels,
+        );
+        let h_iterations = recorder.metrics.histogram(
+            "flexlevel_decode_iterations",
+            "LDPC decoder iterations charged per flash-served host read.",
+            scheme_labels,
+        );
+        let h_retry_depth = recorder.metrics.histogram(
+            "flexlevel_retry_depth",
+            "Recovery-ladder rungs climbed per faulted frame read.",
+            scheme_labels,
+        );
+        let mut h_stage_busy = [h_response; StageKind::ALL.len()];
+        let mut h_stage_wait = [h_response; StageKind::ALL.len()];
+        for (i, kind) in StageKind::ALL.iter().enumerate() {
+            let labels: &[(&str, &str)] = &[("scheme", label), ("stage", kind.label())];
+            h_stage_busy[i] = recorder.metrics.histogram(
+                "flexlevel_stage_busy_us",
+                "Stage service time per execution (us, pipelined model).",
+                labels,
+            );
+            h_stage_wait[i] = recorder.metrics.histogram(
+                "flexlevel_stage_wait_us",
+                "Stage queueing delay per execution (us, pipelined model).",
+                labels,
+            );
+        }
+        SimObserver {
+            recorder,
+            scheme: label,
+            h_response,
+            h_sensing,
+            h_iterations,
+            h_retry_depth,
+            h_stage_busy,
+            h_stage_wait,
+            pending: None,
+            deferred: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// The recorded data so far.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Consumes the observer, yielding the recorded data.
+    pub fn into_recorder(self) -> Recorder {
+        self.recorder
+    }
+
+    /// Clears recorded values and span state while keeping registered
+    /// series valid; called by the simulator's preload so re-running a
+    /// simulator does not double-count.
+    pub(crate) fn reset(&mut self) {
+        self.recorder.metrics.reset_values();
+        self.recorder.spans.clear();
+        self.pending = None;
+        self.deferred.clear();
+        self.seq = 0;
+    }
+
+    /// Starts the span of one host request; only reads build spans.
+    pub(crate) fn begin_request(&mut self, lpn: u64, is_read: bool) {
+        self.pending = is_read.then(|| PendingSpan {
+            lpn,
+            ..PendingSpan::default()
+        });
+    }
+
+    /// Appends one stage to the current request's span.
+    pub(crate) fn span_stage(&mut self, stage: &'static str, duration: Micros) {
+        if let Some(pending) = self.pending.as_mut() {
+            pending.stages.push(StageTiming {
+                stage,
+                offset_us: pending.offset_us,
+                duration_us: duration.as_f64(),
+            });
+            pending.offset_us += duration.as_f64();
+        }
+    }
+
+    /// Records one flash-served host page read: its sensing depth and
+    /// charged decoder iterations.
+    pub(crate) fn flash_read(&mut self, levels: u32, iterations: u32) {
+        self.recorder.metrics.observe(self.h_sensing, levels as f64);
+        self.recorder
+            .metrics
+            .observe(self.h_iterations, iterations as f64);
+        if let Some(pending) = self.pending.as_mut() {
+            pending.rank = pending.rank.max(RANK_SUCCESS);
+            pending.sensing_levels = pending.sensing_levels.max(levels);
+            pending.decode_iterations = pending.decode_iterations.max(iterations);
+        }
+    }
+
+    /// Records the resolved recovery ladder of one faulted frame read
+    /// (`depth == 0` = clean first decode).
+    pub(crate) fn retry(&mut self, depth: usize, recovered: bool) {
+        self.recorder
+            .metrics
+            .observe(self.h_retry_depth, depth as f64);
+        if let Some(pending) = self.pending.as_mut() {
+            pending.retry_rungs += depth as u32;
+            if depth > 0 {
+                pending.rank = pending.rank.max(if recovered {
+                    RANK_RECOVERED
+                } else {
+                    RANK_UNCORRECTABLE
+                });
+            }
+        }
+    }
+
+    /// Completes the current request under the single-queue model.
+    pub(crate) fn end_request_single(&mut self, arrival: Micros, start: Micros, response: Micros) {
+        self.recorder
+            .metrics
+            .observe(self.h_response, response.as_f64());
+        if let Some(pending) = self.pending.take() {
+            self.emit_span(pending, arrival, start, response);
+        }
+    }
+
+    /// Defers the current request for the pipelined event loop to time.
+    pub(crate) fn end_request_deferred(&mut self, arrival: Micros) {
+        self.deferred.push(DeferredRequest {
+            arrival,
+            start: None,
+            response: Micros::ZERO,
+            span: self.pending.take(),
+        });
+    }
+
+    /// Pipelined: request `index`'s foreground chain entered service.
+    pub(crate) fn deferred_started(&mut self, index: usize, start: Micros) {
+        self.deferred[index].start = Some(start);
+    }
+
+    /// Pipelined: request `index` completed with `response`.
+    pub(crate) fn deferred_finished(&mut self, index: usize, response: Micros) {
+        self.deferred[index].response = response;
+    }
+
+    /// Pipelined: emits deferred spans and response observations in
+    /// request order, making trace/metric state independent of the event
+    /// loop's interleaving.
+    pub(crate) fn flush_deferred(&mut self) {
+        for mut deferred in std::mem::take(&mut self.deferred) {
+            self.recorder
+                .metrics
+                .observe(self.h_response, deferred.response.as_f64());
+            if let Some(span) = deferred.span.take() {
+                let start = deferred.start.unwrap_or(deferred.arrival);
+                self.emit_span(span, deferred.arrival, start, deferred.response);
+            }
+        }
+    }
+
+    /// Records one pipeline stage execution (same call site as
+    /// [`SimStats::record_stage`], so counts reconcile exactly).
+    pub(crate) fn record_stage(&mut self, kind: StageKind, busy: Micros, wait: Micros) {
+        let i = kind as usize;
+        self.recorder
+            .metrics
+            .observe(self.h_stage_busy[i], busy.as_f64());
+        self.recorder
+            .metrics
+            .observe(self.h_stage_wait[i], wait.as_f64());
+    }
+
+    fn emit_span(
+        &mut self,
+        pending: PendingSpan,
+        arrival: Micros,
+        start: Micros,
+        response: Micros,
+    ) {
+        let span = ReadSpan {
+            seq: self.seq,
+            lpn: pending.lpn,
+            scheme: self.scheme,
+            arrival_us: arrival.as_f64(),
+            start_us: start.as_f64(),
+            response_us: response.as_f64(),
+            sensing_levels: pending.sensing_levels,
+            decode_iterations: pending.decode_iterations,
+            retry_rungs: pending.retry_rungs,
+            stages: pending.stages,
+            outcome: outcome_of(pending.rank),
+        };
+        self.seq += 1;
+        self.recorder.spans.push(span);
+    }
+
+    /// Folds the finished run's `SimStats` into the registry: every
+    /// operation counter is copied verbatim (so exported counters equal
+    /// the golden counters by construction) along with derived gauges.
+    pub(crate) fn finish_run(&mut self, stats: &SimStats, host_pages_written: u64) {
+        let scheme = self.scheme;
+        let labels: &[(&str, &str)] = &[("scheme", scheme)];
+        let registry = &mut self.recorder.metrics;
+        let mut fold = |name: &str, help: &str, value: u64| {
+            let id = registry.counter(name, help, labels);
+            registry.set_counter(id, value);
+        };
+        fold(
+            "flexlevel_host_reads_total",
+            "Host read requests served.",
+            stats.host_reads,
+        );
+        fold(
+            "flexlevel_host_writes_total",
+            "Host write requests served.",
+            stats.host_writes,
+        );
+        fold(
+            "flexlevel_buffer_read_hits_total",
+            "Host page reads served from the write buffer.",
+            stats.buffer_read_hits,
+        );
+        fold(
+            "flexlevel_flash_reads_total",
+            "Flash page reads (host + GC + migration + retry).",
+            stats.flash_reads,
+        );
+        fold(
+            "flexlevel_flash_programs_total",
+            "Flash page programs (host + GC + migration).",
+            stats.flash_programs,
+        );
+        fold("flexlevel_erases_total", "Block erases.", stats.erases);
+        fold("flexlevel_gc_runs_total", "GC invocations.", stats.gc_runs);
+        fold(
+            "flexlevel_gc_migrated_pages_total",
+            "Valid pages relocated by GC.",
+            stats.gc_migrated_pages,
+        );
+        fold(
+            "flexlevel_promotions_total",
+            "AccessEval promotions into reduced pages.",
+            stats.promotions,
+        );
+        fold(
+            "flexlevel_demotions_total",
+            "AccessEval demotions back to normal pages.",
+            stats.demotions,
+        );
+        fold(
+            "flexlevel_reduced_reads_total",
+            "Host page reads served from reduced-state pages.",
+            stats.reduced_reads,
+        );
+        fold(
+            "flexlevel_retry_reads_total",
+            "Extra flash read attempts spent by the recovery ladder.",
+            stats.retry_reads,
+        );
+        fold(
+            "flexlevel_recovered_reads_total",
+            "Frame reads recovered by the retry ladder.",
+            stats.recovered_reads,
+        );
+        fold(
+            "flexlevel_uncorrectable_reads_total",
+            "Frame reads the full ladder could not recover.",
+            stats.uncorrectable_reads,
+        );
+        fold(
+            "flexlevel_program_failures_total",
+            "Page programs that failed their status check.",
+            stats.program_failures,
+        );
+        fold(
+            "flexlevel_retired_blocks_total",
+            "Blocks retired as grown-bad.",
+            stats.retired_blocks,
+        );
+        fold(
+            "flexlevel_die_resets_total",
+            "Transient whole-die faults cleared by a reset.",
+            stats.die_resets,
+        );
+        fold(
+            "flexlevel_scrub_runs_total",
+            "Patrol-scrub block visits.",
+            stats.scrub_runs,
+        );
+        fold(
+            "flexlevel_scrub_reads_total",
+            "Pages read by the patrol scrubber.",
+            stats.scrub_reads,
+        );
+        fold(
+            "flexlevel_scrub_refreshes_total",
+            "Pages rewritten by the scrubber on retention-BER threshold.",
+            stats.scrub_refreshes,
+        );
+        for kind in StageKind::ALL {
+            let stage_labels: &[(&str, &str)] = &[("scheme", scheme), ("stage", kind.label())];
+            let account = stats.stage(kind);
+            let ops = registry.counter(
+                "flexlevel_stage_ops_total",
+                "Stage executions (pipelined model).",
+                stage_labels,
+            );
+            registry.set_counter(ops, account.ops);
+            let busy = registry.gauge(
+                "flexlevel_stage_busy_total_us",
+                "Total stage busy time (us, pipelined model).",
+                stage_labels,
+            );
+            registry.set_gauge(busy, account.busy_us);
+            let wait = registry.gauge(
+                "flexlevel_stage_wait_total_us",
+                "Total stage wait time (us, pipelined model).",
+                stage_labels,
+            );
+            registry.set_gauge(wait, account.wait_us);
+        }
+        let mut gauge = |name: &str, help: &str, value: f64| {
+            let id = registry.gauge(name, help, labels);
+            registry.set_gauge(id, value);
+        };
+        gauge(
+            "flexlevel_makespan_us",
+            "Schedule makespan (us).",
+            stats.makespan_us,
+        );
+        gauge(
+            "flexlevel_throughput_rps",
+            "Host requests per second of makespan.",
+            stats.throughput_rps(),
+        );
+        gauge(
+            "flexlevel_mean_response_us",
+            "Mean host request response time (us).",
+            stats.mean_response().as_f64(),
+        );
+        gauge(
+            "flexlevel_mean_read_response_us",
+            "Mean host read response time (us).",
+            stats.mean_read_response().as_f64(),
+        );
+        gauge(
+            "flexlevel_p99_response_us",
+            "99th-percentile host response time (us).",
+            stats.response_percentile(0.99).as_f64(),
+        );
+        gauge(
+            "flexlevel_soft_read_fraction",
+            "Fraction of normal-page host reads needing soft sensing.",
+            stats.soft_read_fraction(),
+        );
+        gauge(
+            "flexlevel_write_amplification",
+            "Flash programs per host-written page.",
+            stats.write_amplification(host_pages_written),
+        );
+        gauge(
+            "flexlevel_observed_uber",
+            "Uncorrectable reads per information bit read.",
+            stats.observed_uber(reliability::EccConfig::paper_ldpc().info_bits),
+        );
+    }
+}

@@ -36,6 +36,7 @@ use crate::device::{ReliabilityState, ResourcePool};
 use crate::events::EventQueue;
 use crate::faults::FaultState;
 use crate::ftl::{FtlError, OpCost, PageMapFtl};
+use crate::obs::SimObserver;
 use crate::pipeline::{expand_ops, FlashOp, Stage};
 use crate::recovery;
 use crate::stats::SimStats;
@@ -107,6 +108,7 @@ struct ReadPlan {
     fg: Micros,
     levels: u32,
     decode: Micros,
+    iterations: u32,
 }
 
 /// The trace-driven SSD simulator.
@@ -131,6 +133,9 @@ pub struct SsdSimulator {
     scrub_countdown: u64,
     /// Round-robin block cursor of the patrol scrubber.
     scrub_cursor: u32,
+    /// Observability recorder; `None` (the default) disables every
+    /// tracing/metrics code path — the `Option` check is the whole cost.
+    obs: Option<Box<SimObserver>>,
 }
 
 impl SsdSimulator {
@@ -185,7 +190,32 @@ impl SsdSimulator {
             faults,
             scrub_countdown: 0,
             scrub_cursor: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability recorder; subsequent runs record
+    /// metrics, histograms and read spans into it.
+    pub fn attach_observer(&mut self, observer: SimObserver) {
+        self.obs = Some(Box::new(observer));
+    }
+
+    /// Builder form of [`attach_observer`](Self::attach_observer).
+    #[must_use]
+    pub fn with_observer(mut self, observer: SimObserver) -> SsdSimulator {
+        self.attach_observer(observer);
+        self
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&SimObserver> {
+        self.obs.as_deref()
+    }
+
+    /// Detaches and returns the observer (typically after `run`, to
+    /// export its recorder).
+    pub fn take_observer(&mut self) -> Option<SimObserver> {
+        self.obs.take().map(|b| *b)
     }
 
     /// The configuration under simulation.
@@ -229,6 +259,10 @@ impl SsdSimulator {
             }
             TimingModel::Pipelined => self.run_pipelined(trace)?,
         }
+        if let Some(o) = self.obs.as_mut() {
+            o.flush_deferred();
+            o.finish_run(&self.stats, self.host_pages_written);
+        }
         Ok(&self.stats)
     }
 
@@ -253,6 +287,9 @@ impl SsdSimulator {
         }
         self.scrub_countdown = 0;
         self.scrub_cursor = 0;
+        if let Some(o) = self.obs.as_mut() {
+            o.reset();
+        }
         Ok(())
     }
 
@@ -283,6 +320,9 @@ impl SsdSimulator {
         let start = arrival.max(self.channel_free_at[channel]);
         let response = (start - arrival) + plan.fg;
         self.stats.record_response(response, plan.is_read);
+        if let Some(o) = self.obs.as_mut() {
+            o.end_request_single(arrival, start, response);
+        }
         self.channel_free_at[channel] = start + plan.fg + plan.bg;
         Ok(())
     }
@@ -300,6 +340,9 @@ impl SsdSimulator {
             fg_ops: Vec::new(),
             bg_ops: Vec::new(),
         };
+        if let Some(o) = self.obs.as_mut() {
+            o.begin_request(request.lpn, plan.is_read);
+        }
         for lpn in request.lpns() {
             let lpn = lpn % self.ftl.logical_pages();
             let page = match request.op {
@@ -355,24 +398,32 @@ impl SsdSimulator {
             request: Option<usize>,
         }
         /// Reserves the chain's next stage from `ready` and schedules its
-        /// completion event.
+        /// completion event; returns the stage's service start time.
         fn start_stage(
             chain: &Chain,
             id: usize,
             ready: Micros,
             pool: &mut ResourcePool,
             stats: &mut SimStats,
+            obs: &mut Option<Box<SimObserver>>,
             queue: &mut EventQueue<Ev>,
-        ) {
+        ) -> Micros {
             let stage = chain.stages[chain.next];
             let (start, end) = pool.reserve(stage.kind, stage.lpn, ready, stage.duration);
             stats.record_stage(stage.kind, stage.duration, start - ready);
+            if let Some(o) = obs.as_mut() {
+                o.record_stage(stage.kind, stage.duration, start - ready);
+            }
             queue.push(end, Ev::StageDone(id));
+            start
         }
 
         let mut admissions = Vec::with_capacity(trace.requests.len());
         for request in &trace.requests {
             let plan = self.serve_logical(request)?;
+            if let Some(o) = self.obs.as_mut() {
+                o.end_request_deferred(Micros(request.arrival_us));
+            }
             admissions.push(Admission {
                 arrival: Micros(request.arrival_us),
                 is_read: plan.is_read,
@@ -404,6 +455,9 @@ impl SsdSimulator {
                     // background chain admitted at the same instant.
                     if fg.is_empty() {
                         self.stats.record_response(Micros::ZERO, adm.is_read);
+                        if let Some(o) = self.obs.as_mut() {
+                            o.deferred_finished(i, Micros::ZERO);
+                        }
                     } else {
                         let id = chains.len();
                         chains.push(Chain {
@@ -411,14 +465,18 @@ impl SsdSimulator {
                             next: 0,
                             request: Some(i),
                         });
-                        start_stage(
+                        let start = start_stage(
                             &chains[id],
                             id,
                             ev.time,
                             &mut pool,
                             &mut self.stats,
+                            &mut self.obs,
                             &mut queue,
                         );
+                        if let Some(o) = self.obs.as_mut() {
+                            o.deferred_started(i, start);
+                        }
                     }
                     if !bg.is_empty() {
                         let id = chains.len();
@@ -433,6 +491,7 @@ impl SsdSimulator {
                             ev.time,
                             &mut pool,
                             &mut self.stats,
+                            &mut self.obs,
                             &mut queue,
                         );
                     }
@@ -446,12 +505,16 @@ impl SsdSimulator {
                             ev.time,
                             &mut pool,
                             &mut self.stats,
+                            &mut self.obs,
                             &mut queue,
                         );
                     } else if let Some(i) = chains[id].request {
                         let adm = &admissions[i];
                         self.stats
                             .record_response(ev.time - adm.arrival, adm.is_read);
+                        if let Some(o) = self.obs.as_mut() {
+                            o.deferred_finished(i, ev.time - adm.arrival);
+                        }
                     }
                 }
             }
@@ -467,6 +530,9 @@ impl SsdSimulator {
             self.buffer.touch(lpn);
             self.stats.buffer_read_hits += 1;
             charge.fg = self.config.latency.timing.page_transfer;
+            if let Some(o) = self.obs.as_mut() {
+                o.span_stage("transfer", charge.fg);
+            }
             if self.pipelined() {
                 charge.fg_ops.push(FlashOp::HostTransfer { lpn });
             }
@@ -494,17 +560,30 @@ impl SsdSimulator {
                 let _ = ctrl.on_read(lpn, required, self.config.schedule.max_extra_levels());
             }
             let cycle = self.config.latency.timing.reduce_code_cycle;
-            let (latency, levels, decode) = if required == 0 {
+            let (latency, levels, decode, iterations) = if required == 0 {
                 (
                     self.config.latency.reduced_read_latency(),
                     0,
                     self.config.latency.decode_latency(1) + cycle,
+                    1,
                 )
             } else {
                 let plan = self.read_plan(required, ber);
-                (plan.fg + cycle, plan.levels, plan.decode + cycle)
+                (
+                    plan.fg + cycle,
+                    plan.levels,
+                    plan.decode + cycle,
+                    plan.iterations,
+                )
             };
             charge.fg = latency;
+            if let Some(o) = self.obs.as_mut() {
+                let t = &self.config.latency.timing;
+                o.span_stage("sense", t.sense_latency(levels));
+                o.span_stage("transfer", t.transfer_latency(levels));
+                o.span_stage("decode", decode);
+                o.flash_read(levels, iterations);
+            }
             if self.pipelined() {
                 charge.fg_ops.push(FlashOp::Read {
                     lpn,
@@ -520,6 +599,13 @@ impl SsdSimulator {
         let required = self.config.schedule.required_levels(ber);
         let plan = self.read_plan(required, ber);
         charge.fg = plan.fg;
+        if let Some(o) = self.obs.as_mut() {
+            let t = &self.config.latency.timing;
+            o.span_stage("sense", t.sense_latency(plan.levels));
+            o.span_stage("transfer", t.transfer_latency(plan.levels));
+            o.span_stage("decode", plan.decode);
+            o.flash_read(plan.levels, plan.iterations);
+        }
         if self.pipelined() {
             charge.fg_ops.push(FlashOp::Read {
                 lpn,
@@ -573,6 +659,7 @@ impl SsdSimulator {
                     fg: self.config.latency.read_latency(levels, iterations),
                     levels,
                     decode: self.config.latency.decode_latency(iterations),
+                    iterations,
                 }
             }
             _ => {
@@ -592,6 +679,7 @@ impl SsdSimulator {
                     fg: one_shot + wasted,
                     levels: required,
                     decode: latency.decode_latency(iterations) + wasted,
+                    iterations,
                 }
             }
         }
@@ -644,6 +732,9 @@ impl SsdSimulator {
             let reset = Micros(cfg.die_reset_us);
             charge.fg += reset;
             self.stats.recovery_latency_us += reset.as_f64();
+            if let Some(o) = self.obs.as_mut() {
+                o.span_stage("die_reset", reset);
+            }
             if self.pipelined() {
                 charge.fg_ops.push(FlashOp::DieReset {
                     lpn,
@@ -653,6 +744,9 @@ impl SsdSimulator {
         }
         if u >= fer0 {
             self.stats.record_retry_depth(0);
+            if let Some(o) = self.obs.as_mut() {
+                o.retry(0, true);
+            }
             return;
         }
         let outcome = recovery::resolve(
@@ -671,6 +765,9 @@ impl SsdSimulator {
             self.stats.recovery_latency_us += attempt.as_f64();
             self.stats.flash_reads += 1;
             self.stats.retry_reads += 1;
+            if let Some(o) = self.obs.as_mut() {
+                o.span_stage("retry", attempt);
+            }
             if self.pipelined() {
                 charge.fg_ops.push(FlashOp::Read {
                     lpn,
@@ -680,6 +777,9 @@ impl SsdSimulator {
             }
         }
         self.stats.record_retry_depth(outcome.depth());
+        if let Some(o) = self.obs.as_mut() {
+            o.retry(outcome.depth(), outcome.recovered);
+        }
         if outcome.recovered {
             self.stats.recovered_reads += 1;
         } else {

@@ -1,0 +1,212 @@
+//! Determinism and zero-perturbation guarantees of the observability
+//! layer.
+//!
+//! The contract (DESIGN.md §5.4): exported artifacts are a pure function
+//! of the simulated work — byte-identical no matter how many threads ran
+//! the schemes; attaching an observer never changes a single simulated
+//! number; and every derived metric reconciles exactly with the golden
+//! `SimStats` counters it was folded from.
+
+use obs::{export, Recorder};
+use rand::{rngs::StdRng, SeedableRng};
+use reliability::mc;
+use ssd::{Scheme, SimObserver, SimStats, SsdConfig, SsdSimulator, StageKind, TimingModel};
+use workloads::{Trace, WorkloadSpec};
+
+/// Same knobs as the golden fixture, shrunk for test runtime.
+fn fixture_trace() -> Trace {
+    let config = SsdConfig::scaled(Scheme::Baseline, 64);
+    let footprint = config.geometry.logical_pages() * 7 / 10;
+    WorkloadSpec::prj1()
+        .with_requests(4_000)
+        .with_footprint(footprint)
+        .with_interarrival_scale(2.2)
+        .generate(&mut StdRng::seed_from_u64(0xF1E2))
+}
+
+fn config_for(scheme: Scheme, model: TimingModel) -> SsdConfig {
+    SsdConfig::scaled(scheme, 64)
+        .with_base_pe(6000)
+        .with_seed(7)
+        .with_timing_model(model)
+}
+
+/// Runs one observed simulation and returns its stats and recorder.
+fn observed_run(scheme: Scheme, trace: &Trace, model: TimingModel) -> (SimStats, Recorder) {
+    let mut sim =
+        SsdSimulator::new(config_for(scheme, model)).with_observer(SimObserver::new(scheme, 100));
+    sim.run(trace)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", scheme.label()));
+    let stats = sim.stats().clone();
+    let recorder = sim
+        .take_observer()
+        .expect("observer attached")
+        .into_recorder();
+    (stats, recorder)
+}
+
+/// Replays every scheme on `threads` worker threads and merges the
+/// per-scheme recorders in fixed scheme order — the production pattern
+/// `flexlevel-sim --all-schemes` uses.
+fn merged_recorder(trace: &Trace, model: TimingModel, threads: u32) -> Recorder {
+    let recorders = mc::parallel_map(Scheme::ALL.to_vec(), threads, |_, scheme| {
+        observed_run(scheme, trace, model).1
+    });
+    let mut combined = Recorder::new();
+    for recorder in &recorders {
+        combined.merge(recorder);
+    }
+    combined
+}
+
+/// Every exported artifact — Prometheus text, span JSONL, Chrome trace —
+/// is byte-identical whether the schemes ran on 1, 2 or 8 threads.
+#[test]
+fn exports_are_byte_identical_across_thread_counts() {
+    let trace = fixture_trace();
+    for model in [TimingModel::SingleQueue, TimingModel::Pipelined] {
+        let base = merged_recorder(&trace, model, 1);
+        let prom = export::prometheus(&base.metrics);
+        let jsonl = export::span_jsonl(&base.spans);
+        let chrome = export::chrome_trace(&base.spans);
+        for threads in [2u32, 8] {
+            let other = merged_recorder(&trace, model, threads);
+            assert_eq!(
+                prom,
+                export::prometheus(&other.metrics),
+                "{}: .prom drifted at {threads} threads",
+                model.label()
+            );
+            assert_eq!(
+                jsonl,
+                export::span_jsonl(&other.spans),
+                "{}: span JSONL drifted at {threads} threads",
+                model.label()
+            );
+            assert_eq!(
+                chrome,
+                export::chrome_trace(&other.spans),
+                "{}: Chrome trace drifted at {threads} threads",
+                model.label()
+            );
+        }
+    }
+}
+
+/// Attaching an observer must not perturb the simulation: the full
+/// `SimStats` — every counter, latency sample and stage account — is
+/// identical with and without one, under both timing models.
+#[test]
+fn observer_does_not_perturb_simulation() {
+    let trace = fixture_trace();
+    for model in [TimingModel::SingleQueue, TimingModel::Pipelined] {
+        for scheme in Scheme::ALL {
+            let mut bare = SsdSimulator::new(config_for(scheme, model));
+            let untraced = bare
+                .run(&trace)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", scheme.label()))
+                .clone();
+            let (traced, _) = observed_run(scheme, &trace, model);
+            assert_eq!(
+                untraced,
+                traced,
+                "{} / {}: observer perturbed the simulation",
+                scheme.label(),
+                model.label()
+            );
+        }
+    }
+}
+
+/// The registry's logical counters are a timing-model invariant: both
+/// backends replay the same logical simulation, so the folded counter
+/// series match name-for-name, value-for-value.
+#[test]
+fn registry_counters_match_across_timing_models() {
+    let trace = fixture_trace();
+    for scheme in Scheme::ALL {
+        let (_, single) = observed_run(scheme, &trace, TimingModel::SingleQueue);
+        let (_, piped) = observed_run(scheme, &trace, TimingModel::Pipelined);
+        let labels: &[(&str, &str)] = &[("scheme", scheme.label())];
+        for name in [
+            "flexlevel_host_reads_total",
+            "flexlevel_host_writes_total",
+            "flexlevel_buffer_read_hits_total",
+            "flexlevel_flash_reads_total",
+            "flexlevel_flash_programs_total",
+            "flexlevel_erases_total",
+            "flexlevel_gc_runs_total",
+            "flexlevel_gc_migrated_pages_total",
+            "flexlevel_promotions_total",
+            "flexlevel_demotions_total",
+            "flexlevel_reduced_reads_total",
+        ] {
+            let a = single.metrics.find_counter(name, labels);
+            let b = piped.metrics.find_counter(name, labels);
+            assert!(
+                a.is_some(),
+                "{}: {name} missing from registry",
+                scheme.label()
+            );
+            assert_eq!(
+                a,
+                b,
+                "{}: {name} differs across timing models",
+                scheme.label()
+            );
+        }
+    }
+}
+
+/// Histogram-derived stage metrics reconcile exactly with the golden
+/// `StageAccount`s: for every stage, the busy/wait histogram populations
+/// and the `flexlevel_stage_ops_total` counter all equal `ops`.
+#[test]
+fn stage_histograms_reconcile_with_stage_accounts() {
+    let trace = fixture_trace();
+    let (stats, recorder) = observed_run(Scheme::FlexLevel, &trace, TimingModel::Pipelined);
+    let scheme = Scheme::FlexLevel.label();
+    let mut total_ops = 0;
+    for kind in StageKind::ALL {
+        let ops = stats.stage(kind).ops;
+        total_ops += ops;
+        let labels: &[(&str, &str)] = &[("scheme", scheme), ("stage", kind.label())];
+        let busy = recorder
+            .metrics
+            .find_histogram("flexlevel_stage_busy_us", labels)
+            .unwrap_or_else(|| panic!("{} busy histogram missing", kind.label()));
+        let wait = recorder
+            .metrics
+            .find_histogram("flexlevel_stage_wait_us", labels)
+            .unwrap_or_else(|| panic!("{} wait histogram missing", kind.label()));
+        assert_eq!(
+            busy.count(),
+            ops,
+            "{}: busy histogram count != StageAccount ops",
+            kind.label()
+        );
+        assert_eq!(
+            wait.count(),
+            ops,
+            "{}: wait histogram count != StageAccount ops",
+            kind.label()
+        );
+        assert_eq!(
+            recorder
+                .metrics
+                .find_counter("flexlevel_stage_ops_total", labels),
+            Some(ops),
+            "{}: stage ops counter != StageAccount ops",
+            kind.label()
+        );
+        let busy_total: f64 = stats.stage(kind).busy_us;
+        assert!(
+            (busy.sum() - busy_total).abs() <= busy_total.abs() * 1e-9,
+            "{}: busy histogram sum {} != StageAccount busy_us {}",
+            kind.label(),
+            busy.sum(),
+            busy_total
+        );
+    }
+    assert!(total_ops > 0, "pipelined run recorded no stage executions");
+}
