@@ -169,6 +169,73 @@ pub fn upper_bit(level: VthLevel) -> Bit {
     UPPER_BITS[level.index() as usize]
 }
 
+/// The stored bit pattern of a `Vth` level in the N-level Gray mapping:
+/// the bitwise complement of the binary-reflected Gray code,
+/// `!(i ^ (i >> 1))` masked to `bits_per_cell` bits.
+///
+/// This generalises the flash conventions the MLC map hard-codes to any
+/// supported cell technology (1–3 bits per cell): the erased level reads
+/// all-ones, and adjacent levels differ in exactly one bit, so a
+/// single-level `Vth` distortion corrupts a single bit. (The MLC page
+/// table above additionally fixes *which* physical page each bit belongs
+/// to — an assignment orthogonal to the Gray property itself.)
+///
+/// ```
+/// use flash_model::{gray, VthLevel};
+///
+/// // TLC erased level reads 0b111.
+/// assert_eq!(gray::nlevel_bits(VthLevel::ERASED, 3), 0b111);
+/// // Adjacent levels differ in one bit.
+/// let a = gray::nlevel_bits(VthLevel::new(3), 3);
+/// let b = gray::nlevel_bits(VthLevel::new(4), 3);
+/// assert_eq!((a ^ b).count_ones(), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits_per_cell` is outside `1..=3` or the level index is not
+/// below `2^bits_per_cell`.
+pub fn nlevel_bits(level: VthLevel, bits_per_cell: u32) -> u8 {
+    assert!(
+        (1..=3).contains(&bits_per_cell),
+        "bits per cell {bits_per_cell} outside supported range 1..=3"
+    );
+    let mask = (1u8 << bits_per_cell) - 1;
+    let i = level.index();
+    assert!(
+        i <= mask,
+        "level {i} out of range for {bits_per_cell} bits per cell"
+    );
+    !(i ^ (i >> 1)) & mask
+}
+
+/// Maps an N-level Gray bit pattern back to its `Vth` level (the inverse
+/// of [`nlevel_bits`]).
+///
+/// # Panics
+///
+/// Panics if `bits_per_cell` is outside `1..=3` or `bits` has bits set
+/// beyond the cell's width.
+pub fn nlevel_from_bits(bits: u8, bits_per_cell: u32) -> VthLevel {
+    assert!(
+        (1..=3).contains(&bits_per_cell),
+        "bits per cell {bits_per_cell} outside supported range 1..=3"
+    );
+    let mask = (1u8 << bits_per_cell) - 1;
+    assert!(
+        bits <= mask,
+        "pattern {bits:#b} out of range for {bits_per_cell} bits per cell"
+    );
+    // Undo the complement, then the Gray prefix-xor.
+    let mut g = !bits & mask;
+    let mut level = 0u8;
+    while g != 0 {
+        level ^= g;
+        g >>= 1;
+    }
+    VthLevel::new(level)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +300,37 @@ mod tests {
             InvalidBitError(7).to_string(),
             "value 7 is not a valid bit (expected 0 or 1)"
         );
+    }
+
+    #[test]
+    fn nlevel_gray_properties() {
+        for bits_per_cell in 1..=3u32 {
+            let levels = 1u8 << bits_per_cell;
+            let mask = levels - 1;
+            // Erased reads all-ones; the map is a bijection; adjacent
+            // levels differ in exactly one bit.
+            assert_eq!(nlevel_bits(VthLevel::ERASED, bits_per_cell), mask);
+            let patterns: Vec<u8> = (0..levels)
+                .map(|i| nlevel_bits(VthLevel::new(i), bits_per_cell))
+                .collect();
+            let mut sorted = patterns.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..levels).collect::<Vec<_>>(), "bijection");
+            for w in patterns.windows(2) {
+                assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+            }
+            for i in 0..levels {
+                let level = VthLevel::new(i);
+                let round = nlevel_from_bits(nlevel_bits(level, bits_per_cell), bits_per_cell);
+                assert_eq!(round, level);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn nlevel_rejects_wide_cells() {
+        let _ = nlevel_bits(VthLevel::ERASED, 4);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! * [`CellMode::Normal`] — four levels, a regular MLC cell storing 2 bits.
 //! * [`CellMode::Reduced`] — three levels (LevelAdjust); a *pair* of reduced
 //!   cells stores 3 bits via ReduceCode (built in the `flexlevel` crate).
+//!
+//! The paper's design point is MLC, but the same machinery generalises to
+//! any cell technology ([`CellTech`]): SLC (2 levels), MLC (4) and TLC (8)
+//! configurations pack their levels into the same overall `Vth` window, so
+//! LevelAdjust/ReduceCode can be priced off the MLC design point.
 
 use serde::{Deserialize, Serialize};
 
@@ -46,11 +51,11 @@ impl VthLevel {
     ///
     /// # Panics
     ///
-    /// Panics if `index` exceeds 3; MLC cells never have more than four
-    /// levels in this model.
+    /// Panics if `index` exceeds 7; no supported cell technology (up to
+    /// TLC, 8 levels) has more levels in this model.
     #[inline]
     pub fn new(index: u8) -> VthLevel {
-        assert!(index <= 3, "MLC Vth level index out of range: {index}");
+        assert!(index <= 7, "Vth level index out of range: {index}");
         VthLevel(index)
     }
 
@@ -121,6 +126,134 @@ impl CellMode {
     }
 }
 
+/// Cell technology: how many `Vth` levels a cell discriminates.
+///
+/// The paper's design point is [`CellTech::Mlc`]; the other technologies
+/// reuse the same machinery with their level count packed into the *same*
+/// overall `Vth` window, which is what makes an off-design-point
+/// evaluation fair — SLC trades capacity for margin, TLC trades margin
+/// for capacity, and LevelAdjust/ReduceCode can be priced against either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CellTech {
+    /// Single-level cell: 2 levels, 1 bit.
+    Slc,
+    /// Multi-level cell: 4 levels, 2 bits — the paper's design point.
+    #[default]
+    Mlc,
+    /// Triple-level cell: 8 levels, 3 bits.
+    Tlc,
+}
+
+impl CellTech {
+    /// All supported technologies, densest last.
+    pub const ALL: [CellTech; 3] = [CellTech::Slc, CellTech::Mlc, CellTech::Tlc];
+
+    /// Bits stored per cell.
+    #[inline]
+    pub fn bits_per_cell(self) -> u32 {
+        match self {
+            CellTech::Slc => 1,
+            CellTech::Mlc => 2,
+            CellTech::Tlc => 3,
+        }
+    }
+
+    /// Number of `Vth` levels (`2^bits`).
+    #[inline]
+    pub fn level_count(self) -> usize {
+        1 << self.bits_per_cell()
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellTech::Slc => "SLC",
+            CellTech::Mlc => "MLC",
+            CellTech::Tlc => "TLC",
+        }
+    }
+
+    /// Parses a label (`slc`/`mlc`/`tlc`, case-insensitive).
+    pub fn parse(name: &str) -> Option<CellTech> {
+        match name.to_ascii_lowercase().as_str() {
+            "slc" => Some(CellTech::Slc),
+            "mlc" => Some(CellTech::Mlc),
+            "tlc" => Some(CellTech::Tlc),
+            _ => None,
+        }
+    }
+
+    /// The normal-mode voltage configuration of this technology.
+    ///
+    /// MLC is exactly [`LevelConfig::normal_mlc`] — bit-identical to the
+    /// pre-generalisation model, so the paper's calibrated numbers never
+    /// move. SLC and TLC pack their read references into the same
+    /// programmed window (`[2.40, 3.60]`), with verify offsets and ISPP
+    /// pulse scaled proportionally to the level spacing: wider margins
+    /// for SLC, narrower for TLC.
+    pub fn level_config(self) -> LevelConfig {
+        match self {
+            CellTech::Mlc => LevelConfig::normal_mlc(),
+            _ => packed_config(self.level_count()),
+        }
+    }
+
+    /// The reduced-mode (LevelAdjust) configuration: one level dropped,
+    /// the remainder re-spread over the same window. SLC is already at
+    /// the 2-level floor, so LevelAdjust is the identity there. (MLC
+    /// deployments use the NUNMA schedules from the `flexlevel` crate;
+    /// this symmetric shape is the technology-generic fallback.)
+    pub fn reduced_level_config(self) -> LevelConfig {
+        match self {
+            CellTech::Slc => self.level_config(),
+            _ => packed_config(self.level_count() - 1),
+        }
+    }
+
+    /// Bits per cell a ReduceCode-style pair packing achieves in reduced
+    /// mode: `floor(log2((n-1)^2)) / 2` for `n` normal levels (MLC:
+    /// 3 bits per pair = 1.5; TLC: 5 bits per pair = 2.5). SLC has no
+    /// reduced mode and keeps its normal density.
+    pub fn reduced_bits_per_cell(self) -> f64 {
+        let levels = self.level_count() - 1;
+        if levels < 2 {
+            return self.bits_per_cell() as f64;
+        }
+        ((levels * levels) as f64).log2().floor() / 2.0
+    }
+}
+
+impl std::fmt::Display for CellTech {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// `n` levels spread evenly over the MLC programmed window `[2.40, 3.60]`,
+/// with the verify offset (52 mV at MLC's 0.60 V spacing) and ISPP pulse
+/// (0.15 V at MLC) scaled proportionally to the level spacing. A single
+/// read reference (SLC) sits at the window midpoint with double-MLC scale.
+fn packed_config(levels: usize) -> LevelConfig {
+    let refs = levels - 1;
+    let (read_refs, scale): (Vec<Volts>, f64) = if refs == 1 {
+        (vec![Volts(3.00)], 2.0)
+    } else {
+        let spacing = 1.20 / (refs as f64 - 1.0);
+        (
+            (0..refs)
+                .map(|k| Volts(2.40 + spacing * k as f64))
+                .collect(),
+            spacing / 0.60,
+        )
+    };
+    let verify = read_refs
+        .iter()
+        .map(|r| *r + Volts(0.052 * scale))
+        .collect();
+    LevelConfig::new(read_refs, verify, Volts(1.1), Volts(0.15 * scale))
+        .expect("packed level configuration is valid")
+}
+
 /// Voltage configuration of one cell operating mode.
 ///
 /// Holds, for `n` levels: `n - 1` read reference voltages (level boundaries),
@@ -149,7 +282,7 @@ pub struct LevelConfig {
 /// Error returned when a [`LevelConfig`] is structurally invalid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LevelConfigError {
-    /// Fewer than 2 or more than 4 levels requested.
+    /// Fewer than 2 or more than 8 levels requested.
     LevelCountOutOfRange(usize),
     /// Read reference voltages are not strictly increasing.
     ReadRefsNotSorted,
@@ -174,7 +307,7 @@ impl std::fmt::Display for LevelConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LevelConfigError::LevelCountOutOfRange(n) => {
-                write!(f, "level count {n} outside supported range 2..=4")
+                write!(f, "level count {n} outside supported range 2..=8")
             }
             LevelConfigError::ReadRefsNotSorted => {
                 write!(f, "read reference voltages must be strictly increasing")
@@ -216,7 +349,7 @@ impl LevelConfig {
         program_pulse: Volts,
     ) -> Result<LevelConfig, LevelConfigError> {
         let levels = read_refs.len() + 1;
-        if !(2..=4).contains(&levels) {
+        if !(2..=8).contains(&levels) {
             return Err(LevelConfigError::LevelCountOutOfRange(levels));
         }
         if read_refs.windows(2).any(|w| w[0] >= w[1]) {
@@ -406,7 +539,65 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn level_out_of_range_panics() {
-        let _ = VthLevel::new(4);
+        let _ = VthLevel::new(8);
+    }
+
+    #[test]
+    fn tlc_levels_are_valid() {
+        // The N-level generalisation: indices 4..=7 exist for TLC.
+        for i in 4..8u8 {
+            assert_eq!(VthLevel::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn cell_tech_shapes() {
+        assert_eq!(CellTech::Slc.level_count(), 2);
+        assert_eq!(CellTech::Mlc.level_count(), 4);
+        assert_eq!(CellTech::Tlc.level_count(), 8);
+        assert_eq!(CellTech::default(), CellTech::Mlc);
+        assert_eq!(CellTech::parse("tlc"), Some(CellTech::Tlc));
+        assert_eq!(CellTech::parse("MLC"), Some(CellTech::Mlc));
+        assert_eq!(CellTech::parse("qlc"), None);
+        assert_eq!(CellTech::Tlc.to_string(), "TLC");
+        // MLC stays bit-identical to the paper's baseline config.
+        assert_eq!(CellTech::Mlc.level_config(), LevelConfig::normal_mlc());
+        // Reduced densities: MLC 1.5 b/cell (ReduceCode), TLC 2.5, SLC n/a.
+        assert_eq!(CellTech::Mlc.reduced_bits_per_cell(), 1.5);
+        assert_eq!(CellTech::Tlc.reduced_bits_per_cell(), 2.5);
+        assert_eq!(CellTech::Slc.reduced_bits_per_cell(), 1.0);
+        assert_eq!(
+            CellTech::Slc.reduced_level_config(),
+            CellTech::Slc.level_config()
+        );
+    }
+
+    #[test]
+    fn packed_configs_share_the_window_and_order_margins() {
+        let slc = CellTech::Slc.level_config();
+        let tlc = CellTech::Tlc.level_config();
+        assert_eq!(slc.level_count(), 2);
+        assert_eq!(tlc.level_count(), 8);
+        // TLC spans the same programmed window as MLC.
+        assert_eq!(tlc.read_refs().first(), Some(&Volts(2.40)));
+        assert!((tlc.read_refs().last().unwrap().as_f64() - 3.60).abs() < 1e-12);
+        // Worst interference margin shrinks with density: SLC > MLC > TLC.
+        let worst_int = |cfg: &LevelConfig| {
+            cfg.levels()
+                .filter_map(|l| cfg.interference_margin(l))
+                .fold(Volts(f64::INFINITY), Volts::min)
+        };
+        let mlc = LevelConfig::normal_mlc();
+        assert!(worst_int(&slc) > worst_int(&mlc));
+        assert!(worst_int(&mlc) > worst_int(&tlc));
+        // Every packed level still verifies above its lower boundary and
+        // classifies back to itself at its nominal mean.
+        for cfg in [&slc, &tlc] {
+            for level in cfg.levels() {
+                let mean = cfg.nominal_mean(level).unwrap();
+                assert_eq!(cfg.classify(mean), level, "level {level} round-trips");
+            }
+        }
     }
 
     #[test]
@@ -557,16 +748,12 @@ mod tests {
                 .unwrap_err(),
             LevelConfigError::NonPositivePulse
         );
-        // too many levels
+        // too many levels (8 refs = 9 levels exceeds the TLC ceiling)
+        let refs: Vec<Volts> = (0..8).map(|k| Volts(1.0 + 0.3 * k as f64)).collect();
+        let verify: Vec<Volts> = refs.iter().map(|r| *r + Volts(0.05)).collect();
         assert!(matches!(
-            LevelConfig::new(
-                vec![Volts(1.0), Volts(2.0), Volts(3.0), Volts(4.0)],
-                vec![Volts(1.1), Volts(2.1), Volts(3.1), Volts(4.1)],
-                Volts(0.5),
-                Volts(0.15),
-            )
-            .unwrap_err(),
-            LevelConfigError::LevelCountOutOfRange(5)
+            LevelConfig::new(refs, verify, Volts(0.5), Volts(0.15)).unwrap_err(),
+            LevelConfigError::LevelCountOutOfRange(9)
         ));
     }
 

@@ -53,7 +53,7 @@ pub use array::{ArrayError, MlcBlock};
 pub use bitline::{BitlineParity, LayoutError, NormalPage, ReducedPage, WordlineLayout};
 pub use geometry::{BlockId, DeviceGeometry, GeometryError, LogicalPage, PhysicalPage};
 pub use gray::{Bit, InvalidBitError, MlcBits};
-pub use level::{CellMode, LevelConfig, LevelConfigError, VthLevel};
+pub use level::{CellMode, CellTech, LevelConfig, LevelConfigError, VthLevel};
 pub use program::{MlcCell, ProgramError, ProgramState};
 pub use timing::NandTiming;
 pub use units::{Hours, Micros, Volts};

@@ -6,9 +6,16 @@
 //!                 [--requests N] [--seed N] [--all-schemes]
 //!                 [--timing single|pipelined] [--dies N] [--decoders N]
 //!                 [--faults] [--fault-scale X] [--fault-seed N]
-//!                 [--scrub-interval N]
+//!                 [--scrub-interval N] [--scenario NAME] [--footprint N]
 //!
 //!   --scheme S      baseline | ldpc | la-only | flexlevel   (default flexlevel)
+//!   --scenario NAME run a named scenario preset (cell technology, fault
+//!                   model, environment components); `--scenario baseline`
+//!                   is the identity. Unknown names list the registry and
+//!                   exit 2.
+//!   --list-scenarios     print every registered scenario and exit
+//!   --footprint N   trace footprint in pages (default 70% of capacity;
+//!                   a footprint beyond capacity fails the run, exit 1)
 //!   --workload W    fin-2 | web-1 | web-2 | prj-1 | prj-2 | win-1 | win-2
 //!                   (default fin-2)
 //!   --pe N          starting P/E cycles (default 6000)
@@ -41,7 +48,8 @@ use obs::{export, Recorder};
 use rand::{rngs::StdRng, SeedableRng};
 use reliability::EccConfig;
 use ssd::{
-    FaultConfig, Scheme, SimObserver, SimStats, SsdConfig, SsdSimulator, StageKind, TimingModel,
+    FaultConfig, ScenarioSpec, Scheme, SimObserver, SimStats, SsdConfig, SsdSimulator, StageKind,
+    TimingModel,
 };
 use workloads::WorkloadSpec;
 
@@ -61,6 +69,8 @@ struct Args {
     fault_scale: f64,
     fault_seed: Option<u64>,
     scrub_interval: Option<u64>,
+    scenario: Option<String>,
+    footprint: Option<u64>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
     trace_jsonl: Option<String>,
@@ -97,6 +107,8 @@ fn parse_args() -> Result<Args, String> {
         fault_scale: 1.0,
         fault_seed: None,
         scrub_interval: None,
+        scenario: None,
+        footprint: None,
         metrics_out: None,
         trace_out: None,
         trace_jsonl: None,
@@ -175,6 +187,29 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--scrub-interval: {e}"))?,
                 )
             }
+            "--scenario" => {
+                let name = value("--scenario")?;
+                if ScenarioSpec::find(&name).is_none() {
+                    return Err(format!(
+                        "unknown scenario '{name}' (valid: {})",
+                        ScenarioSpec::names().join(", ")
+                    ));
+                }
+                args.scenario = Some(name);
+            }
+            "--list-scenarios" => {
+                for spec in ScenarioSpec::registry() {
+                    println!("{:<18} {}", spec.name, spec.summary);
+                }
+                std::process::exit(0);
+            }
+            "--footprint" => {
+                args.footprint = Some(
+                    value("--footprint")?
+                        .parse()
+                        .map_err(|e| format!("--footprint: {e}"))?,
+                )
+            }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--trace-jsonl" => args.trace_jsonl = Some(value("--trace-jsonl")?),
@@ -202,6 +237,7 @@ fn print_usage() {
                 [--channels N] [--timing single|pipelined] [--dies N]\n\
                 [--decoders N] [--all-schemes] [--faults]\n\
                 [--fault-scale X] [--fault-seed N] [--scrub-interval N]\n\
+                [--scenario NAME] [--list-scenarios] [--footprint N]\n\
                 [--metrics-out metrics.prom] [--trace-out trace.json]\n\
                 [--trace-jsonl spans.jsonl] [--trace-sample N]"
     );
@@ -265,6 +301,14 @@ fn run_one(
     if args.faults {
         config = config.with_faults(args.fault_config());
     }
+    // The scenario preset applies last so its overrides (cell technology,
+    // fault model, environment) win over the generic flags.
+    if let Some(name) = args.scenario.as_deref() {
+        let spec = ScenarioSpec::find(name).expect("scenario validated at parse time");
+        config = spec.apply(config);
+    }
+    // Scenario presets can switch faults on without `--faults`.
+    let faulty = config.faults.enabled;
     let mut sim = SsdSimulator::new(config);
     if observe {
         sim.attach_observer(SimObserver::new(scheme, args.trace_sample));
@@ -301,7 +345,7 @@ fn run_one(
                     stats.promotions, stats.demotions
                 );
             }
-            if args.faults {
+            if faulty {
                 print_recovery_panel(stats);
             }
             if args.timing == TimingModel::Pipelined {
@@ -607,7 +651,9 @@ fn main() {
         std::process::exit(2);
     };
     let config = SsdConfig::scaled(Scheme::Baseline, args.blocks);
-    let footprint = config.geometry.logical_pages() * 7 / 10;
+    let footprint = args
+        .footprint
+        .unwrap_or(config.geometry.logical_pages() * 7 / 10);
     let trace = spec
         .with_requests(args.requests)
         .with_footprint(footprint)

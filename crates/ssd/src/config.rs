@@ -5,13 +5,14 @@
 //! buffer, and one of four storage schemes (baseline, LDPC-in-SSD,
 //! LevelAdjust-only, LevelAdjust+AccessEval).
 
-use flash_model::{DeviceGeometry, Hours};
+use flash_model::{CellTech, DeviceGeometry, Hours};
 use flexlevel::{AccessEvalConfig, NunmaScheme};
 use ldpc::{IterationProfile, ReadLatencyModel, SensingSchedule};
 use serde::{Deserialize, Serialize};
 
 use crate::faults::FaultConfig;
 use crate::ftl::GcPolicy;
+use crate::scenario::EnvironmentConfig;
 
 /// Which storage system design the simulator runs (the four systems of
 /// Figure 6a).
@@ -100,6 +101,11 @@ pub struct SsdConfig {
     pub measured_iterations: Option<IterationProfile>,
     /// Storage scheme under test.
     pub scheme: Scheme,
+    /// Cell technology the device runs (SLC/MLC/TLC). The default
+    /// [`CellTech::Mlc`] reproduces the paper's design point exactly;
+    /// other technologies re-derive the level configurations and code
+    /// densities from the N-level `flash-model` generalization.
+    pub cell: CellTech,
     /// NUNMA configuration used by reduced-state pages.
     pub nunma: NunmaScheme,
     /// AccessEval policy (used by [`Scheme::FlexLevel`]).
@@ -139,6 +145,11 @@ pub struct SsdConfig {
     /// faults, patrol scrub). Disabled by default — golden counters and
     /// published numbers never see it.
     pub faults: FaultConfig,
+    /// Hostile-environment scenario components (correlated clusters,
+    /// thermal gradient, read disturb). Empty by default — an empty
+    /// environment adds no state and leaves every golden counter
+    /// untouched.
+    pub environment: EnvironmentConfig,
     /// Worker threads for *independent* sweeps built on this config
     /// (trace × scheme fan-out, BER shards); `0` = auto, honouring the
     /// `FLEXLEVEL_THREADS` environment variable. The event loop of a
@@ -162,6 +173,7 @@ impl SsdConfig {
             schedule: crate::device::derived_schedule(),
             measured_iterations: None,
             scheme,
+            cell: CellTech::Mlc,
             nunma: NunmaScheme::Nunma3,
             access_eval: AccessEvalConfig::paper(geometry.page_bytes() as u64)
                 .with_pool_pages(pool_pages),
@@ -178,6 +190,7 @@ impl SsdConfig {
             min_over_provisioning: 0.04,
             seed: 42,
             faults: FaultConfig::default(),
+            environment: EnvironmentConfig::default(),
             threads: 0,
         }
     }
@@ -187,6 +200,20 @@ impl SsdConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> SsdConfig {
         self.faults = faults;
+        self
+    }
+
+    /// Selects the cell technology (SLC/MLC/TLC).
+    #[must_use]
+    pub fn with_cell(mut self, cell: CellTech) -> SsdConfig {
+        self.cell = cell;
+        self
+    }
+
+    /// Installs hostile-environment scenario components.
+    #[must_use]
+    pub fn with_environment(mut self, environment: EnvironmentConfig) -> SsdConfig {
+        self.environment = environment;
         self
     }
 
@@ -338,6 +365,19 @@ mod tests {
         let cfg = cfg.with_faults(FaultConfig::enabled().with_scale(2.0));
         assert!(cfg.faults.enabled);
         assert_eq!(cfg.faults.scale, 2.0);
+    }
+
+    #[test]
+    fn cell_and_environment_default_to_the_design_point() {
+        let cfg = SsdConfig::scaled(Scheme::FlexLevel, 64);
+        assert_eq!(cfg.cell, CellTech::Mlc);
+        assert!(!cfg.environment.is_enabled());
+        let cfg = cfg.with_cell(CellTech::Tlc).with_environment(
+            EnvironmentConfig::default()
+                .with_thermal(crate::scenario::ThermalGradientConfig::default()),
+        );
+        assert_eq!(cfg.cell, CellTech::Tlc);
+        assert!(cfg.environment.is_enabled());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use flash_model::{Hours, LevelConfig, Micros};
+use flash_model::{CellTech, Hours, LevelConfig, Micros};
 use flexlevel::NunmaScheme;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +26,8 @@ const AGE_BUCKETS: u32 = 32;
 pub struct ReliabilityState {
     normal_config: LevelConfig,
     reduced_config: LevelConfig,
+    normal_bits: f64,
+    reduced_bits: f64,
     program: ProgramModel,
     retention: RetentionModel,
     max_age: Hours,
@@ -36,12 +38,43 @@ pub struct ReliabilityState {
 }
 
 impl ReliabilityState {
-    /// Creates the oracle. Data ages are drawn from `U(0, max_age)` on
-    /// first touch (steady-state resident data) using `seed`.
+    /// Creates the oracle for the paper's MLC design point. Data ages are
+    /// drawn from `U(0, max_age)` on first touch (steady-state resident
+    /// data) using `seed`.
     pub fn new(nunma: NunmaScheme, max_age: Hours, seed: u64) -> ReliabilityState {
+        ReliabilityState::with_cell(CellTech::Mlc, nunma, max_age, seed)
+    }
+
+    /// Creates the oracle for an arbitrary cell technology. MLC keeps the
+    /// paper's exact level configurations (`LevelConfig::normal_mlc` and
+    /// the NUNMA reduced shape) and code densities (2.0 / 1.5 bits per
+    /// cell), bit-identical to [`ReliabilityState::new`]; SLC and TLC
+    /// re-derive both from the N-level `flash-model` generalization.
+    pub fn with_cell(
+        cell: CellTech,
+        nunma: NunmaScheme,
+        max_age: Hours,
+        seed: u64,
+    ) -> ReliabilityState {
+        let (normal_config, reduced_config, normal_bits, reduced_bits) = match cell {
+            CellTech::Mlc => (
+                LevelConfig::normal_mlc(),
+                nunma.config().level_config(),
+                2.0,
+                1.5,
+            ),
+            tech => (
+                tech.level_config(),
+                tech.reduced_level_config(),
+                tech.bits_per_cell() as f64,
+                tech.reduced_bits_per_cell(),
+            ),
+        };
         ReliabilityState {
-            normal_config: LevelConfig::normal_mlc(),
-            reduced_config: nunma.config().level_config(),
+            normal_config,
+            reduced_config,
+            normal_bits,
+            reduced_bits,
             program: ProgramModel::default(),
             retention: RetentionModel::paper(),
             max_age,
@@ -101,7 +134,7 @@ impl ReliabilityState {
             &self.program,
             None,
             Some((&self.retention, pe, age_center)),
-            2.0,
+            self.normal_bits,
         )
         .ber;
         self.ber_cache.insert((pe_bucket, age_bucket), ber);
@@ -125,7 +158,7 @@ impl ReliabilityState {
             &self.program,
             None,
             Some((&self.retention, pe, age_center)),
-            1.5,
+            self.reduced_bits,
         )
         .ber;
         self.reduced_cache.insert((pe_bucket, age_bucket), ber);
@@ -162,7 +195,7 @@ impl ReliabilityState {
             pe_cycles,
             self.max_age,
             Volts::ZERO,
-            2.0,
+            self.normal_bits,
         );
         let calibrated = reliability::calibrated_ber(
             &self.normal_config,
@@ -453,6 +486,49 @@ mod tests {
         // At any wear the ratio stays a valid FER factor in (0, 1].
         let young = s.retry_gain(1000);
         assert!(young > 0.0 && young <= 1.0, "young gain {young}");
+    }
+
+    #[test]
+    fn with_cell_mlc_is_bit_identical_to_new() {
+        let mut legacy = state();
+        let mut mlc =
+            ReliabilityState::with_cell(CellTech::Mlc, NunmaScheme::Nunma3, Hours::months(1.0), 1);
+        for pe in [3000u32, 4500, 6000] {
+            for days in [1.0, 7.0, 30.0] {
+                let age = Hours::days(days);
+                assert_eq!(
+                    legacy.normal_ber(pe, age).to_bits(),
+                    mlc.normal_ber(pe, age).to_bits()
+                );
+                assert_eq!(
+                    legacy.reduced_ber(pe, age).to_bits(),
+                    mlc.reduced_ber(pe, age).to_bits()
+                );
+            }
+        }
+        assert_eq!(
+            legacy.retry_gain(6000).to_bits(),
+            mlc.retry_gain(6000).to_bits()
+        );
+    }
+
+    #[test]
+    fn tlc_is_noisier_slc_cleaner_than_mlc() {
+        let mut slc =
+            ReliabilityState::with_cell(CellTech::Slc, NunmaScheme::Nunma3, Hours::months(1.0), 1);
+        let mut mlc = state();
+        let mut tlc =
+            ReliabilityState::with_cell(CellTech::Tlc, NunmaScheme::Nunma3, Hours::months(1.0), 1);
+        let age = Hours::days(7.0);
+        let (s, m, t) = (
+            slc.normal_ber(5000, age),
+            mlc.normal_ber(5000, age),
+            tlc.normal_ber(5000, age),
+        );
+        assert!(s < m && m < t, "SLC {s} < MLC {m} < TLC {t}");
+        // TLC's reduced (7-level) mode buys back margin like the paper's
+        // LevelAdjust does for MLC.
+        assert!(tlc.reduced_ber(5000, age) < t);
     }
 
     #[test]

@@ -160,8 +160,10 @@ impl StreamKind {
     }
 }
 
-/// One step of the SplitMix64 generator.
-fn splitmix64(state: &mut u64) -> u64 {
+/// One step of the SplitMix64 generator (shared with the scenario
+/// engine's placement draws, so every scenario stream reuses the same
+/// counter-derived keying discipline).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

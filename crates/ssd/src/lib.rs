@@ -39,6 +39,7 @@ pub mod lifetime;
 pub mod obs;
 pub mod pipeline;
 pub mod recovery;
+pub mod scenario;
 pub mod sim;
 pub mod stats;
 
@@ -53,5 +54,9 @@ pub use lifetime::LifetimeModel;
 pub use obs::SimObserver;
 pub use pipeline::{FlashOp, Stage, StageKind};
 pub use recovery::{RecoveryOutcome, RetryRung};
+pub use scenario::{
+    ClusterFaultConfig, EnvironmentConfig, EnvironmentState, ReadDisturbConfig, ScenarioSpec,
+    ThermalGradientConfig,
+};
 pub use sim::{SimError, SsdSimulator};
 pub use stats::{SimStats, StageAccount};

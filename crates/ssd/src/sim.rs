@@ -39,6 +39,7 @@ use crate::ftl::{FtlError, OpCost, PageMapFtl};
 use crate::obs::SimObserver;
 use crate::pipeline::{expand_ops, FlashOp, Stage};
 use crate::recovery;
+use crate::scenario::EnvironmentState;
 use crate::stats::SimStats;
 
 /// Simulation failures (propagated FTL space errors).
@@ -129,6 +130,10 @@ pub struct SsdSimulator {
     /// Fault injector; `None` whenever `config.faults.enabled` is off, so
     /// the golden path never draws, prices or counts anything new.
     faults: Option<FaultState>,
+    /// Scenario environment (clusters, thermal gradient, read disturb);
+    /// `None` whenever `config.environment` is empty, so the golden path
+    /// sees no adjustment and no per-page state.
+    environment: Option<EnvironmentState>,
     /// Host requests since the last patrol-scrub visit.
     scrub_countdown: u64,
     /// Round-robin block cursor of the patrol scrubber.
@@ -144,7 +149,12 @@ impl SsdSimulator {
         let ftl = PageMapFtl::new(config.geometry, config.gc_low_watermark)
             .with_gc_policy(config.gc_policy);
         let buffer = WriteBuffer::new(config.buffer_pages);
-        let reliability = ReliabilityState::new(config.nunma, config.max_data_age, config.seed);
+        let reliability = ReliabilityState::with_cell(
+            config.cell,
+            config.nunma,
+            config.max_data_age,
+            config.seed,
+        );
         let access_eval = match config.scheme {
             Scheme::FlexLevel => Some(AccessEvalController::new(config.access_eval)),
             _ => None,
@@ -177,6 +187,7 @@ impl SsdSimulator {
             let gain = reliability.retry_gain(config.base_pe_cycles);
             FaultState::new(config.faults.clone(), &config.schedule, gain)
         });
+        let environment = EnvironmentState::new(&config);
         SsdSimulator {
             config,
             ftl,
@@ -188,6 +199,7 @@ impl SsdSimulator {
             host_pages_written: 0,
             max_reduced_blocks,
             faults,
+            environment,
             scrub_countdown: 0,
             scrub_cursor: 0,
             obs: None,
@@ -284,6 +296,9 @@ impl SsdSimulator {
         self.host_pages_written = 0;
         if let Some(faults) = self.faults.as_mut() {
             faults.reset();
+        }
+        if let Some(env) = self.environment.as_mut() {
+            env.reset();
         }
         self.scrub_countdown = 0;
         self.scrub_cursor = 0;
@@ -523,6 +538,34 @@ impl SsdSimulator {
         Ok(())
     }
 
+    /// Environment-adjusted raw BER of one flash read of `lpn`, also
+    /// recording the read for read-disturb accumulation (the adjustment
+    /// sees the disturb accumulated *before* this read). Identity, with
+    /// no state touched, when no environment is configured. Recovery
+    /// retry rungs re-read the same wordline but are not re-recorded — a
+    /// deliberate simplification keeping disturb a function of the
+    /// logical access sequence alone.
+    fn environment_read(&mut self, lpn: u64, ber: f64) -> f64 {
+        match self.environment.as_mut() {
+            Some(env) => {
+                let adjusted = env.adjust_ber(lpn, ber);
+                env.record_read(lpn);
+                adjusted
+            }
+            None => ber,
+        }
+    }
+
+    /// Records a program/refresh of `lpn` with the environment: the
+    /// rewritten page starts disturb-free. GC relocations are *not*
+    /// reported — a deliberate approximation (relocation copies the
+    /// already-disturbed data pattern).
+    fn environment_program(&mut self, lpn: u64) {
+        if let Some(env) = self.environment.as_mut() {
+            env.record_program(lpn);
+        }
+    }
+
     /// Host read of one page.
     fn read_page(&mut self, lpn: u64) -> Result<PageCharge, SimError> {
         let mut charge = PageCharge::default();
@@ -553,6 +596,7 @@ impl SsdSimulator {
             // weaker schemes (a NUNMA 1 deployment, or extreme stress) may
             // still need soft sensing — charge it honestly.
             let ber = self.reliability.reduced_ber(pe, age);
+            let ber = self.environment_read(lpn, ber);
             let required = self.config.schedule.required_levels(ber);
             if let Some(ctrl) = self.access_eval.as_mut() {
                 // Keep the pool's recency fresh; pooled reads need no
@@ -596,6 +640,7 @@ impl SsdSimulator {
         }
 
         let ber = self.reliability.normal_ber(pe, age);
+        let ber = self.environment_read(lpn, ber);
         let required = self.config.schedule.required_levels(ber);
         let plan = self.read_plan(required, ber);
         charge.fg = plan.fg;
@@ -706,6 +751,7 @@ impl SsdSimulator {
     fn flush_page(&mut self, lpn: u64, ops: &mut Vec<FlashOp>) -> Result<Micros, SimError> {
         let mode = self.write_mode(lpn);
         let cost = self.ftl.write(lpn, mode)?;
+        self.environment_program(lpn);
         let mut time = self.account(cost, lpn, ops);
         time += self.apply_program_fault(lpn, ops)?;
         Ok(time)
@@ -719,13 +765,19 @@ impl SsdSimulator {
     /// foreground charge and, under the pipelined model, occupies die,
     /// channel and decoder resources. No-op with faults disabled.
     fn apply_read_faults(&mut self, lpn: u64, ber: f64, levels: u32, charge: &mut PageCharge) {
+        // Correlated clusters make frames inside the struck region harder
+        // to decode than their (already cluster-elevated) BER alone says.
+        let env_fer = self
+            .environment
+            .as_ref()
+            .map_or(1.0, |env| env.fer_factor(lpn));
         let Some(faults) = self.faults.as_mut() else {
             return;
         };
         let cfg = self.config.faults.clone();
         let die_fault = faults.die_draw(lpn) < cfg.die_fault_prob;
         let u = faults.read_draw(lpn);
-        let fer0 = faults.frame_error_rate(ber, levels);
+        let fer0 = (faults.frame_error_rate(ber, levels) * env_fer).clamp(0.0, 1.0);
         let retry_factor = faults.retry_fer_factor();
         if die_fault {
             self.stats.die_resets += 1;
@@ -864,9 +916,13 @@ impl SsdSimulator {
                 CellMode::Normal => self.reliability.normal_ber(pe, age),
                 CellMode::Reduced => self.reliability.reduced_ber(pe, age),
             };
+            // The scrubber observes the page as the environment left it —
+            // disturb-elevated BER is exactly what it exists to catch.
+            let ber = self.environment_read(lpn, ber);
             if ber >= threshold {
                 self.stats.scrub_refreshes += 1;
                 self.reliability.refresh(lpn);
+                self.environment_program(lpn);
                 let cost = self.ftl.write(lpn, mode)?;
                 time += self.account(cost, lpn, ops);
             }
@@ -923,6 +979,7 @@ impl SsdSimulator {
         }
         let read_cost = self.config.latency.timing.read_transfer_latency(0);
         let cost = self.ftl.write(lpn, mode)?;
+        self.environment_program(lpn);
         Ok(read_cost + self.account(cost, lpn, ops))
     }
 

@@ -1,0 +1,159 @@
+//! Property and fixture suite for the N-level cell generalization of
+//! `flash-model`.
+//!
+//! Three guarantees are pinned:
+//!
+//! 1. **Gray adjacency** — for every supported bits-per-cell the
+//!    level↔bits mapping is a bijection and adjacent Vth levels differ
+//!    in exactly one bit, so a one-level sensing slip costs one raw bit
+//!    error regardless of cell technology.
+//! 2. **Level-count monotonicity** — at a fixed stress point the raw
+//!    BER strictly increases with level count (SLC < MLC < TLC), the
+//!    physical ordering the FlexLevel trade-off rests on.
+//! 3. **MLC bit-identity** — the generalized path reproduces the
+//!    pre-refactor MLC analytic BER bit-for-bit at three pinned
+//!    (PE, retention) stress points, proving the refactor moved zero
+//!    behavior for the original design point.
+
+use flash_model::gray::{nlevel_bits, nlevel_from_bits};
+use flash_model::{CellTech, Hours, LevelConfig, VthLevel};
+use proptest::prelude::*;
+use reliability::analytic::estimate;
+use reliability::{ProgramModel, RetentionModel};
+
+proptest! {
+    /// Bijection: decoding the encoded bits recovers the level, for
+    /// every level expressible at each supported bits-per-cell.
+    #[test]
+    fn nlevel_gray_mapping_is_a_bijection(
+        bits_per_cell in 1u32..=3,
+        raw_index in 0u8..8,
+    ) {
+        let levels = 1u8 << bits_per_cell;
+        let level = VthLevel::new(raw_index % levels);
+        let bits = nlevel_bits(level, bits_per_cell);
+        prop_assert!(u32::from(bits) < (1 << bits_per_cell));
+        prop_assert_eq!(nlevel_from_bits(bits, bits_per_cell), level);
+    }
+
+    /// Gray adjacency: consecutive levels differ in exactly one bit.
+    #[test]
+    fn adjacent_levels_differ_in_one_bit(
+        bits_per_cell in 1u32..=3,
+        raw_index in 0u8..7,
+    ) {
+        let levels = 1u8 << bits_per_cell;
+        prop_assume!(raw_index + 1 < levels);
+        let a = nlevel_bits(VthLevel::new(raw_index), bits_per_cell);
+        let b = nlevel_bits(VthLevel::new(raw_index + 1), bits_per_cell);
+        prop_assert_eq!(
+            (a ^ b).count_ones(), 1,
+            "levels {} and {} must be Gray-adjacent (got {:#05b} vs {:#05b})",
+            raw_index, raw_index + 1, a, b
+        );
+    }
+
+    /// More levels in the same Vth window → strictly higher raw BER, at
+    /// any stress point in the calibrated operating range.
+    #[test]
+    fn raw_ber_is_monotone_in_level_count(
+        pe in 1000u32..8000,
+        hours in 1u32..1000,
+    ) {
+        let ber_of = |tech: CellTech| {
+            estimate(
+                &tech.level_config(),
+                &ProgramModel::default(),
+                None,
+                Some((&RetentionModel::paper(), pe, Hours(f64::from(hours)))),
+                f64::from(tech.bits_per_cell()),
+            )
+            .ber
+        };
+        let (slc, mlc, tlc) = (ber_of(CellTech::Slc), ber_of(CellTech::Mlc), ber_of(CellTech::Tlc));
+        prop_assert!(slc < mlc, "SLC {slc} must be cleaner than MLC {mlc}");
+        prop_assert!(mlc < tlc, "MLC {mlc} must be cleaner than TLC {tlc}");
+    }
+
+    /// Dropping the top level (reduced mode) is a reliability win for
+    /// every technology across the calibrated operating envelope. (Near
+    /// channel saturation the win evaporates: the cell error rate
+    /// approaches the random limit for both configs while reduced mode
+    /// amortizes it over fewer bits — log₂7 < 3 for TLC — so the bound
+    /// is deliberately restricted to the region the simulator runs in.)
+    #[test]
+    fn reduced_mode_wins_in_the_operating_envelope(pe in 1000u32..5000, hours in 1u32..400) {
+        for tech in [CellTech::Mlc, CellTech::Tlc] {
+            let stress = Some((&RetentionModel::paper(), pe, Hours(f64::from(hours))));
+            let normal = estimate(
+                &tech.level_config(),
+                &ProgramModel::default(),
+                None,
+                stress,
+                f64::from(tech.bits_per_cell()),
+            )
+            .ber;
+            let reduced = estimate(
+                &tech.reduced_level_config(),
+                &ProgramModel::default(),
+                None,
+                stress,
+                tech.reduced_bits_per_cell(),
+            )
+            .ber;
+            prop_assert!(
+                reduced < normal,
+                "{tech:?}: reduced {reduced} must beat normal {normal}"
+            );
+        }
+    }
+}
+
+/// The MLC path is bit-identical to the pre-refactor model: three
+/// stress points captured from the code before `CellTech` existed.
+#[test]
+fn mlc_path_matches_pre_refactor_fixtures() {
+    // (pe, hours, expected IEEE-754 bits of the raw BER)
+    const FIXTURES: &[(u32, f64, u64)] = &[
+        (3000, 24.0, 0x3F610EB3C2318C0C),  // 2.0822058591405453e-3
+        (4000, 168.0, 0x3F8A2F5812CCD7FF), // 1.2785614083991701e-2
+        (6000, 720.0, 0x3FA3C340267F18F2), // 3.859901876380602e-2
+    ];
+    for &(pe, hours, expected_bits) in FIXTURES {
+        let report = estimate(
+            &CellTech::Mlc.level_config(),
+            &ProgramModel::default(),
+            None,
+            Some((&RetentionModel::paper(), pe, Hours(hours))),
+            f64::from(CellTech::Mlc.bits_per_cell()),
+        );
+        assert_eq!(
+            report.ber.to_bits(),
+            expected_bits,
+            "MLC BER drifted at pe={pe} h={hours}: got {:e} ({:#X})",
+            report.ber,
+            report.ber.to_bits()
+        );
+    }
+}
+
+/// `CellTech::Mlc.level_config()` is the legacy `normal_mlc` object, not
+/// merely a numerically close packing.
+#[test]
+fn mlc_level_config_is_the_legacy_object() {
+    let legacy = LevelConfig::normal_mlc();
+    let via_tech = CellTech::Mlc.level_config();
+    assert_eq!(via_tech.level_count(), legacy.level_count());
+    assert_eq!(via_tech.read_refs(), legacy.read_refs());
+}
+
+/// Level counts across the technology ladder.
+#[test]
+fn level_counts_follow_bits_per_cell() {
+    assert_eq!(CellTech::Slc.level_count(), 2);
+    assert_eq!(CellTech::Mlc.level_count(), 4);
+    assert_eq!(CellTech::Tlc.level_count(), 8);
+    assert_eq!(CellTech::Slc.reduced_level_config().level_count(), 2);
+    assert_eq!(CellTech::Mlc.reduced_level_config().level_count(), 3);
+    assert_eq!(CellTech::Tlc.reduced_level_config().level_count(), 7);
+}
