@@ -1,11 +1,15 @@
 //! Decoder engine comparison: scalar f32 min-sum vs the quantized i8
-//! path, scalar and batched, on the paper's rate-8/9 code.
+//! path, scalar and batched, plus the PR 7 kernel × schedule matrix
+//! (i8 SoA vs bit-plane, flooding vs layered) across batch widths, on
+//! the paper's rate-8/9 code.
 //!
 //! Prints criterion-style timings and then writes a machine-readable
 //! `BENCH_decoder.json` (hand-formatted — the build has no serde_json)
 //! so the decoder's perf trajectory can be tracked PR over PR. The
-//! headline number is codewords/sec of the batched quantized decoder vs
-//! the scalar f32 baseline at a 2Xnm-grade BER.
+//! headline numbers are codewords/sec of the batched quantized decoder
+//! vs the scalar f32 baseline at a 2Xnm-grade BER, and of the bit-sliced
+//! layered engine vs the i8 flooding engine at batch 64
+//! (`speedup_sliced_vs_i8_flood_batch64` — the PR 7 acceptance metric).
 //!
 //! Env knobs: `BENCH_QUICK=1` shrinks the workload for CI smoke runs;
 //! `BENCH_DECODER_OUT` overrides the JSON path.
@@ -16,13 +20,29 @@ use std::time::Instant;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use ldpc::{
-    encode, random_info, DecoderGraph, DecoderWorkspace, LlrQuantizer, MinSumDecoder, QcLdpcCode,
-    QuantizedMinSumDecoder,
+    encode, random_info, DecodeKernel, DecoderGraph, DecoderWorkspace, LlrQuantizer, MinSumDecoder,
+    QcLdpcCode, QuantizedMinSumDecoder, Schedule,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-/// Batch width of the batched path under test.
+/// Batch width of the legacy `quantized_batch_cps` trajectory metric.
 const BATCH: usize = 16;
+
+/// Batch widths of the kernel × schedule matrix.
+const MATRIX_BATCHES: [usize; 3] = [8, 16, 64];
+
+/// The kernel × schedule engines under test. `i8_flood` is the PR 4
+/// reference engine every other cell is measured against.
+const ENGINES: [(&str, Schedule, DecodeKernel); 4] = [
+    ("i8_flood", Schedule::Flooding, DecodeKernel::I8Soa),
+    ("bitplane_flood", Schedule::Flooding, DecodeKernel::BitPlane),
+    ("i8_layered", Schedule::Layered, DecodeKernel::I8Soa),
+    (
+        "bitplane_layered",
+        Schedule::Layered,
+        DecodeKernel::BitPlane,
+    ),
+];
 
 fn quick_mode() -> bool {
     std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -30,13 +50,29 @@ fn quick_mode() -> bool {
 
 /// A workload: `frames` BSC-corrupted codewords of the paper code at flip
 /// probability `ber`, as f32 LLRs, quantized LLRs, and the quantized
-/// frames packed structure-of-arrays in groups of [`BATCH`].
+/// frames packed structure-of-arrays at every matrix batch width.
 struct Workload {
     label: &'static str,
     ber: f64,
     f32_frames: Vec<Vec<f32>>,
     q_frames: Vec<Vec<i8>>,
-    q_batches: Vec<Vec<i8>>,
+    /// `(batch_width, SoA groups)` per entry of [`MATRIX_BATCHES`].
+    q_batches: Vec<(usize, Vec<Vec<i8>>)>,
+}
+
+fn pack_soa(n: usize, frames: &[Vec<i8>], batch: usize) -> Vec<Vec<i8>> {
+    frames
+        .chunks(batch)
+        .map(|chunk| {
+            let mut soa = vec![0i8; n * chunk.len()];
+            for (lane, frame) in chunk.iter().enumerate() {
+                for (bit, &q) in frame.iter().enumerate() {
+                    soa[bit * chunk.len() + lane] = q;
+                }
+            }
+            soa
+        })
+        .collect()
 }
 
 fn build_workload(code: &QcLdpcCode, label: &'static str, ber: f64, frames: usize) -> Workload {
@@ -61,17 +97,9 @@ fn build_workload(code: &QcLdpcCode, label: &'static str, ber: f64, frames: usiz
         q_frames.push(quantizer.quantize_table(&llrs));
         f32_frames.push(llrs);
     }
-    let q_batches = q_frames
-        .chunks(BATCH)
-        .map(|chunk| {
-            let mut soa = vec![0i8; n * chunk.len()];
-            for (lane, frame) in chunk.iter().enumerate() {
-                for (bit, &q) in frame.iter().enumerate() {
-                    soa[bit * chunk.len() + lane] = q;
-                }
-            }
-            soa
-        })
+    let q_batches = MATRIX_BATCHES
+        .iter()
+        .map(|&batch| (batch, pack_soa(n, &q_frames, batch)))
         .collect();
     Workload {
         label,
@@ -95,17 +123,39 @@ fn throughput(frames: usize, reps: usize, mut decode_all: impl FnMut()) -> f64 {
     frames as f64 / best
 }
 
+/// One engine × batch-width cell of the kernel matrix.
+struct KernelCell {
+    engine: &'static str,
+    batch: usize,
+    cps: f64,
+}
+
 struct PointResult {
     label: &'static str,
     ber: f64,
     scalar_f32_cps: f64,
     quantized_scalar_cps: f64,
     quantized_batch_cps: f64,
+    kernel_matrix: Vec<KernelCell>,
 }
 
 impl PointResult {
     fn speedup_batch_vs_f32(&self) -> f64 {
         self.quantized_batch_cps / self.scalar_f32_cps
+    }
+
+    fn matrix_cps(&self, engine: &str, batch: usize) -> f64 {
+        self.kernel_matrix
+            .iter()
+            .find(|c| c.engine == engine && c.batch == batch)
+            .map(|c| c.cps)
+            .expect("cell measured")
+    }
+
+    /// The PR 7 acceptance metric: bit-sliced layered engine vs the i8
+    /// flooding reference at batch 64.
+    fn speedup_sliced_vs_i8_flood_batch64(&self) -> f64 {
+        self.matrix_cps("bitplane_layered", 64) / self.matrix_cps("i8_flood", 64)
     }
 }
 
@@ -116,7 +166,7 @@ fn measure_point(
     reps: usize,
 ) -> PointResult {
     let f32_decoder = MinSumDecoder::new();
-    let q_decoder = QuantizedMinSumDecoder::new();
+    let q_decoder = QuantizedMinSumDecoder::new().with_kernel(DecodeKernel::I8Soa);
     let mut ws = DecoderWorkspace::new();
     let frames = w.f32_frames.len();
     let scalar_f32_cps = throughput(frames, reps, || {
@@ -130,19 +180,46 @@ fn measure_point(
         }
     });
     let n = code.codeword_bits();
+    let batch16 = &w
+        .q_batches
+        .iter()
+        .find(|(b, _)| *b == BATCH)
+        .expect("batch 16 packed")
+        .1;
     let quantized_batch_cps = throughput(frames, reps, || {
-        for soa in &w.q_batches {
+        for soa in batch16 {
             let lanes = soa.len() / n;
             let out = q_decoder.decode_batch(graph, soa, lanes, &mut ws);
             std::hint::black_box(out.iterations(lanes - 1));
         }
     });
+    let mut kernel_matrix = Vec::new();
+    for &(engine, schedule, kernel) in &ENGINES {
+        let decoder = QuantizedMinSumDecoder::new()
+            .with_schedule(schedule)
+            .with_kernel(kernel);
+        for (batch, groups) in &w.q_batches {
+            let cps = throughput(frames, reps, || {
+                for soa in groups {
+                    let lanes = soa.len() / n;
+                    let out = decoder.decode_batch(graph, soa, lanes, &mut ws);
+                    std::hint::black_box(out.iterations(lanes - 1));
+                }
+            });
+            kernel_matrix.push(KernelCell {
+                engine,
+                batch: *batch,
+                cps,
+            });
+        }
+    }
     PointResult {
         label: w.label,
         ber: w.ber,
         scalar_f32_cps,
         quantized_scalar_cps,
         quantized_batch_cps,
+        kernel_matrix,
     }
 }
 
@@ -152,18 +229,32 @@ fn write_json(path: &str, quick: bool, code: &QcLdpcCode, results: &[PointResult
         if i > 0 {
             points.push_str(",\n");
         }
+        let mut matrix = String::new();
+        for (j, cell) in r.kernel_matrix.iter().enumerate() {
+            if j > 0 {
+                matrix.push_str(",\n");
+            }
+            matrix.push_str(&format!(
+                "      {{\"engine\": \"{}\", \"batch\": {}, \"cps\": {:.3}}}",
+                cell.engine, cell.batch, cell.cps
+            ));
+        }
         points.push_str(&format!(
             concat!(
                 "    {{\"label\": \"{}\", \"ber\": {}, ",
                 "\"scalar_f32_cps\": {:.3}, \"quantized_scalar_cps\": {:.3}, ",
-                "\"quantized_batch_cps\": {:.3}, \"speedup_batch_vs_f32\": {:.3}}}"
+                "\"quantized_batch_cps\": {:.3}, \"speedup_batch_vs_f32\": {:.3},\n",
+                "    \"speedup_sliced_vs_i8_flood_batch64\": {:.3},\n",
+                "    \"kernel_matrix\": [\n{}\n    ]}}"
             ),
             r.label,
             r.ber,
             r.scalar_f32_cps,
             r.quantized_scalar_cps,
             r.quantized_batch_cps,
-            r.speedup_batch_vs_f32()
+            r.speedup_batch_vs_f32(),
+            r.speedup_sliced_vs_i8_flood_batch64(),
+            matrix
         ));
     }
     let json = format!(
@@ -189,17 +280,21 @@ fn write_json(path: &str, quick: bool, code: &QcLdpcCode, results: &[PointResult
 fn bench_decoder_batch(c: &mut Criterion) {
     let code = QcLdpcCode::paper_code();
     let graph = DecoderGraph::cached(&code);
-    let (frames, reps, samples) = if quick_mode() { (16, 2, 3) } else { (32, 3, 5) };
+    let (frames, reps, samples) = if quick_mode() {
+        (64, 2, 3)
+    } else {
+        (128, 3, 5)
+    };
     let workloads = [
         build_workload(&code, "clean", 0.0, frames),
         build_workload(&code, "ber_8e-3", 8e-3, frames),
     ];
 
-    // Criterion view: one timed sweep of all frames per engine per point.
+    // Criterion view: one timed sweep of all frames per engine per point;
+    // the kernel matrix is shown at its widest batch.
     let mut group = c.benchmark_group("decoder_batch");
     group.sample_size(samples);
     let f32_decoder = MinSumDecoder::new();
-    let q_decoder = QuantizedMinSumDecoder::new();
     let mut ws = DecoderWorkspace::new();
     let n = code.codeword_bits();
     for w in &workloads {
@@ -210,22 +305,29 @@ fn bench_decoder_batch(c: &mut Criterion) {
                 }
             })
         });
-        group.bench_function(BenchmarkId::new("quantized_scalar", w.label), |b| {
-            b.iter(|| {
-                for qllrs in &w.q_frames {
-                    std::hint::black_box(q_decoder.decode(&graph, qllrs, &mut ws).iterations);
-                }
-            })
-        });
-        group.bench_function(BenchmarkId::new("quantized_batch16", w.label), |b| {
-            b.iter(|| {
-                for soa in &w.q_batches {
-                    let lanes = soa.len() / n;
-                    let out = q_decoder.decode_batch(&graph, soa, lanes, &mut ws);
-                    std::hint::black_box(out.iterations(lanes - 1));
-                }
-            })
-        });
+        for &(engine, schedule, kernel) in &ENGINES {
+            let decoder = QuantizedMinSumDecoder::new()
+                .with_schedule(schedule)
+                .with_kernel(kernel);
+            let groups = &w
+                .q_batches
+                .iter()
+                .find(|(b, _)| *b == 64)
+                .expect("batch 64 packed")
+                .1;
+            group.bench_function(
+                BenchmarkId::new(format!("{engine}_batch64"), w.label),
+                |b| {
+                    b.iter(|| {
+                        for soa in groups.iter() {
+                            let lanes = soa.len() / n;
+                            let out = decoder.decode_batch(&graph, soa, lanes, &mut ws);
+                            std::hint::black_box(out.iterations(lanes - 1));
+                        }
+                    })
+                },
+            );
+        }
     }
     group.finish();
 
@@ -244,6 +346,17 @@ fn bench_decoder_batch(c: &mut Criterion) {
             BATCH,
             r.quantized_batch_cps,
             r.speedup_batch_vs_f32()
+        );
+        for &batch in &MATRIX_BATCHES {
+            let cells: Vec<String> = ENGINES
+                .iter()
+                .map(|&(engine, _, _)| format!("{engine} {:>9.1}", r.matrix_cps(engine, batch)))
+                .collect();
+            println!("            batch {batch:>2}: {}", cells.join("  "));
+        }
+        println!(
+            "            sliced layered vs i8 flood @64: {:.2}x",
+            r.speedup_sliced_vs_i8_flood_batch64()
         );
     }
     let path =

@@ -118,6 +118,27 @@ impl DecoderGraph {
         )
     }
 
+    /// Largest check-node degree (row weight) in the graph. Sizes the
+    /// per-check scratch of the layered kernels.
+    pub fn max_check_degree(&self) -> usize {
+        self.check_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest bit-node degree (column weight) in the graph. Bounds the
+    /// bit-total magnitude, which sizes the bit-plane kernel's
+    /// two's-complement plane count.
+    pub fn max_bit_degree(&self) -> usize {
+        self.bit_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// A process-wide memoized graph for `code`.
     ///
     /// Several bench binaries, tests and the sensing ladder rebuild the

@@ -50,10 +50,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bitplane;
 pub mod channel;
 pub mod code;
 pub mod decoder;
 pub mod encoder;
+pub mod farm;
 pub mod latency;
 pub mod layered;
 pub mod quantized;
@@ -63,10 +65,14 @@ pub use channel::{ChannelStress, MlcReadChannel, PageKind, SoftSensingConfig};
 pub use code::{CodeError, QcLdpcCode};
 pub use decoder::{DecodeOutcome, DecoderGraph, MinSumDecoder};
 pub use encoder::{encode, random_info, EncodeError};
+pub use farm::{measure_iteration_profile, DecodeFarm, DecodeRequest, DecodeVerdict, FarmConfig};
 pub use latency::{IterationProfile, ReadLatencyModel, ReadStageCosts};
 pub use layered::LayeredDecoder;
-pub use quantized::{BatchOutcome, DecoderWorkspace, LlrQuantizer, QuantizedMinSumDecoder, Q_MAX};
+pub use quantized::{
+    BatchOutcome, DecodeKernel, DecoderWorkspace, LlrQuantizer, QuantizedMinSumDecoder, Schedule,
+    Q_MAX,
+};
 pub use sensing::{
-    decode_success_rate, measure_fer, measure_fer_observed, minimum_levels, FerMeasurement,
-    FerStats, SensingSchedule, FER_BATCH,
+    decode_success_rate, measure_fer, measure_fer_farm, measure_fer_observed, measure_fer_until,
+    minimum_levels, FerMeasurement, FerStats, SensingSchedule, FER_BATCH,
 };

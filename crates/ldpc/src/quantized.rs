@@ -24,11 +24,71 @@
 //! does not flip a marginal message — see `tests/quantized_parity.rs` for
 //! the statistical FER-parity bound.
 
+use std::sync::OnceLock;
+
 use crate::decoder::{DecodeOutcome, DecoderGraph};
 
 /// Saturation magnitude of quantized LLRs and messages: 6-bit symmetric,
 /// i.e. values in `[-31, 31]`.
 pub const Q_MAX: i8 = 31;
+
+/// Message-passing schedule of the quantized decoder.
+///
+/// The schedule changes *how fast* frames converge (layered typically
+/// halves the sweep count) but not *whether* the datapath is exact: each
+/// schedule is implemented identically by both [`DecodeKernel`]s, so
+/// outcomes are kernel-independent bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Two-phase flooding: every check reads the previous iteration's
+    /// messages. The reproduction's original (PR 2) schedule.
+    Flooding,
+    /// Row-staggered (layered) schedule: checks are processed
+    /// sequentially and update the posterior immediately, so later checks
+    /// in the same sweep see refreshed information — typically ~half the
+    /// iterations of flooding at identical error-rate performance.
+    Layered,
+}
+
+/// Inner-loop implementation executing the quantized message passing.
+///
+/// Both kernels compute the same integer algorithm; for any frame whose
+/// quantized LLRs fit the ±[`Q_MAX`] domain (everything the
+/// [`LlrQuantizer`] produces) their per-lane outcomes — success,
+/// iteration count and every hard bit — are **bit-identical**. Inputs
+/// outside that domain silently fall back to [`I8Soa`](Self::I8Soa),
+/// which handles the full `i8` range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeKernel {
+    /// `i8` structure-of-arrays lane loops, relying on auto-vectorization
+    /// across the batch dimension. The reference implementation.
+    I8Soa,
+    /// u64 bit-plane (bit-sliced) kernel: magnitudes live in five
+    /// bit-planes, 64 codeword lanes per machine word, and the min/sign
+    /// reductions are pure boolean algebra — see [`crate::bitplane`].
+    BitPlane,
+}
+
+impl DecodeKernel {
+    /// Environment variable selecting the process-wide default kernel:
+    /// `bitplane` or `i8` (alias `i8-soa`). Unset or unrecognized values
+    /// keep the built-in default ([`BitPlane`](Self::BitPlane)); because
+    /// the kernels are bit-exact peers, flipping the variable never
+    /// changes results, only throughput.
+    pub const ENV: &'static str = "FLEXLEVEL_DECODE_KERNEL";
+
+    /// The process-wide default kernel: [`Self::ENV`] if set, otherwise
+    /// the bit-plane kernel. Read once and cached for the process
+    /// lifetime.
+    pub fn from_env() -> DecodeKernel {
+        static CACHE: OnceLock<DecodeKernel> = OnceLock::new();
+        *CACHE.get_or_init(|| match std::env::var(DecodeKernel::ENV).as_deref() {
+            Ok("i8") | Ok("i8-soa") => DecodeKernel::I8Soa,
+            Ok("bitplane") => DecodeKernel::BitPlane,
+            _ => DecodeKernel::BitPlane,
+        })
+    }
+}
 
 /// Maps f32 channel LLRs onto the decoder's `i8` domain.
 ///
@@ -93,21 +153,27 @@ impl Default for LlrQuantizer {
 #[derive(Debug, Default)]
 pub struct DecoderWorkspace {
     // Quantized batch state, structure-of-arrays with lane stride = batch.
-    q_v2c: Vec<i8>,
-    q_c2v: Vec<i8>,
-    q_total: Vec<i16>,
-    hard: Vec<u8>,
-    hard_out: Vec<u8>,
+    pub(crate) q_v2c: Vec<i8>,
+    pub(crate) q_c2v: Vec<i8>,
+    pub(crate) q_total: Vec<i16>,
+    pub(crate) hard: Vec<u8>,
+    pub(crate) hard_out: Vec<u8>,
     // Per-lane check-node scratch.
-    min1: Vec<i16>,
-    min2: Vec<i16>,
-    sign: Vec<u8>,
-    parity: Vec<u8>,
-    unsat: Vec<u8>,
+    pub(crate) min1: Vec<i16>,
+    pub(crate) min2: Vec<i16>,
+    pub(crate) sign: Vec<u8>,
+    pub(crate) parity: Vec<u8>,
+    pub(crate) unsat: Vec<u8>,
     // Per-lane outcome state.
-    done: Vec<u8>,
-    success: Vec<u8>,
-    iterations: Vec<u32>,
+    pub(crate) done: Vec<u8>,
+    pub(crate) success: Vec<u8>,
+    pub(crate) iterations: Vec<u32>,
+    // Layered-schedule state: i16 posteriors plus a per-check row of
+    // saturated variable-to-check messages.
+    pub(crate) q_post: Vec<i16>,
+    pub(crate) q_vrow: Vec<i8>,
+    // Bit-plane kernel state (u64 planes, 64 lanes per word).
+    pub(crate) bp: crate::bitplane::PlaneBuffers,
     // f32 scalar state for `MinSumDecoder::decode_with`.
     v2c_f: Vec<f32>,
     c2v_f: Vec<f32>,
@@ -141,6 +207,11 @@ impl DecoderWorkspace {
         grow(&mut self.done, batch);
         grow(&mut self.success, batch);
         grow(&mut self.iterations, batch);
+    }
+
+    pub(crate) fn ensure_layered(&mut self, bits: usize, batch: usize, max_check_degree: usize) {
+        grow(&mut self.q_post, bits * batch);
+        grow(&mut self.q_vrow, max_check_degree * batch);
     }
 
     pub(crate) fn ensure_scalar_f32(&mut self, edges: usize, bits: usize) {
@@ -237,15 +308,50 @@ impl BatchOutcome<'_> {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuantizedMinSumDecoder {
-    /// Maximum flooding iterations before declaring failure.
+    /// Maximum iterations (flooding) / sweeps (layered) before declaring
+    /// failure.
     pub max_iterations: u32,
+    /// Message-passing schedule. Changes convergence speed (and therefore
+    /// outcomes); part of any determinism contract built on this decoder.
+    pub schedule: Schedule,
+    /// Inner-loop kernel. Bit-exact peers — switching kernels never
+    /// changes outcomes, only throughput.
+    pub kernel: DecodeKernel,
 }
 
 impl QuantizedMinSumDecoder {
-    /// The reproduction's configuration: 30 iterations. The normalization
-    /// is fixed at α = 3/4, computed exactly as `(3·m) >> 2`.
+    /// The reproduction's configuration: 30 iterations, flooding
+    /// schedule, kernel from [`DecodeKernel::from_env`]. The
+    /// normalization is fixed at α = 3/4, computed exactly as
+    /// `(3·m) >> 2`.
     pub fn new() -> QuantizedMinSumDecoder {
-        QuantizedMinSumDecoder { max_iterations: 30 }
+        QuantizedMinSumDecoder {
+            max_iterations: 30,
+            schedule: Schedule::Flooding,
+            kernel: DecodeKernel::from_env(),
+        }
+    }
+
+    /// Returns the decoder with a different iteration/sweep cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: u32) -> QuantizedMinSumDecoder {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Returns the decoder on a different schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> QuantizedMinSumDecoder {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Returns the decoder pinned to a specific kernel (overriding the
+    /// [`DecodeKernel::from_env`] default).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: DecodeKernel) -> QuantizedMinSumDecoder {
+        self.kernel = kernel;
+        self
     }
 
     /// Decodes a single codeword of quantized LLRs (positive ⇒ bit 0).
@@ -290,6 +396,60 @@ impl QuantizedMinSumDecoder {
             "LLR length must match codeword length times batch"
         );
         ws.ensure_batch(edges, n, batch);
+        // The bit-plane kernel stores magnitudes in five planes, so it
+        // requires the ±Q_MAX domain the quantizer produces; raw caller
+        // inputs outside it fall back to the full-range reference kernel.
+        // It also retires a fixed 64 lanes per machine word, so batches
+        // that cannot fill one lane group would mostly decode padding —
+        // those run the reference kernel too. Both demotions are
+        // invisible in the outputs: the kernels are bit-exact peers.
+        let kernel = match self.kernel {
+            DecodeKernel::BitPlane
+                if batch >= crate::bitplane::LANES
+                    && qllrs.iter().all(|&q| q.unsigned_abs() <= Q_MAX as u8) =>
+            {
+                DecodeKernel::BitPlane
+            }
+            _ => DecodeKernel::I8Soa,
+        };
+        match (self.schedule, kernel) {
+            (Schedule::Flooding, DecodeKernel::I8Soa) => self.flood_i8(graph, qllrs, batch, ws),
+            (Schedule::Layered, DecodeKernel::I8Soa) => crate::layered::decode_batch_layered_i8(
+                graph,
+                qllrs,
+                batch,
+                self.max_iterations,
+                ws,
+            ),
+            (schedule, DecodeKernel::BitPlane) => crate::bitplane::decode_batch_planes(
+                graph,
+                qllrs,
+                batch,
+                self.max_iterations,
+                schedule,
+                ws,
+            ),
+        }
+        BatchOutcome {
+            batch,
+            bits: n,
+            success: &ws.success[..batch],
+            iterations: &ws.iterations[..batch],
+            hard: &ws.hard_out[..n * batch],
+        }
+    }
+
+    /// The PR 2 reference kernel: flooding schedule over `i8`
+    /// structure-of-arrays lanes.
+    fn flood_i8(
+        &self,
+        graph: &DecoderGraph,
+        qllrs: &[i8],
+        batch: usize,
+        ws: &mut DecoderWorkspace,
+    ) {
+        let n = graph.bit_count();
+        let edges = graph.edge_count();
         // Exact-length local slices: every lane loop below runs over
         // equal-length slices via `zip`, which compiles to branch-free,
         // bounds-check-free code that auto-vectorizes across the batch.
@@ -398,48 +558,84 @@ impl QuantizedMinSumDecoder {
                     *u |= p;
                 }
             }
-            let frozen_before = batch - remaining;
-            for lane in 0..batch {
-                if done[lane] == 0 && unsat[lane] == 0 {
-                    done[lane] = 1;
-                    success[lane] = 1;
-                    lane_iterations[lane] = iter;
-                    remaining -= 1;
-                }
-            }
-            if remaining == 0 && frozen_before == 0 {
-                // Everyone converged together (the clean-page common case):
-                // snapshot the whole batch in one pass.
-                hard_out.copy_from_slice(hard);
-                break;
-            }
-            for lane in 0..batch {
-                if done[lane] != 0 && lane_iterations[lane] == iter {
-                    for b in 0..n {
-                        hard_out[b * batch + lane] = hard[b * batch + lane];
-                    }
-                }
-            }
-            if remaining == 0 {
+            if freeze_lanes(
+                n,
+                batch,
+                iter,
+                unsat,
+                done,
+                success,
+                lane_iterations,
+                hard,
+                hard_out,
+                &mut remaining,
+            ) {
                 break;
             }
         }
-        // Lanes that never converged report the executed iteration count
-        // and their final (failed) hard decision.
-        for lane in 0..batch {
-            if done[lane] == 0 {
-                lane_iterations[lane] = iterations;
-                for b in 0..n {
-                    hard_out[b * batch + lane] = hard[b * batch + lane];
-                }
+        finish_failed(n, batch, iterations, done, lane_iterations, hard, hard_out);
+    }
+}
+
+/// Freezes every newly converged lane: marks it done/successful, records
+/// its iteration count and snapshots its hard decision. Returns `true`
+/// once every lane is frozen. Shared verbatim by the flooding and layered
+/// `i8` kernels so their per-lane outcome semantics are identical.
+#[allow(clippy::too_many_arguments)] // a hot-loop helper over workspace slices
+pub(crate) fn freeze_lanes(
+    n: usize,
+    batch: usize,
+    iter: u32,
+    unsat: &[u8],
+    done: &mut [u8],
+    success: &mut [u8],
+    lane_iterations: &mut [u32],
+    hard: &[u8],
+    hard_out: &mut [u8],
+    remaining: &mut usize,
+) -> bool {
+    let frozen_before = batch - *remaining;
+    for lane in 0..batch {
+        if done[lane] == 0 && unsat[lane] == 0 {
+            done[lane] = 1;
+            success[lane] = 1;
+            lane_iterations[lane] = iter;
+            *remaining -= 1;
+        }
+    }
+    if *remaining == 0 && frozen_before == 0 {
+        // Everyone converged together (the clean-page common case):
+        // snapshot the whole batch in one pass.
+        hard_out.copy_from_slice(hard);
+        return true;
+    }
+    for lane in 0..batch {
+        if done[lane] != 0 && lane_iterations[lane] == iter {
+            for b in 0..n {
+                hard_out[b * batch + lane] = hard[b * batch + lane];
             }
         }
-        BatchOutcome {
-            batch,
-            bits: n,
-            success,
-            iterations: lane_iterations,
-            hard: hard_out,
+    }
+    *remaining == 0
+}
+
+/// Lanes that never converged report the executed iteration count and
+/// their final (failed) hard decision.
+pub(crate) fn finish_failed(
+    n: usize,
+    batch: usize,
+    iterations: u32,
+    done: &[u8],
+    lane_iterations: &mut [u32],
+    hard: &[u8],
+    hard_out: &mut [u8],
+) {
+    for lane in 0..batch {
+        if done[lane] == 0 {
+            lane_iterations[lane] = iterations;
+            for b in 0..n {
+                hard_out[b * batch + lane] = hard[b * batch + lane];
+            }
         }
     }
 }
@@ -599,7 +795,7 @@ mod tests {
     fn fails_gracefully_under_extreme_noise() {
         let code = QcLdpcCode::small_test_code();
         let graph = DecoderGraph::new(&code);
-        let decoder = QuantizedMinSumDecoder { max_iterations: 10 };
+        let decoder = QuantizedMinSumDecoder::new().with_max_iterations(10);
         let mut rng = StdRng::seed_from_u64(6);
         let cw = encode(&code, &random_info(&code, &mut rng)).unwrap();
         let qllrs = bsc_qllrs(&cw, 0.3, 4.0, &mut rng);

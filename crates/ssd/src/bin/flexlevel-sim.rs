@@ -32,6 +32,10 @@
 //!   --fault-seed N  fault-stream seed (default model seed)
 //!   --scrub-interval N   host requests between patrol-scrub visits
 //!                        (0 disables the scrubber)
+//!   --measured-iterations   calibrate the decode-latency model from the
+//!                        real quantized decoder (layered schedule, one
+//!                        decode-farm pass sized by --decoders) instead
+//!                        of the analytic iteration curve
 //!   --metrics-out F Prometheus text exposition of the run's metrics
 //!   --trace-out F   Chrome trace_event JSON (load in Perfetto / about:tracing)
 //!   --trace-jsonl F one JSON object per sampled read span
@@ -44,6 +48,11 @@
 //! recorder; without them the simulator runs with observability fully
 //! disabled — the zero-overhead default.
 
+use flash_model::{Hours, LevelConfig};
+use ldpc::{
+    measure_iteration_profile, ChannelStress, FarmConfig, IterationProfile, LlrQuantizer,
+    MlcReadChannel, PageKind, QcLdpcCode, QuantizedMinSumDecoder, Schedule, SoftSensingConfig,
+};
 use obs::{export, Recorder};
 use rand::{rngs::StdRng, SeedableRng};
 use reliability::EccConfig;
@@ -71,6 +80,7 @@ struct Args {
     scrub_interval: Option<u64>,
     scenario: Option<String>,
     footprint: Option<u64>,
+    measured_iterations: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
     trace_jsonl: Option<String>,
@@ -109,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
         scrub_interval: None,
         scenario: None,
         footprint: None,
+        measured_iterations: false,
         metrics_out: None,
         trace_out: None,
         trace_jsonl: None,
@@ -210,6 +221,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--footprint: {e}"))?,
                 )
             }
+            "--measured-iterations" => args.measured_iterations = true,
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--trace-jsonl" => args.trace_jsonl = Some(value("--trace-jsonl")?),
@@ -238,6 +250,7 @@ fn print_usage() {
                 [--decoders N] [--all-schemes] [--faults]\n\
                 [--fault-scale X] [--fault-seed N] [--scrub-interval N]\n\
                 [--scenario NAME] [--list-scenarios] [--footprint N]\n\
+                [--measured-iterations]\n\
                 [--metrics-out metrics.prom] [--trace-out trace.json]\n\
                 [--trace-jsonl spans.jsonl] [--trace-sample N]"
     );
@@ -290,6 +303,7 @@ fn run_one(
     args: &Args,
     trace: &workloads::Trace,
     observe: bool,
+    measured: Option<IterationProfile>,
 ) -> Option<Option<Recorder>> {
     let mut config = SsdConfig::scaled(scheme, args.blocks)
         .with_base_pe(args.pe)
@@ -298,6 +312,9 @@ fn run_one(
         .with_timing_model(args.timing)
         .with_dies_per_channel(args.dies)
         .with_decoder_slots(args.decoders);
+    if let Some(profile) = measured {
+        config = config.with_measured_iterations(profile);
+    }
     if args.faults {
         config = config.with_faults(args.fault_config());
     }
@@ -628,6 +645,50 @@ fn stage_panel(recorder: &Recorder, schemes: &[Scheme]) -> String {
     render_table(&header, &rows)
 }
 
+/// Calibrates the decode-latency iteration profile with the real
+/// quantized decoder (`--measured-iterations`): all sensing depths'
+/// frames go through one [`DecodeFarm`](ldpc::DecodeFarm) queue sized
+/// like the controller (`--decoders` workers), on the layered schedule
+/// the hardware model assumes. The stress point is the run's starting
+/// P/E at one month of retention — the harsh corner the paper's Table 5
+/// ladder is measured at. Deterministic in `--seed`.
+fn calibrate_iteration_profile(args: &Args) -> IterationProfile {
+    const TRIALS_PER_LEVEL: u32 = 16;
+    let code = QcLdpcCode::paper_code();
+    let decoder = QuantizedMinSumDecoder::new().with_schedule(Schedule::Layered);
+    let stress = ChannelStress::retention(args.pe, Hours::months(1.0));
+    let (profile, ladder) = measure_iteration_profile(
+        &code,
+        &decoder,
+        &LlrQuantizer::default(),
+        (IterationProfile::SLOTS - 1) as u32,
+        TRIALS_PER_LEVEL,
+        args.seed,
+        FarmConfig::default().with_workers(args.decoders.max(1)),
+        |extra| {
+            MlcReadChannel::build_cached(
+                &LevelConfig::normal_mlc(),
+                PageKind::Lower,
+                stress,
+                SoftSensingConfig::soft(extra),
+                20_000,
+                args.seed ^ 0xCA11_B8A7 ^ u64::from(extra),
+            )
+        },
+    );
+    let means: Vec<String> = ladder
+        .iter()
+        .map(|rung| format!("{}:{:.1}", rung.extra_levels, rung.mean_iterations))
+        .collect();
+    println!(
+        "measured iteration profile (P/E {}, 1 month, layered, {} frames/level): {}\n",
+        args.pe,
+        TRIALS_PER_LEVEL,
+        means.join(" ")
+    );
+    profile
+}
+
 /// Writes `contents` to `path`, exiting with a message on failure.
 fn write_output(path: &str, contents: &str, what: &str) {
     if let Err(e) = std::fs::write(path, contents) {
@@ -678,12 +739,15 @@ fn main() {
     } else {
         vec![args.scheme]
     };
+    let measured = args
+        .measured_iterations
+        .then(|| calibrate_iteration_profile(&args));
     let mut failed = Vec::new();
     // Recorders merge in scheme order — a fixed order, so the combined
     // registry and trace are independent of anything but the runs.
     let mut combined: Option<Recorder> = None;
     for &scheme in &schemes {
-        match run_one(scheme, &args, &trace, observe) {
+        match run_one(scheme, &args, &trace, observe, measured) {
             None => failed.push(scheme.label()),
             Some(None) => {}
             Some(Some(recorder)) => match combined.as_mut() {
