@@ -1,0 +1,185 @@
+//! Multi-tenant serving benchmark: wall-clock throughput of the
+//! generator-driven scheduler and the modelled per-tenant tail latency
+//! it produces.
+//!
+//! One point per (tenant count × timing backend): *sim_rps* is the
+//! wall-clock host requests pushed through the open-loop source, the
+//! QoS admission layer and the timing backend per second — the cost of
+//! the serving machinery itself; *victim_p99_us* / *worst_p99_us* are
+//! tenant 0's and the worst tenant's modelled p99 response, tracking how
+//! tail isolation behaves as tenants pile onto the shared device. Prints
+//! criterion-style timings, then writes a machine-readable
+//! `BENCH_serve.json` (hand-formatted — the build has no serde_json).
+//!
+//! Env knobs: `BENCH_QUICK=1` shrinks the workload for CI smoke runs;
+//! `BENCH_SERVE_OUT` overrides the JSON path.
+//!
+//! Run: `cargo bench -p bench --bench serve`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use ssd::{Scheme, ServeOptions, SimStats, SsdConfig, SsdSimulator, TenantQos, TimingModel};
+use workloads::{OpenLoopSource, TenantWorkload};
+
+const BLOCKS: u32 = 64;
+const SEED: u64 = 0x5E4E;
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn config_for(model: TimingModel) -> SsdConfig {
+    SsdConfig::scaled(Scheme::FlexLevel, BLOCKS)
+        .with_base_pe(6000)
+        .with_seed(7)
+        .with_timing_model(model)
+        .with_dies_per_channel(4)
+        .with_decoder_slots(2)
+}
+
+/// `tenants` equal-rate profiles over disjoint working sets; the
+/// aggregate arrival rate stays fixed so adding tenants raises
+/// interleaving pressure, not offered load.
+fn profiles(tenants: u32, requests_per_tenant: u64) -> Vec<TenantWorkload> {
+    let working_set = 2_048 / u64::from(tenants);
+    let rate = 2_400.0 / f64::from(tenants);
+    (0..tenants)
+        .map(|t| {
+            TenantWorkload::new(u64::from(t) * working_set, working_set, rate)
+                .with_requests(requests_per_tenant)
+        })
+        .collect()
+}
+
+fn run_serve(model: TimingModel, tenants: u32, requests_per_tenant: u64) -> SimStats {
+    let mut sim = SsdSimulator::new(config_for(model));
+    let mut source = OpenLoopSource::new(profiles(tenants, requests_per_tenant), SEED);
+    let options = ServeOptions::uniform(
+        tenants,
+        TenantQos::default()
+            .with_queue_depth(32)
+            .with_slo_us(2_000.0),
+    );
+    sim.serve(&mut source, &options)
+        .expect("serving run succeeds")
+        .clone()
+}
+
+struct ServePoint {
+    model: TimingModel,
+    tenants: u32,
+    /// Wall-clock host requests served per second (scheduler speed).
+    sim_rps: f64,
+    /// Tenant 0's modelled p99 response in µs.
+    victim_p99_us: f64,
+    /// Worst per-tenant modelled p99 response in µs.
+    worst_p99_us: f64,
+}
+
+/// Best-of-`reps` wall-clock serving speed plus the modelled tails.
+fn measure(model: TimingModel, tenants: u32, requests: u64, reps: usize) -> ServePoint {
+    let stats = run_serve(model, tenants, requests); // warmup + modelled numbers
+    let total = requests * u64::from(tenants);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(run_serve(model, tenants, requests));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let worst = stats
+        .tenants
+        .iter()
+        .map(|t| t.p99().as_f64())
+        .fold(0.0f64, f64::max);
+    ServePoint {
+        model,
+        tenants,
+        sim_rps: total as f64 / best,
+        victim_p99_us: stats.tenants[0].p99().as_f64(),
+        worst_p99_us: worst,
+    }
+}
+
+fn write_json(path: &str, quick: bool, requests: u64, points: &[ServePoint]) {
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"tenants\": {}, \"sim_rps\": {:.3}, ",
+                "\"victim_p99_us\": {:.3}, \"worst_p99_us\": {:.3}}}"
+            ),
+            p.model.label(),
+            p.tenants,
+            p.sim_rps,
+            p.victim_p99_us,
+            p.worst_p99_us
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"quick\": {},\n",
+            "  \"requests_per_tenant\": {},\n",
+            "  \"blocks\": {},\n",
+            "  \"points\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        quick, requests, BLOCKS, rows
+    );
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+    println!("\nwrote {path}");
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (requests, reps, samples) = if quick_mode() {
+        (1_000u64, 2, 3)
+    } else {
+        (6_000u64, 3, 5)
+    };
+    let tenant_counts = [1u32, 2, 4];
+
+    // Criterion view: one full serving run per iteration per point.
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(samples);
+    for model in [TimingModel::SingleQueue, TimingModel::Pipelined] {
+        for &tenants in &tenant_counts {
+            group.bench_function(
+                BenchmarkId::new(model.label(), format!("{tenants}t")),
+                |b| b.iter(|| std::hint::black_box(run_serve(model, tenants, requests))),
+            );
+        }
+    }
+    group.finish();
+
+    // Machine-readable view.
+    let mut points = Vec::new();
+    for model in [TimingModel::SingleQueue, TimingModel::Pipelined] {
+        for &tenants in &tenant_counts {
+            points.push(measure(model, tenants, requests, reps));
+        }
+    }
+    println!("\n== {requests} requests/tenant, best of {reps} reps");
+    for p in &points {
+        println!(
+            "{:>12} x{}: serve {:>10.0} req/s   victim p99 {:>9.1} us   worst p99 {:>9.1} us",
+            p.model.label(),
+            p.tenants,
+            p.sim_rps,
+            p.victim_p99_us,
+            p.worst_p99_us
+        );
+    }
+    let path = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    write_json(&path, quick_mode(), requests, &points);
+}
+
+criterion_group!(benches, bench_serve);
+
+fn main() {
+    benches();
+}

@@ -3,8 +3,11 @@
 //! One decode engine shared by every producer of codewords: Monte-Carlo
 //! FER sweeps ([`measure_fer_farm`](crate::sensing::measure_fer_farm)),
 //! iteration-profile calibration ([`measure_iteration_profile`]) and the
-//! SSD simulator's decoder pool (`flexlevel-sim --measured-iterations`
-//! sizes the farm from `SsdConfig::decoder_slots`). Frames from all
+//! SSD simulator's decoder pool (`flexlevel-sim --measured-iterations`).
+//! The farm's worker count comes from the same knob as every other
+//! thread pool in the workspace: an explicit request wins, otherwise
+//! `FLEXLEVEL_THREADS`, otherwise the machine
+//! ([`reliability::mc::resolve_threads`]). Frames from all
 //! producers are packed **in submission order** into batch-sized
 //! structure-of-arrays jobs, so batches fill completely instead of each
 //! producer running half-empty batches of its own; worker threads then
@@ -39,8 +42,8 @@ use crate::sensing::FerMeasurement;
 pub struct FarmConfig {
     /// Worker threads; `0` = auto (`reliability::mc::resolve_threads`,
     /// i.e. `FLEXLEVEL_THREADS` or the machine). Has **no** effect on
-    /// results, only wall-clock — the simulator passes its
-    /// `decoder_slots` here.
+    /// results, only wall-clock — the simulator forwards its unified
+    /// `--threads` knob here.
     pub workers: u32,
     /// Lanes per batch job. The bit-plane kernel retires 64 lanes per
     /// machine word, so the default is 64. Also result-neutral.
@@ -57,8 +60,8 @@ impl Default for FarmConfig {
 }
 
 impl FarmConfig {
-    /// Returns the config with an explicit worker count (e.g. the
-    /// simulator's decoder-slot count).
+    /// Returns the config with an explicit worker count
+    /// (`0` keeps the auto behaviour).
     #[must_use]
     pub fn with_workers(mut self, workers: u32) -> FarmConfig {
         self.workers = workers;

@@ -163,7 +163,7 @@ fn span_json(span: &ReadSpan) -> String {
     }
     format!(
         concat!(
-            "{{\"seq\":{},\"lpn\":{},\"scheme\":\"{}\",\"arrival_us\":{},",
+            "{{\"seq\":{},\"lpn\":{},\"scheme\":\"{}\",\"tenant\":{},\"arrival_us\":{},",
             "\"start_us\":{},\"response_us\":{},\"sensing_levels\":{},",
             "\"decode_iterations\":{},\"retry_rungs\":{},\"outcome\":\"{}\",",
             "\"stages\":[{}]}}"
@@ -171,6 +171,7 @@ fn span_json(span: &ReadSpan) -> String {
         span.seq,
         span.lpn,
         escape(span.scheme),
+        span.tenant,
         span.arrival_us,
         span.start_us,
         span.response_us,
@@ -227,7 +228,7 @@ pub fn chrome_trace(buffer: &SpanBuffer) -> String {
             concat!(
                 "{{\"name\":\"read lpn={}\",\"cat\":\"read\",\"ph\":\"X\",",
                 "\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{",
-                "\"seq\":{},\"sensing_levels\":{},\"decode_iterations\":{},",
+                "\"seq\":{},\"tenant\":{},\"sensing_levels\":{},\"decode_iterations\":{},",
                 "\"retry_rungs\":{},\"outcome\":\"{}\"}}}}"
             ),
             span.lpn,
@@ -235,6 +236,7 @@ pub fn chrome_trace(buffer: &SpanBuffer) -> String {
             span.arrival_us,
             span.response_us,
             span.seq,
+            span.tenant,
             span.sensing_levels,
             span.decode_iterations,
             span.retry_rungs,
@@ -270,6 +272,7 @@ mod tests {
             seq: 0,
             lpn: 42,
             scheme: "flexlevel",
+            tenant: 0,
             arrival_us: 10.0,
             start_us: 12.5,
             response_us: 132.5,

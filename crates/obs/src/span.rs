@@ -59,6 +59,8 @@ pub struct ReadSpan {
     pub lpn: u64,
     /// Sensing-scheme label the run was configured with.
     pub scheme: &'static str,
+    /// Tenant the request belongs to (0 for single-client replay runs).
+    pub tenant: u32,
     /// Request arrival time in µs.
     pub arrival_us: f64,
     /// Time service began in µs (arrival + queueing delay).
@@ -199,6 +201,7 @@ mod tests {
             seq,
             lpn: seq * 7,
             scheme,
+            tenant: 0,
             arrival_us: seq as f64,
             start_us: seq as f64 + 0.5,
             response_us: 130.0,

@@ -7,6 +7,9 @@
 //!                 [--timing single|pipelined] [--dies N] [--decoders N]
 //!                 [--faults] [--fault-scale X] [--fault-seed N]
 //!                 [--scrub-interval N] [--scenario NAME] [--footprint N]
+//!                 [--serve] [--tenants N] [--arrival-rate R[,R...]]
+//!                 [--queue-depth N] [--slo-us X] [--overload drop|defer]
+//!                 [--threads N]
 //!
 //!   --scheme S      baseline | ldpc | la-only | flexlevel   (default flexlevel)
 //!   --scenario NAME run a named scenario preset (cell technology, fault
@@ -32,9 +35,23 @@
 //!   --fault-seed N  fault-stream seed (default model seed)
 //!   --scrub-interval N   host requests between patrol-scrub visits
 //!                        (0 disables the scrubber)
+//!   --serve         multi-tenant open-loop serving instead of trace
+//!                   replay: each tenant submits at its own rate into a
+//!                   private Zipf working set; per-tenant QoS applies
+//!   --tenants N     number of open-loop tenants (serve mode, default 2)
+//!   --arrival-rate R[,R...]  per-tenant Poisson arrival rate in req/s;
+//!                   a shorter list cycles across tenants (default 10000)
+//!   --queue-depth N per-tenant in-flight cap; 0 = unlimited (default 0)
+//!   --slo-us X      per-tenant response-time SLO target in µs;
+//!                   0 disables violation counting (default 0)
+//!   --overload M    drop (reject over-cap arrivals) | defer (hold them,
+//!                   wait charged to response time)     (default drop)
+//!   --threads N     worker threads for decode-farm / sweep fan-out;
+//!                   0 = auto (FLEXLEVEL_THREADS or machine, default 0).
+//!                   Never affects results, only wall-clock.
 //!   --measured-iterations   calibrate the decode-latency model from the
 //!                        real quantized decoder (layered schedule, one
-//!                        decode-farm pass sized by --decoders) instead
+//!                        decode-farm pass sized by --threads) instead
 //!                        of the analytic iteration curve
 //!   --metrics-out F Prometheus text exposition of the run's metrics
 //!   --trace-out F   Chrome trace_event JSON (load in Perfetto / about:tracing)
@@ -57,10 +74,10 @@ use obs::{export, Recorder};
 use rand::{rngs::StdRng, SeedableRng};
 use reliability::EccConfig;
 use ssd::{
-    FaultConfig, ScenarioSpec, Scheme, SimObserver, SimStats, SsdConfig, SsdSimulator, StageKind,
-    TimingModel,
+    FaultConfig, OverloadPolicy, ScenarioSpec, Scheme, ServeOptions, SimObserver, SimStats,
+    SsdConfig, SsdSimulator, StageKind, TenantQos, TimingModel,
 };
-use workloads::WorkloadSpec;
+use workloads::{OpenLoopSource, TenantWorkload, WorkloadSpec};
 
 struct Args {
     scheme: Scheme,
@@ -85,6 +102,13 @@ struct Args {
     trace_out: Option<String>,
     trace_jsonl: Option<String>,
     trace_sample: usize,
+    serve: bool,
+    tenants: u32,
+    arrival_rates: Vec<f64>,
+    queue_depth: u32,
+    slo_us: f64,
+    overload: OverloadPolicy,
+    threads: u32,
 }
 
 impl Args {
@@ -124,6 +148,13 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         trace_jsonl: None,
         trace_sample: 0,
+        serve: false,
+        tenants: 2,
+        arrival_rates: vec![10_000.0],
+        queue_depth: 0,
+        slo_us: 0.0,
+        overload: OverloadPolicy::Drop,
+        threads: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -221,6 +252,57 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--footprint: {e}"))?,
                 )
             }
+            "--serve" => args.serve = true,
+            "--tenants" => {
+                args.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+                if args.tenants == 0 {
+                    return Err("--tenants must be at least 1".to_string());
+                }
+            }
+            "--arrival-rate" => {
+                args.arrival_rates = value("--arrival-rate")?
+                    .split(',')
+                    .map(|r| {
+                        r.trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("--arrival-rate: {e}"))
+                            .and_then(|rate| {
+                                if rate.is_finite() && rate > 0.0 {
+                                    Ok(rate)
+                                } else {
+                                    Err(format!("--arrival-rate: {rate} is not a positive rate"))
+                                }
+                            })
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?;
+                if args.arrival_rates.is_empty() {
+                    return Err("--arrival-rate needs at least one rate".to_string());
+                }
+            }
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--slo-us" => {
+                args.slo_us = value("--slo-us")?
+                    .parse()
+                    .map_err(|e| format!("--slo-us: {e}"))?
+            }
+            "--overload" => {
+                args.overload = match value("--overload")?.as_str() {
+                    "drop" => OverloadPolicy::Drop,
+                    "defer" => OverloadPolicy::Defer,
+                    other => return Err(format!("unknown overload policy '{other}'")),
+                }
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--measured-iterations" => args.measured_iterations = true,
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
@@ -250,7 +332,9 @@ fn print_usage() {
                 [--decoders N] [--all-schemes] [--faults]\n\
                 [--fault-scale X] [--fault-seed N] [--scrub-interval N]\n\
                 [--scenario NAME] [--list-scenarios] [--footprint N]\n\
-                [--measured-iterations]\n\
+                [--serve] [--tenants N] [--arrival-rate R[,R...]]\n\
+                [--queue-depth N] [--slo-us X] [--overload drop|defer]\n\
+                [--threads N] [--measured-iterations]\n\
                 [--metrics-out metrics.prom] [--trace-out trace.json]\n\
                 [--trace-jsonl spans.jsonl] [--trace-sample N]"
     );
@@ -294,24 +378,23 @@ fn print_recovery_panel(stats: &SimStats) {
     );
 }
 
-/// Runs one scheme and prints its report; returns `None` if the
-/// simulation failed (the caller finishes the remaining schemes and
-/// exits non-zero at the end) and the recorded observability data
-/// otherwise (`Some(None)` when observability is off).
-fn run_one(
+/// Builds the simulator for one scheme from the CLI flags; returns it
+/// together with whether fault injection ended up enabled (scenario
+/// presets can switch faults on without `--faults`).
+fn build_simulator(
     scheme: Scheme,
     args: &Args,
-    trace: &workloads::Trace,
-    observe: bool,
     measured: Option<IterationProfile>,
-) -> Option<Option<Recorder>> {
+    observe: bool,
+) -> (SsdSimulator, bool) {
     let mut config = SsdConfig::scaled(scheme, args.blocks)
         .with_base_pe(args.pe)
         .with_seed(args.seed)
         .with_channels(args.channels)
         .with_timing_model(args.timing)
         .with_dies_per_channel(args.dies)
-        .with_decoder_slots(args.decoders);
+        .with_decoder_slots(args.decoders)
+        .with_threads(args.threads);
     if let Some(profile) = measured {
         config = config.with_measured_iterations(profile);
     }
@@ -324,12 +407,26 @@ fn run_one(
         let spec = ScenarioSpec::find(name).expect("scenario validated at parse time");
         config = spec.apply(config);
     }
-    // Scenario presets can switch faults on without `--faults`.
     let faulty = config.faults.enabled;
     let mut sim = SsdSimulator::new(config);
     if observe {
         sim.attach_observer(SimObserver::new(scheme, args.trace_sample));
     }
+    (sim, faulty)
+}
+
+/// Runs one scheme and prints its report; returns `None` if the
+/// simulation failed (the caller finishes the remaining schemes and
+/// exits non-zero at the end) and the recorded observability data
+/// otherwise (`Some(None)` when observability is off).
+fn run_one(
+    scheme: Scheme,
+    args: &Args,
+    trace: &workloads::Trace,
+    observe: bool,
+    measured: Option<IterationProfile>,
+) -> Option<Option<Recorder>> {
+    let (mut sim, faulty) = build_simulator(scheme, args, measured, observe);
     match sim.run(trace) {
         Ok(_) => {
             let stats = sim.stats();
@@ -403,6 +500,96 @@ fn run_one(
         Err(e) => {
             eprintln!("--- {} ---", scheme.label());
             eprintln!("  simulation failed  : {e}");
+            None
+        }
+    }
+}
+
+/// The open-loop tenant profiles for `--serve`: the device footprint is
+/// split into disjoint per-tenant working sets, each inheriting the named
+/// workload's read mix, Zipf skew and request sizes, with `--requests`
+/// divided evenly across tenants and each tenant submitting Poisson
+/// arrivals at its `--arrival-rate` entry (a shorter list cycles).
+fn tenant_profiles(args: &Args, spec: &WorkloadSpec, footprint: u64) -> Vec<TenantWorkload> {
+    let working_set = (footprint / u64::from(args.tenants)).max(1);
+    let per_tenant_requests = (args.requests / u64::from(args.tenants)).max(1);
+    (0..args.tenants)
+        .map(|t| {
+            let rate = args.arrival_rates[t as usize % args.arrival_rates.len()];
+            TenantWorkload::new(u64::from(t) * working_set, working_set, rate)
+                .with_read_fraction(spec.read_fraction)
+                .with_zipf_theta(spec.zipf_theta)
+                .with_mean_request_pages(spec.mean_request_pages)
+                .with_requests(per_tenant_requests)
+        })
+        .collect()
+}
+
+/// Runs one scheme in `--serve` mode (multi-tenant open-loop generator
+/// through the QoS scheduler) and prints the per-tenant report. Same
+/// return contract as [`run_one`].
+fn run_serve(
+    scheme: Scheme,
+    args: &Args,
+    spec: &WorkloadSpec,
+    footprint: u64,
+    observe: bool,
+    measured: Option<IterationProfile>,
+) -> Option<Option<Recorder>> {
+    let (mut sim, _) = build_simulator(scheme, args, measured, observe);
+    let mut source = OpenLoopSource::new(tenant_profiles(args, spec, footprint), args.seed);
+    let qos = TenantQos::default()
+        .with_queue_depth(args.queue_depth)
+        .with_policy(args.overload)
+        .with_slo_us(args.slo_us);
+    let options = ServeOptions::uniform(args.tenants, qos);
+    match sim.serve(&mut source, &options) {
+        Ok(_) => {
+            let stats = sim.stats();
+            println!("--- {} ---", scheme.label());
+            println!("  mean response      : {}", stats.mean_response());
+            println!(
+                "  host requests      : {} ({} reads / {} writes)",
+                stats.host_requests(),
+                stats.host_reads,
+                stats.host_writes
+            );
+            let (mut dropped, mut deferred) = (0u64, 0u64);
+            for (t, tenant) in stats.tenants.iter().enumerate() {
+                println!(
+                    "  tenant {t} p50/p99/p999 : {} / {} / {}",
+                    tenant.p50(),
+                    tenant.p99(),
+                    tenant.p999()
+                );
+                println!(
+                    "  tenant {t} requests     : {} arrivals, {} served, {} dropped, {} deferred",
+                    tenant.arrivals, tenant.served, tenant.dropped, tenant.deferred
+                );
+                if tenant.slo_target_us > 0.0 {
+                    println!(
+                        "  tenant {t} SLO          : {} violations ({:.2}% of served, target {:.0} us)",
+                        tenant.slo_violations,
+                        tenant.slo_violation_rate() * 100.0,
+                        tenant.slo_target_us
+                    );
+                }
+                dropped += tenant.dropped;
+                deferred += tenant.deferred;
+            }
+            println!("  backpressure       : {dropped} dropped, {deferred} deferred");
+            if args.timing == TimingModel::Pipelined {
+                println!(
+                    "  makespan           : {:.0} us ({:.0} req/s)",
+                    stats.makespan_us,
+                    stats.throughput_rps()
+                );
+            }
+            Some(sim.take_observer().map(SimObserver::into_recorder))
+        }
+        Err(e) => {
+            eprintln!("--- {} ---", scheme.label());
+            eprintln!("  serving failed     : {e}");
             None
         }
     }
@@ -647,11 +834,13 @@ fn stage_panel(recorder: &Recorder, schemes: &[Scheme]) -> String {
 
 /// Calibrates the decode-latency iteration profile with the real
 /// quantized decoder (`--measured-iterations`): all sensing depths'
-/// frames go through one [`DecodeFarm`](ldpc::DecodeFarm) queue sized
-/// like the controller (`--decoders` workers), on the layered schedule
-/// the hardware model assumes. The stress point is the run's starting
-/// P/E at one month of retention — the harsh corner the paper's Table 5
-/// ladder is measured at. Deterministic in `--seed`.
+/// frames go through one [`DecodeFarm`](ldpc::DecodeFarm) queue on the
+/// layered schedule the hardware model assumes. Farm workers come from
+/// the unified thread knob (`--threads`, falling back to
+/// `FLEXLEVEL_THREADS` or the machine when 0) — worker count never
+/// affects the measured profile, only wall-clock. The stress point is
+/// the run's starting P/E at one month of retention — the harsh corner
+/// the paper's Table 5 ladder is measured at. Deterministic in `--seed`.
 fn calibrate_iteration_profile(args: &Args) -> IterationProfile {
     const TRIALS_PER_LEVEL: u32 = 16;
     let code = QcLdpcCode::paper_code();
@@ -664,7 +853,7 @@ fn calibrate_iteration_profile(args: &Args) -> IterationProfile {
         (IterationProfile::SLOTS - 1) as u32,
         TRIALS_PER_LEVEL,
         args.seed,
-        FarmConfig::default().with_workers(args.decoders.max(1)),
+        FarmConfig::default().with_workers(args.threads),
         |extra| {
             MlcReadChannel::build_cached(
                 &LevelConfig::normal_mlc(),
@@ -715,19 +904,45 @@ fn main() {
     let footprint = args
         .footprint
         .unwrap_or(config.geometry.logical_pages() * 7 / 10);
-    let trace = spec
-        .with_requests(args.requests)
-        .with_footprint(footprint)
-        .with_interarrival_scale(2.2)
-        .generate(&mut StdRng::seed_from_u64(args.seed));
-    println!(
-        "workload {} | {} requests | {:.0}% reads | footprint {} pages | P/E {}\n",
-        trace.name,
-        trace.len(),
-        trace.read_fraction() * 100.0,
-        trace.footprint_pages,
-        args.pe
-    );
+    let trace = (!args.serve).then(|| {
+        spec.clone()
+            .with_requests(args.requests)
+            .with_footprint(footprint)
+            .with_interarrival_scale(2.2)
+            .generate(&mut StdRng::seed_from_u64(args.seed))
+    });
+    match trace.as_ref() {
+        Some(trace) => println!(
+            "workload {} | {} requests | {:.0}% reads | footprint {} pages | P/E {}\n",
+            trace.name,
+            trace.len(),
+            trace.read_fraction() * 100.0,
+            trace.footprint_pages,
+            args.pe
+        ),
+        None => {
+            let rates: Vec<String> = (0..args.tenants)
+                .map(|t| {
+                    format!(
+                        "{:.0}",
+                        args.arrival_rates[t as usize % args.arrival_rates.len()]
+                    )
+                })
+                .collect();
+            println!(
+                "serving {} profile | {} tenants @ {} req/s | qd {} ({}) | \
+                 {} requests | footprint {} pages | P/E {}\n",
+                spec.name,
+                args.tenants,
+                rates.join("/"),
+                args.queue_depth,
+                args.overload.label(),
+                args.requests,
+                footprint,
+                args.pe
+            );
+        }
+    }
     // Observability is attached when an export was requested, or when the
     // multi-scheme comparison table (sourced from the registry) will run.
     let observe = args.metrics_out.is_some()
@@ -747,7 +962,11 @@ fn main() {
     // registry and trace are independent of anything but the runs.
     let mut combined: Option<Recorder> = None;
     for &scheme in &schemes {
-        match run_one(scheme, &args, &trace, observe, measured) {
+        let outcome = match trace.as_ref() {
+            Some(trace) => run_one(scheme, &args, trace, observe, measured),
+            None => run_serve(scheme, &args, &spec, footprint, observe, measured),
+        };
+        match outcome {
             None => failed.push(scheme.label()),
             Some(None) => {}
             Some(Some(recorder)) => match combined.as_mut() {

@@ -40,6 +40,7 @@ pub mod obs;
 pub mod pipeline;
 pub mod recovery;
 pub mod scenario;
+pub mod serve;
 pub mod sim;
 pub mod stats;
 
@@ -58,5 +59,6 @@ pub use scenario::{
     ClusterFaultConfig, EnvironmentConfig, EnvironmentState, ReadDisturbConfig, ScenarioSpec,
     ThermalGradientConfig,
 };
+pub use serve::{OverloadPolicy, ServeError, ServeOptions, TenantQos};
 pub use sim::{SimError, SsdSimulator};
-pub use stats::{SimStats, StageAccount};
+pub use stats::{SimStats, StageAccount, TenantStats};

@@ -56,6 +56,7 @@ fn outcome_of(rank: u8) -> SpanOutcome {
 #[derive(Debug, Default)]
 struct PendingSpan {
     lpn: u64,
+    tenant: u32,
     stages: Vec<StageTiming>,
     offset_us: f64,
     sensing_levels: u32,
@@ -87,6 +88,12 @@ pub struct SimObserver {
     h_retry_depth: HistogramId,
     h_stage_busy: [HistogramId; StageKind::ALL.len()],
     h_stage_wait: [HistogramId; StageKind::ALL.len()],
+    /// Per-tenant response histograms, indexed by tenant; registered by
+    /// [`ensure_tenants`](Self::ensure_tenants) (empty for replay runs).
+    h_tenant_response: Vec<HistogramId>,
+    /// Tenant the request currently in the logical layer belongs to
+    /// (0 — and never updated — for replay runs).
+    current_tenant: u32,
     pending: Option<PendingSpan>,
     deferred: Vec<DeferredRequest>,
     seq: u64,
@@ -143,6 +150,8 @@ impl SimObserver {
             h_retry_depth,
             h_stage_busy,
             h_stage_wait,
+            h_tenant_response: Vec::new(),
+            current_tenant: 0,
             pending: None,
             deferred: Vec::new(),
             seq: 0,
@@ -168,12 +177,40 @@ impl SimObserver {
         self.pending = None;
         self.deferred.clear();
         self.seq = 0;
+        self.current_tenant = 0;
+    }
+
+    /// Registers per-tenant response histograms for tenants `0 .. n`
+    /// (idempotent: already-registered series keep their ids).
+    pub(crate) fn ensure_tenants(&mut self, n: u32) {
+        for tenant in self.h_tenant_response.len() as u32..n {
+            let t = tenant.to_string();
+            let labels: &[(&str, &str)] = &[("scheme", self.scheme), ("tenant", &t)];
+            self.h_tenant_response.push(self.recorder.metrics.histogram(
+                "flexlevel_tenant_response_us",
+                "Per-tenant host request response time (us).",
+                labels,
+            ));
+        }
+    }
+
+    /// Sets the tenant subsequent requests will be attributed to.
+    pub(crate) fn set_tenant(&mut self, tenant: u32) {
+        self.current_tenant = tenant;
+    }
+
+    /// Records one served request's response into its tenant's histogram.
+    pub(crate) fn tenant_response(&mut self, tenant: u32, response: Micros) {
+        if let Some(&id) = self.h_tenant_response.get(tenant as usize) {
+            self.recorder.metrics.observe(id, response.as_f64());
+        }
     }
 
     /// Starts the span of one host request; only reads build spans.
     pub(crate) fn begin_request(&mut self, lpn: u64, is_read: bool) {
         self.pending = is_read.then(|| PendingSpan {
             lpn,
+            tenant: self.current_tenant,
             ..PendingSpan::default()
         });
     }
@@ -290,6 +327,7 @@ impl SimObserver {
             seq: self.seq,
             lpn: pending.lpn,
             scheme: self.scheme,
+            tenant: pending.tenant,
             arrival_us: arrival.as_f64(),
             start_us: start.as_f64(),
             response_us: response.as_f64(),
@@ -472,5 +510,67 @@ impl SimObserver {
             "Uncorrectable reads per information bit read.",
             stats.observed_uber(reliability::EccConfig::paper_ldpc().info_bits),
         );
+        for (tenant, t) in stats.tenants.iter().enumerate() {
+            let label = tenant.to_string();
+            let tenant_labels: &[(&str, &str)] = &[("scheme", scheme), ("tenant", &label)];
+            let mut fold = |name: &str, help: &str, value: u64| {
+                let id = registry.counter(name, help, tenant_labels);
+                registry.set_counter(id, value);
+            };
+            fold(
+                "flexlevel_tenant_arrivals_total",
+                "Requests the tenant submitted.",
+                t.arrivals,
+            );
+            fold(
+                "flexlevel_tenant_served_total",
+                "Tenant requests admitted and completed.",
+                t.served,
+            );
+            fold(
+                "flexlevel_tenant_dropped_total",
+                "Tenant requests rejected by queue-depth backpressure.",
+                t.dropped,
+            );
+            fold(
+                "flexlevel_tenant_deferred_total",
+                "Tenant requests delayed by queue-depth backpressure.",
+                t.deferred,
+            );
+            fold(
+                "flexlevel_tenant_slo_violations_total",
+                "Served tenant requests exceeding their SLO target.",
+                t.slo_violations,
+            );
+            let mut gauge = |name: &str, help: &str, value: f64| {
+                let id = registry.gauge(name, help, tenant_labels);
+                registry.set_gauge(id, value);
+            };
+            gauge(
+                "flexlevel_tenant_slo_target_us",
+                "Tenant latency SLO target (us; 0 = none).",
+                t.slo_target_us,
+            );
+            gauge(
+                "flexlevel_tenant_mean_response_us",
+                "Mean tenant response time (us).",
+                t.mean_response().as_f64(),
+            );
+            gauge(
+                "flexlevel_tenant_p50_response_us",
+                "Median tenant response time (us).",
+                t.p50().as_f64(),
+            );
+            gauge(
+                "flexlevel_tenant_p99_response_us",
+                "99th-percentile tenant response time (us).",
+                t.p99().as_f64(),
+            );
+            gauge(
+                "flexlevel_tenant_p999_response_us",
+                "99.9th-percentile tenant response time (us).",
+                t.p999().as_f64(),
+            );
+        }
     }
 }

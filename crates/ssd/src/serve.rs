@@ -1,0 +1,343 @@
+//! Per-tenant QoS policy for open-loop serving.
+//!
+//! The scheduler layer in [`crate::sim`] models an NVMe-style submission/
+//! completion queue pair per tenant: each tenant may hold at most
+//! `queue_depth` requests in flight; an arrival past that cap is either
+//! **dropped** (rejected, counted, never served) or **deferred** (held in
+//! the submission queue until a slot frees, with the wait charged to its
+//! response time) per [`OverloadPolicy`].
+//!
+//! Admission decisions are made against the *lumped* single-queue
+//! completion model regardless of the configured timing backend, so the
+//! set of admitted/dropped/deferred requests — and therefore every logical
+//! operation counter — is bit-identical between [`TimingModel::SingleQueue`]
+//! and [`TimingModel::Pipelined`]. Only the measured response times differ,
+//! which is the same contract the two backends already honour for replay.
+//!
+//! [`TimingModel::SingleQueue`]: crate::config::TimingModel::SingleQueue
+//! [`TimingModel::Pipelined`]: crate::config::TimingModel::Pipelined
+
+use crate::sim::SimError;
+
+/// What to do with an arrival that finds its tenant's queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Reject the request; it is counted as dropped and never served.
+    #[default]
+    Drop,
+    /// Hold the request until the oldest in-flight one completes; the
+    /// wait counts toward its response time (and its SLO).
+    Defer,
+}
+
+impl OverloadPolicy {
+    /// Human-readable label (`"drop"` / `"defer"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverloadPolicy::Drop => "drop",
+            OverloadPolicy::Defer => "defer",
+        }
+    }
+}
+
+/// One tenant's QoS contract: queue-depth cap, overload policy and
+/// latency SLO target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQos {
+    /// Maximum in-flight requests; 0 means unlimited (no backpressure).
+    pub queue_depth: u32,
+    /// What happens to arrivals beyond the cap.
+    pub policy: OverloadPolicy,
+    /// Response-time SLO target in µs; 0 disables violation counting.
+    pub slo_us: f64,
+}
+
+impl Default for TenantQos {
+    fn default() -> TenantQos {
+        TenantQos {
+            queue_depth: 0,
+            policy: OverloadPolicy::Drop,
+            slo_us: 0.0,
+        }
+    }
+}
+
+impl TenantQos {
+    /// Sets the queue-depth cap (0 = unlimited).
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: u32) -> TenantQos {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets the overload policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: OverloadPolicy) -> TenantQos {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the SLO target in µs (0 = none).
+    #[must_use]
+    pub fn with_slo_us(mut self, slo_us: f64) -> TenantQos {
+        self.slo_us = slo_us;
+        self
+    }
+}
+
+/// Scheduler options for one serving run.
+///
+/// [`replay()`](Self::replay) — the default for [`SsdSimulator::run`] — has
+/// no tenants: no admission control, no tenant accounting, and therefore a
+/// replay bit-identical to the pre-serving simulator.
+///
+/// [`SsdSimulator::run`]: crate::sim::SsdSimulator::run
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeOptions {
+    /// Per-tenant QoS, indexed by tenant. Empty disables all tenant
+    /// machinery (replay mode).
+    pub tenants: Vec<TenantQos>,
+}
+
+impl ServeOptions {
+    /// Replay mode: no tenants, no admission control, no per-tenant stats.
+    pub fn replay() -> ServeOptions {
+        ServeOptions::default()
+    }
+
+    /// The same QoS contract for each of `n` tenants.
+    pub fn uniform(n: u32, qos: TenantQos) -> ServeOptions {
+        ServeOptions {
+            tenants: vec![qos; n as usize],
+        }
+    }
+
+    /// `true` when per-tenant accounting and admission control are on.
+    pub fn tenanted(&self) -> bool {
+        !self.tenants.is_empty()
+    }
+}
+
+/// Serving failures: either the underlying simulation failed, or the
+/// options do not match the request source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The simulation itself failed (FTL space, footprint).
+    Sim(SimError),
+    /// `ServeOptions::tenants` does not cover every tenant the source
+    /// emits.
+    QosMismatch {
+        /// Tenants the request source multiplexes.
+        tenants: u32,
+        /// QoS entries provided.
+        qos: usize,
+    },
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> ServeError {
+        ServeError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Sim(e) => write!(f, "simulation: {e}"),
+            ServeError::QosMismatch { tenants, qos } => write!(
+                f,
+                "source emits {tenants} tenants but options define {qos} QoS entries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sim(e) => Some(e),
+            ServeError::QosMismatch { .. } => None,
+        }
+    }
+}
+
+/// Admission verdict for one arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Admit {
+    /// A queue slot is free: submit at arrival time.
+    Now,
+    /// Queue full, `Defer` policy: submit when the oldest in-flight
+    /// request completes (the contained lumped completion time, µs).
+    DeferredUntil(f64),
+    /// Queue full, `Drop` policy: reject.
+    Drop,
+}
+
+/// Per-tenant in-flight tracking against the lumped completion model.
+///
+/// Completions are *predicted* single-queue completion times (`start +
+/// fg`), never pipelined ones — that keeps the admitted set a function of
+/// request order alone, identical across timing backends.
+#[derive(Debug)]
+pub(crate) struct Backpressure {
+    lanes: Vec<Lane>,
+}
+
+#[derive(Debug)]
+struct Lane {
+    queue_depth: usize,
+    policy: OverloadPolicy,
+    /// Lumped completion times of in-flight requests (µs, unsorted).
+    outstanding: Vec<f64>,
+}
+
+impl Backpressure {
+    pub(crate) fn new(options: &ServeOptions) -> Backpressure {
+        Backpressure {
+            lanes: options
+                .tenants
+                .iter()
+                .map(|qos| Lane {
+                    queue_depth: qos.queue_depth as usize,
+                    policy: qos.policy,
+                    outstanding: Vec::with_capacity(qos.queue_depth as usize),
+                })
+                .collect(),
+        }
+    }
+
+    /// Decides what happens to a `tenant` arrival at `arrival_us`.
+    /// Completions at or before the arrival free their slots first.
+    pub(crate) fn admit(&mut self, tenant: u32, arrival_us: f64) -> Admit {
+        let Some(lane) = self.lanes.get_mut(tenant as usize) else {
+            return Admit::Now;
+        };
+        if lane.queue_depth == 0 {
+            return Admit::Now;
+        }
+        lane.outstanding.retain(|&done| done > arrival_us);
+        if lane.outstanding.len() < lane.queue_depth {
+            return Admit::Now;
+        }
+        match lane.policy {
+            OverloadPolicy::Drop => Admit::Drop,
+            OverloadPolicy::Defer => {
+                // The request enters when the oldest in-flight one
+                // completes; pop that slot now so it is not double-freed.
+                let (idx, _) = lane
+                    .outstanding
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("queue_depth > 0 and lane is full");
+                let done = lane.outstanding.swap_remove(idx);
+                Admit::DeferredUntil(done)
+            }
+        }
+    }
+
+    /// Registers an admitted request's lumped completion time.
+    pub(crate) fn commit(&mut self, tenant: u32, completion_us: f64) {
+        if let Some(lane) = self.lanes.get_mut(tenant as usize) {
+            if lane.queue_depth > 0 {
+                lane.outstanding.push(completion_us);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pressured(depth: u32, policy: OverloadPolicy) -> Backpressure {
+        Backpressure::new(&ServeOptions::uniform(
+            1,
+            TenantQos::default()
+                .with_queue_depth(depth)
+                .with_policy(policy),
+        ))
+    }
+
+    #[test]
+    fn unlimited_depth_always_admits() {
+        let mut bp = pressured(0, OverloadPolicy::Drop);
+        for i in 0..100 {
+            assert_eq!(bp.admit(0, i as f64), Admit::Now);
+            bp.commit(0, i as f64 + 1e9);
+        }
+    }
+
+    #[test]
+    fn drop_policy_rejects_when_full() {
+        let mut bp = pressured(2, OverloadPolicy::Drop);
+        assert_eq!(bp.admit(0, 0.0), Admit::Now);
+        bp.commit(0, 100.0);
+        assert_eq!(bp.admit(0, 1.0), Admit::Now);
+        bp.commit(0, 200.0);
+        assert_eq!(bp.admit(0, 2.0), Admit::Drop);
+        // After the first completion one slot frees.
+        assert_eq!(bp.admit(0, 150.0), Admit::Now);
+    }
+
+    #[test]
+    fn defer_policy_waits_for_oldest_completion() {
+        let mut bp = pressured(1, OverloadPolicy::Defer);
+        assert_eq!(bp.admit(0, 0.0), Admit::Now);
+        bp.commit(0, 500.0);
+        assert_eq!(bp.admit(0, 10.0), Admit::DeferredUntil(500.0));
+        bp.commit(0, 900.0);
+        // The deferred request took the freed slot; the next one waits on
+        // its completion.
+        assert_eq!(bp.admit(0, 20.0), Admit::DeferredUntil(900.0));
+    }
+
+    #[test]
+    fn completion_at_arrival_instant_frees_the_slot() {
+        // `done > arrival` drops a completion at exactly the arrival
+        // time from the in-flight set: the boundary is deterministic
+        // either way, but it must be pinned.
+        let mut bp = pressured(1, OverloadPolicy::Drop);
+        assert_eq!(bp.admit(0, 0.0), Admit::Now);
+        bp.commit(0, 100.0);
+        assert_eq!(bp.admit(0, 99.0), Admit::Drop);
+        assert_eq!(bp.admit(0, 100.0), Admit::Now);
+    }
+
+    #[test]
+    fn unknown_tenant_admits() {
+        let mut bp = pressured(1, OverloadPolicy::Drop);
+        assert_eq!(bp.admit(7, 0.0), Admit::Now);
+    }
+
+    #[test]
+    fn serve_error_display_and_source() {
+        use std::error::Error;
+        let e = ServeError::QosMismatch { tenants: 4, qos: 2 };
+        assert!(e.to_string().contains("4 tenants"));
+        assert!(e.source().is_none());
+        let e = ServeError::from(SimError::FootprintTooLarge {
+            footprint: 10,
+            capacity: 5,
+        });
+        assert!(e.to_string().starts_with("simulation:"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn options_builders() {
+        assert!(!ServeOptions::replay().tenanted());
+        let opts = ServeOptions::uniform(
+            3,
+            TenantQos::default()
+                .with_queue_depth(8)
+                .with_policy(OverloadPolicy::Defer)
+                .with_slo_us(900.0),
+        );
+        assert!(opts.tenanted());
+        assert_eq!(opts.tenants.len(), 3);
+        assert_eq!(opts.tenants[2].queue_depth, 8);
+        assert_eq!(opts.tenants[2].policy.label(), "defer");
+        assert_eq!(opts.tenants[2].slo_us, 900.0);
+    }
+}

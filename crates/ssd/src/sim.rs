@@ -25,10 +25,28 @@
 //! garbage collection — and the LevelAdjust-only scheme's over-
 //! provisioning loss — visible, exactly as the paper describes ("frequent
 //! garbage collection incurred by over-provisioning space loss").
+//!
+//! # Serving architecture
+//!
+//! The replay loop is split into three layers:
+//!
+//! * **Request source** ([`workloads::RequestSource`]) — where requests
+//!   come from: [`workloads::TraceSource`] replays a closed trace;
+//!   [`workloads::OpenLoopSource`] generates multi-tenant open-loop
+//!   arrivals. [`SsdSimulator::run`] is now a thin wrapper over
+//!   [`SsdSimulator::serve`] with a `TraceSource` and replay options.
+//! * **Scheduler** — per-tenant admission control (the backpressure
+//!   machinery in `crate::serve`) in front of the two timing
+//!   backends. Admission always uses the lumped single-queue completion
+//!   model, so admitted/dropped/deferred sets — and every logical
+//!   counter — are bit-identical across backends.
+//! * **Accounting** — run-wide [`SimStats`] plus per-tenant
+//!   [`TenantStats`] (arrivals, drops, defers, latency SLO tracking),
+//!   mirrored into `flexlevel-obs` with tenant labels.
 
 use flash_model::{BlockId, CellMode, Micros};
 use flexlevel::{AccessEvalController, Migration};
-use workloads::{IoOp, IoRequest, Trace};
+use workloads::{IoOp, IoRequest, RequestSource, TenantRequest, Trace, TraceSource};
 
 use crate::buffer::WriteBuffer;
 use crate::config::{Scheme, SsdConfig, TimingModel};
@@ -40,7 +58,8 @@ use crate::obs::SimObserver;
 use crate::pipeline::{expand_ops, FlashOp, Stage};
 use crate::recovery;
 use crate::scenario::EnvironmentState;
-use crate::stats::SimStats;
+use crate::serve::{Admit, Backpressure, ServeError, ServeOptions};
+use crate::stats::{SimStats, TenantStats};
 
 /// Simulation failures (propagated FTL space errors).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,7 +96,14 @@ impl std::fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Ftl(e) => Some(e),
+            SimError::FootprintTooLarge { .. } => None,
+        }
+    }
+}
 
 /// What the logical layer decided one page access costs: lumped
 /// foreground/background time for the single-queue model, plus the
@@ -253,42 +279,91 @@ impl SsdSimulator {
     /// Runs the full experiment: preload the footprint, reset counters,
     /// replay the trace, and return the final statistics.
     ///
+    /// Equivalent to [`serve`](Self::serve) with a
+    /// [`TraceSource`] and [`ServeOptions::replay`] — no tenants, no
+    /// admission control, bit-identical to the pre-serving simulator.
+    ///
     /// # Errors
     ///
     /// [`SimError::FootprintTooLarge`] if the trace does not fit;
     /// [`SimError::Ftl`] if the device runs out of reclaimable space.
     pub fn run(&mut self, trace: &Trace) -> Result<&SimStats, SimError> {
-        self.preload(trace)?;
-        match self.config.timing_model {
-            TimingModel::SingleQueue => {
-                for request in &trace.requests {
-                    self.serve(request)?;
-                }
-                self.stats.makespan_us = self
-                    .channel_free_at
-                    .iter()
-                    .fold(0.0_f64, |acc, t| acc.max(t.as_f64()));
+        let mut source = TraceSource::new(trace);
+        self.run_source(&mut source, &ServeOptions::replay())?;
+        Ok(&self.stats)
+    }
+
+    /// Drains `source` through the scheduler under `options`: preload the
+    /// footprint, reset counters, pull requests in arrival order through
+    /// per-tenant admission control, and return the final statistics
+    /// (including [`SimStats::tenants`] when `options` is tenanted).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QosMismatch`] if `options` defines fewer QoS entries
+    /// than `source` has tenants; [`ServeError::Sim`] on simulation
+    /// failure.
+    pub fn serve<S: RequestSource>(
+        &mut self,
+        source: &mut S,
+        options: &ServeOptions,
+    ) -> Result<&SimStats, ServeError> {
+        if options.tenanted() && (options.tenants.len() as u32) < source.tenants() {
+            return Err(ServeError::QosMismatch {
+                tenants: source.tenants(),
+                qos: options.tenants.len(),
+            });
+        }
+        self.run_source(source, options)?;
+        Ok(&self.stats)
+    }
+
+    /// The shared serving loop behind [`run`](Self::run) and
+    /// [`serve`](Self::serve).
+    fn run_source<S: RequestSource>(
+        &mut self,
+        source: &mut S,
+        options: &ServeOptions,
+    ) -> Result<(), SimError> {
+        self.preload_pages(source.footprint_pages())?;
+        if options.tenanted() {
+            self.stats.tenants = options
+                .tenants
+                .iter()
+                .map(|qos| TenantStats::new(qos.slo_us))
+                .collect();
+            if let Some(o) = self.obs.as_mut() {
+                o.ensure_tenants(options.tenants.len() as u32);
             }
-            TimingModel::Pipelined => self.run_pipelined(trace)?,
+        }
+        match self.config.timing_model {
+            TimingModel::SingleQueue => self.run_source_single(source, options)?,
+            TimingModel::Pipelined => self.run_source_pipelined(source, options)?,
         }
         if let Some(o) = self.obs.as_mut() {
             o.flush_deferred();
             o.finish_run(&self.stats, self.host_pages_written);
         }
-        Ok(&self.stats)
+        Ok(())
     }
 
     /// Writes every footprint page once (uncharged) so the device starts
     /// full, then zeroes the statistics.
     pub fn preload(&mut self, trace: &Trace) -> Result<(), SimError> {
+        self.preload_pages(trace.footprint_pages)
+    }
+
+    /// [`preload`](Self::preload) against a bare footprint (what request
+    /// sources report).
+    fn preload_pages(&mut self, footprint_pages: u64) -> Result<(), SimError> {
         let capacity = self.ftl.logical_pages();
-        if trace.footprint_pages > capacity {
+        if footprint_pages > capacity {
             return Err(SimError::FootprintTooLarge {
-                footprint: trace.footprint_pages,
+                footprint: footprint_pages,
                 capacity,
             });
         }
-        for lpn in 0..trace.footprint_pages {
+        for lpn in 0..footprint_pages {
             let mode = self.preload_mode();
             self.ftl.write(lpn, mode)?;
         }
@@ -325,20 +400,68 @@ impl SsdSimulator {
         self.config.timing_model == TimingModel::Pipelined
     }
 
-    /// Serves one host request under the single-queue model: the request
-    /// queues on the channel its first page maps to, pays its lumped
-    /// latency, and background work extends the horizon behind it.
-    fn serve(&mut self, request: &IoRequest) -> Result<(), SimError> {
-        let plan = self.serve_logical(request)?;
-        let channel = (request.lpn % self.channel_free_at.len() as u64) as usize;
-        let arrival = Micros(request.arrival_us);
-        let start = arrival.max(self.channel_free_at[channel]);
-        let response = (start - arrival) + plan.fg;
-        self.stats.record_response(response, plan.is_read);
-        if let Some(o) = self.obs.as_mut() {
-            o.end_request_single(arrival, start, response);
+    /// Drains `source` under the single-queue model: an admitted request
+    /// queues on the channel its first page maps to (no earlier than its
+    /// submission time), pays its lumped latency, and background work
+    /// extends the horizon behind it. With replay options the admission
+    /// layer is a no-op and the arithmetic reduces exactly to the
+    /// pre-serving replay loop.
+    fn run_source_single<S: RequestSource>(
+        &mut self,
+        source: &mut S,
+        options: &ServeOptions,
+    ) -> Result<(), SimError> {
+        let tenanted = options.tenanted();
+        let mut backpressure = Backpressure::new(options);
+        while let Some(TenantRequest { tenant, request }) = source.next_request() {
+            if tenanted {
+                self.stats.tenants[tenant as usize].arrivals += 1;
+            }
+            let submit_us = match backpressure.admit(tenant, request.arrival_us) {
+                Admit::Now => request.arrival_us,
+                Admit::DeferredUntil(at) => {
+                    self.stats.tenants[tenant as usize].deferred += 1;
+                    at
+                }
+                Admit::Drop => {
+                    self.stats.tenants[tenant as usize].dropped += 1;
+                    continue;
+                }
+            };
+            if tenanted {
+                if let Some(o) = self.obs.as_mut() {
+                    o.set_tenant(tenant);
+                }
+            }
+            let plan = self.serve_logical(&request)?;
+            let channel = (request.lpn % self.channel_free_at.len() as u64) as usize;
+            let arrival = Micros(request.arrival_us);
+            let start = Micros(submit_us).max(self.channel_free_at[channel]);
+            let response = (start - arrival) + plan.fg;
+            self.stats.record_response(response, plan.is_read);
+            if let Some(o) = self.obs.as_mut() {
+                o.end_request_single(arrival, start, response);
+            }
+            self.channel_free_at[channel] = start + plan.fg + plan.bg;
+            backpressure.commit(tenant, (start + plan.fg).as_f64());
+            if tenanted {
+                let t = &mut self.stats.tenants[tenant as usize];
+                t.served += 1;
+                if plan.is_read {
+                    t.reads += 1;
+                } else {
+                    t.writes += 1;
+                }
+                t.record_response(response);
+                if let Some(o) = self.obs.as_mut() {
+                    o.tenant_response(tenant, response);
+                }
+            }
         }
-        self.channel_free_at[channel] = start + plan.fg + plan.bg;
+        self.stats.makespan_us = self
+            .channel_free_at
+            .iter()
+            .fold(0.0_f64, |acc, t| acc.max(t.as_f64()));
         Ok(())
     }
 
@@ -385,18 +508,28 @@ impl SsdSimulator {
         Ok(plan)
     }
 
-    /// Replays the trace under the pipelined discrete-event model.
+    /// Drains `source` under the pipelined discrete-event model.
     ///
     /// Phase 1 runs the logical layer over all requests in arrival order
     /// — producing exactly the counters the single-queue model produces —
     /// and collects each request's foreground and background stage
-    /// chains. Phase 2 schedules those chains on the resource pool: a
-    /// chain's next stage is reserved the instant its previous stage
-    /// completes (FCFS in deterministic event order), and a request's
-    /// response time is the completion of its foreground chain.
-    fn run_pipelined(&mut self, trace: &Trace) -> Result<(), SimError> {
+    /// chains. Admission decisions replay the *lumped* single-queue law
+    /// on a virtual clock, so the admitted/dropped/deferred sets match
+    /// the single-queue backend bit-for-bit. Phase 2 schedules the
+    /// admitted chains on the resource pool: a chain's next stage is
+    /// reserved the instant its previous stage completes (FCFS in
+    /// deterministic event order), and a request's response time is the
+    /// completion of its foreground chain, measured from its *original*
+    /// arrival (deferred wait included).
+    fn run_source_pipelined<S: RequestSource>(
+        &mut self,
+        source: &mut S,
+        options: &ServeOptions,
+    ) -> Result<(), SimError> {
         struct Admission {
+            tenant: u32,
             arrival: Micros,
+            submit: Micros,
             is_read: bool,
             fg: Vec<Stage>,
             bg: Vec<Stage>,
@@ -433,14 +566,54 @@ impl SsdSimulator {
             start
         }
 
-        let mut admissions = Vec::with_capacity(trace.requests.len());
-        for request in &trace.requests {
-            let plan = self.serve_logical(request)?;
+        let tenanted = options.tenanted();
+        let mut backpressure = Backpressure::new(options);
+        // The virtual lumped clock admission runs against: the same
+        // per-channel horizons the single-queue backend would advance, so
+        // both backends admit, drop and defer exactly the same requests.
+        let mut lumped_free_at = self.channel_free_at.clone();
+        let mut admissions = Vec::new();
+        while let Some(TenantRequest { tenant, request }) = source.next_request() {
+            if tenanted {
+                self.stats.tenants[tenant as usize].arrivals += 1;
+            }
+            let submit_us = match backpressure.admit(tenant, request.arrival_us) {
+                Admit::Now => request.arrival_us,
+                Admit::DeferredUntil(at) => {
+                    self.stats.tenants[tenant as usize].deferred += 1;
+                    at
+                }
+                Admit::Drop => {
+                    self.stats.tenants[tenant as usize].dropped += 1;
+                    continue;
+                }
+            };
+            if tenanted {
+                if let Some(o) = self.obs.as_mut() {
+                    o.set_tenant(tenant);
+                }
+            }
+            let plan = self.serve_logical(&request)?;
             if let Some(o) = self.obs.as_mut() {
                 o.end_request_deferred(Micros(request.arrival_us));
             }
+            let channel = (request.lpn % lumped_free_at.len() as u64) as usize;
+            let start = Micros(submit_us).max(lumped_free_at[channel]);
+            lumped_free_at[channel] = start + plan.fg + plan.bg;
+            backpressure.commit(tenant, (start + plan.fg).as_f64());
+            if tenanted {
+                let t = &mut self.stats.tenants[tenant as usize];
+                t.served += 1;
+                if plan.is_read {
+                    t.reads += 1;
+                } else {
+                    t.writes += 1;
+                }
+            }
             admissions.push(Admission {
+                tenant,
                 arrival: Micros(request.arrival_us),
+                submit: Micros(submit_us),
                 is_read: plan.is_read,
                 fg: expand_ops(&plan.fg_ops, &self.config.latency),
                 bg: expand_ops(&plan.bg_ops, &self.config.latency),
@@ -455,10 +628,11 @@ impl SsdSimulator {
         );
         let mut queue = EventQueue::with_capacity(admissions.len() + 1);
         let mut chains: Vec<Chain> = Vec::new();
-        // Arrivals are pushed in trace order, so same-time arrivals pop
-        // in trace order too — the (time, seq) total order does the rest.
+        // Arrivals are pushed in source order, so same-time arrivals pop
+        // in source order too — the (time, seq) total order does the rest.
+        // Deferred requests enter at their submission time, not arrival.
         for (i, adm) in admissions.iter().enumerate() {
-            queue.push(adm.arrival, Ev::Arrive(i));
+            queue.push(adm.submit, Ev::Arrive(i));
         }
         while let Some(ev) = queue.pop() {
             match ev.payload {
@@ -469,9 +643,19 @@ impl SsdSimulator {
                     // Foreground first: host work wins ties against the
                     // background chain admitted at the same instant.
                     if fg.is_empty() {
-                        self.stats.record_response(Micros::ZERO, adm.is_read);
+                        // No device work: the response is just the defer
+                        // wait (zero in replay, where submit == arrival).
+                        let response = adm.submit - adm.arrival;
+                        let (tenant, is_read) = (adm.tenant, adm.is_read);
+                        self.stats.record_response(response, is_read);
+                        if tenanted {
+                            self.stats.tenants[tenant as usize].record_response(response);
+                        }
                         if let Some(o) = self.obs.as_mut() {
-                            o.deferred_finished(i, Micros::ZERO);
+                            o.deferred_finished(i, response);
+                            if tenanted {
+                                o.tenant_response(tenant, response);
+                            }
                         }
                     } else {
                         let id = chains.len();
@@ -525,10 +709,16 @@ impl SsdSimulator {
                         );
                     } else if let Some(i) = chains[id].request {
                         let adm = &admissions[i];
-                        self.stats
-                            .record_response(ev.time - adm.arrival, adm.is_read);
+                        let response = ev.time - adm.arrival;
+                        self.stats.record_response(response, adm.is_read);
+                        if tenanted {
+                            self.stats.tenants[adm.tenant as usize].record_response(response);
+                        }
                         if let Some(o) = self.obs.as_mut() {
-                            o.deferred_finished(i, ev.time - adm.arrival);
+                            o.deferred_finished(i, response);
+                            if tenanted {
+                                o.tenant_response(adm.tenant, response);
+                            }
                         }
                     }
                 }

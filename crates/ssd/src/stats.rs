@@ -119,6 +119,10 @@ pub struct SimStats {
     pub stage_program: StageAccount,
     /// Erase-stage occupancy (pipelined model).
     pub stage_erase: StageAccount,
+    /// Per-tenant serving statistics; empty for closed-trace replay (the
+    /// `serde` default keeps pre-serving JSON fixtures decodable).
+    #[serde(default)]
+    pub tenants: Vec<TenantStats>,
 }
 
 /// Reservoir capacity: runs at or below this many responses keep every
@@ -134,6 +138,147 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Offers one value to an Algorithm-R reservoir. `responses_seen` must
+/// already count this value; `state` is the SplitMix64 replacement stream.
+/// Shared by the run-wide and per-tenant reservoirs so both sample with
+/// exactly the same (deterministic) law.
+fn reservoir_offer(samples: &mut Vec<f64>, responses_seen: u64, state: &mut u64, value: f64) {
+    if samples.len() < MAX_SAMPLES {
+        samples.push(value);
+    } else {
+        let slot = splitmix64(state) % responses_seen;
+        if (slot as usize) < MAX_SAMPLES {
+            samples[slot as usize] = value;
+        }
+    }
+}
+
+/// Percentile (`q` in `[0, 1]`) of a retained sample, or zero if empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+fn percentile_of(samples: &[f64], q: f64) -> Micros {
+    assert!((0.0..=1.0).contains(&q), "percentile out of range: {q}");
+    if samples.is_empty() {
+        return Micros::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite response times"));
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Micros(sorted[idx])
+}
+
+/// Per-tenant serving statistics: admission accounting plus latency-SLO
+/// tracking. Populated only by [`SsdSimulator::serve`] runs with a
+/// tenanted [`ServeOptions`]; closed-trace replay leaves
+/// [`SimStats::tenants`] empty.
+///
+/// [`SsdSimulator::serve`]: crate::sim::SsdSimulator::serve
+/// [`ServeOptions`]: crate::serve::ServeOptions
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Requests this tenant submitted.
+    pub arrivals: u64,
+    /// Requests actually served (admitted and completed).
+    pub served: u64,
+    /// Requests rejected by queue-depth backpressure (`Drop` policy).
+    pub dropped: u64,
+    /// Requests delayed past their arrival by queue-depth backpressure
+    /// (`Defer` policy); still served, with the wait charged to response.
+    pub deferred: u64,
+    /// Served read requests.
+    pub reads: u64,
+    /// Served write requests.
+    pub writes: u64,
+    /// Sum of served-request response times (µs).
+    pub total_response_us: f64,
+    /// Maximum observed response time (µs).
+    pub max_response_us: f64,
+    /// Latency SLO target (µs); 0 disables violation counting.
+    pub slo_target_us: f64,
+    /// Served requests whose response exceeded the SLO target.
+    pub slo_violations: u64,
+    /// Bounded uniform sample of response times (same deterministic
+    /// Algorithm-R reservoir as [`SimStats::response_samples`]).
+    pub response_samples: Vec<f64>,
+    /// Responses offered to this tenant's reservoir so far.
+    pub responses_seen: u64,
+    /// SplitMix64 state of this tenant's reservoir.
+    pub sample_state: u64,
+}
+
+impl TenantStats {
+    /// Creates zeroed stats tracking violations against `slo_target_us`
+    /// (0 disables the check).
+    pub fn new(slo_target_us: f64) -> TenantStats {
+        TenantStats {
+            slo_target_us,
+            sample_state: SAMPLE_SEED,
+            ..TenantStats::default()
+        }
+    }
+
+    /// Records one served request's response time against the SLO.
+    pub fn record_response(&mut self, response: Micros) {
+        let us = response.as_f64();
+        self.total_response_us += us;
+        self.max_response_us = self.max_response_us.max(us);
+        if self.slo_target_us > 0.0 && us > self.slo_target_us {
+            self.slo_violations += 1;
+        }
+        self.responses_seen += 1;
+        reservoir_offer(
+            &mut self.response_samples,
+            self.responses_seen,
+            &mut self.sample_state,
+            us,
+        );
+    }
+
+    /// Response-time percentile (`q` in `[0, 1]`), or zero if nothing was
+    /// served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn response_percentile(&self, q: f64) -> Micros {
+        percentile_of(&self.response_samples, q)
+    }
+
+    /// Median response time.
+    pub fn p50(&self) -> Micros {
+        self.response_percentile(0.5)
+    }
+
+    /// 99th-percentile response time.
+    pub fn p99(&self) -> Micros {
+        self.response_percentile(0.99)
+    }
+
+    /// 99.9th-percentile response time.
+    pub fn p999(&self) -> Micros {
+        self.response_percentile(0.999)
+    }
+
+    /// Mean response time over served requests.
+    pub fn mean_response(&self) -> Micros {
+        if self.served == 0 {
+            return Micros::ZERO;
+        }
+        Micros(self.total_response_us / self.served as f64)
+    }
+
+    /// Fraction of served requests violating the SLO (0 when nothing was
+    /// served or no SLO is set).
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.served == 0 {
+            return 0.0;
+        }
+        self.slo_violations as f64 / self.served as f64
+    }
 }
 
 impl SimStats {
@@ -166,14 +311,12 @@ impl SimStats {
         }
         self.max_response_us = self.max_response_us.max(response.as_f64());
         self.responses_seen += 1;
-        if self.response_samples.len() < MAX_SAMPLES {
-            self.response_samples.push(response.as_f64());
-        } else {
-            let slot = splitmix64(&mut self.sample_state) % self.responses_seen;
-            if (slot as usize) < MAX_SAMPLES {
-                self.response_samples[slot as usize] = response.as_f64();
-            }
-        }
+        reservoir_offer(
+            &mut self.response_samples,
+            self.responses_seen,
+            &mut self.sample_state,
+            response.as_f64(),
+        );
     }
 
     /// Records one pipeline stage execution: `busy` on the unit after
@@ -235,14 +378,7 @@ impl SimStats {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn response_percentile(&self, q: f64) -> Micros {
-        assert!((0.0..=1.0).contains(&q), "percentile out of range: {q}");
-        if self.response_samples.is_empty() {
-            return Micros::ZERO;
-        }
-        let mut sorted = self.response_samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite response times"));
-        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-        Micros(sorted[idx])
+        percentile_of(&self.response_samples, q)
     }
 
     /// Host requests served.
@@ -414,6 +550,90 @@ mod tests {
         }
         // Deterministic: a second identical run reproduces the reservoir.
         assert_eq!(a, feed(n));
+    }
+
+    #[test]
+    fn reservoir_empty_run_is_all_zero() {
+        let s = SimStats::new(6);
+        assert_eq!(s.responses_seen, 0);
+        assert!(s.response_samples.is_empty());
+        assert_eq!(s.response_percentile(0.0), Micros::ZERO);
+        assert_eq!(s.response_percentile(0.5), Micros::ZERO);
+        assert_eq!(s.response_percentile(1.0), Micros::ZERO);
+        let t = TenantStats::new(500.0);
+        assert_eq!(t.p50(), Micros::ZERO);
+        assert_eq!(t.p99(), Micros::ZERO);
+        assert_eq!(t.p999(), Micros::ZERO);
+        assert_eq!(t.mean_response(), Micros::ZERO);
+        assert_eq!(t.slo_violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn reservoir_at_exact_capacity_keeps_everything() {
+        // Exactly 2^17 responses: the reservoir is full but no replacement
+        // draw has happened yet, so percentiles are still exact and the
+        // SplitMix64 state is untouched.
+        let mut s = SimStats::new(6);
+        for i in 0..MAX_SAMPLES as u64 {
+            s.record_response(Micros(i as f64), true);
+        }
+        assert_eq!(s.response_samples.len(), MAX_SAMPLES);
+        assert_eq!(s.responses_seen, MAX_SAMPLES as u64);
+        assert_eq!(s.sample_state, SAMPLE_SEED, "no replacement draw yet");
+        assert_eq!(s.response_percentile(0.0), Micros(0.0));
+        assert_eq!(s.response_percentile(1.0), Micros((MAX_SAMPLES - 1) as f64));
+        // Exact median of 0..131071: idx = round(131071 * 0.5) = 65536.
+        assert_eq!(s.response_percentile(0.5), Micros(65_536.0));
+        // The very next response must trigger exactly one draw.
+        s.record_response(Micros(0.0), true);
+        assert_ne!(s.sample_state, SAMPLE_SEED);
+        assert_eq!(s.response_samples.len(), MAX_SAMPLES);
+    }
+
+    #[test]
+    fn reservoir_past_capacity_is_pinned() {
+        // 2^17 + 4096 monotone responses through the seeded reservoir:
+        // the retained sample (hence the percentiles) is a deterministic
+        // function of SAMPLE_SEED alone. The literals below pin it —
+        // any change to the sampling law or seed shows up here.
+        let feed = || {
+            let mut s = SimStats::new(6);
+            for i in 0..(MAX_SAMPLES as u64 + 4_096) {
+                s.record_response(Micros(i as f64), true);
+            }
+            s
+        };
+        let s = feed();
+        assert_eq!(s.response_samples.len(), MAX_SAMPLES);
+        assert_eq!(s.responses_seen, MAX_SAMPLES as u64 + 4_096);
+        assert_eq!(s, feed(), "reservoir must be run-to-run deterministic");
+        let p50 = s.response_percentile(0.5).as_f64();
+        let p99 = s.response_percentile(0.99).as_f64();
+        let p999 = s.response_percentile(0.999).as_f64();
+        assert_eq!(
+            (p50, p99, p999),
+            (67_564.0, 133_810.0, 135_031.0),
+            "pinned percentiles moved — sampling law changed"
+        );
+    }
+
+    #[test]
+    fn tenant_stats_slo_accounting() {
+        let mut t = TenantStats::new(200.0);
+        t.served = 4;
+        t.record_response(Micros(100.0));
+        t.record_response(Micros(300.0));
+        t.record_response(Micros(250.0));
+        t.record_response(Micros(200.0)); // boundary: not a violation
+        assert_eq!(t.slo_violations, 2);
+        assert_eq!(t.slo_violation_rate(), 0.5);
+        assert_eq!(t.max_response_us, 300.0);
+        assert_eq!(t.mean_response(), Micros(212.5));
+        assert_eq!(t.p50(), Micros(250.0));
+        // No SLO ⇒ no violations counted.
+        let mut free = TenantStats::new(0.0);
+        free.record_response(Micros(1e9));
+        assert_eq!(free.slo_violations, 0);
     }
 
     #[test]

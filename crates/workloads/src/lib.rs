@@ -28,11 +28,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
+pub mod openloop;
 pub mod spec;
 pub mod trace;
 pub mod zipf;
 
 pub use codec::{decode, encode, load, save, DecodeError};
+pub use openloop::{
+    Interarrival, OpenLoopSource, RequestSource, TenantRequest, TenantWorkload, TraceSource,
+};
 pub use spec::WorkloadSpec;
 pub use trace::{IoOp, IoRequest, Trace, TraceError, TraceProfile};
 pub use zipf::ZipfSampler;

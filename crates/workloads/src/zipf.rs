@@ -59,7 +59,15 @@ impl ZipfSampler {
     /// density `x^(−θ)` over `[1, n+1)`, so every rank receives a full
     /// unit of integration mass (θ = 0 is exactly uniform).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        self.rank_for(rng.gen::<f64>())
+    }
+
+    /// Maps one uniform variate `u ∈ [0, 1)` to a rank in `0 .. n` —
+    /// the inverse-CDF kernel behind [`sample`](Self::sample), exposed so
+    /// generators driving their own deterministic bit streams (e.g. the
+    /// open-loop arrival sources) can sample without a [`Rng`].
+    pub fn rank_for(&self, u: f64) -> u64 {
+        let u = u.max(f64::MIN_POSITIVE);
         let m = (self.n + 1) as f64;
         let k = if (self.theta - 1.0).abs() < 1e-9 {
             // θ = 1: continuous CDF is ln(k)/ln(m).

@@ -1,0 +1,179 @@
+//! Integration net for the generator-driven scheduler: open-loop
+//! multi-tenant serving with per-tenant QoS.
+//!
+//! Pins the refactor's contracts end to end:
+//!
+//! * replaying a closed trace through [`SsdSimulator::serve`] with
+//!   [`ServeOptions::replay`] is **bit-identical** to the original
+//!   [`SsdSimulator::run`] path, on both timing backends;
+//! * serving results are a pure function of the request stream — the
+//!   `threads` knob (1/2/8) never changes a single field;
+//! * the admitted/dropped/deferred sets and every logical counter are
+//!   backend-independent (lumped admission model);
+//! * a noisy neighbor raising its arrival rate degrades the victim
+//!   tenant's p99 monotonically;
+//! * the Drop policy conserves requests (served + dropped = arrivals)
+//!   and the Defer policy serves everything it delays.
+
+use rand::{rngs::StdRng, SeedableRng};
+use ssd::{
+    OverloadPolicy, Scheme, ServeOptions, SimStats, SsdConfig, SsdSimulator, TenantQos, TimingModel,
+};
+use workloads::{OpenLoopSource, TenantWorkload, TraceSource, WorkloadSpec};
+
+const SEED: u64 = 0xF1E2;
+
+fn config(timing: TimingModel, threads: u32) -> SsdConfig {
+    SsdConfig::scaled(Scheme::FlexLevel, 64)
+        .with_base_pe(6_000)
+        .with_seed(7)
+        .with_timing_model(timing)
+        .with_threads(threads)
+}
+
+/// Two tenants over disjoint 1 024-page working sets (the 64-block
+/// device holds ~3 000 logical pages); the second tenant's arrival rate
+/// is the parameter (the "noisy neighbor").
+fn two_tenants(neighbor_rps: f64) -> Vec<TenantWorkload> {
+    vec![
+        TenantWorkload::new(0, 1_024, 400.0).with_requests(1_500),
+        TenantWorkload::new(1_024, 1_024, neighbor_rps).with_requests(1_500),
+    ]
+}
+
+fn serve_stats(
+    timing: TimingModel,
+    threads: u32,
+    tenants: Vec<TenantWorkload>,
+    qos: TenantQos,
+) -> SimStats {
+    let mut sim = SsdSimulator::new(config(timing, threads));
+    let mut source = OpenLoopSource::new(tenants, SEED);
+    let options = ServeOptions::uniform(2, qos);
+    sim.serve(&mut source, &options)
+        .expect("serving run succeeds")
+        .clone()
+}
+
+#[test]
+fn serve_replay_is_bit_identical_to_run() {
+    let device = SsdConfig::scaled(Scheme::Baseline, 64);
+    let trace = WorkloadSpec::prj1()
+        .with_requests(4_000)
+        .with_footprint(device.geometry.logical_pages() * 7 / 10)
+        .with_interarrival_scale(2.2)
+        .generate(&mut StdRng::seed_from_u64(SEED));
+    for timing in [TimingModel::SingleQueue, TimingModel::Pipelined] {
+        let mut via_run = SsdSimulator::new(config(timing, 0));
+        let run_stats = via_run.run(&trace).expect("replay succeeds").clone();
+
+        let mut via_serve = SsdSimulator::new(config(timing, 0));
+        let mut source = TraceSource::new(&trace);
+        let serve_stats = via_serve
+            .serve(&mut source, &ServeOptions::replay())
+            .expect("serve replay succeeds")
+            .clone();
+
+        assert_eq!(run_stats, serve_stats, "replay diverged under {timing:?}");
+        assert!(
+            serve_stats.tenants.is_empty(),
+            "replay must stay untenanted"
+        );
+    }
+}
+
+#[test]
+fn serving_is_invariant_under_thread_count() {
+    let qos = TenantQos::default().with_queue_depth(8).with_slo_us(500.0);
+    for timing in [TimingModel::SingleQueue, TimingModel::Pipelined] {
+        let base = serve_stats(timing, 1, two_tenants(1_200.0), qos);
+        for threads in [2, 8] {
+            let other = serve_stats(timing, threads, two_tenants(1_200.0), qos);
+            assert_eq!(
+                base, other,
+                "threads={threads} changed results under {timing:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tenant_logical_counters_are_backend_independent() {
+    let qos = TenantQos::default()
+        .with_queue_depth(4)
+        .with_policy(OverloadPolicy::Drop)
+        .with_slo_us(500.0);
+    let single = serve_stats(TimingModel::SingleQueue, 0, two_tenants(3_000.0), qos);
+    let pipelined = serve_stats(TimingModel::Pipelined, 0, two_tenants(3_000.0), qos);
+    assert_eq!(single.tenants.len(), 2);
+    assert_eq!(pipelined.tenants.len(), 2);
+    for (t, (s, p)) in single.tenants.iter().zip(&pipelined.tenants).enumerate() {
+        assert_eq!(s.arrivals, p.arrivals, "tenant {t} arrivals");
+        assert_eq!(s.served, p.served, "tenant {t} served");
+        assert_eq!(s.dropped, p.dropped, "tenant {t} dropped");
+        assert_eq!(s.deferred, p.deferred, "tenant {t} deferred");
+        assert_eq!(s.reads, p.reads, "tenant {t} reads");
+        assert_eq!(s.writes, p.writes, "tenant {t} writes");
+    }
+    // The lumped admission model must actually have exercised the cap,
+    // or this test pins nothing.
+    assert!(
+        single.tenants.iter().any(|t| t.dropped > 0),
+        "expected backpressure at these rates"
+    );
+}
+
+#[test]
+fn noisy_neighbor_degrades_victim_p99_monotonically() {
+    // Unlimited queue depth: the only coupling between tenants is the
+    // shared device, so the victim's tail latency is a direct read on
+    // contention.
+    let qos = TenantQos::default();
+    let mut last = 0.0;
+    for neighbor_rps in [400.0, 1_600.0, 6_400.0] {
+        let stats = serve_stats(TimingModel::SingleQueue, 0, two_tenants(neighbor_rps), qos);
+        let victim_p99 = stats.tenants[0].p99().as_f64();
+        assert!(
+            victim_p99 > last,
+            "victim p99 {victim_p99} did not rise past {last} at neighbor rate {neighbor_rps}"
+        );
+        last = victim_p99;
+    }
+}
+
+#[test]
+fn drop_policy_conserves_requests() {
+    let qos = TenantQos::default()
+        .with_queue_depth(2)
+        .with_policy(OverloadPolicy::Drop);
+    let stats = serve_stats(TimingModel::SingleQueue, 0, two_tenants(8_000.0), qos);
+    let mut dropped_total = 0;
+    for (t, tenant) in stats.tenants.iter().enumerate() {
+        assert_eq!(
+            tenant.served + tenant.dropped,
+            tenant.arrivals,
+            "tenant {t} leaked requests"
+        );
+        assert_eq!(tenant.deferred, 0, "tenant {t} deferred under Drop");
+        dropped_total += tenant.dropped;
+    }
+    assert!(dropped_total > 0, "expected drops at these rates");
+    // Only admitted requests reach the device.
+    let served: u64 = stats.tenants.iter().map(|t| t.served).sum();
+    assert_eq!(stats.host_requests(), served);
+}
+
+#[test]
+fn defer_policy_serves_everything() {
+    let qos = TenantQos::default()
+        .with_queue_depth(8)
+        .with_policy(OverloadPolicy::Defer);
+    let stats = serve_stats(TimingModel::SingleQueue, 0, two_tenants(2_500.0), qos);
+    let mut deferred_total = 0;
+    for (t, tenant) in stats.tenants.iter().enumerate() {
+        assert_eq!(tenant.served, tenant.arrivals, "tenant {t} lost requests");
+        assert_eq!(tenant.dropped, 0, "tenant {t} dropped under Defer");
+        deferred_total += tenant.deferred;
+    }
+    assert!(deferred_total > 0, "expected deferrals at these rates");
+}
