@@ -310,6 +310,23 @@ pub enum Placement {
     Reduced,
 }
 
+/// Checkpoint view of an [`AccessEvalController`]'s mutable state,
+/// canonicalised for byte-deterministic serialization: read counters
+/// sorted by LPN, pool entries in LRU (sequence) order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessEvalSnapshot {
+    /// HLO identifier read counters as `(lpn, count)`, sorted by LPN.
+    pub read_counts: Vec<(u64, u32)>,
+    /// Reads accumulated toward the next aging pass.
+    pub reads_since_aging: u64,
+    /// ReducedCell pool entries as `(sequence, lpn)` in sequence order.
+    pub pool: Vec<(u64, u64)>,
+    /// The pool's next LRU sequence number.
+    pub pool_next_seq: u64,
+    /// Behaviour counters at snapshot time.
+    pub stats: AccessEvalStats,
+}
+
 /// The AccessEval controller: identifier + pool + migration policy.
 ///
 /// ```
@@ -397,6 +414,62 @@ impl AccessEvalController {
     /// The HLO identifier.
     pub fn identifier(&self) -> &HloIdentifier {
         &self.identifier
+    }
+
+    /// Captures the controller's mutable state for checkpointing.
+    pub fn snapshot(&self) -> AccessEvalSnapshot {
+        let mut read_counts: Vec<(u64, u32)> = self
+            .identifier
+            .read_counts
+            .iter()
+            .map(|(&lpn, &count)| (lpn, count))
+            .collect();
+        read_counts.sort_unstable_by_key(|&(lpn, _)| lpn);
+        AccessEvalSnapshot {
+            read_counts,
+            reads_since_aging: self.identifier.reads_since_aging,
+            pool: self
+                .pool
+                .by_seq
+                .iter()
+                .map(|(&seq, &lpn)| (seq, lpn))
+                .collect(),
+            pool_next_seq: self.pool.next_seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot) into a
+    /// controller built with the *same* configuration, validating the
+    /// pool entries (untrusted input fails typed, never panics).
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first inconsistency found.
+    pub fn restore(&mut self, snap: &AccessEvalSnapshot) -> Result<(), &'static str> {
+        if snap.pool.len() as u64 > self.pool.capacity {
+            return Err("pool snapshot exceeds capacity");
+        }
+        let mut by_seq = BTreeMap::new();
+        let mut by_lpn = HashMap::new();
+        for &(seq, lpn) in &snap.pool {
+            if seq >= snap.pool_next_seq {
+                return Err("pool entry at or after the sequence counter");
+            }
+            if by_seq.insert(seq, lpn).is_some() {
+                return Err("duplicate pool sequence");
+            }
+            if by_lpn.insert(lpn, seq).is_some() {
+                return Err("duplicate pooled page");
+            }
+        }
+        self.pool.by_seq = by_seq;
+        self.pool.by_lpn = by_lpn;
+        self.pool.next_seq = snap.pool_next_seq;
+        self.identifier.read_counts = snap.read_counts.iter().copied().collect();
+        self.identifier.reads_since_aging = snap.reads_since_aging;
+        self.stats = snap.stats;
+        Ok(())
     }
 }
 
@@ -584,6 +657,32 @@ mod tests {
         assert!(ctrl.on_invalidate(1));
         assert_eq!(ctrl.placement(1), Placement::Normal);
         assert!(!ctrl.on_invalidate(1), "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn snapshot_round_trips_controller_state() {
+        let mut ctrl = AccessEvalController::new(small_config(4));
+        for lpn in 0..6 {
+            for _ in 0..8 {
+                ctrl.on_read(lpn, 4, 6);
+            }
+        }
+        let snap = ctrl.snapshot();
+        assert!(snap.read_counts.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut restored = AccessEvalController::new(small_config(4));
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        // The restored controller behaves identically going forward.
+        for _ in 0..8 {
+            assert_eq!(ctrl.on_read(9, 4, 6), restored.on_read(9, 4, 6));
+        }
+        assert_eq!(ctrl.stats(), restored.stats());
+        // Corrupted snapshots fail typed.
+        let mut bad = snap.clone();
+        bad.pool.push((bad.pool_next_seq + 7, 12345));
+        assert!(AccessEvalController::new(small_config(4))
+            .restore(&bad)
+            .is_err());
     }
 
     #[test]

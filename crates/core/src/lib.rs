@@ -48,8 +48,8 @@ pub mod reduce_code;
 pub mod reduced_array;
 
 pub use accesseval::{
-    AccessEvalConfig, AccessEvalController, AccessEvalStats, HloIdentifier, Migration, Placement,
-    ReducedCellPool, POOL_ENTRY_BYTES,
+    AccessEvalConfig, AccessEvalController, AccessEvalSnapshot, AccessEvalStats, HloIdentifier,
+    Migration, Placement, ReducedCellPool, POOL_ENTRY_BYTES,
 };
 pub use capacity::{CapacityModel, REDUCED_MODE_LOSS};
 pub use level_adjust::{

@@ -53,6 +53,19 @@
 //!                        real quantized decoder (layered schedule, one
 //!                        decode-farm pass sized by --threads) instead
 //!                        of the analytic iteration curve
+//!   --checkpoint-out F   write a restorable device image to F (replay
+//!                        mode, single scheme); the run stops at the
+//!                        checkpoint unless --crash-at continues it
+//!   --checkpoint-at N    checkpoint after N requests (default: half the
+//!                        trace; 0 when combined with --crash-at)
+//!   --crash-at N    sudden power-off while serving request N: the run
+//!                   resumes past the checkpoint, power dies mid-request
+//!                   (seeded mapping-journal cut, torn page when a program
+//!                   was in flight) and the crash image lands in
+//!                   --checkpoint-out
+//!   --restore F     resume from a checkpoint or crash image; crash
+//!                   images are first proven recoverable (journal replay
+//!                   + invariant audit — exit 3 on a violation)
 //!   --metrics-out F Prometheus text exposition of the run's metrics
 //!   --trace-out F   Chrome trace_event JSON (load in Perfetto / about:tracing)
 //!   --trace-jsonl F one JSON object per sampled read span
@@ -109,6 +122,10 @@ struct Args {
     slo_us: f64,
     overload: OverloadPolicy,
     threads: u32,
+    checkpoint_out: Option<String>,
+    checkpoint_at: Option<u64>,
+    crash_at: Option<u64>,
+    restore: Option<String>,
 }
 
 impl Args {
@@ -155,6 +172,10 @@ fn parse_args() -> Result<Args, String> {
         slo_us: 0.0,
         overload: OverloadPolicy::Drop,
         threads: 0,
+        checkpoint_out: None,
+        checkpoint_at: None,
+        crash_at: None,
+        restore: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -304,6 +325,22 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--measured-iterations" => args.measured_iterations = true,
+            "--checkpoint-out" => args.checkpoint_out = Some(value("--checkpoint-out")?),
+            "--checkpoint-at" => {
+                args.checkpoint_at = Some(
+                    value("--checkpoint-at")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-at: {e}"))?,
+                )
+            }
+            "--crash-at" => {
+                args.crash_at = Some(
+                    value("--crash-at")?
+                        .parse()
+                        .map_err(|e| format!("--crash-at: {e}"))?,
+                )
+            }
+            "--restore" => args.restore = Some(value("--restore")?),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--trace-jsonl" => args.trace_jsonl = Some(value("--trace-jsonl")?),
@@ -318,6 +355,22 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
+    }
+    if args.checkpoint_at.is_some() && args.checkpoint_out.is_none() {
+        return Err("--checkpoint-at requires --checkpoint-out".to_string());
+    }
+    if args.crash_at.is_some() && args.checkpoint_out.is_none() {
+        return Err("--crash-at requires --checkpoint-out".to_string());
+    }
+    if args.restore.is_some() && (args.checkpoint_out.is_some() || args.crash_at.is_some()) {
+        return Err("--restore cannot be combined with --checkpoint-out / --crash-at".to_string());
+    }
+    if (args.restore.is_some() || args.checkpoint_out.is_some()) && (args.serve || args.all_schemes)
+    {
+        return Err(
+            "checkpoint/restore runs one scheme in replay mode (no --serve, no --all-schemes)"
+                .to_string(),
+        );
     }
     Ok(args)
 }
@@ -335,8 +388,20 @@ fn print_usage() {
                 [--serve] [--tenants N] [--arrival-rate R[,R...]]\n\
                 [--queue-depth N] [--slo-us X] [--overload drop|defer]\n\
                 [--threads N] [--measured-iterations]\n\
+                [--checkpoint-out image.bin] [--checkpoint-at N]\n\
+                [--crash-at N] [--restore image.bin]\n\
                 [--metrics-out metrics.prom] [--trace-out trace.json]\n\
-                [--trace-jsonl spans.jsonl] [--trace-sample N]"
+                [--trace-jsonl spans.jsonl] [--trace-sample N]\n\n\
+         Checkpoint / sudden power-off (replay mode, single scheme):\n\
+           --checkpoint-out F  stop after --checkpoint-at requests (default\n\
+                               half the trace) and write the device image\n\
+           --crash-at N        resume past the checkpoint, cut power while\n\
+                               serving request N (seeded journal cut, torn\n\
+                               page), write the crash image to F\n\
+           --restore F         load F, prove crash recovery (journal replay\n\
+                               + invariant audit), resume to the end\n\
+         Exit codes: 0 ok, 1 simulation/IO/decode failure, 2 usage,\n\
+                     3 post-recovery invariant violation"
     );
 }
 
@@ -376,17 +441,36 @@ fn print_recovery_panel(stats: &SimStats) {
         stats.observed_uber(EccConfig::paper_ldpc().info_bits),
         stats.decoded_frames()
     );
+    print_crash_recovery_lines(stats);
 }
 
-/// Builds the simulator for one scheme from the CLI flags; returns it
-/// together with whether fault injection ended up enabled (scenario
+/// The crash-recovery counters, printed only after a `--restore` of a
+/// crash image (all three stay zero otherwise).
+fn print_crash_recovery_lines(stats: &SimStats) {
+    if stats.journal_replayed == 0
+        && stats.torn_pages_discarded == 0
+        && stats.checkpoint_age_requests == 0
+    {
+        return;
+    }
+    println!(
+        "  crash recovery     : {} journal records replayed, {} torn pages discarded",
+        stats.journal_replayed, stats.torn_pages_discarded
+    );
+    println!(
+        "  checkpoint age     : {} requests",
+        stats.checkpoint_age_requests
+    );
+}
+
+/// Builds the configuration for one scheme from the CLI flags; returns
+/// it together with whether fault injection ended up enabled (scenario
 /// presets can switch faults on without `--faults`).
-fn build_simulator(
+fn build_config(
     scheme: Scheme,
     args: &Args,
     measured: Option<IterationProfile>,
-    observe: bool,
-) -> (SsdSimulator, bool) {
+) -> (SsdConfig, bool) {
     let mut config = SsdConfig::scaled(scheme, args.blocks)
         .with_base_pe(args.pe)
         .with_seed(args.seed)
@@ -408,6 +492,18 @@ fn build_simulator(
         config = spec.apply(config);
     }
     let faulty = config.faults.enabled;
+    (config, faulty)
+}
+
+/// Builds the simulator for one scheme from the CLI flags; see
+/// [`build_config`] for the `bool`.
+fn build_simulator(
+    scheme: Scheme,
+    args: &Args,
+    measured: Option<IterationProfile>,
+    observe: bool,
+) -> (SsdSimulator, bool) {
+    let (config, faulty) = build_config(scheme, args, measured);
     let mut sim = SsdSimulator::new(config);
     if observe {
         sim.attach_observer(SimObserver::new(scheme, args.trace_sample));
@@ -429,78 +525,84 @@ fn run_one(
     let (mut sim, faulty) = build_simulator(scheme, args, measured, observe);
     match sim.run(trace) {
         Ok(_) => {
-            let stats = sim.stats();
-            println!("--- {} ---", scheme.label());
-            println!("  mean response      : {}", stats.mean_response());
-            println!("  mean read response : {}", stats.mean_read_response());
-            println!(
-                "  host requests      : {} ({} reads / {} writes)",
-                stats.host_requests(),
-                stats.host_reads,
-                stats.host_writes
-            );
-            println!("  buffer read hits   : {}", stats.buffer_read_hits);
-            println!("  reduced-page reads : {}", stats.reduced_reads);
-            println!(
-                "  soft-read fraction : {:.1}%",
-                stats.soft_read_fraction() * 100.0
-            );
-            println!(
-                "  flash ops          : {} reads, {} programs, {} erases",
-                stats.flash_reads, stats.flash_programs, stats.erases
-            );
-            println!(
-                "  GC                 : {} runs, {} pages moved",
-                stats.gc_runs, stats.gc_migrated_pages
-            );
-            if scheme == Scheme::FlexLevel {
-                println!(
-                    "  AccessEval         : {} promotions, {} demotions",
-                    stats.promotions, stats.demotions
-                );
-            }
-            if faulty {
-                print_recovery_panel(stats);
-            }
-            if args.timing == TimingModel::Pipelined {
-                println!(
-                    "  response p50/95/99 : {} / {} / {}",
-                    stats.response_percentile(0.50),
-                    stats.response_percentile(0.95),
-                    stats.response_percentile(0.99)
-                );
-                println!(
-                    "  makespan           : {:.0} us ({:.0} req/s)",
-                    stats.makespan_us,
-                    stats.throughput_rps()
-                );
-                let planes = args.channels * args.dies;
-                for kind in StageKind::ALL {
-                    let units = match kind {
-                        StageKind::Transfer => args.channels,
-                        StageKind::Decode => args.decoders,
-                        _ => planes,
-                    };
-                    let account = stats.stage(kind);
-                    if account.ops == 0 {
-                        continue;
-                    }
-                    println!(
-                        "  stage {:<12} : {:>8} ops, mean {:>9}, wait {:>9}, util {:>5.1}%",
-                        kind.label(),
-                        account.ops,
-                        account.mean_latency(),
-                        account.mean_wait(),
-                        stats.stage_utilization(kind, units) * 100.0
-                    );
-                }
-            }
+            print_report(scheme, args, sim.stats(), faulty);
             Some(sim.take_observer().map(SimObserver::into_recorder))
         }
         Err(e) => {
             eprintln!("--- {} ---", scheme.label());
             eprintln!("  simulation failed  : {e}");
             None
+        }
+    }
+}
+
+/// The replay-mode report for one completed scheme.
+fn print_report(scheme: Scheme, args: &Args, stats: &SimStats, faulty: bool) {
+    println!("--- {} ---", scheme.label());
+    println!("  mean response      : {}", stats.mean_response());
+    println!("  mean read response : {}", stats.mean_read_response());
+    println!(
+        "  host requests      : {} ({} reads / {} writes)",
+        stats.host_requests(),
+        stats.host_reads,
+        stats.host_writes
+    );
+    println!("  buffer read hits   : {}", stats.buffer_read_hits);
+    println!("  reduced-page reads : {}", stats.reduced_reads);
+    println!(
+        "  soft-read fraction : {:.1}%",
+        stats.soft_read_fraction() * 100.0
+    );
+    println!(
+        "  flash ops          : {} reads, {} programs, {} erases",
+        stats.flash_reads, stats.flash_programs, stats.erases
+    );
+    println!(
+        "  GC                 : {} runs, {} pages moved",
+        stats.gc_runs, stats.gc_migrated_pages
+    );
+    if scheme == Scheme::FlexLevel {
+        println!(
+            "  AccessEval         : {} promotions, {} demotions",
+            stats.promotions, stats.demotions
+        );
+    }
+    if faulty {
+        print_recovery_panel(stats);
+    } else {
+        print_crash_recovery_lines(stats);
+    }
+    if args.timing == TimingModel::Pipelined {
+        println!(
+            "  response p50/95/99 : {} / {} / {}",
+            stats.response_percentile(0.50),
+            stats.response_percentile(0.95),
+            stats.response_percentile(0.99)
+        );
+        println!(
+            "  makespan           : {:.0} us ({:.0} req/s)",
+            stats.makespan_us,
+            stats.throughput_rps()
+        );
+        let planes = args.channels * args.dies;
+        for kind in StageKind::ALL {
+            let units = match kind {
+                StageKind::Transfer => args.channels,
+                StageKind::Decode => args.decoders,
+                _ => planes,
+            };
+            let account = stats.stage(kind);
+            if account.ops == 0 {
+                continue;
+            }
+            println!(
+                "  stage {:<12} : {:>8} ops, mean {:>9}, wait {:>9}, util {:>5.1}%",
+                kind.label(),
+                account.ops,
+                account.mean_latency(),
+                account.mean_wait(),
+                stats.stage_utilization(kind, units) * 100.0
+            );
         }
     }
 }
@@ -878,6 +980,176 @@ fn calibrate_iteration_profile(args: &Args) -> IterationProfile {
     profile
 }
 
+/// The checkpoint / sudden-power-off / restore flows (`--checkpoint-out`,
+/// `--crash-at`, `--restore`); returns the process exit code.
+///
+/// Exit codes: `0` success, `1` simulation/IO/decode failure, `3` a
+/// crash image whose recovered state fails the invariant audit.
+fn run_spor(
+    args: &Args,
+    trace: &workloads::Trace,
+    measured: Option<IterationProfile>,
+    observe: bool,
+) -> i32 {
+    use ssd::{CrashPlan, DeviceImage, PageMapFtl, SimError};
+    let scheme = args.scheme;
+    if let Some(path) = args.restore.as_deref() {
+        let image = match DeviceImage::load(path) {
+            Ok(image) => image,
+            Err(e) => {
+                eprintln!("error: loading {path}: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = image.verify_trace(trace) {
+            eprintln!("error: {e}");
+            return 1;
+        }
+        let crashed = image.crashed_at.is_some() || !image.journal.is_empty();
+        let mut recovery = None;
+        if crashed {
+            // Crash-consistency proof: replay the surviving journal onto
+            // the checkpoint-time FTL and audit the result before the
+            // deterministic re-execution resumes.
+            let (recovered, report) =
+                match PageMapFtl::recover(&image.ftl, &image.journal, image.torn) {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        eprintln!("error: crash recovery failed: {e}");
+                        return 3;
+                    }
+                };
+            if let Err(e) = recovered.check_invariants() {
+                eprintln!("error: post-recovery invariant violated: {e}");
+                return 3;
+            }
+            let age = image
+                .crashed_at
+                .map_or(0, |at| (at + 1).saturating_sub(image.request_cursor));
+            if let Some(at) = image.crashed_at {
+                println!("crash image: power was lost while serving request {at}");
+            }
+            println!("recovered journal entries : {}", report.journal_replayed);
+            println!(
+                "torn pages discarded      : {}",
+                report.torn_pages_discarded
+            );
+            println!("checkpoint age            : {age} requests\n");
+            recovery = Some((report, age));
+        }
+        let (config, faulty) = build_config(scheme, args, measured);
+        let mut sim = match SsdSimulator::restore(config, &image) {
+            Ok(sim) => sim,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        if observe {
+            sim.attach_observer(SimObserver::new(scheme, args.trace_sample));
+        }
+        if let Some((report, age)) = recovery {
+            sim.note_recovery(&report, age);
+        }
+        match sim.resume(trace) {
+            Ok(_) => {
+                print_report(scheme, args, sim.stats(), faulty);
+                if let Some(observer) = sim.take_observer() {
+                    write_exports(args, &observer.into_recorder());
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("error: resumed run failed: {e}");
+                1
+            }
+        }
+    } else {
+        let path = args
+            .checkpoint_out
+            .as_deref()
+            .expect("flags validated at parse time");
+        let stop = args.checkpoint_at.unwrap_or(if args.crash_at.is_some() {
+            0
+        } else {
+            args.requests / 2
+        });
+        if let Some(crash_at) = args.crash_at {
+            if crash_at < stop {
+                eprintln!("error: --crash-at {crash_at} precedes the checkpoint at {stop}");
+                return 2;
+            }
+        }
+        let (config, _) = build_config(scheme, args, measured);
+        let mut sim = SsdSimulator::new(config);
+        if let Err(e) = sim.run_prefix(trace, stop) {
+            eprintln!("error: {e}");
+            return 1;
+        }
+        let mut image = match sim.checkpoint() {
+            Ok(image) => image,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        image.trace_fingerprint = ssd::trace_fingerprint(trace);
+        match args.crash_at {
+            None => {
+                if let Err(e) = image.save(path) {
+                    eprintln!("error: writing {path}: {e}");
+                    return 1;
+                }
+                println!("checkpoint after {stop} requests written to {path}");
+                println!("resume with: flexlevel-sim --restore {path} (same flags)");
+                0
+            }
+            Some(crash_at) => {
+                sim.set_crash_plan(Some(CrashPlan::at_request(args.seed, crash_at)));
+                match sim.resume(trace) {
+                    Err(SimError::PowerLoss { at_request }) => {
+                        let crash = match sim.crash_image(&image) {
+                            Ok(crash) => crash,
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return 1;
+                            }
+                        };
+                        if let Err(e) = crash.save(path) {
+                            eprintln!("error: writing {path}: {e}");
+                            return 1;
+                        }
+                        let appended = sim.ftl().journal().map_or(0, <[_]>::len);
+                        println!(
+                            "power lost serving request {at_request}: {} of {appended} \
+                             journal records survived{}",
+                            crash.journal.len(),
+                            if crash.torn.is_some() {
+                                ", one torn page"
+                            } else {
+                                ""
+                            }
+                        );
+                        println!("crash image written to {path}");
+                        0
+                    }
+                    Ok(_) => {
+                        eprintln!(
+                            "error: --crash-at {crash_at} never fired ({} requests served)",
+                            sim.request_cursor()
+                        );
+                        1
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        1
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Writes `contents` to `path`, exiting with a message on failure.
 fn write_output(path: &str, contents: &str, what: &str) {
     if let Err(e) = std::fs::write(path, contents) {
@@ -885,6 +1157,19 @@ fn write_output(path: &str, contents: &str, what: &str) {
         std::process::exit(1);
     }
     println!("wrote {what} to {path}");
+}
+
+/// Writes every requested observability artifact from `recorder`.
+fn write_exports(args: &Args, recorder: &Recorder) {
+    if let Some(path) = args.metrics_out.as_deref() {
+        write_output(path, &export::prometheus(&recorder.metrics), "metrics");
+    }
+    if let Some(path) = args.trace_out.as_deref() {
+        write_output(path, &export::chrome_trace(&recorder.spans), "chrome trace");
+    }
+    if let Some(path) = args.trace_jsonl.as_deref() {
+        write_output(path, &export::span_jsonl(&recorder.spans), "span jsonl");
+    }
 }
 
 fn main() {
@@ -957,6 +1242,10 @@ fn main() {
     let measured = args
         .measured_iterations
         .then(|| calibrate_iteration_profile(&args));
+    if args.checkpoint_out.is_some() || args.restore.is_some() {
+        let trace = trace.as_ref().expect("checkpoint/restore is replay-only");
+        std::process::exit(run_spor(&args, trace, measured, observe));
+    }
     let mut failed = Vec::new();
     // Recorders merge in scheme order — a fixed order, so the combined
     // registry and trace are independent of anything but the runs.
@@ -987,15 +1276,7 @@ fn main() {
                 }
             }
         }
-        if let Some(path) = args.metrics_out.as_deref() {
-            write_output(path, &export::prometheus(&recorder.metrics), "metrics");
-        }
-        if let Some(path) = args.trace_out.as_deref() {
-            write_output(path, &export::chrome_trace(&recorder.spans), "chrome trace");
-        }
-        if let Some(path) = args.trace_jsonl.as_deref() {
-            write_output(path, &export::span_jsonl(&recorder.spans), "span jsonl");
-        }
+        write_exports(&args, recorder);
     }
     if !failed.is_empty() {
         eprintln!(

@@ -97,6 +97,48 @@ impl WriteBuffer {
         Some(lpn)
     }
 
+    /// Checkpoint view: `(sequence, lpn)` entries in LRU (sequence)
+    /// order plus the sequence counter — enough to rebuild the buffer
+    /// bit-identically, eviction order included.
+    pub fn snapshot(&self) -> (Vec<(u64, u64)>, u64) {
+        (
+            self.by_seq.iter().map(|(&seq, &lpn)| (seq, lpn)).collect(),
+            self.next_seq,
+        )
+    }
+
+    /// Rebuilds a buffer from a [`snapshot`](Self::snapshot), validating
+    /// the entries (untrusted input fails typed, never panics).
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first inconsistency: capacity
+    /// overflow, duplicate sequence or page, or a sequence at/after the
+    /// counter.
+    pub fn from_snapshot(
+        capacity: u64,
+        entries: &[(u64, u64)],
+        next_seq: u64,
+    ) -> Result<WriteBuffer, &'static str> {
+        let mut buf = WriteBuffer::new(capacity);
+        if entries.len() as u64 > buf.capacity {
+            return Err("buffer snapshot exceeds capacity");
+        }
+        for &(seq, lpn) in entries {
+            if seq >= next_seq {
+                return Err("buffer entry at or after the sequence counter");
+            }
+            if buf.by_seq.insert(seq, lpn).is_some() {
+                return Err("duplicate buffer sequence");
+            }
+            if buf.by_lpn.insert(lpn, seq).is_some() {
+                return Err("duplicate buffered page");
+            }
+        }
+        buf.next_seq = next_seq;
+        Ok(buf)
+    }
+
     /// Drains every dirty page (shutdown flush), LRU first.
     pub fn drain(&mut self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.by_lpn.len());

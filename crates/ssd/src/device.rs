@@ -214,6 +214,27 @@ impl ReliabilityState {
     pub fn cache_entries(&self) -> usize {
         self.ber_cache.len()
     }
+
+    /// Checkpoint view of the mutable accumulators: `(lpn, age hours)`
+    /// pairs sorted by LPN plus the raw RNG state. The BER caches are
+    /// pure memoisation and deliberately excluded — they repopulate on
+    /// demand with bit-identical values.
+    pub fn snapshot(&self) -> (Vec<(u64, f64)>, [u64; 4]) {
+        let mut ages: Vec<(u64, f64)> = self
+            .ages
+            .iter()
+            .map(|(&lpn, &age)| (lpn, age.as_f64()))
+            .collect();
+        ages.sort_unstable_by_key(|&(lpn, _)| lpn);
+        (ages, self.rng.state())
+    }
+
+    /// Restores the accumulators captured by [`snapshot`](Self::snapshot)
+    /// into this oracle, replacing the age table and RNG state.
+    pub fn restore(&mut self, ages: &[(u64, f64)], rng: [u64; 4]) {
+        self.ages = ages.iter().map(|&(lpn, age)| (lpn, Hours(age))).collect();
+        self.rng = StdRng::from_state(rng);
+    }
 }
 
 /// Busy horizons of every independently schedulable hardware unit in the

@@ -285,6 +285,28 @@ impl FaultState {
         self.draw(StreamKind::Program, lpn)
     }
 
+    /// Checkpoint view of the per-page stream counters as
+    /// `(kind tag, lpn, count)` triples sorted by `(tag, lpn)`. The FER
+    /// cache is pure memoisation and excluded.
+    pub fn counters_snapshot(&self) -> Vec<(u64, u64, u64)> {
+        let mut out: Vec<(u64, u64, u64)> = self
+            .counters
+            .iter()
+            .map(|(&(tag, lpn), &count)| (tag, lpn, count))
+            .collect();
+        out.sort_unstable_by_key(|&(tag, lpn, _)| (tag, lpn));
+        out
+    }
+
+    /// Restores the per-page stream counters captured by
+    /// [`counters_snapshot`](Self::counters_snapshot).
+    pub fn restore_counters(&mut self, counters: &[(u64, u64, u64)]) {
+        self.counters = counters
+            .iter()
+            .map(|&(tag, lpn, count)| ((tag, lpn), count))
+            .collect();
+    }
+
     /// Initial frame-error rate of a read at raw BER `ber` sensed with
     /// `levels` extra soft levels (scaled by the acceleration knob,
     /// memoised per quantised BER).
@@ -300,6 +322,91 @@ impl FaultState {
         let fer = (self.config.scale * base).clamp(0.0, 1.0);
         self.fer_cache.insert(key, fer);
         fer
+    }
+}
+
+/// When a [`CrashPlan`] cuts power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashTrigger {
+    /// Cut after the request with this zero-based logical index is
+    /// served (the crash lands somewhere inside its journal records).
+    OpIndex(u64),
+    /// Cut at the first request whose arrival time reaches this many
+    /// simulated microseconds.
+    SimTimeUs(f64),
+}
+
+/// A seeded, deterministic sudden-power-off plan.
+///
+/// The *where-exactly* of the cut — which journal record is the last to
+/// survive, and whether the in-flight program leaves a torn page — is
+/// derived from `(seed, request index)` with the same SplitMix64
+/// discipline as the fault streams, so a crash point is a pure function
+/// of the plan and the logical request sequence, never of thread count
+/// or timing backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// Seed of the cut-point derivation stream.
+    pub seed: u64,
+    /// When power is lost.
+    pub trigger: CrashTrigger,
+}
+
+impl CrashPlan {
+    /// Plan that cuts power after the request at zero-based `index`.
+    pub fn at_request(seed: u64, index: u64) -> CrashPlan {
+        CrashPlan {
+            seed,
+            trigger: CrashTrigger::OpIndex(index),
+        }
+    }
+
+    /// Plan that cuts power at `us` simulated microseconds.
+    pub fn at_time_us(seed: u64, us: f64) -> CrashPlan {
+        CrashPlan {
+            seed,
+            trigger: CrashTrigger::SimTimeUs(us),
+        }
+    }
+
+    /// Derives the exact cut inside the crashing request's journal
+    /// window: given the journal length before and after the request was
+    /// served, returns `(cut, torn)` — the number of journal records
+    /// that survive (in `[records_before + 1, records_after]`, so the
+    /// crash always lands inside the in-flight request) and whether the
+    /// interrupted record additionally left a torn page. When the
+    /// request appended nothing the cut degenerates to `records_before`.
+    pub fn cut(
+        &self,
+        at_request: u64,
+        records_before: usize,
+        records_after: usize,
+    ) -> (usize, bool) {
+        if records_after <= records_before {
+            return (records_before, false);
+        }
+        let mut state = self.seed ^ at_request.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let _ = splitmix64(&mut state);
+        let span = (records_after - records_before) as u64;
+        let cut = records_before + 1 + (splitmix64(&mut state) % span) as usize;
+        let torn = splitmix64(&mut state) & 1 == 1;
+        (cut, torn)
+    }
+
+    /// Seeded sweep of `n` crash points over a journal of `len` records:
+    /// `(cut, torn)` pairs, each cut in `[0, len]`. Used by the
+    /// crash-torture harness to cover prefixes of a recorded journal
+    /// deterministically.
+    pub fn sweep_points(seed: u64, n: usize, len: usize) -> Vec<(usize, bool)> {
+        let mut state = seed;
+        let _ = splitmix64(&mut state);
+        (0..n)
+            .map(|_| {
+                let cut = (splitmix64(&mut state) % (len as u64 + 1)) as usize;
+                let torn = splitmix64(&mut state) & 1 == 1;
+                (cut, torn)
+            })
+            .collect()
     }
 }
 
@@ -412,5 +519,52 @@ mod tests {
         assert_eq!(s.retry_fer_factor(), 0.02);
         let s = FaultState::new(FaultConfig::enabled(), &derived_schedule(), 3.0);
         assert_eq!(s.retry_fer_factor(), 0.5);
+    }
+
+    #[test]
+    fn counter_snapshot_round_trips_the_streams() {
+        let mut a = state(FaultConfig::enabled());
+        for i in 0..16 {
+            let _ = a.read_draw(i % 5);
+            let _ = a.program_draw(i % 3);
+        }
+        let snap = a.counters_snapshot();
+        // Sorted and deterministic.
+        assert!(snap.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        let mut b = state(FaultConfig::enabled());
+        b.restore_counters(&snap);
+        // The restored injector continues the exact same streams.
+        let next_a: Vec<f64> = (0..8).map(|i| a.read_draw(i % 5)).collect();
+        let next_b: Vec<f64> = (0..8).map(|i| b.read_draw(i % 5)).collect();
+        assert_eq!(next_a, next_b);
+    }
+
+    #[test]
+    fn crash_cuts_are_deterministic_and_in_range() {
+        let plan = CrashPlan::at_request(0xC4A5, 40);
+        let (cut, torn) = plan.cut(40, 10, 18);
+        assert_eq!((cut, torn), plan.cut(40, 10, 18));
+        assert!((11..=18).contains(&cut));
+        // No records appended: the cut degenerates, never torn.
+        assert_eq!(plan.cut(40, 10, 10), (10, false));
+        // Different request indices decorrelate.
+        assert_ne!(plan.cut(41, 10, 18), plan.cut(42, 10, 18));
+    }
+
+    #[test]
+    fn sweep_points_cover_the_journal() {
+        let points = CrashPlan::sweep_points(0x5EED, 200, 1000);
+        assert_eq!(points.len(), 200);
+        assert_eq!(points, CrashPlan::sweep_points(0x5EED, 200, 1000));
+        assert!(points.iter().all(|&(cut, _)| cut <= 1000));
+        let distinct: std::collections::HashSet<usize> =
+            points.iter().map(|&(cut, _)| cut).collect();
+        assert!(
+            distinct.len() > 100,
+            "cuts should spread: {}",
+            distinct.len()
+        );
+        assert!(points.iter().any(|&(_, torn)| torn));
+        assert!(points.iter().any(|&(_, torn)| !torn));
     }
 }

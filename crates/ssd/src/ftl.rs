@@ -13,6 +13,8 @@ use std::collections::VecDeque;
 use flash_model::{BlockId, CellMode, DeviceGeometry, PhysicalPage};
 use serde::{Deserialize, Serialize};
 
+use crate::recovery::ImageError;
+
 /// Flash operation counts produced by one FTL action; the simulator turns
 /// these into latency and statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -136,6 +138,149 @@ pub enum GcPolicy {
     WearAware,
 }
 
+/// One append-only journal entry: a primitive FTL mutation between a
+/// checkpoint and a crash, in live mutation order. Replaying any journal
+/// prefix over the checkpoint image reproduces the exact FTL state at
+/// that point — this is what makes the device crash-consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A page program: `lpn` landed at (`block`, `page`) in `mode`.
+    Write {
+        /// Logical page written.
+        lpn: u64,
+        /// Destination block.
+        block: BlockId,
+        /// Destination page slot within the block.
+        page: u32,
+        /// Cell mode of the destination block.
+        mode: CellMode,
+    },
+    /// The previous copy of `lpn` was invalidated (overwrite or trim).
+    Invalidate {
+        /// Logical page whose mapping was dropped.
+        lpn: u64,
+    },
+    /// A mapping restored without a program — the failed-retirement
+    /// rollback re-exposing a copy that never left the flash array.
+    Map {
+        /// Logical page restored.
+        lpn: u64,
+        /// Block holding the surviving copy.
+        block: BlockId,
+        /// Page slot holding the surviving copy.
+        page: u32,
+    },
+    /// `block` was erased and returned to the free pool (GC).
+    Erase {
+        /// The erased block.
+        block: BlockId,
+    },
+    /// `block` was permanently retired as grown-bad.
+    Retire {
+        /// The retired block.
+        block: BlockId,
+    },
+    /// The host request with this index was acknowledged: every record
+    /// before this one is covered by the ack.
+    Commit {
+        /// Zero-based index of the acknowledged request in the trace.
+        request: u64,
+    },
+}
+
+/// A program interrupted by power loss. The page reads back
+/// uncorrectable, so recovery must detect the slot and burn it — never
+/// serve it as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornPage {
+    /// Block holding the torn page.
+    pub block: BlockId,
+    /// Page slot within the block.
+    pub page: u32,
+}
+
+/// What [`PageMapFtl::recover`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journal records replayed onto the checkpoint image.
+    pub journal_replayed: u64,
+    /// Torn (interrupted-program) pages detected and discarded.
+    pub torn_pages_discarded: u64,
+}
+
+/// Snapshot of one block's persistent state within an [`FtlImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockImage {
+    /// Cell mode.
+    pub mode: CellMode,
+    /// Next unwritten page slot.
+    pub frontier: u32,
+    /// Valid (live) pages.
+    pub valid: u32,
+    /// Lifetime erase count.
+    pub erases: u32,
+    /// Grown-bad flag.
+    pub retired: bool,
+    /// Reverse map of written slots (`None` once invalidated).
+    pub slots: Vec<Option<u64>>,
+}
+
+/// Durable snapshot of the FTL: geometry parameters, per-block state,
+/// free-pool order and write frontiers. The logical→physical mapping is
+/// *not* stored — [`PageMapFtl::from_image`] rebuilds it from the
+/// per-block reverse maps, which doubles as an integrity check (an LPN
+/// appearing in two slots is corruption, not a valid state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtlImage {
+    /// Physical block count (geometry).
+    pub blocks: u32,
+    /// Pages per block (geometry).
+    pub pages_per_block: u32,
+    /// Page payload bytes (geometry).
+    pub page_bytes: u32,
+    /// Over-provisioning percent (geometry).
+    pub over_provisioning_pct: u32,
+    /// GC trigger watermark.
+    pub gc_low_watermark: u32,
+    /// GC victim policy.
+    pub gc_policy: GcPolicy,
+    /// Per-block state, indexed by block id.
+    pub block_states: Vec<BlockImage>,
+    /// Free-pool order, front (next allocation) first.
+    pub free: Vec<u32>,
+    /// Active write frontier per mode (normal, reduced).
+    pub frontier: [Option<u32>; 2],
+}
+
+/// FNV-1a, the repo's standard content fingerprint (also used for the
+/// config fingerprint in [`crate::recovery`]).
+pub(crate) struct Fnv(pub(crate) u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Fnv {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
 /// The page-mapping FTL.
 #[derive(Debug, Clone)]
 pub struct PageMapFtl {
@@ -149,6 +294,12 @@ pub struct PageMapFtl {
     /// Guards against re-entrant GC: relocations allocate from the free
     /// pool only, so an overfilled device errors instead of recursing.
     gc_active: bool,
+    /// Append-only mutation journal, `Some` only between a checkpoint
+    /// and the next crash/checkpoint; `None` keeps steady-state runs
+    /// allocation-free.
+    journal: Option<Vec<JournalRecord>>,
+    /// Mutations since the last periodic debug invariant sweep.
+    ops_since_check: u64,
 }
 
 fn mode_index(mode: CellMode) -> usize {
@@ -176,6 +327,8 @@ impl PageMapFtl {
             gc_low_watermark: gc_low_watermark.max(4),
             gc_policy: GcPolicy::Greedy,
             gc_active: false,
+            journal: None,
+            ops_since_check: 0,
         }
     }
 
@@ -258,6 +411,10 @@ impl PageMapFtl {
     ///
     /// [`FtlError::OutOfSpace`] if the relocations cannot be placed —
     /// enough grown-bad blocks legitimately make the device unusable.
+    /// The failure is transactional per page: the page whose relocation
+    /// failed keeps its original (still intact) copy, the block returns
+    /// to service un-retired, and no mapping is lost. Pages already
+    /// relocated stay at their new homes.
     pub fn retire_block(&mut self, block: BlockId) -> Result<OpCost, FtlError> {
         let mut cost = OpCost::default();
         let idx = block.0 as usize;
@@ -277,15 +434,39 @@ impl PageMapFtl {
         let live = self.block_lpns(block);
         for lpn in live {
             cost.flash_reads += 1;
+            let old = self.mapping[lpn as usize];
             self.invalidate(lpn);
-            let phys = self.allocate(mode, &mut cost)?;
-            self.commit(lpn, phys);
-            cost.programs += 1;
+            match self.allocate(mode, &mut cost) {
+                Ok(phys) => {
+                    self.commit(lpn, phys);
+                    cost.programs += 1;
+                }
+                Err(e) => {
+                    // Out of space mid-retirement. The copy in this block
+                    // never left the array, so re-expose it rather than
+                    // lose an acknowledged write, and keep the block in
+                    // service: a partly-evacuated bad block beats a
+                    // corrupted frontier or a panic.
+                    if let Some(phys) = old {
+                        let state = &mut self.blocks[phys.block.0 as usize];
+                        state.slots[phys.page as usize] = Some(lpn);
+                        state.valid += 1;
+                        self.mapping[lpn as usize] = Some(phys);
+                        self.journal_push(JournalRecord::Map {
+                            lpn,
+                            block: phys.block,
+                            page: phys.page,
+                        });
+                    }
+                    self.blocks[idx].retired = false;
+                    self.debug_full_check("failed retirement rollback");
+                    return Err(e);
+                }
+            }
         }
-        let state = &mut self.blocks[idx];
-        debug_assert_eq!(state.valid, 0, "all live pages were relocated");
-        state.slots.iter_mut().for_each(|s| *s = None);
-        state.frontier = 0;
+        debug_assert_eq!(self.blocks[idx].valid, 0, "all live pages were relocated");
+        self.journal_push(JournalRecord::Retire { block });
+        self.debug_full_check("block retirement");
         Ok(cost)
     }
 
@@ -308,6 +489,7 @@ impl PageMapFtl {
         cost.programs += 1;
         // Keep the free pool above the watermark for the next allocation.
         cost.add(self.collect_if_needed()?);
+        self.debug_tick(lpn);
         Ok(cost)
     }
 
@@ -320,6 +502,8 @@ impl PageMapFtl {
                 block.valid -= 1;
             }
             self.mapping[lpn as usize] = None;
+            self.journal_push(JournalRecord::Invalidate { lpn });
+            self.debug_tick(lpn);
         }
     }
 
@@ -327,7 +511,14 @@ impl PageMapFtl {
         let block = &mut self.blocks[phys.block.0 as usize];
         block.slots[phys.page as usize] = Some(lpn);
         block.valid += 1;
+        let mode = block.mode;
         self.mapping[lpn as usize] = Some(phys);
+        self.journal_push(JournalRecord::Write {
+            lpn,
+            block: phys.block,
+            page: phys.page,
+            mode,
+        });
     }
 
     /// Allocates the next page slot of the `mode` frontier, opening a new
@@ -419,6 +610,8 @@ impl PageMapFtl {
         block.mode = CellMode::Normal; // erased blocks revert to normal
         cost.erases += 1;
         self.free.push_back(victim);
+        self.journal_push(JournalRecord::Erase { block: victim });
+        self.debug_full_check("gc relocation");
         Ok(())
     }
 
@@ -477,6 +670,531 @@ impl PageMapFtl {
     /// Counts valid pages across the device (test/debug invariant).
     pub fn total_valid_pages(&self) -> u64 {
         self.blocks.iter().map(|b| b.valid as u64).sum()
+    }
+
+    /// Starts (or restarts) the append-only mutation journal: subsequent
+    /// writes, invalidations, GC moves and retirements append
+    /// [`JournalRecord`]s. The simulator calls this when it checkpoints;
+    /// journaling is off by default.
+    pub fn enable_journal(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// The journal accumulated since [`enable_journal`](Self::enable_journal),
+    /// or `None` when journaling is off.
+    pub fn journal(&self) -> Option<&[JournalRecord]> {
+        self.journal.as_deref()
+    }
+
+    /// Appends a [`JournalRecord::Commit`] marking host request
+    /// `request` as acknowledged (no-op when journaling is off).
+    pub fn record_commit(&mut self, request: u64) {
+        self.journal_push(JournalRecord::Commit { request });
+    }
+
+    #[inline]
+    fn journal_push(&mut self, record: JournalRecord) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(record);
+        }
+    }
+
+    /// Debug-build consistency hooks on the write/invalidate hot path: a
+    /// cheap local mapping↔reverse-map check on every mutation plus a
+    /// full [`check_invariants`](Self::check_invariants) sweep every
+    /// 1024 mutations.
+    #[inline]
+    fn debug_tick(&mut self, lpn: u64) {
+        self.ops_since_check = self.ops_since_check.wrapping_add(1);
+        #[cfg(debug_assertions)]
+        {
+            if let Some(Some(phys)) = self.mapping.get(lpn as usize).copied() {
+                let slot = self.blocks[phys.block.0 as usize].slots[phys.page as usize];
+                assert_eq!(
+                    slot,
+                    Some(lpn),
+                    "mapping and reverse map disagree for lpn {lpn}"
+                );
+            }
+            if self.ops_since_check >= 1024 {
+                self.ops_since_check = 0;
+                self.debug_full_check("periodic sweep");
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = lpn;
+    }
+
+    /// Debug-build full invariant sweep; a violation is a simulator bug,
+    /// so it panics with the failing invariant and the mutating context.
+    fn debug_full_check(&self, context: &str) {
+        #[cfg(debug_assertions)]
+        if let Err(detail) = self.check_invariants() {
+            panic!("FTL invariant violated after {context}: {detail}");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = context;
+    }
+
+    /// Verifies every structural FTL invariant, returning a description
+    /// of the first violation found:
+    ///
+    /// - every live LPN maps to exactly one valid physical page, and the
+    ///   per-block reverse maps agree with the forward mapping;
+    /// - per-block valid counts reconcile with the reverse maps;
+    /// - no slot at or beyond a block's write frontier holds data, and
+    ///   no frontier exceeds the block's usable pages;
+    /// - the free pool holds only erased, unretired blocks, without
+    ///   duplicates;
+    /// - active write frontiers point at in-service blocks of the
+    ///   matching mode that are not simultaneously free.
+    ///
+    /// Debug builds run this after GC and retirement and periodically
+    /// during writes; [`recover`](Self::recover) runs it unconditionally
+    /// on the rebuilt state.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let ppb = self.geometry.pages_per_block();
+        if self.blocks.len() != self.geometry.blocks() as usize {
+            return Err(format!(
+                "block table holds {} entries for {} physical blocks",
+                self.blocks.len(),
+                self.geometry.blocks()
+            ));
+        }
+        if self.mapping.len() != self.geometry.logical_pages() as usize {
+            return Err(format!(
+                "mapping holds {} entries for {} logical pages",
+                self.mapping.len(),
+                self.geometry.logical_pages()
+            ));
+        }
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.slots.len() != ppb as usize {
+                return Err(format!(
+                    "block {i}: reverse map has {} slots, geometry has {ppb}",
+                    block.slots.len()
+                ));
+            }
+            if block.frontier > block.usable_pages(ppb) {
+                return Err(format!(
+                    "block {i}: frontier {} beyond {} usable pages",
+                    block.frontier,
+                    block.usable_pages(ppb)
+                ));
+            }
+            let mut valid = 0u32;
+            for (page, slot) in block.slots.iter().enumerate() {
+                let Some(lpn) = *slot else { continue };
+                if page as u32 >= block.frontier {
+                    return Err(format!(
+                        "block {i} page {page}: data at or beyond frontier {}",
+                        block.frontier
+                    ));
+                }
+                valid += 1;
+                let expected = PhysicalPage::new(BlockId(i as u32), page as u32);
+                match self.mapping.get(lpn as usize) {
+                    Some(Some(phys)) if *phys == expected => {}
+                    Some(Some(phys)) => {
+                        return Err(format!(
+                            "lpn {lpn}: reverse map says block {i} page {page}, \
+                             mapping says block {} page {}",
+                            phys.block.0, phys.page
+                        ));
+                    }
+                    Some(None) => {
+                        return Err(format!(
+                            "lpn {lpn}: live in block {i} page {page} but unmapped"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "block {i} page {page}: slot holds out-of-range lpn {lpn}"
+                        ));
+                    }
+                }
+            }
+            if valid != block.valid {
+                return Err(format!(
+                    "block {i}: valid count {} but {valid} live slots",
+                    block.valid
+                ));
+            }
+        }
+        for (lpn, mapped) in self.mapping.iter().enumerate() {
+            let Some(phys) = mapped else { continue };
+            let slot = self
+                .blocks
+                .get(phys.block.0 as usize)
+                .and_then(|b| b.slots.get(phys.page as usize))
+                .copied()
+                .flatten();
+            if slot != Some(lpn as u64) {
+                return Err(format!(
+                    "lpn {lpn}: mapped to block {} page {} but that slot holds {slot:?}",
+                    phys.block.0, phys.page
+                ));
+            }
+        }
+        let mut in_free = vec![false; self.blocks.len()];
+        for &BlockId(b) in &self.free {
+            let Some(state) = self.blocks.get(b as usize) else {
+                return Err(format!("free pool references unknown block {b}"));
+            };
+            if in_free[b as usize] {
+                return Err(format!("block {b} appears twice in the free pool"));
+            }
+            in_free[b as usize] = true;
+            if state.retired {
+                return Err(format!("retired block {b} in the free pool"));
+            }
+            if state.frontier != 0 || state.valid != 0 {
+                return Err(format!(
+                    "free block {b} is not erased (frontier {}, valid {})",
+                    state.frontier, state.valid
+                ));
+            }
+        }
+        for (idx, entry) in self.frontier.iter().enumerate() {
+            let Some(BlockId(b)) = *entry else { continue };
+            let Some(state) = self.blocks.get(b as usize) else {
+                return Err(format!("frontier {idx} references unknown block {b}"));
+            };
+            if state.retired {
+                return Err(format!("frontier {idx} points at retired block {b}"));
+            }
+            if in_free[b as usize] {
+                return Err(format!("frontier {idx} points at free block {b}"));
+            }
+            if mode_index(state.mode) != idx {
+                return Err(format!(
+                    "frontier {idx} points at block {b} of the wrong mode"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// FNV-1a fingerprint over the complete canonical FTL state:
+    /// per-block metadata and reverse maps, the forward mapping, free
+    /// order, frontiers and GC configuration. Two FTLs with equal
+    /// digests are bit-identical for every observable purpose, which is
+    /// how the crash-torture harness proves that full-journal recovery
+    /// reproduces the live device.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.blocks.len() as u64);
+        for block in &self.blocks {
+            h.byte(mode_index(block.mode) as u8);
+            h.u32(block.frontier);
+            h.u32(block.valid);
+            h.u32(block.erases);
+            h.byte(block.retired as u8);
+            for slot in &block.slots {
+                match slot {
+                    Some(lpn) => {
+                        h.byte(1);
+                        h.u64(*lpn);
+                    }
+                    None => h.byte(0),
+                }
+            }
+        }
+        for mapped in &self.mapping {
+            match mapped {
+                Some(phys) => {
+                    h.byte(1);
+                    h.u32(phys.block.0);
+                    h.u32(phys.page);
+                }
+                None => h.byte(0),
+            }
+        }
+        h.u64(self.free.len() as u64);
+        for &BlockId(b) in &self.free {
+            h.u32(b);
+        }
+        for entry in &self.frontier {
+            match entry {
+                Some(BlockId(b)) => {
+                    h.byte(1);
+                    h.u32(*b);
+                }
+                None => h.byte(0),
+            }
+        }
+        h.u32(self.gc_low_watermark);
+        h.byte(match self.gc_policy {
+            GcPolicy::Greedy => 0,
+            GcPolicy::WearAware => 1,
+        });
+        h.0
+    }
+
+    /// Captures the FTL's durable state as an [`FtlImage`]. The journal
+    /// is deliberately excluded — it is persisted separately so a
+    /// checkpoint plus a journal tail reconstruct any later state.
+    pub fn snapshot(&self) -> FtlImage {
+        FtlImage {
+            blocks: self.geometry.blocks(),
+            pages_per_block: self.geometry.pages_per_block(),
+            page_bytes: self.geometry.page_bytes(),
+            over_provisioning_pct: self.geometry.over_provisioning_pct(),
+            gc_low_watermark: self.gc_low_watermark,
+            gc_policy: self.gc_policy,
+            block_states: self
+                .blocks
+                .iter()
+                .map(|b| BlockImage {
+                    mode: b.mode,
+                    frontier: b.frontier,
+                    valid: b.valid,
+                    erases: b.erases,
+                    retired: b.retired,
+                    slots: b.slots.clone(),
+                })
+                .collect(),
+            free: self.free.iter().map(|b| b.0).collect(),
+            frontier: [self.frontier[0].map(|b| b.0), self.frontier[1].map(|b| b.0)],
+        }
+    }
+
+    /// Rebuilds an FTL from a checkpoint image, reconstructing the
+    /// forward mapping from the per-block reverse maps and validating
+    /// the image as it goes (an untrusted image fails with a typed
+    /// error, never a panic).
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::Corrupt`] on any internal inconsistency: bad
+    /// geometry, wrong vector lengths, out-of-range references,
+    /// duplicate LPNs, or valid counts that do not reconcile.
+    pub fn from_image(image: &FtlImage) -> Result<PageMapFtl, ImageError> {
+        let geometry = DeviceGeometry::new(
+            image.blocks,
+            image.pages_per_block,
+            image.page_bytes,
+            image.over_provisioning_pct,
+        )
+        .map_err(|_| ImageError::Corrupt("invalid device geometry"))?;
+        if image.block_states.len() != image.blocks as usize {
+            return Err(ImageError::Corrupt("block state count mismatch"));
+        }
+        let ppb = geometry.pages_per_block();
+        let logical = geometry.logical_pages();
+        let mut blocks = Vec::with_capacity(image.block_states.len());
+        for b in &image.block_states {
+            if b.slots.len() != ppb as usize {
+                return Err(ImageError::Corrupt("reverse map length mismatch"));
+            }
+            blocks.push(BlockState {
+                mode: b.mode,
+                frontier: b.frontier,
+                valid: b.valid,
+                erases: b.erases,
+                retired: b.retired,
+                slots: b.slots.clone(),
+            });
+        }
+        let mut mapping: Vec<Option<PhysicalPage>> = vec![None; logical as usize];
+        for (i, block) in blocks.iter().enumerate() {
+            if block.frontier > block.usable_pages(ppb) {
+                return Err(ImageError::Corrupt("frontier beyond usable pages"));
+            }
+            let mut valid = 0u32;
+            for (page, slot) in block.slots.iter().enumerate() {
+                let Some(lpn) = *slot else { continue };
+                if lpn >= logical {
+                    return Err(ImageError::Corrupt("slot lpn out of range"));
+                }
+                if page as u32 >= block.frontier {
+                    return Err(ImageError::Corrupt("slot data beyond frontier"));
+                }
+                if mapping[lpn as usize].is_some() {
+                    return Err(ImageError::Corrupt("lpn mapped by two slots"));
+                }
+                mapping[lpn as usize] = Some(PhysicalPage::new(BlockId(i as u32), page as u32));
+                valid += 1;
+            }
+            if valid != block.valid {
+                return Err(ImageError::Corrupt("valid count mismatch"));
+            }
+        }
+        let mut free = VecDeque::with_capacity(image.free.len());
+        let mut in_free = vec![false; blocks.len()];
+        for &b in &image.free {
+            let Some(seen) = in_free.get_mut(b as usize) else {
+                return Err(ImageError::Corrupt("free entry out of range"));
+            };
+            if *seen {
+                return Err(ImageError::Corrupt("duplicate free entry"));
+            }
+            *seen = true;
+            free.push_back(BlockId(b));
+        }
+        let mut frontier = [None, None];
+        for (slot, entry) in frontier.iter_mut().zip(image.frontier) {
+            if let Some(b) = entry {
+                if b >= image.blocks {
+                    return Err(ImageError::Corrupt("frontier entry out of range"));
+                }
+                *slot = Some(BlockId(b));
+            }
+        }
+        Ok(PageMapFtl {
+            geometry,
+            blocks,
+            mapping,
+            free,
+            frontier,
+            gc_low_watermark: image.gc_low_watermark.max(4),
+            gc_policy: image.gc_policy,
+            gc_active: false,
+            journal: None,
+            ops_since_check: 0,
+        })
+    }
+
+    /// Sudden-power-off recovery: rebuilds the FTL from a checkpoint
+    /// `image`, replays a `journal` prefix (everything that reached the
+    /// flash array before power was cut), discards a torn
+    /// interrupted-program page if one is reported, and verifies the
+    /// result with [`check_invariants`](Self::check_invariants).
+    ///
+    /// Replaying the *full* journal reproduces the live device's
+    /// [`digest`](Self::digest) exactly; replaying any prefix yields the
+    /// consistent intermediate state at that cut — both properties are
+    /// enforced by the crash-torture harness.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::Corrupt`] if the image or journal is internally
+    /// inconsistent, [`ImageError::Invariant`] if the rebuilt state
+    /// fails the invariant sweep.
+    pub fn recover(
+        image: &FtlImage,
+        journal: &[JournalRecord],
+        torn: Option<TornPage>,
+    ) -> Result<(PageMapFtl, RecoveryReport), ImageError> {
+        let mut ftl = PageMapFtl::from_image(image)?;
+        let ppb = ftl.geometry.pages_per_block();
+        let mut report = RecoveryReport::default();
+        for record in journal {
+            match *record {
+                JournalRecord::Write {
+                    lpn,
+                    block,
+                    page,
+                    mode,
+                } => {
+                    let bidx = block.0 as usize;
+                    if bidx >= ftl.blocks.len() || lpn >= ftl.logical_pages() {
+                        return Err(ImageError::Corrupt("journal write out of range"));
+                    }
+                    if ftl.mapping[lpn as usize].is_some() {
+                        return Err(ImageError::Corrupt("journal write over a live mapping"));
+                    }
+                    // A fresh block leaves the free pool the moment its
+                    // first page programs.
+                    ftl.free.retain(|&b| b != block);
+                    let state = &mut ftl.blocks[bidx];
+                    if state.retired {
+                        return Err(ImageError::Corrupt("journal write into a retired block"));
+                    }
+                    if state.frontier == 0 {
+                        state.mode = mode;
+                    } else if state.mode != mode {
+                        return Err(ImageError::Corrupt("journal write mode mismatch"));
+                    }
+                    if page != state.frontier || page >= state.usable_pages(ppb) {
+                        return Err(ImageError::Corrupt("journal write off the frontier"));
+                    }
+                    state.slots[page as usize] = Some(lpn);
+                    state.valid += 1;
+                    state.frontier += 1;
+                    ftl.mapping[lpn as usize] = Some(PhysicalPage::new(block, page));
+                    ftl.frontier[mode_index(mode)] = Some(block);
+                }
+                JournalRecord::Invalidate { lpn } => ftl.invalidate(lpn),
+                JournalRecord::Map { lpn, block, page } => {
+                    let bidx = block.0 as usize;
+                    if bidx >= ftl.blocks.len()
+                        || lpn >= ftl.logical_pages()
+                        || page >= ftl.blocks[bidx].frontier
+                    {
+                        return Err(ImageError::Corrupt("journal map out of range"));
+                    }
+                    if ftl.mapping[lpn as usize].is_some()
+                        || ftl.blocks[bidx].slots[page as usize].is_some()
+                    {
+                        return Err(ImageError::Corrupt("journal map over live data"));
+                    }
+                    ftl.blocks[bidx].slots[page as usize] = Some(lpn);
+                    ftl.blocks[bidx].valid += 1;
+                    ftl.mapping[lpn as usize] = Some(PhysicalPage::new(block, page));
+                }
+                JournalRecord::Erase { block } => {
+                    let bidx = block.0 as usize;
+                    if bidx >= ftl.blocks.len() {
+                        return Err(ImageError::Corrupt("journal erase out of range"));
+                    }
+                    if ftl.free.contains(&block) {
+                        return Err(ImageError::Corrupt("journal erase of a free block"));
+                    }
+                    let state = &mut ftl.blocks[bidx];
+                    if state.valid != 0 {
+                        return Err(ImageError::Corrupt("journal erase of a live block"));
+                    }
+                    state.slots.iter_mut().for_each(|s| *s = None);
+                    state.frontier = 0;
+                    state.erases += 1;
+                    state.mode = CellMode::Normal;
+                    for f in &mut ftl.frontier {
+                        if *f == Some(block) {
+                            *f = None;
+                        }
+                    }
+                    ftl.free.push_back(block);
+                }
+                JournalRecord::Retire { block } => {
+                    let bidx = block.0 as usize;
+                    if bidx >= ftl.blocks.len() {
+                        return Err(ImageError::Corrupt("journal retire out of range"));
+                    }
+                    ftl.blocks[bidx].retired = true;
+                    ftl.free.retain(|&b| b != block);
+                    for f in &mut ftl.frontier {
+                        if *f == Some(block) {
+                            *f = None;
+                        }
+                    }
+                }
+                JournalRecord::Commit { .. } => {}
+            }
+            report.journal_replayed += 1;
+        }
+        if let Some(torn) = torn {
+            let bidx = torn.block.0 as usize;
+            if bidx < ftl.blocks.len() {
+                let plausible = {
+                    let state = &ftl.blocks[bidx];
+                    !state.retired
+                        && torn.page == state.frontier
+                        && torn.page < state.usable_pages(ppb)
+                };
+                if plausible {
+                    // The interrupted program reached the array but its
+                    // mapping update never did: the slot reads back
+                    // uncorrectable, so burn it — advance the frontier
+                    // past the dead page without mapping anything to it.
+                    ftl.free.retain(|&b| b != torn.block);
+                    ftl.blocks[bidx].frontier += 1;
+                    report.torn_pages_discarded += 1;
+                }
+            }
+        }
+        ftl.check_invariants().map_err(ImageError::Invariant)?;
+        Ok((ftl, report))
     }
 }
 
@@ -782,5 +1500,148 @@ mod tests {
         assert_eq!(a.erases, 33);
         assert_eq!(a.gc_runs, 44);
         assert_eq!(a.gc_moved, 55);
+    }
+
+    /// A journaled FTL that has seen writes, overwrites, invalidates, GC
+    /// and one retirement — the full record vocabulary.
+    fn churned_journaled_ftl() -> (FtlImage, PageMapFtl) {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for lpn in 0..logical {
+            ftl.write(lpn, CellMode::Normal).unwrap();
+        }
+        ftl.enable_journal();
+        let image = ftl.snapshot();
+        // Overwrite churn forces GC (erase + relocation records).
+        for i in 0..2_000u64 {
+            let lpn = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % logical;
+            ftl.write(lpn, CellMode::Normal).unwrap();
+            if i % 7 == 0 {
+                ftl.invalidate((lpn + 13) % logical);
+            }
+            if i % 251 == 0 {
+                ftl.record_commit(i);
+            }
+        }
+        let victim = ftl.placement(3).unwrap().0.block;
+        ftl.retire_block(victim).unwrap();
+        (image, ftl)
+    }
+
+    #[test]
+    fn retiring_the_frontier_block_is_safe() {
+        let mut ftl = small_ftl();
+        for lpn in 0..200 {
+            ftl.write(lpn, CellMode::Normal).unwrap();
+        }
+        // The last write landed on the current normal-mode frontier block.
+        let frontier = ftl.placement(199).unwrap().0.block;
+        ftl.retire_block(frontier).unwrap();
+        ftl.check_invariants().unwrap();
+        assert!(ftl.is_retired(frontier));
+        // Every page survived the relocation and writes keep working.
+        assert_eq!(ftl.total_valid_pages(), 200);
+        ftl.write(200, CellMode::Normal).unwrap();
+        assert_ne!(ftl.placement(199).unwrap().0.block, frontier);
+        ftl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_retirement_rolls_back_cleanly() {
+        // Exhaust capacity, then retire blocks until relocation cannot
+        // find a destination: the failure must be typed OutOfSpace and
+        // leave every mapping intact (no panic, no corruption).
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for lpn in 0..logical {
+            ftl.write(lpn, CellMode::Normal).unwrap();
+        }
+        let mut failure = None;
+        for b in 0..ftl.geometry().blocks() {
+            match ftl.retire_block(BlockId(b)) {
+                Ok(_) => ftl.check_invariants().unwrap(),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(failure, Some(FtlError::OutOfSpace));
+        ftl.check_invariants().unwrap();
+        assert_eq!(
+            ftl.total_valid_pages(),
+            logical,
+            "no page lost to the rollback"
+        );
+        for lpn in 0..logical {
+            assert!(ftl.placement(lpn).is_some(), "lpn {lpn} unmapped");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_image() {
+        let (_, ftl) = churned_journaled_ftl();
+        let restored = PageMapFtl::from_image(&ftl.snapshot()).unwrap();
+        restored.check_invariants().unwrap();
+        assert_eq!(restored.digest(), ftl.digest());
+    }
+
+    #[test]
+    fn full_journal_replay_reproduces_the_live_digest() {
+        let (image, ftl) = churned_journaled_ftl();
+        let journal = ftl.journal().unwrap();
+        assert!(journal.len() > 2_000, "churn must journal heavily");
+        let (recovered, report) = PageMapFtl::recover(&image, journal, None).unwrap();
+        recovered.check_invariants().unwrap();
+        assert_eq!(recovered.digest(), ftl.digest());
+        assert_eq!(report.journal_replayed, journal.len() as u64);
+        assert_eq!(report.torn_pages_discarded, 0);
+    }
+
+    #[test]
+    fn every_journal_prefix_recovers_consistently() {
+        let (image, ftl) = churned_journaled_ftl();
+        let journal = ftl.journal().unwrap();
+        for cut in (0..=journal.len()).step_by(97) {
+            let (recovered, report) = PageMapFtl::recover(&image, &journal[..cut], None)
+                .unwrap_or_else(|e| panic!("prefix {cut}: {e}"));
+            recovered
+                .check_invariants()
+                .unwrap_or_else(|e| panic!("prefix {cut}: {e}"));
+            assert_eq!(report.journal_replayed, cut as u64);
+        }
+    }
+
+    #[test]
+    fn torn_page_is_detected_and_discarded() {
+        let mut ftl = small_ftl();
+        for lpn in 0..50 {
+            ftl.write(lpn, CellMode::Normal).unwrap();
+        }
+        ftl.enable_journal();
+        let image = ftl.snapshot();
+        ftl.write(50, CellMode::Normal).unwrap();
+        let journal = ftl.journal().unwrap().to_vec();
+        let &JournalRecord::Write { block, page, .. } = &journal[0] else {
+            panic!("first record must be the page program");
+        };
+        // Power died inside that program: no journal records survive,
+        // but the flash holds a half-programmed (uncorrectable) page.
+        let torn = TornPage { block, page };
+        let (recovered, report) = PageMapFtl::recover(&image, &[], Some(torn)).unwrap();
+        recovered.check_invariants().unwrap();
+        assert_eq!(report.torn_pages_discarded, 1);
+        assert_eq!(report.journal_replayed, 0);
+        // The interrupted write was never acknowledged: lpn 50 must not
+        // be mapped, and the burned slot must never be programmed again.
+        assert_eq!(recovered.placement(50), None);
+        let mut recovered = recovered;
+        recovered.write(50, CellMode::Normal).unwrap();
+        let after = recovered.placement(50).unwrap().0;
+        assert!(
+            after.block != block || after.page != page,
+            "recovered FTL reused the torn slot"
+        );
+        recovered.check_invariants().unwrap();
     }
 }

@@ -48,17 +48,22 @@ pub use buffer::WriteBuffer;
 pub use config::{Scheme, SsdConfig, TimingModel};
 pub use device::{ReliabilityState, ResourcePool};
 pub use events::{Event, EventQueue};
-pub use faults::{FaultConfig, FaultState};
-pub use ftl::{FtlError, GcPolicy, OpCost, PageMapFtl};
+pub use faults::{CrashPlan, CrashTrigger, FaultConfig, FaultState};
+pub use ftl::{
+    BlockImage, FtlError, FtlImage, GcPolicy, JournalRecord, OpCost, PageMapFtl, RecoveryReport,
+    TornPage,
+};
 pub use ftl_hybrid::HybridFtl;
 pub use lifetime::LifetimeModel;
 pub use obs::SimObserver;
 pub use pipeline::{FlashOp, Stage, StageKind};
-pub use recovery::{RecoveryOutcome, RetryRung};
+pub use recovery::{
+    config_fingerprint, trace_fingerprint, DeviceImage, ImageError, RecoveryOutcome, RetryRung,
+};
 pub use scenario::{
     ClusterFaultConfig, EnvironmentConfig, EnvironmentState, ReadDisturbConfig, ScenarioSpec,
     ThermalGradientConfig,
 };
 pub use serve::{OverloadPolicy, ServeError, ServeOptions, TenantQos};
-pub use sim::{SimError, SsdSimulator};
+pub use sim::{CrashCut, SimError, SsdSimulator};
 pub use stats::{SimStats, StageAccount, TenantStats};

@@ -444,6 +444,29 @@ impl SimObserver {
             "Pages rewritten by the scrubber on retention-BER threshold.",
             stats.scrub_refreshes,
         );
+        // Recovery counters only exist after a crash-restore; gating on
+        // nonzero keeps every pre-existing export byte-identical.
+        if stats.journal_replayed > 0 {
+            fold(
+                "flexlevel_journal_replayed_total",
+                "Mapping-journal records replayed during crash recovery.",
+                stats.journal_replayed,
+            );
+        }
+        if stats.torn_pages_discarded > 0 {
+            fold(
+                "flexlevel_torn_pages_discarded_total",
+                "Torn (interrupted-program) pages discarded during recovery.",
+                stats.torn_pages_discarded,
+            );
+        }
+        if stats.checkpoint_age_requests > 0 {
+            fold(
+                "flexlevel_checkpoint_age_requests",
+                "Requests served between the restored checkpoint and the crash.",
+                stats.checkpoint_age_requests,
+            );
+        }
         for kind in StageKind::ALL {
             let stage_labels: &[(&str, &str)] = &[("scheme", scheme), ("stage", kind.label())];
             let account = stats.stage(kind);

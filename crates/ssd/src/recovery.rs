@@ -1,4 +1,13 @@
-//! The read error-recovery ladder.
+//! Read error recovery and sudden-power-off recovery (SPOR).
+//!
+//! Two recovery layers live here. The first is the per-read **error
+//! recovery ladder** below. The second is device-level **crash
+//! recovery**: [`DeviceImage`] is a versioned, length-prefixed binary
+//! checkpoint of everything mutable in the simulated device (FTL,
+//! buffer, reliability accumulators, fault counters, statistics), and
+//! together with the FTL's append-only mapping journal it makes the
+//! device crash-consistent — see `PageMapFtl::recover` and DESIGN.md
+//! §5.8.
 //!
 //! When a frame fails to decode (see [`crate::faults`]), the controller
 //! does not give up — it climbs a deterministic escalation ladder, the
@@ -109,6 +118,850 @@ pub fn resolve(
     RecoveryOutcome { rungs, recovered }
 }
 
+// ---------------------------------------------------------------------
+// Sudden-power-off recovery: the durable device image.
+// ---------------------------------------------------------------------
+
+use flash_model::{BlockId, CellMode};
+use flexlevel::AccessEvalSnapshot;
+use workloads::Trace;
+
+use crate::config::SsdConfig;
+use crate::ftl::{BlockImage, Fnv, FtlImage, GcPolicy, JournalRecord, TornPage};
+use crate::stats::{SimStats, StageAccount};
+
+/// Why a [`DeviceImage`] could not be decoded or restored. Corrupted or
+/// truncated input always surfaces as one of these — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The byte stream ended before the encoded structure did.
+    Truncated,
+    /// The magic prefix is missing or wrong (not a device image).
+    BadMagic,
+    /// The format version is unknown to this build.
+    BadVersion(u16),
+    /// The image was checkpointed under a different simulator
+    /// configuration.
+    ConfigMismatch {
+        /// Fingerprint of the configuration doing the restore.
+        expected: u64,
+        /// Fingerprint stored in the image.
+        found: u64,
+    },
+    /// The image was checkpointed against a different trace.
+    TraceMismatch {
+        /// Fingerprint of the trace driving the resume.
+        expected: u64,
+        /// Fingerprint stored in the image.
+        found: u64,
+    },
+    /// A structurally invalid encoding (bad tag, bad length, trailing
+    /// bytes, out-of-range reference).
+    Corrupt(&'static str),
+    /// The decoded state violates an FTL invariant.
+    Invariant(String),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::Truncated => write!(f, "device image truncated"),
+            ImageError::BadMagic => write!(f, "not a device image (bad magic)"),
+            ImageError::BadVersion(v) => write!(f, "unsupported device-image version {v}"),
+            ImageError::ConfigMismatch { expected, found } => write!(
+                f,
+                "image checkpointed under a different config \
+                 (expected {expected:#018x}, found {found:#018x})"
+            ),
+            ImageError::TraceMismatch { expected, found } => write!(
+                f,
+                "image checkpointed against a different trace \
+                 (expected {expected:#018x}, found {found:#018x})"
+            ),
+            ImageError::Corrupt(what) => write!(f, "corrupt device image: {what}"),
+            ImageError::Invariant(what) => write!(f, "recovered state violates invariant: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// Fingerprint of a simulator configuration (FNV-1a over its canonical
+/// debug rendering), stored in every [`DeviceImage`] so a restore under
+/// a different configuration fails typed instead of diverging silently.
+pub fn config_fingerprint(config: &SsdConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(format!("{config:?}").as_bytes());
+    h.0
+}
+
+/// Fingerprint of a trace (name, footprint and every request), stored in
+/// the image when the checkpoint is tied to a specific replay so a
+/// resume against a different trace fails typed. Zero means unchecked.
+pub fn trace_fingerprint(trace: &Trace) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(trace.name.as_bytes());
+    h.u64(trace.footprint_pages);
+    h.u64(trace.requests.len() as u64);
+    for r in &trace.requests {
+        h.u64(r.arrival_us.to_bits());
+        h.u64(r.lpn);
+        h.u32(r.pages);
+        h.byte(match r.op {
+            workloads::IoOp::Read => 0,
+            workloads::IoOp::Write => 1,
+        });
+    }
+    // Avoid colliding with the "unchecked" sentinel.
+    if h.0 == 0 {
+        1
+    } else {
+        h.0
+    }
+}
+
+/// A durable checkpoint of the simulated device: everything mutable that
+/// the next session (or crash recovery) needs to continue bit-identically
+/// — FTL image and mapping journal, write buffer, per-page retention
+/// ages and RNG state, AccessEval accumulators, fault-stream counters,
+/// read-disturb counters, statistics, and the request cursor.
+///
+/// Serialized with the same conventions as `workloads::codec`: magic
+/// prefix, version, little-endian, length-prefixed collections, floats
+/// as IEEE-754 bits. Pure caches (BER memos, FER memos) are excluded —
+/// they repopulate deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceImage {
+    /// Fingerprint of the [`SsdConfig`] the image was checkpointed under.
+    pub config_fingerprint: u64,
+    /// Fingerprint of the driving trace (`0` = not tied to a trace).
+    pub trace_fingerprint: u64,
+    /// Zero-based index of the next unserved request.
+    pub request_cursor: u64,
+    /// The FTL snapshot.
+    pub ftl: FtlImage,
+    /// Write-buffer entries as `(sequence, lpn)` in LRU order.
+    pub buffer: Vec<(u64, u64)>,
+    /// The buffer's next LRU sequence number.
+    pub buffer_next_seq: u64,
+    /// Per-page retention ages as `(lpn, hours)` sorted by LPN.
+    pub ages: Vec<(u64, f64)>,
+    /// Raw state of the age-sampling RNG.
+    pub age_rng: [u64; 4],
+    /// AccessEval accumulators (FlexLevel scheme only).
+    pub access_eval: Option<AccessEvalSnapshot>,
+    /// Fault-stream counters as `(kind tag, lpn, count)` sorted; `None`
+    /// when fault injection is off.
+    pub fault_counters: Option<Vec<(u64, u64, u64)>>,
+    /// Read-disturb counters as `(lpn, reads)` sorted; `None` when no
+    /// environment tracks disturb.
+    pub disturb: Option<Vec<(u64, u64)>>,
+    /// Statistics accumulated up to the checkpoint.
+    pub stats: SimStats,
+    /// Host pages written (lifetime accounting input).
+    pub host_pages_written: u64,
+    /// Requests until the next patrol-scrub visit.
+    pub scrub_countdown: u64,
+    /// The scrubber's block cursor.
+    pub scrub_cursor: u32,
+    /// Busy horizon per channel, µs (single-queue timing model).
+    pub channel_free_at: Vec<f64>,
+    /// Mapping-journal records appended after the checkpoint (empty for
+    /// a clean checkpoint; non-empty when the image carries a crash).
+    pub journal: Vec<JournalRecord>,
+    /// Torn page left by a program the crash interrupted.
+    pub torn: Option<TornPage>,
+    /// Request index at which power was cut, if this image is a crash.
+    pub crashed_at: Option<u64>,
+}
+
+const IMAGE_MAGIC: &[u8; 4] = b"FXD1";
+const IMAGE_VERSION: u16 = 1;
+
+/// Little-endian encoder over a growable byte buffer.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Enc {
+        Enc {
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    fn len(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+}
+
+/// Little-endian decoder with explicit remaining-length checks; every
+/// short read surfaces as [`ImageError::Truncated`].
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Dec<'a> {
+        Dec { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        if self.data.len() - self.pos < n {
+            return Err(ImageError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ImageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ImageError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ImageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ImageError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, ImageError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(ImageError::Corrupt("boolean out of range")),
+        }
+    }
+
+    fn len(&mut self) -> Result<usize, ImageError> {
+        let n = self.u32()? as usize;
+        // A length can never exceed the bytes that remain (every element
+        // is at least one byte) — reject absurd lengths before allocating.
+        if n > self.data.len() - self.pos {
+            return Err(ImageError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn done(&self) -> Result<(), ImageError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(ImageError::Corrupt("trailing bytes"))
+        }
+    }
+}
+
+fn encode_stage(e: &mut Enc, s: &StageAccount) {
+    e.u64(s.ops);
+    e.f64(s.busy_us);
+    e.f64(s.wait_us);
+}
+
+fn decode_stage(d: &mut Dec<'_>) -> Result<StageAccount, ImageError> {
+    Ok(StageAccount {
+        ops: d.u64()?,
+        busy_us: d.f64()?,
+        wait_us: d.f64()?,
+    })
+}
+
+fn encode_stats(e: &mut Enc, s: &SimStats) {
+    e.u64(s.host_reads);
+    e.u64(s.host_writes);
+    e.u64(s.buffer_read_hits);
+    e.u64(s.flash_reads);
+    e.u64(s.flash_programs);
+    e.u64(s.erases);
+    e.u64(s.gc_runs);
+    e.u64(s.gc_migrated_pages);
+    e.u64(s.promotions);
+    e.u64(s.demotions);
+    e.u64(s.reduced_reads);
+    e.len(s.reads_by_sensing_level.len());
+    for &v in &s.reads_by_sensing_level {
+        e.u64(v);
+    }
+    e.f64(s.total_response_us);
+    e.f64(s.read_response_us);
+    e.f64(s.max_response_us);
+    e.len(s.response_samples.len());
+    for &v in &s.response_samples {
+        e.f64(v);
+    }
+    e.u64(s.responses_seen);
+    e.u64(s.sample_state);
+    e.f64(s.makespan_us);
+    e.u64(s.retry_reads);
+    e.u64(s.recovered_reads);
+    e.u64(s.uncorrectable_reads);
+    e.len(s.retry_depth_histogram.len());
+    for &v in &s.retry_depth_histogram {
+        e.u64(v);
+    }
+    e.u64(s.program_failures);
+    e.u64(s.retired_blocks);
+    e.u64(s.die_resets);
+    e.u64(s.scrub_runs);
+    e.u64(s.scrub_reads);
+    e.u64(s.scrub_refreshes);
+    e.f64(s.recovery_latency_us);
+    encode_stage(e, &s.stage_sense);
+    encode_stage(e, &s.stage_transfer);
+    encode_stage(e, &s.stage_decode);
+    encode_stage(e, &s.stage_program);
+    encode_stage(e, &s.stage_erase);
+    // Tenanted (open-loop serving) state is not checkpointable; the
+    // count is stored so the decoder can reject a hand-edited image.
+    e.len(s.tenants.len());
+    e.u64(s.journal_replayed);
+    e.u64(s.torn_pages_discarded);
+    e.u64(s.checkpoint_age_requests);
+}
+
+// Sequential assignment keeps every `d.xxx()?` on its own line in wire
+// order, mirroring `encode_stats` field for field.
+#[allow(clippy::field_reassign_with_default)]
+fn decode_stats(d: &mut Dec<'_>) -> Result<SimStats, ImageError> {
+    let mut s = SimStats::default();
+    s.host_reads = d.u64()?;
+    s.host_writes = d.u64()?;
+    s.buffer_read_hits = d.u64()?;
+    s.flash_reads = d.u64()?;
+    s.flash_programs = d.u64()?;
+    s.erases = d.u64()?;
+    s.gc_runs = d.u64()?;
+    s.gc_migrated_pages = d.u64()?;
+    s.promotions = d.u64()?;
+    s.demotions = d.u64()?;
+    s.reduced_reads = d.u64()?;
+    let n = d.len()?;
+    s.reads_by_sensing_level = (0..n).map(|_| d.u64()).collect::<Result<_, _>>()?;
+    s.total_response_us = d.f64()?;
+    s.read_response_us = d.f64()?;
+    s.max_response_us = d.f64()?;
+    let n = d.len()?;
+    s.response_samples = (0..n).map(|_| d.f64()).collect::<Result<_, _>>()?;
+    s.responses_seen = d.u64()?;
+    s.sample_state = d.u64()?;
+    s.makespan_us = d.f64()?;
+    s.retry_reads = d.u64()?;
+    s.recovered_reads = d.u64()?;
+    s.uncorrectable_reads = d.u64()?;
+    let n = d.len()?;
+    s.retry_depth_histogram = (0..n).map(|_| d.u64()).collect::<Result<_, _>>()?;
+    s.program_failures = d.u64()?;
+    s.retired_blocks = d.u64()?;
+    s.die_resets = d.u64()?;
+    s.scrub_runs = d.u64()?;
+    s.scrub_reads = d.u64()?;
+    s.scrub_refreshes = d.u64()?;
+    s.recovery_latency_us = d.f64()?;
+    s.stage_sense = decode_stage(d)?;
+    s.stage_transfer = decode_stage(d)?;
+    s.stage_decode = decode_stage(d)?;
+    s.stage_program = decode_stage(d)?;
+    s.stage_erase = decode_stage(d)?;
+    if d.len()? != 0 {
+        return Err(ImageError::Corrupt("tenanted stats in device image"));
+    }
+    s.journal_replayed = d.u64()?;
+    s.torn_pages_discarded = d.u64()?;
+    s.checkpoint_age_requests = d.u64()?;
+    Ok(s)
+}
+
+fn encode_record(e: &mut Enc, r: &JournalRecord) {
+    match *r {
+        JournalRecord::Write {
+            lpn,
+            block,
+            page,
+            mode,
+        } => {
+            e.u8(1);
+            e.u64(lpn);
+            e.u32(block.0);
+            e.u32(page);
+            e.u8(match mode {
+                CellMode::Normal => 0,
+                CellMode::Reduced => 1,
+            });
+        }
+        JournalRecord::Invalidate { lpn } => {
+            e.u8(2);
+            e.u64(lpn);
+        }
+        JournalRecord::Map { lpn, block, page } => {
+            e.u8(3);
+            e.u64(lpn);
+            e.u32(block.0);
+            e.u32(page);
+        }
+        JournalRecord::Erase { block } => {
+            e.u8(4);
+            e.u32(block.0);
+        }
+        JournalRecord::Retire { block } => {
+            e.u8(5);
+            e.u32(block.0);
+        }
+        JournalRecord::Commit { request } => {
+            e.u8(6);
+            e.u64(request);
+        }
+    }
+}
+
+fn decode_record(d: &mut Dec<'_>) -> Result<JournalRecord, ImageError> {
+    Ok(match d.u8()? {
+        1 => JournalRecord::Write {
+            lpn: d.u64()?,
+            block: BlockId(d.u32()?),
+            page: d.u32()?,
+            mode: match d.u8()? {
+                0 => CellMode::Normal,
+                1 => CellMode::Reduced,
+                _ => return Err(ImageError::Corrupt("cell mode out of range")),
+            },
+        },
+        2 => JournalRecord::Invalidate { lpn: d.u64()? },
+        3 => JournalRecord::Map {
+            lpn: d.u64()?,
+            block: BlockId(d.u32()?),
+            page: d.u32()?,
+        },
+        4 => JournalRecord::Erase {
+            block: BlockId(d.u32()?),
+        },
+        5 => JournalRecord::Retire {
+            block: BlockId(d.u32()?),
+        },
+        6 => JournalRecord::Commit { request: d.u64()? },
+        _ => return Err(ImageError::Corrupt("unknown journal record tag")),
+    })
+}
+
+impl DeviceImage {
+    /// Serializes the image to its versioned binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.buf.extend_from_slice(IMAGE_MAGIC);
+        e.u16(IMAGE_VERSION);
+        e.u64(self.config_fingerprint);
+        e.u64(self.trace_fingerprint);
+        e.u64(self.request_cursor);
+        // FTL image.
+        let ftl = &self.ftl;
+        e.u32(ftl.blocks);
+        e.u32(ftl.pages_per_block);
+        e.u32(ftl.page_bytes);
+        e.u32(ftl.over_provisioning_pct);
+        e.u32(ftl.gc_low_watermark);
+        e.u8(match ftl.gc_policy {
+            GcPolicy::Greedy => 0,
+            GcPolicy::WearAware => 1,
+        });
+        e.len(ftl.block_states.len());
+        for b in &ftl.block_states {
+            e.u8(match b.mode {
+                CellMode::Normal => 0,
+                CellMode::Reduced => 1,
+            });
+            e.u32(b.frontier);
+            e.u32(b.valid);
+            e.u32(b.erases);
+            e.bool(b.retired);
+            e.len(b.slots.len());
+            for slot in &b.slots {
+                match slot {
+                    Some(lpn) => {
+                        e.u8(1);
+                        e.u64(*lpn);
+                    }
+                    None => e.u8(0),
+                }
+            }
+        }
+        e.len(ftl.free.len());
+        for &b in &ftl.free {
+            e.u32(b);
+        }
+        for f in &ftl.frontier {
+            match f {
+                Some(b) => {
+                    e.u8(1);
+                    e.u32(*b);
+                }
+                None => e.u8(0),
+            }
+        }
+        // Buffer.
+        e.len(self.buffer.len());
+        for &(seq, lpn) in &self.buffer {
+            e.u64(seq);
+            e.u64(lpn);
+        }
+        e.u64(self.buffer_next_seq);
+        // Reliability accumulators.
+        e.len(self.ages.len());
+        for &(lpn, age) in &self.ages {
+            e.u64(lpn);
+            e.f64(age);
+        }
+        for &s in &self.age_rng {
+            e.u64(s);
+        }
+        // AccessEval.
+        match &self.access_eval {
+            Some(snap) => {
+                e.u8(1);
+                e.len(snap.read_counts.len());
+                for &(lpn, count) in &snap.read_counts {
+                    e.u64(lpn);
+                    e.u32(count);
+                }
+                e.u64(snap.reads_since_aging);
+                e.len(snap.pool.len());
+                for &(seq, lpn) in &snap.pool {
+                    e.u64(seq);
+                    e.u64(lpn);
+                }
+                e.u64(snap.pool_next_seq);
+                e.u64(snap.stats.reads);
+                e.u64(snap.stats.reduced_hits);
+                e.u64(snap.stats.promotions);
+                e.u64(snap.stats.demotions);
+            }
+            None => e.u8(0),
+        }
+        // Fault counters.
+        match &self.fault_counters {
+            Some(counters) => {
+                e.u8(1);
+                e.len(counters.len());
+                for &(tag, lpn, count) in counters {
+                    e.u64(tag);
+                    e.u64(lpn);
+                    e.u64(count);
+                }
+            }
+            None => e.u8(0),
+        }
+        // Read-disturb counters.
+        match &self.disturb {
+            Some(disturb) => {
+                e.u8(1);
+                e.len(disturb.len());
+                for &(lpn, reads) in disturb {
+                    e.u64(lpn);
+                    e.u64(reads);
+                }
+            }
+            None => e.u8(0),
+        }
+        encode_stats(&mut e, &self.stats);
+        e.u64(self.host_pages_written);
+        e.u64(self.scrub_countdown);
+        e.u32(self.scrub_cursor);
+        e.len(self.channel_free_at.len());
+        for &t in &self.channel_free_at {
+            e.f64(t);
+        }
+        // Journal + crash markers.
+        e.len(self.journal.len());
+        for r in &self.journal {
+            encode_record(&mut e, r);
+        }
+        match &self.torn {
+            Some(t) => {
+                e.u8(1);
+                e.u32(t.block.0);
+                e.u32(t.page);
+            }
+            None => e.u8(0),
+        }
+        match self.crashed_at {
+            Some(at) => {
+                e.u8(1);
+                e.u64(at);
+            }
+            None => e.u8(0),
+        }
+        e.buf
+    }
+
+    /// Decodes an image, verifying magic, version and structure.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ImageError`]; truncated or corrupted input never panics.
+    pub fn from_bytes(data: &[u8]) -> Result<DeviceImage, ImageError> {
+        let mut d = Dec::new(data);
+        if d.take(4)? != IMAGE_MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let version = d.u16()?;
+        if version != IMAGE_VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let config_fingerprint = d.u64()?;
+        let trace_fingerprint = d.u64()?;
+        let request_cursor = d.u64()?;
+        let blocks = d.u32()?;
+        let pages_per_block = d.u32()?;
+        let page_bytes = d.u32()?;
+        let over_provisioning_pct = d.u32()?;
+        let gc_low_watermark = d.u32()?;
+        let gc_policy = match d.u8()? {
+            0 => GcPolicy::Greedy,
+            1 => GcPolicy::WearAware,
+            _ => return Err(ImageError::Corrupt("gc policy out of range")),
+        };
+        let n = d.len()?;
+        let mut block_states = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mode = match d.u8()? {
+                0 => CellMode::Normal,
+                1 => CellMode::Reduced,
+                _ => return Err(ImageError::Corrupt("cell mode out of range")),
+            };
+            let frontier = d.u32()?;
+            let valid = d.u32()?;
+            let erases = d.u32()?;
+            let retired = d.bool()?;
+            let slots = d.len()?;
+            let slots = (0..slots)
+                .map(|_| {
+                    Ok(match d.u8()? {
+                        0 => None,
+                        1 => Some(d.u64()?),
+                        _ => return Err(ImageError::Corrupt("slot presence out of range")),
+                    })
+                })
+                .collect::<Result<Vec<_>, ImageError>>()?;
+            block_states.push(BlockImage {
+                mode,
+                frontier,
+                valid,
+                erases,
+                retired,
+                slots,
+            });
+        }
+        let n = d.len()?;
+        let free = (0..n).map(|_| d.u32()).collect::<Result<Vec<_>, _>>()?;
+        let mut frontier = [None, None];
+        for f in &mut frontier {
+            *f = match d.u8()? {
+                0 => None,
+                1 => Some(d.u32()?),
+                _ => return Err(ImageError::Corrupt("frontier presence out of range")),
+            };
+        }
+        let ftl = FtlImage {
+            blocks,
+            pages_per_block,
+            page_bytes,
+            over_provisioning_pct,
+            gc_low_watermark,
+            gc_policy,
+            block_states,
+            free,
+            frontier,
+        };
+        let n = d.len()?;
+        let buffer = (0..n)
+            .map(|_| Ok((d.u64()?, d.u64()?)))
+            .collect::<Result<Vec<_>, ImageError>>()?;
+        let buffer_next_seq = d.u64()?;
+        let n = d.len()?;
+        let ages = (0..n)
+            .map(|_| Ok((d.u64()?, d.f64()?)))
+            .collect::<Result<Vec<_>, ImageError>>()?;
+        let mut age_rng = [0u64; 4];
+        for s in &mut age_rng {
+            *s = d.u64()?;
+        }
+        let access_eval = match d.u8()? {
+            0 => None,
+            1 => {
+                let n = d.len()?;
+                let read_counts = (0..n)
+                    .map(|_| Ok((d.u64()?, d.u32()?)))
+                    .collect::<Result<Vec<_>, ImageError>>()?;
+                let reads_since_aging = d.u64()?;
+                let n = d.len()?;
+                let pool = (0..n)
+                    .map(|_| Ok((d.u64()?, d.u64()?)))
+                    .collect::<Result<Vec<_>, ImageError>>()?;
+                let pool_next_seq = d.u64()?;
+                let stats = flexlevel::AccessEvalStats {
+                    reads: d.u64()?,
+                    reduced_hits: d.u64()?,
+                    promotions: d.u64()?,
+                    demotions: d.u64()?,
+                };
+                Some(AccessEvalSnapshot {
+                    read_counts,
+                    reads_since_aging,
+                    pool,
+                    pool_next_seq,
+                    stats,
+                })
+            }
+            _ => return Err(ImageError::Corrupt("access-eval presence out of range")),
+        };
+        let fault_counters = match d.u8()? {
+            0 => None,
+            1 => {
+                let n = d.len()?;
+                Some(
+                    (0..n)
+                        .map(|_| Ok((d.u64()?, d.u64()?, d.u64()?)))
+                        .collect::<Result<Vec<_>, ImageError>>()?,
+                )
+            }
+            _ => return Err(ImageError::Corrupt("fault-counter presence out of range")),
+        };
+        let disturb = match d.u8()? {
+            0 => None,
+            1 => {
+                let n = d.len()?;
+                Some(
+                    (0..n)
+                        .map(|_| Ok((d.u64()?, d.u64()?)))
+                        .collect::<Result<Vec<_>, ImageError>>()?,
+                )
+            }
+            _ => return Err(ImageError::Corrupt("disturb presence out of range")),
+        };
+        let stats = decode_stats(&mut d)?;
+        let host_pages_written = d.u64()?;
+        let scrub_countdown = d.u64()?;
+        let scrub_cursor = d.u32()?;
+        let n = d.len()?;
+        let channel_free_at = (0..n).map(|_| d.f64()).collect::<Result<Vec<_>, _>>()?;
+        let n = d.len()?;
+        let journal = (0..n)
+            .map(|_| decode_record(&mut d))
+            .collect::<Result<Vec<_>, _>>()?;
+        let torn = match d.u8()? {
+            0 => None,
+            1 => Some(TornPage {
+                block: BlockId(d.u32()?),
+                page: d.u32()?,
+            }),
+            _ => return Err(ImageError::Corrupt("torn presence out of range")),
+        };
+        let crashed_at = match d.u8()? {
+            0 => None,
+            1 => Some(d.u64()?),
+            _ => return Err(ImageError::Corrupt("crash presence out of range")),
+        };
+        d.done()?;
+        Ok(DeviceImage {
+            config_fingerprint,
+            trace_fingerprint,
+            request_cursor,
+            ftl,
+            buffer,
+            buffer_next_seq,
+            ages,
+            age_rng,
+            access_eval,
+            fault_counters,
+            disturb,
+            stats,
+            host_pages_written,
+            scrub_countdown,
+            scrub_cursor,
+            channel_free_at,
+            journal,
+            torn,
+            crashed_at,
+        })
+    }
+
+    /// Checks the image against the trace about to drive the resume; a
+    /// `trace_fingerprint` of `0` means the image is not tied to any
+    /// trace and always passes.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::TraceMismatch`] if the image was checkpointed
+    /// against a different trace.
+    pub fn verify_trace(&self, trace: &Trace) -> Result<(), ImageError> {
+        if self.trace_fingerprint == 0 {
+            return Ok(());
+        }
+        let expected = trace_fingerprint(trace);
+        if self.trace_fingerprint != expected {
+            return Err(ImageError::TraceMismatch {
+                expected,
+                found: self.trace_fingerprint,
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes the image to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure from the filesystem.
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads an image from `path`; decode failures map to
+    /// [`std::io::ErrorKind::InvalidData`], mirroring `workloads::codec`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `InvalidData` wrapping the [`ImageError`].
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<DeviceImage> {
+        let data = std::fs::read(path)?;
+        DeviceImage::from_bytes(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +1039,123 @@ mod tests {
         let a = run(3e-4, 8e-3, 1);
         let b = run(3e-4, 8e-3, 1);
         assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod image_tests {
+    use super::*;
+    use crate::config::{Scheme, SsdConfig};
+    use crate::sim::SsdSimulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use workloads::WorkloadSpec;
+
+    fn checkpointed(scheme: Scheme) -> (SsdConfig, Trace, DeviceImage) {
+        let trace = WorkloadSpec::fin2()
+            .with_requests(600)
+            .with_footprint(1_200)
+            .generate(&mut StdRng::seed_from_u64(11));
+        let config = SsdConfig::scaled(scheme, 64).with_seed(3);
+        let mut sim = SsdSimulator::new(config.clone());
+        sim.run_prefix(&trace, 300).expect("prefix runs");
+        let mut image = sim.checkpoint().expect("checkpoint");
+        image.trace_fingerprint = trace_fingerprint(&trace);
+        (config, trace, image)
+    }
+
+    #[test]
+    fn image_round_trips_bit_identically() {
+        for scheme in [Scheme::Baseline, Scheme::FlexLevel] {
+            let (_, _, image) = checkpointed(scheme);
+            let bytes = image.to_bytes();
+            let back = DeviceImage::from_bytes(&bytes).expect("decodes");
+            assert_eq!(back, image);
+            assert_eq!(back.to_bytes(), bytes, "re-encoding must be stable");
+        }
+    }
+
+    #[test]
+    fn every_truncation_fails_typed() {
+        let (_, _, image) = checkpointed(Scheme::FlexLevel);
+        let bytes = image.to_bytes();
+        // Every strict prefix must produce an error, never a panic and
+        // never a bogus image. Stride keeps the sweep fast; the edges
+        // (empty, header, one-short) are hit explicitly.
+        let edges = [0, 1, 3, IMAGE_MAGIC.len(), bytes.len() - 1];
+        for len in (0..bytes.len()).step_by(131).chain(edges) {
+            assert!(
+                DeviceImage::from_bytes(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (_, _, image) = checkpointed(Scheme::Baseline);
+        let mut bytes = image.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            DeviceImage::from_bytes(&bytes),
+            Err(ImageError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let (_, _, image) = checkpointed(Scheme::Baseline);
+        let mut bytes = image.to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(DeviceImage::from_bytes(&bytes), Err(ImageError::BadMagic));
+        let mut bytes = image.to_bytes();
+        bytes[4] = 0x7F;
+        assert!(matches!(
+            DeviceImage::from_bytes(&bytes),
+            Err(ImageError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic() {
+        let (_, _, image) = checkpointed(Scheme::FlexLevel);
+        let bytes = image.to_bytes();
+        let mut state = 0x5EED_CAFE_u64;
+        for _ in 0..256 {
+            let mut mutated = bytes.clone();
+            let r = crate::faults::splitmix64(&mut state);
+            let index = (r as usize) % mutated.len();
+            mutated[index] ^= (1 << ((r >> 48) % 8)) as u8;
+            // Either a typed error or a (different or identical) image —
+            // the decoder must stay total.
+            let _ = DeviceImage::from_bytes(&mutated);
+        }
+    }
+
+    #[test]
+    fn verify_trace_distinguishes_traces() {
+        let (_, trace, image) = checkpointed(Scheme::Baseline);
+        assert_eq!(image.verify_trace(&trace), Ok(()));
+        let other = WorkloadSpec::fin2()
+            .with_requests(600)
+            .with_footprint(1_200)
+            .generate(&mut StdRng::seed_from_u64(12));
+        assert!(matches!(
+            image.verify_trace(&other),
+            Err(ImageError::TraceMismatch { .. })
+        ));
+        let mut untied = image.clone();
+        untied.trace_fingerprint = 0;
+        assert_eq!(untied.verify_trace(&other), Ok(()));
+    }
+
+    #[test]
+    fn save_load_round_trips_via_disk() {
+        let (_, _, image) = checkpointed(Scheme::Baseline);
+        let path = std::env::temp_dir().join("flexlevel_image_roundtrip.bin");
+        image.save(&path).expect("save");
+        let back = DeviceImage::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, image);
     }
 }

@@ -306,6 +306,25 @@ impl EnvironmentState {
     pub fn reset(&mut self) {
         self.disturb.clear();
     }
+
+    /// Checkpoint view of the read-disturb accumulators as `(lpn, reads)`
+    /// pairs sorted by LPN. The cluster map and thermal tilt are pure
+    /// functions of the configuration and need no checkpointing.
+    pub fn disturb_snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .disturb
+            .iter()
+            .map(|(&lpn, &reads)| (lpn, reads))
+            .collect();
+        out.sort_unstable_by_key(|&(lpn, _)| lpn);
+        out
+    }
+
+    /// Restores the read-disturb accumulators captured by
+    /// [`disturb_snapshot`](Self::disturb_snapshot).
+    pub fn restore_disturb(&mut self, disturb: &[(u64, u64)]) {
+        self.disturb = disturb.iter().copied().collect();
+    }
 }
 
 /// A named, self-contained scenario: cell technology, fault model and

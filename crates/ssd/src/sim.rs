@@ -52,11 +52,12 @@ use crate::buffer::WriteBuffer;
 use crate::config::{Scheme, SsdConfig, TimingModel};
 use crate::device::{ReliabilityState, ResourcePool};
 use crate::events::EventQueue;
-use crate::faults::FaultState;
-use crate::ftl::{FtlError, OpCost, PageMapFtl};
+use crate::faults::{CrashPlan, CrashTrigger, FaultState};
+use crate::ftl::{FtlError, JournalRecord, OpCost, PageMapFtl, RecoveryReport, TornPage};
 use crate::obs::SimObserver;
 use crate::pipeline::{expand_ops, FlashOp, Stage};
 use crate::recovery;
+use crate::recovery::{config_fingerprint, DeviceImage, ImageError};
 use crate::scenario::EnvironmentState;
 use crate::serve::{Admit, Backpressure, ServeError, ServeOptions};
 use crate::stats::{SimStats, TenantStats};
@@ -72,6 +73,13 @@ pub enum SimError {
         footprint: u64,
         /// Pages the device exports.
         capacity: u64,
+    },
+    /// A [`CrashPlan`] cut power; the run is incomplete by design. The
+    /// exact journal cut is available via
+    /// [`SsdSimulator::crash_cut`].
+    PowerLoss {
+        /// Zero-based index of the request being served when power died.
+        at_request: u64,
     },
 }
 
@@ -92,6 +100,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "trace footprint {footprint} pages exceeds device capacity {capacity}"
             ),
+            SimError::PowerLoss { at_request } => {
+                write!(f, "sudden power-off while serving request {at_request}")
+            }
         }
     }
 }
@@ -100,9 +111,20 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Ftl(e) => Some(e),
-            SimError::FootprintTooLarge { .. } => None,
+            SimError::FootprintTooLarge { .. } | SimError::PowerLoss { .. } => None,
         }
     }
+}
+
+/// Where exactly a [`CrashPlan`] cut the mapping journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashCut {
+    /// Journal records that survived the crash (the cut prefix length).
+    pub record: usize,
+    /// Whether the interrupted record additionally left a torn page.
+    pub torn: bool,
+    /// Zero-based index of the request being served when power died.
+    pub at_request: u64,
 }
 
 /// What the logical layer decided one page access costs: lumped
@@ -167,6 +189,16 @@ pub struct SsdSimulator {
     /// Observability recorder; `None` (the default) disables every
     /// tracing/metrics code path — the `Option` check is the whole cost.
     obs: Option<Box<SimObserver>>,
+    /// Zero-based index of the next request to pull from the source
+    /// (advances during replay; restored by checkpoint/restore).
+    request_cursor: u64,
+    /// Stop bound for [`run_prefix`](Self::run_prefix): serving halts
+    /// before the request at this cursor.
+    stop_after: Option<u64>,
+    /// Armed sudden-power-off plan; `None` (the default) never crashes.
+    crash_plan: Option<CrashPlan>,
+    /// Where the armed plan actually cut, once it fired.
+    crash_cut: Option<CrashCut>,
 }
 
 impl SsdSimulator {
@@ -229,6 +261,10 @@ impl SsdSimulator {
             scrub_countdown: 0,
             scrub_cursor: 0,
             obs: None,
+            request_cursor: 0,
+            stop_after: None,
+            crash_plan: None,
+            crash_cut: None,
         }
     }
 
@@ -377,6 +413,8 @@ impl SsdSimulator {
         }
         self.scrub_countdown = 0;
         self.scrub_cursor = 0;
+        self.request_cursor = 0;
+        self.crash_cut = None;
         if let Some(o) = self.obs.as_mut() {
             o.reset();
         }
@@ -400,6 +438,249 @@ impl SsdSimulator {
         self.config.timing_model == TimingModel::Pipelined
     }
 
+    /// Arms (or clears) a sudden-power-off plan. While armed, serving
+    /// stops with [`SimError::PowerLoss`] when the trigger fires and
+    /// [`crash_cut`](Self::crash_cut) reports where the mapping journal
+    /// was cut.
+    pub fn set_crash_plan(&mut self, plan: Option<CrashPlan>) {
+        self.crash_plan = plan;
+    }
+
+    /// Where the armed crash plan cut the journal, once it fired.
+    pub fn crash_cut(&self) -> Option<CrashCut> {
+        self.crash_cut
+    }
+
+    /// Zero-based index of the next request to pull from the source.
+    pub fn request_cursor(&self) -> u64 {
+        self.request_cursor
+    }
+
+    /// Evaluates the armed crash plan against the request just served;
+    /// on fire, derives the seeded journal cut and returns the error the
+    /// serving loop must propagate.
+    fn check_crash(&mut self, at: u64, arrival_us: f64, records_before: usize) -> Option<SimError> {
+        let plan = self.crash_plan?;
+        let fired = match plan.trigger {
+            CrashTrigger::OpIndex(index) => at == index,
+            CrashTrigger::SimTimeUs(t) => arrival_us >= t,
+        };
+        if !fired {
+            return None;
+        }
+        let records_after = self.ftl.journal().map_or(0, <[_]>::len);
+        let (record, torn) = plan.cut(at, records_before, records_after);
+        self.crash_cut = Some(CrashCut {
+            record,
+            torn,
+            at_request: at,
+        });
+        Some(SimError::PowerLoss { at_request: at })
+    }
+
+    /// Captures the complete device state as a restorable
+    /// [`DeviceImage`] and switches the FTL's mapping journal on, so
+    /// every subsequent mapping change is appended relative to this
+    /// checkpoint. `trace_fingerprint` is left `0`; callers tying the
+    /// image to a trace stamp it via [`recovery::trace_fingerprint`].
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::Invariant`] if the run is tenanted — per-tenant
+    /// scheduler state is not checkpointable.
+    pub fn checkpoint(&mut self) -> Result<DeviceImage, ImageError> {
+        if !self.stats.tenants.is_empty() {
+            return Err(ImageError::Invariant(
+                "tenanted serve runs cannot be checkpointed".to_string(),
+            ));
+        }
+        self.ftl.enable_journal();
+        let (buffer, buffer_next_seq) = self.buffer.snapshot();
+        let (ages, age_rng) = self.reliability.snapshot();
+        Ok(DeviceImage {
+            config_fingerprint: config_fingerprint(&self.config),
+            trace_fingerprint: 0,
+            request_cursor: self.request_cursor,
+            ftl: self.ftl.snapshot(),
+            buffer,
+            buffer_next_seq,
+            ages,
+            age_rng,
+            access_eval: self
+                .access_eval
+                .as_ref()
+                .map(AccessEvalController::snapshot),
+            fault_counters: self.faults.as_ref().map(FaultState::counters_snapshot),
+            disturb: self
+                .environment
+                .as_ref()
+                .map(EnvironmentState::disturb_snapshot),
+            stats: self.stats.clone(),
+            host_pages_written: self.host_pages_written,
+            scrub_countdown: self.scrub_countdown,
+            scrub_cursor: self.scrub_cursor,
+            channel_free_at: self.channel_free_at.iter().map(|t| t.as_f64()).collect(),
+            journal: Vec::new(),
+            torn: None,
+            crashed_at: None,
+        })
+    }
+
+    /// Derives the post-crash device image: `base` (the last clean
+    /// checkpoint) plus the journal prefix that reached the flash before
+    /// power died, plus the torn page the interrupted program left, if
+    /// any. The recovered state is then proven by
+    /// [`PageMapFtl::recover`] against this image.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::Invariant`] if no crash has fired or the journal is
+    /// not enabled.
+    pub fn crash_image(&self, base: &DeviceImage) -> Result<DeviceImage, ImageError> {
+        let cut = self
+            .crash_cut
+            .ok_or_else(|| ImageError::Invariant("no crash has fired".to_string()))?;
+        let journal = self
+            .ftl
+            .journal()
+            .ok_or_else(|| ImageError::Invariant("mapping journal not enabled".to_string()))?;
+        if cut.record > journal.len() {
+            return Err(ImageError::Invariant(format!(
+                "crash cut {} beyond journal length {}",
+                cut.record,
+                journal.len()
+            )));
+        }
+        // The torn page is the *first lost* record — a program that was
+        // in flight when power died. Only `Write` records leave one;
+        // metadata-only records (erase, retire, commit) tear nothing.
+        let torn = if cut.torn {
+            match journal.get(cut.record) {
+                Some(&JournalRecord::Write { block, page, .. }) => Some(TornPage { block, page }),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let mut image = base.clone();
+        image.journal = journal[..cut.record].to_vec();
+        image.torn = torn;
+        image.crashed_at = Some(cut.at_request);
+        Ok(image)
+    }
+
+    /// Rebuilds a simulator from a checkpoint image, ready to
+    /// [`resume`](Self::resume) at `image.request_cursor`. The caller
+    /// supplies the same configuration the checkpoint was taken under
+    /// (verified by fingerprint). Crash images are restored from their
+    /// *checkpoint-time* FTL: resumed serving re-executes the journaled
+    /// suffix deterministically, which is what makes split runs
+    /// bit-identical to uninterrupted ones.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::ConfigMismatch`] on a fingerprint mismatch;
+    /// [`ImageError::Corrupt`] if any component snapshot fails
+    /// validation against the rebuilt simulator.
+    pub fn restore(config: SsdConfig, image: &DeviceImage) -> Result<SsdSimulator, ImageError> {
+        let expected = config_fingerprint(&config);
+        if image.config_fingerprint != expected {
+            return Err(ImageError::ConfigMismatch {
+                expected,
+                found: image.config_fingerprint,
+            });
+        }
+        let mut sim = SsdSimulator::new(config);
+        sim.ftl = PageMapFtl::from_image(&image.ftl)?;
+        sim.buffer = WriteBuffer::from_snapshot(
+            sim.config.buffer_pages,
+            &image.buffer,
+            image.buffer_next_seq,
+        )
+        .map_err(ImageError::Corrupt)?;
+        sim.reliability.restore(&image.ages, image.age_rng);
+        match (sim.access_eval.as_mut(), image.access_eval.as_ref()) {
+            (Some(controller), Some(snapshot)) => {
+                controller.restore(snapshot).map_err(ImageError::Corrupt)?;
+            }
+            (None, None) => {}
+            _ => return Err(ImageError::Corrupt("AccessEval presence mismatch")),
+        }
+        match (sim.faults.as_mut(), image.fault_counters.as_ref()) {
+            (Some(faults), Some(counters)) => faults.restore_counters(counters),
+            (None, None) => {}
+            _ => return Err(ImageError::Corrupt("fault-state presence mismatch")),
+        }
+        match (sim.environment.as_mut(), image.disturb.as_ref()) {
+            (Some(env), Some(disturb)) => env.restore_disturb(disturb),
+            (None, None) => {}
+            _ => return Err(ImageError::Corrupt("environment presence mismatch")),
+        }
+        if image.channel_free_at.len() != sim.channel_free_at.len() {
+            return Err(ImageError::Corrupt("channel count mismatch"));
+        }
+        sim.stats = image.stats.clone();
+        sim.host_pages_written = image.host_pages_written;
+        sim.scrub_countdown = image.scrub_countdown;
+        sim.scrub_cursor = image.scrub_cursor;
+        sim.channel_free_at = image.channel_free_at.iter().map(|&us| Micros(us)).collect();
+        sim.request_cursor = image.request_cursor;
+        Ok(sim)
+    }
+
+    /// Runs the first `stop` requests of `trace` — preload and counter
+    /// reset included — then returns with the simulator *mid-run*, ready
+    /// for [`checkpoint`](Self::checkpoint). Observability export is
+    /// deliberately not finished: the run is not over.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_prefix(&mut self, trace: &Trace, stop: u64) -> Result<&SimStats, SimError> {
+        self.preload_pages(trace.footprint_pages)?;
+        self.stop_after = Some(stop);
+        let mut source = TraceSource::new(trace);
+        let options = ServeOptions::replay();
+        let outcome = match self.config.timing_model {
+            TimingModel::SingleQueue => self.run_source_single(&mut source, &options),
+            TimingModel::Pipelined => self.run_source_pipelined(&mut source, &options),
+        };
+        self.stop_after = None;
+        outcome?;
+        Ok(&self.stats)
+    }
+
+    /// Continues serving `trace` from the current request cursor to the
+    /// end — the second half of a checkpointed run, after
+    /// [`restore`](Self::restore) or [`run_prefix`](Self::run_prefix).
+    /// No preload, no counter reset; finishes observability export.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run); [`SimError::PowerLoss`] if an armed crash
+    /// plan fires during the resumed portion.
+    pub fn resume(&mut self, trace: &Trace) -> Result<&SimStats, SimError> {
+        let mut source = TraceSource::starting_at(trace, self.request_cursor as usize);
+        let options = ServeOptions::replay();
+        match self.config.timing_model {
+            TimingModel::SingleQueue => self.run_source_single(&mut source, &options)?,
+            TimingModel::Pipelined => self.run_source_pipelined(&mut source, &options)?,
+        }
+        if let Some(o) = self.obs.as_mut() {
+            o.flush_deferred();
+            o.finish_run(&self.stats, self.host_pages_written);
+        }
+        Ok(&self.stats)
+    }
+
+    /// Folds a recovery proof's outcome into the statistics (surfaced in
+    /// the recovery panel and the observability export) before resuming.
+    pub fn note_recovery(&mut self, report: &RecoveryReport, checkpoint_age_requests: u64) {
+        self.stats.journal_replayed += report.journal_replayed;
+        self.stats.torn_pages_discarded += report.torn_pages_discarded;
+        self.stats.checkpoint_age_requests = checkpoint_age_requests;
+    }
+
     /// Drains `source` under the single-queue model: an admitted request
     /// queues on the channel its first page maps to (no earlier than its
     /// submission time), pays its lumped latency, and background work
@@ -413,7 +694,18 @@ impl SsdSimulator {
     ) -> Result<(), SimError> {
         let tenanted = options.tenanted();
         let mut backpressure = Backpressure::new(options);
-        while let Some(TenantRequest { tenant, request }) = source.next_request() {
+        loop {
+            if self
+                .stop_after
+                .is_some_and(|stop| self.request_cursor >= stop)
+            {
+                break;
+            }
+            let Some(TenantRequest { tenant, request }) = source.next_request() else {
+                break;
+            };
+            let at = self.request_cursor;
+            self.request_cursor += 1;
             if tenanted {
                 self.stats.tenants[tenant as usize].arrivals += 1;
             }
@@ -433,6 +725,7 @@ impl SsdSimulator {
                     o.set_tenant(tenant);
                 }
             }
+            let records_before = self.ftl.journal().map_or(0, <[_]>::len);
             let plan = self.serve_logical(&request)?;
             let channel = (request.lpn % self.channel_free_at.len() as u64) as usize;
             let arrival = Micros(request.arrival_us);
@@ -456,6 +749,10 @@ impl SsdSimulator {
                 if let Some(o) = self.obs.as_mut() {
                     o.tenant_response(tenant, response);
                 }
+            }
+            self.ftl.record_commit(at);
+            if let Some(err) = self.check_crash(at, request.arrival_us, records_before) {
+                return Err(err);
             }
         }
         self.stats.makespan_us = self
@@ -573,7 +870,18 @@ impl SsdSimulator {
         // both backends admit, drop and defer exactly the same requests.
         let mut lumped_free_at = self.channel_free_at.clone();
         let mut admissions = Vec::new();
-        while let Some(TenantRequest { tenant, request }) = source.next_request() {
+        loop {
+            if self
+                .stop_after
+                .is_some_and(|stop| self.request_cursor >= stop)
+            {
+                break;
+            }
+            let Some(TenantRequest { tenant, request }) = source.next_request() else {
+                break;
+            };
+            let at = self.request_cursor;
+            self.request_cursor += 1;
             if tenanted {
                 self.stats.tenants[tenant as usize].arrivals += 1;
             }
@@ -593,6 +901,7 @@ impl SsdSimulator {
                     o.set_tenant(tenant);
                 }
             }
+            let records_before = self.ftl.journal().map_or(0, <[_]>::len);
             let plan = self.serve_logical(&request)?;
             if let Some(o) = self.obs.as_mut() {
                 o.end_request_deferred(Micros(request.arrival_us));
@@ -618,6 +927,12 @@ impl SsdSimulator {
                 fg: expand_ops(&plan.fg_ops, &self.config.latency),
                 bg: expand_ops(&plan.bg_ops, &self.config.latency),
             });
+            self.ftl.record_commit(at);
+            if let Some(err) = self.check_crash(at, request.arrival_us, records_before) {
+                // Power dies mid-run: the event-driven phase never happens,
+                // exactly like the single-queue backend stopping mid-trace.
+                return Err(err);
+            }
         }
 
         let mut pool = ResourcePool::new(

@@ -123,6 +123,19 @@ pub struct SimStats {
     /// `serde` default keeps pre-serving JSON fixtures decodable).
     #[serde(default)]
     pub tenants: Vec<TenantStats>,
+    /// Journal records replayed by sudden-power-off recovery; zero unless
+    /// this run resumed from a crashed image (`serde` default keeps old
+    /// fixtures decodable).
+    #[serde(default)]
+    pub journal_replayed: u64,
+    /// Torn (interrupted, uncorrectable) pages detected and discarded by
+    /// recovery.
+    #[serde(default)]
+    pub torn_pages_discarded: u64,
+    /// Requests served between the restored checkpoint and the crash
+    /// point (how much work recovery had to re-establish).
+    #[serde(default)]
+    pub checkpoint_age_requests: u64,
 }
 
 /// Reservoir capacity: runs at or below this many responses keep every

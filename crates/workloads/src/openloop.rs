@@ -58,6 +58,13 @@ impl<'a> TraceSource<'a> {
     pub fn new(trace: &'a Trace) -> TraceSource<'a> {
         TraceSource { trace, next: 0 }
     }
+
+    /// Wraps a trace for replay starting at request index `next` — the
+    /// resume path after a checkpoint restore. An index at or past the
+    /// end yields an immediately-drained source.
+    pub fn starting_at(trace: &'a Trace, next: usize) -> TraceSource<'a> {
+        TraceSource { trace, next }
+    }
 }
 
 impl RequestSource for TraceSource<'_> {

