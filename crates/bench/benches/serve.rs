@@ -75,6 +75,18 @@ struct ServePoint {
     victim_p99_us: f64,
     /// Worst per-tenant modelled p99 response in µs.
     worst_p99_us: f64,
+    /// Run-wide modelled p50 / p99 response in µs.
+    p50_us: f64,
+    p99_us: f64,
+    /// Recovery-ladder depth histogram (index = rungs climbed; all
+    /// zeros when fault injection is off, as in this bench).
+    retry_depth_hist: Vec<u64>,
+}
+
+/// Renders a `u64` slice as a JSON array literal.
+fn json_u64s(values: &[u64]) -> String {
+    let cells: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// Best-of-`reps` wall-clock serving speed plus the modelled tails.
@@ -98,6 +110,9 @@ fn measure(model: TimingModel, tenants: u32, requests: u64, reps: usize) -> Serv
         sim_rps: total as f64 / best,
         victim_p99_us: stats.tenants[0].p99().as_f64(),
         worst_p99_us: worst,
+        p50_us: stats.response_percentile(0.50).as_f64(),
+        p99_us: stats.response_percentile(0.99).as_f64(),
+        retry_depth_hist: stats.retry_depth_histogram.clone(),
     }
 }
 
@@ -110,13 +125,18 @@ fn write_json(path: &str, quick: bool, requests: u64, points: &[ServePoint]) {
         rows.push_str(&format!(
             concat!(
                 "    {{\"model\": \"{}\", \"tenants\": {}, \"sim_rps\": {:.3}, ",
-                "\"victim_p99_us\": {:.3}, \"worst_p99_us\": {:.3}}}"
+                "\"victim_p99_us\": {:.3}, \"worst_p99_us\": {:.3}, ",
+                "\"p50_us\": {:.3}, \"p99_us\": {:.3}, ",
+                "\"retry_depth_hist\": {}}}"
             ),
             p.model.label(),
             p.tenants,
             p.sim_rps,
             p.victim_p99_us,
-            p.worst_p99_us
+            p.worst_p99_us,
+            p.p50_us,
+            p.p99_us,
+            json_u64s(&p.retry_depth_hist)
         ));
     }
     let json = format!(

@@ -60,6 +60,12 @@ struct ModelResult {
     /// Modelled device throughput, requests per simulated second.
     modelled_rps: f64,
     makespan_us: f64,
+    /// Modelled p50 / p99 response latency (µs).
+    p50_us: f64,
+    p99_us: f64,
+    /// Recovery-ladder depth histogram (index = rungs climbed; all
+    /// zeros when fault injection is off, as in this bench).
+    retry_depth_hist: Vec<u64>,
 }
 
 /// Best-of-`reps` wall-clock replay speed plus the modelled throughput.
@@ -76,7 +82,16 @@ fn measure(model: TimingModel, trace: &Trace, reps: usize) -> ModelResult {
         sim_rps: trace.len() as f64 / best,
         modelled_rps: stats.throughput_rps(),
         makespan_us: stats.makespan_us,
+        p50_us: stats.response_percentile(0.50).as_f64(),
+        p99_us: stats.response_percentile(0.99).as_f64(),
+        retry_depth_hist: stats.retry_depth_histogram.clone(),
     }
+}
+
+/// Renders a `u64` slice as a JSON array literal.
+fn json_u64s(values: &[u64]) -> String {
+    let cells: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 fn write_json(path: &str, quick: bool, requests: u64, results: &[ModelResult]) {
@@ -88,12 +103,17 @@ fn write_json(path: &str, quick: bool, requests: u64, results: &[ModelResult]) {
         points.push_str(&format!(
             concat!(
                 "    {{\"model\": \"{}\", \"sim_rps\": {:.3}, ",
-                "\"modelled_rps\": {:.3}, \"makespan_us\": {:.3}}}"
+                "\"modelled_rps\": {:.3}, \"makespan_us\": {:.3}, ",
+                "\"p50_us\": {:.3}, \"p99_us\": {:.3}, ",
+                "\"retry_depth_hist\": {}}}"
             ),
             r.model.label(),
             r.sim_rps,
             r.modelled_rps,
-            r.makespan_us
+            r.makespan_us,
+            r.p50_us,
+            r.p99_us,
+            json_u64s(&r.retry_depth_hist)
         ));
     }
     let json = format!(

@@ -9,7 +9,8 @@
 
 use crate::hist::Histogram;
 use crate::registry::Registry;
-use crate::span::{ReadSpan, SpanBuffer};
+use crate::span::{EventKind, ReadSpan, SpanBuffer, TraceEvent};
+use crate::timeseries::SeriesBlock;
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in a JSON or Prometheus quoted value.
@@ -194,6 +195,75 @@ pub fn span_jsonl(buffer: &SpanBuffer) -> String {
     out
 }
 
+/// Renders one snapshot's series as a JSONL object with fixed field
+/// order: scheme, window, window-end time, cumulative counters,
+/// per-window deltas, boundary gauges.
+fn series_json(block: &SeriesBlock, snap: &crate::timeseries::SeriesSnapshot) -> String {
+    let columns = |names: &[String], values: &mut dyn Iterator<Item = String>| -> String {
+        let body: Vec<String> = names
+            .iter()
+            .zip(values)
+            .map(|(name, value)| format!("\"{}\":{value}", escape(name)))
+            .collect();
+        body.join(",")
+    };
+    format!(
+        "{{\"scheme\":\"{}\",\"window\":{},\"t_us\":{},\"cum\":{{{}}},\"delta\":{{{}}},\"gauges\":{{{}}}}}",
+        escape(&block.scheme),
+        snap.window,
+        snap.t_us,
+        columns(&block.counters, &mut snap.cumulative.iter().map(|v| v.to_string())),
+        columns(&block.counters, &mut snap.delta.iter().map(|v| v.to_string())),
+        columns(&block.gauges, &mut snap.gauges.iter().map(|v| v.to_string())),
+    )
+}
+
+/// Renders time-series blocks as JSONL: one snapshot object per line,
+/// blocks in scheme order, snapshots in window order. Cumulative
+/// counters are non-decreasing and `t_us` strictly increases within a
+/// scheme, by construction of [`crate::timeseries::SeriesSampler`].
+pub fn series_jsonl(blocks: &[SeriesBlock]) -> String {
+    let mut ordered: Vec<&SeriesBlock> = blocks.iter().collect();
+    ordered.sort_by(|a, b| a.scheme.cmp(&b.scheme));
+    let mut out = String::new();
+    for block in ordered {
+        for snap in &block.snapshots {
+            out.push_str(&series_json(block, snap));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn event_json(event: &TraceEvent, tid: usize) -> String {
+    let (cat, args) = match event.kind {
+        EventKind::Retry { depth, recovered } => (
+            "recovery",
+            format!(",\"depth\":{depth},\"recovered\":{recovered}"),
+        ),
+        EventKind::DieReset => ("recovery", String::new()),
+        EventKind::Scrub { reads, refreshes } => (
+            "scrub",
+            format!(",\"reads\":{reads},\"refreshes\":{refreshes}"),
+        ),
+    };
+    format!(
+        concat!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",",
+            "\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{",
+            "\"seq\":{},\"tenant\":{},\"lpn\":{}{}}}}}"
+        ),
+        event.kind.label(),
+        cat,
+        tid,
+        event.t_us,
+        event.seq,
+        event.tenant,
+        event.lpn,
+        args
+    )
+}
+
 /// Renders the buffer in Chrome `trace_event` JSON format, loadable in
 /// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
 ///
@@ -201,12 +271,30 @@ pub fn span_jsonl(buffer: &SpanBuffer) -> String {
 /// appearance); each span emits a complete (`ph:"X"`) event covering the
 /// whole request (queueing included) plus one nested complete event per
 /// pipeline stage. Timestamps are in µs as the format requires.
+///
+/// Equivalent to [`chrome_trace_full`] with no time series.
 pub fn chrome_trace(buffer: &SpanBuffer) -> String {
+    chrome_trace_full(buffer, &[])
+}
+
+/// Like [`chrome_trace`], and additionally renders recovery/scrub
+/// instant events (`ph:"i"`, with tenant and retry-depth args) on their
+/// scheme's track, and each series block's per-window deltas and gauges
+/// as counter tracks (`ph:"C"`) so Perfetto shows live series alongside
+/// the spans. With no events and no series the output is byte-identical
+/// to [`chrome_trace`].
+pub fn chrome_trace_full(buffer: &SpanBuffer, series: &[SeriesBlock]) -> String {
     let spans = buffer.sorted_spans();
+    let instants = buffer.sorted_events();
     let mut schemes: Vec<&str> = Vec::new();
     for span in &spans {
         if !schemes.contains(&span.scheme) {
             schemes.push(span.scheme);
+        }
+    }
+    for event in &instants {
+        if !schemes.contains(&event.scheme) {
+            schemes.push(event.scheme);
         }
     }
     let tid = |scheme: &str| schemes.iter().position(|s| *s == scheme).unwrap() + 1;
@@ -252,6 +340,28 @@ pub fn chrome_trace(buffer: &SpanBuffer) -> String {
                 tid,
                 span.start_us + stage.offset_us,
                 stage.duration_us
+            ));
+        }
+    }
+    for event in &instants {
+        events.push(event_json(event, tid(event.scheme)));
+    }
+    let mut ordered: Vec<&SeriesBlock> = series.iter().collect();
+    ordered.sort_by(|a, b| a.scheme.cmp(&b.scheme));
+    for block in ordered {
+        for snap in &block.snapshots {
+            let mut args: Vec<String> = Vec::new();
+            for (name, value) in block.counters.iter().zip(&snap.delta) {
+                args.push(format!("\"{}\":{value}", escape(name)));
+            }
+            for (name, value) in block.gauges.iter().zip(&snap.gauges) {
+                args.push(format!("\"{}\":{value}", escape(name)));
+            }
+            events.push(format!(
+                "{{\"name\":\"series {}\",\"ph\":\"C\",\"pid\":1,\"ts\":{},\"args\":{{{}}}}}",
+                escape(&block.scheme),
+                snap.t_us,
+                args.join(",")
             ));
         }
     }
@@ -396,6 +506,64 @@ mod tests {
         assert!(bucket_lines[0].ends_with(" 3"));
         assert!(bucket_lines[1].ends_with(" 4"));
         assert!(bucket_lines[2].contains("le=\"+Inf\"} 4"));
+    }
+
+    fn sample_block() -> SeriesBlock {
+        use crate::timeseries::SeriesSampler;
+        let mut s = SeriesSampler::new(
+            "flexlevel",
+            1000,
+            vec!["host_reads".into()],
+            vec!["uber".into()],
+        );
+        s.emit(vec![12], vec![2.5e-9]);
+        s.emit(vec![30], vec![1.25e-9]);
+        s.into_block()
+    }
+
+    #[test]
+    fn series_jsonl_is_one_snapshot_per_line() {
+        let text = series_jsonl(&[sample_block()]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            concat!(
+                "{\"scheme\":\"flexlevel\",\"window\":0,\"t_us\":1000,",
+                "\"cum\":{\"host_reads\":12},\"delta\":{\"host_reads\":12},",
+                "\"gauges\":{\"uber\":0.0000000025}}"
+            )
+        );
+        assert!(lines[1].contains("\"delta\":{\"host_reads\":18}"));
+    }
+
+    #[test]
+    fn chrome_trace_full_adds_instants_and_counters() {
+        use crate::span::{EventKind, TraceEvent};
+        let mut buffer = sample_buffer();
+        buffer.push_event(TraceEvent {
+            seq: 0,
+            t_us: 11.0,
+            scheme: "flexlevel",
+            tenant: 3,
+            lpn: 42,
+            kind: EventKind::Retry {
+                depth: 2,
+                recovered: true,
+            },
+        });
+        let text = chrome_trace_full(&buffer, &[sample_block()]);
+        assert!(text.contains("\"name\":\"retry\",\"cat\":\"recovery\",\"ph\":\"i\""));
+        assert!(text.contains("\"tenant\":3,\"lpn\":42,\"depth\":2,\"recovered\":true"));
+        assert!(text.contains("\"name\":\"series flexlevel\",\"ph\":\"C\""));
+        assert!(text.contains("\"host_reads\":18"));
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+        // Without events or series the full variant matches the basic one.
+        assert_eq!(chrome_trace(&sample_buffer()), {
+            chrome_trace_full(&sample_buffer(), &[])
+        });
     }
 
     #[test]

@@ -21,18 +21,26 @@ pub mod export;
 pub mod hist;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
 pub use hist::Histogram;
 pub use registry::{CounterId, GaugeId, HistogramId, MetricMeta, Registry};
-pub use span::{ReadSpan, SpanBuffer, SpanOutcome, StageTiming};
+pub use span::{EventKind, ReadSpan, SpanBuffer, SpanOutcome, StageTiming, TraceEvent};
+pub use timeseries::{
+    critical_path, PathComponents, SchemeAttribution, SeriesBlock, SeriesSampler, SeriesSnapshot,
+    SeriesState,
+};
 
-/// Bundles the metrics registry and span buffer a run records into.
+/// Bundles the metrics registry, span buffer and time series a run
+/// records into.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Recorder {
     /// Counters, gauges and histograms for the run.
     pub metrics: Registry,
     /// Collected read spans.
     pub spans: SpanBuffer,
+    /// Windowed time series, one block per producing run.
+    pub series: Vec<SeriesBlock>,
 }
 
 impl Recorder {
@@ -47,14 +55,17 @@ impl Recorder {
         Recorder {
             metrics: Registry::new(),
             spans: SpanBuffer::with_capacity(sample),
+            series: Vec::new(),
         }
     }
 
     /// Folds another recorder into this one: metrics merge series-wise,
-    /// spans concatenate. Call in a fixed order (e.g. scheme order) so
-    /// the combined state is independent of run scheduling.
+    /// spans concatenate, series blocks append. Call in a fixed order
+    /// (e.g. scheme order) so the combined state is independent of run
+    /// scheduling.
     pub fn merge(&mut self, other: &Recorder) {
         self.metrics.merge(&other.metrics);
         self.spans.merge(&other.spans);
+        self.series.extend(other.series.iter().cloned());
     }
 }

@@ -14,6 +14,63 @@
 /// the span sequence, keeping trace output reproducible run-to-run.
 pub const SAMPLE_SEED: u64 = 0x5EED_5A3B_1E5E_4701;
 
+/// Seed for the instant-event reservoir — a stream independent from the
+/// span reservoir so event sampling never perturbs span sampling.
+pub const EVENT_SAMPLE_SEED: u64 = 0x1E5E_4701_5EED_5A3B;
+
+/// What an instant [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The recovery ladder was climbed for a read.
+    Retry {
+        /// Rungs climbed before the outcome.
+        depth: u32,
+        /// Whether the ladder ultimately corrected the read.
+        recovered: bool,
+    },
+    /// A die-level reset interrupted service.
+    DieReset,
+    /// One patrol-scrub pass over a block.
+    Scrub {
+        /// Pages scrubbed in the pass.
+        reads: u32,
+        /// Pages refreshed (rewritten) because BER crossed threshold.
+        refreshes: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable lower-case label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Retry { .. } => "retry",
+            EventKind::DieReset => "die_reset",
+            EventKind::Scrub { .. } => "scrub",
+        }
+    }
+}
+
+/// One instant event: a point on the timeline (recovery-ladder climb,
+/// die reset, scrub pass) rather than an interval. Timestamps are the
+/// triggering request's *arrival* time, which is a property of the trace
+/// and therefore identical across thread counts and timing backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Emission sequence number within the producing run (0-based,
+    /// independent of the span sequence).
+    pub seq: u64,
+    /// Event time in µs (triggering request's arrival).
+    pub t_us: f64,
+    /// Sensing-scheme label the run was configured with.
+    pub scheme: &'static str,
+    /// Tenant the triggering request belongs to (0 in replay runs).
+    pub tenant: u32,
+    /// Logical page the event concerns.
+    pub lpn: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
 /// How a read ultimately completed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanOutcome {
@@ -102,6 +159,9 @@ pub struct SpanBuffer {
     capacity: usize,
     offered: u64,
     rng: u64,
+    events: Vec<TraceEvent>,
+    events_offered: u64,
+    events_rng: u64,
 }
 
 impl Default for SpanBuffer {
@@ -124,6 +184,9 @@ impl SpanBuffer {
             capacity,
             offered: 0,
             rng: SAMPLE_SEED,
+            events: Vec::new(),
+            events_offered: 0,
+            events_rng: EVENT_SAMPLE_SEED,
         }
     }
 
@@ -142,9 +205,42 @@ impl SpanBuffer {
         }
     }
 
+    /// Offers an instant event to the buffer. Events use the same
+    /// reservoir capacity as spans but an independent seeded stream, so
+    /// adding event producers never changes which spans are kept.
+    pub fn push_event(&mut self, event: TraceEvent) {
+        self.events_offered += 1;
+        if self.capacity == 0 || self.events.len() < self.capacity {
+            self.events.push(event);
+            return;
+        }
+        let slot = (splitmix64(&mut self.events_rng) % self.events_offered) as usize;
+        if slot < self.capacity {
+            self.events[slot] = event;
+        }
+    }
+
     /// Spans currently held, in reservoir order (exporters sort).
     pub fn spans(&self) -> &[ReadSpan] {
         &self.spans
+    }
+
+    /// Instant events currently held, in reservoir order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total instant events offered (kept or sampled away).
+    pub fn events_offered(&self) -> u64 {
+        self.events_offered
+    }
+
+    /// Kept events sorted by `(scheme, seq)` — the canonical export
+    /// order.
+    pub fn sorted_events(&self) -> Vec<&TraceEvent> {
+        let mut events: Vec<&TraceEvent> = self.events.iter().collect();
+        events.sort_by(|a, b| a.scheme.cmp(b.scheme).then(a.seq.cmp(&b.seq)));
+        events
     }
 
     /// Number of spans currently held.
@@ -169,6 +265,8 @@ impl SpanBuffer {
     pub fn merge(&mut self, other: &SpanBuffer) {
         self.spans.extend(other.spans.iter().cloned());
         self.offered += other.offered;
+        self.events.extend(other.events.iter().cloned());
+        self.events_offered += other.events_offered;
     }
 
     /// The configured reservoir capacity (`0` = unlimited).
@@ -182,6 +280,9 @@ impl SpanBuffer {
         self.spans.clear();
         self.offered = 0;
         self.rng = SAMPLE_SEED;
+        self.events.clear();
+        self.events_offered = 0;
+        self.events_rng = EVENT_SAMPLE_SEED;
     }
 
     /// Kept spans sorted by `(scheme, seq)` — the canonical export order.
@@ -263,5 +364,59 @@ mod tests {
     fn outcome_labels_are_stable() {
         assert_eq!(SpanOutcome::BufferHit.label(), "buffer_hit");
         assert_eq!(SpanOutcome::Uncorrectable.label(), "uncorrectable");
+    }
+
+    fn event(seq: u64, scheme: &'static str) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us: seq as f64 * 10.0,
+            scheme,
+            tenant: 0,
+            lpn: seq,
+            kind: EventKind::Retry {
+                depth: 2,
+                recovered: true,
+            },
+        }
+    }
+
+    #[test]
+    fn events_reservoir_is_independent_of_spans() {
+        let with_events = |n_events: u64| {
+            let mut buffer = SpanBuffer::with_capacity(16);
+            for seq in 0..1000 {
+                buffer.push(span(seq, "baseline"));
+                if seq < n_events {
+                    buffer.push_event(event(seq, "baseline"));
+                }
+            }
+            buffer
+        };
+        let none = with_events(0);
+        let many = with_events(500);
+        assert_eq!(
+            none.spans(),
+            many.spans(),
+            "event stream must not move spans"
+        );
+        assert_eq!(many.events().len(), 16);
+        assert_eq!(many.events_offered(), 500);
+        assert_eq!(with_events(500), with_events(500));
+    }
+
+    #[test]
+    fn events_merge_and_sort_canonically() {
+        let mut a = SpanBuffer::unbounded();
+        a.push_event(event(1, "flexlevel"));
+        let mut b = SpanBuffer::unbounded();
+        b.push_event(event(0, "baseline"));
+        a.merge(&b);
+        assert_eq!(a.events_offered(), 2);
+        let sorted = a.sorted_events();
+        assert_eq!(sorted[0].scheme, "baseline");
+        assert_eq!(sorted[0].kind.label(), "retry");
+        a.clear();
+        assert!(a.events().is_empty());
+        assert_eq!(a.events_offered(), 0);
     }
 }

@@ -67,10 +67,24 @@
 //!                   images are first proven recoverable (journal replay
 //!                   + invariant audit — exit 3 on a violation)
 //!   --metrics-out F Prometheus text exposition of the run's metrics
-//!   --trace-out F   Chrome trace_event JSON (load in Perfetto / about:tracing)
+//!                   (`-` = stdout)
+//!   --trace-out F   Chrome trace_event JSON (load in Perfetto / about:tracing);
+//!                   includes recovery/scrub instant events and the time
+//!                   series as counter tracks
 //!   --trace-jsonl F one JSON object per sampled read span
 //!   --trace-sample N     keep a seeded reservoir of at most N spans
 //!                        (0 = keep every span, the default)
+//!   --series-out F  windowed time-series JSONL, one snapshot per line
+//!                   (`-` = stdout): every counter as cumulative + window
+//!                   delta, plus derived gauges, sampled each
+//!                   --series-interval-us of simulated time. Keyed to sim
+//!                   time only — bit-identical across --threads and both
+//!                   --timing backends, and a --restore'd campaign's
+//!                   series is byte-identical to an uninterrupted run's
+//!   --series-interval-us N   window width in simulated µs (default 1000)
+//!   --progress      one-line wall-clock heartbeat to stderr (~1/s):
+//!                   sim time, ops, observed UBER, retry rate; works
+//!                   during checkpointed/restored campaign runs
 //! ```
 //!
 //! Any of the output flags (or `--all-schemes`, which sources its
@@ -115,6 +129,9 @@ struct Args {
     trace_out: Option<String>,
     trace_jsonl: Option<String>,
     trace_sample: usize,
+    series_out: Option<String>,
+    series_interval_us: u64,
+    progress: bool,
     serve: bool,
     tenants: u32,
     arrival_rates: Vec<f64>,
@@ -165,6 +182,9 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         trace_jsonl: None,
         trace_sample: 0,
+        series_out: None,
+        series_interval_us: 1000,
+        progress: false,
         serve: false,
         tenants: 2,
         arrival_rates: vec![10_000.0],
@@ -349,6 +369,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--trace-sample: {e}"))?
             }
+            "--series-out" => args.series_out = Some(value("--series-out")?),
+            "--series-interval-us" => {
+                args.series_interval_us = value("--series-interval-us")?
+                    .parse()
+                    .map_err(|e| format!("--series-interval-us: {e}"))?;
+                if args.series_interval_us == 0 {
+                    return Err("--series-interval-us must be at least 1".to_string());
+                }
+            }
+            "--progress" => args.progress = true,
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -372,6 +402,20 @@ fn parse_args() -> Result<Args, String> {
                 .to_string(),
         );
     }
+    if let (Some(metrics), Some(series)) = (args.metrics_out.as_deref(), args.series_out.as_deref())
+    {
+        if metrics == series {
+            return Err(if metrics == "-" {
+                "--metrics-out - and --series-out - would interleave two formats on stdout"
+                    .to_string()
+            } else {
+                format!(
+                    "--metrics-out and --series-out both write to '{metrics}'; \
+                     the second would overwrite the first"
+                )
+            });
+        }
+    }
     Ok(args)
 }
 
@@ -391,7 +435,16 @@ fn print_usage() {
                 [--checkpoint-out image.bin] [--checkpoint-at N]\n\
                 [--crash-at N] [--restore image.bin]\n\
                 [--metrics-out metrics.prom] [--trace-out trace.json]\n\
-                [--trace-jsonl spans.jsonl] [--trace-sample N]\n\n\
+                [--trace-jsonl spans.jsonl] [--trace-sample N]\n\
+                [--series-out series.jsonl] [--series-interval-us N]\n\
+                [--progress]\n\n\
+         Time series / introspection:\n\
+           --series-out F      windowed snapshot JSONL (one line per\n\
+                               window; '-' = stdout), sampled every\n\
+                               --series-interval-us of simulated time\n\
+                               (default 1000); deterministic across\n\
+                               --threads, --timing and --restore\n\
+           --progress          wall-clock heartbeat to stderr (~1/s)\n\n\
          Checkpoint / sudden power-off (replay mode, single scheme):\n\
            --checkpoint-out F  stop after --checkpoint-at requests (default\n\
                                half the trace) and write the device image\n\
@@ -495,6 +548,19 @@ fn build_config(
     (config, faulty)
 }
 
+/// Builds the observer the CLI flags ask for: span sampling always,
+/// plus the windowed time series and the progress heartbeat on demand.
+fn build_observer(scheme: Scheme, args: &Args) -> SimObserver {
+    let mut observer = SimObserver::new(scheme, args.trace_sample);
+    if args.series_out.is_some() {
+        observer = observer.with_series(args.series_interval_us);
+    }
+    if args.progress {
+        observer = observer.with_progress();
+    }
+    observer
+}
+
 /// Builds the simulator for one scheme from the CLI flags; see
 /// [`build_config`] for the `bool`.
 fn build_simulator(
@@ -506,7 +572,7 @@ fn build_simulator(
     let (config, faulty) = build_config(scheme, args, measured);
     let mut sim = SsdSimulator::new(config);
     if observe {
-        sim.attach_observer(SimObserver::new(scheme, args.trace_sample));
+        sim.attach_observer(build_observer(scheme, args));
     }
     (sim, faulty)
 }
@@ -934,6 +1000,66 @@ fn stage_panel(recorder: &Recorder, schemes: &[Scheme]) -> String {
     render_table(&header, &rows)
 }
 
+/// Per-scheme critical-path attribution: where the sampled reads' time
+/// goes (queue / sense / transfer / decode / retry / die reset / other
+/// wait), for the mean read and for the p99 tail — answering "where
+/// does p99 go" directly from the recorded spans.
+fn attribution_panel(recorder: &Recorder, schemes: &[Scheme]) -> String {
+    let spans = recorder.spans.sorted_spans();
+    let attributions = obs::critical_path(&spans);
+    if attributions.is_empty() {
+        return String::new();
+    }
+    let find = |s: Scheme| attributions.iter().find(|a| a.scheme == s.label());
+    let mut rows = Vec::new();
+    push_row(
+        &mut rows,
+        "sampled reads (tail)",
+        schemes
+            .iter()
+            .map(|&s| {
+                find(s).map_or("-".to_string(), |a| {
+                    format!("{} ({})", a.reads, a.tail_reads)
+                })
+            })
+            .collect(),
+    );
+    push_row(
+        &mut rows,
+        "p99 threshold (us)",
+        schemes
+            .iter()
+            .map(|&s| find(s).map_or("-".to_string(), |a| format!("{:.1}", a.p99_threshold_us)))
+            .collect(),
+    );
+    type Get = fn(&obs::PathComponents) -> f64;
+    let components: [(&str, Get); 7] = [
+        ("queue", |c| c.queue_us),
+        ("sense", |c| c.sense_us),
+        ("transfer", |c| c.transfer_us),
+        ("decode", |c| c.decode_us),
+        ("retry", |c| c.retry_us),
+        ("die reset", |c| c.die_reset_us),
+        ("wait", |c| c.wait_us),
+    ];
+    for (name, get) in components {
+        let cells: Vec<String> = schemes
+            .iter()
+            .map(|&s| {
+                find(s).map_or("-".to_string(), |a| {
+                    format!("{:.1}/{:.1}", get(&a.mean), get(&a.tail))
+                })
+            })
+            .collect();
+        if cells.iter().all(|c| c == "-" || c == "0.0/0.0") {
+            continue;
+        }
+        push_row(&mut rows, &format!("{name} mean/tail (us)"), cells);
+    }
+    let header: Vec<&str> = schemes.iter().map(|s| s.label()).collect();
+    render_table(&header, &rows)
+}
+
 /// Calibrates the decode-latency iteration profile with the real
 /// quantized decoder (`--measured-iterations`): all sensing depths'
 /// frames go through one [`DecodeFarm`](ldpc::DecodeFarm) queue on the
@@ -1046,7 +1172,10 @@ fn run_spor(
             }
         };
         if observe {
-            sim.attach_observer(SimObserver::new(scheme, args.trace_sample));
+            // `attach_observer` hands the image's time-series state to
+            // the fresh observer, so the resumed series continues the
+            // checkpointed run's mid-window.
+            sim.attach_observer(build_observer(scheme, args));
         }
         if let Some((report, age)) = recovery {
             sim.note_recovery(&report, age);
@@ -1082,6 +1211,12 @@ fn run_spor(
         }
         let (config, _) = build_config(scheme, args, measured);
         let mut sim = SsdSimulator::new(config);
+        if observe {
+            // The prefix run's unflushed time-series state rides the
+            // checkpoint image (exports themselves only happen on
+            // completed runs).
+            sim.attach_observer(build_observer(scheme, args));
+        }
         if let Err(e) = sim.run_prefix(trace, stop) {
             eprintln!("error: {e}");
             return 1;
@@ -1150,8 +1285,17 @@ fn run_spor(
     }
 }
 
-/// Writes `contents` to `path`, exiting with a message on failure.
+/// Writes `contents` to `path` (`-` = stdout, no trailer note), exiting
+/// with a message on failure.
 fn write_output(path: &str, contents: &str, what: &str) {
+    if path == "-" {
+        use std::io::Write;
+        if let Err(e) = std::io::stdout().write_all(contents.as_bytes()) {
+            eprintln!("error: writing {what} to stdout: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if let Err(e) = std::fs::write(path, contents) {
         eprintln!("error: writing {what} to {path}: {e}");
         std::process::exit(1);
@@ -1165,10 +1309,17 @@ fn write_exports(args: &Args, recorder: &Recorder) {
         write_output(path, &export::prometheus(&recorder.metrics), "metrics");
     }
     if let Some(path) = args.trace_out.as_deref() {
-        write_output(path, &export::chrome_trace(&recorder.spans), "chrome trace");
+        write_output(
+            path,
+            &export::chrome_trace_full(&recorder.spans, &recorder.series),
+            "chrome trace",
+        );
     }
     if let Some(path) = args.trace_jsonl.as_deref() {
         write_output(path, &export::span_jsonl(&recorder.spans), "span jsonl");
+    }
+    if let Some(path) = args.series_out.as_deref() {
+        write_output(path, &export::series_jsonl(&recorder.series), "time series");
     }
 }
 
@@ -1233,6 +1384,8 @@ fn main() {
     let observe = args.metrics_out.is_some()
         || args.trace_out.is_some()
         || args.trace_jsonl.is_some()
+        || args.series_out.is_some()
+        || args.progress
         || args.all_schemes;
     let schemes: Vec<Scheme> = if args.all_schemes {
         Scheme::ALL.to_vec()
@@ -1274,6 +1427,11 @@ fn main() {
                     println!("\n=== per-stage latency breakdown (pipelined) ===");
                     print!("{panel}");
                 }
+            }
+            let panel = attribution_panel(recorder, &schemes);
+            if !panel.is_empty() {
+                println!("\n=== critical-path attribution (sampled reads, where p99 goes) ===");
+                print!("{panel}");
             }
         }
         write_exports(&args, recorder);

@@ -30,11 +30,169 @@
 //! [`SimStats::record_stage`]: crate::stats::SimStats::record_stage
 
 use flash_model::Micros;
-use obs::{HistogramId, ReadSpan, Recorder, SpanOutcome, StageTiming};
+use obs::{
+    EventKind, HistogramId, ReadSpan, Recorder, SeriesSampler, SeriesState, SpanOutcome,
+    StageTiming, TraceEvent,
+};
 
 use crate::config::Scheme;
 use crate::pipeline::StageKind;
+use crate::serve::{Backpressure, ServeOptions};
 use crate::stats::SimStats;
+
+/// Counter columns of the windowed time series, in column order. All
+/// are *logical* `SimStats` counters — functions of the request order
+/// alone — so the series is bit-identical across thread counts and
+/// timing backends, and survives checkpoint/resume (the counters ride
+/// the device image).
+const SERIES_COUNTERS: [&str; 20] = [
+    "host_reads",
+    "host_writes",
+    "buffer_read_hits",
+    "flash_reads",
+    "flash_programs",
+    "erases",
+    "gc_runs",
+    "gc_migrated_pages",
+    "promotions",
+    "demotions",
+    "reduced_reads",
+    "retry_reads",
+    "recovered_reads",
+    "uncorrectable_reads",
+    "program_failures",
+    "retired_blocks",
+    "die_resets",
+    "scrub_runs",
+    "scrub_reads",
+    "scrub_refreshes",
+];
+
+/// Gauge columns of the windowed time series. Derived from logical
+/// count vectors only (never from measured response times, which differ
+/// between timing backends): sensing-level and retry-depth quantiles,
+/// the retry rate, and the observed UBER.
+const SERIES_GAUGES: [&str; 5] = [
+    "sensing_p50",
+    "sensing_p99",
+    "retry_depth_p99",
+    "retry_rate",
+    "observed_uber",
+];
+
+/// Quantile of a dense count vector (index = value), using the same
+/// `round(q·(n−1))` rank convention as `SimStats::response_percentile`.
+fn count_quantile(counts: &[u64], q: f64) -> f64 {
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let rank = (q * (n - 1) as f64).round() as u64;
+    let mut seen = 0u64;
+    for (value, &count) in counts.iter().enumerate() {
+        seen += count;
+        if seen > rank {
+            return value as f64;
+        }
+    }
+    (counts.len().saturating_sub(1)) as f64
+}
+
+/// Retry reads per host read (0 before any read).
+fn retry_rate(stats: &SimStats) -> f64 {
+    if stats.host_reads == 0 {
+        return 0.0;
+    }
+    stats.retry_reads as f64 / stats.host_reads as f64
+}
+
+fn base_counter_values(stats: &SimStats) -> Vec<u64> {
+    vec![
+        stats.host_reads,
+        stats.host_writes,
+        stats.buffer_read_hits,
+        stats.flash_reads,
+        stats.flash_programs,
+        stats.erases,
+        stats.gc_runs,
+        stats.gc_migrated_pages,
+        stats.promotions,
+        stats.demotions,
+        stats.reduced_reads,
+        stats.retry_reads,
+        stats.recovered_reads,
+        stats.uncorrectable_reads,
+        stats.program_failures,
+        stats.retired_blocks,
+        stats.die_resets,
+        stats.scrub_runs,
+        stats.scrub_reads,
+        stats.scrub_refreshes,
+    ]
+}
+
+/// The windowed sampler plus the lumped per-tenant SLO tallies it
+/// samples. Violations are judged against the *lumped* single-queue
+/// response (the same virtual clock admission runs on), so the tallies
+/// — unlike `TenantStats::slo_violations` — are identical between
+/// timing backends and the tenant series stays backend-invariant.
+#[derive(Debug)]
+struct SeriesRecorder {
+    sampler: SeriesSampler,
+    /// Per-tenant SLO targets (µs; 0 = none), from `ServeOptions`.
+    slo_targets: Vec<f64>,
+    /// Per-tenant lumped-model SLO violations.
+    lumped_violations: Vec<u64>,
+    /// Per-tenant `(served, violations)` at the last emitted boundary,
+    /// for the windowed burn-rate gauge.
+    prev_burn: Vec<(u64, u64)>,
+}
+
+impl SeriesRecorder {
+    /// Gathers the counter and gauge columns at window boundary `t_us`,
+    /// advancing the burn-rate baselines.
+    fn gather(
+        &mut self,
+        stats: &SimStats,
+        backpressure: &Backpressure,
+        t_us: f64,
+    ) -> (Vec<u64>, Vec<f64>) {
+        let mut counters = base_counter_values(stats);
+        let mut gauges = vec![
+            count_quantile(&stats.reads_by_sensing_level, 0.5),
+            count_quantile(&stats.reads_by_sensing_level, 0.99),
+            count_quantile(&stats.retry_depth_histogram, 0.99),
+            retry_rate(stats),
+            stats.observed_uber(reliability::EccConfig::paper_ldpc().info_bits),
+        ];
+        for tenant in 0..self.slo_targets.len() {
+            let zero = crate::stats::TenantStats::default();
+            let t = stats.tenants.get(tenant).unwrap_or(&zero);
+            let violations = self.lumped_violations[tenant];
+            counters.extend([t.arrivals, t.served, t.dropped, t.deferred, violations]);
+            gauges.push(backpressure.inflight_at(tenant as u32, t_us) as f64);
+            let (prev_served, prev_violations) = self.prev_burn[tenant];
+            let served = t.served - prev_served;
+            let burned = violations - prev_violations;
+            gauges.push(if served == 0 {
+                0.0
+            } else {
+                burned as f64 / served as f64
+            });
+            self.prev_burn[tenant] = (t.served, violations);
+        }
+        (counters, gauges)
+    }
+}
+
+/// Wall-clock heartbeat state for `--progress`. Emission timing is
+/// wall-clock-gated and therefore nondeterministic, which is why the
+/// heartbeat goes to stderr and never into a deterministic artifact.
+#[derive(Debug)]
+struct ProgressMeter {
+    last: std::time::Instant,
+    every: std::time::Duration,
+}
 
 /// Severity-ordered span outcome: later variants dominate earlier ones
 /// when a multi-page request mixes outcomes.
@@ -97,6 +255,17 @@ pub struct SimObserver {
     pending: Option<PendingSpan>,
     deferred: Vec<DeferredRequest>,
     seq: u64,
+    /// Windowed time-series sampler; `None` unless enabled via
+    /// [`with_series`](Self::with_series).
+    series: Option<SeriesRecorder>,
+    /// Wall-clock heartbeat; `None` unless enabled via
+    /// [`with_progress`](Self::with_progress).
+    progress: Option<ProgressMeter>,
+    /// Arrival time of the request currently in the logical layer;
+    /// instant events are stamped with it so the event stream is a
+    /// function of request order alone.
+    current_arrival: f64,
+    event_seq: u64,
 }
 
 impl SimObserver {
@@ -155,7 +324,43 @@ impl SimObserver {
             pending: None,
             deferred: Vec::new(),
             seq: 0,
+            series: None,
+            progress: None,
+            current_arrival: 0.0,
+            event_seq: 0,
         }
+    }
+
+    /// Enables the windowed time series: one snapshot of every counter
+    /// and gauge column per `interval_us` of simulated time (clamped to
+    /// at least 1 µs). Sampling is keyed to request arrivals, so the
+    /// series is bit-identical across thread counts and timing backends.
+    #[must_use]
+    pub fn with_series(mut self, interval_us: u64) -> SimObserver {
+        self.series = Some(SeriesRecorder {
+            sampler: SeriesSampler::new(
+                self.scheme,
+                interval_us,
+                SERIES_COUNTERS.iter().map(|s| s.to_string()).collect(),
+                SERIES_GAUGES.iter().map(|s| s.to_string()).collect(),
+            ),
+            slo_targets: Vec::new(),
+            lumped_violations: Vec::new(),
+            prev_burn: Vec::new(),
+        });
+        self
+    }
+
+    /// Enables the `--progress` heartbeat: roughly once per wall-clock
+    /// second a one-line panel (sim time, ops, observed UBER, retry
+    /// rate) is printed to stderr.
+    #[must_use]
+    pub fn with_progress(mut self) -> SimObserver {
+        self.progress = Some(ProgressMeter {
+            last: std::time::Instant::now(),
+            every: std::time::Duration::from_secs(1),
+        });
+        self
     }
 
     /// The recorded data so far.
@@ -163,8 +368,12 @@ impl SimObserver {
         &self.recorder
     }
 
-    /// Consumes the observer, yielding the recorded data.
-    pub fn into_recorder(self) -> Recorder {
+    /// Consumes the observer, yielding the recorded data. A flushed
+    /// time series is appended to the recorder as a series block.
+    pub fn into_recorder(mut self) -> Recorder {
+        if let Some(series) = self.series.take() {
+            self.recorder.series.push(series.sampler.into_block());
+        }
         self.recorder
     }
 
@@ -178,11 +387,21 @@ impl SimObserver {
         self.deferred.clear();
         self.seq = 0;
         self.current_tenant = 0;
+        self.current_arrival = 0.0;
+        self.event_seq = 0;
+        if let Some(series) = self.series.as_mut() {
+            series.sampler.reset();
+            series.lumped_violations.iter_mut().for_each(|v| *v = 0);
+            series.prev_burn.iter_mut().for_each(|b| *b = (0, 0));
+        }
     }
 
-    /// Registers per-tenant response histograms for tenants `0 .. n`
-    /// (idempotent: already-registered series keep their ids).
-    pub(crate) fn ensure_tenants(&mut self, n: u32) {
+    /// Registers per-tenant response histograms — and, when the time
+    /// series is enabled, per-tenant series columns plus SLO targets —
+    /// for every tenant in `options` (idempotent: already-registered
+    /// tenants keep their ids and columns).
+    pub(crate) fn ensure_tenants(&mut self, options: &ServeOptions) {
+        let n = options.tenants.len() as u32;
         for tenant in self.h_tenant_response.len() as u32..n {
             let t = tenant.to_string();
             let labels: &[(&str, &str)] = &[("scheme", self.scheme), ("tenant", &t)];
@@ -191,6 +410,23 @@ impl SimObserver {
                 "Per-tenant host request response time (us).",
                 labels,
             ));
+        }
+        if let Some(series) = self.series.as_mut() {
+            for tenant in series.slo_targets.len()..options.tenants.len() {
+                series.sampler.extend_schema(
+                    &[
+                        format!("t{tenant}_arrivals"),
+                        format!("t{tenant}_served"),
+                        format!("t{tenant}_dropped"),
+                        format!("t{tenant}_deferred"),
+                        format!("t{tenant}_slo_violations"),
+                    ],
+                    &[format!("t{tenant}_inflight"), format!("t{tenant}_slo_burn")],
+                );
+                series.slo_targets.push(options.tenants[tenant].slo_us);
+                series.lumped_violations.push(0);
+                series.prev_burn.push((0, 0));
+            }
         }
     }
 
@@ -207,7 +443,9 @@ impl SimObserver {
     }
 
     /// Starts the span of one host request; only reads build spans.
-    pub(crate) fn begin_request(&mut self, lpn: u64, is_read: bool) {
+    /// `arrival_us` stamps any instant events the request triggers.
+    pub(crate) fn begin_request(&mut self, lpn: u64, is_read: bool, arrival_us: f64) {
+        self.current_arrival = arrival_us;
         self.pending = is_read.then(|| PendingSpan {
             lpn,
             tenant: self.current_tenant,
@@ -242,8 +480,9 @@ impl SimObserver {
     }
 
     /// Records the resolved recovery ladder of one faulted frame read
-    /// (`depth == 0` = clean first decode).
-    pub(crate) fn retry(&mut self, depth: usize, recovered: bool) {
+    /// (`depth == 0` = clean first decode). Ladder climbs (`depth > 0`)
+    /// additionally emit an instant trace event.
+    pub(crate) fn retry(&mut self, lpn: u64, depth: usize, recovered: bool) {
         self.recorder
             .metrics
             .observe(self.h_retry_depth, depth as f64);
@@ -257,6 +496,108 @@ impl SimObserver {
                 });
             }
         }
+        if depth > 0 {
+            self.push_event(
+                lpn,
+                EventKind::Retry {
+                    depth: depth as u32,
+                    recovered,
+                },
+            );
+        }
+    }
+
+    /// Emits an instant trace event for a transient die fault that
+    /// interposed a reset before the read at `lpn` could be served.
+    pub(crate) fn die_reset(&mut self, lpn: u64) {
+        self.push_event(lpn, EventKind::DieReset);
+    }
+
+    /// Emits an instant trace event for one patrol-scrub visit of
+    /// `block` (the event's `lpn` field carries the block id).
+    pub(crate) fn scrub(&mut self, block: u64, reads: u32, refreshes: u32) {
+        self.push_event(block, EventKind::Scrub { reads, refreshes });
+    }
+
+    fn push_event(&mut self, lpn: u64, kind: EventKind) {
+        let event = TraceEvent {
+            seq: self.event_seq,
+            t_us: self.current_arrival,
+            scheme: self.scheme,
+            tenant: self.current_tenant,
+            lpn,
+            kind,
+        };
+        self.event_seq += 1;
+        self.recorder.spans.push_event(event);
+    }
+
+    /// Arrival hook, called once per host request before its effects
+    /// apply: prints the progress heartbeat when due (wall clock,
+    /// stderr) and emits every time-series window whose boundary the
+    /// arrival crossed. Windows close on arrivals — a trace property —
+    /// so snapshots see identical state in every backend.
+    pub(crate) fn on_arrival(&mut self, arrival_us: f64, stats: &SimStats, bp: &Backpressure) {
+        if let Some(progress) = self.progress.as_mut() {
+            if progress.last.elapsed() >= progress.every {
+                progress.last = std::time::Instant::now();
+                eprintln!(
+                    "progress [{}]: sim {:.3} s, {} ops, uber {:.3e}, retry rate {:.5}",
+                    self.scheme,
+                    arrival_us / 1e6,
+                    stats.host_requests(),
+                    stats.observed_uber(reliability::EccConfig::paper_ldpc().info_bits),
+                    retry_rate(stats),
+                );
+            }
+        }
+        if let Some(series) = self.series.as_mut() {
+            while let Some(boundary) = series.sampler.due(arrival_us) {
+                let (counters, gauges) = series.gather(stats, bp, boundary);
+                series.sampler.emit(counters, gauges);
+            }
+        }
+    }
+
+    /// Flushes the final (possibly partial) time-series window.
+    /// Idempotent; the backends call it once at the end of a completed
+    /// run (never after a prefix or crash, whose unflushed state rides
+    /// the device image instead).
+    pub(crate) fn series_flush(&mut self, stats: &SimStats, bp: &Backpressure) {
+        if let Some(series) = self.series.as_mut() {
+            if let Some(boundary) = series.sampler.due(f64::INFINITY) {
+                let (counters, gauges) = series.gather(stats, bp, boundary);
+                series.sampler.flush(counters, gauges);
+            }
+        }
+    }
+
+    /// Tallies one served request's *lumped* response against its
+    /// tenant's SLO (see [`SeriesRecorder`]); the call site is the
+    /// backpressure commit, identical in both backends.
+    pub(crate) fn tenant_lumped(&mut self, tenant: u32, response_us: f64) {
+        if let Some(series) = self.series.as_mut() {
+            if let Some(&target) = series.slo_targets.get(tenant as usize) {
+                if target > 0.0 && response_us > target {
+                    series.lumped_violations[tenant as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the sampler for the device image (`None` when the
+    /// series is disabled).
+    pub(crate) fn series_state(&self) -> Option<SeriesState> {
+        self.series.as_ref().map(|s| s.sampler.state())
+    }
+
+    /// Rehydrates the sampler from a device-image snapshot. Returns
+    /// `false` (leaving the fresh sampler in place) when the series is
+    /// disabled or the snapshot's interval/schema does not match.
+    pub(crate) fn restore_series(&mut self, state: &SeriesState) -> bool {
+        self.series
+            .as_mut()
+            .is_some_and(|s| s.sampler.restore(state))
     }
 
     /// Completes the current request under the single-queue model.

@@ -273,10 +273,17 @@ pub struct DeviceImage {
     pub torn: Option<TornPage>,
     /// Request index at which power was cut, if this image is a crash.
     pub crashed_at: Option<u64>,
+    /// Time-series sampler state (emitted windows plus the open window's
+    /// baselines), so a resumed campaign's series continues byte-for-byte
+    /// where the checkpointed run left off. `None` when the checkpointed
+    /// run recorded no series (including every version-1 image).
+    pub series: Option<obs::SeriesState>,
 }
 
 const IMAGE_MAGIC: &[u8; 4] = b"FXD1";
-const IMAGE_VERSION: u16 = 1;
+/// Version 2 appended the optional time-series state; version-1 images
+/// (no series) still decode.
+const IMAGE_VERSION: u16 = 2;
 
 /// Little-endian encoder over a growable byte buffer.
 struct Enc {
@@ -723,6 +730,35 @@ impl DeviceImage {
             }
             None => e.u8(0),
         }
+        match &self.series {
+            Some(s) => {
+                e.u8(1);
+                e.u64(s.interval_us);
+                e.u64(s.window);
+                e.len(s.last.len());
+                for &v in &s.last {
+                    e.u64(v);
+                }
+                e.len(s.snapshots.len());
+                for snap in &s.snapshots {
+                    e.u64(snap.window);
+                    e.f64(snap.t_us);
+                    e.len(snap.cumulative.len());
+                    for &v in &snap.cumulative {
+                        e.u64(v);
+                    }
+                    e.len(snap.delta.len());
+                    for &v in &snap.delta {
+                        e.u64(v);
+                    }
+                    e.len(snap.gauges.len());
+                    for &v in &snap.gauges {
+                        e.f64(v);
+                    }
+                }
+            }
+            None => e.u8(0),
+        }
         e.buf
     }
 
@@ -737,7 +773,7 @@ impl DeviceImage {
             return Err(ImageError::BadMagic);
         }
         let version = d.u16()?;
-        if version != IMAGE_VERSION {
+        if version == 0 || version > IMAGE_VERSION {
             return Err(ImageError::BadVersion(version));
         }
         let config_fingerprint = d.u64()?;
@@ -894,6 +930,47 @@ impl DeviceImage {
             1 => Some(d.u64()?),
             _ => return Err(ImageError::Corrupt("crash presence out of range")),
         };
+        let series = if version < 2 {
+            None
+        } else {
+            match d.u8()? {
+                0 => None,
+                1 => {
+                    let interval_us = d.u64()?;
+                    let window = d.u64()?;
+                    let n = d.len()?;
+                    let last = (0..n).map(|_| d.u64()).collect::<Result<Vec<_>, _>>()?;
+                    let n = d.len()?;
+                    let snapshots = (0..n)
+                        .map(|_| {
+                            let window = d.u64()?;
+                            let t_us = d.f64()?;
+                            let n = d.len()?;
+                            let cumulative =
+                                (0..n).map(|_| d.u64()).collect::<Result<Vec<_>, _>>()?;
+                            let n = d.len()?;
+                            let delta = (0..n).map(|_| d.u64()).collect::<Result<Vec<_>, _>>()?;
+                            let n = d.len()?;
+                            let gauges = (0..n).map(|_| d.f64()).collect::<Result<Vec<_>, _>>()?;
+                            Ok(obs::SeriesSnapshot {
+                                window,
+                                t_us,
+                                cumulative,
+                                delta,
+                                gauges,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, ImageError>>()?;
+                    Some(obs::SeriesState {
+                        interval_us,
+                        window,
+                        last,
+                        snapshots,
+                    })
+                }
+                _ => return Err(ImageError::Corrupt("series presence out of range")),
+            }
+        };
         d.done()?;
         Ok(DeviceImage {
             config_fingerprint,
@@ -915,6 +992,7 @@ impl DeviceImage {
             journal,
             torn,
             crashed_at,
+            series,
         })
     }
 

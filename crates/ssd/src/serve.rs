@@ -244,6 +244,15 @@ impl Backpressure {
             }
         }
     }
+
+    /// In-flight requests of `tenant` at `t_us` under the lumped model:
+    /// committed completions strictly after `t_us`. Zero for unknown
+    /// tenants and unlimited-depth lanes (which track no completions).
+    pub(crate) fn inflight_at(&self, tenant: u32, t_us: f64) -> u64 {
+        self.lanes.get(tenant as usize).map_or(0, |lane| {
+            lane.outstanding.iter().filter(|&&done| done > t_us).count() as u64
+        })
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +311,23 @@ mod tests {
         bp.commit(0, 100.0);
         assert_eq!(bp.admit(0, 99.0), Admit::Drop);
         assert_eq!(bp.admit(0, 100.0), Admit::Now);
+    }
+
+    #[test]
+    fn inflight_counts_open_lumped_completions() {
+        let mut bp = pressured(4, OverloadPolicy::Drop);
+        bp.commit(0, 100.0);
+        bp.commit(0, 200.0);
+        bp.commit(0, 300.0);
+        assert_eq!(bp.inflight_at(0, 50.0), 3);
+        // Strictly-after boundary matches `admit`'s `done > arrival`.
+        assert_eq!(bp.inflight_at(0, 100.0), 2);
+        assert_eq!(bp.inflight_at(0, 300.0), 0);
+        assert_eq!(bp.inflight_at(9, 50.0), 0);
+        // Unlimited-depth lanes track no completions.
+        let mut bp = pressured(0, OverloadPolicy::Drop);
+        bp.commit(0, 100.0);
+        assert_eq!(bp.inflight_at(0, 50.0), 0);
     }
 
     #[test]

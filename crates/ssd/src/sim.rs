@@ -199,6 +199,10 @@ pub struct SsdSimulator {
     crash_plan: Option<CrashPlan>,
     /// Where the armed plan actually cut, once it fired.
     crash_cut: Option<CrashCut>,
+    /// Time-series sampler state carried by a restored device image,
+    /// handed to the next observer attached so a resumed campaign's
+    /// series continues where the checkpointed run left off.
+    restored_series: Option<obs::SeriesState>,
 }
 
 impl SsdSimulator {
@@ -265,12 +269,19 @@ impl SsdSimulator {
             stop_after: None,
             crash_plan: None,
             crash_cut: None,
+            restored_series: None,
         }
     }
 
     /// Attaches an observability recorder; subsequent runs record
-    /// metrics, histograms and read spans into it.
-    pub fn attach_observer(&mut self, observer: SimObserver) {
+    /// metrics, histograms and read spans into it. On a simulator built
+    /// by [`restore`](Self::restore) from an image that carried
+    /// time-series state, an observer with the series enabled resumes
+    /// that series mid-window.
+    pub fn attach_observer(&mut self, mut observer: SimObserver) {
+        if let Some(state) = self.restored_series.take() {
+            observer.restore_series(&state);
+        }
         self.obs = Some(Box::new(observer));
     }
 
@@ -369,7 +380,7 @@ impl SsdSimulator {
                 .map(|qos| TenantStats::new(qos.slo_us))
                 .collect();
             if let Some(o) = self.obs.as_mut() {
-                o.ensure_tenants(options.tenants.len() as u32);
+                o.ensure_tenants(options);
             }
         }
         match self.config.timing_model {
@@ -523,6 +534,7 @@ impl SsdSimulator {
             journal: Vec::new(),
             torn: None,
             crashed_at: None,
+            series: self.obs.as_ref().and_then(|o| o.series_state()),
         })
     }
 
@@ -625,6 +637,7 @@ impl SsdSimulator {
         sim.scrub_cursor = image.scrub_cursor;
         sim.channel_free_at = image.channel_free_at.iter().map(|&us| Micros(us)).collect();
         sim.request_cursor = image.request_cursor;
+        sim.restored_series = image.series.clone();
         Ok(sim)
     }
 
@@ -704,6 +717,9 @@ impl SsdSimulator {
             let Some(TenantRequest { tenant, request }) = source.next_request() else {
                 break;
             };
+            if let Some(o) = self.obs.as_mut() {
+                o.on_arrival(request.arrival_us, &self.stats, &backpressure);
+            }
             let at = self.request_cursor;
             self.request_cursor += 1;
             if tenanted {
@@ -738,6 +754,9 @@ impl SsdSimulator {
             self.channel_free_at[channel] = start + plan.fg + plan.bg;
             backpressure.commit(tenant, (start + plan.fg).as_f64());
             if tenanted {
+                if let Some(o) = self.obs.as_mut() {
+                    o.tenant_lumped(tenant, ((start - arrival) + plan.fg).as_f64());
+                }
                 let t = &mut self.stats.tenants[tenant as usize];
                 t.served += 1;
                 if plan.is_read {
@@ -753,6 +772,15 @@ impl SsdSimulator {
             self.ftl.record_commit(at);
             if let Some(err) = self.check_crash(at, request.arrival_us, records_before) {
                 return Err(err);
+            }
+        }
+        // Flush the final partial series window only when the whole
+        // source drained: a prefix run's open window rides the device
+        // image so a resumed campaign's series matches an uninterrupted
+        // run's byte for byte.
+        if self.stop_after.is_none() {
+            if let Some(o) = self.obs.as_mut() {
+                o.series_flush(&self.stats, &backpressure);
             }
         }
         self.stats.makespan_us = self
@@ -776,7 +804,7 @@ impl SsdSimulator {
             bg_ops: Vec::new(),
         };
         if let Some(o) = self.obs.as_mut() {
-            o.begin_request(request.lpn, plan.is_read);
+            o.begin_request(request.lpn, plan.is_read, request.arrival_us);
         }
         for lpn in request.lpns() {
             let lpn = lpn % self.ftl.logical_pages();
@@ -880,6 +908,9 @@ impl SsdSimulator {
             let Some(TenantRequest { tenant, request }) = source.next_request() else {
                 break;
             };
+            if let Some(o) = self.obs.as_mut() {
+                o.on_arrival(request.arrival_us, &self.stats, &backpressure);
+            }
             let at = self.request_cursor;
             self.request_cursor += 1;
             if tenanted {
@@ -911,6 +942,10 @@ impl SsdSimulator {
             lumped_free_at[channel] = start + plan.fg + plan.bg;
             backpressure.commit(tenant, (start + plan.fg).as_f64());
             if tenanted {
+                if let Some(o) = self.obs.as_mut() {
+                    let lumped = (start - Micros(request.arrival_us)) + plan.fg;
+                    o.tenant_lumped(tenant, lumped.as_f64());
+                }
                 let t = &mut self.stats.tenants[tenant as usize];
                 t.served += 1;
                 if plan.is_read {
@@ -932,6 +967,14 @@ impl SsdSimulator {
                 // Power dies mid-run: the event-driven phase never happens,
                 // exactly like the single-queue backend stopping mid-trace.
                 return Err(err);
+            }
+        }
+        // Every sampled quantity is complete once the logical phase ends
+        // (phase 2 resolves only measured timing, which the series never
+        // reads), so flushing here keeps the two backends byte-identical.
+        if self.stop_after.is_none() {
+            if let Some(o) = self.obs.as_mut() {
+                o.series_flush(&self.stats, &backpressure);
             }
         }
 
@@ -1291,6 +1334,7 @@ impl SsdSimulator {
             self.stats.recovery_latency_us += reset.as_f64();
             if let Some(o) = self.obs.as_mut() {
                 o.span_stage("die_reset", reset);
+                o.die_reset(lpn);
             }
             if self.pipelined() {
                 charge.fg_ops.push(FlashOp::DieReset {
@@ -1302,7 +1346,7 @@ impl SsdSimulator {
         if u >= fer0 {
             self.stats.record_retry_depth(0);
             if let Some(o) = self.obs.as_mut() {
-                o.retry(0, true);
+                o.retry(lpn, 0, true);
             }
             return;
         }
@@ -1335,7 +1379,7 @@ impl SsdSimulator {
         }
         self.stats.record_retry_depth(outcome.depth());
         if let Some(o) = self.obs.as_mut() {
-            o.retry(outcome.depth(), outcome.recovered);
+            o.retry(lpn, outcome.depth(), outcome.recovered);
         }
         if outcome.recovered {
             self.stats.recovered_reads += 1;
@@ -1396,16 +1440,19 @@ impl SsdSimulator {
             if lpns.is_empty() {
                 continue;
             }
-            target = Some(lpns);
+            target = Some((candidate, lpns));
             break;
         }
-        let Some(lpns) = target else {
+        let Some((block, lpns)) = target else {
             return Ok(Micros::ZERO);
         };
         self.stats.scrub_runs += 1;
         let threshold = self.config.faults.scrub_refresh_ber;
         let mut time = Micros::ZERO;
+        let mut visit_reads = 0u32;
+        let mut visit_refreshes = 0u32;
         for lpn in lpns {
+            visit_reads += 1;
             self.stats.scrub_reads += 1;
             self.stats.flash_reads += 1;
             time += self.config.latency.timing.read_transfer_latency(0);
@@ -1425,12 +1472,16 @@ impl SsdSimulator {
             // disturb-elevated BER is exactly what it exists to catch.
             let ber = self.environment_read(lpn, ber);
             if ber >= threshold {
+                visit_refreshes += 1;
                 self.stats.scrub_refreshes += 1;
                 self.reliability.refresh(lpn);
                 self.environment_program(lpn);
                 let cost = self.ftl.write(lpn, mode)?;
                 time += self.account(cost, lpn, ops);
             }
+        }
+        if let Some(o) = self.obs.as_mut() {
+            o.scrub(block.0 as u64, visit_reads, visit_refreshes);
         }
         Ok(time)
     }

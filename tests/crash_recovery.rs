@@ -15,10 +15,11 @@
 //!    simulator API (including pipelined and multi-threaded configs)
 //!    finish with counters identical to the never-crashed golden run.
 
+use obs::export;
 use rand::{rngs::StdRng, SeedableRng};
 use ssd::{
-    CrashPlan, FtlImage, JournalRecord, PageMapFtl, ScenarioSpec, Scheme, SimError, SimStats,
-    SsdConfig, SsdSimulator, TimingModel, TornPage,
+    CrashPlan, DeviceImage, FtlImage, JournalRecord, PageMapFtl, ScenarioSpec, Scheme, SimError,
+    SimObserver, SimStats, SsdConfig, SsdSimulator, TimingModel, TornPage,
 };
 use std::collections::HashMap;
 use workloads::{Trace, WorkloadSpec};
@@ -251,6 +252,104 @@ fn crash_restore_resume_matches_golden() {
             "crash at {crash_at}: resumed stats diverged from golden"
         );
     }
+}
+
+const SERIES_INTERVAL_US: u64 = 2_000;
+
+/// Observer with series sampling, as `--series-out` builds one.
+fn series_observer(scheme: Scheme) -> SimObserver {
+    SimObserver::new(scheme, 100).with_series(SERIES_INTERVAL_US)
+}
+
+/// Renders a finished simulator's series as the JSONL the CLI writes.
+fn series_of(sim: &mut SsdSimulator) -> String {
+    let recorder = sim
+        .take_observer()
+        .expect("observer attached")
+        .into_recorder();
+    assert!(
+        !recorder.series.is_empty(),
+        "series sampling produced no block"
+    );
+    export::series_jsonl(&recorder.series)
+}
+
+/// A checkpointed-and-resumed campaign's `--series-out` JSONL is
+/// byte-identical to the uninterrupted run's: the open window's
+/// accumulation state rides the device image (wire v2) and the resumed
+/// observer picks it up, so not a single window is lost, duplicated or
+/// shifted. Also pins the image round-trip with a populated series.
+#[test]
+fn split_run_reproduces_series_byte_for_byte() {
+    let trace = torture_trace();
+    let config = combo_config(Scheme::FlexLevel, "baseline");
+    let golden = {
+        let mut sim =
+            SsdSimulator::new(config.clone()).with_observer(series_observer(Scheme::FlexLevel));
+        sim.run(&trace).expect("golden run completes");
+        series_of(&mut sim)
+    };
+
+    let mut first =
+        SsdSimulator::new(config.clone()).with_observer(series_observer(Scheme::FlexLevel));
+    first.run_prefix(&trace, 1_700).expect("prefix completes");
+    let image = first.checkpoint().expect("checkpoint serializes");
+    assert!(
+        image.series.is_some(),
+        "checkpoint must carry the open series state"
+    );
+    let decoded = DeviceImage::from_bytes(&image.to_bytes()).expect("image round-trips");
+    assert_eq!(
+        decoded.series, image.series,
+        "series state corrupted by the wire format"
+    );
+
+    let mut second = SsdSimulator::restore(config, &image).expect("image restores");
+    second.attach_observer(series_observer(Scheme::FlexLevel));
+    second.resume(&trace).expect("resumed run completes");
+    assert_eq!(
+        series_of(&mut second),
+        golden,
+        "checkpoint/resume changed the series JSONL"
+    );
+}
+
+/// Same guarantee across an actual power loss: crash → recover from the
+/// pre-crash checkpoint → resume ends with the identical series, because
+/// the crash image carries the checkpoint-time series state and the
+/// journaled suffix replays deterministically.
+#[test]
+fn crash_restore_reproduces_series_byte_for_byte() {
+    let trace = torture_trace();
+    let config = combo_config(Scheme::FlexLevel, "baseline");
+    let golden = {
+        let mut sim =
+            SsdSimulator::new(config.clone()).with_observer(series_observer(Scheme::FlexLevel));
+        sim.run(&trace).expect("golden run completes");
+        series_of(&mut sim)
+    };
+
+    let mut sim =
+        SsdSimulator::new(config.clone()).with_observer(series_observer(Scheme::FlexLevel));
+    sim.run_prefix(&trace, 1_000).expect("prefix completes");
+    let base = sim.checkpoint().expect("checkpoint serializes");
+    sim.set_crash_plan(Some(CrashPlan::at_request(0x5EED, 2_200)));
+    let err = sim.resume(&trace).expect_err("armed crash plan fires");
+    assert!(matches!(err, SimError::PowerLoss { at_request: 2_200 }));
+
+    let crash = sim.crash_image(&base).expect("crash image serializes");
+    assert!(
+        crash.series.is_some(),
+        "crash image must carry the checkpoint-time series state"
+    );
+    let mut resumed = SsdSimulator::restore(config, &crash).expect("image restores");
+    resumed.attach_observer(series_observer(Scheme::FlexLevel));
+    resumed.resume(&trace).expect("resumed run completes");
+    assert_eq!(
+        series_of(&mut resumed),
+        golden,
+        "crash/restore changed the series JSONL"
+    );
 }
 
 #[test]

@@ -158,6 +158,128 @@ fn registry_counters_match_across_timing_models() {
     }
 }
 
+const SERIES_INTERVAL_US: u64 = 2_000;
+
+/// Like [`observed_run`] but with windowed series sampling attached.
+fn observed_series_run(scheme: Scheme, trace: &Trace, model: TimingModel) -> (SimStats, Recorder) {
+    let observer = SimObserver::new(scheme, 100).with_series(SERIES_INTERVAL_US);
+    let mut sim = SsdSimulator::new(config_for(scheme, model)).with_observer(observer);
+    sim.run(trace)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", scheme.label()));
+    let stats = sim.stats().clone();
+    let recorder = sim
+        .take_observer()
+        .expect("observer attached")
+        .into_recorder();
+    (stats, recorder)
+}
+
+/// Series-enabled variant of [`merged_recorder`].
+fn merged_series_recorder(trace: &Trace, model: TimingModel, threads: u32) -> Recorder {
+    let recorders = mc::parallel_map(Scheme::ALL.to_vec(), threads, |_, scheme| {
+        observed_series_run(scheme, trace, model).1
+    });
+    let mut combined = Recorder::new();
+    for recorder in &recorders {
+        combined.merge(recorder);
+    }
+    combined
+}
+
+/// The series JSONL is bit-identical across 1/2/8 worker threads *and*
+/// across both timing backends: the sampler is keyed to trace arrival
+/// times and samples only logical values, so neither the thread schedule
+/// nor the timing model can leak into a single byte.
+#[test]
+fn series_jsonl_is_byte_identical_across_threads_and_backends() {
+    let trace = fixture_trace();
+    let single = merged_series_recorder(&trace, TimingModel::SingleQueue, 1);
+    let golden = export::series_jsonl(&single.series);
+    assert!(!golden.is_empty(), "series export produced no lines");
+    for model in [TimingModel::SingleQueue, TimingModel::Pipelined] {
+        for threads in [1u32, 2, 8] {
+            if model == TimingModel::SingleQueue && threads == 1 {
+                continue;
+            }
+            let other = merged_series_recorder(&trace, model, threads);
+            assert_eq!(
+                golden,
+                export::series_jsonl(&other.series),
+                "series JSONL drifted at {} / {threads} threads",
+                model.label()
+            );
+        }
+    }
+}
+
+/// Window bookkeeping is exact: windows are consecutive from 0 with
+/// nominal end times, deltas telescope onto cumulative values, the last
+/// (partial) window is flushed exactly once, and the final cumulative
+/// row equals the end-of-run `SimStats` counters.
+#[test]
+fn series_windows_are_exact_and_final_flush_is_single() {
+    let trace = fixture_trace();
+    let last_arrival = trace.requests.last().expect("non-empty trace").arrival_us;
+    let (stats, recorder) = observed_series_run(Scheme::FlexLevel, &trace, TimingModel::Pipelined);
+    assert_eq!(recorder.series.len(), 1, "one block per run");
+    let block = &recorder.series[0];
+    assert_eq!(block.scheme, Scheme::FlexLevel.label());
+
+    // Every boundary the trace crossed is emitted, plus exactly one
+    // flush of the open partial window at end-of-run.
+    let crossed = (last_arrival / SERIES_INTERVAL_US as f64).floor() as u64;
+    assert_eq!(
+        block.snapshots.len() as u64,
+        crossed + 1,
+        "expected {crossed} full windows + exactly one flushed partial window"
+    );
+
+    let mut prev: Option<&Vec<u64>> = None;
+    for (k, snap) in block.snapshots.iter().enumerate() {
+        assert_eq!(snap.window, k as u64, "windows must be consecutive");
+        assert_eq!(
+            snap.t_us,
+            ((k as u64 + 1) * SERIES_INTERVAL_US) as f64,
+            "window {k}: t_us must be the nominal window end"
+        );
+        assert_eq!(snap.cumulative.len(), block.counters.len());
+        assert_eq!(snap.delta.len(), block.counters.len());
+        assert_eq!(snap.gauges.len(), block.gauges.len());
+        for (c, name) in block.counters.iter().enumerate() {
+            let before = prev.map_or(0, |p| p[c]);
+            assert!(
+                snap.cumulative[c] >= before,
+                "window {k}: {name} cumulative decreased"
+            );
+            assert_eq!(
+                snap.delta[c],
+                snap.cumulative[c] - before,
+                "window {k}: {name} delta does not telescope"
+            );
+        }
+        prev = Some(&snap.cumulative);
+    }
+
+    // The flushed row is the end-of-run state: its cumulative counters
+    // match the golden SimStats exactly.
+    let last = block.snapshots.last().expect("at least the flushed window");
+    let col = |name: &str| {
+        let i = block
+            .counters
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("{name} missing from series schema"));
+        last.cumulative[i]
+    };
+    assert_eq!(col("host_reads"), stats.host_reads);
+    assert_eq!(col("host_writes"), stats.host_writes);
+    assert_eq!(col("flash_reads"), stats.flash_reads);
+    assert_eq!(col("flash_programs"), stats.flash_programs);
+    assert_eq!(col("erases"), stats.erases);
+    assert_eq!(col("gc_runs"), stats.gc_runs);
+    assert_eq!(col("retry_reads"), stats.retry_reads);
+}
+
 /// Histogram-derived stage metrics reconcile exactly with the golden
 /// `StageAccount`s: for every stage, the busy/wait histogram populations
 /// and the `flexlevel_stage_ops_total` counter all equal `ops`.
